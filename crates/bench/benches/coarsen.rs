@@ -1,0 +1,36 @@
+//! Graclus coarsening cost (paper Section III-B): multilevel clustering
+//! and Laplacian construction as the graph grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gana_bench::{graph_of, mirror_chain};
+use gana_gnn::Coarsening;
+use gana_graph::laplacian;
+
+fn bench_coarsening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graclus_coarsen_2_levels");
+    for n in [25usize, 100, 400] {
+        let circuit = mirror_chain(n);
+        let graph = graph_of(&circuit);
+        let adj = laplacian::adjacency(&graph);
+        group.throughput(Throughput::Elements(graph.vertex_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Coarsening::build(std::hint::black_box(&adj), 2, 1).expect("builds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_laplacian_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rescaled_laplacian");
+    for n in [100usize, 400] {
+        let circuit = mirror_chain(n);
+        let graph = graph_of(&circuit);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| laplacian::chebyshev_laplacian(std::hint::black_box(&graph)).expect("builds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening, bench_laplacian_construction);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Front-end cost: SPICE parsing, flattening, preprocessing, and graph
+//! construction as the design grows (Section II-B's preprocessing stages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gana_bench::hierarchical_spice;
+use gana_graph::{CircuitGraph, GraphOptions};
+use gana_netlist::{flatten, parse_library, preprocess, PreprocessOptions};
+
+fn bench_parse_flatten(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_and_flatten");
+    for n in [10usize, 100, 500] {
+        let text = hierarchical_spice(n);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let lib = parse_library(std::hint::black_box(&text)).expect("parses");
+                flatten(&lib).expect("flattens")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess_and_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess_and_graph");
+    for n in [10usize, 100, 500] {
+        let text = hierarchical_spice(n);
+        let lib = parse_library(&text).expect("parses");
+        let flat = flatten(&lib).expect("flattens");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (clean, _) =
+                    preprocess(std::hint::black_box(&flat), PreprocessOptions::default())
+                        .expect("preprocesses");
+                CircuitGraph::build(&clean, GraphOptions::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_flatten, bench_preprocess_and_graph);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Section V-B's runtime table: end-to-end pipeline cost on the switched-
+//! capacitor filter and the phased-array system ("the procedure takes 135s
+//! for the switched capacitor filter circuit, and 514s for the phased
+//! array system … postprocessing requires less than 30s").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gana_bench::rf_pipeline;
+use gana_datasets::{phased_array, sc_filter};
+
+fn bench_sc_filter_pipeline(c: &mut Criterion) {
+    let pipeline = rf_pipeline(16);
+    let sc = sc_filter::generate(0);
+    c.bench_function("pipeline_sc_filter", |b| {
+        b.iter(|| pipeline.recognize(std::hint::black_box(&sc.circuit)).expect("runs"));
+    });
+}
+
+fn bench_phased_array_pipeline(c: &mut Criterion) {
+    let pipeline = rf_pipeline(16);
+    let pa = phased_array::generate_with_channels(4, 0);
+    let mut group = c.benchmark_group("pipeline_phased_array");
+    group.sample_size(10);
+    group.bench_function("recognize_4ch", |b| {
+        b.iter(|| pipeline.recognize(std::hint::black_box(&pa.circuit)).expect("runs"));
+    });
+    group.finish();
+}
+
+fn bench_postprocessing_alone(c: &mut Criterion) {
+    let pipeline = rf_pipeline(16);
+    let pa = phased_array::generate_with_channels(4, 0);
+    let design = pipeline.recognize(&pa.circuit).expect("runs");
+    c.bench_function("postprocessing_phased_array", |b| {
+        b.iter(|| {
+            pipeline.finish(
+                std::hint::black_box(design.circuit.clone()),
+                std::hint::black_box(design.graph.clone()),
+                std::hint::black_box(design.gcn_class.clone()),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_sc_filter_pipeline, bench_phased_array_pipeline, bench_postprocessing_alone);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Training-cost benchmarks (the paper reports "training time is under 2
+//! hours for each dataset"): one optimizer step, and one full epoch over a
+//! small corpus, for the 2-layer Fig. 4 topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gana_bench::{model_with_filter, prepare_sample};
+use gana_datasets::ota;
+use gana_gnn::{Adam, Optimizer};
+
+fn bench_single_train_step(c: &mut Criterion) {
+    let lc = gana_bench::small_circuit();
+    let sample = prepare_sample(&lc, 2);
+    let mut model = model_with_filter(16, 2);
+    c.bench_function("train_step_single_ota", |b| {
+        b.iter(|| model.train_step(std::hint::black_box(&sample)).expect("steps"));
+    });
+}
+
+fn bench_epoch_over_corpus(c: &mut Criterion) {
+    let corpus = ota::corpus(8, 5);
+    let samples: Vec<_> = corpus.samples.iter().map(|lc| prepare_sample(lc, 2)).collect();
+    let mut model = model_with_filter(16, 2);
+    let mut optimizer = Adam::new(4e-3);
+    let mut group = c.benchmark_group("train_epoch_8_circuits");
+    group.sample_size(10);
+    group.bench_function("epoch", |b| {
+        b.iter(|| {
+            for sample in &samples {
+                let step = model.train_step(std::hint::black_box(sample)).expect("steps");
+                let mut params = model.flatten_params();
+                optimizer.step(&mut params, &step.grads.flatten());
+                model.apply_flat_params(&params).expect("applies");
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_train_step, bench_epoch_over_corpus);
+criterion_main!(benches);

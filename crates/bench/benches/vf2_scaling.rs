@@ -1,0 +1,53 @@
+//! Section IV-A's complexity claim: VF2 primitive matching is O(n) when
+//! the pattern has O(1) size. Sweeps the target netlist size and matches
+//! the current-mirror primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gana_bench::{graph_of, mirror_chain};
+use gana_graph::vf2::{find_matches, MatchOptions, Vf2Graph};
+use gana_primitives::PrimitiveLibrary;
+
+fn bench_vf2_scaling(c: &mut Criterion) {
+    let library = PrimitiveLibrary::standard().expect("templates parse");
+    let cm = library.find("CM_N2").expect("present");
+    let mut group = c.benchmark_group("vf2_match_vs_netlist_size");
+    for n in [25usize, 50, 100, 200, 400] {
+        let circuit = mirror_chain(n);
+        let graph = graph_of(&circuit);
+        let target = Vf2Graph::from_circuit(&circuit, &graph, false);
+        group.throughput(Throughput::Elements(graph.vertex_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let matches = find_matches(
+                    std::hint::black_box(cm.pattern()),
+                    std::hint::black_box(&target),
+                    MatchOptions::default(),
+                );
+                assert_eq!(matches.len(), n, "every mirror found");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_library_annotation(c: &mut Criterion) {
+    let library = PrimitiveLibrary::standard().expect("templates parse");
+    let mut group = c.benchmark_group("annotate_21_primitives_vs_size");
+    for n in [25usize, 100, 400] {
+        let circuit = mirror_chain(n);
+        let graph = graph_of(&circuit);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                gana_primitives::annotate(
+                    std::hint::black_box(&library),
+                    std::hint::black_box(&circuit),
+                    std::hint::black_box(&graph),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vf2_scaling, bench_full_library_annotation);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Shared fixtures for the GANA benchmark harness.
+//!
+//! Each Criterion bench regenerates the cost axis of one paper artifact;
+//! the helpers here build the circuits, graphs, models, and pipelines the
+//! benches share. See `EXPERIMENTS.md` for the experiment-to-bench map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::{ota, rf, rf_classes, LabeledCircuit};
+use gana_gnn::{Activation, GcnConfig, GcnModel, GraphSample};
+use gana_graph::{CircuitGraph, GraphOptions};
+use gana_netlist::Circuit;
+use gana_primitives::PrimitiveLibrary;
+
+/// A deterministic OTA circuit used as the small benchmark workload.
+pub fn small_circuit() -> LabeledCircuit {
+    ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::Miller,
+        pmos_input: false,
+        bias: ota::BiasStyle::MirrorRef,
+        seed: 7,
+    })
+}
+
+/// A chain of `n` current mirrors: a netlist whose size scales linearly,
+/// for the VF2 O(n) experiment (paper Section IV-A).
+pub fn mirror_chain(n: usize) -> Circuit {
+    let mut c = Circuit::new(format!("chain_{n}"));
+    for i in 0..n {
+        let diode = gana_netlist::Device::new(
+            format!("MD{i}"),
+            gana_netlist::DeviceKind::Nmos,
+            vec![format!("d{i}"), format!("d{i}"), "gnd!".to_string(), "gnd!".to_string()],
+        )
+        .expect("valid")
+        .with_model("NMOS");
+        let out = gana_netlist::Device::new(
+            format!("MO{i}"),
+            gana_netlist::DeviceKind::Nmos,
+            vec![format!("o{i}"), format!("d{i}"), "gnd!".to_string(), "gnd!".to_string()],
+        )
+        .expect("valid")
+        .with_model("NMOS");
+        let link = gana_netlist::Device::new(
+            format!("R{i}"),
+            gana_netlist::DeviceKind::Resistor,
+            vec![format!("o{i}"), format!("d{}", (i + 1) % n)],
+        )
+        .expect("valid")
+        .with_value(1e3);
+        c.add_device(diode).expect("unique");
+        c.add_device(out).expect("unique");
+        c.add_device(link).expect("unique");
+    }
+    c
+}
+
+/// SPICE text for a hierarchical design with `n` OTA instances (parser and
+/// flattening workload).
+pub fn hierarchical_spice(n: usize) -> String {
+    let mut text = String::from(
+        ".SUBCKT OTA inp inn out vb\n\
+         M1 n1 inp tail gnd! NMOS W=2u L=180n\n\
+         M2 out inn tail gnd! NMOS W=2u L=180n\n\
+         M3 n1 n1 vdd! vdd! PMOS W=4u L=180n\n\
+         M4 out n1 vdd! vdd! PMOS W=4u L=180n\n\
+         M5 tail vb gnd! gnd! NMOS W=1u L=360n\n\
+         .ENDS\n",
+    );
+    for i in 0..n {
+        text.push_str(&format!("X{i} in{i}p in{i}n out{i} vb OTA\n"));
+        text.push_str(&format!("C{i} out{i} gnd! 100f\n"));
+    }
+    text.push_str("MB vb vb gnd! gnd! NMOS\nRB vdd! vb 40k\n.END\n");
+    text
+}
+
+/// A model with the benchmark topology and the given filter order.
+pub fn model_with_filter(filter_order: usize, classes: usize) -> GcnModel {
+    GcnModel::new(GcnConfig {
+        input_dim: 18,
+        conv_channels: vec![16, 32],
+        filter_order,
+        fc_dim: 128,
+        num_classes: classes,
+        activation: Activation::Relu,
+        dropout: 0.0,
+        batch_norm: false,
+        weight_decay: 0.0,
+        seed: 3,
+    })
+    .expect("valid benchmark config")
+}
+
+/// Prepares a GNN sample (graph + coarsening + features) for a circuit.
+pub fn prepare_sample(lc: &LabeledCircuit, levels: usize) -> GraphSample {
+    let graph = lc.graph();
+    let labels = lc.vertex_labels(&graph);
+    GraphSample::prepare(lc.name.clone(), &lc.circuit, &graph, labels, levels, 1)
+        .expect("sample prepares")
+}
+
+/// An (untrained) RF pipeline: inference cost is identical to a trained
+/// model's, which is what the paper's runtime table measures.
+pub fn rf_pipeline(filter_order: usize) -> Pipeline {
+    Pipeline::new(
+        model_with_filter(filter_order, 3),
+        rf_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("templates parse"),
+        Task::Rf,
+    )
+}
+
+/// A single receiver for pipeline benchmarks.
+pub fn receiver() -> LabeledCircuit {
+    rf::generate(rf::ReceiverSpec {
+        lna: rf::LnaKind::InductiveDegeneration,
+        mixer: rf::MixerKind::Gilbert,
+        osc: rf::OscKind::CrossCoupledLc,
+        seed: 13,
+    })
+}
+
+/// Builds the circuit graph for a circuit (helper for benches).
+pub fn graph_of(circuit: &Circuit) -> CircuitGraph {
+    CircuitGraph::build(circuit, GraphOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_chain_scales_linearly() {
+        assert_eq!(mirror_chain(10).device_count(), 30);
+        assert_eq!(mirror_chain(100).device_count(), 300);
+    }
+
+    #[test]
+    fn hierarchical_spice_parses_and_flattens() {
+        let lib = gana_netlist::parse_library(&hierarchical_spice(5)).expect("parses");
+        let flat = gana_netlist::flatten(&lib).expect("flattens");
+        assert_eq!(flat.device_count(), 5 * 6 + 2);
+    }
+
+    #[test]
+    fn fixtures_build() {
+        let lc = small_circuit();
+        let sample = prepare_sample(&lc, 2);
+        assert!(sample.vertex_count() > 10);
+        let pipeline = rf_pipeline(4);
+        let design = pipeline.recognize(&receiver().circuit).expect("runs");
+        assert!(design.sub_blocks.len() >= 3);
+    }
+}

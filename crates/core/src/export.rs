@@ -1,0 +1,184 @@
+//! Exports a recognized design as a *hierarchical* SPICE netlist — the
+//! deliverable the paper's title promises: "automated subcircuit
+//! identification and annotation enables the creation of hierarchical
+//! representations of analog netlists".
+//!
+//! Every sub-block becomes a `.SUBCKT` whose ports are the nets it shares
+//! with the rest of the design; the top level instantiates one `X` card per
+//! sub-block. Constraints are emitted as `* @constraint` comment
+//! annotations that a layout tool (such as the `gana-layout` crate) can
+//! consume.
+
+use crate::pipeline::RecognizedDesign;
+use gana_netlist::{Circuit, Device, DeviceKind, SpiceLibrary};
+use std::collections::BTreeSet;
+
+/// Builds the hierarchical library: one subcircuit per recognized
+/// sub-block, plus a top level wiring them together.
+///
+/// Rails stay global (never become ports). Devices that ended up in no
+/// sub-block (there are none for connected designs) stay at the top level.
+pub fn to_hierarchical_library(design: &RecognizedDesign) -> SpiceLibrary {
+    let circuit = &design.circuit;
+    let mut top = Circuit::new(format!("{}_annotated", circuit.name()));
+    for (net, label) in circuit.port_labels() {
+        top.set_port_label(net.clone(), label.clone());
+    }
+    let mut lib_subckts: Vec<Circuit> = Vec::new();
+    let mut placed: BTreeSet<String> = BTreeSet::new();
+
+    for (bi, block) in design.sub_blocks.iter().enumerate() {
+        let block_devices: Vec<&Device> = block
+            .devices
+            .iter()
+            .filter_map(|name| circuit.device(name))
+            .collect();
+        if block_devices.is_empty() {
+            continue;
+        }
+        // Ports: nets used by the block that are also used outside it (or
+        // carry a designer label), excluding rails.
+        let inside: BTreeSet<&str> = block.devices.iter().map(String::as_str).collect();
+        let mut block_nets: BTreeSet<String> = BTreeSet::new();
+        for d in &block_devices {
+            block_nets.extend(d.terminals().iter().cloned());
+        }
+        let mut ports: Vec<String> = Vec::new();
+        for net in &block_nets {
+            if circuit.is_supply(net) || circuit.is_ground(net) {
+                continue;
+            }
+            let used_outside = circuit.devices().iter().any(|d| {
+                !inside.contains(d.name()) && d.terminals().iter().any(|t| t == net)
+            });
+            if used_outside || circuit.port_label(net).is_some() {
+                ports.push(net.clone());
+            }
+        }
+
+        let subckt_name = format!("{}_{}", block.label.to_ascii_uppercase(), bi);
+        let mut sub = Circuit::with_ports(subckt_name.clone(), ports.clone());
+        for d in &block_devices {
+            sub.add_device((*d).clone()).expect("names unique within block");
+            placed.insert(d.name().to_string());
+        }
+        lib_subckts.push(sub);
+
+        let instance = Device::new(format!("XB{bi}"), DeviceKind::Instance, ports.clone())
+            .map(|d| d.with_model(subckt_name));
+        match instance {
+            Ok(inst) => top.add_device(inst).expect("instance names unique"),
+            Err(_) => {
+                // A block with zero ports (fully rail-strapped) inlines its
+                // devices at the top level instead.
+                for d in &block_devices {
+                    top.add_device((*d).clone()).expect("unique");
+                    placed.remove(d.name());
+                }
+            }
+        }
+    }
+    // Anything unplaced stays at the top level.
+    for d in circuit.devices() {
+        if !placed.contains(d.name()) && top.device(d.name()).is_none() {
+            top.add_device(d.clone()).expect("unique");
+        }
+    }
+    let mut lib = SpiceLibrary::new(top);
+    for sub in lib_subckts {
+        lib.add_subckt(sub).expect("block names are unique");
+    }
+    lib
+}
+
+/// Serializes the hierarchical library to SPICE text, with the detected
+/// constraints appended as `* @constraint` annotations.
+pub fn to_hierarchical_spice(design: &RecognizedDesign) -> String {
+    let lib = to_hierarchical_library(design);
+    let mut text = gana_netlist::write_spice(&lib);
+    if !design.constraints.is_empty() {
+        text.push_str("* --- layout constraints detected by GANA ---\n");
+        for c in &design.constraints {
+            text.push_str(&format!("* @constraint {c}\n"));
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, Task};
+    use gana_gnn::{GcnConfig, GcnModel};
+    use gana_primitives::PrimitiveLibrary;
+
+    fn recognized() -> RecognizedDesign {
+        let config = GcnConfig {
+            conv_channels: vec![4, 4],
+            filter_order: 2,
+            fc_dim: 8,
+            num_classes: 2,
+            dropout: 0.0,
+            batch_norm: false,
+            ..GcnConfig::default()
+        };
+        let pipeline = Pipeline::new(
+            GcnModel::new(config).expect("valid"),
+            vec!["ota".to_string(), "bias".to_string()],
+            PrimitiveLibrary::standard().expect("parse"),
+            Task::OtaBias,
+        );
+        let mut circuit = gana_netlist::parse(
+            "M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\nM3 vb vb gnd! gnd! NMOS\nR1 vdd! vb 10k\n",
+        )
+        .expect("valid");
+        circuit.set_port_label("vb", gana_netlist::PortLabel::Bias);
+        pipeline.recognize(&circuit).expect("runs")
+    }
+
+    #[test]
+    fn export_round_trips_and_flattens_to_same_devices() {
+        let design = recognized();
+        let text = to_hierarchical_spice(&design);
+        let lib = gana_netlist::parse_library(&text).expect("export parses");
+        assert!(!lib.subckts().is_empty(), "at least one sub-block emitted");
+        let flat = gana_netlist::flatten(&lib).expect("flattens");
+        assert_eq!(
+            flat.device_count(),
+            design.circuit.device_count(),
+            "flattening the export recovers every device"
+        );
+    }
+
+    #[test]
+    fn block_boundary_nets_become_ports() {
+        let design = recognized();
+        let lib = to_hierarchical_library(&design);
+        // The bias gate net vb crosses the ota/bias boundary.
+        let has_vb_port = lib.subckts().iter().any(|s| s.ports().iter().any(|p| p == "vb"));
+        assert!(has_vb_port, "vb must be a port of some sub-block");
+        // Rails never become ports.
+        for sub in lib.subckts() {
+            assert!(sub.ports().iter().all(|p| p != "gnd!" && p != "vdd!"));
+        }
+    }
+
+    #[test]
+    fn constraints_are_annotated() {
+        let design = recognized();
+        let text = to_hierarchical_spice(&design);
+        assert!(text.contains("@constraint"), "{text}");
+        assert!(text.contains("symmetry"), "{text}");
+    }
+
+    #[test]
+    fn subckt_names_carry_labels() {
+        let design = recognized();
+        let lib = to_hierarchical_library(&design);
+        assert!(
+            lib.subckts().iter().any(|s| s.name().starts_with("OTA")),
+            "{:?}",
+            lib.subckts().iter().map(|s| s.name()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! GANA's primary contribution: the end-to-end netlist annotation pipeline.
+//!
+//! Given a SPICE netlist, the pipeline (paper Section II-B) runs:
+//!
+//! 1. **Netlist flattening + preprocessing** — `gana-netlist`;
+//! 2. **GCN-based sub-block recognition** — a trained
+//!    [`gana_gnn::GcnModel`] classifies every graph vertex;
+//! 3. **Primitive annotation** — VF2 against the `gana-primitives` library
+//!    inside each recognized region;
+//! 4. **Postprocessing I** ([`post1`]) — channel-connected-component
+//!    smoothing, sub-block assembly, and separation of stand-alone
+//!    primitives (input buffers, inverter amplifiers);
+//! 5. **Postprocessing II** ([`post2`]) — designer port knowledge (antenna
+//!    input → LNA, oscillating input → mixer, oscillating driver →
+//!    oscillator, oscillator-like block in the signal path → BPF);
+//! 6. **Hierarchy + constraint annotation** ([`hierarchy`]) — the output
+//!    tree with symmetry/matching/common-centroid/proximity constraints.
+//!
+//! # Examples
+//!
+//! Recognition without a trained model (structural stages only) can be
+//! exercised through [`post1::Stage1`]; the full pipeline needs a trained
+//! model:
+//!
+//! ```no_run
+//! use gana_core::{Pipeline, Task};
+//! use gana_gnn::{GcnConfig, GcnModel};
+//! use gana_primitives::PrimitiveLibrary;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = GcnModel::new(GcnConfig::default())?; // normally trained first
+//! let library = PrimitiveLibrary::standard()?;
+//! let pipeline = Pipeline::new(
+//!     model,
+//!     vec!["ota".into(), "bias".into()],
+//!     library,
+//!     Task::OtaBias,
+//! );
+//! let lib = gana_netlist::parse_library("M1 out in gnd! gnd! NMOS\n.END\n")?;
+//! let design = pipeline.recognize(lib.top())?;
+//! println!("{}", design.hierarchy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod export;
+pub mod hierarchy;
+mod pipeline;
+pub mod post1;
+pub mod post2;
+pub mod report;
+
+pub use error::CoreError;
+pub use hierarchy::{HierarchyNode, NodeKind};
+pub use pipeline::{Pipeline, RecognizedDesign, SubBlock, Task};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,705 @@
+//! Postprocessing I (paper Section V-A).
+//!
+//! "Graph-based heuristics in which we associate the nodes that belong to
+//! the same channel-connected component (CCC) with a sub-block. Next, we
+//! identify all primitives within a CCC … All primitives in a CCC that are
+//! an integral part of a sub-block are added to the hierarchy tree at the
+//! same level; a primitive that can be considered a stand-alone unit (e.g.,
+//! an input buffer for an oscillator) is separated and listed as a
+//! stand-alone primitive in the hierarchy tree."
+//!
+//! Concretely:
+//! 1. majority-vote the GCN class over each CCC (elements + joining nets),
+//! 2. attach passives and remaining net vertices by neighbor majority,
+//! 3. union CCCs of equal class that share a non-rail net into sub-blocks,
+//! 4. run primitive annotation inside every sub-block,
+//! 5. separate small all-inverter sub-blocks as stand-alone INV/BUF
+//!    primitives (chained inverters merge into a BUF).
+
+use gana_graph::ccc::{ccc_membership, channel_connected_components};
+use gana_graph::{CircuitGraph, VertexId};
+use gana_netlist::{Circuit, Device};
+use gana_primitives::{annotate, AnnotationResult, PrimitiveLibrary};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A sub-block assembled from one or more CCCs.
+#[derive(Debug, Clone)]
+pub struct RawSubBlock {
+    /// Majority GCN class over the member vertices.
+    pub gcn_class: usize,
+    /// Element vertex ids, sorted.
+    pub elements: Vec<VertexId>,
+    /// Net vertex ids owned by this block, sorted.
+    pub nets: Vec<VertexId>,
+    /// Primitive annotation over the block's devices.
+    pub annotation: AnnotationResult,
+    /// Set when the block was separated as a stand-alone primitive; the
+    /// value is its primitive label (`"inv"`, `"buf"`).
+    pub standalone_label: Option<String>,
+}
+
+impl RawSubBlock {
+    /// Device names of the block's elements, sorted.
+    pub fn device_names(&self, graph: &CircuitGraph) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .elements
+            .iter()
+            .filter_map(|&v| graph.device_name(v).map(str::to_string))
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// The output of Postprocessing I.
+#[derive(Debug, Clone)]
+pub struct Stage1 {
+    /// Smoothed per-vertex class (same class space as the GCN).
+    pub smoothed: Vec<usize>,
+    /// Assembled sub-blocks (including stand-alone primitives).
+    pub sub_blocks: Vec<RawSubBlock>,
+    /// For every vertex, the owning sub-block index (if any).
+    pub block_of: Vec<Option<usize>>,
+}
+
+/// Runs Postprocessing I.
+pub fn apply(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    gcn_predictions: &[usize],
+    library: &PrimitiveLibrary,
+) -> Stage1 {
+    apply_with_options(circuit, graph, gcn_predictions, library, true)
+}
+
+/// Runs Postprocessing I with control over stand-alone inverter separation
+/// (used for the RF task; the OTA/bias class space has no INV/BUF labels).
+pub fn apply_with_options(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    gcn_predictions: &[usize],
+    library: &PrimitiveLibrary,
+    separate_inverters: bool,
+) -> Stage1 {
+    assert_eq!(
+        gcn_predictions.len(),
+        graph.vertex_count(),
+        "one GCN prediction per vertex"
+    );
+    let n = graph.vertex_count();
+    let comps = channel_connected_components(circuit, graph);
+    let attach = attach_elements(circuit, graph, &comps);
+
+    // 1+2: majority smoothing over each CCC (elements + attached passives
+    // + joining nets).
+    let mut smoothed: Vec<usize> = gcn_predictions.to_vec();
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); comps.len()];
+    for (v, owner) in attach.iter().enumerate() {
+        if let Some(idx) = owner {
+            members[*idx].push(v);
+        }
+    }
+    for group in &members {
+        if group.is_empty() {
+            continue;
+        }
+        // Element vertices carry the vote: a block's nets outnumber its
+        // devices and would otherwise wash out the device consensus.
+        let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+        for &v in group {
+            if graph.vertex(v).is_element() {
+                *votes.entry(gcn_predictions[v]).or_insert(0) += 1;
+            }
+        }
+        if votes.is_empty() {
+            for &v in group {
+                *votes.entry(gcn_predictions[v]).or_insert(0) += 1;
+            }
+        }
+        let class = votes
+            .into_iter()
+            .max_by_key(|&(class, count)| (count, std::cmp::Reverse(class)))
+            .map(|(class, _)| class)
+            .expect("non-empty group");
+        for &v in group {
+            smoothed[v] = class;
+        }
+    }
+    // Unattached vertices (gate-only nets, rails): neighbor majority, two
+    // passes so chains settle.
+    for _ in 0..2 {
+        for v in 0..n {
+            if attach[v].is_some() {
+                continue;
+            }
+            let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+            for &(u, _) in graph.neighbors(v) {
+                *votes.entry(smoothed[u]).or_insert(0) += 1;
+            }
+            if let Some((class, _)) =
+                votes.into_iter().max_by_key(|&(class, count)| (count, std::cmp::Reverse(class)))
+            {
+                smoothed[v] = class;
+            }
+        }
+    }
+
+    // 3a: group CCC-less elements (passive-only networks such as a bias
+    // resistor divider) into their own clusters so everything belongs to
+    // some block.
+    let mut cluster_of: Vec<Option<usize>> = attach.clone();
+    let mut clusters: Vec<Vec<VertexId>> = members.clone();
+    for v in graph.element_vertices() {
+        if cluster_of[v].is_some() {
+            continue;
+        }
+        // Flood over unowned elements through non-rail nets.
+        let idx = clusters.len();
+        let mut stack = vec![v];
+        let mut group = Vec::new();
+        cluster_of[v] = Some(idx);
+        while let Some(e) = stack.pop() {
+            group.push(e);
+            for &(net, _) in graph.neighbors(e) {
+                let name = graph.net_name(net).expect("net vertex");
+                if circuit.is_supply(name) || circuit.is_ground(name) {
+                    continue;
+                }
+                // The cluster owns its so-far-unowned nets (a resistor
+                // divider owns the bias gate net it generates).
+                if cluster_of[net].is_none() {
+                    cluster_of[net] = Some(idx);
+                    group.push(net);
+                }
+                for &(other, _) in graph.neighbors(net) {
+                    if graph.vertex(other).is_element() && cluster_of[other].is_none() {
+                        cluster_of[other] = Some(idx);
+                        stack.push(other);
+                    }
+                }
+            }
+        }
+        clusters.push(group);
+    }
+
+    // 3b: detect stand-alone inverter clusters before merging: the paper
+    // separates INV/BUF primitives into their own hierarchy. An inverter
+    // cluster is exactly one PMOS + one NMOS sharing gate and drain nets
+    // (plus optional passives); one with a feedback passive across its
+    // input/output is an inverter *amplifier* and never joins a buffer
+    // chain.
+    #[derive(Clone, Copy)]
+    struct InvInfo {
+        input: VertexId,
+        output: VertexId,
+        feedback: bool,
+    }
+    let inverter_info = |group: &[VertexId]| -> Option<InvInfo> {
+        let transistors: Vec<VertexId> = group
+            .iter()
+            .copied()
+            .filter(|&v| graph.element_kind(v).is_some_and(|k| k.is_transistor()))
+            .collect();
+        if transistors.len() != 2 {
+            return None;
+        }
+        let kinds: BTreeSet<_> =
+            transistors.iter().map(|&v| graph.element_kind(v).expect("element")).collect();
+        if kinds.len() != 2 {
+            return None;
+        }
+        let gate_of = |v: VertexId| -> Option<VertexId> {
+            let gates: Vec<VertexId> = graph
+                .neighbors(v)
+                .iter()
+                .filter(|(_, l)| l.has_gate())
+                .map(|&(n, _)| n)
+                .collect();
+            if gates.len() == 1 { Some(gates[0]) } else { None }
+        };
+        let channel_of = |v: VertexId| -> Vec<VertexId> {
+            graph
+                .neighbors(v)
+                .iter()
+                .filter(|(_, l)| l.touches_channel())
+                .map(|&(n, _)| n)
+                .collect()
+        };
+        let (g0, g1) = (gate_of(transistors[0])?, gate_of(transistors[1])?);
+        if g0 != g1 {
+            return None;
+        }
+        // Output: the shared non-rail channel net; each transistor's other
+        // channel terminal must sit on a rail.
+        let rails = |n: VertexId| {
+            let name = graph.net_name(n).expect("net");
+            circuit.is_supply(name) || circuit.is_ground(name)
+        };
+        let ch0: BTreeSet<VertexId> =
+            channel_of(transistors[0]).into_iter().filter(|&n| !rails(n)).collect();
+        let ch1: BTreeSet<VertexId> =
+            channel_of(transistors[1]).into_iter().filter(|&n| !rails(n)).collect();
+        let shared: Vec<VertexId> = ch0.intersection(&ch1).copied().collect();
+        if shared.len() != 1 || ch0.len() != 1 || ch1.len() != 1 {
+            return None;
+        }
+        let output = shared[0];
+        // Other elements must be passives; a passive spanning input and
+        // output is feedback.
+        let mut feedback = false;
+        for &v in group {
+            if !graph.vertex(v).is_element() || transistors.contains(&v) {
+                continue;
+            }
+            let kind = graph.element_kind(v).expect("element");
+            if !kind.is_passive() {
+                return None;
+            }
+            let nets: BTreeSet<VertexId> =
+                graph.neighbors(v).iter().map(|&(n, _)| n).collect();
+            if nets.contains(&g0) && nets.contains(&output) {
+                feedback = true;
+            }
+        }
+        Some(InvInfo { input: g0, output, feedback })
+    };
+    let mut inv_info: Vec<Option<InvInfo>> = if separate_inverters {
+        clusters.iter().map(|g| inverter_info(g)).collect()
+    } else {
+        vec![None; clusters.len()]
+    };
+
+    // Inverter clusters on a feedback *cycle* (cross-coupled pairs, ring
+    // oscillators) are latch/oscillator cores, not buffers: exclude them
+    // from stand-alone separation so the normal class rules label them.
+    {
+        let nodes: Vec<usize> =
+            (0..clusters.len()).filter(|&i| inv_info[i].is_some()).collect();
+        // Structural edges only: a tank or feedback element across a pair
+        // must not hide the cycle.
+        let edge = |a: usize, b: usize| -> bool {
+            let (ia, ib) = (inv_info[a].expect("inv"), inv_info[b].expect("inv"));
+            a != b && ia.output == ib.input
+        };
+        let mut cyclic: Vec<usize> = Vec::new();
+        for &start in &nodes {
+            // DFS from start's successors; if start is reachable, it is on
+            // a cycle.
+            let mut stack: Vec<usize> =
+                nodes.iter().copied().filter(|&m| edge(start, m)).collect();
+            let mut seen = BTreeSet::new();
+            let mut on_cycle = false;
+            while let Some(x) = stack.pop() {
+                if x == start {
+                    on_cycle = true;
+                    break;
+                }
+                if !seen.insert(x) {
+                    continue;
+                }
+                stack.extend(nodes.iter().copied().filter(|&m| edge(x, m)));
+            }
+            if on_cycle {
+                cyclic.push(start);
+            }
+        }
+        for i in cyclic {
+            inv_info[i] = None;
+        }
+    }
+
+    // 3c: union non-inverter clusters of equal class sharing any non-rail
+    // net (gate coupling included — that is how a mirror reference joins
+    // its outputs and how OTA stages fuse); a capacitor's far-side net is
+    // an AC boundary and does not merge.
+    let mut parent: Vec<usize> = (0..clusters.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let cluster_class: Vec<usize> = clusters
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .find(|&&v| graph.vertex(v).is_element())
+                .map_or(0, |&v| smoothed[v])
+        })
+        .collect();
+    // A net is "diode-driven" when some transistor touches it with gate
+    // and channel together (the 101 mirror-gate signature of Fig. 2): such
+    // nets are intra-block by construction, so gate-side coupling through
+    // them may merge. Plain gate coupling (stage-to-stage drive, LO or RF
+    // hand-off) never merges.
+    let mut diode_driven = vec![false; n];
+    for v in graph.element_vertices() {
+        for &(net, label) in graph.neighbors(v) {
+            if label.has_gate() && label.touches_channel() {
+                diode_driven[net] = true;
+            }
+        }
+    }
+    let mut net_users: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (idx, group) in clusters.iter().enumerate() {
+        if inv_info[idx].is_some() {
+            continue;
+        }
+        let mut nets: BTreeSet<VertexId> = BTreeSet::new();
+        for &v in group {
+            if graph.vertex(v).is_net() {
+                nets.insert(v);
+                continue;
+            }
+            // AC-coupling boundary: a capacitor's far side does not pull
+            // another stage into this block.
+            if graph.element_kind(v) == Some(gana_netlist::DeviceKind::Capacitor) {
+                continue;
+            }
+            for &(u, label) in graph.neighbors(v) {
+                if label.touches_channel() || label.bits() == 0 || diode_driven[u] {
+                    nets.insert(u);
+                }
+            }
+        }
+        for net in nets {
+            let name = graph.net_name(net).expect("net vertex");
+            if circuit.is_supply(name) || circuit.is_ground(name) {
+                continue;
+            }
+            // Bias and LO distribution nets span block boundaries by
+            // design; like rails, they never fuse blocks.
+            if matches!(
+                circuit.port_label(name),
+                Some(gana_netlist::PortLabel::Bias) | Some(gana_netlist::PortLabel::Oscillating)
+            ) {
+                continue;
+            }
+            net_users.entry(net).or_default().push(idx);
+        }
+    }
+    for users in net_users.values() {
+        for i in 0..users.len() {
+            for j in (i + 1)..users.len() {
+                if cluster_class[users[i]] == cluster_class[users[j]] {
+                    let (ra, rb) = (find(&mut parent, users[i]), find(&mut parent, users[j]));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+    }
+    // 3d: chain-union buffer inverters (no feedback) coupled drain→gate.
+    let inv_clusters: Vec<usize> =
+        (0..clusters.len()).filter(|&i| inv_info[i].is_some()).collect();
+    let mut chained: BTreeSet<usize> = BTreeSet::new();
+    for &a in &inv_clusters {
+        for &b in &inv_clusters {
+            if a == b {
+                continue;
+            }
+            let (ia, ib) = (inv_info[a].expect("inv"), inv_info[b].expect("inv"));
+            if ia.feedback || ib.feedback {
+                continue;
+            }
+            if ia.output == ib.input {
+                chained.insert(a);
+                chained.insert(b);
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+    }
+
+    // 4: assemble sub-blocks and annotate primitives inside each.
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for idx in 0..clusters.len() {
+        let root = find(&mut parent, idx);
+        groups.entry(root).or_default().push(idx);
+    }
+
+    let mut sub_blocks: Vec<RawSubBlock> = Vec::new();
+    let mut block_of: Vec<Option<usize>> = vec![None; n];
+    for group in groups.values() {
+        let mut elements: Vec<VertexId> = Vec::new();
+        let mut nets: Vec<VertexId> = Vec::new();
+        for &idx in group {
+            for &v in &clusters[idx] {
+                if graph.vertex(v).is_element() {
+                    elements.push(v);
+                } else {
+                    nets.push(v);
+                }
+            }
+        }
+        if elements.is_empty() {
+            continue;
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        nets.sort_unstable();
+        nets.dedup();
+        let class = smoothed[elements[0]];
+        let sub_circuit = induced_circuit(circuit, graph, &elements);
+        let sub_graph =
+            gana_graph::CircuitGraph::build(&sub_circuit, gana_graph::GraphOptions::default());
+        let annotation = annotate(library, &sub_circuit, &sub_graph);
+        // Stand-alone label when the group is made of inverter clusters.
+        let standalone_label = if group.iter().all(|&idx| inv_info[idx].is_some()) {
+            if group.len() >= 2 || group.iter().any(|&idx| chained.contains(&idx)) {
+                Some("buf".to_string())
+            } else {
+                Some("inv".to_string())
+            }
+        } else {
+            None
+        };
+        let block_index = sub_blocks.len();
+        for &v in elements.iter().chain(nets.iter()) {
+            block_of[v] = Some(block_index);
+        }
+        sub_blocks.push(RawSubBlock {
+            gcn_class: class,
+            elements,
+            nets,
+            annotation,
+            standalone_label,
+        });
+    }
+
+    Stage1 { smoothed, sub_blocks, block_of }
+}
+
+/// Assigns every vertex to a CCC where possible: transistors and joining
+/// nets by construction; passives/sources by weighted vote. A terminal on a
+/// CCC channel net and a terminal feeding a CCC's transistor gates both
+/// vote for that CCC. Rails never vote, and `Bias`/`Oscillating`-labeled
+/// distribution nets never vote either — the LO phase-splitting capacitor
+/// belongs to the mixer whose gates it feeds, not to the oscillator that
+/// happens to drive the LO.
+fn attach_elements(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    comps: &[gana_graph::ccc::Ccc],
+) -> Vec<Option<usize>> {
+    let mut owner = ccc_membership(comps, graph.vertex_count());
+    let mut gate_consumers: HashMap<VertexId, BTreeSet<usize>> = HashMap::new();
+    for (idx, ccc) in comps.iter().enumerate() {
+        for &t in &ccc.transistors {
+            for &(net, label) in graph.neighbors(t) {
+                if label.has_gate() {
+                    gate_consumers.entry(net).or_default().insert(idx);
+                }
+            }
+        }
+    }
+    // Iterate: a passive that attaches extends its cluster's ownership to
+    // its previously unowned nets, letting R–C chains (IF filters, bias
+    // dividers) resolve hop by hop.
+    for _ in 0..4 {
+        let mut changed = false;
+        for v in graph.element_vertices() {
+            if owner[v].is_some() {
+                continue;
+            }
+            let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+            for &(net, _) in graph.neighbors(v) {
+                let name = graph.net_name(net).expect("net vertex");
+                if circuit.is_supply(name) || circuit.is_ground(name) {
+                    continue;
+                }
+                if matches!(
+                    circuit.port_label(name),
+                    Some(gana_netlist::PortLabel::Bias)
+                        | Some(gana_netlist::PortLabel::Oscillating)
+                ) {
+                    continue;
+                }
+                // The driving (channel) side outweighs a lone gate
+                // consumer, so a load inductor stays with its amplifier; a
+                // coupling cap with both terminals on the consumer side
+                // still flips to it. A cluster gating its own channel net
+                // (a cross-coupled pair) adds no extra evidence.
+                if let Some(idx) = owner[net] {
+                    *votes.entry(idx).or_insert(0) += 3;
+                }
+                if let Some(consumers) = gate_consumers.get(&net) {
+                    for &idx in consumers {
+                        if owner[net] != Some(idx) {
+                            *votes.entry(idx).or_insert(0) += 2;
+                        }
+                    }
+                }
+            }
+            let winner = votes
+                .into_iter()
+                .max_by_key(|&(idx, count)| (count, std::cmp::Reverse(idx)))
+                .map(|(idx, _)| idx);
+            if let Some(idx) = winner {
+                owner[v] = Some(idx);
+                for &(net, _) in graph.neighbors(v) {
+                    if owner[net].is_none() {
+                        owner[net] = Some(idx);
+                    }
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    owner
+}
+
+/// Builds the circuit induced by a set of element vertices (device names
+/// and nets preserved).
+fn induced_circuit(circuit: &Circuit, graph: &CircuitGraph, elements: &[VertexId]) -> Circuit {
+    let mut out = Circuit::new(format!("{}_block", circuit.name()));
+    for (net, label) in circuit.port_labels() {
+        out.set_port_label(net.clone(), label.clone());
+    }
+    let devices: Vec<&Device> = elements
+        .iter()
+        .filter_map(|&v| graph.device_index(v))
+        .map(|i| &circuit.devices()[i])
+        .collect();
+    for d in devices {
+        out.add_device(d.clone()).expect("unique names inherited from parent");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::GraphOptions;
+    use gana_netlist::parse;
+
+    fn run(src: &str, predictions: &[usize]) -> (Circuit, CircuitGraph, Stage1) {
+        let circuit = parse(src).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("templates parse");
+        let stage = apply(&circuit, &graph, predictions, &library);
+        (circuit, graph, stage)
+    }
+
+    const OTA: &str = "\
+M0 id id gnd! gnd! NMOS
+M1 tail id gnd! gnd! NMOS
+M2 o1 in1 tail gnd! NMOS
+M3 o2 in2 tail gnd! NMOS
+M4 o1 vb vdd! vdd! PMOS
+M5 o2 vb vdd! vdd! PMOS
+";
+
+    #[test]
+    fn majority_smoothing_fixes_stragglers() {
+        let circuit = parse(OTA).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        // All vertices class 0 except one straggler element.
+        let mut preds = vec![0usize; graph.vertex_count()];
+        let m3 = graph.element_vertex("M3").expect("exists");
+        preds[m3] = 1;
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let stage = apply(&circuit, &graph, &preds, &library);
+        assert_eq!(stage.smoothed[m3], 0, "CCC majority must outvote the straggler");
+    }
+
+    #[test]
+    fn sub_blocks_cover_all_elements() {
+        let preds = |g: &CircuitGraph| vec![0usize; g.vertex_count()];
+        let circuit = parse(OTA).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let stage = apply(&circuit, &graph, &preds(&graph), &library);
+        let covered: usize = stage.sub_blocks.iter().map(|b| b.elements.len()).sum();
+        assert_eq!(covered, graph.element_count());
+    }
+
+    #[test]
+    fn same_class_adjacent_cccs_merge() {
+        // Whole OTA is one class: tail mirror CCC + pair CCC + loads share
+        // nets o1/o2/tail, so everything fuses into one sub-block.
+        let circuit = parse(OTA).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let preds = vec![0usize; graph.vertex_count()];
+        let stage = apply(&circuit, &graph, &preds, &library);
+        assert_eq!(stage.sub_blocks.len(), 1, "{:?}", stage.sub_blocks.len());
+        let annotation = &stage.sub_blocks[0].annotation;
+        let names: Vec<&str> = annotation.instances.iter().map(|i| i.primitive.as_str()).collect();
+        assert!(names.contains(&"CM_N2"));
+        assert!(names.contains(&"DP_N"));
+    }
+
+    #[test]
+    fn different_class_cccs_stay_separate() {
+        // Two disjoint mirrors, predicted as different classes.
+        let src = "M0 a a gnd! gnd! NMOS\nM1 b a gnd! gnd! NMOS\nR1 b x 1k\nM2 c c gnd! gnd! NMOS\nM3 d c gnd! gnd! NMOS\nR2 d x 1k\n";
+        let circuit = parse(src).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let mut preds = vec![0usize; graph.vertex_count()];
+        for name in ["M2", "M3", "R2"] {
+            preds[graph.element_vertex(name).expect("exists")] = 1;
+        }
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let stage = apply(&circuit, &graph, &preds, &library);
+        assert_eq!(stage.sub_blocks.len(), 2, "class boundary at shared net x");
+    }
+
+    #[test]
+    fn standalone_inverter_is_separated() {
+        let src = "\
+M0 out in vdd! vdd! PMOS
+M1 out in gnd! gnd! NMOS
+M2 o2 g2 t t NMOS
+M3 o3 g3 t t NMOS
+";
+        let circuit = parse(src).expect("valid");
+        let g0 = CircuitGraph::build(&circuit, GraphOptions::default());
+        let (_, graph, stage) = run(src, &vec![0usize; g0.vertex_count()]);
+        let inv = stage
+            .sub_blocks
+            .iter()
+            .find(|b| b.standalone_label.is_some())
+            .expect("inverter separated");
+        assert_eq!(inv.standalone_label.as_deref(), Some("inv"));
+        assert_eq!(inv.device_names(&graph), vec!["M0", "M1"]);
+    }
+
+    #[test]
+    fn chained_inverters_become_buf() {
+        let src = "\
+M0 mid in vdd! vdd! PMOS
+M1 mid in gnd! gnd! NMOS
+M2 out mid vdd! vdd! PMOS
+M3 out mid gnd! gnd! NMOS
+";
+        let circuit = parse(src).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let preds = vec![0usize; graph.vertex_count()];
+        let stage = apply(&circuit, &graph, &preds, &library);
+        let labels: Vec<&str> = stage
+            .sub_blocks
+            .iter()
+            .filter_map(|b| b.standalone_label.as_deref())
+            .collect();
+        assert_eq!(labels, vec!["buf"], "directly coupled INVs merge into one buffer");
+    }
+
+    #[test]
+    fn prediction_length_is_asserted() {
+        let circuit = parse("R1 a b 1\n").expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let result = std::panic::catch_unwind(|| apply(&circuit, &graph, &[0], &library));
+        assert!(result.is_err(), "short prediction vector must panic");
+    }
+}

@@ -1,0 +1,482 @@
+//! Postprocessing II (paper Section V-A).
+//!
+//! "Knowledge that is specific to circuit classes, based on information
+//! about connections to input/output ports. For example, LNA and mixers
+//! may have structurally similar topologies, but can be differentiated
+//! because an LNA has an antenna input, while a mixer has an oscillating
+//! input."
+//!
+//! Rules implemented (per sub-block, priority order):
+//!
+//! * **RF task** —
+//!   1. touches an `Antenna`-labeled net → `lna`;
+//!   2. has an external `Oscillating`-labeled *gate* input and at least one
+//!      other signal input → `mixer`;
+//!   3. *drives* an `Oscillating`-labeled net from its channel terminals
+//!      (it generates the LO) → `oscillator`;
+//!   4. smoothed class is oscillator but the block has an external signal
+//!      gate input (an oscillator-like core in the signal path) → `bpf`;
+//! * **OTA task** —
+//!   1. contains a differential-pair primitive → `ota`;
+//!   2. touches a `Bias`-labeled net with its channel terminals and has no
+//!      `Input`/`Output` nets → `bias`.
+//!
+//! Anything not covered keeps its smoothed GCN class name.
+
+use crate::pipeline::Task;
+use crate::post1::RawSubBlock;
+use gana_graph::{CircuitGraph, VertexId};
+use gana_netlist::{Circuit, PortLabel};
+use std::collections::BTreeSet;
+
+/// Resolves the final label of every sub-block.
+///
+/// `class_names` maps the GCN class space to names; stand-alone primitives
+/// keep the label Postprocessing I gave them.
+pub fn apply(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    sub_blocks: &[RawSubBlock],
+    class_names: &[String],
+    task: Task,
+) -> Vec<String> {
+    // Net → owning block, for "external input" tests.
+    let mut net_owner: std::collections::HashMap<VertexId, usize> =
+        std::collections::HashMap::new();
+    for (bi, block) in sub_blocks.iter().enumerate() {
+        for &net in &block.nets {
+            net_owner.insert(net, bi);
+        }
+    }
+    let mut labels: Vec<String> = sub_blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, block)| {
+            if let Some(label) = &block.standalone_label {
+                return label.clone();
+            }
+            let fallback = class_names
+                .get(block.gcn_class)
+                .cloned()
+                .unwrap_or_else(|| format!("class{}", block.gcn_class));
+            match task {
+                Task::Rf => rf_label(circuit, graph, block, bi, &net_owner, &fallback, class_names),
+                Task::OtaBias => ota_label(circuit, graph, block, &fallback),
+            }
+        })
+        .collect();
+    if task == Task::Rf {
+        inherit_bias_passives(circuit, graph, sub_blocks, &mut labels);
+        propagate_lo_path(circuit, graph, sub_blocks, &mut labels);
+    }
+    labels
+}
+
+/// RF rule: a block whose *only* gate fan-out is an oscillator-labeled
+/// block is itself part of the LO generation loop (a ring-oscillator stage
+/// never touches the labeled LO net directly). Iterated to a fixed point so
+/// a whole ring converges.
+fn propagate_lo_path(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    sub_blocks: &[RawSubBlock],
+    labels: &mut [String],
+) {
+    let _ = circuit;
+    // block -> blocks consuming its channel nets through gates.
+    let mut owner_of_net: std::collections::HashMap<VertexId, usize> =
+        std::collections::HashMap::new();
+    for (bi, block) in sub_blocks.iter().enumerate() {
+        for &net in &block.nets {
+            owner_of_net.insert(net, bi);
+        }
+    }
+    let mut fan_out: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); sub_blocks.len()];
+    for (bi, block) in sub_blocks.iter().enumerate() {
+        for &e in &block.elements {
+            for &(net, label) in graph.neighbors(e) {
+                if label.has_gate() {
+                    if let Some(&owner) = owner_of_net.get(&net) {
+                        if owner != bi {
+                            fan_out[owner].insert(bi);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for _ in 0..sub_blocks.len().min(8) {
+        let mut changed = false;
+        for bi in 0..sub_blocks.len() {
+            if labels[bi] == "oscillator" || sub_blocks[bi].standalone_label.is_some() {
+                continue;
+            }
+            if !fan_out[bi].is_empty() && fan_out[bi].iter().all(|&c| labels[c] == "oscillator")
+            {
+                labels[bi] = "oscillator".to_string();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Second pass for the RF task: a passive-only block hanging off a
+/// `Bias`-labeled net (the oscillator's tail-bias resistor, a mixer's bias
+/// divider) belongs to the block whose transistor gates that net feeds; a
+/// passive-only block on an `Oscillating` net (a tank inductor) belongs to
+/// the block that drives the net.
+fn inherit_bias_passives(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    sub_blocks: &[RawSubBlock],
+    labels: &mut [String],
+) {
+    // Map: bias net -> block indices with a transistor gate on it.
+    let mut consumers: std::collections::HashMap<VertexId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (bi, block) in sub_blocks.iter().enumerate() {
+        for &e in &block.elements {
+            let Some(kind) = graph.element_kind(e) else { continue };
+            if !kind.is_transistor() {
+                continue;
+            }
+            for &(net, label) in graph.neighbors(e) {
+                if label.has_gate()
+                    && matches!(label_of(circuit, graph, net), Some(PortLabel::Bias))
+                {
+                    consumers.entry(net).or_default().push(bi);
+                }
+            }
+        }
+    }
+    for (bi, block) in sub_blocks.iter().enumerate() {
+        let passive_only = block
+            .elements
+            .iter()
+            .all(|&e| graph.element_kind(e).is_some_and(|k| !k.is_transistor()));
+        if !passive_only || block.elements.is_empty() {
+            continue;
+        }
+        // Labeled distribution nets this block touches.
+        let mut inherited: Option<usize> = None;
+        for &e in &block.elements {
+            for &(net, _) in graph.neighbors(e) {
+                match label_of(circuit, graph, net) {
+                    Some(PortLabel::Bias) => {
+                        if let Some(list) = consumers.get(&net) {
+                            inherited = list.first().copied();
+                        }
+                    }
+                    Some(PortLabel::Oscillating) => {
+                        // Owner = block whose net list contains the LO net.
+                        if let Some(driver) = sub_blocks
+                            .iter()
+                            .position(|b| b.nets.binary_search(&net).is_ok())
+                        {
+                            inherited = Some(driver);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(src) = inherited {
+            if src != bi {
+                labels[bi] = labels[src].clone();
+            }
+        }
+    }
+}
+
+/// All nets a block touches, split into (gate-input nets, channel nets).
+fn block_nets(graph: &CircuitGraph, block: &RawSubBlock) -> (BTreeSet<VertexId>, BTreeSet<VertexId>) {
+    let mut gate_nets = BTreeSet::new();
+    let mut channel_nets = BTreeSet::new();
+    for &e in &block.elements {
+        for &(net, label) in graph.neighbors(e) {
+            if label.has_gate() {
+                gate_nets.insert(net);
+            }
+            if label.touches_channel() || label.bits() == 0 {
+                channel_nets.insert(net);
+            }
+        }
+    }
+    (gate_nets, channel_nets)
+}
+
+fn label_of<'c>(circuit: &'c Circuit, graph: &CircuitGraph, net: VertexId) -> Option<&'c PortLabel> {
+    graph.net_name(net).and_then(|name| circuit.port_label(name))
+}
+
+/// True when any of `start_nets`, or a net reachable from them through at
+/// most `max_hops` passive elements, carries `wanted`.
+fn reaches_label_through_passives(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    start_nets: &BTreeSet<VertexId>,
+    wanted: &PortLabel,
+    max_hops: usize,
+) -> bool {
+    let mut frontier: Vec<VertexId> = start_nets.iter().copied().collect();
+    let mut seen: BTreeSet<VertexId> = start_nets.clone();
+    for _ in 0..=max_hops {
+        for &net in &frontier {
+            if label_of(circuit, graph, net) == Some(wanted) {
+                return true;
+            }
+        }
+        let mut next = Vec::new();
+        for &net in &frontier {
+            let name = graph.net_name(net).expect("net vertex");
+            if circuit.is_supply(name) || circuit.is_ground(name) {
+                continue;
+            }
+            for &(element, _) in graph.neighbors(net) {
+                let Some(kind) = graph.element_kind(element) else { continue };
+                if !kind.is_passive() {
+                    continue;
+                }
+                for &(other, _) in graph.neighbors(element) {
+                    if seen.insert(other) {
+                        next.push(other);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    false
+}
+
+fn rf_label(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    block: &RawSubBlock,
+    block_index: usize,
+    net_owner: &std::collections::HashMap<VertexId, usize>,
+    fallback: &str,
+    class_names: &[String],
+) -> String {
+    let (gate_nets, channel_nets) = block_nets(graph, block);
+    let all_nets: BTreeSet<VertexId> = gate_nets.union(&channel_nets).copied().collect();
+
+    let owned: BTreeSet<VertexId> = block.nets.iter().copied().collect();
+    // An oscillating gate input that the block does not itself drive.
+    let lo_gate_input = gate_nets.iter().any(|&n| {
+        matches!(label_of(circuit, graph, n), Some(PortLabel::Oscillating)) && !owned.contains(&n)
+    });
+    // Signal gate inputs beyond the LO (bias nets and rails excluded).
+    let signal_gate_inputs = gate_nets
+        .iter()
+        .filter(|&&n| !owned.contains(&n))
+        .filter(|&&n| {
+            let name = graph.net_name(n).expect("net vertex");
+            !circuit.is_supply(name) && !circuit.is_ground(name)
+        })
+        .filter(|&&n| {
+            !matches!(
+                label_of(circuit, graph, n),
+                Some(PortLabel::Oscillating) | Some(PortLabel::Bias)
+            )
+        })
+        .count();
+    // Channel/passive connections into nets another block owns: how a
+    // passive mixer's RF (which enters the switch channel, not a gate)
+    // shows up.
+    let external_channel_inputs = channel_nets
+        .iter()
+        .filter(|&&n| {
+            net_owner.get(&n).is_some_and(|&o| o != block_index)
+        })
+        .filter(|&&n| {
+            !matches!(
+                label_of(circuit, graph, n),
+                Some(PortLabel::Oscillating) | Some(PortLabel::Bias)
+            )
+        })
+        .count();
+    // Mixer first: "a mixer has an oscillating input" is decisive even when
+    // the RF input traces back to the antenna through the LNA's passives.
+    if lo_gate_input && (signal_gate_inputs > 0 || external_channel_inputs > 0) {
+        return "mixer".to_string();
+    }
+
+    // "An LNA has an antenna input": the antenna may sit behind a passive
+    // matching network, so search through passive elements a few hops out.
+    if reaches_label_through_passives(circuit, graph, &all_nets, &PortLabel::Antenna, 4) {
+        return "lna".to_string();
+    }
+
+    // The block generates the LO: an oscillating net among its channel
+    // nets that it owns.
+    let drives_lo = channel_nets.iter().any(|&n| {
+        matches!(label_of(circuit, graph, n), Some(PortLabel::Oscillating)) && owned.contains(&n)
+    });
+    if drives_lo {
+        return "oscillator".to_string();
+    }
+
+    // Oscillator-like core sitting in the signal path: the cross-coupled
+    // pair is the structural evidence ("the BPF is identified as a
+    // combination of an oscillator with two input transistors", Section
+    // V-B) — decisive regardless of which class the GCN guessed.
+    let _ = class_names;
+    let has_ccp = block.annotation.instances.iter().any(|i| i.primitive.starts_with("CCP"));
+    if has_ccp && signal_gate_inputs > 0 {
+        return "bpf".to_string();
+    }
+    fallback.to_string()
+}
+
+fn ota_label(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    block: &RawSubBlock,
+    fallback: &str,
+) -> String {
+    let has_dp = block
+        .annotation
+        .instances
+        .iter()
+        .any(|i| i.primitive.starts_with("DP_"));
+    if has_dp {
+        return "ota".to_string();
+    }
+    let (gate_nets, channel_nets) = block_nets(graph, block);
+    let all_nets: BTreeSet<VertexId> = gate_nets.union(&channel_nets).copied().collect();
+    let has_io = all_nets.iter().any(|&n| {
+        matches!(
+            label_of(circuit, graph, n),
+            Some(PortLabel::Input) | Some(PortLabel::Output) | Some(PortLabel::Antenna)
+        )
+    });
+    let drives_bias = channel_nets
+        .iter()
+        .any(|&n| matches!(label_of(circuit, graph, n), Some(PortLabel::Bias)));
+    if drives_bias && !has_io {
+        return "bias".to_string();
+    }
+    fallback.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::post1;
+    use gana_graph::GraphOptions;
+    use gana_netlist::parse;
+    use gana_primitives::PrimitiveLibrary;
+
+    /// Builds Stage1 with every vertex predicted as `fill_class`.
+    fn stage1(
+        src: &str,
+        labels: &[(&str, PortLabel)],
+        fill_class: usize,
+    ) -> (Circuit, CircuitGraph, post1::Stage1) {
+        let mut circuit = parse(src).expect("valid");
+        for (net, label) in labels {
+            circuit.set_port_label(*net, label.clone());
+        }
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let preds = vec![fill_class; graph.vertex_count()];
+        let library = PrimitiveLibrary::standard().expect("parse");
+        let stage = post1::apply(&circuit, &graph, &preds, &library);
+        (circuit, graph, stage)
+    }
+
+    const RF_NAMES: [&str; 3] = ["lna", "mixer", "oscillator"];
+
+    fn rf_names() -> Vec<String> {
+        RF_NAMES.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn antenna_input_forces_lna() {
+        // A block the GCN called "mixer" (class 1) touching the antenna.
+        let (c, g, stage) = stage1(
+            "M0 out ant gnd! gnd! NMOS\nR1 vdd! out 1k\n",
+            &[("ant", PortLabel::Antenna)],
+            1,
+        );
+        let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
+        assert_eq!(labels, vec!["lna"]);
+    }
+
+    #[test]
+    fn oscillating_gate_input_plus_rf_forces_mixer() {
+        // Single-balanced mixer shape misclassified as LNA.
+        let (c, g, stage) = stage1(
+            "M0 t rf gnd! gnd! NMOS\nM1 if lo t gnd! NMOS\nR1 vdd! if 1k\n",
+            &[("lo", PortLabel::Oscillating)],
+            0,
+        );
+        let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
+        assert_eq!(labels, vec!["mixer"]);
+    }
+
+    #[test]
+    fn lo_driver_forces_oscillator() {
+        // Cross-coupled pair driving the oscillating net, called LNA by GCN.
+        let (c, g, stage) = stage1(
+            "M0 lo lon t gnd! NMOS\nM1 lon lo t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\nL1 vdd! lo 1n\nL2 vdd! lon 1n\n",
+            &[("lo", PortLabel::Oscillating)],
+            0,
+        );
+        let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
+        assert!(!labels.is_empty());
+        assert!(labels.iter().all(|l| l == "oscillator"), "{labels:?}");
+    }
+
+    #[test]
+    fn oscillator_in_signal_path_becomes_bpf() {
+        // CCP core with extra gate inputs from an unlabeled signal net,
+        // GCN class oscillator (2).
+        let (c, g, stage) = stage1(
+            "M0 o1 o2 t gnd! NMOS\nM1 o2 o1 t gnd! NMOS\nM2 o1 sig t gnd! NMOS\nM3 t vbb gnd! gnd! NMOS\nL1 vdd! o1 1n\n",
+            &[],
+            2,
+        );
+        let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
+        assert_eq!(labels, vec!["bpf"]);
+    }
+
+    #[test]
+    fn ota_task_dp_forces_ota_and_bias_net_forces_bias() {
+        let (c, g, stage) = stage1(
+            "M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\nM3 vb vb gnd! gnd! NMOS\nR1 vdd! vb 10k\n",
+            &[("vb", PortLabel::Bias)],
+            // GCN got it entirely backwards: everything called "bias".
+            1,
+        );
+        let names = vec!["ota".to_string(), "bias".to_string()];
+        let labels = apply(&c, &g, &stage.sub_blocks, &names, Task::OtaBias);
+        // Block 0 contains DP+tail, block 1 is the diode+R generator.
+        assert!(labels.contains(&"ota".to_string()), "{labels:?}");
+        assert!(labels.contains(&"bias".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn standalone_labels_pass_through() {
+        let (c, g, stage) = stage1(
+            "M0 out in vdd! vdd! PMOS\nM1 out in gnd! gnd! NMOS\nM2 x y t t NMOS\nM3 z w t t NMOS\n",
+            &[],
+            0,
+        );
+        let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
+        assert!(labels.contains(&"inv".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn fallback_keeps_gcn_class_name() {
+        let (c, g, stage) = stage1("M0 a b c c NMOS\nR1 a vdd! 1\n", &[], 1);
+        let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
+        assert_eq!(labels, vec!["mixer"], "no rule fires; smoothed class name stays");
+    }
+}

@@ -1,0 +1,173 @@
+//! Human-readable reports for recognized designs (the textual analogue of
+//! the paper's Fig. 7 classification map).
+
+use crate::pipeline::RecognizedDesign;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a per-class device summary: one line per sub-block label with
+/// device counts and example members.
+pub fn class_summary(design: &RecognizedDesign) -> String {
+    let mut by_label: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for block in &design.sub_blocks {
+        by_label
+            .entry(block.label.as_str())
+            .or_default()
+            .extend(block.devices.iter().map(String::as_str));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "design {}: {} devices, {} nets, {} sub-blocks",
+        design.circuit.name(),
+        design.graph.element_count(),
+        design.graph.net_count(),
+        design.sub_blocks.len()
+    );
+    for (label, devices) in by_label {
+        let preview: Vec<&str> = devices.iter().copied().take(4).collect();
+        let ellipsis = if devices.len() > 4 { ", …" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {label:<12} {:>4} devices  [{}{}]",
+            devices.len(),
+            preview.join(", "),
+            ellipsis
+        );
+    }
+    out
+}
+
+/// Renders the hierarchy tree with primitive and constraint counts.
+pub fn full_report(design: &RecognizedDesign) -> String {
+    let mut out = class_summary(design);
+    let primitives: usize =
+        design.sub_blocks.iter().map(|b| b.annotation.instances.len()).sum();
+    let _ = writeln!(out, "  primitives: {primitives}, constraints: {}", design.constraints.len());
+    let _ = writeln!(out, "hierarchy:");
+    let _ = write!(out, "{}", design.hierarchy);
+    out
+}
+
+/// Renders the hierarchy as a Graphviz `dot` digraph, colored by sub-block
+/// label — the machine-readable analogue of the paper's Fig. 1(b) tree.
+pub fn to_dot(design: &RecognizedDesign) -> String {
+    fn node_id(prefix: &str, index: usize) -> String {
+        format!("n_{prefix}_{index}")
+    }
+    fn color(label: &str) -> String {
+        let h: u32 =
+            label.bytes().fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+        // Hue in [0,1) for Graphviz HSV colors.
+        format!("{:.3} 0.35 0.95", (h % 360) as f64 / 360.0)
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph hierarchy {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, style=filled, fillcolor=white];");
+    let _ = writeln!(
+        out,
+        "  root [label=\"{}\", shape=folder];",
+        design.circuit.name()
+    );
+    let mut counter = 0usize;
+    for (bi, block) in design.sub_blocks.iter().enumerate() {
+        let block_node = node_id("b", bi);
+        let _ = writeln!(
+            out,
+            "  {block_node} [label=\"{}{}\", fillcolor=\"{}\"];",
+            block.label,
+            bi,
+            color(&block.label)
+        );
+        let _ = writeln!(out, "  root -> {block_node};");
+        let mut placed: std::collections::BTreeSet<&str> =
+            std::collections::BTreeSet::new();
+        for inst in &block.annotation.instances {
+            counter += 1;
+            let prim_node = node_id("p", counter);
+            let _ = writeln!(
+                out,
+                "  {prim_node} [label=\"{}\", shape=component];",
+                inst.primitive
+            );
+            let _ = writeln!(out, "  {block_node} -> {prim_node};");
+            for d in &inst.devices {
+                counter += 1;
+                let leaf = node_id("e", counter);
+                let _ = writeln!(out, "  {leaf} [label=\"{d}\", shape=plaintext];");
+                let _ = writeln!(out, "  {prim_node} -> {leaf};");
+                placed.insert(d);
+            }
+        }
+        for d in &block.devices {
+            if !placed.contains(d.as_str()) {
+                counter += 1;
+                let leaf = node_id("e", counter);
+                let _ = writeln!(out, "  {leaf} [label=\"{d}\", shape=plaintext];");
+                let _ = writeln!(out, "  {block_node} -> {leaf};");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, Task};
+    use gana_gnn::{GcnConfig, GcnModel};
+    use gana_primitives::PrimitiveLibrary;
+
+    fn design() -> RecognizedDesign {
+        let config = GcnConfig {
+            conv_channels: vec![4, 4],
+            filter_order: 2,
+            fc_dim: 8,
+            num_classes: 2,
+            dropout: 0.0,
+            batch_norm: false,
+            ..GcnConfig::default()
+        };
+        let pipeline = Pipeline::new(
+            GcnModel::new(config).expect("valid"),
+            vec!["ota".to_string(), "bias".to_string()],
+            PrimitiveLibrary::standard().expect("parse"),
+            Task::OtaBias,
+        );
+        let circuit = gana_netlist::parse(
+            "M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\n",
+        )
+        .expect("valid");
+        pipeline.recognize(&circuit).expect("runs")
+    }
+
+    #[test]
+    fn class_summary_lists_labels_and_counts() {
+        let text = class_summary(&design());
+        assert!(text.contains("3 devices"), "{text}");
+        assert!(text.contains("sub-blocks"), "{text}");
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let text = to_dot(&design());
+        assert!(text.starts_with("digraph hierarchy {"));
+        assert!(text.trim_end().ends_with('}'));
+        assert!(text.contains("root ->"), "{text}");
+        assert!(text.contains("DP_N"), "{text}");
+        assert!(text.contains("M0"), "{text}");
+        // Balanced braces and quotes.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn full_report_includes_hierarchy() {
+        let text = full_report(&design());
+        assert!(text.contains("hierarchy:"), "{text}");
+        assert!(text.contains("[system]"), "{text}");
+        assert!(text.contains("M0 [element]"), "{text}");
+    }
+}

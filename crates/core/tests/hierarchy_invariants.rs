@@ -1,0 +1,113 @@
+//! Property tests on the recognition pipeline's structural invariants,
+//! independent of model quality: partition, coverage, label consistency.
+
+use gana_core::{Pipeline, Task};
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_primitives::PrimitiveLibrary;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn pipeline(seed: u64) -> Pipeline {
+    let config = GcnConfig {
+        conv_channels: vec![4, 4],
+        filter_order: 2,
+        fc_dim: 8,
+        num_classes: 2,
+        dropout: 0.0,
+        batch_norm: false,
+        seed,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid"),
+        vec!["ota".to_string(), "bias".to_string()],
+        PrimitiveLibrary::standard().expect("templates"),
+        Task::OtaBias,
+    )
+}
+
+/// Strategy: a random connected-ish analog-looking circuit as SPICE text.
+fn random_circuit() -> impl Strategy<Value = String> {
+    (2usize..14, 0u64..500).prop_map(|(n, seed)| {
+        let mut text = String::new();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move |m: u64| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state % m
+        };
+        for i in 0..n {
+            // Random device touching earlier nets so things stay connected.
+            let a = next(i as u64 + 2);
+            let b = next(i as u64 + 2);
+            match next(4) {
+                0 => text.push_str(&format!("M{i} n{i} n{a} gnd! gnd! NMOS\n")),
+                1 => text.push_str(&format!("M{i} n{i} n{a} n{b} gnd! NMOS\n")),
+                2 => text.push_str(&format!("R{i} n{i} n{a} 1k\n")),
+                _ => text.push_str(&format!("C{i} n{i} n{b} 1p\n")),
+            }
+        }
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sub-blocks partition the element vertices: every device in exactly
+    /// one block, and the hierarchy lists every device exactly once.
+    #[test]
+    fn sub_blocks_partition_devices(src in random_circuit(), seed in 0u64..20) {
+        let pipeline = pipeline(seed);
+        let circuit = gana_netlist::parse(&src).expect("generated SPICE parses");
+        let design = pipeline.recognize(&circuit).expect("pipeline runs");
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for block in &design.sub_blocks {
+            for d in &block.devices {
+                prop_assert!(seen.insert(d), "device {d} in two blocks");
+            }
+        }
+        prop_assert_eq!(seen.len(), design.graph.element_count());
+        let tree_elements = design.hierarchy.elements();
+        prop_assert_eq!(tree_elements.len(), design.graph.element_count());
+        let tree_set: BTreeSet<&str> = tree_elements.into_iter().collect();
+        prop_assert_eq!(tree_set, seen);
+    }
+
+    /// Per-vertex final labels agree with the owning block's label, and
+    /// every label is a known name.
+    #[test]
+    fn labels_are_consistent(src in random_circuit(), seed in 0u64..20) {
+        let pipeline = pipeline(seed);
+        let circuit = gana_netlist::parse(&src).expect("parses");
+        let design = pipeline.recognize(&circuit).expect("runs");
+        for block in &design.sub_blocks {
+            for &v in &block.elements {
+                prop_assert_eq!(&design.final_label[v], &block.label);
+            }
+        }
+        for label in &design.final_label {
+            prop_assert!(
+                ["ota", "bias", "inv", "buf"].contains(&label.as_str()),
+                "unexpected label {label}"
+            );
+        }
+    }
+
+    /// Constraint members always reference devices that exist.
+    #[test]
+    fn constraints_reference_real_devices(src in random_circuit(), seed in 0u64..20) {
+        let pipeline = pipeline(seed);
+        let circuit = gana_netlist::parse(&src).expect("parses");
+        let design = pipeline.recognize(&circuit).expect("runs");
+        for c in &design.constraints {
+            for m in &c.members {
+                prop_assert!(
+                    design.circuit.device(m).is_some(),
+                    "constraint member {m} is not a device"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! A small builder for assembling labeled circuits from blocks.
+
+use crate::LabeledCircuit;
+use gana_netlist::{Circuit, Device, DeviceKind, PortLabel};
+use std::collections::BTreeMap;
+
+/// Incrementally builds a [`LabeledCircuit`], tracking classes as devices
+/// are added and scoping names with a per-block prefix.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    circuit: Circuit,
+    device_class: BTreeMap<String, usize>,
+    net_class: BTreeMap<String, usize>,
+    class_names: Vec<String>,
+    prefix: String,
+    current_class: usize,
+    counter: usize,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit called `name` with the given classes.
+    pub fn new(name: impl Into<String>, class_names: &[&str]) -> CircuitBuilder {
+        let name = name.into();
+        CircuitBuilder {
+            circuit: Circuit::new(name.clone()),
+            name,
+            device_class: BTreeMap::new(),
+            net_class: BTreeMap::new(),
+            class_names: class_names.iter().map(|s| s.to_string()).collect(),
+            prefix: String::new(),
+            current_class: 0,
+            counter: 0,
+        }
+    }
+
+    /// Enters a block scope: device/net names created by `local`/`device`
+    /// are prefixed `prefix_`, and everything added is labeled `class`.
+    pub fn block(&mut self, prefix: &str, class: usize) -> &mut Self {
+        self.prefix = prefix.to_string();
+        self.current_class = class;
+        self
+    }
+
+    /// A block-scoped net name (`lna1_n3`), labeled with the current class.
+    pub fn local(&mut self, net: &str) -> String {
+        let name = if self.prefix.is_empty() {
+            net.to_string()
+        } else {
+            format!("{}_{net}", self.prefix)
+        };
+        self.net_class.insert(name.clone(), self.current_class);
+        name
+    }
+
+    /// Labels an existing (shared/boundary) net with the current class
+    /// without renaming it. First label wins, mirroring "a net that is the
+    /// output of one sub-block and the input of another" belonging to both:
+    /// ground truth keeps the driver's class.
+    pub fn claim_net(&mut self, net: &str) {
+        self.net_class.entry(net.to_string()).or_insert(self.current_class);
+    }
+
+    /// Forcibly re-labels a net with the current class; used when the block
+    /// that *drives* a net is built after the block that named it (bias
+    /// gates are created inside the amplifier scope but belong to the bias
+    /// network).
+    pub fn relabel_net(&mut self, net: &str) {
+        self.net_class.insert(net.to_string(), self.current_class);
+    }
+
+    fn next_name(&mut self, letter: char) -> String {
+        self.counter += 1;
+        if self.prefix.is_empty() {
+            format!("{letter}{}", self.counter)
+        } else {
+            format!("{letter}{}_{}", self.counter, self.prefix)
+        }
+    }
+
+    /// Adds a MOS transistor; returns its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (builder-generated names never collide).
+    pub fn mos(&mut self, kind: DeviceKind, d: &str, g: &str, s: &str, b: &str) -> String {
+        let name = self.next_name('M');
+        let model = if kind == DeviceKind::Pmos { "PMOS" } else { "NMOS" };
+        let device = Device::new(
+            name.clone(),
+            kind,
+            vec![d.to_string(), g.to_string(), s.to_string(), b.to_string()],
+        )
+        .expect("4 terminals")
+        .with_model(model);
+        self.device_class.insert(name.clone(), self.current_class);
+        self.circuit.add_device(device).expect("generated names are unique");
+        name
+    }
+
+    /// Adds a two-terminal passive or source; returns its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (builder-generated names never collide).
+    pub fn two_terminal(&mut self, kind: DeviceKind, a: &str, b: &str, value: f64) -> String {
+        let letter = kind.card_letter();
+        let name = self.next_name(letter);
+        let device = Device::new(name.clone(), kind, vec![a.to_string(), b.to_string()])
+            .expect("2 terminals")
+            .with_value(value);
+        self.device_class.insert(name.clone(), self.current_class);
+        self.circuit.add_device(device).expect("generated names are unique");
+        name
+    }
+
+    /// Shorthand for a resistor.
+    pub fn resistor(&mut self, a: &str, b: &str, ohms: f64) -> String {
+        self.two_terminal(DeviceKind::Resistor, a, b, ohms)
+    }
+
+    /// Shorthand for a capacitor.
+    pub fn capacitor(&mut self, a: &str, b: &str, farads: f64) -> String {
+        self.two_terminal(DeviceKind::Capacitor, a, b, farads)
+    }
+
+    /// Shorthand for an inductor.
+    pub fn inductor(&mut self, a: &str, b: &str, henries: f64) -> String {
+        self.two_terminal(DeviceKind::Inductor, a, b, henries)
+    }
+
+    /// Attaches a designer port label (Postprocessing II input).
+    pub fn port_label(&mut self, net: &str, label: PortLabel) -> &mut Self {
+        self.circuit.set_port_label(net, label);
+        self
+    }
+
+    /// Number of devices added so far.
+    pub fn device_count(&self) -> usize {
+        self.circuit.device_count()
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> LabeledCircuit {
+        LabeledCircuit {
+            name: self.name,
+            circuit: self.circuit,
+            device_class: self.device_class,
+            net_class: self.net_class,
+            class_names: self.class_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_scope_names_and_classes() {
+        let mut b = CircuitBuilder::new("t", &["a", "b"]);
+        b.block("core", 0);
+        let n1 = b.local("n1");
+        assert_eq!(n1, "core_n1");
+        let m = b.mos(DeviceKind::Nmos, &n1, "in", "gnd!", "gnd!");
+        b.block("bias", 1);
+        let r = b.resistor("vdd!", &n1, 1e3);
+        let lc = b.finish();
+        assert_eq!(lc.device_class[&m], 0);
+        assert_eq!(lc.device_class[&r], 1);
+        assert_eq!(lc.net_class["core_n1"], 0);
+        assert_eq!(lc.circuit.device_count(), 2);
+    }
+
+    #[test]
+    fn claim_net_first_label_wins() {
+        let mut b = CircuitBuilder::new("t", &["a", "b"]);
+        b.block("x", 0);
+        b.claim_net("shared");
+        b.block("y", 1);
+        b.claim_net("shared");
+        let lc = b.finish();
+        assert_eq!(lc.net_class["shared"], 0);
+    }
+
+    #[test]
+    fn generated_names_are_unique() {
+        let mut b = CircuitBuilder::new("t", &["a"]);
+        b.block("p", 0);
+        let m1 = b.mos(DeviceKind::Nmos, "a", "b", "c", "c");
+        let m2 = b.mos(DeviceKind::Nmos, "a", "b", "c", "c");
+        assert_ne!(m1, m2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Synthetic labeled analog-circuit corpora for the GANA reproduction.
+//!
+//! The paper's training data was hand-collected from textbooks and papers
+//! (Razavi, Garde et al., Bevilacqua–Niknejad, …) — sources we cannot
+//! redistribute. This crate substitutes **parameterized topology
+//! generators** that emit SPICE-level circuits with per-vertex ground
+//! truth, exercising the same variant axes the paper cites:
+//!
+//! * [`ota`] — OTA + bias-network circuits (Table I "OTA bias": 2 classes,
+//!   signal vs. bias): 5T, telescopic, folded-cascode, Miller two-stage,
+//!   fully-differential CMFB, and current-mirror OTA topologies × NMOS/PMOS
+//!   input polarity × several bias-network styles × sizing/dummy jitter;
+//! * [`rf`] — RF receivers (Table I "RF data": 3 classes, LNA / mixer /
+//!   oscillator): cascode and inductively degenerated and shunt-feedback
+//!   LNAs, Gilbert / single-balanced / passive mixers, LC cross-coupled and
+//!   ring oscillators;
+//! * [`sc_filter`] — the Table II switched-capacitor filter testcase
+//!   (a telescopic OTA unseen during training, plus switch/cap arrays);
+//! * [`phased_array`] — the Fig. 7 phased-array system: LNA + BPF + mixer
+//!   chains per channel, a shared LO with buffer and inverter amplifiers
+//!   (sized to the paper's 522 devices + 380 nets scale);
+//! * [`mutate`] — sizing jitter, parallel-device splits, dummies, decaps:
+//!   the "netlist features that help performance but do not affect
+//!   functionality" the preprocessing stage must fold away.
+//!
+//! All generators are deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod corpus;
+mod labeled;
+pub mod mutate;
+pub mod ota;
+pub mod phased_array;
+pub mod rf;
+pub mod sc_filter;
+
+pub use builder::CircuitBuilder;
+pub use corpus::{Corpus, CorpusStats};
+pub use labeled::LabeledCircuit;
+
+/// Class ids for the OTA-bias task (2 classes, Table I row 1).
+pub mod ota_classes {
+    /// OTA signal-path devices and nets.
+    pub const OTA: usize = 0;
+    /// Bias-network devices and nets.
+    pub const BIAS: usize = 1;
+    /// Class display names, indexed by class id.
+    pub const NAMES: [&str; 2] = ["ota", "bias"];
+}
+
+/// Class ids for the RF task (3 classes, Table I row 2).
+pub mod rf_classes {
+    /// Low-noise amplifier.
+    pub const LNA: usize = 0;
+    /// Mixer.
+    pub const MIXER: usize = 1;
+    /// Oscillator.
+    pub const OSC: usize = 2;
+    /// Class display names, indexed by class id.
+    pub const NAMES: [&str; 3] = ["lna", "mixer", "oscillator"];
+}
+
+/// Class ids for the phased-array system's *final* ground truth (Fig. 7).
+///
+/// The GCN itself only knows the three RF classes; BPF, BUF, and INV are
+/// separated by postprocessing (Section V-B).
+pub mod phased_classes {
+    /// Low-noise amplifier (green in Fig. 7).
+    pub const LNA: usize = 0;
+    /// Mixer (red).
+    pub const MIXER: usize = 1;
+    /// Oscillator (gray).
+    pub const OSC: usize = 2;
+    /// Band-pass filter (orange).
+    pub const BPF: usize = 3;
+    /// VCO buffer (violet).
+    pub const BUF: usize = 4;
+    /// Inverter-based amplifier (violet).
+    pub const INV: usize = 5;
+    /// Class display names, indexed by class id.
+    pub const NAMES: [&str; 6] = ["lna", "mixer", "oscillator", "bpf", "buf", "inv"];
+}

@@ -1,0 +1,182 @@
+//! Functionality-preserving netlist mutations.
+//!
+//! These reproduce the "netlist features that help performance but do not
+//! affect functionality" (paper Section II-B): sizing parameters, parallel
+//! transistor splits, dummy devices, and rail decaps. Generators apply them
+//! so the corpus exercises the preprocessing stage, and so no two circuits
+//! are byte-identical.
+
+use crate::LabeledCircuit;
+use gana_netlist::{Device, DeviceKind, MosTerminal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities of each mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationConfig {
+    /// Probability of splitting a transistor into two parallel halves.
+    pub split_parallel: f64,
+    /// Probability of adding a dummy transistor next to a real one.
+    pub add_dummy: f64,
+    /// Probability of adding a supply decap.
+    pub add_decap: f64,
+    /// Always jitter W/L parameters.
+    pub jitter_sizes: bool,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            split_parallel: 0.15,
+            add_dummy: 0.25,
+            add_decap: 0.3,
+            jitter_sizes: true,
+        }
+    }
+}
+
+impl MutationConfig {
+    /// Disables all mutations (for size-exact testcases).
+    pub fn none() -> MutationConfig {
+        MutationConfig { split_parallel: 0.0, add_dummy: 0.0, add_decap: 0.0, jitter_sizes: false }
+    }
+}
+
+/// Applies mutations, keeping the ground-truth maps consistent: split
+/// halves and dummies inherit the class of the device they derive from.
+pub fn apply(mut lc: LabeledCircuit, config: MutationConfig, seed: u64) -> LabeledCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    if config.jitter_sizes {
+        for d in lc.circuit.devices_mut() {
+            if d.kind().is_transistor() {
+                d.set_param("w", 0.5e-6 * rng.gen_range(1.0..8.0));
+                d.set_param("l", 0.18e-6 * rng.gen_range(1.0..4.0));
+            }
+        }
+    }
+
+    // Split some transistors into two parallel halves (m-factor idiom).
+    let originals: Vec<Device> = lc.circuit.devices().to_vec();
+    for d in &originals {
+        if d.kind().is_transistor() && rng.gen::<f64>() < config.split_parallel {
+            let half_name = format!("{}_split", d.name());
+            let mut half = d.clone();
+            half.set_name(half_name.clone());
+            if lc.circuit.add_device(half).is_ok() {
+                let class = lc.device_class.get(d.name()).copied();
+                if let Some(c) = class {
+                    lc.device_class.insert(half_name, c);
+                }
+            }
+        }
+    }
+
+    // Dummy devices alongside a few transistors: fully strapped to the
+    // device's source net (removed by preprocessing).
+    for d in &originals {
+        if d.kind().is_transistor() && rng.gen::<f64>() < config.add_dummy {
+            let src = d
+                .mos_terminal(MosTerminal::Source)
+                .expect("transistor has source")
+                .to_string();
+            let name = format!("{}_dummy", d.name());
+            let dummy = Device::new(
+                name.clone(),
+                d.kind(),
+                vec![src.clone(), src.clone(), src.clone(), src],
+            )
+            .expect("4 terminals")
+            .with_model(if d.kind() == DeviceKind::Pmos { "PMOS" } else { "NMOS" });
+            if lc.circuit.add_device(dummy).is_ok() {
+                if let Some(&c) = lc.device_class.get(d.name()) {
+                    lc.device_class.insert(name, c);
+                }
+            }
+        }
+    }
+
+    if rng.gen::<f64>() < config.add_decap {
+        let name = "Cdecap0".to_string();
+        let decap = Device::new(name.clone(), DeviceKind::Capacitor, vec![
+            "vdd!".to_string(),
+            "gnd!".to_string(),
+        ])
+        .expect("2 terminals")
+        .with_value(10e-12);
+        if lc.circuit.add_device(decap).is_ok() {
+            // Rail decaps belong to no functional class.
+        }
+    }
+    lc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn base() -> LabeledCircuit {
+        let mut b = CircuitBuilder::new("m", &["a", "b"]);
+        b.block("core", 0);
+        b.mos(DeviceKind::Nmos, "d", "g", "s", "s");
+        b.mos(DeviceKind::Nmos, "e", "g", "s", "s");
+        b.finish()
+    }
+
+    #[test]
+    fn none_config_is_identity_except_nothing() {
+        let lc = base();
+        let out = apply(lc.clone(), MutationConfig::none(), 0);
+        assert_eq!(lc, out);
+    }
+
+    #[test]
+    fn jitter_sets_sizes() {
+        let out = apply(base(), MutationConfig { split_parallel: 0.0, add_dummy: 0.0, add_decap: 0.0, jitter_sizes: true }, 1);
+        for d in out.circuit.devices() {
+            assert!(d.param("w").is_some());
+            assert!(d.param("l").is_some());
+        }
+    }
+
+    #[test]
+    fn splits_inherit_class() {
+        let cfg = MutationConfig { split_parallel: 1.0, add_dummy: 0.0, add_decap: 0.0, jitter_sizes: false };
+        let out = apply(base(), cfg, 2);
+        assert!(out.device_class.contains_key("M1_core_split"));
+        assert_eq!(out.device_class["M1_core_split"], out.device_class["M1_core"]);
+    }
+
+    #[test]
+    fn dummies_are_fully_strapped() {
+        let cfg = MutationConfig { split_parallel: 0.0, add_dummy: 1.0, add_decap: 0.0, jitter_sizes: false };
+        let out = apply(base(), cfg, 3);
+        let dummy = out.circuit.device("M1_core_dummy").expect("added");
+        let t = dummy.terminals();
+        assert!(t.iter().all(|n| n == &t[0]), "dummy terminals all on one net");
+    }
+
+    #[test]
+    fn decap_straps_rails_and_is_unlabeled() {
+        let cfg = MutationConfig { split_parallel: 0.0, add_dummy: 0.0, add_decap: 1.0, jitter_sizes: false };
+        let out = apply(base(), cfg, 4);
+        let decap = out.circuit.device("Cdecap0").expect("added");
+        assert_eq!(decap.terminals(), ["vdd!", "gnd!"]);
+        assert!(!out.device_class.contains_key("Cdecap0"));
+    }
+
+    #[test]
+    fn mutated_circuit_preprocesses_back_to_core() {
+        let cfg = MutationConfig { split_parallel: 1.0, add_dummy: 1.0, add_decap: 1.0, jitter_sizes: false };
+        let out = apply(base(), cfg, 5);
+        assert!(out.circuit.device_count() > 2);
+        let (clean, report) = gana_netlist::preprocess(
+            &out.circuit,
+            gana_netlist::PreprocessOptions::default(),
+        )
+        .expect("preprocess");
+        assert_eq!(clean.transistor_count(), 2, "splits merged, dummies dropped");
+        assert!(report.eliminated() >= 3);
+    }
+}

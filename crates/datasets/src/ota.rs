@@ -1,0 +1,421 @@
+//! OTA + bias-network circuit generator (Table I "OTA bias" substitute).
+//!
+//! Emits the variant axes the paper attributes to its textbook corpus:
+//! "well over 100 widely used OTA topologies of various types (e.g.,
+//! telescopic, folded cascode, Miller-compensated)" — six topology
+//! families × input polarity × four bias-network styles × sizing and
+//! dummy/decap jitter. Every device and internal net carries a signal/bias
+//! ground-truth class.
+
+use crate::builder::CircuitBuilder;
+use crate::mutate::{self, MutationConfig};
+use crate::{ota_classes, Corpus, LabeledCircuit};
+use gana_netlist::{DeviceKind, PortLabel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// OTA topology families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OtaTopology {
+    /// Five-transistor single-ended OTA.
+    FiveT,
+    /// Fully differential telescopic cascode.
+    Telescopic,
+    /// Folded cascode.
+    FoldedCascode,
+    /// Miller-compensated two-stage.
+    Miller,
+    /// Fully differential pair with resistive common-mode feedback.
+    FullyDifferential,
+    /// Symmetrical (current-mirror) OTA.
+    SymmetricCm,
+}
+
+impl OtaTopology {
+    /// All topology families, used to enumerate the corpus.
+    pub const ALL: [OtaTopology; 6] = [
+        OtaTopology::FiveT,
+        OtaTopology::Telescopic,
+        OtaTopology::FoldedCascode,
+        OtaTopology::Miller,
+        OtaTopology::FullyDifferential,
+        OtaTopology::SymmetricCm,
+    ];
+}
+
+/// Bias-network styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BiasStyle {
+    /// Resistor from the far rail into a diode-connected device.
+    DiodeResistor,
+    /// Diode-connected reference mirrored to a second branch.
+    MirrorRef,
+    /// Two stacked diode-connected devices.
+    CascodeStack,
+    /// Resistor divider driving the bias gate, with a bypass capacitor.
+    ResistorDivider,
+}
+
+impl BiasStyle {
+    /// All bias styles, used to enumerate the corpus.
+    pub const ALL: [BiasStyle; 4] = [
+        BiasStyle::DiodeResistor,
+        BiasStyle::MirrorRef,
+        BiasStyle::CascodeStack,
+        BiasStyle::ResistorDivider,
+    ];
+}
+
+/// Full specification of one generated OTA circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OtaSpec {
+    /// Topology family.
+    pub topology: OtaTopology,
+    /// PMOS-input flavor (swaps device polarities and rails).
+    pub pmos_input: bool,
+    /// Bias network style.
+    pub bias: BiasStyle,
+    /// Seed controlling sizing jitter and dummy/decap insertion.
+    pub seed: u64,
+}
+
+struct Polarity {
+    inner: DeviceKind,
+    load: DeviceKind,
+    inner_rail: &'static str,
+    load_rail: &'static str,
+}
+
+fn polarity(pmos_input: bool) -> Polarity {
+    if pmos_input {
+        Polarity { inner: DeviceKind::Pmos, load: DeviceKind::Nmos, inner_rail: "vdd!", load_rail: "gnd!" }
+    } else {
+        Polarity { inner: DeviceKind::Nmos, load: DeviceKind::Pmos, inner_rail: "gnd!", load_rail: "vdd!" }
+    }
+}
+
+/// Generates one OTA + bias circuit from a specification.
+pub fn generate(spec: OtaSpec) -> LabeledCircuit {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let p = polarity(spec.pmos_input);
+    let name = format!(
+        "ota_{:?}_{}_{:?}_{}",
+        spec.topology,
+        if spec.pmos_input { "p" } else { "n" },
+        spec.bias,
+        spec.seed
+    );
+    let mut b = CircuitBuilder::new(name, &ota_classes::NAMES);
+
+    // --- OTA core (class 0) ---
+    b.block("ota", ota_classes::OTA);
+    let inp = b.local("inp");
+    let inn = b.local("inn");
+    let tail = b.local("tail");
+    let vb = b.local("vb_main"); // main bias gate net: produced by bias block
+    match spec.topology {
+        OtaTopology::FiveT => {
+            let n1 = b.local("n1");
+            let out = b.local("out");
+            b.mos(p.inner, &n1, &inp, &tail, p.inner_rail);
+            b.mos(p.inner, &out, &inn, &tail, p.inner_rail);
+            b.mos(p.load, &n1, &n1, p.load_rail, p.load_rail);
+            b.mos(p.load, &out, &n1, p.load_rail, p.load_rail);
+            b.mos(p.inner, &tail, &vb, p.inner_rail, p.inner_rail);
+            b.port_label(&out, PortLabel::Output);
+        }
+        OtaTopology::Telescopic => {
+            let (x1, x2) = (b.local("x1"), b.local("x2"));
+            let (outp, outn) = (b.local("outp"), b.local("outn"));
+            let (c1, c2) = (b.local("c1"), b.local("c2"));
+            let vbc = b.local("vb_casc");
+            b.mos(p.inner, &x1, &inp, &tail, p.inner_rail);
+            b.mos(p.inner, &x2, &inn, &tail, p.inner_rail);
+            // Inner cascodes.
+            b.mos(p.inner, &outn, &vbc, &x1, p.inner_rail);
+            b.mos(p.inner, &outp, &vbc, &x2, p.inner_rail);
+            // Load cascodes.
+            b.mos(p.load, &outn, &vbc, &c1, p.load_rail);
+            b.mos(p.load, &outp, &vbc, &c2, p.load_rail);
+            b.mos(p.load, &c1, &c1, p.load_rail, p.load_rail);
+            b.mos(p.load, &c2, &c1, p.load_rail, p.load_rail);
+            b.mos(p.inner, &tail, &vb, p.inner_rail, p.inner_rail);
+            b.port_label(&outp, PortLabel::Output);
+        }
+        OtaTopology::FoldedCascode => {
+            let (x1, x2) = (b.local("x1"), b.local("x2"));
+            let (outp, outn) = (b.local("outp"), b.local("outn"));
+            let vbc = b.local("vb_casc");
+            b.mos(p.inner, &x1, &inp, &tail, p.inner_rail);
+            b.mos(p.inner, &x2, &inn, &tail, p.inner_rail);
+            b.mos(p.inner, &tail, &vb, p.inner_rail, p.inner_rail);
+            // Folding current sources on the load rail.
+            b.mos(p.load, &x1, &vb, p.load_rail, p.load_rail);
+            b.mos(p.load, &x2, &vb, p.load_rail, p.load_rail);
+            // Folded cascodes.
+            b.mos(p.load, &outn, &vbc, &x1, p.load_rail);
+            b.mos(p.load, &outp, &vbc, &x2, p.load_rail);
+            // Output mirror on the inner rail.
+            b.mos(p.inner, &outn, &outn, p.inner_rail, p.inner_rail);
+            b.mos(p.inner, &outp, &outn, p.inner_rail, p.inner_rail);
+            b.port_label(&outp, PortLabel::Output);
+        }
+        OtaTopology::Miller => {
+            let n1 = b.local("n1");
+            let o1 = b.local("o1");
+            let out = b.local("out");
+            b.mos(p.inner, &n1, &inp, &tail, p.inner_rail);
+            b.mos(p.inner, &o1, &inn, &tail, p.inner_rail);
+            b.mos(p.load, &n1, &n1, p.load_rail, p.load_rail);
+            b.mos(p.load, &o1, &n1, p.load_rail, p.load_rail);
+            b.mos(p.inner, &tail, &vb, p.inner_rail, p.inner_rail);
+            // Second stage: common-source with current-source load.
+            b.mos(p.load, &out, &o1, p.load_rail, p.load_rail);
+            b.mos(p.inner, &out, &vb, p.inner_rail, p.inner_rail);
+            // Miller compensation RC.
+            let mid = b.local("cc_mid");
+            b.resistor(&o1, &mid, 2e3 * rng.gen_range(0.5..2.0));
+            b.capacitor(&mid, &out, 1e-12 * rng.gen_range(0.5..4.0));
+            b.port_label(&out, PortLabel::Output);
+        }
+        OtaTopology::FullyDifferential => {
+            let (outp, outn) = (b.local("outp"), b.local("outn"));
+            let vcmfb = b.local("vcmfb");
+            let vcm = b.local("vcm");
+            b.mos(p.inner, &outn, &inp, &tail, p.inner_rail);
+            b.mos(p.inner, &outp, &inn, &tail, p.inner_rail);
+            b.mos(p.load, &outn, &vcmfb, p.load_rail, p.load_rail);
+            b.mos(p.load, &outp, &vcmfb, p.load_rail, p.load_rail);
+            b.mos(p.inner, &tail, &vb, p.inner_rail, p.inner_rail);
+            // Resistive common-mode sense + single-device CMFB amp.
+            b.resistor(&outp, &vcm, 50e3);
+            b.resistor(&outn, &vcm, 50e3);
+            b.mos(p.load, &vcmfb, &vcm, p.load_rail, p.load_rail);
+            b.mos(p.inner, &vcmfb, &vb, p.inner_rail, p.inner_rail);
+            b.port_label(&outp, PortLabel::Output);
+        }
+        OtaTopology::SymmetricCm => {
+            let (y1, y2) = (b.local("y1"), b.local("y2"));
+            let out = b.local("out");
+            let w = b.local("w");
+            b.mos(p.inner, &y1, &inp, &tail, p.inner_rail);
+            b.mos(p.inner, &y2, &inn, &tail, p.inner_rail);
+            b.mos(p.load, &y1, &y1, p.load_rail, p.load_rail);
+            b.mos(p.load, &y2, &y2, p.load_rail, p.load_rail);
+            b.mos(p.load, &w, &y1, p.load_rail, p.load_rail);
+            b.mos(p.load, &out, &y2, p.load_rail, p.load_rail);
+            b.mos(p.inner, &w, &w, p.inner_rail, p.inner_rail);
+            b.mos(p.inner, &out, &w, p.inner_rail, p.inner_rail);
+            b.mos(p.inner, &tail, &vb, p.inner_rail, p.inner_rail);
+            b.port_label(&out, PortLabel::Output);
+        }
+    }
+    b.port_label(&inp, PortLabel::Input);
+    b.port_label(&inn, PortLabel::Input);
+
+    // --- Bias network (class 1) ---
+    b.block("bias", ota_classes::BIAS);
+    b.relabel_net(&vb);
+    b.port_label(&vb, PortLabel::Bias);
+    match spec.bias {
+        BiasStyle::DiodeResistor => {
+            b.mos(p.inner, &vb, &vb, p.inner_rail, p.inner_rail);
+            b.resistor(p.load_rail, &vb, 40e3 * rng.gen_range(0.5..2.0));
+        }
+        BiasStyle::MirrorRef => {
+            let ref_net = b.local("ref");
+            b.port_label(&ref_net, PortLabel::Bias);
+            b.mos(p.inner, &ref_net, &ref_net, p.inner_rail, p.inner_rail);
+            b.resistor(p.load_rail, &ref_net, 60e3 * rng.gen_range(0.5..2.0));
+            b.mos(p.inner, &vb, &ref_net, p.inner_rail, p.inner_rail);
+            b.mos(p.load, &vb, &vb, p.load_rail, p.load_rail);
+        }
+        BiasStyle::CascodeStack => {
+            let mid = b.local("stack_mid");
+            b.mos(p.inner, &vb, &vb, &mid, p.inner_rail);
+            b.mos(p.inner, &mid, &mid, p.inner_rail, p.inner_rail);
+            b.resistor(p.load_rail, &vb, 30e3 * rng.gen_range(0.5..2.0));
+        }
+        BiasStyle::ResistorDivider => {
+            b.resistor(p.load_rail, &vb, 100e3);
+            b.resistor(&vb, p.inner_rail, 100e3 * rng.gen_range(0.8..1.2));
+            b.capacitor(&vb, p.inner_rail, 5e-12);
+        }
+    }
+    // Cascode topologies created a vb_casc gate net; give it a generator.
+    let mut lc = b.finish();
+    if let Some(vbc) = lc.circuit.nets().into_iter().find(|n| n.ends_with("vb_casc")) {
+        append_cascode_bias(&mut lc, &vbc, &p);
+    }
+
+    mutate::apply(lc, MutationConfig::default(), spec.seed ^ 0x5eed)
+}
+
+/// Adds a diode + resistor generator for the cascode bias net.
+fn append_cascode_bias(lc: &mut LabeledCircuit, vbc: &str, p: &Polarity) {
+    let model = |k: DeviceKind| if k == DeviceKind::Pmos { "PMOS" } else { "NMOS" };
+    let diode = gana_netlist::Device::new(
+        "Mbc1",
+        p.inner,
+        vec![vbc.to_string(), vbc.to_string(), p.inner_rail.to_string(), p.inner_rail.to_string()],
+    )
+    .expect("4 terminals")
+    .with_model(model(p.inner));
+    let res = gana_netlist::Device::new(
+        "Rbc1",
+        DeviceKind::Resistor,
+        vec![p.load_rail.to_string(), vbc.to_string()],
+    )
+    .expect("2 terminals")
+    .with_value(50e3);
+    lc.circuit.add_device(diode).expect("unique name");
+    lc.circuit.add_device(res).expect("unique name");
+    lc.device_class.insert("Mbc1".to_string(), ota_classes::BIAS);
+    lc.device_class.insert("Rbc1".to_string(), ota_classes::BIAS);
+    lc.net_class.insert(vbc.to_string(), ota_classes::BIAS);
+    lc.circuit.set_port_label(vbc, PortLabel::Bias);
+}
+
+/// Generates the OTA-bias corpus: `count` circuits cycling through every
+/// (topology × polarity × bias) combination with per-circuit jitter.
+///
+/// With `count = 624` this is the Table I "OTA bias" substitute.
+pub fn corpus(count: usize, seed: u64) -> Corpus {
+    let mut samples = Vec::with_capacity(count);
+    let mut i = 0usize;
+    'outer: loop {
+        for topology in OtaTopology::ALL {
+            for pmos_input in [false, true] {
+                for bias in BiasStyle::ALL {
+                    if i >= count {
+                        break 'outer;
+                    }
+                    let spec = OtaSpec {
+                        topology,
+                        pmos_input,
+                        bias,
+                        seed: seed.wrapping_add(i as u64 * 7919),
+                    };
+                    samples.push(generate(spec));
+                    i += 1;
+                }
+            }
+        }
+        if count == 0 {
+            break;
+        }
+    }
+    Corpus::new("OTA bias", samples, ota_classes::NAMES.iter().map(|s| s.to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::traversal::connected_components;
+
+    #[test]
+    fn every_topology_generates_connected_circuits() {
+        for topology in OtaTopology::ALL {
+            for pmos_input in [false, true] {
+                let lc = generate(OtaSpec {
+                    topology,
+                    pmos_input,
+                    bias: BiasStyle::DiodeResistor,
+                    seed: 1,
+                });
+                let g = lc.graph();
+                assert!(
+                    g.element_count() >= 6,
+                    "{:?} too small: {}",
+                    topology,
+                    g.element_count()
+                );
+                let comps = connected_components(&g);
+                assert_eq!(comps.len(), 1, "{topology:?} must be one connected graph");
+            }
+        }
+    }
+
+    #[test]
+    fn both_classes_are_populated() {
+        for bias in BiasStyle::ALL {
+            let lc = generate(OtaSpec {
+                topology: OtaTopology::FiveT,
+                pmos_input: false,
+                bias,
+                seed: 2,
+            });
+            let hist = lc.device_class_histogram();
+            assert!(hist[ota_classes::OTA] >= 5, "{bias:?}: {hist:?}");
+            assert!(hist[ota_classes::BIAS] >= 1, "{bias:?}: {hist:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = OtaSpec {
+            topology: OtaTopology::Miller,
+            pmos_input: true,
+            bias: BiasStyle::MirrorRef,
+            seed: 42,
+        };
+        assert_eq!(generate(spec), generate(spec));
+    }
+
+    #[test]
+    fn seeds_vary_the_circuit() {
+        let a = generate(OtaSpec {
+            topology: OtaTopology::FiveT,
+            pmos_input: false,
+            bias: BiasStyle::DiodeResistor,
+            seed: 1,
+        });
+        let b = generate(OtaSpec {
+            topology: OtaTopology::FiveT,
+            pmos_input: false,
+            bias: BiasStyle::DiodeResistor,
+            seed: 99,
+        });
+        assert_ne!(a, b, "jitter must differentiate seeds");
+    }
+
+    #[test]
+    fn corpus_has_requested_size_and_stats() {
+        let c = corpus(48, 7);
+        assert_eq!(c.samples.len(), 48);
+        let stats = c.stats();
+        assert_eq!(stats.circuits, 48);
+        assert!(stats.nodes > 48 * 10, "circuits average tens of nodes");
+        assert_eq!(stats.labels, 2);
+    }
+
+    #[test]
+    fn vertex_labels_cover_most_vertices() {
+        let lc = generate(OtaSpec {
+            topology: OtaTopology::Telescopic,
+            pmos_input: false,
+            bias: BiasStyle::CascodeStack,
+            seed: 5,
+        });
+        let g = lc.graph();
+        let labels = lc.vertex_labels(&g);
+        let labeled = labels.iter().flatten().count();
+        assert!(
+            labeled as f64 / labels.len() as f64 > 0.7,
+            "{labeled}/{} vertices labeled",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn telescopic_gets_cascode_bias_leg() {
+        let lc = generate(OtaSpec {
+            topology: OtaTopology::Telescopic,
+            pmos_input: false,
+            bias: BiasStyle::DiodeResistor,
+            seed: 3,
+        });
+        assert!(lc.device_class.contains_key("Mbc1"), "cascode bias diode present");
+        assert_eq!(lc.device_class["Mbc1"], ota_classes::BIAS);
+    }
+}

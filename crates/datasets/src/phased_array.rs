@@ -1,0 +1,187 @@
+//! The phased-array system testcase (Fig. 7, Table II row 4).
+//!
+//! "The fourth and largest testcase consists of a phased array system …
+//! containing a mixer (red), LNA (green), BPF (orange), oscillator (gray),
+//! VCO buffer (BUF) and inverter-based amplifier (INV) (violet) sub-blocks.
+//! The graph for the input netlist has 902 vertices (522 devices + 380
+//! nets)."
+//!
+//! Each channel is antenna → LNA → BPF → mixer, with a shared LC
+//! oscillator distributed through per-channel BUF/INV chains. The BPF is
+//! deliberately built as *an oscillator core plus two input coupling
+//! transistors* — exactly the structure Postprocessing I must tease apart.
+
+use crate::builder::CircuitBuilder;
+use crate::rf::{build_lna, build_mixer, build_oscillator, LnaKind, MixerKind, OscKind};
+use crate::{phased_classes as pc, LabeledCircuit};
+use gana_netlist::{DeviceKind, PortLabel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates the phased-array system with the default channel count tuned
+/// to the paper's 522-device scale.
+pub fn generate(seed: u64) -> LabeledCircuit {
+    generate_with_channels(12, seed)
+}
+
+/// Generates a phased array with an explicit channel count.
+pub fn generate_with_channels(channels: usize, seed: u64) -> LabeledCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(
+        format!("phased_array_{channels}ch"),
+        &pc::NAMES,
+    );
+
+    // Shared LO: LC oscillator plus a global distribution buffer.
+    build_oscillator(&mut b, OscKind::CrossCoupledLc, &mut rng, "lo", pc::OSC, "osc");
+    b.port_label("lo", PortLabel::Oscillating);
+    build_buffer(&mut b, "lo", "lodist", pc::BUF, "bufg");
+
+    for ch in 0..channels {
+        let ant = format!("ant{ch}");
+        let rf1 = format!("rf1_{ch}");
+        let rf2 = format!("rf2_{ch}");
+        let ifo = format!("if{ch}");
+        let lo_ch = format!("lo{ch}");
+
+        // Antenna matching network feeding the LNA.
+        b.block(&format!("lna{ch}"), pc::LNA);
+        let antm = b.local("antm");
+        b.capacitor(&ant, &antm, 0.8e-12);
+        b.inductor(&antm, "gnd!", 1.5e-9);
+        build_lna(&mut b, LnaKind::InductiveDegeneration, &mut rng, &antm, &rf1, pc::LNA, &format!("lna{ch}"));
+        b.port_label(&ant, PortLabel::Antenna);
+        b.block(&format!("lna{ch}"), pc::LNA);
+        b.claim_net(&ant);
+
+        build_bpf(&mut b, &rf1, &rf2, pc::BPF, &format!("bpf{ch}"));
+
+        // Per-channel LO conditioning: buffer, inverter amp, second
+        // AC-coupled inverter stage.
+        build_buffer(&mut b, "lodist", &lo_ch, pc::BUF, &format!("buf{ch}"));
+        let lo_amp = format!("loa{ch}");
+        build_inv_amp(&mut b, &lo_ch, &lo_amp, pc::INV, &format!("inv{ch}"));
+        b.block(&format!("inv{ch}"), pc::INV);
+        let lo_ac = b.local("ac");
+        let lo_amp2 = format!("lob{ch}");
+        b.capacitor(&lo_amp, &lo_ac, 0.2e-12);
+        build_inv_amp(&mut b, &lo_ac, &lo_amp2, pc::INV, &format!("inv2_{ch}"));
+        b.port_label(&lo_amp2, PortLabel::Oscillating);
+
+        build_mixer(&mut b, MixerKind::Gilbert, &mut rng, &rf2, &lo_amp2, &ifo, pc::MIXER, &format!("mix{ch}"));
+        b.port_label(&ifo, PortLabel::Output);
+
+        // IF low-pass and smoothing caps.
+        b.block(&format!("mix{ch}"), pc::MIXER);
+        let ifl = b.local("ifl");
+        b.resistor(&ifo, &ifl, 1e3);
+        b.capacitor(&ifl, "gnd!", 4e-12);
+        b.capacitor(&ifo, "gnd!", 2e-12);
+    }
+    b.finish()
+}
+
+/// A band-pass filter built as an oscillator-like LC core with a
+/// cross-coupled Q-enhancement pair plus two input coupling transistors.
+fn build_bpf(b: &mut CircuitBuilder, input: &str, output: &str, class: usize, tag: &str) {
+    b.block(tag, class);
+    b.claim_net(output);
+    let outn = b.local("outn");
+    let tail = b.local("tail");
+    let vb = b.local("vb");
+    b.port_label(&vb, PortLabel::Bias);
+    let inb = b.local("inb");
+    // Input coupling transistors (the "two input transistors" of Sec. V-B).
+    b.capacitor(input, &inb, 0.5e-12);
+    b.mos(DeviceKind::Nmos, output, input, &tail, "gnd!");
+    b.mos(DeviceKind::Nmos, &outn, &inb, &tail, "gnd!");
+    // Cross-coupled negative-resistance pair (oscillator-like core).
+    b.mos(DeviceKind::Nmos, output, &outn, &tail, "gnd!");
+    b.mos(DeviceKind::Nmos, &outn, output, &tail, "gnd!");
+    b.mos(DeviceKind::Nmos, &tail, &vb, "gnd!", "gnd!");
+    b.resistor("vdd!", &vb, 60e3);
+    // Resonant tank.
+    b.inductor("vdd!", output, 2e-9);
+    b.inductor("vdd!", &outn, 2e-9);
+    b.capacitor(output, &outn, 1e-12);
+}
+
+/// A VCO buffer: two cascaded CMOS inverters with an AC-coupling cap.
+fn build_buffer(b: &mut CircuitBuilder, input: &str, output: &str, class: usize, tag: &str) {
+    b.block(tag, class);
+    b.claim_net(output);
+    let cin = b.local("cin");
+    let mid = b.local("mid");
+    b.capacitor(input, &cin, 0.1e-12);
+    b.mos(DeviceKind::Pmos, &mid, &cin, "vdd!", "vdd!");
+    b.mos(DeviceKind::Nmos, &mid, &cin, "gnd!", "gnd!");
+    b.mos(DeviceKind::Pmos, output, &mid, "vdd!", "vdd!");
+    b.mos(DeviceKind::Nmos, output, &mid, "gnd!", "gnd!");
+}
+
+/// An inverter-based amplifier: self-biased CMOS inverter.
+fn build_inv_amp(b: &mut CircuitBuilder, input: &str, output: &str, class: usize, tag: &str) {
+    b.block(tag, class);
+    b.claim_net(output);
+    b.mos(DeviceKind::Pmos, output, input, "vdd!", "vdd!");
+    b.mos(DeviceKind::Nmos, output, input, "gnd!", "gnd!");
+    b.resistor(output, input, 100e3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::traversal::connected_components;
+
+    #[test]
+    fn default_size_matches_paper_scale() {
+        let lc = generate(0);
+        let devices = lc.circuit.device_count();
+        let nets = lc.circuit.net_count();
+        // Paper: 522 devices + 380 nets = 902 vertices.
+        assert!((450..=600).contains(&devices), "{devices} devices");
+        assert!((300..=460).contains(&nets), "{nets} nets");
+    }
+
+    #[test]
+    fn all_six_classes_present() {
+        let lc = generate(0);
+        let hist = lc.device_class_histogram();
+        for (c, count) in hist.iter().enumerate() {
+            assert!(*count > 0, "class {} empty: {hist:?}", pc::NAMES[c]);
+        }
+    }
+
+    #[test]
+    fn system_is_connected() {
+        let lc = generate_with_channels(3, 1);
+        let g = lc.graph();
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn antennas_and_lo_are_labeled() {
+        let lc = generate_with_channels(2, 0);
+        assert_eq!(lc.circuit.port_label("ant0"), Some(&PortLabel::Antenna));
+        assert_eq!(lc.circuit.port_label("ant1"), Some(&PortLabel::Antenna));
+        assert_eq!(lc.circuit.port_label("lo"), Some(&PortLabel::Oscillating));
+    }
+
+    #[test]
+    fn bpf_contains_cross_coupled_core_plus_inputs() {
+        let lc = generate_with_channels(1, 0);
+        let bpf_devices: Vec<&String> = lc
+            .device_class
+            .iter()
+            .filter(|&(_, &c)| c == pc::BPF)
+            .map(|(n, _)| n)
+            .collect();
+        let bpf_mos = bpf_devices.iter().filter(|n| n.starts_with('M')).count();
+        assert_eq!(bpf_mos, 5, "2 inputs + 2 cross-coupled + tail: {bpf_devices:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_with_channels(2, 5), generate_with_channels(2, 5));
+    }
+}

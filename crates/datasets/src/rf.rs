@@ -1,0 +1,326 @@
+//! RF receiver generator (Table I "RF data" substitute).
+//!
+//! Each circuit is a receiver front end in the style of the paper's test
+//! set: an LNA driving a mixer whose LO port is fed by an oscillator
+//! ("105 different datasets that combine various LNAs, mixers, and
+//! oscillators in a receiver"). Three LNA, three mixer, and three
+//! oscillator families are combined with per-instance jitter.
+
+use crate::builder::CircuitBuilder;
+use crate::mutate::{self, MutationConfig};
+use crate::{rf_classes, Corpus, LabeledCircuit};
+use gana_netlist::{DeviceKind, PortLabel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LNA topology families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LnaKind {
+    /// Inductively degenerated common-source cascode.
+    InductiveDegeneration,
+    /// Plain cascode with inductive load.
+    Cascode,
+    /// Resistive shunt-feedback wideband LNA.
+    ShuntFeedback,
+}
+
+impl LnaKind {
+    /// All LNA families.
+    pub const ALL: [LnaKind; 3] =
+        [LnaKind::InductiveDegeneration, LnaKind::Cascode, LnaKind::ShuntFeedback];
+}
+
+/// Mixer topology families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixerKind {
+    /// Double-balanced Gilbert cell.
+    Gilbert,
+    /// Single-balanced active mixer.
+    SingleBalanced,
+    /// Passive ring (switch quad).
+    PassiveRing,
+}
+
+impl MixerKind {
+    /// All mixer families.
+    pub const ALL: [MixerKind; 3] =
+        [MixerKind::Gilbert, MixerKind::SingleBalanced, MixerKind::PassiveRing];
+}
+
+/// Oscillator topology families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OscKind {
+    /// Cross-coupled NMOS LC oscillator.
+    CrossCoupledLc,
+    /// Complementary cross-coupled LC oscillator.
+    ComplementaryLc,
+    /// Three-stage ring oscillator.
+    Ring3,
+}
+
+impl OscKind {
+    /// All oscillator families.
+    pub const ALL: [OscKind; 3] =
+        [OscKind::CrossCoupledLc, OscKind::ComplementaryLc, OscKind::Ring3];
+}
+
+/// Specification of one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceiverSpec {
+    /// LNA family.
+    pub lna: LnaKind,
+    /// Mixer family.
+    pub mixer: MixerKind,
+    /// Oscillator family.
+    pub osc: OscKind,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+/// Emits an LNA into `b`; input `rfin`, output `rfout`.
+pub(crate) fn build_lna(b: &mut CircuitBuilder, kind: LnaKind, rng: &mut StdRng, rfin: &str, rfout: &str, class: usize, tag: &str) {
+    b.block(tag, class);
+    b.claim_net(rfin);
+    b.claim_net(rfout);
+    let vb = b.local("vb");
+    b.port_label(&vb, gana_netlist::PortLabel::Bias);
+    match kind {
+        LnaKind::InductiveDegeneration => {
+            let g = b.local("g");
+            let s = b.local("s");
+            let mid = b.local("mid");
+            b.inductor(rfin, &g, 5e-9 * rng.gen_range(0.5..2.0));
+            b.mos(DeviceKind::Nmos, &mid, &g, &s, "gnd!");
+            b.inductor(&s, "gnd!", 1e-9 * rng.gen_range(0.5..2.0));
+            b.mos(DeviceKind::Nmos, rfout, &vb, &mid, "gnd!");
+            b.inductor("vdd!", rfout, 3e-9 * rng.gen_range(0.5..2.0));
+            b.resistor("vdd!", &vb, 20e3);
+            b.capacitor(&vb, "gnd!", 2e-12);
+        }
+        LnaKind::Cascode => {
+            let mid = b.local("mid");
+            b.mos(DeviceKind::Nmos, &mid, rfin, "gnd!", "gnd!");
+            b.mos(DeviceKind::Nmos, rfout, &vb, &mid, "gnd!");
+            b.inductor("vdd!", rfout, 4e-9 * rng.gen_range(0.5..2.0));
+            b.resistor("vdd!", &vb, 30e3);
+        }
+        LnaKind::ShuntFeedback => {
+            b.mos(DeviceKind::Nmos, rfout, rfin, "gnd!", "gnd!");
+            b.resistor(rfout, rfin, 5e3 * rng.gen_range(0.5..2.0));
+            b.resistor("vdd!", rfout, 1e3 * rng.gen_range(0.5..2.0));
+            b.capacitor(rfin, &vb, 1e-12);
+            b.resistor(&vb, "gnd!", 10e3);
+        }
+    }
+}
+
+/// Emits a mixer into `b`; RF input `rf`, LO input `lo`, IF output `ifout`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_mixer(b: &mut CircuitBuilder, kind: MixerKind, rng: &mut StdRng, rf: &str, lo: &str, ifout: &str, class: usize, tag: &str) {
+    b.block(tag, class);
+    b.claim_net(ifout);
+    let lob = b.local("lob");
+    // Complementary LO phase derived locally.
+    b.capacitor(lo, &lob, 0.5e-12);
+    match kind {
+        MixerKind::Gilbert => {
+            let (t1, t2) = (b.local("t1"), b.local("t2"));
+            let tail = b.local("tail");
+            let ifn = b.local("ifn");
+            let vb = b.local("vb");
+            b.port_label(&vb, gana_netlist::PortLabel::Bias);
+            let rfb = b.local("rfb");
+            b.capacitor(rf, &rfb, 1e-12);
+            b.mos(DeviceKind::Nmos, &t1, rf, &tail, "gnd!");
+            b.mos(DeviceKind::Nmos, &t2, &rfb, &tail, "gnd!");
+            b.mos(DeviceKind::Nmos, &tail, &vb, "gnd!", "gnd!");
+            b.resistor("vdd!", &vb, 40e3);
+            // LO switching quad.
+            b.mos(DeviceKind::Nmos, ifout, lo, &t1, "gnd!");
+            b.mos(DeviceKind::Nmos, &ifn, &lob, &t1, "gnd!");
+            b.mos(DeviceKind::Nmos, &ifn, lo, &t2, "gnd!");
+            b.mos(DeviceKind::Nmos, ifout, &lob, &t2, "gnd!");
+            b.resistor("vdd!", ifout, 2e3 * rng.gen_range(0.5..2.0));
+            b.resistor("vdd!", &ifn, 2e3 * rng.gen_range(0.5..2.0));
+        }
+        MixerKind::SingleBalanced => {
+            let t = b.local("t");
+            let ifn = b.local("ifn");
+            b.mos(DeviceKind::Nmos, &t, rf, "gnd!", "gnd!");
+            b.mos(DeviceKind::Nmos, ifout, lo, &t, "gnd!");
+            b.mos(DeviceKind::Nmos, &ifn, &lob, &t, "gnd!");
+            b.resistor("vdd!", ifout, 3e3 * rng.gen_range(0.5..2.0));
+            b.resistor("vdd!", &ifn, 3e3 * rng.gen_range(0.5..2.0));
+        }
+        MixerKind::PassiveRing => {
+            // AC-coupled switch quad: passive mixers never share a channel
+            // net with the LNA output directly.
+            let rfsw = b.local("rfsw");
+            let rfb = b.local("rfb");
+            let ifn = b.local("ifn");
+            b.capacitor(rf, &rfsw, 1e-12);
+            b.capacitor(&rfsw, &rfb, 1e-12);
+            b.mos(DeviceKind::Nmos, ifout, lo, &rfsw, "gnd!");
+            b.mos(DeviceKind::Nmos, &ifn, &lob, &rfsw, "gnd!");
+            b.mos(DeviceKind::Nmos, &ifn, lo, &rfb, "gnd!");
+            b.mos(DeviceKind::Nmos, ifout, &lob, &rfb, "gnd!");
+            b.resistor(ifout, "gnd!", 10e3);
+        }
+    }
+}
+
+/// Emits an oscillator into `b`; output `lo`.
+pub(crate) fn build_oscillator(b: &mut CircuitBuilder, kind: OscKind, rng: &mut StdRng, lo: &str, class: usize, tag: &str) {
+    b.block(tag, class);
+    b.claim_net(lo);
+    match kind {
+        OscKind::CrossCoupledLc => {
+            let lon = b.local("lon");
+            let vb = b.local("vb");
+            b.port_label(&vb, gana_netlist::PortLabel::Bias);
+            let tail = b.local("tail");
+            b.mos(DeviceKind::Nmos, lo, &lon, &tail, "gnd!");
+            b.mos(DeviceKind::Nmos, &lon, lo, &tail, "gnd!");
+            b.mos(DeviceKind::Nmos, &tail, &vb, "gnd!", "gnd!");
+            b.resistor("vdd!", &vb, 50e3);
+            b.inductor("vdd!", lo, 2e-9 * rng.gen_range(0.5..2.0));
+            b.inductor("vdd!", &lon, 2e-9 * rng.gen_range(0.5..2.0));
+            b.capacitor(lo, &lon, 1e-12 * rng.gen_range(0.5..2.0));
+        }
+        OscKind::ComplementaryLc => {
+            let lon = b.local("lon");
+            b.mos(DeviceKind::Nmos, lo, &lon, "gnd!", "gnd!");
+            b.mos(DeviceKind::Nmos, &lon, lo, "gnd!", "gnd!");
+            b.mos(DeviceKind::Pmos, lo, &lon, "vdd!", "vdd!");
+            b.mos(DeviceKind::Pmos, &lon, lo, "vdd!", "vdd!");
+            b.inductor(lo, &lon, 3e-9 * rng.gen_range(0.5..2.0));
+            b.capacitor(lo, &lon, 0.8e-12 * rng.gen_range(0.5..2.0));
+        }
+        OscKind::Ring3 => {
+            let n1 = b.local("n1");
+            let n2 = b.local("n2");
+            for (i, o) in [(lo, n1.as_str()), (n1.as_str(), n2.as_str()), (n2.as_str(), lo)] {
+                b.mos(DeviceKind::Pmos, o, i, "vdd!", "vdd!");
+                b.mos(DeviceKind::Nmos, o, i, "gnd!", "gnd!");
+            }
+            b.capacitor(lo, "gnd!", 0.2e-12);
+        }
+    }
+}
+
+/// Generates one receiver: antenna → LNA → mixer ← oscillator.
+pub fn generate(spec: ReceiverSpec) -> LabeledCircuit {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let name = format!("rx_{:?}_{:?}_{:?}_{}", spec.lna, spec.mixer, spec.osc, spec.seed);
+    let mut b = CircuitBuilder::new(name, &rf_classes::NAMES);
+    build_lna(&mut b, spec.lna, &mut rng, "antenna", "rfout", rf_classes::LNA, "lna");
+    build_oscillator(&mut b, spec.osc, &mut rng, "lo", rf_classes::OSC, "osc");
+    build_mixer(&mut b, spec.mixer, &mut rng, "rfout", "lo", "ifout", rf_classes::MIXER, "mix");
+    b.port_label("antenna", PortLabel::Antenna);
+    b.port_label("lo", PortLabel::Oscillating);
+    b.port_label("ifout", PortLabel::Output);
+    mutate::apply(b.finish(), MutationConfig::default(), spec.seed ^ 0xabcd)
+}
+
+/// Generates the RF corpus: `count` receivers cycling through every
+/// (LNA × mixer × oscillator) combination (27 structural variants) with
+/// per-circuit jitter. With `count = 608` this is the Table I "RF data"
+/// substitute; with `count = 105` the Table II test set.
+pub fn corpus(count: usize, seed: u64) -> Corpus {
+    let mut samples = Vec::with_capacity(count);
+    let mut i = 0usize;
+    'outer: loop {
+        for lna in LnaKind::ALL {
+            for mixer in MixerKind::ALL {
+                for osc in OscKind::ALL {
+                    if i >= count {
+                        break 'outer;
+                    }
+                    samples.push(generate(ReceiverSpec {
+                        lna,
+                        mixer,
+                        osc,
+                        seed: seed.wrapping_add(i as u64 * 6151),
+                    }));
+                    i += 1;
+                }
+            }
+        }
+        if count == 0 {
+            break;
+        }
+    }
+    Corpus::new("RF data", samples, rf_classes::NAMES.iter().map(|s| s.to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::traversal::connected_components;
+
+    #[test]
+    fn all_27_variants_generate_connected_receivers() {
+        for lna in LnaKind::ALL {
+            for mixer in MixerKind::ALL {
+                for osc in OscKind::ALL {
+                    let lc = generate(ReceiverSpec { lna, mixer, osc, seed: 11 });
+                    let g = lc.graph();
+                    let comps = connected_components(&g);
+                    assert_eq!(
+                        comps.len(),
+                        1,
+                        "{lna:?}/{mixer:?}/{osc:?} must be connected"
+                    );
+                    let hist = lc.device_class_histogram();
+                    assert!(hist.iter().all(|&c| c >= 3), "{lna:?}/{mixer:?}/{osc:?}: {hist:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_labels_present_for_postprocessing_ii() {
+        let lc = generate(ReceiverSpec {
+            lna: LnaKind::Cascode,
+            mixer: MixerKind::Gilbert,
+            osc: OscKind::CrossCoupledLc,
+            seed: 0,
+        });
+        assert_eq!(lc.circuit.port_label("antenna"), Some(&PortLabel::Antenna));
+        assert_eq!(lc.circuit.port_label("lo"), Some(&PortLabel::Oscillating));
+    }
+
+    #[test]
+    fn boundary_nets_belong_to_driver() {
+        let lc = generate(ReceiverSpec {
+            lna: LnaKind::Cascode,
+            mixer: MixerKind::SingleBalanced,
+            osc: OscKind::Ring3,
+            seed: 1,
+        });
+        assert_eq!(lc.net_class["rfout"], rf_classes::LNA, "LNA drives rfout");
+        assert_eq!(lc.net_class["lo"], rf_classes::OSC, "oscillator drives lo");
+        assert_eq!(lc.net_class["ifout"], rf_classes::MIXER);
+    }
+
+    #[test]
+    fn corpus_statistics() {
+        let c = corpus(54, 3);
+        let stats = c.stats();
+        assert_eq!(stats.circuits, 54);
+        assert_eq!(stats.labels, 3);
+        let avg = stats.nodes as f64 / stats.circuits as f64;
+        assert!((20.0..70.0).contains(&avg), "receiver averages {avg} nodes");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = ReceiverSpec {
+            lna: LnaKind::ShuntFeedback,
+            mixer: MixerKind::PassiveRing,
+            osc: OscKind::ComplementaryLc,
+            seed: 9,
+        };
+        assert_eq!(generate(spec), generate(spec));
+    }
+}

@@ -1,0 +1,144 @@
+//! The switched-capacitor filter testcase (Table II row 2).
+//!
+//! "The second testcase consist of a composite circuit, a switched
+//! capacitor filter, with an OTA … contains 32 devices and 25 nets,
+//! including an OTA sub-block and switched capacitors. The telescopic OTA
+//! subcircuit … is not seen by the training set."
+//!
+//! The generated circuit embeds a fully differential **telescopic** OTA
+//! (a topology the OTA training corpus can exclude) inside input/feedback
+//! switched-capacitor networks, sized to the paper's device/net counts.
+
+use crate::builder::CircuitBuilder;
+use crate::{ota_classes, LabeledCircuit};
+use gana_netlist::{DeviceKind, PortLabel};
+
+/// Classes for the SC-filter task: the same signal/bias split the OTA-bias
+/// model was trained on. Switches and caps are signal-path (class 0).
+pub fn generate(seed: u64) -> LabeledCircuit {
+    let _ = seed; // The testcase is a fixed design, like the paper's.
+    let mut b = CircuitBuilder::new("sc_filter", &ota_classes::NAMES);
+
+    // --- Switched-capacitor input + feedback network (class 0) ---
+    b.block("sc", ota_classes::OTA);
+    let (vin, vinb) = (b.local("vin"), b.local("vinb"));
+    let (sw1, sw2) = (b.local("sw1"), b.local("sw2"));
+    let (inp, inn) = (b.local("inp"), b.local("inn"));
+    let (outp, outn) = (b.local("outp"), b.local("outn"));
+    let (ph1, ph2) = (b.local("ph1"), b.local("ph2"));
+    // Input sampling switches and caps, both phases.
+    b.mos(DeviceKind::Nmos, &sw1, &ph1, &vin, "gnd!");
+    b.capacitor(&sw1, &inp, 2e-12);
+    b.mos(DeviceKind::Nmos, &sw1, &ph2, "gnd!", "gnd!");
+    b.mos(DeviceKind::Nmos, &sw2, &ph1, &vinb, "gnd!");
+    b.capacitor(&sw2, &inn, 2e-12);
+    b.mos(DeviceKind::Nmos, &sw2, &ph2, "gnd!", "gnd!");
+    // Integration (feedback) caps with reset switches.
+    b.capacitor(&inp, &outn, 4e-12);
+    b.capacitor(&inn, &outp, 4e-12);
+    b.mos(DeviceKind::Nmos, &inp, &ph2, &outn, "gnd!");
+    b.mos(DeviceKind::Nmos, &inn, &ph2, &outp, "gnd!");
+    // Output load caps.
+    b.capacitor(&outp, "gnd!", 1e-12);
+    b.capacitor(&outn, "gnd!", 1e-12);
+    // Common-mode sense caps with a reset switch.
+    let cm = b.local("cm");
+    b.capacitor(&outp, &cm, 0.5e-12);
+    b.capacitor(&outn, &cm, 0.5e-12);
+    b.mos(DeviceKind::Nmos, &cm, &ph2, "gnd!", "gnd!");
+    // Local clock inverter deriving ph2 from ph1.
+    b.mos(DeviceKind::Pmos, &ph2, &ph1, "vdd!", "vdd!");
+    b.mos(DeviceKind::Nmos, &ph2, &ph1, "gnd!", "gnd!");
+    // Input series termination.
+    let vin_t = b.local("vin_t");
+    b.resistor(&vin, &vin_t, 50.0);
+    b.capacitor(&vin_t, "gnd!", 0.2e-12);
+
+    // --- Telescopic OTA core (class 0), unseen topology ---
+    b.block("ota", ota_classes::OTA);
+    let tail = b.local("tail");
+    let (x1, x2) = (b.local("x1"), b.local("x2"));
+    let (c1, c2) = (b.local("c1"), b.local("c2"));
+    let vb = b.local("vb_main");
+    let vbc = b.local("vb_casc");
+    b.mos(DeviceKind::Nmos, &x1, &inp, &tail, "gnd!");
+    b.mos(DeviceKind::Nmos, &x2, &inn, &tail, "gnd!");
+    b.mos(DeviceKind::Nmos, &outn, &vbc, &x1, "gnd!");
+    b.mos(DeviceKind::Nmos, &outp, &vbc, &x2, "gnd!");
+    b.mos(DeviceKind::Pmos, &outn, &vbc, &c1, "vdd!");
+    b.mos(DeviceKind::Pmos, &outp, &vbc, &c2, "vdd!");
+    b.mos(DeviceKind::Pmos, &c1, &c1, "vdd!", "vdd!");
+    b.mos(DeviceKind::Pmos, &c2, &c1, "vdd!", "vdd!");
+    b.mos(DeviceKind::Nmos, &tail, &vb, "gnd!", "gnd!");
+
+    // --- Bias network (class 1) ---
+    b.block("bias", ota_classes::BIAS);
+    b.relabel_net(&vb);
+    b.relabel_net(&vbc);
+    b.mos(DeviceKind::Nmos, &vb, &vb, "gnd!", "gnd!");
+    b.resistor("vdd!", &vb, 40e3);
+    b.mos(DeviceKind::Nmos, &vbc, &vbc, "gnd!", "gnd!");
+    b.resistor("vdd!", &vbc, 60e3);
+    b.capacitor(&vb, "gnd!", 3e-12);
+
+    b.port_label(&vin, PortLabel::Input);
+    b.port_label(&vinb, PortLabel::Input);
+    b.port_label(&outp, PortLabel::Output);
+    b.port_label(&outn, PortLabel::Output);
+    b.port_label(&vb, PortLabel::Bias);
+    b.port_label(&vbc, PortLabel::Bias);
+    b.port_label(&ph1, PortLabel::Custom("clk".to_string()));
+    b.port_label(&ph2, PortLabel::Custom("clk".to_string()));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::traversal::connected_components;
+
+    #[test]
+    fn size_matches_paper_scale() {
+        let lc = generate(0);
+        let devices = lc.circuit.device_count();
+        let nets = lc.circuit.net_count();
+        // Paper: 32 devices, 25 nets. Stay within a small tolerance.
+        assert!((28..=36).contains(&devices), "{devices} devices");
+        assert!((20..=30).contains(&nets), "{nets} nets");
+    }
+
+    #[test]
+    fn circuit_is_connected_and_fully_labeled() {
+        let lc = generate(0);
+        let g = lc.graph();
+        assert_eq!(connected_components(&g).len(), 1);
+        let labels = lc.vertex_labels(&g);
+        let labeled = labels.iter().flatten().count();
+        assert!(labeled as f64 / labels.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn contains_telescopic_signature() {
+        // Telescopic = cascode devices stacked on the differential pair:
+        // at least 4 NMOS whose source is an internal (non-rail) net.
+        let lc = generate(0);
+        let stacked = lc
+            .circuit
+            .devices()
+            .iter()
+            .filter(|d| {
+                d.kind() == gana_netlist::DeviceKind::Nmos
+                    && !lc.circuit.is_ground(&d.terminals()[2])
+            })
+            .count();
+        assert!(stacked >= 4, "{stacked} stacked NMOS");
+    }
+
+    #[test]
+    fn bias_devices_are_class_one() {
+        let lc = generate(0);
+        let hist = lc.device_class_histogram();
+        assert!(hist[ota_classes::BIAS] >= 4, "{hist:?}");
+        assert!(hist[ota_classes::OTA] >= 20, "{hist:?}");
+    }
+}

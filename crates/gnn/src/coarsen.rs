@@ -1,0 +1,438 @@
+//! Graclus graph coarsening and balanced-binary-tree pooling support
+//! (paper Section III-B).
+//!
+//! "The GCN used in this work uses the greedy Graclus heuristic … for
+//! multilevel clustering. The pooling operator is based on a balanced binary
+//! tree that represents each cluster: pooling operations can be performed
+//! very efficiently by traversing the tree."
+//!
+//! The construction follows Defferrard's reference implementation: run the
+//! greedy normalized-cut matching for `levels` rounds, then add *fake*
+//! vertices so that every coarse vertex has exactly two children. After
+//! permuting level-0 vertices so siblings are adjacent, each pooling layer
+//! is a stride-2 max scan, and the ancestor of original vertex `v` after
+//! `levels` poolings sits at index `slot(v) >> levels`.
+
+use crate::{GnnError, Result};
+use gana_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The multilevel coarsening of one graph, with padded Laplacians per level.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    levels: usize,
+    laplacians: Vec<CsrMatrix>,
+    /// Padded level-0 slot → original vertex (None = fake).
+    perm: Vec<Option<usize>>,
+    /// Original vertex → padded level-0 slot.
+    inverse_perm: Vec<usize>,
+    n_original: usize,
+}
+
+impl Coarsening {
+    /// Builds a `levels`-deep coarsening of a (symmetric, loop-free)
+    /// adjacency matrix and precomputes the Chebyshev-rescaled Laplacian at
+    /// every level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] for a rectangular adjacency, and
+    /// propagates sparse-algebra errors.
+    pub fn build(adjacency: &CsrMatrix, levels: usize, seed: u64) -> Result<Coarsening> {
+        if adjacency.rows() != adjacency.cols() {
+            return Err(GnnError::InvalidConfig(format!(
+                "adjacency must be square, got {}x{}",
+                adjacency.rows(),
+                adjacency.cols()
+            )));
+        }
+        let n_original = adjacency.rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Round 1..levels of Graclus matching on the *real* graphs.
+        let mut graphs: Vec<CsrMatrix> = vec![adjacency.clone()];
+        let mut parents: Vec<Vec<usize>> = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let current = graphs.last().expect("at least the input graph");
+            let parent = graclus_matching(current, &mut rng);
+            let coarse = coarsen_adjacency(current, &parent);
+            parents.push(parent);
+            graphs.push(coarse);
+        }
+
+        // Assign padded slots from the coarsest level down. `slots[l][v]` is
+        // the padded position of real vertex v at level l.
+        let n_coarsest = graphs[levels].rows();
+        let mut slots: Vec<Vec<usize>> = vec![Vec::new(); levels + 1];
+        slots[levels] = (0..n_coarsest).collect();
+        for l in (0..levels).rev() {
+            let n_l = graphs[l].rows();
+            let mut assigned = vec![usize::MAX; n_l];
+            // Children of each real coarse vertex, in vertex order.
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); graphs[l + 1].rows()];
+            for (v, &p) in parents[l].iter().enumerate() {
+                children[p].push(v);
+            }
+            for (p, kids) in children.iter().enumerate() {
+                let base = 2 * slots[l + 1][p];
+                for (i, &kid) in kids.iter().enumerate().take(2) {
+                    assigned[kid] = base + i;
+                }
+            }
+            slots[l] = assigned;
+        }
+        let level0_padded = if levels == 0 { n_original } else { n_coarsest << levels };
+
+        let mut perm: Vec<Option<usize>> = vec![None; level0_padded];
+        let mut inverse_perm = vec![0usize; n_original];
+        for v in 0..n_original {
+            let slot = slots[0][v];
+            perm[slot] = Some(v);
+            inverse_perm[v] = slot;
+        }
+
+        // Padded, permuted, rescaled Laplacian per level.
+        let mut laplacians = Vec::with_capacity(levels + 1);
+        for l in 0..=levels {
+            let padded = if levels == 0 {
+                n_original
+            } else {
+                n_coarsest << (levels - l)
+            };
+            let lap = padded_scaled_laplacian(&graphs[l], &slots[l], padded)?;
+            laplacians.push(lap);
+        }
+
+        Ok(Coarsening { levels, laplacians, perm, inverse_perm, n_original })
+    }
+
+    /// Number of pooling levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of original (pre-padding) vertices.
+    pub fn n_original(&self) -> usize {
+        self.n_original
+    }
+
+    /// Padded vertex count at level `l` (level 0 feeds the first conv).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > levels`.
+    pub fn padded_size(&self, l: usize) -> usize {
+        self.laplacians[l].rows()
+    }
+
+    /// The rescaled Laplacian `L̂` at level `l`, padded (fakes isolated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > levels`.
+    pub fn laplacian(&self, l: usize) -> &CsrMatrix {
+        &self.laplacians[l]
+    }
+
+    /// Padded level-0 slot of an original vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n_original`.
+    pub fn slot(&self, v: usize) -> usize {
+        self.inverse_perm[v]
+    }
+
+    /// The original vertex in a padded slot, or `None` for a fake slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    pub fn original(&self, slot: usize) -> Option<usize> {
+        self.perm[slot]
+    }
+
+    /// The coarsest-level cluster that original vertex `v` pools into.
+    pub fn cluster_of(&self, v: usize) -> usize {
+        self.slot(v) >> self.levels
+    }
+
+    /// Scatters an `n_original × d` feature matrix into padded level-0
+    /// layout; fake slots get zero rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `x` has the wrong row count.
+    pub fn permute_features(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if x.rows() != self.n_original {
+            return Err(GnnError::ShapeMismatch(format!(
+                "features have {} rows, graph has {} vertices",
+                x.rows(),
+                self.n_original
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.perm.len(), x.cols());
+        for (slot, orig) in self.perm.iter().enumerate() {
+            if let Some(v) = *orig {
+                out.row_mut(slot).copy_from_slice(x.row(v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gathers a padded level-0 matrix back into original vertex order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `x` has the wrong row count.
+    pub fn unpermute_rows(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if x.rows() != self.perm.len() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "padded matrix has {} rows, expected {}",
+                x.rows(),
+                self.perm.len()
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.n_original, x.cols());
+        for v in 0..self.n_original {
+            out.row_mut(v).copy_from_slice(x.row(self.inverse_perm[v]));
+        }
+        Ok(out)
+    }
+}
+
+/// One round of greedy Graclus matching: visit vertices in random order and
+/// pair each unmatched vertex with the unmatched neighbor maximizing the
+/// normalized-cut gain `w(i,j)·(1/d_i + 1/d_j)`; isolated leftovers become
+/// singletons. Returns the parent (coarse cluster id) of every vertex.
+fn graclus_matching(adj: &CsrMatrix, rng: &mut StdRng) -> Vec<usize> {
+    let n = adj.rows();
+    let degrees = adj.row_sums();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut parent = vec![usize::MAX; n];
+    let mut next_cluster = 0;
+    for &v in &order {
+        if parent[v] != usize::MAX {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (u, w) in adj.row_iter(v) {
+            if u == v || parent[u] != usize::MAX {
+                continue;
+            }
+            let gain = w
+                * (1.0 / degrees[v].max(f64::MIN_POSITIVE)
+                    + 1.0 / degrees[u].max(f64::MIN_POSITIVE));
+            match best {
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((u, gain)),
+            }
+        }
+        parent[v] = next_cluster;
+        if let Some((u, _)) = best {
+            parent[u] = next_cluster;
+        }
+        next_cluster += 1;
+    }
+    parent
+}
+
+/// Builds the coarse weighted adjacency: inter-cluster weights are summed,
+/// intra-cluster (self-loop) weight is dropped.
+fn coarsen_adjacency(adj: &CsrMatrix, parent: &[usize]) -> CsrMatrix {
+    let n_coarse = parent.iter().copied().max().map_or(0, |m| m + 1);
+    let mut coo = CooMatrix::new(n_coarse, n_coarse);
+    for (r, c, v) in adj.iter() {
+        let (pr, pc) = (parent[r], parent[c]);
+        if pr != pc {
+            coo.push(pr, pc, v).expect("parent ids in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Permutes a real adjacency into padded slots, then forms the rescaled
+/// normalized Laplacian (fake slots are isolated → zero rows).
+fn padded_scaled_laplacian(
+    adj: &CsrMatrix,
+    slots: &[usize],
+    padded: usize,
+) -> Result<CsrMatrix> {
+    let mut coo = CooMatrix::new(padded, padded);
+    for (r, c, v) in adj.iter() {
+        coo.push(slots[r], slots[c], v).expect("slots in bounds");
+    }
+    let padded_adj = coo.to_csr();
+    let degrees = padded_adj.row_sums();
+    let mut lcoo = CooMatrix::new(padded, padded);
+    for (i, &d) in degrees.iter().enumerate() {
+        if d > 0.0 {
+            lcoo.push(i, i, 1.0).expect("in bounds");
+        }
+    }
+    for (r, c, v) in padded_adj.iter() {
+        let w = -v / (degrees[r].sqrt() * degrees[c].sqrt());
+        lcoo.push(r, c, w).expect("in bounds");
+    }
+    let laplacian = lcoo.to_csr();
+    let lambda = gana_sparse::lanczos::largest_eigenvalue(&laplacian, 64, 1e-9)?;
+    let lambda = if lambda <= f64::EPSILON { 2.0 } else { lambda };
+    let eye = CsrMatrix::identity(padded);
+    Ok(laplacian.linear_combination(2.0 / lambda, &eye, -1.0)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_adjacency(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n.saturating_sub(1) {
+            coo.push_symmetric(i, i + 1, 1.0).expect("in bounds");
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matching_pairs_neighbors() {
+        let adj = path_adjacency(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let parent = graclus_matching(&adj, &mut rng);
+        let n_coarse = parent.iter().max().expect("non-empty") + 1;
+        assert!((3..=5).contains(&n_coarse), "6-path coarsens to 3..5 clusters");
+        // Each cluster has at most 2 members.
+        let mut counts = vec![0; n_coarse];
+        for &p in &parent {
+            counts[p] += 1;
+        }
+        assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
+        // Paired members must be adjacent in the original graph.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                if parent[i] == parent[j] {
+                    assert_eq!(adj.get(i, j), 1.0, "{i} and {j} paired but not adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_graph_preserves_connectivity() {
+        let adj = path_adjacency(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let parent = graclus_matching(&adj, &mut rng);
+        let coarse = coarsen_adjacency(&adj, &parent);
+        // The coarse path stays connected: every cluster has a neighbor
+        // (unless there is a single cluster).
+        if coarse.rows() > 1 {
+            for r in 0..coarse.rows() {
+                assert!(coarse.row_iter(r).count() > 0, "cluster {r} disconnected");
+            }
+        }
+        assert!(coarse.is_symmetric(1e-12));
+        assert_eq!(coarse.diagonal().iter().filter(|&&d| d != 0.0).count(), 0);
+    }
+
+    #[test]
+    fn two_level_coarsening_shapes() {
+        let adj = path_adjacency(10);
+        let c = Coarsening::build(&adj, 2, 7).expect("builds");
+        assert_eq!(c.levels(), 2);
+        assert_eq!(c.n_original(), 10);
+        assert_eq!(c.padded_size(0), c.padded_size(2) * 4);
+        assert_eq!(c.padded_size(1), c.padded_size(2) * 2);
+        assert!(c.padded_size(0) >= 10);
+    }
+
+    #[test]
+    fn permutation_round_trips() {
+        let adj = path_adjacency(7);
+        let c = Coarsening::build(&adj, 2, 3).expect("builds");
+        let x = DenseMatrix::from_fn(7, 3, |i, j| (i * 10 + j) as f64);
+        let padded = c.permute_features(&x).expect("row count matches");
+        assert_eq!(padded.rows(), c.padded_size(0));
+        let back = c.unpermute_rows(&padded).expect("row count matches");
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn fake_slots_are_zero_and_isolated() {
+        let adj = path_adjacency(5);
+        let c = Coarsening::build(&adj, 1, 9).expect("builds");
+        let x = DenseMatrix::filled(5, 2, 1.0);
+        let padded = c.permute_features(&x).expect("ok");
+        for slot in 0..c.padded_size(0) {
+            if c.original(slot).is_none() {
+                assert_eq!(padded.row(slot), &[0.0, 0.0], "fake slot {slot} must be zero");
+                // Isolated in the Laplacian.
+                assert_eq!(
+                    c.laplacian(0).row_iter(slot).filter(|&(_, v)| v != 0.0).count(),
+                    1,
+                    "fake slot has only the -I diagonal entry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_share_parent_cluster() {
+        let adj = path_adjacency(8);
+        let c = Coarsening::build(&adj, 2, 5).expect("builds");
+        for v in 0..8 {
+            let cluster = c.cluster_of(v);
+            assert!(cluster < c.padded_size(2));
+            assert_eq!(c.slot(v) >> 2, cluster);
+        }
+        // Every original vertex occupies a distinct slot.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..8 {
+            assert!(seen.insert(c.slot(v)));
+        }
+    }
+
+    #[test]
+    fn zero_levels_is_identity_layout() {
+        let adj = path_adjacency(4);
+        let c = Coarsening::build(&adj, 0, 0).expect("builds");
+        assert_eq!(c.padded_size(0), 4);
+        for v in 0..4 {
+            assert_eq!(c.cluster_of(v), c.slot(v));
+        }
+    }
+
+    #[test]
+    fn laplacian_spectrum_is_rescaled() {
+        let adj = path_adjacency(12);
+        let c = Coarsening::build(&adj, 2, 11).expect("builds");
+        for l in 0..=2 {
+            let lambda = gana_sparse::lanczos::largest_eigenvalue(c.laplacian(l), 60, 1e-10)
+                .expect("square");
+            assert!(lambda <= 1.0 + 1e-6, "level {l} spectrum exceeds 1: {lambda}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let adj = path_adjacency(9);
+        let a = Coarsening::build(&adj, 2, 42).expect("builds");
+        let b = Coarsening::build(&adj, 2, 42).expect("builds");
+        assert_eq!(a.perm, b.perm);
+    }
+
+    #[test]
+    fn rejects_rectangular_adjacency() {
+        let rect = CooMatrix::new(2, 3).to_csr();
+        assert!(Coarsening::build(&rect, 1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let empty = CooMatrix::new(0, 0).to_csr();
+        let c = Coarsening::build(&empty, 2, 0).expect("builds");
+        assert_eq!(c.n_original(), 0);
+        assert_eq!(c.padded_size(0), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! K-fold cross validation (paper Section V-A: "A five-fold cross
+//! validation is used to reduce the sensitivity to data partitioning").
+
+use crate::metrics::mean_and_variance;
+use crate::model::GcnConfig;
+use crate::sample::GraphSample;
+use crate::trainer::{Trainer, TrainerConfig};
+use crate::{GnnError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a k-fold run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValResult {
+    /// Held-out accuracy of each fold.
+    pub fold_accuracies: Vec<f64>,
+    /// Training accuracy of each fold (last epoch).
+    pub fold_train_accuracies: Vec<f64>,
+}
+
+impl CrossValResult {
+    /// Mean and variance of the held-out accuracies.
+    pub fn validation_summary(&self) -> (f64, f64) {
+        mean_and_variance(&self.fold_accuracies)
+    }
+
+    /// Mean and variance of the training accuracies.
+    pub fn train_summary(&self) -> (f64, f64) {
+        mean_and_variance(&self.fold_train_accuracies)
+    }
+}
+
+/// Builds `k` contiguous folds from a shuffled index set.
+///
+/// Every sample lands in exactly one fold; fold sizes differ by at most one.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn fold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, idx) in indices.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    folds
+}
+
+/// Runs k-fold cross validation: trains a fresh model per fold on the other
+/// `k−1` folds and evaluates on the held-out fold. Folds are independent,
+/// so they train on parallel threads (one per fold).
+///
+/// # Errors
+///
+/// Returns [`GnnError::EmptyDataset`] when there are fewer samples than
+/// folds, and propagates training errors.
+pub fn k_fold(
+    model_config: &GcnConfig,
+    trainer_config: &TrainerConfig,
+    samples: &[GraphSample],
+    k: usize,
+    seed: u64,
+) -> Result<CrossValResult> {
+    if samples.len() < k || k == 0 {
+        return Err(GnnError::EmptyDataset);
+    }
+    let folds = fold_indices(samples.len(), k, seed);
+
+    let run_fold = |fold_id: usize, held_out: &Vec<usize>| -> Result<(f64, f64)> {
+        let train: Vec<&GraphSample> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != fold_id)
+            .flat_map(|(_, f)| f.iter().map(|&i| &samples[i]))
+            .collect();
+        let validation: Vec<&GraphSample> = held_out.iter().map(|&i| &samples[i]).collect();
+        let mut fold_model = model_config.clone();
+        fold_model.seed = model_config.seed.wrapping_add(fold_id as u64);
+        let mut trainer = Trainer::new(fold_model, trainer_config.clone())?;
+        let history = trainer.fit(&train, &validation)?;
+        let last = history.last().expect("at least one epoch");
+        Ok((last.validation_accuracy, last.train_accuracy))
+    };
+
+    let results: Vec<Result<(f64, f64)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = folds
+            .iter()
+            .enumerate()
+            .map(|(fold_id, held_out)| scope.spawn(move |_| run_fold(fold_id, held_out)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fold thread must not panic")).collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut fold_train_accuracies = Vec::with_capacity(k);
+    for result in results {
+        let (val, train) = result?;
+        fold_accuracies.push(val);
+        fold_train_accuracies.push(train);
+    }
+    Ok(CrossValResult { fold_accuracies, fold_train_accuracies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use gana_graph::{CircuitGraph, GraphOptions};
+    use gana_netlist::parse;
+
+    #[test]
+    fn folds_partition_the_index_set() {
+        let folds = fold_indices(11, 5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn k_fold_runs_and_reports() {
+        let samples: Vec<GraphSample> = (0..5)
+            .map(|i| {
+                let src = format!("M0 d{i} d{i} gnd! gnd! NMOS\nM1 e{i} d{i} gnd! gnd! NMOS\nR1 e{i} o 1k\n");
+                let c = parse(&src).expect("valid");
+                let g = CircuitGraph::build(&c, GraphOptions::default());
+                let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
+                GraphSample::prepare(format!("cv{i}"), &c, &g, labels, 1, i).expect("ok")
+            })
+            .collect();
+        let model = GcnConfig {
+            conv_channels: vec![4],
+            filter_order: 2,
+            fc_dim: 8,
+            num_classes: 2,
+            activation: Activation::Relu,
+            dropout: 0.0,
+            batch_norm: false,
+            ..GcnConfig::default()
+        };
+        let trainer = TrainerConfig { epochs: 2, ..TrainerConfig::default() };
+        let result = k_fold(&model, &trainer, &samples, 5, 0).expect("runs");
+        assert_eq!(result.fold_accuracies.len(), 5);
+        let (mean, var) = result.validation_summary();
+        assert!((0.0..=1.0).contains(&mean));
+        assert!(var >= 0.0);
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let model = GcnConfig::default();
+        let trainer = TrainerConfig::default();
+        assert!(matches!(
+            k_fold(&model, &trainer, &[], 5, 0),
+            Err(GnnError::EmptyDataset)
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Inverted dropout (paper Section V-A: "dropout, which randomly ignores a
+//! set of neurons during training to avoid overfitting").
+
+use gana_sparse::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inverted dropout with keep-probability rescaling.
+///
+/// During training, each activation is zeroed with probability `rate` and
+/// survivors are scaled by `1/(1−rate)` so that the expectation is
+/// unchanged; at inference the layer is the identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    rate: f64,
+}
+
+/// The mask produced by a training-mode forward pass.
+#[derive(Debug, Clone)]
+pub struct DropoutMask {
+    mask: DenseMatrix,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1)`.
+    pub fn new(rate: f64) -> Dropout {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
+        Dropout { rate }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Training-mode forward: returns the masked output and the mask.
+    pub fn forward_train(&self, x: &DenseMatrix, rng: &mut StdRng) -> (DenseMatrix, DropoutMask) {
+        if self.rate == 0.0 {
+            let mask = DenseMatrix::filled(x.rows(), x.cols(), 1.0);
+            return (x.clone(), DropoutMask { mask });
+        }
+        let keep = 1.0 - self.rate;
+        let mask = DenseMatrix::from_fn(x.rows(), x.cols(), |_, _| {
+            if rng.gen::<f64>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let y = x.hadamard(&mask).expect("same shape by construction");
+        (y, DropoutMask { mask })
+    }
+
+    /// Inference-mode forward: identity.
+    pub fn forward_eval(&self, x: &DenseMatrix) -> DenseMatrix {
+        x.clone()
+    }
+
+    /// Backward through the stored mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has a different shape from the forward input.
+    pub fn backward(&self, mask: &DropoutMask, grad: &DenseMatrix) -> DenseMatrix {
+        grad.hadamard(&mask.mask).expect("mask shape matches forward input")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let d = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = DenseMatrix::filled(3, 3, 2.0);
+        let (y, _) = d.forward_train(&x, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = DenseMatrix::filled(200, 50, 1.0);
+        let (y, _) = d.forward_train(&x, &mut rng);
+        let mean = y.sum() / (200.0 * 50.0);
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps the mean, got {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let d = Dropout::new(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = DenseMatrix::filled(4, 4, 1.0);
+        let (y, mask) = d.forward_train(&x, &mut rng);
+        let g = DenseMatrix::filled(4, 4, 1.0);
+        let dx = d.backward(&mask, &g);
+        // Where the output is zero, the gradient must be zero; where kept,
+        // gradient equals the keep scale.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(dx.get(i, j) == 0.0, y.get(i, j) == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rate_one_is_rejected() {
+        let _ = Dropout::new(1.0);
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.9);
+        let x = DenseMatrix::filled(2, 2, 3.0);
+        assert_eq!(d.forward_eval(&x), x);
+    }
+}

@@ -1,0 +1,70 @@
+use gana_sparse::SparseError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for GNN construction and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GnnError {
+    /// A configuration value was invalid (zero layers, K = 0, …).
+    InvalidConfig(String),
+    /// Input shapes did not match what a layer or the model expects.
+    ShapeMismatch(String),
+    /// A linear-algebra operation failed.
+    Sparse(SparseError),
+    /// Training produced non-finite values (exploding gradients).
+    NonFinite {
+        /// Where the NaN/Inf was first observed.
+        location: &'static str,
+    },
+    /// The training set was empty or degenerate.
+    EmptyDataset,
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::InvalidConfig(msg) => write!(f, "invalid GCN configuration: {msg}"),
+            GnnError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            GnnError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+            GnnError::NonFinite { location } => {
+                write!(f, "non-finite value encountered in {location}")
+            }
+            GnnError::EmptyDataset => write!(f, "training requires a non-empty dataset"),
+        }
+    }
+}
+
+impl Error for GnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GnnError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for GnnError {
+    fn from(e: SparseError) -> Self {
+        GnnError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GnnError::NonFinite { location: "chebconv backward" };
+        assert!(e.to_string().contains("chebconv"));
+        let s: GnnError = SparseError::NotSquare { shape: (2, 3) }.into();
+        assert!(s.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GnnError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Random hyperparameter search (paper Section V-A: "a random search
+//! method is used to optimize hyperparameters such as the learning rate,
+//! regularization, decay rate, and filter size").
+
+use crate::model::GcnConfig;
+use crate::sample::GraphSample;
+use crate::trainer::{Trainer, TrainerConfig};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The search space for random hyperparameter search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Learning-rate range (log-uniform).
+    pub learning_rate: (f64, f64),
+    /// Weight-decay range (log-uniform).
+    pub weight_decay: (f64, f64),
+    /// Learning-rate decay range (uniform).
+    pub lr_decay: (f64, f64),
+    /// Candidate filter sizes `K`.
+    pub filter_orders: Vec<usize>,
+    /// Candidate dropout rates.
+    pub dropouts: Vec<f64>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            learning_rate: (1e-4, 3e-2),
+            weight_decay: (1e-6, 1e-3),
+            lr_decay: (0.9, 1.0),
+            filter_orders: vec![4, 8, 16, 32],
+            dropouts: vec![0.0, 0.25, 0.5],
+        }
+    }
+}
+
+/// One sampled configuration and its validation score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The sampled model configuration.
+    pub model: GcnConfig,
+    /// The sampled trainer configuration.
+    pub trainer: TrainerConfig,
+    /// Validation accuracy achieved.
+    pub validation_accuracy: f64,
+}
+
+fn log_uniform(rng: &mut StdRng, range: (f64, f64)) -> f64 {
+    let (lo, hi) = range;
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Draws `trials` random configurations, trains each on `train`, scores on
+/// `validation`, and returns candidates sorted best-first.
+///
+/// `base_model`/`base_trainer` supply the fields the search does not vary
+/// (channel widths, epochs, classes…).
+///
+/// # Errors
+///
+/// Propagates training errors; an individual NaN blow-up marks that
+/// candidate with accuracy 0 instead of aborting the search.
+pub fn random_search(
+    base_model: &GcnConfig,
+    base_trainer: &TrainerConfig,
+    space: &SearchSpace,
+    train: &[&GraphSample],
+    validation: &[&GraphSample],
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<Candidate>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut results = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let mut model = base_model.clone();
+        model.filter_order = space.filter_orders[rng.gen_range(0..space.filter_orders.len())];
+        model.dropout = space.dropouts[rng.gen_range(0..space.dropouts.len())];
+        model.weight_decay = log_uniform(&mut rng, space.weight_decay);
+        model.seed = seed.wrapping_add(trial as u64);
+        let mut trainer_cfg = base_trainer.clone();
+        trainer_cfg.learning_rate = log_uniform(&mut rng, space.learning_rate);
+        trainer_cfg.lr_decay = rng.gen_range(space.lr_decay.0..=space.lr_decay.1);
+
+        let mut trainer = Trainer::new(model.clone(), trainer_cfg.clone())?;
+        let validation_accuracy = match trainer.fit(train, validation) {
+            Ok(history) => history.last().map_or(0.0, |s| s.validation_accuracy),
+            Err(crate::GnnError::NonFinite { .. }) => 0.0,
+            Err(e) => return Err(e),
+        };
+        results.push(Candidate { model, trainer: trainer_cfg, validation_accuracy });
+    }
+    results.sort_by(|a, b| {
+        b.validation_accuracy
+            .partial_cmp(&a.validation_accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use gana_graph::{CircuitGraph, GraphOptions};
+    use gana_netlist::parse;
+
+    fn samples() -> Vec<GraphSample> {
+        ["M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n",
+         "M0 a a gnd! gnd! NMOS\nM1 b a gnd! gnd! NMOS\nC1 b o 1p\n"]
+            .iter()
+            .enumerate()
+            .map(|(i, src)| {
+                let c = parse(src).expect("valid");
+                let g = CircuitGraph::build(&c, GraphOptions::default());
+                let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
+                GraphSample::prepare(format!("s{i}"), &c, &g, labels, 1, 0).expect("ok")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn search_returns_sorted_candidates() {
+        let samples = samples();
+        let refs: Vec<&GraphSample> = samples.iter().collect();
+        let base_model = GcnConfig {
+            conv_channels: vec![4],
+            fc_dim: 8,
+            num_classes: 2,
+            activation: Activation::Relu,
+            batch_norm: false,
+            ..GcnConfig::default()
+        };
+        let base_trainer = TrainerConfig { epochs: 3, ..TrainerConfig::default() };
+        let space = SearchSpace {
+            filter_orders: vec![2, 3],
+            dropouts: vec![0.0],
+            ..SearchSpace::default()
+        };
+        let out = random_search(&base_model, &base_trainer, &space, &refs[..1], &refs[1..], 3, 7)
+            .expect("search runs");
+        assert_eq!(out.len(), 3);
+        for w in out.windows(2) {
+            assert!(w[0].validation_accuracy >= w[1].validation_accuracy);
+        }
+        // Sampled values stay inside the space.
+        for c in &out {
+            assert!(space.filter_orders.contains(&c.model.filter_order));
+            assert!(c.trainer.learning_rate >= 1e-4 && c.trainer.learning_rate <= 3e-2);
+        }
+    }
+
+    #[test]
+    fn log_uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let v = log_uniform(&mut rng, (1e-4, 1e-1));
+            assert!((1e-4..=1e-1).contains(&v));
+        }
+    }
+}

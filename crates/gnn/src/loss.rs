@@ -1,0 +1,141 @@
+//! Softmax and masked cross-entropy loss.
+
+use gana_sparse::DenseMatrix;
+
+/// Row-wise softmax with the max-subtraction trick for stability.
+pub fn softmax(logits: &DenseMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for (o, &v) in out.row_mut(r).iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            denom += e;
+        }
+        if denom > 0.0 {
+            for o in out.row_mut(r) {
+                *o /= denom;
+            }
+        }
+    }
+    out
+}
+
+/// Masked cross-entropy over rows: returns `(mean_loss, grad_logits)`.
+///
+/// Row `r` contributes `−log p[r][labels[r]]` when `labels[r]` is `Some`;
+/// unlabeled rows contribute nothing and receive zero gradient. The
+/// combined softmax+CE gradient is `(p − onehot(y)) / n_labeled`, which is
+/// both cheaper and numerically safer than chaining the two backward passes.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn cross_entropy(logits: &DenseMatrix, labels: &[Option<usize>]) -> (f64, DenseMatrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label slot per row");
+    let probs = softmax(logits);
+    let n_labeled = labels.iter().filter(|l| l.is_some()).count().max(1) as f64;
+    let mut grad = DenseMatrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for (r, label) in labels.iter().enumerate() {
+        let Some(y) = label else { continue };
+        assert!(*y < logits.cols(), "label {y} out of range for {} classes", logits.cols());
+        let p = probs.get(r, *y).max(1e-15);
+        loss -= p.ln();
+        for c in 0..logits.cols() {
+            let indicator = if c == *y { 1.0 } else { 0.0 };
+            grad.set(r, c, (probs.get(r, c) - indicator) / n_labeled);
+        }
+    }
+    (loss / n_labeled, grad)
+}
+
+/// L2 regularization: returns `(0.5·λ·‖W‖², λ·W)` for one parameter matrix.
+pub fn l2_penalty(weight: &DenseMatrix, lambda: f64) -> (f64, DenseMatrix) {
+    let norm_sq = weight.as_slice().iter().map(|v| v * v).sum::<f64>();
+    (0.5 * lambda * norm_sq, weight.scale(lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]])
+            .expect("valid");
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let sum: f64 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = DenseMatrix::from_rows(&[&[1000.0, 1001.0]]).expect("valid");
+        let p = softmax(&a);
+        assert!(!p.has_non_finite());
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0]]).expect("valid");
+        let q = softmax(&b);
+        assert!((p.get(0, 0) - q.get(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = DenseMatrix::from_rows(&[&[100.0, 0.0]]).expect("valid");
+        let (loss, _) = cross_entropy(&logits, &[Some(0)]);
+        assert!(loss < 1e-12);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_classes() {
+        let logits = DenseMatrix::zeros(1, 4);
+        let (loss, _) = cross_entropy(&logits, &[Some(2)]);
+        assert!((loss - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_rows_get_zero_gradient() {
+        let logits = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).expect("valid");
+        let (_, grad) = cross_entropy(&logits, &[None, Some(0)]);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert!(grad.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits =
+            DenseMatrix::from_rows(&[&[0.2, -0.1, 0.5], &[1.0, 0.0, -1.0]]).expect("valid");
+        let labels = [Some(2), Some(0)];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - eps);
+                let (fp, _) = cross_entropy(&lp, &labels);
+                let (fm, _) = cross_entropy(&lm, &labels);
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 1e-7,
+                    "grad[{r}][{c}] {} vs fd {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l2_penalty_value_and_gradient() {
+        let w = DenseMatrix::from_rows(&[&[3.0, 4.0]]).expect("valid");
+        let (val, grad) = l2_penalty(&w, 0.1);
+        assert!((val - 0.5 * 0.1 * 25.0).abs() < 1e-12);
+        assert!((grad.get(0, 0) - 0.3).abs() < 1e-12);
+    }
+}

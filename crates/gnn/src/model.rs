@@ -1,0 +1,717 @@
+//! The GCN topology of the paper's Fig. 4: repeated (ChebConv → ReLU →
+//! pool) stages, then a fully connected layer of size 512 with softmax.
+//!
+//! Node classification with graph pooling: after `levels` stride-2 poolings
+//! every original vertex `v` is represented by the cluster at index
+//! `slot(v) >> levels`; the classifier head produces per-cluster logits and
+//! each vertex inherits its cluster's prediction. This reproduces the
+//! paper's observed failure mode — the rare misclassified vertices sit on
+//! region boundaries ("the misclassified vertices belong to the OTA
+//! interconnect ports", Section V-B).
+
+use crate::activation::Activation;
+use crate::batchnorm::{BatchNorm, BatchNormCache};
+use crate::chebconv::{ChebConv, ChebConvCache};
+use crate::dense_layer::DenseLayer;
+use crate::dropout::Dropout;
+use crate::loss::{cross_entropy, softmax};
+use crate::sample::GraphSample;
+use crate::{GnnError, Result};
+use gana_sparse::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of a [`GcnModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnConfig {
+    /// Input feature dimension (18 in the paper).
+    pub input_dim: usize,
+    /// Output channels of each conv stage; the length is the number of
+    /// conv+pool layers (2 in the paper's chosen topology).
+    pub conv_channels: Vec<usize>,
+    /// Chebyshev filter order `K` (the paper picks 32).
+    pub filter_order: usize,
+    /// Hidden width of the fully connected head (512 in the paper).
+    pub fc_dim: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Activation used across all layers.
+    pub activation: Activation,
+    /// Dropout rate applied inside the FC head during training.
+    pub dropout: f64,
+    /// Whether to batch-normalize conv outputs.
+    pub batch_norm: bool,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f64,
+    /// RNG seed for weight initialization and dropout.
+    pub seed: u64,
+}
+
+impl Default for GcnConfig {
+    /// The paper's configuration: 18 features, two conv layers, K=32,
+    /// FC-512, ReLU, dropout 0.5, batch norm on.
+    fn default() -> Self {
+        GcnConfig {
+            input_dim: 18,
+            conv_channels: vec![32, 64],
+            filter_order: 32,
+            fc_dim: 512,
+            num_classes: 2,
+            activation: Activation::Relu,
+            dropout: 0.5,
+            batch_norm: true,
+            weight_decay: 5e-5,
+            seed: 1,
+        }
+    }
+}
+
+impl GcnConfig {
+    /// Number of conv+pool stages.
+    pub fn levels(&self) -> usize {
+        self.conv_channels.len()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.input_dim == 0 || self.num_classes == 0 || self.fc_dim == 0 {
+            return Err(GnnError::InvalidConfig("dimensions must be positive".to_string()));
+        }
+        if self.conv_channels.is_empty() {
+            return Err(GnnError::InvalidConfig("at least one conv layer required".to_string()));
+        }
+        if self.filter_order == 0 {
+            return Err(GnnError::InvalidConfig("filter order K must be ≥ 1".to_string()));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(GnnError::InvalidConfig(format!(
+                "dropout must be in [0,1), got {}",
+                self.dropout
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Gradients for every parameter of the model, in model order.
+#[derive(Debug, Clone)]
+pub struct ModelGrads {
+    conv_weights: Vec<Vec<DenseMatrix>>,
+    conv_biases: Vec<Vec<f64>>,
+    bn_gammas: Vec<Vec<f64>>,
+    bn_betas: Vec<Vec<f64>>,
+    fc1_weight: DenseMatrix,
+    fc1_bias: Vec<f64>,
+    fc2_weight: DenseMatrix,
+    fc2_bias: Vec<f64>,
+}
+
+impl ModelGrads {
+    /// Flattens all gradients into one vector matching
+    /// [`GcnModel::flatten_params`] order.
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (ws, bs) in self.conv_weights.iter().zip(&self.conv_biases) {
+            for w in ws {
+                out.extend_from_slice(w.as_slice());
+            }
+            out.extend_from_slice(bs);
+        }
+        for (g, b) in self.bn_gammas.iter().zip(&self.bn_betas) {
+            out.extend_from_slice(g);
+            out.extend_from_slice(b);
+        }
+        out.extend_from_slice(self.fc1_weight.as_slice());
+        out.extend_from_slice(&self.fc1_bias);
+        out.extend_from_slice(self.fc2_weight.as_slice());
+        out.extend_from_slice(&self.fc2_bias);
+        out
+    }
+}
+
+/// Result of one training forward/backward pass.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Mean cross-entropy (plus L2 penalty) over labeled vertices.
+    pub loss: f64,
+    /// Gradients for every parameter.
+    pub grads: ModelGrads,
+    /// Per-original-vertex predicted class.
+    pub predictions: Vec<usize>,
+}
+
+/// The spectral GCN of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    config: GcnConfig,
+    convs: Vec<ChebConv>,
+    batch_norms: Vec<BatchNorm>,
+    fc1: DenseLayer,
+    fc2: DenseLayer,
+    dropout: Dropout,
+    rng: StdRng,
+}
+
+impl GcnModel {
+    /// Builds a model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] for degenerate configurations.
+    pub fn new(config: GcnConfig) -> Result<GcnModel> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut convs = Vec::with_capacity(config.levels());
+        let mut batch_norms = Vec::new();
+        let mut in_dim = config.input_dim;
+        for &out_dim in &config.conv_channels {
+            convs.push(ChebConv::new(in_dim, out_dim, config.filter_order, &mut rng)?);
+            if config.batch_norm {
+                batch_norms.push(BatchNorm::new(out_dim)?);
+            }
+            in_dim = out_dim;
+        }
+        let fc1 = DenseLayer::new(in_dim, config.fc_dim, &mut rng)?;
+        let fc2 = DenseLayer::new(config.fc_dim, config.num_classes, &mut rng)?;
+        let dropout = Dropout::new(config.dropout);
+        Ok(GcnModel { config, convs, batch_norms, fc1, fc2, dropout, rng })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &GcnConfig {
+        &self.config
+    }
+
+    /// Total number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        let conv: usize = self.convs.iter().map(ChebConv::parameter_count).sum();
+        let bn: usize = self.batch_norms.iter().map(|b| 2 * b.dim()).sum();
+        conv + bn + self.fc1.parameter_count() + self.fc2.parameter_count()
+    }
+
+    fn check_sample(&self, sample: &GraphSample) -> Result<()> {
+        if sample.coarsening.levels() != self.config.levels() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "sample coarsened {} levels, model pools {}",
+                sample.coarsening.levels(),
+                self.config.levels()
+            )));
+        }
+        if sample.features.cols() != self.config.input_dim {
+            return Err(GnnError::ShapeMismatch(format!(
+                "sample has {} features, model expects {}",
+                sample.features.cols(),
+                self.config.input_dim
+            )));
+        }
+        Ok(())
+    }
+
+    /// Inference: per-original-vertex class predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
+    /// model configuration.
+    pub fn predict(&self, sample: &GraphSample) -> Result<Vec<usize>> {
+        Ok(self.predict_probabilities(sample)?.1)
+    }
+
+    /// Inference returning `(per-vertex class probabilities, predictions)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
+    /// model configuration.
+    pub fn predict_probabilities(
+        &self,
+        sample: &GraphSample,
+    ) -> Result<(DenseMatrix, Vec<usize>)> {
+        self.check_sample(sample)?;
+        let mut x = sample.features.clone();
+        for (l, conv) in self.convs.iter().enumerate() {
+            let (y, _) = conv.forward(sample.coarsening.laplacian(l), &x)?;
+            let y = if self.config.batch_norm {
+                self.batch_norms[l].forward_eval(&y)?
+            } else {
+                y
+            };
+            let y = self.config.activation.forward(&y);
+            x = max_pool2(&y).0;
+        }
+        let (h, _) = self.fc1.forward(&x)?;
+        let h = self.config.activation.forward(&h);
+        let (logits, _) = self.fc2.forward(&h)?;
+        let clusters: Vec<usize> =
+            (0..sample.vertex_count()).map(|v| sample.coarsening.cluster_of(v)).collect();
+        let vertex_logits = logits.gather_rows(&clusters);
+        let probs = softmax(&vertex_logits);
+        let preds = (0..probs.rows())
+            .map(|r| probs.row_argmax(r).unwrap_or(0))
+            .collect();
+        Ok((probs, preds))
+    }
+
+    /// One training step: forward, loss, full backward. The caller applies
+    /// the returned gradients via an [`crate::Optimizer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] for incompatible samples and
+    /// [`GnnError::NonFinite`] if the loss or any gradient diverges.
+    pub fn train_step(&mut self, sample: &GraphSample) -> Result<StepResult> {
+        self.check_sample(sample)?;
+        let levels = self.config.levels();
+
+        // ---- forward ----
+        struct StageCache {
+            conv: ChebConvCache,
+            bn: Option<BatchNormCache>,
+            activated: DenseMatrix,
+            pool_argmax: Vec<usize>,
+            pooled_rows: usize,
+        }
+        let mut stages: Vec<StageCache> = Vec::with_capacity(levels);
+        let mut x = sample.features.clone();
+        for l in 0..levels {
+            let (y, conv_cache) = self.convs[l].forward(sample.coarsening.laplacian(l), &x)?;
+            let (y, bn_cache) = if self.config.batch_norm {
+                let (out, cache) = self.batch_norms[l].forward_train(&y)?;
+                (out, Some(cache))
+            } else {
+                (y, None)
+            };
+            let activated = self.config.activation.forward(&y);
+            let (pooled, argmax) = max_pool2(&activated);
+            stages.push(StageCache {
+                conv: conv_cache,
+                bn: bn_cache,
+                activated,
+                pool_argmax: argmax,
+                pooled_rows: pooled.rows(),
+            });
+            x = pooled;
+        }
+        let (h_pre, fc1_cache) = self.fc1.forward(&x)?;
+        let h_act = self.config.activation.forward(&h_pre);
+        let (h_drop, drop_mask) = self.dropout.forward_train(&h_act, &mut self.rng);
+        let (logits, fc2_cache) = self.fc2.forward(&h_drop)?;
+
+        // ---- loss on original vertices via their clusters ----
+        let clusters: Vec<usize> =
+            (0..sample.vertex_count()).map(|v| sample.coarsening.cluster_of(v)).collect();
+        let vertex_logits = logits.gather_rows(&clusters);
+        let (mut loss, vertex_grad) = cross_entropy(&vertex_logits, &sample.labels);
+        let probs = softmax(&vertex_logits);
+        let predictions: Vec<usize> =
+            (0..probs.rows()).map(|r| probs.row_argmax(r).unwrap_or(0)).collect();
+
+        // Scatter vertex gradients back onto cluster logits.
+        let mut logits_grad = DenseMatrix::zeros(logits.rows(), logits.cols());
+        for (v, &cl) in clusters.iter().enumerate() {
+            for c in 0..logits.cols() {
+                logits_grad.add_at(cl, c, vertex_grad.get(v, c));
+            }
+        }
+
+        // ---- backward ----
+        let (grad_hdrop, fc2_gw, fc2_gb) = self.fc2.backward(&fc2_cache, &logits_grad)?;
+        let grad_hact = self.dropout.backward(&drop_mask, &grad_hdrop);
+        let grad_hpre = self.config.activation.backward(&h_act, &grad_hact);
+        let (mut grad, fc1_gw, fc1_gb) = self.fc1.backward(&fc1_cache, &grad_hpre)?;
+
+        let mut conv_weight_grads: Vec<Vec<DenseMatrix>> = vec![Vec::new(); levels];
+        let mut conv_bias_grads: Vec<Vec<f64>> = vec![Vec::new(); levels];
+        let mut bn_gamma_grads: Vec<Vec<f64>> = Vec::new();
+        let mut bn_beta_grads: Vec<Vec<f64>> = Vec::new();
+        for l in (0..levels).rev() {
+            let stage = &stages[l];
+            debug_assert_eq!(grad.rows(), stage.pooled_rows);
+            let grad_act = max_pool2_backward(&stage.pool_argmax, &grad, stage.activated.rows());
+            let grad_pre_act = self.config.activation.backward(&stage.activated, &grad_act);
+            let grad_conv_out = if let Some(bn_cache) = &stage.bn {
+                let (gx, ggamma, gbeta) = self.batch_norms[l].backward(bn_cache, &grad_pre_act)?;
+                bn_gamma_grads.insert(0, ggamma);
+                bn_beta_grads.insert(0, gbeta);
+                gx
+            } else {
+                grad_pre_act
+            };
+            let (gx, gws, gbs) = self.convs[l].backward(
+                sample.coarsening.laplacian(l),
+                &stage.conv,
+                &grad_conv_out,
+            )?;
+            conv_weight_grads[l] = gws;
+            conv_bias_grads[l] = gbs;
+            grad = gx;
+        }
+
+        // ---- weight decay on all weight matrices (not biases) ----
+        let lambda = self.config.weight_decay;
+        let mut fc1_gw = fc1_gw;
+        let mut fc2_gw = fc2_gw;
+        if lambda > 0.0 {
+            for (l, conv) in self.convs.iter().enumerate() {
+                for (g, w) in conv_weight_grads[l].iter_mut().zip(conv.weights()) {
+                    g.axpy(lambda, w)?;
+                    loss += 0.5 * lambda * w.as_slice().iter().map(|v| v * v).sum::<f64>();
+                }
+            }
+            fc1_gw.axpy(lambda, self.fc1.weight())?;
+            fc2_gw.axpy(lambda, self.fc2.weight())?;
+            loss += 0.5
+                * lambda
+                * (self.fc1.weight().as_slice().iter().map(|v| v * v).sum::<f64>()
+                    + self.fc2.weight().as_slice().iter().map(|v| v * v).sum::<f64>());
+        }
+
+        if !loss.is_finite() {
+            return Err(GnnError::NonFinite { location: "training loss" });
+        }
+
+        Ok(StepResult {
+            loss,
+            grads: ModelGrads {
+                conv_weights: conv_weight_grads,
+                conv_biases: conv_bias_grads,
+                bn_gammas: bn_gamma_grads,
+                bn_betas: bn_beta_grads,
+                fc1_weight: fc1_gw,
+                fc1_bias: fc1_gb,
+                fc2_weight: fc2_gw,
+                fc2_bias: fc2_gb,
+            },
+            predictions,
+        })
+    }
+
+    /// Running statistics of every batch-norm layer, `(means, variances)`
+    /// per layer in order (empty when `batch_norm` is off).
+    pub fn batch_norm_stats(&self) -> Vec<(Vec<f64>, Vec<f64>)> {
+        self.batch_norms
+            .iter()
+            .map(|bn| {
+                let (m, v) = bn.running_stats();
+                (m.to_vec(), v.to_vec())
+            })
+            .collect()
+    }
+
+    /// Restores batch-norm running statistics (checkpoint loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] on a layer-count or width
+    /// mismatch.
+    pub fn set_batch_norm_stats(&mut self, stats: &[(Vec<f64>, Vec<f64>)]) -> Result<()> {
+        if stats.len() != self.batch_norms.len() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "{} stat pairs for {} batch-norm layers",
+                stats.len(),
+                self.batch_norms.len()
+            )));
+        }
+        for (bn, (means, vars)) in self.batch_norms.iter_mut().zip(stats) {
+            bn.set_running_stats(means, vars)?;
+        }
+        Ok(())
+    }
+
+    /// Flattens all parameters into one vector (conv taps + biases, then
+    /// batch-norm γ/β, then FC weights/biases).
+    pub fn flatten_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.parameter_count());
+        for conv in &self.convs {
+            for w in conv.weights() {
+                out.extend_from_slice(w.as_slice());
+            }
+            out.extend_from_slice(conv.bias());
+        }
+        for bn in &self.batch_norms {
+            out.extend_from_slice(bn.gamma());
+            out.extend_from_slice(bn.beta());
+        }
+        out.extend_from_slice(self.fc1.weight().as_slice());
+        out.extend_from_slice(self.fc1.bias());
+        out.extend_from_slice(self.fc2.weight().as_slice());
+        out.extend_from_slice(self.fc2.bias());
+        out
+    }
+
+    /// Writes back a flat parameter vector produced by [`Self::flatten_params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the length differs.
+    pub fn apply_flat_params(&mut self, flat: &[f64]) -> Result<()> {
+        if flat.len() != self.parameter_count() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "flat vector has {} entries, model has {}",
+                flat.len(),
+                self.parameter_count()
+            )));
+        }
+        let mut cursor = 0;
+        let mut take = |n: usize| {
+            let slice = &flat[cursor..cursor + n];
+            cursor += n;
+            slice
+        };
+        for conv in &mut self.convs {
+            let (rows, cols) = (conv.in_dim(), conv.out_dim());
+            for w in conv.weights_mut() {
+                w.as_mut_slice().copy_from_slice(take(rows * cols));
+            }
+            conv.bias_mut().copy_from_slice(take(cols));
+        }
+        for bn in &mut self.batch_norms {
+            let d = bn.dim();
+            bn.gamma_mut().copy_from_slice(take(d));
+            bn.beta_mut().copy_from_slice(take(d));
+        }
+        let (r1, c1) = (self.fc1.in_dim(), self.fc1.out_dim());
+        self.fc1.weight_mut().as_mut_slice().copy_from_slice(take(r1 * c1));
+        self.fc1.bias_mut().copy_from_slice(take(c1));
+        let (r2, c2) = (self.fc2.in_dim(), self.fc2.out_dim());
+        self.fc2.weight_mut().as_mut_slice().copy_from_slice(take(r2 * c2));
+        self.fc2.bias_mut().copy_from_slice(take(c2));
+        debug_assert_eq!(cursor, flat.len());
+        Ok(())
+    }
+}
+
+/// Stride-2 max pooling over rows. Returns the pooled matrix and, per
+/// output cell (row-major), the input row index that won the max.
+///
+/// # Panics
+///
+/// Panics if the row count is odd (coarsening always produces even padded
+/// sizes when `levels ≥ 1`).
+pub(crate) fn max_pool2(x: &DenseMatrix) -> (DenseMatrix, Vec<usize>) {
+    assert!(x.rows().is_multiple_of(2), "pooling needs an even number of rows, got {}", x.rows());
+    let out_rows = x.rows() / 2;
+    let mut y = DenseMatrix::zeros(out_rows, x.cols());
+    let mut argmax = vec![0usize; out_rows * x.cols()];
+    for r in 0..out_rows {
+        for c in 0..x.cols() {
+            let a = x.get(2 * r, c);
+            let b = x.get(2 * r + 1, c);
+            if a >= b {
+                y.set(r, c, a);
+                argmax[r * x.cols() + c] = 2 * r;
+            } else {
+                y.set(r, c, b);
+                argmax[r * x.cols() + c] = 2 * r + 1;
+            }
+        }
+    }
+    (y, argmax)
+}
+
+/// Backward of [`max_pool2`]: routes each output gradient to the winning row.
+pub(crate) fn max_pool2_backward(
+    argmax: &[usize],
+    grad: &DenseMatrix,
+    in_rows: usize,
+) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(in_rows, grad.cols());
+    for r in 0..grad.rows() {
+        for c in 0..grad.cols() {
+            let src = argmax[r * grad.cols() + c];
+            out.add_at(src, c, grad.get(r, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::{CircuitGraph, GraphOptions};
+    use gana_netlist::parse;
+
+    fn tiny_config() -> GcnConfig {
+        GcnConfig {
+            input_dim: 18,
+            conv_channels: vec![4, 4],
+            filter_order: 3,
+            fc_dim: 8,
+            num_classes: 2,
+            activation: Activation::Relu,
+            dropout: 0.0,
+            batch_norm: false,
+            weight_decay: 0.0,
+            seed: 5,
+        }
+    }
+
+    fn tiny_sample() -> GraphSample {
+        let c = parse(
+            "M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nM2 out in d2 gnd! NMOS\nR1 out vdd! 10k\n",
+        )
+        .expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        // Label element vertices 0/1 as class 0, others class 1.
+        let labels = (0..g.vertex_count())
+            .map(|v| Some(usize::from(v >= 2)))
+            .collect();
+        GraphSample::prepare("tiny", &c, &g, labels, 2, 9).expect("prepares")
+    }
+
+    #[test]
+    fn pooling_and_backward_route_correctly() {
+        let x = DenseMatrix::from_rows(&[&[1.0, 5.0], &[3.0, 2.0], &[0.0, 0.0], &[4.0, 1.0]])
+            .expect("valid");
+        let (y, argmax) = max_pool2(&x);
+        assert_eq!(y.row(0), &[3.0, 5.0]);
+        assert_eq!(y.row(1), &[4.0, 1.0]);
+        let g = DenseMatrix::filled(2, 2, 1.0);
+        let back = max_pool2_backward(&argmax, &g, 4);
+        assert_eq!(back.get(1, 0), 1.0);
+        assert_eq!(back.get(0, 1), 1.0);
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(3, 1), 1.0);
+    }
+
+    #[test]
+    fn model_builds_and_counts_parameters() {
+        let model = GcnModel::new(tiny_config()).expect("valid config");
+        // conv1: 3*18*4+4, conv2: 3*4*4+4, fc1: 4*8+8, fc2: 8*2+2.
+        assert_eq!(
+            model.parameter_count(),
+            (3 * 18 * 4 + 4) + (3 * 4 * 4 + 4) + (4 * 8 + 8) + (8 * 2 + 2)
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = tiny_config();
+        c.conv_channels.clear();
+        assert!(GcnModel::new(c).is_err());
+        let mut c = tiny_config();
+        c.filter_order = 0;
+        assert!(GcnModel::new(c).is_err());
+        let mut c = tiny_config();
+        c.dropout = 1.5;
+        assert!(GcnModel::new(c).is_err());
+    }
+
+    #[test]
+    fn predictions_have_one_entry_per_vertex() {
+        let model = GcnModel::new(tiny_config()).expect("valid");
+        let sample = tiny_sample();
+        let preds = model.predict(&sample).expect("compatible");
+        assert_eq!(preds.len(), sample.vertex_count());
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_one_sample() {
+        use crate::optimizer::{Adam, Optimizer};
+        let mut model = GcnModel::new(tiny_config()).expect("valid");
+        let sample = tiny_sample();
+        let mut opt = Adam::new(0.01);
+        let first = model.train_step(&sample).expect("step").loss;
+        for _ in 0..60 {
+            let step = model.train_step(&sample).expect("step");
+            let mut params = model.flatten_params();
+            opt.step(&mut params, &step.grads.flatten());
+            model.apply_flat_params(&params).expect("same length");
+        }
+        let last = model.train_step(&sample).expect("step").loss;
+        assert!(
+            last < first * 0.5,
+            "loss should halve when overfitting one sample: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn flatten_apply_round_trips() {
+        let mut model = GcnModel::new(tiny_config()).expect("valid");
+        let params = model.flatten_params();
+        assert_eq!(params.len(), model.parameter_count());
+        let mut tweaked = params.clone();
+        for p in &mut tweaked {
+            *p += 0.5;
+        }
+        model.apply_flat_params(&tweaked).expect("same length");
+        let back = model.flatten_params();
+        assert_eq!(back, tweaked);
+        assert!(model.apply_flat_params(&params[..3]).is_err());
+    }
+
+    #[test]
+    fn grads_flatten_matches_parameter_count() {
+        let mut model = GcnModel::new(tiny_config()).expect("valid");
+        let sample = tiny_sample();
+        let step = model.train_step(&sample).expect("step");
+        assert_eq!(step.grads.flatten().len(), model.parameter_count());
+    }
+
+    #[test]
+    fn whole_model_gradient_check() {
+        // Finite-difference check through conv+pool+fc on a fixed sample
+        // (dropout 0, no batch norm so the forward is deterministic).
+        let mut config = tiny_config();
+        config.conv_channels = vec![3];
+        config.filter_order = 2;
+        config.fc_dim = 4;
+        let mut model = GcnModel::new(config).expect("valid");
+        let c = parse("M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\n").expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
+        let sample = GraphSample::prepare("gc", &c, &g, labels, 1, 2).expect("prepares");
+
+        let analytic = model.train_step(&sample).expect("step").grads.flatten();
+        let params = model.flatten_params();
+        let eps = 1e-5;
+        // Probe a spread of parameter indices.
+        let stride = (params.len() / 17).max(1);
+        for i in (0..params.len()).step_by(stride) {
+            let mut pp = params.clone();
+            pp[i] += eps;
+            model.apply_flat_params(&pp).expect("ok");
+            let fp = model.train_step(&sample).expect("step").loss;
+            let mut pm = params.clone();
+            pm[i] -= eps;
+            model.apply_flat_params(&pm).expect("ok");
+            let fm = model.train_step(&sample).expect("step").loss;
+            model.apply_flat_params(&params).expect("ok");
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {i}: analytic {} vs fd {fd}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_norm_variant_trains() {
+        use crate::optimizer::{Adam, Optimizer};
+        let mut config = tiny_config();
+        config.batch_norm = true;
+        config.dropout = 0.2;
+        let mut model = GcnModel::new(config).expect("valid");
+        let sample = tiny_sample();
+        let mut opt = Adam::new(0.01);
+        for _ in 0..5 {
+            let step = model.train_step(&sample).expect("step");
+            assert!(step.loss.is_finite());
+            let mut params = model.flatten_params();
+            opt.step(&mut params, &step.grads.flatten());
+            model.apply_flat_params(&params).expect("same length");
+        }
+    }
+
+    #[test]
+    fn mismatched_sample_levels_rejected() {
+        let model = GcnModel::new(tiny_config()).expect("valid");
+        let c = parse("R1 a b 1\n").expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        let labels = vec![Some(0); g.vertex_count()];
+        let sample = GraphSample::prepare("bad", &c, &g, labels, 1, 0).expect("prepares");
+        assert!(model.predict(&sample).is_err(), "model pools 2 levels, sample has 1");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the GNN layers: probability simplexes,
+//! pooling conservation, coarsening invariants, and optimizer sanity.
+
+use gana_gnn::{loss, Coarsening};
+use gana_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn random_logits() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..10, 2usize..6).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-30.0f64..30.0, rows * cols).prop_map(move |data| {
+            DenseMatrix::from_vec(rows, cols, data).expect("length matches")
+        })
+    })
+}
+
+/// Strategy: a random connected-ish graph adjacency (path + extra edges).
+fn random_adjacency() -> impl Strategy<Value = CsrMatrix> {
+    (3usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..2 * n).prop_map(move |extras| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n - 1 {
+                coo.push_symmetric(i, i + 1, 1.0).expect("in bounds");
+            }
+            for (a, b) in extras {
+                if a != b {
+                    coo.push_symmetric(a.min(b), a.max(b), 1.0).expect("in bounds");
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_form_a_simplex(logits in random_logits()) {
+        let p = loss::softmax(&logits);
+        prop_assert!(!p.has_non_finite());
+        for r in 0..p.rows() {
+            let sum: f64 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(logits in random_logits()) {
+        let labels: Vec<Option<usize>> =
+            (0..logits.rows()).map(|r| Some(r % logits.cols())).collect();
+        let (loss_value, grad) = loss::cross_entropy(&logits, &labels);
+        prop_assert!(loss_value >= 0.0);
+        // Softmax-CE gradient per labeled row sums to zero (p sums to 1,
+        // one-hot sums to 1).
+        for r in 0..grad.rows() {
+            let sum: f64 = grad.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-9, "row {r} gradient sum {sum}");
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_every_vertex(adj in random_adjacency(), levels in 0usize..3) {
+        let n = adj.rows();
+        let c = Coarsening::build(&adj, levels, 7).expect("builds");
+        prop_assert_eq!(c.n_original(), n);
+        // Slots are distinct and in range; cluster ids in range.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..n {
+            let slot = c.slot(v);
+            prop_assert!(slot < c.padded_size(0));
+            prop_assert!(seen.insert(slot), "slot {slot} reused");
+            prop_assert!(c.cluster_of(v) < c.padded_size(levels));
+            prop_assert_eq!(c.original(slot), Some(v));
+        }
+    }
+
+    #[test]
+    fn permute_unpermute_is_identity(adj in random_adjacency()) {
+        let n = adj.rows();
+        let c = Coarsening::build(&adj, 2, 3).expect("builds");
+        let x = DenseMatrix::from_fn(n, 4, |r, col| (r * 13 + col * 7) as f64);
+        let padded = c.permute_features(&x).expect("rows match");
+        let back = c.unpermute_rows(&padded).expect("rows match");
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn coarse_laplacian_spectra_stay_rescaled(adj in random_adjacency()) {
+        let c = Coarsening::build(&adj, 2, 5).expect("builds");
+        for level in 0..=2 {
+            let lap = c.laplacian(level);
+            prop_assert!(lap.is_symmetric(1e-9), "level {level} not symmetric");
+            let lambda = gana_sparse::lanczos::largest_eigenvalue(lap, 60, 1e-9)
+                .expect("square");
+            prop_assert!(lambda <= 1.0 + 1e-6, "level {level} spectrum {lambda}");
+        }
+    }
+}
+
+#[test]
+fn adam_beats_sgd_on_ill_conditioned_quadratic() {
+    use gana_gnn::{Adam, Optimizer, Sgd};
+    // f(x, y) = 100 x² + y²: badly conditioned; Adam's per-parameter scaling
+    // should converge with fewer steps at the same nominal rate.
+    let run = |opt: &mut dyn Optimizer, steps: usize| -> f64 {
+        let mut p = [1.0f64, 1.0];
+        for _ in 0..steps {
+            let g = [200.0 * p[0], 2.0 * p[1]];
+            opt.step(&mut p, &g);
+        }
+        100.0 * p[0] * p[0] + p[1] * p[1]
+    };
+    let mut adam = Adam::new(0.05);
+    let mut sgd = Sgd::new(0.0005, 0.0); // larger rates diverge on the x axis
+    let adam_loss = run(&mut adam, 300);
+    let sgd_loss = run(&mut sgd, 300);
+    assert!(
+        adam_loss < sgd_loss,
+        "adam {adam_loss} should beat sgd {sgd_loss} here"
+    );
+}

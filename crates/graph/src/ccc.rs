@@ -1,0 +1,279 @@
+//! Channel-connected components (paper Postprocessing I, footnote 1).
+//!
+//! "A channel-connected component is a cluster of transistors connected at
+//! the sources and drains (not counting connections to supply and ground
+//! nodes). It can be identified using simple linear-time graph traversal
+//! schemes."
+//!
+//! Postprocessing I associates the nodes of one CCC with one sub-block and
+//! then extracts primitives inside each CCC.
+
+use crate::{CircuitGraph, VertexId};
+use gana_netlist::Circuit;
+use std::collections::HashMap;
+
+/// A channel-connected component: transistor element vertices plus the
+/// source/drain nets that join them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ccc {
+    /// Element vertex ids of the member transistors.
+    pub transistors: Vec<VertexId>,
+    /// Net vertex ids of the joining (non-rail) channel nets.
+    pub nets: Vec<VertexId>,
+}
+
+impl Ccc {
+    /// Number of member transistors.
+    pub fn len(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// True if the component has no transistors.
+    pub fn is_empty(&self) -> bool {
+        self.transistors.is_empty()
+    }
+}
+
+/// Finds all channel-connected components via union–find over transistors.
+///
+/// Two transistors are joined when a source or drain terminal of one shares
+/// a net with a source or drain terminal of the other, excluding supply and
+/// ground nets. Gate connections do **not** join a CCC — that is what makes
+/// the decomposition align with amplifier stages. Components are returned
+/// largest-first; singleton components are included.
+pub fn channel_connected_components(circuit: &Circuit, graph: &CircuitGraph) -> Vec<Ccc> {
+    let n = graph.vertex_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    // Group transistors by shared channel nets.
+    let mut channel_net_users: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for v in graph.element_vertices() {
+        let Some(kind) = graph.element_kind(v) else { continue };
+        if !kind.is_transistor() {
+            continue;
+        }
+        for &(net_v, label) in graph.neighbors(v) {
+            if !label.touches_channel() {
+                continue;
+            }
+            let net_name = graph.net_name(net_v).expect("net vertex");
+            if circuit.is_supply(net_name) || circuit.is_ground(net_name) {
+                continue;
+            }
+            channel_net_users.entry(net_v).or_default().push(v);
+        }
+    }
+    for users in channel_net_users.values() {
+        for w in users.windows(2) {
+            union(&mut parent, w[0], w[1]);
+        }
+    }
+
+    // Collect components.
+    let mut by_root: HashMap<usize, Ccc> = HashMap::new();
+    for v in graph.element_vertices() {
+        let Some(kind) = graph.element_kind(v) else { continue };
+        if !kind.is_transistor() {
+            continue;
+        }
+        let root = find(&mut parent, v);
+        by_root.entry(root).or_insert_with(|| Ccc { transistors: Vec::new(), nets: Vec::new() }).transistors.push(v);
+    }
+    for (&net_v, users) in &channel_net_users {
+        if let Some(&first) = users.first() {
+            let root = find(&mut parent, first);
+            if let Some(ccc) = by_root.get_mut(&root) {
+                ccc.nets.push(net_v);
+            }
+        }
+    }
+
+    let mut components: Vec<Ccc> = by_root.into_values().collect();
+    for c in &mut components {
+        c.transistors.sort_unstable();
+        c.nets.sort_unstable();
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.transistors.cmp(&b.transistors)));
+    components
+}
+
+/// Maps each transistor element vertex to the index of its CCC in the
+/// output of [`channel_connected_components`].
+pub fn ccc_membership(components: &[Ccc], vertex_count: usize) -> Vec<Option<usize>> {
+    let mut membership = vec![None; vertex_count];
+    for (i, c) in components.iter().enumerate() {
+        for &t in &c.transistors {
+            membership[t] = Some(i);
+        }
+        for &n in &c.nets {
+            membership[n] = Some(i);
+        }
+    }
+    membership
+}
+
+/// Attaches non-transistor elements (passives, sources) to the CCC that owns
+/// the majority of their neighboring channel nets, if any.
+///
+/// Returns, for every element vertex, `Some(ccc_index)` or `None` when the
+/// element touches no CCC net (e.g. a decap strapped across rails).
+pub fn attach_passives(
+    graph: &CircuitGraph,
+    components: &[Ccc],
+) -> Vec<Option<usize>> {
+    let membership = ccc_membership(components, graph.vertex_count());
+    let mut out = vec![None; graph.vertex_count()];
+    for v in graph.element_vertices() {
+        if let Some(idx) = membership[v] {
+            out[v] = Some(idx);
+            continue;
+        }
+        let Some(kind) = graph.element_kind(v) else { continue };
+        if kind.is_transistor() {
+            continue;
+        }
+        let mut votes: HashMap<usize, usize> = HashMap::new();
+        for &(net_v, _) in graph.neighbors(v) {
+            if let Some(idx) = membership[net_v] {
+                *votes.entry(idx).or_insert(0) += 1;
+            }
+        }
+        out[v] = votes
+            .into_iter()
+            .max_by_key(|&(idx, count)| (count, std::cmp::Reverse(idx)))
+            .map(|(idx, _)| idx);
+    }
+    // Net vertices inherit their CCC membership directly.
+    for v in graph.net_vertices() {
+        out[v] = membership[v];
+    }
+    out
+}
+
+/// Convenience: the device names inside a CCC.
+pub fn ccc_device_names<'g>(graph: &'g CircuitGraph, ccc: &Ccc) -> Vec<&'g str> {
+    ccc.transistors
+        .iter()
+        .filter_map(|&v| graph.device_name(v))
+        .collect()
+}
+
+/// True if a CCC is a plausible stand-alone primitive (paper: "a primitive
+/// that can be considered a stand-alone unit (e.g., an input buffer for an
+/// oscillator) is separated"): at most `max_size` transistors.
+pub fn is_standalone_candidate(ccc: &Ccc, max_size: usize) -> bool {
+    ccc.len() <= max_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphOptions;
+    use gana_netlist::parse;
+
+    fn setup(src: &str) -> (Circuit, CircuitGraph) {
+        let c = parse(src).expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        (c, g)
+    }
+
+    #[test]
+    fn differential_pair_is_one_ccc() {
+        // M1/M2 share the tail net at their sources.
+        let (c, g) = setup(
+            "M1 o1 in1 tail gnd! NMOS\nM2 o2 in2 tail gnd! NMOS\nM5 tail vb gnd! gnd! NMOS\n",
+        );
+        let comps = channel_connected_components(&c, &g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3, "tail source joins all three");
+    }
+
+    #[test]
+    fn gate_connections_do_not_join() {
+        // M2's gate is on M1's drain; channels never touch.
+        let (c, g) = setup("M1 d1 in gnd! gnd! NMOS\nM2 d2 d1 gnd! gnd! NMOS\n");
+        let comps = channel_connected_components(&c, &g);
+        assert_eq!(comps.len(), 2, "gate coupling must not merge CCCs");
+    }
+
+    #[test]
+    fn rails_do_not_join() {
+        let (c, g) = setup("M1 d1 g1 vdd! vdd! PMOS\nM2 d2 g2 vdd! vdd! PMOS\n");
+        let comps = channel_connected_components(&c, &g);
+        assert_eq!(comps.len(), 2, "shared supply must not merge CCCs");
+    }
+
+    #[test]
+    fn two_stage_ota_splits_into_stages() {
+        // Stage 1: differential pair + load sharing channel nets.
+        // Stage 2: common-source amp, coupled to stage 1 only via a gate.
+        let (c, g) = setup(
+            "M1 x in1 tail gnd! NMOS\n\
+             M2 y in2 tail gnd! NMOS\n\
+             M3 x x vdd! vdd! PMOS\n\
+             M4 y x vdd! vdd! PMOS\n\
+             M5 tail vb gnd! gnd! NMOS\n\
+             M6 out y vdd! vdd! PMOS\n\
+             M7 out vb gnd! gnd! NMOS\n",
+        );
+        let comps = channel_connected_components(&c, &g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 5, "first stage CCC");
+        assert_eq!(comps[1].len(), 2, "output stage CCC");
+    }
+
+    #[test]
+    fn membership_covers_all_member_vertices() {
+        let (c, g) = setup("M1 a g1 b gnd! NMOS\nM2 c g2 b gnd! NMOS\n");
+        let comps = channel_connected_components(&c, &g);
+        let membership = ccc_membership(&comps, g.vertex_count());
+        let m1 = g.element_vertex("M1").expect("exists");
+        let m2 = g.element_vertex("M2").expect("exists");
+        assert_eq!(membership[m1], membership[m2]);
+        let b = g.net_vertex("b").expect("exists");
+        assert_eq!(membership[b], membership[m1], "joining net belongs to the CCC");
+    }
+
+    #[test]
+    fn passives_attach_to_neighboring_ccc() {
+        let (c, g) = setup(
+            "M1 out in tail gnd! NMOS\nM2 tail vb gnd! gnd! NMOS\nR1 out vdd! 10k\nC9 vdd! gnd! 10p\n",
+        );
+        let comps = channel_connected_components(&c, &g);
+        let attach = attach_passives(&g, &comps);
+        let r1 = g.element_vertex("R1").expect("exists");
+        assert_eq!(attach[r1], Some(0), "load resistor joins the amplifier CCC");
+        let c9 = g.element_vertex("C9").expect("exists");
+        assert_eq!(attach[c9], None, "rail decap attaches nowhere");
+    }
+
+    #[test]
+    fn components_sorted_largest_first() {
+        let (c, g) = setup(
+            "M1 a g n1 gnd! NMOS\nM2 b g n1 gnd! NMOS\nM3 c g n2 gnd! NMOS\n",
+        );
+        let comps = channel_connected_components(&c, &g);
+        assert!(comps[0].len() >= comps[1].len());
+    }
+
+    #[test]
+    fn standalone_candidate_threshold() {
+        let ccc = Ccc { transistors: vec![0, 1], nets: vec![] };
+        assert!(is_standalone_candidate(&ccc, 2));
+        assert!(!is_standalone_candidate(&ccc, 1));
+    }
+}

@@ -1,0 +1,370 @@
+//! The bipartite circuit graph (paper Section II-C).
+
+use crate::EdgeLabel;
+use gana_netlist::{Circuit, DeviceKind, MosTerminal};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Index of a vertex within a [`CircuitGraph`].
+pub type VertexId = usize;
+
+/// What a graph vertex represents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VertexKind {
+    /// An element (transistor/passive/source): `Ve` in the paper.
+    Element {
+        /// Index into the source circuit's device list.
+        device_index: usize,
+        /// The device kind.
+        kind: DeviceKind,
+    },
+    /// A net: `Vn` in the paper.
+    Net {
+        /// Net name in the flattened circuit.
+        name: String,
+    },
+}
+
+impl VertexKind {
+    /// True for element vertices.
+    pub fn is_element(&self) -> bool {
+        matches!(self, VertexKind::Element { .. })
+    }
+
+    /// True for net vertices.
+    pub fn is_net(&self) -> bool {
+        matches!(self, VertexKind::Net { .. })
+    }
+}
+
+/// Options controlling graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphOptions {
+    /// Include MOS body terminals as (body-labeled) edges. The paper's
+    /// figures omit body connections; default `false`.
+    pub include_body: bool,
+    /// Include supply/ground nets as vertices. The paper's graphs include
+    /// them (Fig. 3 shows `vdd!` and `gnd!`); default `true`.
+    pub include_supply_nets: bool,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        GraphOptions { include_body: false, include_supply_nets: true }
+    }
+}
+
+/// The undirected bipartite graph `G(Ve ∪ Vn, E)` of a flattened circuit.
+///
+/// Vertices `0..element_count()` are elements in device-list order; vertices
+/// `element_count()..vertex_count()` are nets in sorted-name order, so vertex
+/// numbering is deterministic. Edges carry [`EdgeLabel`]s; a transistor
+/// touching a net through several terminals yields **one** edge whose label
+/// is the OR of the terminal bits (matching Fig. 2's `101` diode edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitGraph {
+    vertices: Vec<VertexKind>,
+    adjacency: Vec<Vec<(VertexId, EdgeLabel)>>,
+    element_count: usize,
+    device_names: Vec<String>,
+    net_ids: BTreeMap<String, VertexId>,
+    edge_count: usize,
+}
+
+impl CircuitGraph {
+    /// Builds the bipartite graph of `circuit`.
+    ///
+    /// Devices of kind [`DeviceKind::Instance`] are skipped (the circuit is
+    /// expected to be flattened); voltage/current sources become element
+    /// vertices so that reference structures remain visible to recognition.
+    pub fn build(circuit: &Circuit, options: GraphOptions) -> CircuitGraph {
+        let mut vertices: Vec<VertexKind> = Vec::new();
+        let mut device_names: Vec<String> = Vec::new();
+        let mut element_devices: Vec<usize> = Vec::new();
+        for (i, d) in circuit.devices().iter().enumerate() {
+            if d.kind() == DeviceKind::Instance {
+                continue;
+            }
+            vertices.push(VertexKind::Element { device_index: i, kind: d.kind() });
+            device_names.push(d.name().to_string());
+            element_devices.push(i);
+        }
+        let element_count = vertices.len();
+
+        let keep_net = |net: &str| -> bool {
+            options.include_supply_nets || !(circuit.is_supply(net) || circuit.is_ground(net))
+        };
+        let mut net_ids: BTreeMap<String, VertexId> = BTreeMap::new();
+        for net in circuit.nets() {
+            if keep_net(&net) {
+                let id = vertices.len();
+                vertices.push(VertexKind::Net { name: net.clone() });
+                net_ids.insert(net, id);
+            }
+        }
+
+        let mut adjacency: Vec<Vec<(VertexId, EdgeLabel)>> = vec![Vec::new(); vertices.len()];
+        let mut edge_count = 0;
+        for (ev, &device_index) in element_devices.iter().enumerate() {
+            let d = &circuit.devices()[device_index];
+            // Collect per-net labels for this device.
+            let mut labels: BTreeMap<&str, EdgeLabel> = BTreeMap::new();
+            if d.kind().is_transistor() {
+                let pairs = [
+                    (MosTerminal::Drain, EdgeLabel::DRAIN),
+                    (MosTerminal::Gate, EdgeLabel::GATE),
+                    (MosTerminal::Source, EdgeLabel::SOURCE),
+                    (MosTerminal::Body, EdgeLabel::BODY),
+                ];
+                for (term, bit) in pairs {
+                    if term == MosTerminal::Body && !options.include_body {
+                        continue;
+                    }
+                    let net = d.mos_terminal(term).expect("transistor terminal");
+                    let entry = labels.entry(net).or_insert(EdgeLabel::NONE);
+                    *entry = entry.union(bit);
+                }
+                // Drop nets connected only through the body.
+                labels.retain(|_, l| l.bits() != 0 || !options.include_body || l.has_body());
+            } else {
+                for net in d.terminals() {
+                    labels.entry(net).or_insert(EdgeLabel::NONE);
+                }
+            }
+            for (net, label) in labels {
+                if let Some(&nv) = net_ids.get(net) {
+                    adjacency[ev].push((nv, label));
+                    adjacency[nv].push((ev, label));
+                    edge_count += 1;
+                }
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable_by_key(|&(v, l)| (v, l));
+        }
+        CircuitGraph { vertices, adjacency, element_count, device_names, net_ids, edge_count }
+    }
+
+    /// Total number of vertices `|Ve| + |Vn|`.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of element vertices `|Ve|`.
+    pub fn element_count(&self) -> usize {
+        self.element_count
+    }
+
+    /// Number of net vertices `|Vn|`.
+    pub fn net_count(&self) -> usize {
+        self.vertices.len() - self.element_count
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The vertex payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn vertex(&self, v: VertexId) -> &VertexKind {
+        &self.vertices[v]
+    }
+
+    /// Neighbors of `v` with edge labels, sorted by neighbor id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeLabel)] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// The device name behind an element vertex, or `None` for a net vertex.
+    pub fn device_name(&self, v: VertexId) -> Option<&str> {
+        if v < self.element_count {
+            Some(&self.device_names[v])
+        } else {
+            None
+        }
+    }
+
+    /// The net name behind a net vertex, or `None` for an element vertex.
+    pub fn net_name(&self, v: VertexId) -> Option<&str> {
+        match &self.vertices[v] {
+            VertexKind::Net { name } => Some(name),
+            VertexKind::Element { .. } => None,
+        }
+    }
+
+    /// The vertex id of a net, if the net exists in the graph.
+    pub fn net_vertex(&self, net: &str) -> Option<VertexId> {
+        self.net_ids.get(net).copied()
+    }
+
+    /// The vertex id of a device by name, if present.
+    pub fn element_vertex(&self, device: &str) -> Option<VertexId> {
+        self.device_names.iter().position(|n| n == device)
+    }
+
+    /// Iterates over element vertex ids.
+    pub fn element_vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.element_count
+    }
+
+    /// Iterates over net vertex ids.
+    pub fn net_vertices(&self) -> impl Iterator<Item = VertexId> {
+        self.element_count..self.vertices.len()
+    }
+
+    /// The device kind of an element vertex, or `None` for nets.
+    pub fn element_kind(&self, v: VertexId) -> Option<DeviceKind> {
+        match self.vertices[v] {
+            VertexKind::Element { kind, .. } => Some(kind),
+            VertexKind::Net { .. } => None,
+        }
+    }
+
+    /// The index into the source circuit's device list for an element vertex.
+    pub fn device_index(&self, v: VertexId) -> Option<usize> {
+        match self.vertices[v] {
+            VertexKind::Element { device_index, .. } => Some(device_index),
+            VertexKind::Net { .. } => None,
+        }
+    }
+
+    /// Verifies the bipartite invariant: every edge joins an element and a net.
+    pub fn is_bipartite(&self) -> bool {
+        (0..self.vertices.len()).all(|v| {
+            self.adjacency[v]
+                .iter()
+                .all(|&(u, _)| self.vertices[v].is_element() != self.vertices[u].is_element())
+        })
+    }
+
+    /// The label of the edge between `a` and `b`, if present.
+    pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<EdgeLabel> {
+        self.adjacency[a].iter().find(|&&(u, _)| u == b).map(|&(_, l)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_netlist::parse;
+
+    /// The paper's Fig. 2 current mirror: M0 diode-connected, M1 mirror.
+    fn current_mirror() -> Circuit {
+        parse("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n").expect("valid")
+    }
+
+    #[test]
+    fn figure2_labels_are_reproduced() {
+        let g = CircuitGraph::build(&current_mirror(), GraphOptions::default());
+        let m0 = g.element_vertex("M0").expect("exists");
+        let m1 = g.element_vertex("M1").expect("exists");
+        let d1 = g.net_vertex("d1").expect("exists");
+        let d2 = g.net_vertex("d2").expect("exists");
+        let s = g.net_vertex("s").expect("exists");
+        // M0 is diode-connected at d1: gate+drain = 101.
+        assert_eq!(g.edge_label(m0, d1).expect("edge").to_string(), "101");
+        // M0 to s through source: 010.
+        assert_eq!(g.edge_label(m0, s).expect("edge").to_string(), "010");
+        // M1 gate at d1: 100; drain at d2: 001.
+        assert_eq!(g.edge_label(m1, d1).expect("edge").to_string(), "100");
+        assert_eq!(g.edge_label(m1, d2).expect("edge").to_string(), "001");
+    }
+
+    #[test]
+    fn graph_is_bipartite_and_counts_match() {
+        let g = CircuitGraph::build(&current_mirror(), GraphOptions::default());
+        assert!(g.is_bipartite());
+        assert_eq!(g.element_count(), 2);
+        assert_eq!(g.net_count(), 3);
+        // M0: edges to d1, s. M1: edges to d1, d2, s. Total 5.
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn body_excluded_by_default_included_on_request() {
+        let c = parse("M0 d g s b NMOS\n").expect("valid");
+        let without = CircuitGraph::build(&c, GraphOptions::default());
+        assert!(without.net_vertex("b").is_some(), "net exists");
+        let m0 = without.element_vertex("M0").expect("exists");
+        let b = without.net_vertex("b").expect("exists");
+        assert_eq!(without.edge_label(m0, b), None, "body edge omitted");
+
+        let with = CircuitGraph::build(
+            &c,
+            GraphOptions { include_body: true, ..GraphOptions::default() },
+        );
+        let m0 = with.element_vertex("M0").expect("exists");
+        let b = with.net_vertex("b").expect("exists");
+        assert!(with.edge_label(m0, b).expect("edge").has_body());
+    }
+
+    #[test]
+    fn supply_nets_can_be_dropped() {
+        let c = parse("M0 out in vdd! vdd! PMOS\nM1 out in gnd! gnd! NMOS\n").expect("valid");
+        let g = CircuitGraph::build(
+            &c,
+            GraphOptions { include_supply_nets: false, ..GraphOptions::default() },
+        );
+        assert!(g.net_vertex("vdd!").is_none());
+        assert!(g.net_vertex("gnd!").is_none());
+        assert!(g.net_vertex("out").is_some());
+    }
+
+    #[test]
+    fn passive_edges_are_unlabeled() {
+        let c = parse("R1 a b 1k\nC1 b gnd! 1p\n").expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        let r1 = g.element_vertex("R1").expect("exists");
+        let a = g.net_vertex("a").expect("exists");
+        assert_eq!(g.edge_label(r1, a), Some(EdgeLabel::NONE));
+    }
+
+    #[test]
+    fn instances_are_skipped() {
+        let lib = gana_netlist::parse_library("X1 a b SUB\nR1 a b 1\n").expect("valid");
+        let g = CircuitGraph::build(lib.top(), GraphOptions::default());
+        assert_eq!(g.element_count(), 1);
+        assert_eq!(g.device_name(0), Some("R1"));
+    }
+
+    #[test]
+    fn deterministic_vertex_order() {
+        let c = parse("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n").expect("valid");
+        let g1 = CircuitGraph::build(&c, GraphOptions::default());
+        let g2 = CircuitGraph::build(&c, GraphOptions::default());
+        assert_eq!(g1, g2);
+        // Elements first in device order, then nets sorted by name.
+        assert_eq!(g1.device_name(0), Some("M0"));
+        assert_eq!(g1.net_name(2), Some("d1"));
+        assert_eq!(g1.net_name(3), Some("d2"));
+        assert_eq!(g1.net_name(4), Some("s"));
+    }
+
+    #[test]
+    fn paper_phase_array_style_counts() {
+        // vertex_count = devices + nets, the accounting used in Section V
+        // ("902 vertices (522 devices + 380 nets)").
+        let c = parse("M1 a b c c NMOS\nM2 d b c c NMOS\nR1 a d 1k\n").expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        assert_eq!(g.vertex_count(), g.element_count() + g.net_count());
+        assert_eq!(g.element_count(), 3);
+        assert_eq!(g.net_count(), 4);
+    }
+}

@@ -1,0 +1,342 @@
+//! The 18 per-vertex input features (paper Section V-A).
+//!
+//! "Our implementation associates vertices in the graph with 18 features:
+//! 12 features that annotate the element type … whether its value is low,
+//! medium, or high …; 5 features that denote the type of net – input,
+//! output, bias signal, supply net, ground net …; 1 feature that describes
+//! the edges incident on a transistor vertex."
+
+use crate::{CircuitGraph, VertexId, VertexKind};
+use gana_netlist::{Circuit, DeviceKind, PortLabel};
+use gana_sparse::DenseMatrix;
+
+/// Number of features per vertex.
+pub const FEATURE_COUNT: usize = 18;
+
+/// Feature indices 0–8: element-type one-hot.
+const F_NMOS: usize = 0;
+const F_PMOS: usize = 1;
+const F_RES: usize = 2;
+const F_CAP: usize = 3;
+const F_IND: usize = 4;
+const F_DIODE: usize = 5;
+const F_VREF: usize = 6;
+const F_IREF: usize = 7;
+const F_HIER: usize = 8;
+/// Feature indices 9–11: element value magnitude (low / medium / high).
+const F_VAL_LO: usize = 9;
+const F_VAL_MED: usize = 10;
+const F_VAL_HI: usize = 11;
+/// Feature indices 12–16: net type.
+const F_NET_IN: usize = 12;
+const F_NET_OUT: usize = 13;
+const F_NET_BIAS: usize = 14;
+const F_NET_SUPPLY: usize = 15;
+const F_NET_GROUND: usize = 16;
+/// Feature index 17: incident-edge descriptor for transistor vertices.
+const F_EDGE_DESC: usize = 17;
+
+/// The net-type classification used for features and Postprocessing II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetClass {
+    /// Signal input (port label or `in*`/`vin*` naming).
+    Input,
+    /// Signal output (port label or `out*`/`vout*` naming).
+    Output,
+    /// Bias distribution net (label or `vb*`/`bias*`/`vref*` naming).
+    Bias,
+    /// Power supply.
+    Supply,
+    /// Ground.
+    Ground,
+    /// Ordinary internal net.
+    Internal,
+}
+
+/// Classifies a net using designer port labels first, then the global
+/// supply/ground tables, then naming heuristics.
+pub fn classify_net(circuit: &Circuit, net: &str) -> NetClass {
+    match circuit.port_label(net) {
+        Some(PortLabel::Input) | Some(PortLabel::Antenna) => return NetClass::Input,
+        Some(PortLabel::Output) => return NetClass::Output,
+        Some(PortLabel::Bias) | Some(PortLabel::Oscillating) => return NetClass::Bias,
+        Some(PortLabel::Supply) => return NetClass::Supply,
+        Some(PortLabel::Ground) => return NetClass::Ground,
+        _ => {}
+    }
+    if circuit.is_supply(net) {
+        return NetClass::Supply;
+    }
+    if circuit.is_ground(net) {
+        return NetClass::Ground;
+    }
+    // Heuristics look at the leaf segment of a hierarchical name.
+    let leaf = net.rsplit('/').next().unwrap_or(net).to_ascii_lowercase();
+    if leaf.starts_with("vb") || leaf.starts_with("bias") || leaf.starts_with("vref") {
+        NetClass::Bias
+    } else if leaf.starts_with("in") || leaf.starts_with("vin") || leaf.starts_with("rfin") {
+        NetClass::Input
+    } else if leaf.starts_with("out") || leaf.starts_with("vout") {
+        NetClass::Output
+    } else {
+        NetClass::Internal
+    }
+}
+
+/// Magnitude bucket for a passive's value, used for features 9–11.
+///
+/// The paper's example: large capacitors distinguish a DC-DC converter from
+/// a filter. Thresholds are per element kind.
+fn value_bucket(kind: DeviceKind, value: f64) -> Option<usize> {
+    let (lo, hi) = match kind {
+        DeviceKind::Capacitor => (1e-12, 100e-12),
+        DeviceKind::Resistor => (1e3, 100e3),
+        DeviceKind::Inductor => (1e-9, 100e-9),
+        _ => return None,
+    };
+    Some(if value < lo {
+        F_VAL_LO
+    } else if value < hi {
+        F_VAL_MED
+    } else {
+        F_VAL_HI
+    })
+}
+
+/// Toggles for the three feature groups, used by the ablation experiments
+/// (what does the GCN need the filter radius for once designer annotations
+/// carry the class locally?).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureOptions {
+    /// Element-type one-hot + value buckets (features 0–11).
+    pub element_types: bool,
+    /// Net-type one-hot (features 12–16).
+    pub net_types: bool,
+    /// Incident-edge descriptor for transistors (feature 17).
+    pub edge_descriptor: bool,
+}
+
+impl Default for FeatureOptions {
+    /// All 18 features on — the paper's configuration.
+    fn default() -> Self {
+        FeatureOptions { element_types: true, net_types: true, edge_descriptor: true }
+    }
+}
+
+/// Builds the `n × 18` feature matrix for a circuit graph.
+///
+/// Row `v` is the feature vector of vertex `v`. The `hierarchy_level` of a
+/// flat netlist is 0; when recognition runs on an already-hierarchical view
+/// the caller may pass the element's level through the `F_HIER` slot by
+/// post-editing the returned matrix.
+///
+/// # Examples
+///
+/// ```
+/// use gana_graph::{features, CircuitGraph, GraphOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = gana_netlist::parse("M0 out in gnd! gnd! NMOS\nC1 out gnd! 10p\n")?;
+/// let g = CircuitGraph::build(&c, GraphOptions::default());
+/// let x = features::feature_matrix(&c, &g);
+/// assert_eq!(x.shape(), (g.vertex_count(), features::FEATURE_COUNT));
+/// # Ok(())
+/// # }
+/// ```
+pub fn feature_matrix(circuit: &Circuit, graph: &CircuitGraph) -> DenseMatrix {
+    feature_matrix_with_options(circuit, graph, FeatureOptions::default())
+}
+
+/// [`feature_matrix`] with feature groups selectively disabled (zeroed),
+/// keeping the matrix shape fixed so trained models stay compatible.
+pub fn feature_matrix_with_options(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    options: FeatureOptions,
+) -> DenseMatrix {
+    let mut x = DenseMatrix::zeros(graph.vertex_count(), FEATURE_COUNT);
+    for v in 0..graph.vertex_count() {
+        fill_vertex(circuit, graph, v, x.row_mut(v));
+        let row = x.row_mut(v);
+        if !options.element_types {
+            row[F_NMOS..=F_VAL_HI].fill(0.0);
+        }
+        if !options.net_types {
+            row[F_NET_IN..=F_NET_GROUND].fill(0.0);
+        }
+        if !options.edge_descriptor {
+            row[F_EDGE_DESC] = 0.0;
+        }
+    }
+    x
+}
+
+fn fill_vertex(circuit: &Circuit, graph: &CircuitGraph, v: VertexId, row: &mut [f64]) {
+    match graph.vertex(v) {
+        VertexKind::Element { device_index, kind } => {
+            let slot = match kind {
+                DeviceKind::Nmos => F_NMOS,
+                DeviceKind::Pmos => F_PMOS,
+                DeviceKind::Resistor => F_RES,
+                DeviceKind::Capacitor => F_CAP,
+                DeviceKind::Inductor => F_IND,
+                DeviceKind::Diode => F_DIODE,
+                DeviceKind::VoltageSource => F_VREF,
+                DeviceKind::CurrentSource => F_IREF,
+                DeviceKind::Instance => F_HIER,
+            };
+            row[slot] = 1.0;
+            let device = &circuit.devices()[*device_index];
+            if let Some(value) = device.value() {
+                if let Some(bucket) = value_bucket(*kind, value) {
+                    row[bucket] = 1.0;
+                }
+            }
+            if kind.is_transistor() {
+                // Edge descriptor: mean 3-bit label over incident edges,
+                // normalized by the maximum label value (7).
+                let labels: Vec<u8> =
+                    graph.neighbors(v).iter().map(|&(_, l)| l.bits()).collect();
+                if !labels.is_empty() {
+                    let mean =
+                        labels.iter().map(|&b| b as f64).sum::<f64>() / labels.len() as f64;
+                    row[F_EDGE_DESC] = mean / 7.0;
+                }
+            }
+        }
+        VertexKind::Net { name } => {
+            match classify_net(circuit, name) {
+                NetClass::Input => row[F_NET_IN] = 1.0,
+                NetClass::Output => row[F_NET_OUT] = 1.0,
+                NetClass::Bias => row[F_NET_BIAS] = 1.0,
+                NetClass::Supply => row[F_NET_SUPPLY] = 1.0,
+                NetClass::Ground => row[F_NET_GROUND] = 1.0,
+                NetClass::Internal => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphOptions;
+    use gana_netlist::parse;
+
+    fn build(src: &str) -> (Circuit, CircuitGraph) {
+        let c = parse(src).expect("valid spice");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        (c, g)
+    }
+
+    #[test]
+    fn element_one_hot_slots() {
+        let (c, g) = build("M0 d g s s NMOS\nM1 d g vdd! vdd! PMOS\nR1 a b 10k\nC1 a b 1p\nL1 a b 10n\n");
+        let x = feature_matrix(&c, &g);
+        let m0 = g.element_vertex("M0").expect("exists");
+        assert_eq!(x.get(m0, F_NMOS), 1.0);
+        assert_eq!(x.get(m0, F_PMOS), 0.0);
+        let m1 = g.element_vertex("M1").expect("exists");
+        assert_eq!(x.get(m1, F_PMOS), 1.0);
+        let r1 = g.element_vertex("R1").expect("exists");
+        assert_eq!(x.get(r1, F_RES), 1.0);
+        let c1 = g.element_vertex("C1").expect("exists");
+        assert_eq!(x.get(c1, F_CAP), 1.0);
+    }
+
+    #[test]
+    fn value_buckets_distinguish_magnitudes() {
+        let (c, g) = build("C1 a b 100f\nC2 a b 10p\nC3 a b 1n\n");
+        let x = feature_matrix(&c, &g);
+        let c1 = g.element_vertex("C1").expect("exists");
+        let c2 = g.element_vertex("C2").expect("exists");
+        let c3 = g.element_vertex("C3").expect("exists");
+        assert_eq!(x.get(c1, F_VAL_LO), 1.0);
+        assert_eq!(x.get(c2, F_VAL_MED), 1.0);
+        assert_eq!(x.get(c3, F_VAL_HI), 1.0);
+    }
+
+    #[test]
+    fn net_type_features() {
+        let (mut c, _) = build("M0 out vin tail gnd! NMOS\nR1 vdd! vb 1k\nR2 vb tail 1k\n");
+        c.set_port_label("vin", PortLabel::Input);
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        let x = feature_matrix(&c, &g);
+        let check = |net: &str, slot: usize| {
+            let v = g.net_vertex(net).unwrap_or_else(|| panic!("net {net}"));
+            assert_eq!(x.get(v, slot), 1.0, "net {net} slot {slot}");
+        };
+        check("vin", F_NET_IN);
+        check("out", F_NET_OUT);
+        check("vb", F_NET_BIAS);
+        check("vdd!", F_NET_SUPPLY);
+        check("gnd!", F_NET_GROUND);
+        let tail = g.net_vertex("tail").expect("exists");
+        for slot in F_NET_IN..=F_NET_GROUND {
+            assert_eq!(x.get(tail, slot), 0.0, "internal net has no net-type bit");
+        }
+    }
+
+    #[test]
+    fn port_labels_override_heuristics() {
+        let (mut c, _) = build("R1 outish x 1k\n");
+        c.set_port_label("outish", PortLabel::Input);
+        assert_eq!(classify_net(&c, "outish"), NetClass::Input);
+    }
+
+    #[test]
+    fn antenna_and_lo_labels_classify() {
+        let (mut c, _) = build("R1 rfport lport 1k\n");
+        c.set_port_label("rfport", PortLabel::Antenna);
+        c.set_port_label("lport", PortLabel::Oscillating);
+        assert_eq!(classify_net(&c, "rfport"), NetClass::Input);
+        assert_eq!(classify_net(&c, "lport"), NetClass::Bias);
+    }
+
+    #[test]
+    fn edge_descriptor_reflects_labels() {
+        // Diode-connected transistor: edges 101 (=5) and 010 (=2), mean 3.5/7.
+        let (c, g) = build("M0 d d s s NMOS\n");
+        let x = feature_matrix(&c, &g);
+        let m0 = g.element_vertex("M0").expect("exists");
+        assert!((x.get(m0, F_EDGE_DESC) - 3.5 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_names_use_leaf_for_heuristics() {
+        let (c, _) = build("R1 X1/out X1/vb 1k\n");
+        assert_eq!(classify_net(&c, "X1/out"), NetClass::Output);
+        assert_eq!(classify_net(&c, "X1/vb"), NetClass::Bias);
+    }
+
+    #[test]
+    fn feature_options_zero_groups() {
+        let (mut c, _) = build("M0 out vin tail gnd! NMOS\n");
+        c.set_port_label("vin", PortLabel::Input);
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        let off = FeatureOptions { net_types: false, ..FeatureOptions::default() };
+        let x = feature_matrix_with_options(&c, &g, off);
+        let vin = g.net_vertex("vin").expect("exists");
+        for slot in F_NET_IN..=F_NET_GROUND {
+            assert_eq!(x.get(vin, slot), 0.0);
+        }
+        let m0 = g.element_vertex("M0").expect("exists");
+        assert_eq!(x.get(m0, F_NMOS), 1.0, "element features survive");
+
+        let bare = FeatureOptions {
+            element_types: false,
+            net_types: false,
+            edge_descriptor: false,
+        };
+        let x = feature_matrix_with_options(&c, &g, bare);
+        assert_eq!(x.sum(), 0.0, "all groups off zeroes the matrix");
+    }
+
+    #[test]
+    fn matrix_shape_is_n_by_18() {
+        let (c, g) = build("M0 a b c c NMOS\nR1 a b 1k\n");
+        let x = feature_matrix(&c, &g);
+        assert_eq!(x.shape(), (g.vertex_count(), FEATURE_COUNT));
+        assert_eq!(FEATURE_COUNT, 18);
+    }
+}

@@ -1,0 +1,157 @@
+//! Graph Laplacians (paper Section III-A).
+//!
+//! The spectral GCN works with the **normalized Laplacian**
+//! `L = I − D^{−1/2} A D^{−1/2}` (Eq. 1), whose eigenvalues lie in `[0, 2]`,
+//! and with its Chebyshev rescaling `L̂ = 2L/λ_max − I` (Eq. 3/5), whose
+//! eigenvalues lie in `[−1, 1]`.
+
+use crate::CircuitGraph;
+use gana_sparse::{lanczos, CooMatrix, CsrMatrix, SparseError};
+
+/// Builds the (binary, symmetric) adjacency matrix of a circuit graph.
+pub fn adjacency(graph: &CircuitGraph) -> CsrMatrix {
+    let n = graph.vertex_count();
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * graph.edge_count());
+    for v in 0..n {
+        for &(u, _) in graph.neighbors(v) {
+            if v < u {
+                coo.push_symmetric(v, u, 1.0).expect("neighbor ids are in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Builds the normalized Laplacian `I − D^{−1/2} A D^{−1/2}` from an
+/// adjacency matrix.
+///
+/// Isolated vertices get a zero row (their spectral contribution is the
+/// eigenvalue 0, matching the convention in Defferrard's reference code).
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] if `adj` is rectangular.
+pub fn normalized_laplacian(adj: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+    if adj.rows() != adj.cols() {
+        return Err(SparseError::NotSquare { shape: adj.shape() });
+    }
+    let n = adj.rows();
+    let degrees = adj.row_sums();
+    let inv_sqrt: Vec<f64> =
+        degrees.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let mut coo = CooMatrix::with_capacity(n, n, adj.nnz() + n);
+    for (i, &degree) in degrees.iter().enumerate() {
+        if degree > 0.0 {
+            coo.push(i, i, 1.0)?;
+        }
+    }
+    for (r, c, v) in adj.iter() {
+        let w = -v * inv_sqrt[r] * inv_sqrt[c];
+        if w != 0.0 {
+            coo.push(r, c, w)?;
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Rescales a normalized Laplacian to `L̂ = 2L/λ_max − I` for the Chebyshev
+/// recurrence; `λ_max` is estimated with Lanczos unless supplied.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] if `laplacian` is rectangular.
+pub fn scaled_laplacian(
+    laplacian: &CsrMatrix,
+    lambda_max: Option<f64>,
+) -> Result<CsrMatrix, SparseError> {
+    if laplacian.rows() != laplacian.cols() {
+        return Err(SparseError::NotSquare { shape: laplacian.shape() });
+    }
+    let lambda = match lambda_max {
+        Some(l) => l,
+        None => lanczos::largest_eigenvalue(laplacian, 64, 1e-9)?,
+    };
+    // Guard against degenerate graphs: fall back to the spectral upper
+    // bound 2 for normalized Laplacians.
+    let lambda = if lambda <= f64::EPSILON { 2.0 } else { lambda };
+    let eye = CsrMatrix::identity(laplacian.rows());
+    laplacian.linear_combination(2.0 / lambda, &eye, -1.0)
+}
+
+/// One-call convenience: circuit graph → rescaled Laplacian `L̂`.
+///
+/// # Errors
+///
+/// Propagates [`scaled_laplacian`] errors (none occur for well-formed graphs).
+pub fn chebyshev_laplacian(graph: &CircuitGraph) -> Result<CsrMatrix, SparseError> {
+    let l = normalized_laplacian(&adjacency(graph))?;
+    scaled_laplacian(&l, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphOptions;
+    use gana_netlist::parse;
+
+    fn graph(src: &str) -> CircuitGraph {
+        CircuitGraph::build(&parse(src).expect("valid"), GraphOptions::default())
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_binary() {
+        let g = graph("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n");
+        let a = adjacency(&g);
+        assert!(a.is_symmetric(0.0));
+        assert!(a.iter().all(|(_, _, v)| v == 1.0));
+        assert_eq!(a.nnz(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn laplacian_rows_behave() {
+        let g = graph("R1 a b 1k\n");
+        let l = normalized_laplacian(&adjacency(&g)).expect("square");
+        // Path of 3 vertices (a - R1 - b): eigenvalues {0, 1, 2}.
+        assert!(l.is_symmetric(1e-12));
+        let lambda = gana_sparse::lanczos::largest_eigenvalue(&l, 20, 1e-12).expect("square");
+        assert!((lambda - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_laplacian_eigenvalues_in_bounds() {
+        let g = graph("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\nR1 d2 o 1k\nC1 o gnd! 1p\n");
+        let l = normalized_laplacian(&adjacency(&g)).expect("square");
+        let lambda = gana_sparse::lanczos::largest_eigenvalue(&l, 40, 1e-12).expect("square");
+        assert!(lambda <= 2.0 + 1e-9, "normalized Laplacian bound violated: {lambda}");
+        assert!(lambda > 0.0);
+    }
+
+    #[test]
+    fn scaled_laplacian_spectrum_in_unit_interval() {
+        let g = graph("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n");
+        let l = normalized_laplacian(&adjacency(&g)).expect("square");
+        let lhat = scaled_laplacian(&l, None).expect("square");
+        let lambda = gana_sparse::lanczos::largest_eigenvalue(&lhat, 40, 1e-12).expect("square");
+        assert!(lambda <= 1.0 + 1e-6, "L̂ spectrum must fit [-1, 1], got {lambda}");
+    }
+
+    #[test]
+    fn isolated_vertices_get_zero_rows() {
+        // A net with no devices never appears; emulate isolation via an
+        // adjacency with an empty row instead.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 1.0).expect("in bounds");
+        let l = normalized_laplacian(&coo.to_csr()).expect("square");
+        assert_eq!(l.get(2, 2), 0.0);
+        assert_eq!(l.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn explicit_lambda_is_used() {
+        let g = graph("R1 a b 1\n");
+        let l = normalized_laplacian(&adjacency(&g)).expect("square");
+        let lhat = scaled_laplacian(&l, Some(2.0)).expect("square");
+        // L̂ = L - I, so diagonal = 0 for connected vertices.
+        assert!((lhat.get(0, 0) - 0.0).abs() < 1e-12);
+    }
+}

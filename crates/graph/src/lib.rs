@@ -1,0 +1,51 @@
+//! Bipartite circuit-graph layer of the GANA reproduction.
+//!
+//! Following the paper (Section II-C, after SubGemini), a circuit is an
+//! undirected **bipartite graph** `G(V, E)` with `V = Ve ∪ Vn`: element
+//! vertices (transistors and passives) and net vertices. Every
+//! transistor–net edge carries a 3-bit label `l_g l_s l_d` saying through
+//! which terminals the transistor touches the net; edges at passives are
+//! unlabeled.
+//!
+//! This crate provides:
+//!
+//! * [`CircuitGraph`] — the bipartite graph built from a flattened
+//!   [`gana_netlist::Circuit`];
+//! * [`EdgeLabel`] — the terminal-connection label;
+//! * [`features`] — the paper's 18 per-vertex input features (12 element-type,
+//!   5 net-type, 1 edge-descriptor);
+//! * [`laplacian`] — normalized and Chebyshev-rescaled graph Laplacians;
+//! * [`ccc`] — channel-connected components (Postprocessing I);
+//! * [`vf2`] — the VF2 (sub)graph isomorphism algorithm used for primitive
+//!   annotation (Section IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use gana_graph::{CircuitGraph, GraphOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = gana_netlist::parse(
+//!     "M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n",
+//! )?;
+//! let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+//! assert_eq!(graph.element_count(), 2);
+//! assert_eq!(graph.net_count(), 3); // d1, d2, s
+//! assert!(graph.is_bipartite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccc;
+mod circuit_graph;
+pub mod features;
+mod label;
+pub mod laplacian;
+pub mod traversal;
+pub mod vf2;
+
+pub use circuit_graph::{CircuitGraph, GraphOptions, VertexId, VertexKind};
+pub use label::EdgeLabel;

@@ -1,0 +1,146 @@
+//! Generic linear-time graph traversals used across the pipeline.
+
+use crate::{CircuitGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Breadth-first search from `start`; returns visited vertices in BFS order.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn bfs(graph: &CircuitGraph, start: VertexId) -> Vec<VertexId> {
+    bfs_with_depth(graph, start, usize::MAX).into_iter().map(|(v, _)| v).collect()
+}
+
+/// BFS limited to `max_depth` hops; returns `(vertex, depth)` pairs.
+///
+/// Depth-limited BFS is how a K-hop Chebyshev filter's receptive field is
+/// measured in the filter-size experiment (paper Fig. 5).
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn bfs_with_depth(
+    graph: &CircuitGraph,
+    start: VertexId,
+    max_depth: usize,
+) -> Vec<(VertexId, usize)> {
+    assert!(start < graph.vertex_count(), "start vertex out of bounds");
+    let mut seen = vec![false; graph.vertex_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back((start, 0));
+    while let Some((v, depth)) = queue.pop_front() {
+        order.push((v, depth));
+        if depth == max_depth {
+            continue;
+        }
+        for &(u, _) in graph.neighbors(v) {
+            if !seen[u] {
+                seen[u] = true;
+                queue.push_back((u, depth + 1));
+            }
+        }
+    }
+    order
+}
+
+/// Connected components of the whole graph; each component is a sorted
+/// vertex list, components ordered by smallest member.
+pub fn connected_components(graph: &CircuitGraph) -> Vec<Vec<VertexId>> {
+    let n = graph.vertex_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(v) = queue.pop_front() {
+            component.push(v);
+            for &(u, _) in graph.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Graph diameter estimate: the maximum BFS eccentricity over all vertices
+/// of the largest component. Exact for these graph sizes; used in tests of
+/// the VF2 complexity claim (patterns have O(1) diameter).
+pub fn diameter(graph: &CircuitGraph) -> usize {
+    let components = connected_components(graph);
+    let Some(largest) = components.iter().max_by_key(|c| c.len()) else {
+        return 0;
+    };
+    largest
+        .iter()
+        .map(|&v| {
+            bfs_with_depth(graph, v, usize::MAX)
+                .into_iter()
+                .map(|(_, d)| d)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphOptions;
+    use gana_netlist::parse;
+
+    fn graph(src: &str) -> CircuitGraph {
+        CircuitGraph::build(&parse(src).expect("valid"), GraphOptions::default())
+    }
+
+    #[test]
+    fn bfs_visits_whole_component() {
+        let g = graph("R1 a b 1\nR2 b c 1\n");
+        let order = bfs(&g, 0);
+        assert_eq!(order.len(), g.vertex_count());
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn bfs_depth_limits_hops() {
+        let g = graph("R1 a b 1\nR2 b c 1\nR3 c d 1\n");
+        let r1 = g.element_vertex("R1").expect("exists");
+        let within_one = bfs_with_depth(&g, r1, 1);
+        // R1 plus its two nets.
+        assert_eq!(within_one.len(), 3);
+        assert!(within_one.iter().all(|&(_, d)| d <= 1));
+    }
+
+    #[test]
+    fn components_split_disconnected_circuits() {
+        let g = graph("R1 a b 1\nR2 c d 1\n");
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), g.vertex_count());
+    }
+
+    #[test]
+    fn diameter_of_chain() {
+        // a - R1 - b - R2 - c: diameter 4 in the bipartite graph.
+        let g = graph("R1 a b 1\nR2 b c 1\n");
+        assert_eq!(diameter(&g), 4);
+    }
+
+    #[test]
+    fn diameter_of_empty_graph_is_zero() {
+        let g = graph("");
+        assert_eq!(diameter(&g), 0);
+    }
+}

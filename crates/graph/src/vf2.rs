@@ -1,0 +1,554 @@
+//! VF2 (sub)graph isomorphism for primitive annotation (paper Section IV).
+//!
+//! "We use VF2, an established graph matching algorithm. This method has a
+//! worst-case complexity of Θ(n!·n) for the general subgraph isomorphism
+//! problem … but for our problem where the library subgraph to be matched
+//! has O(1) diameter and O(1) degree, the complexity is O(n)."
+//!
+//! The matcher works on [`Vf2Graph`]s derived from circuit graphs: vertex
+//! labels carry the element kind / net role, edge labels carry the 3-bit
+//! terminal bits, and the semantic feasibility test accepts source/drain
+//! swaps (MOS channel symmetry) when
+//! [`MatchOptions::symmetric_mos`] is set.
+
+use crate::{CircuitGraph, EdgeLabel, VertexId, VertexKind};
+use gana_netlist::{Circuit, DeviceKind};
+use std::collections::BTreeSet;
+
+/// Role of a net vertex for matching purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetRole {
+    /// Pattern wildcard: matches any net.
+    Any,
+    /// An ordinary signal net.
+    Plain,
+    /// A supply net.
+    Supply,
+    /// A ground net.
+    Ground,
+}
+
+/// Vertex label used in the VF2 semantic feasibility test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexLabel {
+    /// An element of the given kind.
+    Element(DeviceKind),
+    /// A net with the given role.
+    Net(NetRole),
+}
+
+impl VertexLabel {
+    /// Whether a pattern label may bind to a target label.
+    fn compatible(pattern: VertexLabel, target: VertexLabel) -> bool {
+        match (pattern, target) {
+            (VertexLabel::Element(a), VertexLabel::Element(b)) => a == b,
+            (VertexLabel::Net(NetRole::Any), VertexLabel::Net(_)) => true,
+            (VertexLabel::Net(a), VertexLabel::Net(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A plain labeled graph in the form the matcher consumes.
+#[derive(Debug, Clone)]
+pub struct Vf2Graph {
+    labels: Vec<VertexLabel>,
+    adjacency: Vec<Vec<(usize, EdgeLabel)>>,
+}
+
+impl Vf2Graph {
+    /// Converts a circuit graph into matcher form.
+    ///
+    /// When `as_pattern` is true, non-rail nets become [`NetRole::Any`]
+    /// wildcards (a primitive's internal/port nets bind to anything);
+    /// otherwise they become [`NetRole::Plain`]. Rail nets keep their role
+    /// in both cases so a pattern can insist on a ground connection.
+    pub fn from_circuit(circuit: &Circuit, graph: &CircuitGraph, as_pattern: bool) -> Vf2Graph {
+        let labels = (0..graph.vertex_count())
+            .map(|v| match graph.vertex(v) {
+                VertexKind::Element { kind, .. } => VertexLabel::Element(*kind),
+                VertexKind::Net { name } => {
+                    let role = if circuit.is_supply(name) {
+                        NetRole::Supply
+                    } else if circuit.is_ground(name) {
+                        NetRole::Ground
+                    } else if as_pattern {
+                        NetRole::Any
+                    } else {
+                        NetRole::Plain
+                    };
+                    VertexLabel::Net(role)
+                }
+            })
+            .collect();
+        let adjacency =
+            (0..graph.vertex_count()).map(|v| graph.neighbors(v).to_vec()).collect();
+        Vf2Graph { labels, adjacency }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn label(&self, v: usize) -> VertexLabel {
+        self.labels[v]
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    fn edge(&self, a: usize, b: usize) -> Option<EdgeLabel> {
+        self.adjacency[a].iter().find(|&&(u, _)| u == b).map(|&(_, l)| l)
+    }
+}
+
+/// Options for the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchOptions {
+    /// Treat MOS source/drain as interchangeable (default `true`).
+    pub symmetric_mos: bool,
+    /// Stop after this many distinct matches (default unbounded).
+    pub max_matches: usize,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions { symmetric_mos: true, max_matches: usize::MAX }
+    }
+}
+
+/// One subgraph match: `assignment[p]` is the target vertex bound to
+/// pattern vertex `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Pattern-to-target vertex assignment.
+    pub assignment: Vec<VertexId>,
+}
+
+impl Match {
+    /// The set of target element vertices covered by this match, sorted.
+    pub fn element_vertices(&self, pattern: &Vf2Graph) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| matches!(pattern.label(p), VertexLabel::Element(_)))
+            .map(|(_, &t)| t)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Finds subgraph monomorphisms of `pattern` inside `target`.
+///
+/// Matches that cover the same set of target **element** vertices are
+/// deduplicated (a differential pair has two automorphisms; both describe
+/// the same physical primitive instance). Results are sorted by their
+/// element-vertex sets, so output order is deterministic.
+///
+/// The candidate-pair generation follows VF2: the pattern is explored in a
+/// connectivity-first order and each extension only considers target
+/// vertices adjacent to the image of the already-mapped pattern neighbors,
+/// which is what makes matching O(n) for O(1)-size patterns.
+pub fn find_matches(pattern: &Vf2Graph, target: &Vf2Graph, options: MatchOptions) -> Vec<Match> {
+    if pattern.is_empty() || pattern.len() > target.len() {
+        return Vec::new();
+    }
+    let order = pattern_order(pattern);
+    let mut state = State {
+        pattern,
+        target,
+        options,
+        order: &order,
+        core_p: vec![usize::MAX; pattern.len()],
+        used_t: vec![false; target.len()],
+        matches: Vec::new(),
+        seen_element_sets: BTreeSet::new(),
+    };
+    state.explore(0);
+    let mut matches = state.matches;
+    matches.sort_by_key(|m| m.element_vertices(pattern));
+    matches
+}
+
+/// Convenience: build both graphs and match a primitive circuit inside a
+/// target circuit, returning matched device-name groups.
+pub fn match_circuits(
+    pattern_circuit: &Circuit,
+    pattern_graph: &CircuitGraph,
+    target_circuit: &Circuit,
+    target_graph: &CircuitGraph,
+    options: MatchOptions,
+) -> Vec<Vec<String>> {
+    let p = Vf2Graph::from_circuit(pattern_circuit, pattern_graph, true);
+    let t = Vf2Graph::from_circuit(target_circuit, target_graph, false);
+    find_matches(&p, &t, options)
+        .into_iter()
+        .map(|m| {
+            let mut names: Vec<String> = m
+                .element_vertices(&p)
+                .into_iter()
+                .filter_map(|v| target_graph.device_name(v).map(str::to_string))
+                .collect();
+            names.sort();
+            names
+        })
+        .collect()
+}
+
+/// Orders pattern vertices so each vertex (after the first) is adjacent to
+/// an earlier one; starts from the highest-degree element vertex, which is
+/// the most selective anchor.
+fn pattern_order(pattern: &Vf2Graph) -> Vec<usize> {
+    let n = pattern.len();
+    let start = (0..n)
+        .max_by_key(|&v| {
+            let element_bonus = usize::from(matches!(pattern.label(v), VertexLabel::Element(_)));
+            (element_bonus, pattern.degree(v))
+        })
+        .expect("pattern is non-empty");
+    let mut order = vec![start];
+    let mut in_order = vec![false; n];
+    in_order[start] = true;
+    while order.len() < n {
+        // Prefer the unplaced vertex with the most already-placed neighbors.
+        let next = (0..n)
+            .filter(|&v| !in_order[v])
+            .max_by_key(|&v| {
+                let placed_neighbors =
+                    pattern.adjacency[v].iter().filter(|&&(u, _)| in_order[u]).count();
+                (placed_neighbors, pattern.degree(v))
+            })
+            .expect("some vertex remains");
+        in_order[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+struct State<'a> {
+    pattern: &'a Vf2Graph,
+    target: &'a Vf2Graph,
+    options: MatchOptions,
+    order: &'a [usize],
+    core_p: Vec<usize>,
+    used_t: Vec<bool>,
+    matches: Vec<Match>,
+    seen_element_sets: BTreeSet<Vec<VertexId>>,
+}
+
+impl State<'_> {
+    fn explore(&mut self, depth: usize) {
+        if self.matches.len() >= self.options.max_matches {
+            return;
+        }
+        if depth == self.order.len() {
+            let m = Match { assignment: self.core_p.clone() };
+            let key = m.element_vertices(self.pattern);
+            if self.seen_element_sets.insert(key) {
+                self.matches.push(m);
+            }
+            return;
+        }
+        let p = self.order[depth];
+        // Candidates: targets adjacent to the image of a mapped neighbor of
+        // p, or (for the anchor) every compatible target vertex.
+        let mapped_neighbor = self.pattern.adjacency[p]
+            .iter()
+            .find(|&&(q, _)| self.core_p[q] != usize::MAX)
+            .map(|&(q, _)| self.core_p[q]);
+        match mapped_neighbor {
+            Some(anchor_t) => {
+                let candidates: Vec<usize> =
+                    self.target.adjacency[anchor_t].iter().map(|&(t, _)| t).collect();
+                for t in candidates {
+                    self.try_pair(depth, p, t);
+                }
+            }
+            None => {
+                for t in 0..self.target.len() {
+                    self.try_pair(depth, p, t);
+                }
+            }
+        }
+    }
+
+    fn try_pair(&mut self, depth: usize, p: usize, t: usize) {
+        if self.used_t[t] || !self.feasible(p, t) {
+            return;
+        }
+        self.core_p[p] = t;
+        self.used_t[t] = true;
+        self.explore(depth + 1);
+        self.core_p[p] = usize::MAX;
+        self.used_t[t] = false;
+    }
+
+    fn feasible(&self, p: usize, t: usize) -> bool {
+        if !VertexLabel::compatible(self.pattern.label(p), self.target.label(t)) {
+            return false;
+        }
+        if self.target.degree(t) < self.pattern.degree(p) {
+            return false;
+        }
+        // Every already-mapped pattern neighbor must be a target neighbor
+        // with a compatible edge label.
+        for &(q, p_label) in &self.pattern.adjacency[p] {
+            let mapped = self.core_p[q];
+            if mapped == usize::MAX {
+                continue;
+            }
+            match self.target.edge(t, mapped) {
+                Some(t_label) => {
+                    if !self.edge_compatible(p_label, t_label) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn edge_compatible(&self, pattern: EdgeLabel, target: EdgeLabel) -> bool {
+        if pattern.bits() == target.bits() {
+            return true;
+        }
+        self.options.symmetric_mos && pattern.swap_source_drain().bits() == target.bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphOptions;
+    use gana_netlist::parse;
+
+    fn graphs(src: &str, as_pattern: bool) -> (Circuit, CircuitGraph, Vf2Graph) {
+        let c = parse(src).expect("valid");
+        let g = CircuitGraph::build(&c, GraphOptions::default());
+        let v = Vf2Graph::from_circuit(&c, &g, as_pattern);
+        (c, g, v)
+    }
+
+    const CM_N: &str = ".SUBCKT CMN d1 d2 s\nM0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n.ENDS\n";
+    const DP_N: &str = ".SUBCKT DPN o1 o2 i1 i2 tail\nM1 o1 i1 tail tail NMOS\nM2 o2 i2 tail tail NMOS\n.ENDS\n";
+
+    /// The paper's Fig. 3 OTA: current mirror + differential pair + load.
+    const OTA: &str = "\
+M0 id id gnd! gnd! NMOS
+M1 n1 id gnd! gnd! NMOS
+M2 voutn vinp n1 gnd! NMOS
+M3 voutp vinn n1 gnd! NMOS
+M4 voutn vbp vdd! vdd! PMOS
+M5 voutp vbp vdd! vdd! PMOS
+";
+
+    #[test]
+    fn current_mirror_found_in_ota() {
+        let (pc, pg, _) = graphs(CM_N, true);
+        let (tc, tg, _) = graphs(OTA, false);
+        let matches = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert_eq!(matches.len(), 1, "exactly the M0/M1 mirror: {matches:?}");
+        assert_eq!(matches[0], vec!["M0".to_string(), "M1".to_string()]);
+    }
+
+    #[test]
+    fn differential_pair_found_in_ota() {
+        // With MOS source/drain symmetry the raw matcher reports every
+        // channel-sharing transistor pair with distinct gate nets as a DP
+        // *candidate*; the primitive-annotation layer resolves conflicts.
+        let (pc, pg, _) = graphs(DP_N, true);
+        let (tc, tg, _) = graphs(OTA, false);
+        let matches = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert!(
+            matches.contains(&vec!["M2".to_string(), "M3".to_string()]),
+            "true pair must be among candidates: {matches:?}"
+        );
+        // Strict (non-symmetric) matching pins the tail to the *source*
+        // terminals and finds exactly the real pair.
+        let strict = match_circuits(
+            &pc,
+            &pg,
+            &tc,
+            &tg,
+            MatchOptions { symmetric_mos: false, ..MatchOptions::default() },
+        );
+        assert_eq!(strict, vec![vec!["M2".to_string(), "M3".to_string()]]);
+    }
+
+    #[test]
+    fn dp_does_not_match_current_mirror() {
+        // Injectivity: the mirror's two gates share one net; the DP pattern
+        // needs two distinct gate nets.
+        let (pc, pg, _) = graphs(DP_N, true);
+        let (tc, tg, _) = graphs("M0 d1 d1 s b NMOS\nM1 d2 d1 s b NMOS\nR1 s x 1k\n", false);
+        let matches = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert!(matches.is_empty(), "{matches:?}");
+    }
+
+    #[test]
+    fn pmos_pattern_does_not_match_nmos() {
+        let (pc, pg, _) = graphs(".SUBCKT CMP d1 d2 s\nM0 d1 d1 s s PMOS\nM1 d2 d1 s s PMOS\n.ENDS\n", true);
+        let (tc, tg, _) = graphs("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n", false);
+        assert!(match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn automorphic_matches_are_deduplicated() {
+        // A differential pair matched against itself has two automorphisms
+        // but is one physical instance.
+        let (pc, pg, _) = graphs(DP_N, true);
+        let (tc, tg, _) = graphs("M1 o1 i1 t t NMOS\nM2 o2 i2 t t NMOS\n", false);
+        let matches = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn source_drain_symmetry_is_honored() {
+        // Same mirror with M1's source/drain written swapped.
+        let (pc, pg, _) = graphs(CM_N, true);
+        let (tc, tg, _) = graphs("M0 d1 d1 s s NMOS\nM1 s d1 d2 s NMOS\n", false);
+        let with = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert_eq!(with.len(), 1, "swapped S/D must still match");
+        let without = match_circuits(
+            &pc,
+            &pg,
+            &tc,
+            &tg,
+            MatchOptions { symmetric_mos: false, ..MatchOptions::default() },
+        );
+        assert!(without.is_empty(), "strict mode must reject the swap");
+    }
+
+    #[test]
+    fn multiple_instances_all_found() {
+        let target = "\
+M0 a a s s NMOS
+M1 b a s s NMOS
+M2 c c t t NMOS
+M3 d c t t NMOS
+";
+        let (pc, pg, _) = graphs(CM_N, true);
+        let (tc, tg, _) = graphs(target, false);
+        let matches = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert_eq!(matches.len(), 2, "{matches:?}");
+    }
+
+    #[test]
+    fn max_matches_truncates() {
+        let target = "\
+M0 a a s s NMOS
+M1 b a s s NMOS
+M2 c c t t NMOS
+M3 d c t t NMOS
+";
+        let (pc, pg, _) = graphs(CM_N, true);
+        let (tc, tg, _) = graphs(target, false);
+        let matches = match_circuits(
+            &pc,
+            &pg,
+            &tc,
+            &tg,
+            MatchOptions { max_matches: 1, ..MatchOptions::default() },
+        );
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_oversized_patterns() {
+        let (_, _, empty_p) = graphs("", true);
+        let (_, _, t) = graphs("R1 a b 1\n", false);
+        assert!(find_matches(&empty_p, &t, MatchOptions::default()).is_empty());
+        let (_, _, big_p) = graphs("R1 a b 1\nR2 b c 1\n", true);
+        let (_, _, small_t) = graphs("R1 a b 1\n", false);
+        assert!(find_matches(&big_p, &small_t, MatchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn ground_role_in_pattern_requires_ground_in_target() {
+        // Pattern pins the source to gnd!.
+        let (pc, pg, _) = graphs(".SUBCKT CR d\nM0 d d gnd! gnd! NMOS\n.ENDS\n", true);
+        let (tc, tg, _) = graphs("M0 d d gnd! gnd! NMOS\nM1 e e s s NMOS\nR1 s x 1\n", false);
+        let matches = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0], vec!["M0".to_string()]);
+    }
+
+    #[test]
+    fn bruteforce_agreement_on_small_graphs() {
+        // Cross-check VF2 against exhaustive permutation search on a small
+        // planted instance.
+        let (pc, pg, pv) = graphs(CM_N, true);
+        let (tc, tg, tv) =
+            graphs("M0 x x y y NMOS\nM1 z x y y NMOS\nR1 z w 1k\nC1 w y 1p\n", false);
+        let vf2 = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
+        let brute = brute_force_count(&pv, &tv);
+        assert_eq!(vf2.len(), brute, "vf2 {vf2:?} vs brute {brute}");
+    }
+
+    /// Exhaustive monomorphism count (deduplicated by element set), for
+    /// validating VF2 on tiny graphs.
+    fn brute_force_count(pattern: &Vf2Graph, target: &Vf2Graph) -> usize {
+        fn rec(
+            pattern: &Vf2Graph,
+            target: &Vf2Graph,
+            depth: usize,
+            core: &mut Vec<usize>,
+            used: &mut Vec<bool>,
+            found: &mut BTreeSet<Vec<usize>>,
+        ) {
+            if depth == pattern.len() {
+                let mut elems: Vec<usize> = (0..pattern.len())
+                    .filter(|&p| matches!(pattern.label(p), VertexLabel::Element(_)))
+                    .map(|p| core[p])
+                    .collect();
+                elems.sort_unstable();
+                found.insert(elems);
+                return;
+            }
+            for t in 0..target.len() {
+                if used[t] || !VertexLabel::compatible(pattern.label(depth), target.label(t)) {
+                    continue;
+                }
+                let ok = pattern.adjacency[depth].iter().all(|&(q, pl)| {
+                    if q >= depth {
+                        return true;
+                    }
+                    match target.edge(t, core[q]) {
+                        Some(tl) => {
+                            pl.bits() == tl.bits()
+                                || pl.swap_source_drain().bits() == tl.bits()
+                        }
+                        None => false,
+                    }
+                });
+                if !ok {
+                    continue;
+                }
+                core[depth] = t;
+                used[t] = true;
+                rec(pattern, target, depth + 1, core, used, found);
+                used[t] = false;
+            }
+        }
+        let mut core = vec![usize::MAX; pattern.len()];
+        let mut used = vec![false; target.len()];
+        let mut found = BTreeSet::new();
+        rec(pattern, target, 0, &mut core, &mut used, &mut found);
+        found.len()
+    }
+}

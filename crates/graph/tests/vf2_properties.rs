@@ -1,0 +1,140 @@
+//! Property-based tests for VF2: a planted primitive instance must always
+//! be found, regardless of how the surrounding netlist is shuffled or how
+//! devices are renamed.
+
+use gana_graph::vf2::{match_circuits, MatchOptions};
+use gana_graph::{CircuitGraph, GraphOptions};
+use gana_netlist::{Circuit, Device, DeviceKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds a target circuit with one planted current mirror plus `extra`
+/// random distractor devices, device order shuffled by `seed`.
+fn planted_mirror(extra: usize, seed: u64) -> Circuit {
+    let mut devices: Vec<Device> = vec![
+        Device::new(
+            "PLANT0",
+            DeviceKind::Nmos,
+            vec!["pd".into(), "pd".into(), "ps".into(), "ps".into()],
+        )
+        .expect("valid")
+        .with_model("NMOS"),
+        Device::new(
+            "PLANT1",
+            DeviceKind::Nmos,
+            vec!["po".into(), "pd".into(), "ps".into(), "ps".into()],
+        )
+        .expect("valid")
+        .with_model("NMOS"),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..extra {
+        // Distractors: single transistors with distinct gate/drain nets so
+        // they cannot form additional mirrors.
+        devices.push(
+            Device::new(
+                format!("D{i}"),
+                DeviceKind::Nmos,
+                vec![
+                    format!("x{i}"),
+                    format!("g{i}"),
+                    "gnd!".to_string(),
+                    "gnd!".to_string(),
+                ],
+            )
+            .expect("valid")
+            .with_model("NMOS"),
+        );
+        devices.push(
+            Device::new(
+                format!("R{i}"),
+                DeviceKind::Resistor,
+                vec![format!("x{i}"), format!("g{}", (i + 1) % extra.max(1))],
+            )
+            .expect("valid")
+            .with_value(1e3),
+        );
+    }
+    devices.shuffle(&mut rng);
+    let mut c = Circuit::new("planted");
+    for d in devices {
+        c.add_device(d).expect("unique names");
+    }
+    c
+}
+
+const CM_N: &str = ".SUBCKT CMN d1 d2 s\nM0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n.ENDS\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The planted mirror is found exactly once, at any size and order.
+    #[test]
+    fn planted_primitive_is_always_found(extra in 0usize..30, seed in 0u64..500) {
+        let pattern = gana_netlist::parse(CM_N).expect("valid");
+        let pattern_graph = CircuitGraph::build(&pattern, GraphOptions::default());
+        let target = planted_mirror(extra, seed);
+        let target_graph = CircuitGraph::build(&target, GraphOptions::default());
+        let matches = match_circuits(
+            &pattern,
+            &pattern_graph,
+            &target,
+            &target_graph,
+            MatchOptions::default(),
+        );
+        prop_assert_eq!(matches.len(), 1, "{:?}", matches);
+        prop_assert_eq!(
+            &matches[0],
+            &vec!["PLANT0".to_string(), "PLANT1".to_string()]
+        );
+    }
+
+    /// Matching is invariant under source/drain swaps in the target when
+    /// symmetric matching is on.
+    #[test]
+    fn source_drain_swap_invariance(seed in 0u64..200) {
+        let pattern = gana_netlist::parse(CM_N).expect("valid");
+        let pattern_graph = CircuitGraph::build(&pattern, GraphOptions::default());
+        let mut target = planted_mirror(4, seed);
+        // Swap S/D of the mirror output device.
+        let devices = target.devices_mut();
+        for d in devices.iter_mut() {
+            if d.name() == "PLANT1" {
+                let t = d.terminals_mut();
+                t.swap(0, 2);
+            }
+        }
+        let target_graph = CircuitGraph::build(&target, GraphOptions::default());
+        let matches = match_circuits(
+            &pattern,
+            &pattern_graph,
+            &target,
+            &target_graph,
+            MatchOptions::default(),
+        );
+        prop_assert_eq!(matches.len(), 1);
+    }
+
+    /// Matches never overlap after annotation-style claiming, and every
+    /// reported device exists in the target.
+    #[test]
+    fn reported_devices_exist(extra in 0usize..20, seed in 0u64..200) {
+        let pattern = gana_netlist::parse(CM_N).expect("valid");
+        let pattern_graph = CircuitGraph::build(&pattern, GraphOptions::default());
+        let target = planted_mirror(extra, seed);
+        let target_graph = CircuitGraph::build(&target, GraphOptions::default());
+        for group in match_circuits(
+            &pattern,
+            &pattern_graph,
+            &target,
+            &target_graph,
+            MatchOptions::default(),
+        ) {
+            for device in &group {
+                prop_assert!(target.device(device).is_some(), "ghost device {device}");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Constraint-driven symbolic layout: the paper's Fig. 6 use case.
+//!
+//! "We take the results of circuit recognition to pass the design through a
+//! custom layout generator … The hierarchies identified by our algorithm
+//! are used by the layout tool to construct layouts for primitives, which
+//! are assembled into layouts for larger blocks … The symmetry and
+//! proximity constraints detected at the primitive level are propagated to
+//! other levels of hierarchy, creating a common axis of symmetry for the
+//! entire layout."
+//!
+//! The paper used the ASAP7 PDK; this crate substitutes an **abstract grid
+//! PDK** ([`Pdk`]) with unit device footprints — the behaviour that matters
+//! (constraint-driven placement, mirrored differential pairs, interleaved
+//! common-centroid mirrors, hierarchical assembly) is fully exercised and
+//! checked by [`symmetry`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gana_layout::{place_design, Pdk};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let design: gana_core::RecognizedDesign = unimplemented!();
+//! let layout = place_design(&design, &Pdk::default())?;
+//! println!("{}", layout.to_ascii());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod pdk;
+mod placer;
+pub mod render;
+pub mod symmetry;
+
+pub use cell::{Cell, Placement, Rect};
+pub use pdk::Pdk;
+pub use placer::{place_design, Layout, LayoutError};

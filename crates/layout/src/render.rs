@@ -1,0 +1,138 @@
+//! Text and SVG rendering of symbolic layouts (the reproduction's stand-in
+//! for the paper's Fig. 6 plot).
+
+use crate::placer::Layout;
+use std::fmt::Write as _;
+
+/// Renders a coarse ASCII map: each grid cell shows the first letter of the
+/// device occupying it (`M`/`R`/`C`/`L`), `.` for empty space.
+pub fn ascii(layout: &Layout) -> String {
+    let die = layout.die;
+    if die.w <= 0 || die.h <= 0 {
+        return String::new();
+    }
+    // Cap the raster so huge designs stay printable.
+    let max_dim = 160;
+    let scale = (die.w.max(die.h) as usize / max_dim).max(1) as i64;
+    let cols = (die.w / scale + 1) as usize;
+    let rows = (die.h / scale + 1) as usize;
+    let mut raster = vec![vec!['.'; cols]; rows];
+    for p in &layout.placements {
+        let letter = p.cell.device.chars().next().unwrap_or('?').to_ascii_uppercase();
+        let x0 = ((p.rect.x - die.x) / scale) as usize;
+        let y0 = ((p.rect.y - die.y) / scale) as usize;
+        let x1 = (((p.rect.right() - die.x) / scale) as usize).min(cols);
+        let y1 = (((p.rect.top() - die.y) / scale) as usize).min(rows);
+        for row in raster.iter_mut().take(y1).skip(y0) {
+            for c in row.iter_mut().take(x1).skip(x0) {
+                *c = letter;
+            }
+        }
+    }
+    let mut out = String::new();
+    // Top row printed last so y grows upward, as in layout plots.
+    for row in raster.iter().rev() {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a minimal SVG with one rectangle per cell, colored by block
+/// label hash, plus dashed block outlines.
+pub fn svg(layout: &Layout) -> String {
+    const UNIT: i64 = 10;
+    let die = layout.die;
+    let width = die.w * UNIT;
+    let height = die.h * UNIT;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">"
+    );
+    let color = |label: &str| -> String {
+        // Deterministic pastel from the label bytes.
+        let h: u32 = label.bytes().fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+        format!("hsl({}, 55%, 70%)", h % 360)
+    };
+    for b in &layout.blocks {
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"#444\" stroke-dasharray=\"4 3\"/>",
+            (b.rect.x - die.x) * UNIT,
+            (die.top() - b.rect.top()) * UNIT,
+            b.rect.w * UNIT,
+            b.rect.h * UNIT
+        );
+    }
+    for p in &layout.placements {
+        let block_label = layout
+            .blocks
+            .iter()
+            .find(|b| b.name == p.block)
+            .map(|b| b.label.as_str())
+            .unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" stroke=\"#222\"><title>{}</title></rect>",
+            (p.rect.x - die.x) * UNIT,
+            (die.top() - p.rect.top()) * UNIT,
+            p.rect.w * UNIT,
+            p.rect.h * UNIT,
+            color(block_label),
+            p.cell.device
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, Placement, Rect};
+    use crate::placer::BlockOutline;
+
+    fn tiny_layout() -> Layout {
+        Layout {
+            placements: vec![
+                Placement {
+                    cell: Cell { device: "M1".to_string(), w: 2, h: 2 },
+                    rect: Rect::new(0, 0, 2, 2),
+                    mirrored: false,
+                    block: "b0".to_string(),
+                },
+                Placement {
+                    cell: Cell { device: "C1".to_string(), w: 3, h: 2 },
+                    rect: Rect::new(3, 0, 3, 2),
+                    mirrored: false,
+                    block: "b0".to_string(),
+                },
+            ],
+            blocks: vec![BlockOutline {
+                name: "b0".to_string(),
+                label: "ota".to_string(),
+                rect: Rect::new(0, 0, 6, 2),
+                axis_x2: 6,
+            }],
+            die: Rect::new(0, 0, 6, 2),
+        }
+    }
+
+    #[test]
+    fn ascii_shows_device_letters() {
+        let text = ascii(&tiny_layout());
+        assert!(text.contains('M'), "{text}");
+        assert!(text.contains('C'), "{text}");
+        assert!(text.contains('.'), "{text}");
+    }
+
+    #[test]
+    fn svg_contains_rects_and_titles() {
+        let text = svg(&tiny_layout());
+        assert!(text.starts_with("<svg"));
+        assert!(text.contains("<title>M1</title>"));
+        assert!(text.matches("<rect").count() >= 3, "2 cells + 1 outline");
+        assert!(text.trim_end().ends_with("</svg>"));
+    }
+}

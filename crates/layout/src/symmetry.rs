@@ -1,0 +1,179 @@
+//! Post-placement constraint verification.
+//!
+//! The experiments check the Fig. 6 claim that "the symmetry and proximity
+//! constraints detected at the primitive level are propagated … creating a
+//! common axis of symmetry": these helpers verify that the placer honored
+//! every constraint.
+
+use crate::placer::Layout;
+use gana_primitives::{Constraint, ConstraintKind};
+
+/// A single constraint-check outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// The constraint that was checked.
+    pub constraint: Constraint,
+    /// Whether the placement honors it.
+    pub satisfied: bool,
+    /// Explanation when violated.
+    pub detail: String,
+}
+
+/// Verifies symmetry/matching/common-centroid constraints against a layout.
+///
+/// * `Symmetry`: member centers mirror pairwise about their block's axis;
+/// * `Matching`/`CommonCentroid`: member cells have identical dimensions
+///   (and for common centroid, their mean center sits on the block axis);
+/// * other kinds are reported as satisfied (they constrain routing or
+///   floorplan context this symbolic view does not model).
+pub fn verify(layout: &Layout, constraints: &[Constraint]) -> Vec<CheckResult> {
+    constraints
+        .iter()
+        .map(|c| {
+            let (satisfied, detail) = check_one(layout, c);
+            CheckResult { constraint: c.clone(), satisfied, detail }
+        })
+        .collect()
+}
+
+fn check_one(layout: &Layout, constraint: &Constraint) -> (bool, String) {
+    // Collect placements for members present in the layout.
+    let placements: Vec<_> = constraint
+        .members
+        .iter()
+        .filter_map(|m| layout.placement_of(m))
+        .collect();
+    if placements.len() < constraint.members.len() {
+        // Constraints over nets or absent devices cannot be geometric here.
+        return (true, "members not all placed; skipped".to_string());
+    }
+    let Some(block) = layout.blocks.iter().find(|b| b.name == placements[0].block) else {
+        return (true, "block outline missing; skipped".to_string());
+    };
+    match constraint.kind {
+        ConstraintKind::Symmetry => {
+            let mut offsets: Vec<i64> =
+                placements.iter().map(|p| p.rect.center_x2() - block.axis_x2).collect();
+            offsets.sort_unstable();
+            // Offsets must pair up as {-d, +d}.
+            let mut i = 0;
+            let mut j = offsets.len();
+            while i < j {
+                if j - i == 1 {
+                    if offsets[i] != 0 {
+                        return (false, format!("odd member off-axis by {}", offsets[i]));
+                    }
+                    break;
+                }
+                j -= 1;
+                if offsets[i] != -offsets[j] {
+                    return (
+                        false,
+                        format!("offsets {} and {} are not mirrored", offsets[i], offsets[j]),
+                    );
+                }
+                i += 1;
+            }
+            (true, "mirrored about block axis".to_string())
+        }
+        ConstraintKind::Matching => {
+            let (w0, h0) = (placements[0].rect.w, placements[0].rect.h);
+            for p in &placements[1..] {
+                if (p.rect.w, p.rect.h) != (w0, h0) {
+                    return (false, format!("{} has a different footprint", p.cell.device));
+                }
+            }
+            (true, "footprints match".to_string())
+        }
+        ConstraintKind::CommonCentroid => {
+            let sum: i64 = placements.iter().map(|p| p.rect.center_x2() - block.axis_x2).sum();
+            if sum == 0 {
+                (true, "centroid on axis".to_string())
+            } else {
+                (false, format!("centroid offset {sum} (doubled units)"))
+            }
+        }
+        _ => (true, "non-geometric constraint".to_string()),
+    }
+}
+
+/// Fraction of satisfied constraints.
+pub fn satisfaction_rate(results: &[CheckResult]) -> f64 {
+    if results.is_empty() {
+        return 1.0;
+    }
+    results.iter().filter(|r| r.satisfied).count() as f64 / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, Placement, Rect};
+    use crate::placer::BlockOutline;
+
+    fn layout_with(pairs: &[(&str, i64, i64)]) -> Layout {
+        // All cells 2x2 in block "b0" with axis at x=10 (axis_x2=20).
+        let placements = pairs
+            .iter()
+            .map(|&(name, x, y)| Placement {
+                cell: Cell { device: name.to_string(), w: 2, h: 2 },
+                rect: Rect::new(x, y, 2, 2),
+                mirrored: false,
+                block: "b0".to_string(),
+            })
+            .collect();
+        Layout {
+            placements,
+            blocks: vec![BlockOutline {
+                name: "b0".to_string(),
+                label: "ota".to_string(),
+                rect: Rect::new(0, 0, 20, 10),
+                axis_x2: 20,
+            }],
+            die: Rect::new(0, 0, 20, 10),
+        }
+    }
+
+    #[test]
+    fn mirrored_pair_satisfies_symmetry() {
+        let layout = layout_with(&[("M1", 4, 0), ("M2", 14, 0)]);
+        // centers*2: 10 and 30; offsets -10 and +10.
+        let c = Constraint::new(ConstraintKind::Symmetry, vec!["M1".into(), "M2".into()]);
+        let results = verify(&layout, &[c]);
+        assert!(results[0].satisfied, "{}", results[0].detail);
+    }
+
+    #[test]
+    fn offset_pair_violates_symmetry() {
+        let layout = layout_with(&[("M1", 4, 0), ("M2", 12, 0)]);
+        let c = Constraint::new(ConstraintKind::Symmetry, vec!["M1".into(), "M2".into()]);
+        let results = verify(&layout, &[c]);
+        assert!(!results[0].satisfied);
+    }
+
+    #[test]
+    fn matching_checks_footprints() {
+        let mut layout = layout_with(&[("M1", 0, 0), ("M2", 5, 0)]);
+        layout.placements[1].rect.w = 3;
+        let c = Constraint::new(ConstraintKind::Matching, vec!["M1".into(), "M2".into()]);
+        let results = verify(&layout, &[c]);
+        assert!(!results[0].satisfied);
+    }
+
+    #[test]
+    fn absent_members_skip_gracefully() {
+        let layout = layout_with(&[("M1", 0, 0)]);
+        let c = Constraint::new(ConstraintKind::Symmetry, vec!["M1".into(), "GHOST".into()]);
+        let results = verify(&layout, &[c]);
+        assert!(results[0].satisfied, "skipped, not failed");
+    }
+
+    #[test]
+    fn satisfaction_rate_counts() {
+        let layout = layout_with(&[("M1", 4, 0), ("M2", 12, 0)]);
+        let good = Constraint::new(ConstraintKind::Matching, vec!["M1".into(), "M2".into()]);
+        let bad = Constraint::new(ConstraintKind::Symmetry, vec!["M1".into(), "M2".into()]);
+        let results = verify(&layout, &[good, bad]);
+        assert!((satisfaction_rate(&results) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the placer: legality and constraint satisfaction
+//! across the whole OTA generator space.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::ota;
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_layout::{place_design, symmetry, Pdk};
+use gana_primitives::PrimitiveLibrary;
+use proptest::prelude::*;
+
+fn pipeline() -> Pipeline {
+    let config = GcnConfig {
+        conv_channels: vec![4, 4],
+        filter_order: 2,
+        fc_dim: 8,
+        num_classes: 2,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid"),
+        vec!["ota".to_string(), "bias".to_string()],
+        PrimitiveLibrary::standard().expect("templates"),
+        Task::OtaBias,
+    )
+}
+
+fn ota_spec() -> impl Strategy<Value = ota::OtaSpec> {
+    (0usize..6, any::<bool>(), 0usize..4, 0u64..200).prop_map(|(t, p, b, seed)| ota::OtaSpec {
+        topology: ota::OtaTopology::ALL[t],
+        pmos_input: p,
+        bias: ota::BiasStyle::ALL[b],
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated OTA places legally: no overlaps, every device
+    /// placed exactly once, inside the die.
+    #[test]
+    fn placement_is_always_legal(spec in ota_spec()) {
+        let pipeline = pipeline();
+        let lc = ota::generate(spec);
+        let design = pipeline.recognize(&lc.circuit).expect("pipeline runs");
+        let layout = place_design(&design, &Pdk::default()).expect("places");
+        layout.validate().expect("no overlaps");
+        prop_assert_eq!(layout.placements.len(), design.graph.element_count());
+        for p in &layout.placements {
+            prop_assert!(p.rect.x >= layout.die.x);
+            prop_assert!(p.rect.y >= layout.die.y);
+            prop_assert!(p.rect.right() <= layout.die.right());
+            prop_assert!(p.rect.top() <= layout.die.top());
+        }
+    }
+
+    /// Every detected geometric constraint is honored by the placer.
+    #[test]
+    fn constraints_are_always_satisfied(spec in ota_spec()) {
+        let pipeline = pipeline();
+        let lc = ota::generate(spec);
+        let design = pipeline.recognize(&lc.circuit).expect("pipeline runs");
+        let layout = place_design(&design, &Pdk::default()).expect("places");
+        let checks = symmetry::verify(&layout, &design.constraints);
+        for check in &checks {
+            prop_assert!(
+                check.satisfied,
+                "violated {}: {}",
+                check.constraint,
+                check.detail
+            );
+        }
+    }
+
+    /// Layout is deterministic for a fixed design.
+    #[test]
+    fn placement_is_deterministic(seed in 0u64..50) {
+        let pipeline = pipeline();
+        let lc = ota::generate(ota::OtaSpec {
+            topology: ota::OtaTopology::FiveT,
+            pmos_input: false,
+            bias: ota::BiasStyle::DiodeResistor,
+            seed,
+        });
+        let design = pipeline.recognize(&lc.circuit).expect("runs");
+        let a = place_design(&design, &Pdk::default()).expect("places");
+        let b = place_design(&design, &Pdk::default()).expect("places");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for netlist parsing, flattening, and preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// The SPICE source could not be parsed.
+    Parse {
+        /// 1-based source line of the offending card.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An `X` instance referenced a subcircuit that was never defined.
+    UnknownSubcircuit {
+        /// Name of the instance card.
+        instance: String,
+        /// The missing subcircuit name.
+        subckt: String,
+    },
+    /// An `X` instance supplied the wrong number of connections.
+    PortArityMismatch {
+        /// Name of the instance card.
+        instance: String,
+        /// The subcircuit being instantiated.
+        subckt: String,
+        /// Number of ports the definition declares.
+        expected: usize,
+        /// Number of nets the instance supplied.
+        found: usize,
+    },
+    /// Subcircuit instantiation recursed into itself.
+    RecursiveSubcircuit {
+        /// The subcircuit on the cycle.
+        subckt: String,
+    },
+    /// A numeric value (e.g. `1.5MEG`) could not be parsed.
+    ParseValue {
+        /// The offending token.
+        token: String,
+    },
+    /// A semantic rule was violated (duplicate device name, bad terminal count…).
+    Semantic(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UnknownSubcircuit { instance, subckt } => {
+                write!(f, "instance {instance} references unknown subcircuit {subckt}")
+            }
+            NetlistError::PortArityMismatch { instance, subckt, expected, found } => write!(
+                f,
+                "instance {instance} of {subckt} supplies {found} nets, definition has {expected} ports"
+            ),
+            NetlistError::RecursiveSubcircuit { subckt } => {
+                write!(f, "subcircuit {subckt} instantiates itself (directly or indirectly)")
+            }
+            NetlistError::ParseValue { token } => {
+                write!(f, "cannot parse numeric value from token {token:?}")
+            }
+            NetlistError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_number() {
+        let err = NetlistError::Parse { line: 12, message: "bad card".to_string() };
+        assert!(err.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,238 @@
+//! Netlist flattening (paper Section II-B).
+//!
+//! GANA flattens the input "to bypass designer-specified hierarchies, which
+//! are highly dependent on the choices of individual designers". Flattening
+//! makes recognition independent of hierarchy style: bias networks that were
+//! split across blocks rejoin their current mirrors, and the GCN sees one
+//! uniform graph.
+
+use crate::model::{Circuit, DeviceKind, SpiceLibrary};
+use crate::{NetlistError, Result};
+use std::collections::HashMap;
+
+/// Separator used to build hierarchical names (`X1/M3`, `Xcore/Xbias/net5`).
+pub(crate) const HIER_SEP: char = '/';
+
+/// Flattens a parsed library into a single-level [`Circuit`].
+///
+/// Subcircuit instances are expanded recursively. Devices and local nets of
+/// an instance `Xfoo` are prefixed `Xfoo/`; nets bound to instance ports are
+/// remapped to the parent's nets; global supply/ground nets (`vdd!`, `gnd!`,
+/// `0`, …) keep their names at every level. Port labels declared inside
+/// subcircuits are propagated onto the mapped parent nets.
+///
+/// # Errors
+///
+/// * [`NetlistError::UnknownSubcircuit`] if an `X` card references an
+///   undefined subcircuit.
+/// * [`NetlistError::PortArityMismatch`] if an instance's net count differs
+///   from its definition's port count.
+/// * [`NetlistError::RecursiveSubcircuit`] if expansion would recurse.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gana_netlist::NetlistError> {
+/// let lib = gana_netlist::parse_library(
+///     ".SUBCKT INV in out vdd gnd\nM1 out in vdd vdd PMOS\nM2 out in gnd gnd NMOS\n.ENDS\nX1 a b vdd! gnd! INV\nX2 b c vdd! gnd! INV\n",
+/// )?;
+/// let flat = gana_netlist::flatten(&lib)?;
+/// assert_eq!(flat.device_count(), 4);
+/// assert!(flat.device("X2/M1").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn flatten(lib: &SpiceLibrary) -> Result<Circuit> {
+    let mut flat = Circuit::with_ports(lib.top().name(), lib.top().ports().to_vec());
+    for (net, label) in lib.top().port_labels() {
+        flat.set_port_label(net.clone(), label.clone());
+    }
+    let mut stack = Vec::new();
+    expand_into(lib, lib.top(), "", &HashMap::new(), &mut flat, &mut stack)?;
+    Ok(flat)
+}
+
+fn expand_into(
+    lib: &SpiceLibrary,
+    circuit: &Circuit,
+    prefix: &str,
+    net_map: &HashMap<String, String>,
+    flat: &mut Circuit,
+    stack: &mut Vec<String>,
+) -> Result<()> {
+    let map_net = |net: &str| -> String {
+        if let Some(mapped) = net_map.get(net) {
+            return mapped.clone();
+        }
+        if lib.is_global(net) {
+            return net.to_string();
+        }
+        if prefix.is_empty() {
+            net.to_string()
+        } else {
+            format!("{prefix}{HIER_SEP}{net}")
+        }
+    };
+
+    // Port labels on internal nets propagate to their flattened names.
+    for (net, label) in circuit.port_labels() {
+        let mapped = map_net(net);
+        if flat.port_label(&mapped).is_none() {
+            flat.set_port_label(mapped, label.clone());
+        }
+    }
+
+    for device in circuit.devices() {
+        let flat_name = if prefix.is_empty() {
+            device.name().to_string()
+        } else {
+            format!("{prefix}{HIER_SEP}{}", device.name())
+        };
+        if device.kind() == DeviceKind::Instance {
+            let subckt_name = device.model().ok_or_else(|| {
+                NetlistError::Semantic(format!("instance {flat_name} has no subcircuit name"))
+            })?;
+            let def = lib.find_subckt(subckt_name).ok_or_else(|| {
+                NetlistError::UnknownSubcircuit {
+                    instance: flat_name.clone(),
+                    subckt: subckt_name.to_string(),
+                }
+            })?;
+            if device.terminals().len() != def.ports().len() {
+                return Err(NetlistError::PortArityMismatch {
+                    instance: flat_name,
+                    subckt: subckt_name.to_string(),
+                    expected: def.ports().len(),
+                    found: device.terminals().len(),
+                });
+            }
+            if stack.iter().any(|s| s.eq_ignore_ascii_case(subckt_name)) {
+                return Err(NetlistError::RecursiveSubcircuit { subckt: subckt_name.to_string() });
+            }
+            let child_map: HashMap<String, String> = def
+                .ports()
+                .iter()
+                .zip(device.terminals())
+                .map(|(port, net)| (port.clone(), map_net(net)))
+                .collect();
+            stack.push(subckt_name.to_string());
+            expand_into(lib, def, &flat_name, &child_map, flat, stack)?;
+            stack.pop();
+        } else {
+            let mut d = device.clone();
+            d.set_name(flat_name);
+            for term in d.terminals_mut() {
+                *term = map_net(term);
+            }
+            flat.add_device(d)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PortLabel;
+    use crate::parse_library;
+
+    #[test]
+    fn two_level_hierarchy_flattens_with_prefixes() {
+        let lib = parse_library(
+            ".SUBCKT LEAF a b\nR1 a mid 1k\nR2 mid b 1k\n.ENDS\n\
+             .SUBCKT MID x y\nX1 x y LEAF\n.ENDS\n\
+             Xtop p q MID\n",
+        )
+        .expect("valid");
+        let flat = flatten(&lib).expect("flattens");
+        assert_eq!(flat.device_count(), 2);
+        let r1 = flat.device("Xtop/X1/R1").expect("hierarchical name");
+        assert_eq!(r1.terminals()[0], "p");
+        assert_eq!(r1.terminals()[1], "Xtop/X1/mid");
+    }
+
+    #[test]
+    fn globals_stay_global() {
+        let lib = parse_library(
+            ".SUBCKT LEAF in\nM1 in in gnd! gnd! NMOS\n.ENDS\nX1 n LEAF\n",
+        )
+        .expect("valid");
+        let flat = flatten(&lib).expect("flattens");
+        let m1 = flat.device("X1/M1").expect("exists");
+        assert_eq!(m1.terminals()[2], "gnd!", "ground must not be prefixed");
+    }
+
+    #[test]
+    fn unknown_subcircuit_is_reported() {
+        let lib = parse_library("X1 a b MISSING\n").expect("parses");
+        let err = flatten(&lib).expect_err("unknown subckt");
+        assert!(matches!(err, NetlistError::UnknownSubcircuit { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let lib = parse_library(".SUBCKT S a b c\nR1 a b 1\n.ENDS\nX1 n1 n2 S\n").expect("parses");
+        let err = flatten(&lib).expect_err("too few nets");
+        match err {
+            NetlistError::PortArityMismatch { expected, found, .. } => {
+                assert_eq!((expected, found), (3, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursion_is_detected() {
+        let lib = parse_library(".SUBCKT A x\nX1 x A\n.ENDS\nX0 top A\n").expect("parses");
+        let err = flatten(&lib).expect_err("self-recursive");
+        assert!(matches!(err, NetlistError::RecursiveSubcircuit { .. }));
+    }
+
+    #[test]
+    fn port_labels_propagate_from_subcircuits() {
+        let lib = parse_library(
+            ".SUBCKT LNA rfin out\n.PORTLABEL rfin antenna\nM1 out rfin gnd! gnd! NMOS\n.ENDS\nXlna ant lnaout LNA\n",
+        )
+        .expect("parses");
+        let flat = flatten(&lib).expect("flattens");
+        assert_eq!(flat.port_label("ant"), Some(&PortLabel::Antenna));
+    }
+
+    #[test]
+    fn declared_globals_stay_global() {
+        let lib = parse_library(
+            ".GLOBAL vbias avdd
+.SUBCKT LEAF in
+M1 in vbias avdd avdd NMOS
+R1 in local 1k
+.ENDS
+X1 n LEAF
+",
+        )
+        .expect("valid");
+        let flat = flatten(&lib).expect("flattens");
+        let m1 = flat.device("X1/M1").expect("exists");
+        assert_eq!(m1.terminals()[1], "vbias", ".GLOBAL net must not be prefixed");
+        assert_eq!(m1.terminals()[2], "avdd");
+        let r1 = flat.device("X1/R1").expect("exists");
+        assert_eq!(r1.terminals()[1], "X1/local", "non-global nets still prefix");
+    }
+
+    #[test]
+    fn flat_input_is_passthrough() {
+        let lib = parse_library("M1 d g s b NMOS\nR1 d s 1k\n").expect("parses");
+        let flat = flatten(&lib).expect("flattens");
+        assert_eq!(flat.device_count(), 2);
+        assert!(flat.device("M1").is_some());
+    }
+
+    #[test]
+    fn diamond_reuse_of_one_subckt_is_fine() {
+        let lib = parse_library(
+            ".SUBCKT U a\nR1 a x 1\n.ENDS\n.SUBCKT V b\nX1 b U\nX2 b U\n.ENDS\nXv top V\n",
+        )
+        .expect("parses");
+        let flat = flatten(&lib).expect("diamond is not recursion");
+        assert_eq!(flat.device_count(), 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Line-oriented SPICE lexer: comment stripping, `+` continuations,
+//! tokenization with `name=value` splitting.
+
+/// A logical SPICE card: one statement after continuation merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Card {
+    /// 1-based line number of the card's first physical line.
+    pub line: usize,
+    /// Whitespace-separated tokens; `name=value` stays one token.
+    pub tokens: Vec<String>,
+}
+
+impl Card {
+    /// The leading keyword, upper-cased (`.SUBCKT`, `M1`, …).
+    pub fn keyword(&self) -> String {
+        self.tokens[0].to_ascii_uppercase()
+    }
+}
+
+/// Splits SPICE source into logical cards.
+///
+/// Handles: `*` full-line comments, `$` and `;` trailing comments, blank
+/// lines, and `+` continuation lines. Tokens around `=` are glued so that
+/// `W = 1u`, `W =1u`, and `W=1u` all become the single token `W=1u`.
+pub(crate) fn tokenize(source: &str) -> Vec<Card> {
+    let mut cards: Vec<Card> = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            if let Some(card) = cards.last_mut() {
+                card.tokens.extend(split_tokens(rest));
+                continue;
+            }
+            // A continuation with nothing to continue: treat as a fresh card
+            // so the parser can report it meaningfully.
+        }
+        let tokens = split_tokens(trimmed.trim_start_matches('+'));
+        if !tokens.is_empty() {
+            cards.push(Card { line: line_no, tokens });
+        }
+    }
+    for card in &mut cards {
+        card.tokens = glue_equals(std::mem::take(&mut card.tokens));
+    }
+    cards
+}
+
+/// Removes `*` full-line comments and `$`/`;` trailing comments.
+fn strip_comment(line: &str) -> &str {
+    let trimmed_start = line.trim_start();
+    if trimmed_start.starts_with('*') {
+        return "";
+    }
+    let cut = line.find(['$', ';']).unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn split_tokens(text: &str) -> Vec<String> {
+    // Keep '=' visible as its own token boundary for later gluing.
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_whitespace() || ch == '(' || ch == ')' {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        } else if ch == '=' {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            tokens.push("=".to_string());
+        } else {
+            current.push(ch);
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Rejoins `name = value` triplets into single `name=value` tokens.
+fn glue_equals(tokens: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i] == "=" && !out.is_empty() && i + 1 < tokens.len() {
+            let name = out.pop().expect("checked non-empty");
+            out.push(format!("{name}={}", tokens[i + 1]));
+            i += 2;
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let cards = tokenize("* header\n\nR1 a b 1k $ trailing\n; nothing\n");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(cards[0].tokens, vec!["R1", "a", "b", "1k"]);
+        assert_eq!(cards[0].line, 3);
+    }
+
+    #[test]
+    fn continuations_merge_into_previous_card() {
+        let cards = tokenize("M1 d g s b NMOS\n+ W=1u\n+ L=90n\n");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(
+            cards[0].tokens,
+            vec!["M1", "d", "g", "s", "b", "NMOS", "W=1u", "L=90n"]
+        );
+    }
+
+    #[test]
+    fn equals_with_spaces_is_glued() {
+        let cards = tokenize("M1 d g s b NMOS W = 1u L= 90n m =2\n");
+        assert_eq!(
+            cards[0].tokens,
+            vec!["M1", "d", "g", "s", "b", "NMOS", "W=1u", "L=90n", "m=2"]
+        );
+    }
+
+    #[test]
+    fn parentheses_act_as_separators() {
+        let cards = tokenize("V1 in 0 SIN(0 1 1k)\n");
+        assert_eq!(cards[0].tokens, vec!["V1", "in", "0", "SIN", "0", "1", "1k"]);
+    }
+
+    #[test]
+    fn keyword_is_uppercased() {
+        let cards = tokenize(".subckt ota in out\n");
+        assert_eq!(cards[0].keyword(), ".SUBCKT");
+    }
+
+    #[test]
+    fn orphan_continuation_is_kept_as_card() {
+        let cards = tokenize("+ W=1u\n");
+        assert_eq!(cards.len(), 1);
+    }
+}

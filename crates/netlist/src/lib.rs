@@ -1,0 +1,65 @@
+//! SPICE netlist substrate for the GANA reproduction.
+//!
+//! The GANA flow (paper Section II-B) starts from a SPICE circuit netlist —
+//! "the most natural and universal mode in which an analog designer … may
+//! use the software". This crate provides:
+//!
+//! * a lexer/parser for the SPICE subset analog designers actually write
+//!   ([`parse`], [`parse_library`]): `.SUBCKT`/`.ENDS`, MOS/R/C/L/V/I/D
+//!   device cards, `X` subcircuit instances, `+` continuations, SI-suffixed
+//!   values (`10u`, `1.5MEG`), `name=value` parameters, and a `.PORTLABEL`
+//!   directive carrying the designer port annotations that the paper's
+//!   Postprocessing II consumes (antenna inputs, oscillating inputs, …);
+//! * the in-memory data model ([`Circuit`], [`Device`], [`DeviceKind`]);
+//! * **netlist flattening** ([`flatten`]) that bypasses designer-specified
+//!   hierarchies, exactly as the paper prescribes;
+//! * **preprocessing** ([`preprocess`]) that folds netlist features which
+//!   "help performance but do not affect functionality": parallel transistors
+//!   for sizing, series stacks for large lengths, dummies, and decaps;
+//! * a SPICE writer ([`write_spice`]) for round-tripping.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), gana_netlist::NetlistError> {
+//! let spice = "\
+//! * two-transistor current mirror
+//! .SUBCKT CM D1 D2 S
+//! M0 D1 D1 S S NMOS W=2u L=180n
+//! M1 D2 D1 S S NMOS W=2u L=180n
+//! .ENDS
+//! X1 n1 n2 gnd! CM
+//! .END
+//! ";
+//! let lib = gana_netlist::parse_library(spice)?;
+//! let flat = gana_netlist::flatten(&lib)?;
+//! assert_eq!(flat.devices().len(), 2);
+//! assert_eq!(flat.devices()[0].name(), "X1/M0");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod flatten;
+mod lexer;
+mod model;
+mod parser;
+mod preprocess;
+mod value;
+mod writer;
+
+pub use error::NetlistError;
+pub use flatten::flatten;
+pub use model::{
+    Circuit, Device, DeviceKind, MosTerminal, PortLabel, SpiceLibrary, GROUND_NAMES, SUPPLY_NAMES,
+};
+pub use parser::{parse, parse_library};
+pub use preprocess::{preprocess, PreprocessOptions, PreprocessReport};
+pub use value::{format_si, parse_si};
+pub use writer::write_spice;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;

@@ -1,0 +1,356 @@
+//! SPICE parser: cards → [`SpiceLibrary`].
+
+use crate::lexer::{tokenize, Card};
+use crate::model::{Circuit, Device, DeviceKind, PortLabel, SpiceLibrary};
+use crate::value::parse_si;
+use crate::{NetlistError, Result};
+
+/// Parses SPICE source into a library of subcircuits plus a top-level circuit.
+///
+/// Supported cards: `.SUBCKT name ports…` / `.ENDS`, `.END`, `.GLOBAL`
+/// (accepted, nets recorded as-is), `.PORTLABEL net label` (GANA extension
+/// carrying designer port annotations for Postprocessing II), `.MODEL`
+/// (accepted and ignored), and device cards `M R C L V I D X`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for malformed cards,
+/// and [`NetlistError::Semantic`] for duplicate names.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gana_netlist::NetlistError> {
+/// let lib = gana_netlist::parse_library("R1 in out 10k\n.END\n")?;
+/// assert_eq!(lib.top().devices().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_library(source: &str) -> Result<SpiceLibrary> {
+    let mut lib = SpiceLibrary::new(Circuit::new("top"));
+    let mut current: Option<Circuit> = None;
+
+    for card in tokenize(source) {
+        let keyword = card.keyword();
+        match keyword.as_str() {
+            ".SUBCKT" => {
+                if current.is_some() {
+                    return Err(parse_err(&card, "nested .SUBCKT is not supported"));
+                }
+                if card.tokens.len() < 2 {
+                    return Err(parse_err(&card, ".SUBCKT needs a name"));
+                }
+                let name = card.tokens[1].clone();
+                let ports = card.tokens[2..]
+                    .iter()
+                    .filter(|t| !t.contains('='))
+                    .cloned()
+                    .collect();
+                current = Some(Circuit::with_ports(name, ports));
+            }
+            ".ENDS" => match current.take() {
+                Some(circuit) => lib.add_subckt(circuit)?,
+                None => return Err(parse_err(&card, ".ENDS without matching .SUBCKT")),
+            },
+            ".END" => break,
+            ".PORTLABEL" => {
+                if card.tokens.len() != 3 {
+                    return Err(parse_err(&card, ".PORTLABEL needs a net and a label"));
+                }
+                let net = card.tokens[1].clone();
+                let label = PortLabel::from_keyword(&card.tokens[2]);
+                let target = current.as_mut().unwrap_or_else(|| lib.top_mut());
+                target.set_port_label(net, label);
+            }
+            ".GLOBAL" => {
+                for net in &card.tokens[1..] {
+                    lib.add_global(net.clone());
+                }
+            }
+            ".MODEL" | ".OPTION" | ".OPTIONS" | ".PARAM" | ".TEMP" | ".OP" | ".TRAN"
+            | ".AC" | ".DC" | ".INCLUDE" | ".LIB" => {
+                // Analysis/bookkeeping cards do not affect topology recognition.
+            }
+            _ if keyword.starts_with('.') => {
+                return Err(parse_err(&card, &format!("unsupported directive {keyword}")));
+            }
+            _ => {
+                let device = parse_device(&card)?;
+                let target = current.as_mut().unwrap_or_else(|| lib.top_mut());
+                target.add_device(device)?;
+            }
+        }
+    }
+    if let Some(unclosed) = current {
+        return Err(NetlistError::Semantic(format!(
+            "subcircuit {} has no .ENDS",
+            unclosed.name()
+        )));
+    }
+    Ok(lib)
+}
+
+/// Parses SPICE source that contains no hierarchy into a single [`Circuit`].
+///
+/// Convenience wrapper around [`parse_library`] for primitive templates and
+/// generated flat netlists. If the source defines exactly one subcircuit and
+/// no top-level devices, that subcircuit is returned (this is the natural
+/// format for primitive library entries).
+///
+/// # Errors
+///
+/// Propagates [`parse_library`] errors.
+pub fn parse(source: &str) -> Result<Circuit> {
+    let lib = parse_library(source)?;
+    if lib.top().devices().is_empty() && lib.subckts().len() == 1 {
+        return Ok(lib.subckts()[0].clone());
+    }
+    Ok(lib.top().clone())
+}
+
+fn parse_err(card: &Card, message: &str) -> NetlistError {
+    NetlistError::Parse { line: card.line, message: message.to_string() }
+}
+
+fn split_params(tokens: &[String]) -> (Vec<&String>, Vec<(&str, &str)>) {
+    let mut plain = Vec::new();
+    let mut params = Vec::new();
+    for t in tokens {
+        match t.split_once('=') {
+            Some((k, v)) => params.push((k, v)),
+            None => plain.push(t),
+        }
+    }
+    (plain, params)
+}
+
+fn parse_device(card: &Card) -> Result<Device> {
+    let name = card.tokens[0].clone();
+    let leading = name
+        .chars()
+        .next()
+        .expect("tokenizer never yields empty tokens")
+        .to_ascii_uppercase();
+    let (plain, params) = split_params(&card.tokens[1..]);
+
+    let mut device = match leading {
+        'M' => {
+            if plain.len() < 5 {
+                return Err(parse_err(card, "MOS card needs 4 nets and a model"));
+            }
+            let model = plain[4].clone();
+            let kind = classify_mos_model(&model)
+                .ok_or_else(|| parse_err(card, &format!("cannot classify MOS model {model}")))?;
+            let terms = plain[..4].iter().map(|s| s.to_string()).collect();
+            Device::new(name, kind, terms)?.with_model(model)
+        }
+        'R' | 'C' | 'L' => {
+            if plain.len() < 2 {
+                return Err(parse_err(card, "passive card needs 2 nets"));
+            }
+            let kind = match leading {
+                'R' => DeviceKind::Resistor,
+                'C' => DeviceKind::Capacitor,
+                _ => DeviceKind::Inductor,
+            };
+            let terms = plain[..2].iter().map(|s| s.to_string()).collect();
+            let mut d = Device::new(name, kind, terms)?;
+            if let Some(value_tok) = plain.get(2) {
+                d = d.with_value(parse_si(value_tok)?);
+            }
+            d
+        }
+        'V' | 'I' => {
+            if plain.len() < 2 {
+                return Err(parse_err(card, "source card needs 2 nets"));
+            }
+            let kind =
+                if leading == 'V' { DeviceKind::VoltageSource } else { DeviceKind::CurrentSource };
+            let terms = plain[..2].iter().map(|s| s.to_string()).collect();
+            let mut d = Device::new(name, kind, terms)?;
+            // Accept `V1 a b 1.8`, `V1 a b DC 1.8`, and waveform keywords.
+            for tok in &plain[2..] {
+                if let Ok(v) = parse_si(tok) {
+                    d = d.with_value(v);
+                    break;
+                }
+            }
+            d
+        }
+        'D' => {
+            if plain.len() < 2 {
+                return Err(parse_err(card, "diode card needs 2 nets"));
+            }
+            let terms = plain[..2].iter().map(|s| s.to_string()).collect();
+            let mut d = Device::new(name, DeviceKind::Diode, terms)?;
+            if let Some(model) = plain.get(2) {
+                d = d.with_model(model.as_str());
+            }
+            d
+        }
+        'X' => {
+            if plain.len() < 2 {
+                return Err(parse_err(card, "instance card needs nets and a subcircuit name"));
+            }
+            let subckt = plain[plain.len() - 1].clone();
+            let terms = plain[..plain.len() - 1].iter().map(|s| s.to_string()).collect();
+            Device::new(name, DeviceKind::Instance, terms)?.with_model(subckt)
+        }
+        other => {
+            return Err(parse_err(card, &format!("unsupported device card letter {other}")));
+        }
+    };
+
+    for (key, value) in params {
+        let parsed = parse_si(value)?;
+        device.set_param(key, parsed);
+    }
+    Ok(device)
+}
+
+/// Classifies a MOS model name as NMOS or PMOS.
+///
+/// Looks for `p`/`n` markers anywhere in the model name, handling the common
+/// conventions: `nmos`, `pmos`, `nch`, `pch`, `nfet`, `pfet`,
+/// `asap7_75t_N`, `sky130_fd_pr__nfet_01v8`, and a bare trailing `p`/`n`.
+fn classify_mos_model(model: &str) -> Option<DeviceKind> {
+    let lower = model.to_ascii_lowercase();
+    for marker in ["pmos", "pch", "pfet"] {
+        if lower.contains(marker) {
+            return Some(DeviceKind::Pmos);
+        }
+    }
+    for marker in ["nmos", "nch", "nfet"] {
+        if lower.contains(marker) {
+            return Some(DeviceKind::Nmos);
+        }
+    }
+    match lower.chars().next() {
+        Some('p') => Some(DeviceKind::Pmos),
+        Some('n') => Some(DeviceKind::Nmos),
+        _ => match lower.chars().last() {
+            Some('p') => Some(DeviceKind::Pmos),
+            Some('n') => Some(DeviceKind::Nmos),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MosTerminal;
+
+    const OTA: &str = "\
+* simple five-transistor OTA
+.SUBCKT OTA5T inp inn out vdd! gnd! vbn
+M1 n1 inp tail gnd! NMOS W=2u L=180n
+M2 out inn tail gnd! NMOS W=2u L=180n
+M3 n1 n1 vdd! vdd! PMOS W=4u L=180n
+M4 out n1 vdd! vdd! PMOS W=4u L=180n
+M5 tail vbn gnd! gnd! NMOS W=1u L=360n
+.ENDS
+X1 in1 in2 o vdd! gnd! vb OTA5T
+CL o gnd! 100f
+.PORTLABEL in1 input
+.PORTLABEL o output
+.END
+";
+
+    #[test]
+    fn parses_full_example() {
+        let lib = parse_library(OTA).expect("valid netlist");
+        assert_eq!(lib.subckts().len(), 1);
+        let ota = lib.find_subckt("ota5t").expect("defined");
+        assert_eq!(ota.ports().len(), 6);
+        assert_eq!(ota.device_count(), 5);
+        assert_eq!(lib.top().device_count(), 2);
+        assert_eq!(lib.top().port_label("o"), Some(&PortLabel::Output));
+    }
+
+    #[test]
+    fn mos_terminals_in_card_order() {
+        let lib = parse_library(OTA).expect("valid netlist");
+        let ota = lib.find_subckt("OTA5T").expect("defined");
+        let m1 = ota.device("M1").expect("exists");
+        assert_eq!(m1.kind(), DeviceKind::Nmos);
+        assert_eq!(m1.mos_terminal(MosTerminal::Drain), Some("n1"));
+        assert_eq!(m1.mos_terminal(MosTerminal::Gate), Some("inp"));
+        assert_eq!(m1.mos_terminal(MosTerminal::Source), Some("tail"));
+        assert_eq!(m1.mos_terminal(MosTerminal::Body), Some("gnd!"));
+        let w = m1.param("w").expect("has W");
+        assert!((w - 2e-6).abs() < 1e-18);
+        let l = m1.param("l").expect("has L");
+        assert!((l - 180e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn capacitor_value_is_parsed() {
+        let lib = parse_library(OTA).expect("valid netlist");
+        let cl = lib.top().device("CL").expect("exists");
+        assert_eq!(cl.kind(), DeviceKind::Capacitor);
+        assert_eq!(cl.value(), Some(100e-15));
+    }
+
+    #[test]
+    fn instance_takes_last_token_as_subckt() {
+        let lib = parse_library("X9 a b c AMP\n").expect("valid");
+        let x = lib.top().device("X9").expect("exists");
+        assert_eq!(x.kind(), DeviceKind::Instance);
+        assert_eq!(x.model(), Some("AMP"));
+        assert_eq!(x.terminals(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn model_classification_conventions() {
+        assert_eq!(classify_mos_model("NMOS"), Some(DeviceKind::Nmos));
+        assert_eq!(classify_mos_model("pch_lvt"), Some(DeviceKind::Pmos));
+        assert_eq!(classify_mos_model("sky130_fd_pr__nfet_01v8"), Some(DeviceKind::Nmos));
+        assert_eq!(classify_mos_model("asap7_p"), Some(DeviceKind::Pmos));
+        assert_eq!(classify_mos_model("xyz"), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_library("R1 a\n").expect_err("too few nets");
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_subckt_is_an_error() {
+        let err = parse_library(".SUBCKT A x\nR1 x y 1k\n").expect_err("missing .ENDS");
+        assert!(matches!(err, NetlistError::Semantic(_)));
+    }
+
+    #[test]
+    fn ends_without_subckt_is_an_error() {
+        assert!(parse_library(".ENDS\n").is_err());
+    }
+
+    #[test]
+    fn voltage_source_with_dc_keyword() {
+        let lib = parse_library("V1 vdd! 0 DC 1.8\n").expect("valid");
+        assert_eq!(lib.top().device("V1").expect("exists").value(), Some(1.8));
+    }
+
+    #[test]
+    fn parse_returns_single_subckt_directly() {
+        let c = parse(".SUBCKT DP a b\nM1 a a b b NMOS\n.ENDS\n").expect("valid");
+        assert_eq!(c.name(), "DP");
+        assert_eq!(c.device_count(), 1);
+    }
+
+    #[test]
+    fn unsupported_directive_is_rejected() {
+        assert!(parse_library(".FROBNICATE\n").is_err());
+    }
+
+    #[test]
+    fn analysis_cards_are_ignored() {
+        let lib = parse_library(".TRAN 1n 1u\n.MODEL NMOS NMOS\nR1 a b 1\n").expect("valid");
+        assert_eq!(lib.top().device_count(), 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Recognition-oriented preprocessing (paper Section II-B).
+//!
+//! "Preprocessing also identifies netlist features that help performance but
+//! do not affect functionality (and can be disregarded during recognition),
+//! e.g., parallel transistors for sizing, series transistors for large
+//! transistor lengths, dummies, decaps."
+//!
+//! [`preprocess`] folds those features: the returned circuit has one device
+//! per *functional* element, so the graph handed to the GCN and to the VF2
+//! matcher is invariant to sizing style.
+
+use crate::model::{Circuit, Device, DeviceKind, MosTerminal};
+use crate::Result;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Options controlling which preprocessing steps run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocessOptions {
+    /// Merge parallel transistors/passives that implement one sized device.
+    pub merge_parallel: bool,
+    /// Collapse series transistor stacks that implement one long device.
+    pub merge_series: bool,
+    /// Drop dummy transistors (gate tied off, or all terminals shorted).
+    pub remove_dummies: bool,
+    /// Drop decoupling capacitors strapped between supply and ground.
+    pub remove_decaps: bool,
+}
+
+impl Default for PreprocessOptions {
+    /// All steps enabled — the paper's configuration.
+    fn default() -> Self {
+        PreprocessOptions {
+            merge_parallel: true,
+            merge_series: true,
+            remove_dummies: true,
+            remove_decaps: true,
+        }
+    }
+}
+
+/// What [`preprocess`] did, for reporting and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreprocessReport {
+    /// Names of devices absorbed into a parallel representative.
+    pub merged_parallel: Vec<String>,
+    /// Names of devices absorbed into a series representative.
+    pub merged_series: Vec<String>,
+    /// Names of removed dummy devices.
+    pub removed_dummies: Vec<String>,
+    /// Names of removed decoupling capacitors.
+    pub removed_decaps: Vec<String>,
+}
+
+impl PreprocessReport {
+    /// Total number of devices eliminated by all steps.
+    pub fn eliminated(&self) -> usize {
+        self.merged_parallel.len()
+            + self.merged_series.len()
+            + self.removed_dummies.len()
+            + self.removed_decaps.len()
+    }
+}
+
+/// Runs the preprocessing pipeline on a flattened circuit.
+///
+/// Steps run in a fixed order — dummies, decaps, parallel merge, series
+/// merge — iterating the merges to a fixed point so that, e.g., a 4-deep
+/// series stack collapses fully.
+///
+/// # Errors
+///
+/// Propagates construction errors from rebuilding the circuit; these cannot
+/// occur for inputs produced by this crate's parser.
+pub fn preprocess(circuit: &Circuit, options: PreprocessOptions) -> Result<(Circuit, PreprocessReport)> {
+    let mut report = PreprocessReport::default();
+    let mut current = circuit.clone();
+
+    if options.remove_dummies {
+        current = remove_dummies(&current, &mut report)?;
+    }
+    if options.remove_decaps {
+        current = remove_decaps(&current, &mut report)?;
+    }
+    if options.merge_parallel {
+        loop {
+            let before = current.device_count();
+            current = merge_parallel(&current, &mut report)?;
+            if current.device_count() == before {
+                break;
+            }
+        }
+    }
+    if options.merge_series {
+        loop {
+            let before = current.device_count();
+            current = merge_series(&current, &mut report)?;
+            if current.device_count() == before {
+                break;
+            }
+        }
+    }
+    Ok((current, report))
+}
+
+fn rebuild(circuit: &Circuit, devices: Vec<Device>) -> Result<Circuit> {
+    let mut out = Circuit::with_ports(circuit.name(), circuit.ports().to_vec());
+    for (net, label) in circuit.port_labels() {
+        out.set_port_label(net.clone(), label.clone());
+    }
+    for d in devices {
+        out.add_device(d)?;
+    }
+    Ok(out)
+}
+
+/// A transistor is a dummy when it can never conduct or never matters:
+/// gate shorted to source, gate strapped to the rail that keeps it off
+/// (gnd for NMOS, vdd for PMOS), or all terminals on one net.
+fn remove_dummies(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Circuit> {
+    let mut kept = Vec::new();
+    for d in circuit.devices() {
+        let is_dummy = if d.kind().is_transistor() {
+            let gate = d.mos_terminal(MosTerminal::Gate).expect("transistor has gate");
+            let source = d.mos_terminal(MosTerminal::Source).expect("transistor has source");
+            let drain = d.mos_terminal(MosTerminal::Drain).expect("transistor has drain");
+            let all_same = gate == source && source == drain;
+            let gate_off = match d.kind() {
+                DeviceKind::Nmos => circuit.is_ground(gate),
+                DeviceKind::Pmos => circuit.is_supply(gate),
+                _ => false,
+            };
+            // Gate tied to source *and* drain unconnected elsewhere is the
+            // classic layout dummy; the conservative test used here is
+            // gate==source together with drain==source (fully strapped), or a
+            // permanently off gate, or everything shorted.
+            let strapped = gate == source && drain == source;
+            all_same || gate_off || strapped
+        } else {
+            false
+        };
+        if is_dummy {
+            report.removed_dummies.push(d.name().to_string());
+        } else {
+            kept.push(d.clone());
+        }
+    }
+    rebuild(circuit, kept)
+}
+
+/// A decap is a capacitor whose two terminals are a supply and a ground
+/// (in either order), or both rails of the same kind.
+fn remove_decaps(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Circuit> {
+    let mut kept = Vec::new();
+    for d in circuit.devices() {
+        let is_decap = d.kind() == DeviceKind::Capacitor && {
+            let a = &d.terminals()[0];
+            let b = &d.terminals()[1];
+            let rail =
+                |n: &str| circuit.is_supply(n) || circuit.is_ground(n);
+            rail(a) && rail(b)
+        };
+        if is_decap {
+            report.removed_decaps.push(d.name().to_string());
+        } else {
+            kept.push(d.clone());
+        }
+    }
+    rebuild(circuit, kept)
+}
+
+/// Key identifying devices that are electrically parallel.
+fn parallel_key(d: &Device) -> Option<String> {
+    match d.kind() {
+        DeviceKind::Nmos | DeviceKind::Pmos => {
+            // Drain/source are interchangeable for a symmetric MOS model.
+            let drain = d.mos_terminal(MosTerminal::Drain).expect("mos");
+            let source = d.mos_terminal(MosTerminal::Source).expect("mos");
+            let (lo, hi) = if drain <= source { (drain, source) } else { (source, drain) };
+            Some(format!(
+                "{:?}|{}|{}|{}|{}|{}",
+                d.kind(),
+                d.mos_terminal(MosTerminal::Gate).expect("mos"),
+                lo,
+                hi,
+                d.mos_terminal(MosTerminal::Body).expect("mos"),
+                d.model().unwrap_or(""),
+            ))
+        }
+        DeviceKind::Resistor | DeviceKind::Capacitor | DeviceKind::Inductor => {
+            let a = &d.terminals()[0];
+            let b = &d.terminals()[1];
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            Some(format!("{:?}|{}|{}", d.kind(), lo, hi))
+        }
+        _ => None,
+    }
+}
+
+fn merge_parallel(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Circuit> {
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, d) in circuit.devices().iter().enumerate() {
+        if let Some(key) = parallel_key(d) {
+            groups.entry(key).or_default().push(i);
+        }
+    }
+    let mut absorbed: HashMap<usize, usize> = HashMap::new(); // victim -> survivor
+    for indices in groups.values() {
+        if indices.len() > 1 {
+            for &victim in &indices[1..] {
+                absorbed.insert(victim, indices[0]);
+            }
+        }
+    }
+    if absorbed.is_empty() {
+        return Ok(circuit.clone());
+    }
+
+    let mut extra_mult: HashMap<usize, f64> = HashMap::new();
+    for (&victim, &survivor) in &absorbed {
+        let d = &circuit.devices()[victim];
+        *extra_mult.entry(survivor).or_insert(0.0) += d.multiplier();
+        report.merged_parallel.push(d.name().to_string());
+    }
+    let mut kept = Vec::new();
+    for (i, d) in circuit.devices().iter().enumerate() {
+        if absorbed.contains_key(&i) {
+            continue;
+        }
+        let mut d = d.clone();
+        if let Some(&extra) = extra_mult.get(&i) {
+            d.set_param("m", d.multiplier() + extra);
+        }
+        kept.push(d);
+    }
+    rebuild(circuit, kept)
+}
+
+/// Collapses two-transistor series links: `A.drain -- mid -- B.source`
+/// where `mid` connects exactly those two terminals, both devices share the
+/// same gate net, kind, and model. The pair is replaced by one transistor
+/// spanning `A.source .. B.drain` (length adds in practice; we fold the `l`
+/// parameter when present).
+fn merge_series(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Circuit> {
+    // Degree of every net, counting port exposure as an extra connection so
+    // that externally visible nets are never collapsed.
+    let mut degree: HashMap<&str, usize> = HashMap::new();
+    for d in circuit.devices() {
+        for t in d.terminals() {
+            *degree.entry(t.as_str()).or_insert(0) += 1;
+        }
+    }
+    for p in circuit.ports() {
+        *degree.entry(p.as_str()).or_insert(0) += 1;
+    }
+
+    let devices = circuit.devices();
+    let mut consumed: HashSet<usize> = HashSet::new();
+    let mut replacements: Vec<Device> = Vec::new();
+
+    for i in 0..devices.len() {
+        if consumed.contains(&i) {
+            continue;
+        }
+        let a = &devices[i];
+        if !a.kind().is_transistor() {
+            continue;
+        }
+        let a_drain = a.mos_terminal(MosTerminal::Drain).expect("mos");
+        let a_gate = a.mos_terminal(MosTerminal::Gate).expect("mos");
+        if degree.get(a_drain) != Some(&2) || circuit.ports().iter().any(|p| p == a_drain) {
+            continue;
+        }
+        if circuit.is_supply(a_drain) || circuit.is_ground(a_drain) {
+            continue;
+        }
+        for (j, b) in devices.iter().enumerate() {
+            if i == j || consumed.contains(&j) {
+                continue;
+            }
+            if b.kind() != a.kind() || b.model() != a.model() {
+                continue;
+            }
+            let b_source = b.mos_terminal(MosTerminal::Source).expect("mos");
+            let b_gate = b.mos_terminal(MosTerminal::Gate).expect("mos");
+            if b_source != a_drain || b_gate != a_gate {
+                continue;
+            }
+            // Merge: keep A's source, take B's drain.
+            let merged_name = a.name().to_string();
+            let terminals = vec![
+                b.mos_terminal(MosTerminal::Drain).expect("mos").to_string(),
+                a_gate.to_string(),
+                a.mos_terminal(MosTerminal::Source).expect("mos").to_string(),
+                a.mos_terminal(MosTerminal::Body).expect("mos").to_string(),
+            ];
+            let mut merged = Device::new(merged_name, a.kind(), terminals)?;
+            if let Some(model) = a.model() {
+                merged = merged.with_model(model);
+            }
+            for (k, v) in a.params() {
+                merged.set_param(k.clone(), *v);
+            }
+            if let (Some(la), Some(lb)) = (a.param("l"), b.param("l")) {
+                merged.set_param("l", la + lb);
+            }
+            consumed.insert(i);
+            consumed.insert(j);
+            report.merged_series.push(b.name().to_string());
+            replacements.push(merged);
+            break;
+        }
+    }
+    if consumed.is_empty() {
+        return Ok(circuit.clone());
+    }
+    let mut kept: Vec<Device> = Vec::new();
+    for (i, d) in devices.iter().enumerate() {
+        if !consumed.contains(&i) {
+            kept.push(d.clone());
+        }
+    }
+    kept.extend(replacements);
+    rebuild(circuit, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_library;
+
+    fn preprocess_src(src: &str) -> (Circuit, PreprocessReport) {
+        let lib = parse_library(src).expect("valid spice");
+        preprocess(lib.top(), PreprocessOptions::default()).expect("preprocess")
+    }
+
+    #[test]
+    fn parallel_transistors_merge_with_multiplier() {
+        let (c, report) = preprocess_src(
+            "M1 d g s b NMOS m=2\nM2 d g s b NMOS m=3\nM3 s g d b NMOS\n",
+        );
+        assert_eq!(c.device_count(), 1);
+        assert_eq!(report.merged_parallel.len(), 2);
+        assert_eq!(c.devices()[0].multiplier(), 6.0, "2 + 3 + 1");
+    }
+
+    #[test]
+    fn different_gates_do_not_merge() {
+        let (c, _) = preprocess_src("M1 d g1 s b NMOS\nM2 d g2 s b NMOS\n");
+        assert_eq!(c.device_count(), 2);
+    }
+
+    #[test]
+    fn parallel_passives_merge() {
+        let (c, report) = preprocess_src("R1 a b 1k\nR2 b a 1k\nC1 a b 1p\n");
+        assert_eq!(c.device_count(), 2);
+        assert_eq!(report.merged_parallel, vec!["R2"]);
+    }
+
+    #[test]
+    fn series_stack_collapses() {
+        // Two NMOS in series sharing the gate: classic long-L idiom.
+        let (c, report) = preprocess_src(
+            "M1 mid g lo b NMOS L=1u\nM2 hi g mid b NMOS L=1u\nR1 hi x 1k\nR2 lo y 1k\n",
+        );
+        assert_eq!(report.merged_series.len(), 1);
+        let merged = c.devices().iter().find(|d| d.kind().is_transistor()).expect("exists");
+        assert_eq!(merged.terminals()[0], "hi");
+        assert_eq!(merged.terminals()[2], "lo");
+        assert_eq!(merged.param("l"), Some(2e-6));
+    }
+
+    #[test]
+    fn series_not_merged_when_midpoint_used_elsewhere() {
+        let (c, _) = preprocess_src(
+            "M1 mid g lo b NMOS\nM2 hi g mid b NMOS\nR1 mid t 1k\n",
+        );
+        assert_eq!(c.transistor_count(), 2, "tap on midpoint forbids merging");
+    }
+
+    #[test]
+    fn dummy_transistors_are_removed() {
+        let (c, report) = preprocess_src(
+            "M1 n n n n NMOS\nM2 d gnd! s b NMOS\nM3 d vdd! s b PMOS\nM4 d g s b NMOS\n",
+        );
+        assert_eq!(report.removed_dummies.len(), 3);
+        assert_eq!(c.device_count(), 1);
+        assert_eq!(c.devices()[0].name(), "M4");
+    }
+
+    #[test]
+    fn decaps_are_removed_but_signal_caps_stay() {
+        let (c, report) = preprocess_src("C1 vdd! gnd! 10p\nC2 out gnd! 100f\n");
+        assert_eq!(report.removed_decaps, vec!["C1"]);
+        assert_eq!(c.device_count(), 1);
+        assert_eq!(c.devices()[0].name(), "C2");
+    }
+
+    #[test]
+    fn options_disable_steps() {
+        let lib = parse_library("C1 vdd! gnd! 10p\nM1 d g s b NMOS\nM2 d g s b NMOS\n")
+            .expect("valid");
+        let opts = PreprocessOptions {
+            merge_parallel: false,
+            merge_series: false,
+            remove_dummies: false,
+            remove_decaps: false,
+        };
+        let (c, report) = preprocess(lib.top(), opts).expect("preprocess");
+        assert_eq!(c.device_count(), 3);
+        assert_eq!(report.eliminated(), 0);
+    }
+
+    #[test]
+    fn four_deep_series_stack_collapses_fully() {
+        let (c, _) = preprocess_src(
+            "M1 n1 g lo b NMOS L=1u\nM2 n2 g n1 b NMOS L=1u\nM3 n3 g n2 b NMOS L=1u\nM4 hi g n3 b NMOS L=1u\nR1 hi t 1\nR2 lo u 1\n",
+        );
+        assert_eq!(c.transistor_count(), 1);
+        let m = c.devices().iter().find(|d| d.kind().is_transistor()).expect("exists");
+        assert_eq!(m.param("l"), Some(4e-6));
+    }
+
+    #[test]
+    fn ports_protect_series_midpoints() {
+        let lib = parse_library(
+            ".SUBCKT S hi mid lo g b\nM1 mid g lo b NMOS\nM2 hi g mid b NMOS\n.ENDS\n",
+        )
+        .expect("valid");
+        let sub = lib.find_subckt("S").expect("defined");
+        let (c, _) = preprocess(sub, PreprocessOptions::default()).expect("preprocess");
+        assert_eq!(c.transistor_count(), 2, "mid is a port, must stay");
+    }
+
+    #[test]
+    fn report_counts_match() {
+        let (_, report) = preprocess_src(
+            "M1 d g s b NMOS\nM2 d g s b NMOS\nC1 vdd! gnd! 1p\nM9 x x x x NMOS\n",
+        );
+        assert_eq!(report.eliminated(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! SI-suffixed SPICE numeric values (`10u`, `1.5MEG`, `90n`, `2k`).
+
+use crate::NetlistError;
+
+/// Parses a SPICE numeric token with an optional SI suffix.
+///
+/// Recognized suffixes (case-insensitive, SPICE convention): `f` (1e-15),
+/// `p` (1e-12), `n` (1e-9), `u` (1e-6), `m` (1e-3), `k` (1e3), `meg` (1e6),
+/// `g` (1e9), `t` (1e12). Trailing unit garbage after the suffix (as in
+/// `10pF` or `1kohm`) is ignored, matching SPICE semantics.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseValue`] if the token does not start with a
+/// valid decimal number.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gana_netlist::NetlistError> {
+/// assert!((gana_netlist::parse_si("10u")? - 1e-5).abs() < 1e-18);
+/// assert_eq!(gana_netlist::parse_si("1.5MEG")?, 1.5e6);
+/// assert_eq!(gana_netlist::parse_si("100")?, 100.0);
+/// assert!((gana_netlist::parse_si("2.2pF")? - 2.2e-12).abs() < 1e-24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_si(token: &str) -> Result<f64, NetlistError> {
+    let token = token.trim();
+    let bytes = token.as_bytes();
+    let mut end = 0;
+    let mut seen_digit = false;
+    while end < bytes.len() {
+        let b = bytes[end];
+        let numeric = b.is_ascii_digit()
+            || b == b'.'
+            || ((b == b'+' || b == b'-') && (end == 0 || matches!(bytes[end - 1], b'e' | b'E')))
+            || ((b == b'e' || b == b'E') && seen_digit && has_exponent_digits(bytes, end));
+        if !numeric {
+            break;
+        }
+        if b.is_ascii_digit() {
+            seen_digit = true;
+        }
+        end += 1;
+    }
+    if !seen_digit {
+        return Err(NetlistError::ParseValue { token: token.to_string() });
+    }
+    let mantissa: f64 = token[..end]
+        .parse()
+        .map_err(|_| NetlistError::ParseValue { token: token.to_string() })?;
+    let suffix = token[end..].to_ascii_lowercase();
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with("mil") {
+        25.4e-6
+    } else {
+        match suffix.bytes().next() {
+            Some(b'f') => 1e-15,
+            Some(b'p') => 1e-12,
+            Some(b'n') => 1e-9,
+            Some(b'u') => 1e-6,
+            Some(b'm') => 1e-3,
+            Some(b'k') => 1e3,
+            Some(b'g') => 1e9,
+            Some(b't') => 1e12,
+            _ => 1.0,
+        }
+    };
+    Ok(mantissa * scale)
+}
+
+/// True if the characters after an `e`/`E` at `pos` form an exponent.
+fn has_exponent_digits(bytes: &[u8], pos: usize) -> bool {
+    let mut i = pos + 1;
+    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+        i += 1;
+    }
+    i < bytes.len() && bytes[i].is_ascii_digit()
+}
+
+/// Formats a value using the largest SI suffix that yields a mantissa ≥ 1.
+///
+/// Inverse-ish of [`parse_si`]: `format_si(1e-5)` is `"10u"`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gana_netlist::format_si(1e-5), "10u");
+/// assert_eq!(gana_netlist::format_si(2.5e3), "2.5k");
+/// assert_eq!(gana_netlist::format_si(0.0), "0");
+/// ```
+pub fn format_si(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    const SUFFIXES: [(f64, &str); 10] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    ];
+    let magnitude = value.abs();
+    for &(scale, suffix) in &SUFFIXES {
+        if magnitude >= scale {
+            let mantissa = value / scale;
+            // Shortest mantissa whose parse-back is within 1e-12 relative —
+            // tight enough that no recognition-relevant information is lost
+            // and the output stays human-readable (`10u`, not
+            // `10.000000000000002u`).
+            for precision in 0..=17usize {
+                let text = format!("{mantissa:.precision$}");
+                let text = text.trim_end_matches('0').trim_end_matches('.');
+                let pretty = format!("{text}{suffix}");
+                if let Ok(back) = crate::parse_si(&pretty) {
+                    if (back - value).abs() <= 1e-12 * magnitude {
+                        return pretty;
+                    }
+                }
+            }
+            break;
+        }
+    }
+    format!("{value:e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_si("42").expect("number"), 42.0);
+        assert_eq!(parse_si("-3.5").expect("number"), -3.5);
+        assert_eq!(parse_si("1e3").expect("number"), 1000.0);
+        assert_eq!(parse_si("1.2e-6").expect("number"), 1.2e-6);
+    }
+
+    fn assert_close(actual: f64, expected: f64) {
+        assert!(
+            (actual - expected).abs() <= 1e-12 * expected.abs().max(1e-18),
+            "{actual} != {expected}"
+        );
+    }
+
+    #[test]
+    fn si_suffixes() {
+        assert_close(parse_si("10f").expect("femto"), 10e-15);
+        assert_close(parse_si("3p").expect("pico"), 3e-12);
+        assert_close(parse_si("90n").expect("nano"), 90e-9);
+        assert_close(parse_si("2U").expect("micro, case-insensitive"), 2e-6);
+        assert_close(parse_si("5m").expect("milli"), 5e-3);
+        assert_close(parse_si("2k").expect("kilo"), 2e3);
+        assert_close(parse_si("1MEG").expect("mega"), 1e6);
+        assert_close(parse_si("1.5meg").expect("mega lowercase"), 1.5e6);
+        assert_close(parse_si("2G").expect("giga"), 2e9);
+        assert_close(parse_si("1t").expect("tera"), 1e12);
+    }
+
+    #[test]
+    fn unit_garbage_after_suffix_is_ignored() {
+        assert_close(parse_si("2.2pF").expect("pico farad"), 2.2e-12);
+        assert_close(parse_si("1kohm").expect("kilo ohm"), 1e3);
+        assert_close(parse_si("10uA").expect("micro amp"), 1e-5);
+    }
+
+    #[test]
+    fn m_is_milli_not_mega() {
+        // The classic SPICE gotcha: `m` is milli; mega is `meg`.
+        assert_eq!(parse_si("1m").expect("milli"), 1e-3);
+        assert_ne!(parse_si("1m").expect("milli"), 1e6);
+    }
+
+    #[test]
+    fn invalid_tokens_are_rejected() {
+        assert!(parse_si("abc").is_err());
+        assert!(parse_si("").is_err());
+        assert!(parse_si("u10").is_err());
+        assert!(parse_si(".").is_err());
+    }
+
+    #[test]
+    fn format_round_trips_through_parse() {
+        for &v in &[1.0, 0.5, 1e-5, 2.5e3, 90e-9, 1.5e6, 3e-12, -4e3] {
+            let text = format_si(v);
+            let back = parse_si(&text).expect("formatted value must parse");
+            assert!(
+                (back - v).abs() <= 1e-9 * v.abs().max(1e-15),
+                "{v} -> {text} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_followed_by_suffix_letters() {
+        // `1e3k` -> mantissa 1e3, suffix k.
+        assert_eq!(parse_si("1e3k").expect("value"), 1e6);
+    }
+}

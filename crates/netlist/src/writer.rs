@@ -1,0 +1,109 @@
+//! SPICE writer: serializes circuits back to netlist text.
+
+use crate::model::{Circuit, DeviceKind, SpiceLibrary};
+use crate::value::format_si;
+use std::fmt::Write as _;
+
+/// Serializes a library (subcircuits then top-level cards) to SPICE text.
+///
+/// The output parses back with [`crate::parse_library`] into an equivalent
+/// library: same subcircuits, devices, terminals, values, parameters, and
+/// port labels (round-trip is exercised by property tests).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gana_netlist::NetlistError> {
+/// let lib = gana_netlist::parse_library("R1 a b 10k\n")?;
+/// let text = gana_netlist::write_spice(&lib);
+/// let again = gana_netlist::parse_library(&text)?;
+/// assert_eq!(lib.top().devices(), again.top().devices());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_spice(lib: &SpiceLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {}", lib.top().name());
+    let globals: Vec<&str> = lib.globals().collect();
+    if !globals.is_empty() {
+        let _ = writeln!(out, ".GLOBAL {}", globals.join(" "));
+    }
+    for sub in lib.subckts() {
+        let _ = writeln!(out, ".SUBCKT {} {}", sub.name(), sub.ports().join(" "));
+        write_circuit_body(&mut out, sub);
+        let _ = writeln!(out, ".ENDS");
+    }
+    write_circuit_body(&mut out, lib.top());
+    let _ = writeln!(out, ".END");
+    out
+}
+
+fn write_circuit_body(out: &mut String, circuit: &Circuit) {
+    for d in circuit.devices() {
+        let mut line = String::new();
+        let _ = write!(line, "{}", d.name());
+        for t in d.terminals() {
+            let _ = write!(line, " {t}");
+        }
+        match d.kind() {
+            DeviceKind::Nmos | DeviceKind::Pmos | DeviceKind::Diode => {
+                if let Some(model) = d.model() {
+                    let _ = write!(line, " {model}");
+                }
+            }
+            DeviceKind::Instance => {
+                let _ = write!(line, " {}", d.model().unwrap_or("?"));
+            }
+            _ => {}
+        }
+        if let Some(v) = d.value() {
+            let _ = write!(line, " {}", format_si(v));
+        }
+        for (k, v) in d.params() {
+            let _ = write!(line, " {k}={}", format_si(*v));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for (net, label) in circuit.port_labels() {
+        let _ = writeln!(out, ".PORTLABEL {net} {}", label.keyword());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_library;
+
+    const SRC: &str = "\
+.SUBCKT OTA in out vdd! gnd!
+M1 out in gnd! gnd! NMOS W=2u L=180n
+M2 out out vdd! vdd! PMOS W=4u L=180n
+.ENDS
+X1 a b vdd! gnd! OTA
+R1 a b 10k
+C1 b gnd! 100f
+V1 vdd! gnd! 1.8
+.PORTLABEL a input
+.END
+";
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let lib = parse_library(SRC).expect("valid");
+        let text = write_spice(&lib);
+        let again = parse_library(&text).expect("writer output must parse");
+        assert_eq!(lib.subckts().len(), again.subckts().len());
+        assert_eq!(lib.top().devices(), again.top().devices());
+        assert_eq!(lib.top().port_labels(), again.top().port_labels());
+        let ota = again.find_subckt("OTA").expect("preserved");
+        assert_eq!(ota.ports(), lib.find_subckt("OTA").expect("orig").ports());
+        assert_eq!(ota.devices(), lib.find_subckt("OTA").expect("orig").devices());
+    }
+
+    #[test]
+    fn values_are_si_formatted() {
+        let lib = parse_library("C1 a b 100f\n").expect("valid");
+        let text = write_spice(&lib);
+        assert!(text.contains("C1 a b 100f"), "got: {text}");
+    }
+}

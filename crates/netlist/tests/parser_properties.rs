@@ -1,0 +1,111 @@
+//! Property and fuzz tests for the SPICE front end: the parser must never
+//! panic, values must round-trip, and flattening must be stable.
+
+use gana_netlist::{flatten, format_si, parse_library, parse_si};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser returns `Ok` or `Err` — it must never panic — on
+    /// arbitrary printable input.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "[ -~\n]{0,400}") {
+        let _ = parse_library(&text);
+    }
+
+    /// Arbitrary token soup on device-looking cards must also be handled.
+    #[test]
+    fn parser_never_panics_on_cardlike_lines(
+        cards in proptest::collection::vec("[MRCLVIXD][a-z0-9]{0,4}( [a-z0-9!]{1,4}){1,6}( [A-Z]{1,5})?( [a-z]{1,2}=[0-9]{1,3}[a-z]{0,3})?", 0..10)
+    ) {
+        let text = cards.join("\n");
+        let _ = parse_library(&text);
+    }
+
+    /// format_si(parse_si(x)) stays within 1e-9 relative of x for any
+    /// finite positive value.
+    #[test]
+    fn si_format_parse_round_trip(mantissa in 1.0f64..999.0, exp in -14i32..12) {
+        let value = mantissa * 10f64.powi(exp);
+        let text = format_si(value);
+        let back = parse_si(&text).expect("formatted values parse");
+        prop_assert!(
+            (back - value).abs() <= 1e-9 * value.abs(),
+            "{value} -> {text} -> {back}"
+        );
+    }
+
+    /// Negative values round-trip too.
+    #[test]
+    fn si_round_trip_negative(mantissa in 1.0f64..999.0, exp in -12i32..9) {
+        let value = -mantissa * 10f64.powi(exp);
+        let back = parse_si(&format_si(value)).expect("parses");
+        prop_assert!((back - value).abs() <= 1e-9 * value.abs());
+    }
+
+    /// Parsing is idempotent through the writer: write(parse(write(parse(x))))
+    /// equals write(parse(x)).
+    #[test]
+    fn writer_is_idempotent(n_devices in 1usize..12, seed in 0u64..100) {
+        // Deterministic small netlist.
+        let mut text = String::new();
+        for i in 0..n_devices {
+            match (seed as usize + i) % 3 {
+                0 => text.push_str(&format!("R{i} n{i} n{} {}k\n", i + 1, (i % 9) + 1)),
+                1 => text.push_str(&format!("C{i} n{i} gnd! {}p\n", (i % 9) + 1)),
+                _ => text.push_str(&format!("M{i} n{i} g{i} gnd! gnd! NMOS W=1u\n")),
+            }
+        }
+        let lib1 = parse_library(&text).expect("parses");
+        let text1 = gana_netlist::write_spice(&lib1);
+        let lib2 = parse_library(&text1).expect("round 1 parses");
+        let text2 = gana_netlist::write_spice(&lib2);
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Flattening twice equals flattening once (it is already flat).
+    #[test]
+    fn flatten_is_idempotent(n in 1usize..6) {
+        let mut text = String::from(".SUBCKT CELL a b\nR1 a b 1k\nM1 a b gnd! gnd! NMOS\n.ENDS\n");
+        for i in 0..n {
+            text.push_str(&format!("X{i} p{i} q{i} CELL\n"));
+        }
+        let lib = parse_library(&text).expect("parses");
+        let flat = flatten(&lib).expect("flattens");
+        let relib = gana_netlist::SpiceLibrary::new(flat.clone());
+        let again = flatten(&relib).expect("still flattens");
+        prop_assert_eq!(flat.devices(), again.devices());
+    }
+}
+
+#[test]
+fn deeply_nested_hierarchy_flattens() {
+    // 8 levels of nesting; names grow as X1/X1/.../R1.
+    let mut text = String::from(".SUBCKT L0 a\nR1 a gnd! 1k\n.ENDS\n");
+    for level in 1..8 {
+        text.push_str(&format!(
+            ".SUBCKT L{level} a\nX1 a L{}\n.ENDS\n",
+            level - 1
+        ));
+    }
+    text.push_str("Xtop in L7\n");
+    let lib = parse_library(&text).expect("parses");
+    let flat = flatten(&lib).expect("flattens");
+    assert_eq!(flat.device_count(), 1);
+    assert_eq!(flat.devices()[0].name(), "Xtop/X1/X1/X1/X1/X1/X1/X1/R1");
+    assert_eq!(flat.devices()[0].terminals()[0], "in");
+}
+
+#[test]
+fn pathological_inputs_error_cleanly() {
+    for bad in [
+        ".SUBCKT\n",
+        ".SUBCKT A\n.SUBCKT B\n.ENDS\n.ENDS\n",
+        "M1 a b NMOS\n",
+        "R1\n",
+        "+ continuation without card works as its own card\n",
+        ".PORTLABEL only_net\n",
+        "Q1 a b c BJT\n",
+    ] {
+        assert!(parse_library(bad).is_err(), "should reject {bad:?}");
+    }
+}

@@ -1,0 +1,47 @@
+//! The primitive library and annotation engine (paper Section IV).
+//!
+//! "We populate a library of 21 basic primitives that are building blocks
+//! for larger sub-blocks. The primitives are specified as SPICE netlists,
+//! enabling a user to easily add new primitives to the library."
+//!
+//! * [`PrimitiveLibrary`] ships the paper-style 21-entry library
+//!   ([`PrimitiveLibrary::standard`]) and accepts user templates from SPICE
+//!   text ([`PrimitiveLibrary::add_from_spice`]);
+//! * [`annotate`] runs VF2 subgraph isomorphism for every template against
+//!   a sub-block and resolves overlaps (each device joins exactly one
+//!   primitive, larger/more specific templates claim first);
+//! * [`constraints`] attaches the layout constraints the paper associates
+//!   with each primitive class (symmetry for differential pairs, matching /
+//!   common centroid for mirrors, …, Sections III-C and IV-B).
+//!
+//! # Examples
+//!
+//! ```
+//! use gana_primitives::{annotate, PrimitiveLibrary};
+//! use gana_graph::{CircuitGraph, GraphOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ota = gana_netlist::parse(
+//!     "M0 id id gnd! gnd! NMOS\nM1 tail id gnd! gnd! NMOS\n\
+//!      M2 o1 in1 tail gnd! NMOS\nM3 o2 in2 tail gnd! NMOS\n",
+//! )?;
+//! let graph = CircuitGraph::build(&ota, GraphOptions::default());
+//! let library = PrimitiveLibrary::standard()?;
+//! let result = annotate(&library, &ota, &graph);
+//! let names: Vec<&str> = result.instances.iter().map(|i| i.primitive.as_str()).collect();
+//! assert!(names.contains(&"CM_N2"));
+//! assert!(names.contains(&"DP_N"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+mod library;
+mod matcher;
+
+pub use constraints::{Constraint, ConstraintKind};
+pub use library::{Primitive, PrimitiveLibrary};
+pub use matcher::{annotate, AnnotationResult, PrimitiveInstance};

@@ -1,0 +1,333 @@
+//! The primitive template library.
+
+use gana_graph::{vf2::Vf2Graph, CircuitGraph, GraphOptions};
+use gana_netlist::{parse, Circuit, NetlistError};
+
+/// One primitive template: its circuit, graph, matcher form, and policy.
+#[derive(Debug, Clone)]
+pub struct Primitive {
+    name: String,
+    description: String,
+    circuit: Circuit,
+    graph: CircuitGraph,
+    pattern: Vf2Graph,
+    strict_source_drain: bool,
+}
+
+impl Primitive {
+    /// Parses a primitive from SPICE text.
+    ///
+    /// `strict_source_drain` disables MOS source/drain interchange during
+    /// matching — required for orientation-sensitive primitives like
+    /// differential pairs, whose tail must bind to the *source* terminals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SPICE parse errors.
+    pub fn from_spice(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        spice: &str,
+        strict_source_drain: bool,
+    ) -> Result<Primitive, NetlistError> {
+        let circuit = parse(spice)?;
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let pattern = Vf2Graph::from_circuit(&circuit, &graph, true);
+        Ok(Primitive {
+            name: name.into(),
+            description: description.into(),
+            circuit,
+            graph,
+            pattern,
+            strict_source_drain,
+        })
+    }
+
+    /// Library name of the primitive (e.g. `CM_N2`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The template circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The template's bipartite graph.
+    pub fn graph(&self) -> &CircuitGraph {
+        &self.graph
+    }
+
+    /// The matcher-form pattern graph.
+    pub fn pattern(&self) -> &Vf2Graph {
+        &self.pattern
+    }
+
+    /// Whether matching must keep source/drain orientation.
+    pub fn strict_source_drain(&self) -> bool {
+        self.strict_source_drain
+    }
+
+    /// Number of elements (transistors + passives) in the template.
+    pub fn element_count(&self) -> usize {
+        self.graph.element_count()
+    }
+
+    /// Number of transistors in the template.
+    pub fn transistor_count(&self) -> usize {
+        self.circuit.transistor_count()
+    }
+
+    /// Matching priority: larger and transistor-heavier templates claim
+    /// devices first, so a cascode mirror beats the plain mirror inside it.
+    pub fn priority(&self) -> (usize, usize) {
+        (self.element_count(), self.transistor_count())
+    }
+}
+
+/// An ordered collection of primitive templates.
+#[derive(Debug, Clone, Default)]
+pub struct PrimitiveLibrary {
+    primitives: Vec<Primitive>,
+}
+
+/// The built-in templates: name, description, SPICE text, strict-S/D flag.
+const STANDARD: [(&str, &str, &str, bool); 21] = [
+    ("CM_N2", "NMOS current mirror (2)", include_str!("../templates/cm_n2.sp"), false),
+    ("CM_P2", "PMOS current mirror (2)", include_str!("../templates/cm_p2.sp"), false),
+    ("CM_N3", "NMOS current mirror (3)", include_str!("../templates/cm_n3.sp"), false),
+    ("CM_P3", "PMOS current mirror (3)", include_str!("../templates/cm_p3.sp"), false),
+    ("CM_N4C", "NMOS cascode current mirror", include_str!("../templates/cm_n4_cascode.sp"), true),
+    ("CM_P4C", "PMOS cascode current mirror", include_str!("../templates/cm_p4_cascode.sp"), true),
+    ("DP_N", "NMOS differential pair", include_str!("../templates/dp_n.sp"), true),
+    ("DP_P", "PMOS differential pair", include_str!("../templates/dp_p.sp"), true),
+    ("CCP_N", "cross-coupled NMOS pair", include_str!("../templates/ccp_n.sp"), false),
+    ("CCP_P", "cross-coupled PMOS pair", include_str!("../templates/ccp_p.sp"), false),
+    ("CS_AMP_N", "NMOS common-source amplifier", include_str!("../templates/cs_amp_n.sp"), true),
+    ("CS_AMP_P", "PMOS common-source amplifier", include_str!("../templates/cs_amp_p.sp"), true),
+    ("CDIV", "capacitor divider", include_str!("../templates/cdiv.sp"), false),
+    ("SF_N", "NMOS source follower", include_str!("../templates/sf_n.sp"), true),
+    ("INV", "CMOS inverter", include_str!("../templates/inv.sp"), true),
+    ("TG", "transmission gate", include_str!("../templates/tg.sp"), false),
+    ("SW_N", "NMOS switch", include_str!("../templates/sw_n.sp"), false),
+    ("CC_RC", "series RC compensation", include_str!("../templates/cc_rc.sp"), false),
+    ("LC_TANK", "parallel LC tank", include_str!("../templates/lc_tank.sp"), false),
+    ("RDIV", "resistor divider", include_str!("../templates/rdiv.sp"), false),
+    ("VR_RD", "resistor + diode-connected reference", include_str!("../templates/vr_rd.sp"), false),
+];
+
+impl PrimitiveLibrary {
+    /// Creates an empty library.
+    pub fn new() -> PrimitiveLibrary {
+        PrimitiveLibrary::default()
+    }
+
+    /// Loads the paper-style library of 21 primitives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors (the shipped templates always parse; the
+    /// error path exists for future template edits).
+    pub fn standard() -> Result<PrimitiveLibrary, NetlistError> {
+        let mut lib = PrimitiveLibrary::new();
+        for (name, description, spice, strict) in STANDARD {
+            lib.add_from_spice(name, description, spice, strict)?;
+        }
+        Ok(lib)
+    }
+
+    /// Parses and registers a user-provided template.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors from the SPICE text, or a semantic error for a
+    /// duplicate name.
+    pub fn add_from_spice(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        spice: &str,
+        strict_source_drain: bool,
+    ) -> Result<(), NetlistError> {
+        let primitive = Primitive::from_spice(name, description, spice, strict_source_drain)?;
+        if self.find(primitive.name()).is_some() {
+            return Err(NetlistError::Semantic(format!(
+                "duplicate primitive name {}",
+                primitive.name()
+            )));
+        }
+        self.primitives.push(primitive);
+        Ok(())
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// True if no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    /// Looks up a template by name (case-insensitive).
+    pub fn find(&self, name: &str) -> Option<&Primitive> {
+        self.primitives.iter().find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Iterates templates in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Primitive> {
+        self.primitives.iter()
+    }
+
+    /// Loads every `*.sp` file in a directory as a template, named after
+    /// the file stem (upper-cased). This is the extension path the paper
+    /// highlights: "the primitives are specified as SPICE netlists,
+    /// enabling a user to easily add new primitives to the library".
+    ///
+    /// Orientation-sensitive templates can opt into strict source/drain
+    /// matching by ending the file name in `.strict.sp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a semantic error for unreadable directories/files, parse
+    /// failures, or duplicate names.
+    pub fn add_from_dir(&mut self, dir: impl AsRef<std::path::Path>) -> Result<usize, NetlistError> {
+        let dir = dir.as_ref();
+        let entries = std::fs::read_dir(dir).map_err(|e| {
+            NetlistError::Semantic(format!("cannot read template directory {dir:?}: {e}"))
+        })?;
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "sp"))
+            .collect();
+        paths.sort();
+        let mut added = 0;
+        for path in paths {
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                NetlistError::Semantic(format!("cannot read template {path:?}: {e}"))
+            })?;
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("template")
+                .to_string();
+            let strict = stem.ends_with(".strict");
+            let name = stem.trim_end_matches(".strict").to_ascii_uppercase();
+            self.add_from_spice(name, format!("user template from {path:?}"), &text, strict)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Templates sorted by descending matching priority.
+    pub fn by_priority(&self) -> Vec<&Primitive> {
+        let mut out: Vec<&Primitive> = self.primitives.iter().collect();
+        out.sort_by(|a, b| b.priority().cmp(&a.priority()).then_with(|| a.name().cmp(b.name())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_21_primitives() {
+        let lib = PrimitiveLibrary::standard().expect("templates parse");
+        assert_eq!(lib.len(), 21, "the paper's library size");
+    }
+
+    #[test]
+    fn templates_have_expected_shapes() {
+        let lib = PrimitiveLibrary::standard().expect("templates parse");
+        assert_eq!(lib.find("CM_N2").expect("exists").transistor_count(), 2);
+        assert_eq!(lib.find("CM_N4C").expect("exists").transistor_count(), 4);
+        assert_eq!(lib.find("INV").expect("exists").transistor_count(), 2);
+        assert_eq!(lib.find("RDIV").expect("exists").element_count(), 2);
+        assert_eq!(lib.find("VR_RD").expect("exists").transistor_count(), 1);
+    }
+
+    #[test]
+    fn priority_orders_big_templates_first() {
+        let lib = PrimitiveLibrary::standard().expect("templates parse");
+        let order = lib.by_priority();
+        let pos = |name: &str| order.iter().position(|p| p.name() == name).expect("present");
+        assert!(pos("CM_N4C") < pos("CM_N2"), "cascode mirror claims before plain mirror");
+        assert!(pos("CM_N3") < pos("CM_N2"));
+        assert!(pos("CM_N2") < pos("CS_AMP_N"), "pairs claim before singles");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut lib = PrimitiveLibrary::standard().expect("templates parse");
+        let err = lib
+            .add_from_spice("cm_n2", "dup", "M0 a a b b NMOS\n", false)
+            .expect_err("case-insensitive duplicate");
+        assert!(matches!(err, NetlistError::Semantic(_)));
+    }
+
+    #[test]
+    fn user_templates_extend_the_library() {
+        let mut lib = PrimitiveLibrary::new();
+        lib.add_from_spice(
+            "MY_PAIR",
+            "user template",
+            ".SUBCKT MY_PAIR a b t\nM0 a a t t NMOS\nM1 b b t t NMOS\n.ENDS\n",
+            false,
+        )
+        .expect("parses");
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.find("my_pair").expect("exists").transistor_count(), 2);
+    }
+
+    #[test]
+    fn add_from_dir_loads_user_templates() {
+        let dir = std::env::temp_dir().join("gana_user_templates");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join("my_pair.sp"),
+            ".SUBCKT MY_PAIR a b t
+M0 a a t t NMOS
+M1 b b t t NMOS
+.ENDS
+",
+        )
+        .expect("write");
+        std::fs::write(
+            dir.join("my_follower.strict.sp"),
+            ".SUBCKT F out in
+M0 vdd! in out out NMOS
+.ENDS
+",
+        )
+        .expect("write");
+        std::fs::write(dir.join("notes.txt"), "ignored").expect("write");
+        let mut lib = PrimitiveLibrary::new();
+        let added = lib.add_from_dir(&dir).expect("loads");
+        assert_eq!(added, 2);
+        assert!(lib.find("MY_PAIR").is_some());
+        let follower = lib.find("MY_FOLLOWER").expect("loaded");
+        assert!(follower.strict_source_drain(), ".strict.sp opts into strict matching");
+        assert!(!lib.find("MY_PAIR").expect("loaded").strict_source_drain());
+    }
+
+    #[test]
+    fn add_from_dir_missing_directory_errors() {
+        let mut lib = PrimitiveLibrary::new();
+        assert!(lib.add_from_dir("/nonexistent/gana/dir").is_err());
+    }
+
+    #[test]
+    fn dp_is_strict_cm_is_not() {
+        let lib = PrimitiveLibrary::standard().expect("templates parse");
+        assert!(lib.find("DP_N").expect("exists").strict_source_drain());
+        assert!(!lib.find("CM_N2").expect("exists").strict_source_drain());
+    }
+}

@@ -1,0 +1,237 @@
+//! Primitive annotation: match every template, resolve overlaps.
+//!
+//! "The problem of identifying primitives within a sub-block corresponds to
+//! performing subgraph isomorphism checks between the sub-block graph G and
+//! pattern graph Gi for every element i of a library of primitives"
+//! (Section IV-A). Raw VF2 matches can overlap (the plain mirror matches
+//! inside the cascode mirror; single-device stages match everywhere), so
+//! the annotation pass claims devices greedily in template-priority order —
+//! each device ends up in exactly one primitive.
+
+use crate::constraints::{primitive_constraints, Constraint};
+use crate::library::{Primitive, PrimitiveLibrary};
+use gana_graph::vf2::{find_matches, MatchOptions, Vf2Graph};
+use gana_graph::CircuitGraph;
+use gana_netlist::Circuit;
+use std::collections::BTreeSet;
+
+/// One recognized primitive instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimitiveInstance {
+    /// Library name of the matched template.
+    pub primitive: String,
+    /// Names of the claimed devices, sorted.
+    pub devices: Vec<String>,
+    /// Layout constraints implied by the primitive class.
+    pub constraints: Vec<Constraint>,
+}
+
+/// The result of primitive annotation over one sub-block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnnotationResult {
+    /// Recognized primitive instances, in claim order.
+    pub instances: Vec<PrimitiveInstance>,
+    /// Devices no template claimed, sorted.
+    pub unclaimed: Vec<String>,
+}
+
+impl AnnotationResult {
+    /// The instance that claimed `device`, if any.
+    pub fn instance_of(&self, device: &str) -> Option<&PrimitiveInstance> {
+        self.instances.iter().find(|i| i.devices.iter().any(|d| d == device))
+    }
+
+    /// Fraction of devices claimed by some primitive.
+    pub fn coverage(&self) -> f64 {
+        let claimed: usize = self.instances.iter().map(|i| i.devices.len()).sum();
+        let total = claimed + self.unclaimed.len();
+        if total == 0 {
+            1.0
+        } else {
+            claimed as f64 / total as f64
+        }
+    }
+}
+
+/// Annotates all primitives of `library` inside `circuit`.
+///
+/// Templates are tried in descending priority (element count, transistor
+/// count); a match is accepted only if none of its element vertices is
+/// already claimed. Matches of the same template are accepted in the
+/// deterministic order VF2 reports them.
+pub fn annotate(
+    library: &PrimitiveLibrary,
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+) -> AnnotationResult {
+    let target = Vf2Graph::from_circuit(circuit, graph, false);
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
+    let mut instances = Vec::new();
+
+    for primitive in library.by_priority() {
+        let options = MatchOptions {
+            symmetric_mos: !primitive.strict_source_drain(),
+            ..MatchOptions::default()
+        };
+        let matches = find_matches(primitive.pattern(), &target, options);
+        for m in matches {
+            let elements = m.element_vertices(primitive.pattern());
+            if elements.iter().any(|v| claimed.contains(v)) {
+                continue;
+            }
+            claimed.extend(elements.iter().copied());
+            let mut devices: Vec<String> = elements
+                .iter()
+                .filter_map(|&v| graph.device_name(v).map(str::to_string))
+                .collect();
+            devices.sort();
+            let constraints = primitive_constraints(primitive.name(), primitive.transistor_count())
+                .into_iter()
+                .map(|kind| Constraint::new(kind, devices.clone()))
+                .collect();
+            instances.push(PrimitiveInstance {
+                primitive: primitive.name().to_string(),
+                devices,
+                constraints,
+            });
+        }
+    }
+
+    let mut unclaimed: Vec<String> = graph
+        .element_vertices()
+        .filter(|v| !claimed.contains(v))
+        .filter_map(|v| graph.device_name(v).map(str::to_string))
+        .collect();
+    unclaimed.sort();
+    AnnotationResult { instances, unclaimed }
+}
+
+#[allow(dead_code)]
+fn _assert_priority_type(p: &Primitive) -> (usize, usize) {
+    p.priority()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintKind;
+    use gana_graph::GraphOptions;
+    use gana_netlist::parse;
+
+    fn annotate_src(src: &str) -> AnnotationResult {
+        let circuit = parse(src).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("templates parse");
+        annotate(&library, &circuit, &graph)
+    }
+
+    fn names_of(result: &AnnotationResult) -> Vec<&str> {
+        result.instances.iter().map(|i| i.primitive.as_str()).collect()
+    }
+
+    /// The paper's Fig. 3 differential OTA.
+    const FIG3_OTA: &str = "\
+M0 id id gnd! gnd! NMOS
+M1 n1 id gnd! gnd! NMOS
+M2 voutn vinp n1 gnd! NMOS
+M3 voutp vinn n1 gnd! NMOS
+M4 voutn vbp vdd! vdd! PMOS
+M5 voutp vbp vdd! vdd! PMOS
+";
+
+    #[test]
+    fn fig3_ota_decomposes_into_mirror_and_pair() {
+        let result = annotate_src(FIG3_OTA);
+        let names = names_of(&result);
+        assert!(names.contains(&"CM_N2"), "tail mirror M0/M1: {names:?}");
+        assert!(names.contains(&"DP_N"), "input pair M2/M3: {names:?}");
+        let cm = result.instance_of("M0").expect("claimed");
+        assert_eq!(cm.devices, vec!["M0", "M1"]);
+        let dp = result.instance_of("M2").expect("claimed");
+        assert_eq!(dp.devices, vec!["M2", "M3"]);
+    }
+
+    #[test]
+    fn each_device_claimed_once() {
+        let result = annotate_src(FIG3_OTA);
+        let mut seen = BTreeSet::new();
+        for inst in &result.instances {
+            for d in &inst.devices {
+                assert!(seen.insert(d.clone()), "{d} claimed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn cascode_mirror_beats_plain_mirror() {
+        let result = annotate_src(
+            "M0 mid0 din s s NMOS\nM1 mid1 din s s NMOS\nM2 din din mid0 s NMOS\nM3 dout din mid1 s NMOS\nR1 s r 1\n",
+        );
+        let names = names_of(&result);
+        assert!(names.contains(&"CM_N4C"), "{names:?}");
+        assert!(!names.contains(&"CM_N2"), "plain mirror must not double-claim: {names:?}");
+    }
+
+    #[test]
+    fn three_output_mirror_preferred_over_two() {
+        let result = annotate_src(
+            "M0 din din gnd! gnd! NMOS\nM1 d1 din gnd! gnd! NMOS\nM2 d2 din gnd! gnd! NMOS\n",
+        );
+        let names = names_of(&result);
+        assert!(names.contains(&"CM_N3"), "{names:?}");
+    }
+
+    #[test]
+    fn inverter_and_switch_recognized() {
+        let result = annotate_src(
+            "M0 out in vdd! vdd! PMOS\nM1 out in gnd! gnd! NMOS\nM2 a ctl b gnd! NMOS\n",
+        );
+        let names = names_of(&result);
+        assert!(names.contains(&"INV"), "{names:?}");
+        assert!(names.contains(&"SW_N"), "{names:?}");
+    }
+
+    #[test]
+    fn passive_primitives_recognized() {
+        let result = annotate_src("R0 a m 1k\nC0 m b 1p\nR1 x y 1k\nR2 y z 1k\n");
+        let names = names_of(&result);
+        assert!(names.contains(&"CC_RC"), "{names:?}");
+        assert!(names.contains(&"RDIV"), "{names:?}");
+        assert!(result.unclaimed.is_empty(), "{:?}", result.unclaimed);
+    }
+
+    #[test]
+    fn cross_coupled_pair_recognized() {
+        let result = annotate_src(
+            "M0 d1 d2 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nL1 d1 vdd! 1n\nL2 d2 vdd! 1n\nC1 d1 d2 1p\n",
+        );
+        let names = names_of(&result);
+        assert!(names.contains(&"CCP_N"), "oscillator core: {names:?}");
+    }
+
+    #[test]
+    fn constraints_attached_to_instances() {
+        let result = annotate_src(FIG3_OTA);
+        let dp = result.instance_of("M2").expect("claimed");
+        let kinds: Vec<ConstraintKind> = dp.constraints.iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&ConstraintKind::Symmetry));
+        assert!(kinds.contains(&ConstraintKind::Matching));
+        for c in &dp.constraints {
+            assert_eq!(c.members, dp.devices);
+        }
+    }
+
+    #[test]
+    fn unclaimed_devices_are_reported() {
+        // A lone capacitor to an internal node matches nothing.
+        let result = annotate_src("C7 x y 1p\n");
+        assert_eq!(result.unclaimed, vec!["C7"]);
+        assert_eq!(result.coverage(), 0.0);
+    }
+
+    #[test]
+    fn coverage_of_fully_annotated_block_is_one() {
+        let result = annotate_src(FIG3_OTA);
+        assert!(result.coverage() > 0.99, "{result:?}");
+    }
+}

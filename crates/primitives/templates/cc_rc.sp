@@ -1,0 +1,5 @@
+* Series RC compensation network: CC-[RC]
+.SUBCKT CC_RC a b
+R0 a mid 1k
+C0 mid b 1p
+.ENDS

@@ -1,0 +1,5 @@
+* Cross-coupled NMOS pair (oscillator core): CCP-N
+.SUBCKT CCP_N d1 d2 s
+M0 d1 d2 s s NMOS
+M1 d2 d1 s s NMOS
+.ENDS

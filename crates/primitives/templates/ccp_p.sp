@@ -1,0 +1,5 @@
+* Cross-coupled PMOS pair: CCP-P
+.SUBCKT CCP_P d1 d2 s
+M0 d1 d2 s s PMOS
+M1 d2 d1 s s PMOS
+.ENDS

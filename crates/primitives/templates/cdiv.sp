@@ -1,0 +1,5 @@
+* Two-capacitor divider (C-array building block): C-DIV
+.SUBCKT CDIV top mid bot
+C0 top mid 1p
+C1 mid bot 1p
+.ENDS

@@ -1,0 +1,5 @@
+* NMOS current mirror, 2 transistors: CM-N(2)
+.SUBCKT CM_N2 din dout s
+M0 din din s s NMOS
+M1 dout din s s NMOS
+.ENDS

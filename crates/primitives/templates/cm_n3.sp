@@ -1,0 +1,6 @@
+* NMOS current mirror with two mirrored branches: CM-N(3)
+.SUBCKT CM_N3 din dout1 dout2 s
+M0 din din s s NMOS
+M1 dout1 din s s NMOS
+M2 dout2 din s s NMOS
+.ENDS

@@ -1,0 +1,7 @@
+* NMOS cascode current mirror: CM-N(4)
+.SUBCKT CM_N4C din dout s
+M0 mid0 din s s NMOS
+M1 mid1 din s s NMOS
+M2 din din mid0 s NMOS
+M3 dout din mid1 s NMOS
+.ENDS

@@ -1,0 +1,5 @@
+* PMOS current mirror, 2 transistors: CM-P(2)
+.SUBCKT CM_P2 din dout s
+M0 din din s s PMOS
+M1 dout din s s PMOS
+.ENDS

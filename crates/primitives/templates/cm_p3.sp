@@ -1,0 +1,6 @@
+* PMOS current mirror with two mirrored branches: CM-P(3)
+.SUBCKT CM_P3 din dout1 dout2 s
+M0 din din s s PMOS
+M1 dout1 din s s PMOS
+M2 dout2 din s s PMOS
+.ENDS

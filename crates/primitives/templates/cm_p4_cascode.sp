@@ -1,0 +1,7 @@
+* PMOS cascode current mirror: CM-P(4)
+.SUBCKT CM_P4C din dout s
+M0 mid0 din s s PMOS
+M1 mid1 din s s PMOS
+M2 din din mid0 s PMOS
+M3 dout din mid1 s PMOS
+.ENDS

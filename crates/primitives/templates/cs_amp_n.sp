@@ -1,0 +1,4 @@
+* NMOS common-source amplifier device: CS-Amp-N
+.SUBCKT CS_AMP_N out in
+M0 out in gnd! gnd! NMOS
+.ENDS

@@ -1,0 +1,4 @@
+* PMOS common-source amplifier device: CS-Amp-P
+.SUBCKT CS_AMP_P out in
+M0 out in vdd! vdd! PMOS
+.ENDS

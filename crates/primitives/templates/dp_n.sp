@@ -1,0 +1,5 @@
+* NMOS differential pair: DP-N
+.SUBCKT DP_N out1 out2 in1 in2 tail
+M0 out1 in1 tail tail NMOS
+M1 out2 in2 tail tail NMOS
+.ENDS

@@ -1,0 +1,5 @@
+* PMOS differential pair: DP-P
+.SUBCKT DP_P out1 out2 in1 in2 tail
+M0 out1 in1 tail tail PMOS
+M1 out2 in2 tail tail PMOS
+.ENDS

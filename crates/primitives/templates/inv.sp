@@ -1,0 +1,5 @@
+* CMOS inverter: INV
+.SUBCKT INV in out
+M0 out in vdd! vdd! PMOS
+M1 out in gnd! gnd! NMOS
+.ENDS

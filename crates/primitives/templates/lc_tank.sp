@@ -1,0 +1,5 @@
+* Parallel LC tank: LC
+.SUBCKT LC_TANK a b
+L0 a b 1n
+C0 a b 1p
+.ENDS

@@ -1,0 +1,5 @@
+* Two-resistor divider: R-DIV
+.SUBCKT RDIV top mid bot
+R0 top mid 1k
+R1 mid bot 1k
+.ENDS

@@ -1,0 +1,4 @@
+* NMOS source follower: SF-N
+.SUBCKT SF_N out in
+M0 vdd! in out out NMOS
+.ENDS

@@ -1,0 +1,4 @@
+* NMOS switch with ground-referenced body: SW-N
+.SUBCKT SW_N a b ctl
+M0 a ctl b gnd! NMOS
+.ENDS

@@ -1,0 +1,5 @@
+* Transmission gate: TG
+.SUBCKT TG a b ctl ctlb
+M0 a ctl b b NMOS
+M1 a ctlb b b PMOS
+.ENDS

@@ -1,0 +1,5 @@
+* Voltage reference, resistor + diode-connected NMOS: VR[RD]
+.SUBCKT VR_RD top ref
+R0 top ref 1k
+M0 ref ref gnd! gnd! NMOS
+.ENDS

@@ -1,0 +1,476 @@
+use crate::{CooMatrix, DenseMatrix, Result, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// A compressed-sparse-row matrix of `f64`.
+///
+/// CSR is the workhorse format for the GCN: the Chebyshev recurrence
+/// repeatedly multiplies the rescaled Laplacian `L̂` (a CSR matrix) by dense
+/// feature maps. Rows store column indices in strictly increasing order.
+///
+/// # Examples
+///
+/// ```
+/// use gana_sparse::{CooMatrix, DenseMatrix};
+///
+/// # fn main() -> Result<(), gana_sparse::SparseError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 2.0)?;
+/// coo.push(1, 0, 1.0)?;
+/// let a = coo.to_csr();
+/// let y = a.mul_vec(&[3.0, 4.0])?;
+/// assert_eq!(y, vec![6.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidData`] if `indptr` has the wrong length,
+    /// is not monotonically non-decreasing, references out-of-range data, or
+    /// if any row's column indices are not strictly increasing and in bounds.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1 {
+            return Err(SparseError::InvalidData(format!(
+                "indptr length {} does not match rows+1={}",
+                indptr.len(),
+                rows + 1
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::InvalidData(format!(
+                "indices length {} differs from values length {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if indptr.first() != Some(&0) || indptr.last() != Some(&indices.len()) {
+            return Err(SparseError::InvalidData(
+                "indptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidData("indptr must be non-decreasing".to_string()));
+            }
+            let row = &indices[w[0]..w[1]];
+            for pair in row.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(SparseError::InvalidData(
+                        "column indices must be strictly increasing within a row".to_string(),
+                    ));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= cols {
+                    return Err(SparseError::InvalidData(format!(
+                        "column index {last} out of range for {cols} columns"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+    }
+
+    /// The `n × n` identity matrix in CSR form.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// A square matrix with `diag` on the diagonal (zeros are kept explicit).
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(r, c)`, which is `0.0` when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+        match row.binary_search(&c) {
+            Ok(pos) => self.values[self.indptr[r] + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(col, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let range = self.indptr[r]..self.indptr[r + 1];
+        self.indices[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+    }
+
+    /// Iterates over all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row_iter(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Sparse matrix–vector product `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "mul_vec",
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.values[i] * x[self.indices[i]];
+            }
+            *out = acc;
+        }
+        Ok(y)
+    }
+
+    /// Sparse–dense product `Y = A·X` where `X` is dense.
+    ///
+    /// This is the hot path of the Chebyshev recurrence: cost `O(nnz · X.cols())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
+    pub fn mul_dense(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if x.rows() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: x.shape(),
+                op: "mul_dense",
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, x.cols());
+        for r in 0..self.rows {
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.values[i];
+                let src = x.row(self.indices[i]);
+                let dst = out.row_mut(r);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse–dense product `Y = Aᵀ·X` without materializing `Aᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.rows()`.
+    pub fn transpose_mul_dense(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if x.rows() != self.rows {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: x.shape(),
+                op: "transpose_mul_dense",
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.cols, x.cols());
+        for r in 0..self.rows {
+            let src = x.row(r);
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.values[i];
+                let dst = out.row_mut(self.indices[i]);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `alpha·A + beta·B` as a new CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if the shapes differ.
+    pub fn linear_combination(&self, alpha: f64, other: &CsrMatrix, beta: f64) -> Result<CsrMatrix> {
+        if self.shape() != other.shape() {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "linear_combination",
+            });
+        }
+        let mut coo = CooMatrix::with_capacity(self.rows, self.cols, self.nnz() + other.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, alpha * v).expect("indices from a valid CSR are in bounds");
+        }
+        for (r, c, v) in other.iter() {
+            coo.push(r, c, beta * v).expect("indices from a valid CSR are in bounds");
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Returns `A` scaled by `s`.
+    pub fn scale(&self, s: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(self.cols, self.rows, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(c, r, v).expect("transposed indices are in bounds");
+        }
+        coo.to_csr()
+    }
+
+    /// Extracts the main diagonal (length `min(rows, cols)`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Row sums; for an adjacency matrix these are the vertex degrees.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Converts to a dense matrix. Intended for tests and small graphs.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// True if the matrix equals its transpose within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+    }
+
+    /// Extracts the square submatrix induced by `keep` (in the given order).
+    ///
+    /// Entry `(i, j)` of the result equals entry `(keep[i], keep[j])` of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] if the matrix is rectangular, or
+    /// [`SparseError::IndexOutOfBounds`] if any index in `keep` is out of range.
+    pub fn submatrix(&self, keep: &[usize]) -> Result<CsrMatrix> {
+        if self.rows != self.cols {
+            return Err(SparseError::NotSquare { shape: self.shape() });
+        }
+        let mut position = vec![usize::MAX; self.rows];
+        for (new, &old) in keep.iter().enumerate() {
+            if old >= self.rows {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: (old, old),
+                    shape: self.shape(),
+                });
+            }
+            position[old] = new;
+        }
+        let mut coo = CooMatrix::new(keep.len(), keep.len());
+        for (new_r, &old_r) in keep.iter().enumerate() {
+            for (old_c, v) in self.row_iter(old_r) {
+                let new_c = position[old_c];
+                if new_c != usize::MAX {
+                    coo.push(new_r, new_c, v).expect("in bounds by construction");
+                }
+            }
+        }
+        Ok(coo.to_csr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 3 ]
+        // [ 4 5 0 ]
+        let mut coo = CooMatrix::new(3, 3);
+        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)] {
+            coo.push(r, c, v).expect("in bounds");
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero_entries() {
+        let a = sample();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 1), 5.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = a.mul_vec(&x).expect("length matches");
+        assert_eq!(y, vec![7.0, 9.0, 14.0]);
+    }
+
+    #[test]
+    fn mul_vec_length_mismatch_is_error() {
+        let a = sample();
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mul_dense_matches_dense_matmul() {
+        let a = sample();
+        let x = DenseMatrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[3.0, 2.0]]).expect("valid");
+        let sparse_result = a.mul_dense(&x).expect("shapes match");
+        let dense_result = a.to_dense().matmul(&x).expect("shapes match");
+        assert_eq!(sparse_result, dense_result);
+    }
+
+    #[test]
+    fn transpose_mul_dense_matches_explicit_transpose() {
+        let a = sample();
+        let x = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).expect("valid");
+        let fused = a.transpose_mul_dense(&x).expect("shapes match");
+        let explicit = a.transpose().mul_dense(&x).expect("shapes match");
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn linear_combination_cancels_to_empty() {
+        let a = sample();
+        let zero = a.linear_combination(1.0, &a, -1.0).expect("same shape");
+        assert_eq!(zero.nnz(), 0);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.mul_vec(&x).expect("length matches"), x.to_vec());
+    }
+
+    #[test]
+    fn diagonal_and_row_sums() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![1.0, 0.0, 0.0]);
+        assert_eq!(a.row_sums(), vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = sample();
+        assert!(!a.is_symmetric(1e-12));
+        let sym = a.linear_combination(1.0, &a.transpose(), 1.0).expect("same shape");
+        assert!(sym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // Wrong indptr length.
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // Non-increasing column indices within a row.
+        assert!(
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // Valid.
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn submatrix_extracts_induced_block() {
+        let a = sample();
+        let sub = a.submatrix(&[2, 0]).expect("valid indices");
+        // Rows/cols reordered: sub[0][1] = a[2][0] = 4.
+        assert_eq!(sub.get(0, 1), 4.0);
+        assert_eq!(sub.get(1, 1), 1.0);
+        assert_eq!(sub.get(1, 0), 2.0); // a[0][2]
+    }
+
+    #[test]
+    fn submatrix_rejects_bad_index() {
+        let a = sample();
+        assert!(a.submatrix(&[5]).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies_values() {
+        let a = sample().scale(2.0);
+        assert_eq!(a.get(2, 1), 10.0);
+    }
+}

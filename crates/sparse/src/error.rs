@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending `(row, col)` index.
+        index: (usize, usize),
+        /// The matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An operation required a square matrix but got a rectangular one.
+    NotSquare {
+        /// The matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Raw construction data was inconsistent (e.g. a row of different length).
+    InvalidData(String),
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            SparseError::InvalidData(msg) => write!(f, "invalid matrix data: {msg}"),
+            SparseError::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} steps")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "matmul" };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn index_error_display() {
+        let err = SparseError::IndexOutOfBounds { index: (9, 0), shape: (3, 3) };
+        assert!(err.to_string().contains("(9, 0)"));
+    }
+}

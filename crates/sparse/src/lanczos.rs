@@ -1,0 +1,291 @@
+//! Largest-eigenvalue estimation for symmetric sparse matrices.
+//!
+//! The GCN rescales the normalized Laplacian as `L̂ = 2L/λ_max − I`
+//! (paper Eq. 3/5). The paper notes λ_max is "computed inexpensively using
+//! the Lanczos algorithm"; this module provides that routine, plus a plain
+//! power iteration used as a cross-check in tests.
+
+use crate::{CsrMatrix, Result, SparseError};
+
+/// Deterministic pseudo-random starting vector so results are reproducible.
+fn seed_vector(n: usize) -> Vec<f64> {
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    (0..n)
+        .map(|_| {
+            // xorshift* generator, mapped to (0, 1].
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            (r >> 11) as f64 / (1u64 << 53) as f64 + 1e-3
+        })
+        .collect()
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Estimates the largest eigenvalue of a symmetric matrix with the Lanczos
+/// algorithm.
+///
+/// Builds a Krylov tridiagonal matrix of dimension at most `max_iter` with
+/// full reorthogonalization (cheap at these sizes) and returns the largest
+/// eigenvalue of the tridiagonal matrix, computed by bisection on its
+/// Sturm sequence.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] for rectangular input. An all-zero
+/// matrix yields `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use gana_sparse::{CooMatrix, lanczos};
+///
+/// # fn main() -> Result<(), gana_sparse::SparseError> {
+/// // Complete graph K3: eigenvalues of the adjacency are {2, -1, -1}.
+/// let mut coo = CooMatrix::new(3, 3);
+/// for i in 0..3 {
+///     for j in 0..3 {
+///         if i != j {
+///             coo.push(i, j, 1.0)?;
+///         }
+///     }
+/// }
+/// let lambda = lanczos::largest_eigenvalue(&coo.to_csr(), 30, 1e-10)?;
+/// assert!((lambda - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn largest_eigenvalue(a: &CsrMatrix, max_iter: usize, tol: f64) -> Result<f64> {
+    if a.rows() != a.cols() {
+        return Err(SparseError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 || a.nnz() == 0 {
+        return Ok(0.0);
+    }
+
+    let m = max_iter.min(n).max(1);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m);
+    let mut betas: Vec<f64> = Vec::with_capacity(m);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+
+    let mut q = seed_vector(n);
+    let q_norm = norm(&q);
+    for x in &mut q {
+        *x /= q_norm;
+    }
+    basis.push(q.clone());
+
+    let mut prev_estimate = f64::NEG_INFINITY;
+    for k in 0..m {
+        let mut w = a.mul_vec(&basis[k])?;
+        let alpha: f64 = w.iter().zip(&basis[k]).map(|(a, b)| a * b).sum();
+        alphas.push(alpha);
+        // w = w - alpha*q_k - beta*q_{k-1}, then full reorthogonalization.
+        for (wi, qi) in w.iter_mut().zip(&basis[k]) {
+            *wi -= alpha * qi;
+        }
+        if k > 0 {
+            let beta_prev = betas[k - 1];
+            for (wi, qi) in w.iter_mut().zip(&basis[k - 1]) {
+                *wi -= beta_prev * qi;
+            }
+        }
+        for q_prev in &basis {
+            let overlap: f64 = w.iter().zip(q_prev).map(|(a, b)| a * b).sum();
+            for (wi, qi) in w.iter_mut().zip(q_prev) {
+                *wi -= overlap * qi;
+            }
+        }
+
+        let estimate = tridiag_max_eigenvalue(&alphas, &betas);
+        if (estimate - prev_estimate).abs() <= tol * estimate.abs().max(1.0) && k >= 2 {
+            return Ok(estimate);
+        }
+        prev_estimate = estimate;
+
+        let beta = norm(&w);
+        if beta <= f64::EPSILON * (n as f64) {
+            // Invariant subspace found: the tridiagonal spectrum is exact.
+            return Ok(estimate);
+        }
+        betas.push(beta);
+        for wi in &mut w {
+            *wi /= beta;
+        }
+        basis.push(w);
+    }
+    Ok(tridiag_max_eigenvalue(&alphas, &betas))
+}
+
+/// Power iteration estimate of the largest-magnitude eigenvalue.
+///
+/// Slower to converge than Lanczos; retained as an independent reference for
+/// tests and as a fallback for matrices whose dominant eigenvalue is positive
+/// (always true for graph Laplacians).
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] for rectangular input.
+pub fn power_iteration(a: &CsrMatrix, max_iter: usize, tol: f64) -> Result<f64> {
+    if a.rows() != a.cols() {
+        return Err(SparseError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 || a.nnz() == 0 {
+        return Ok(0.0);
+    }
+    let mut v = seed_vector(n);
+    let mut lambda = 0.0;
+    for _ in 0..max_iter {
+        let w = a.mul_vec(&v)?;
+        let w_norm = norm(&w);
+        if w_norm == 0.0 {
+            return Ok(0.0);
+        }
+        let next: Vec<f64> = w.iter().map(|x| x / w_norm).collect();
+        let new_lambda: f64 = {
+            let aw = a.mul_vec(&next)?;
+            aw.iter().zip(&next).map(|(a, b)| a * b).sum()
+        };
+        if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
+            return Ok(new_lambda);
+        }
+        lambda = new_lambda;
+        v = next;
+    }
+    Ok(lambda)
+}
+
+/// Largest eigenvalue of the symmetric tridiagonal matrix with diagonal
+/// `alphas` and off-diagonal `betas`, found by bisection on the Sturm
+/// sequence sign-change count.
+fn tridiag_max_eigenvalue(alphas: &[f64], betas: &[f64]) -> f64 {
+    let n = alphas.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let b_left = if i > 0 { betas[i - 1].abs() } else { 0.0 };
+        let b_right = if i < n - 1 { betas[i].abs() } else { 0.0 };
+        lo = lo.min(alphas[i] - b_left - b_right);
+        hi = hi.max(alphas[i] + b_left + b_right);
+    }
+    if lo == hi {
+        return lo;
+    }
+    // Count of eigenvalues < x via the Sturm sequence of the tridiagonal.
+    let count_below = |x: f64| -> usize {
+        let mut count = 0;
+        let mut d = 1.0_f64;
+        for i in 0..n {
+            let beta_sq = if i > 0 { betas[i - 1] * betas[i - 1] } else { 0.0 };
+            d = alphas[i] - x - beta_sq / if d != 0.0 { d } else { f64::EPSILON };
+            if d < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    };
+    // Bisect for the largest eigenvalue: smallest x with count_below(x) == n.
+    let (mut lo, mut hi) = (lo - 1e-9, hi + 1e-9);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if count_below(mid) >= n {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-13 * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        // Unnormalized Laplacian of a path graph: known spectrum
+        // 2 - 2cos(k*pi/n), max ≈ 4 for large n.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let deg = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            coo.push(i, i, deg).expect("in bounds");
+            if i + 1 < n {
+                coo.push_symmetric(i, i + 1, -1.0).expect("in bounds");
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn lanczos_matches_known_path_spectrum() {
+        let n = 50;
+        let l = path_laplacian(n);
+        let expected = 2.0 - 2.0 * (std::f64::consts::PI * (n as f64 - 1.0) / n as f64).cos();
+        let lambda = largest_eigenvalue(&l, 60, 1e-12).expect("square matrix");
+        assert!((lambda - expected).abs() < 1e-6, "got {lambda}, expected {expected}");
+    }
+
+    #[test]
+    fn lanczos_agrees_with_power_iteration() {
+        let l = path_laplacian(30);
+        let a = largest_eigenvalue(&l, 40, 1e-12).expect("square");
+        let b = power_iteration(&l, 5000, 1e-12).expect("square");
+        assert!((a - b).abs() < 1e-6, "lanczos {a} vs power {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_returns_max_diagonal() {
+        let d = CsrMatrix::from_diagonal(&[1.0, 7.0, 3.0]);
+        let lambda = largest_eigenvalue(&d, 10, 1e-12).expect("square");
+        assert!((lambda - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_empty_matrices() {
+        let z = CooMatrix::new(4, 4).to_csr();
+        assert_eq!(largest_eigenvalue(&z, 10, 1e-9).expect("square"), 0.0);
+        let e = CooMatrix::new(0, 0).to_csr();
+        assert_eq!(largest_eigenvalue(&e, 10, 1e-9).expect("square"), 0.0);
+    }
+
+    #[test]
+    fn rectangular_input_is_rejected() {
+        let r = CooMatrix::new(2, 3).to_csr();
+        assert!(matches!(
+            largest_eigenvalue(&r, 10, 1e-9),
+            Err(SparseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn normalized_laplacian_eigenvalue_at_most_two() {
+        // Normalized Laplacian of K4: eigenvalues {0, 4/3, 4/3, 4/3}.
+        let n = 4;
+        let mut coo = CooMatrix::new(n, n);
+        let d = (n - 1) as f64;
+        for i in 0..n {
+            coo.push(i, i, 1.0).expect("in bounds");
+            for j in 0..n {
+                if i != j {
+                    coo.push(i, j, -1.0 / d).expect("in bounds");
+                }
+            }
+        }
+        let lambda = largest_eigenvalue(&coo.to_csr(), 20, 1e-12).expect("square");
+        assert!((lambda - 4.0 / 3.0).abs() < 1e-8);
+        assert!(lambda <= 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the linear-algebra substrate: sparse results
+//! must agree with dense reference computations, and the spectral helpers
+//! must respect their bounds.
+
+use gana_sparse::{lanczos, CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix as (n, triplets).
+fn sparse_square() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -5.0f64..5.0);
+        (Just(n), proptest::collection::vec(entry, 0..40))
+    })
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v).expect("in bounds by construction");
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #[test]
+    fn csr_times_dense_matches_dense_reference((n, entries) in sparse_square()) {
+        let a = build(n, &entries);
+        let x = DenseMatrix::from_fn(n, 3, |r, c| (r as f64) * 0.7 - (c as f64) * 1.3 + 0.1);
+        let sparse = a.mul_dense(&x).expect("shapes match");
+        let dense = a.to_dense().matmul(&x).expect("shapes match");
+        let diff = (&sparse - &dense).frobenius_norm();
+        prop_assert!(diff < 1e-9, "sparse/dense disagree by {diff}");
+    }
+
+    #[test]
+    fn transpose_mul_matches_explicit((n, entries) in sparse_square()) {
+        let a = build(n, &entries);
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + 2 * c) as f64).sin());
+        let fused = a.transpose_mul_dense(&x).expect("shapes match");
+        let explicit = a.transpose().mul_dense(&x).expect("shapes match");
+        let diff = (&fused - &explicit).frobenius_norm();
+        prop_assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn coo_duplicates_sum((n, entries) in sparse_square()) {
+        // Build once normally, once with every entry split in half.
+        let whole = build(n, &entries);
+        let halves: Vec<(usize, usize, f64)> = entries
+            .iter()
+            .flat_map(|&(r, c, v)| [(r, c, v / 2.0), (r, c, v / 2.0)])
+            .collect();
+        let summed = build(n, &halves);
+        let diff = (&whole.to_dense() - &summed.to_dense()).frobenius_norm();
+        prop_assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn linear_combination_matches_dense((n, entries) in sparse_square()) {
+        let a = build(n, &entries);
+        let b = a.transpose();
+        let combo = a.linear_combination(2.0, &b, -0.5).expect("same shape");
+        let reference = &a.to_dense().scale(2.0) + &b.to_dense().scale(-0.5);
+        let diff = (&combo.to_dense() - &reference).frobenius_norm();
+        prop_assert!(diff < 1e-9);
+    }
+
+    /// Lanczos on a symmetrized matrix stays within the Gershgorin bound
+    /// and dominates the Rayleigh quotient of a probe vector.
+    #[test]
+    fn lanczos_respects_bounds((n, entries) in sparse_square()) {
+        let a = build(n, &entries);
+        let sym = a.linear_combination(0.5, &a.transpose(), 0.5).expect("same shape");
+        let lambda = lanczos::largest_eigenvalue(&sym, 50, 1e-10).expect("square");
+        // Gershgorin upper bound.
+        let bound = (0..n)
+            .map(|r| sym.row_iter(r).map(|(_, v)| v.abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        prop_assert!(lambda <= bound + 1e-6, "{lambda} > Gershgorin {bound}");
+        // Rayleigh quotient of the all-ones vector is a lower bound.
+        let ones = vec![1.0; n];
+        let ay = sym.mul_vec(&ones).expect("length");
+        let rayleigh = ay.iter().sum::<f64>() / n as f64;
+        prop_assert!(lambda >= rayleigh - 1e-6, "{lambda} < Rayleigh {rayleigh}");
+    }
+
+    #[test]
+    fn dense_matmul_is_associative_with_identity(rows in 1usize..8, cols in 1usize..8) {
+        let a = DenseMatrix::from_fn(rows, cols, |r, c| (r * cols + c) as f64);
+        let left = DenseMatrix::identity(rows).matmul(&a).expect("shapes");
+        let right = a.matmul(&DenseMatrix::identity(cols)).expect("shapes");
+        prop_assert_eq!(&left, &a);
+        prop_assert_eq!(&right, &a);
+    }
+
+    #[test]
+    fn submatrix_agrees_with_dense_indexing((n, entries) in sparse_square()) {
+        let a = build(n, &entries);
+        let keep: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = a.submatrix(&keep).expect("valid indices");
+        for (i, &r) in keep.iter().enumerate() {
+            for (j, &c) in keep.iter().enumerate() {
+                prop_assert_eq!(sub.get(i, j), a.get(r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Regenerates every table and figure of the GANA paper.
+//!
+//! ```sh
+//! cargo run --release --bin experiments -- all          # everything
+//! cargo run --release --bin experiments -- table1      # one experiment
+//! GANA_FULL=1 cargo run --release --bin experiments -- all   # paper-sized corpora
+//! ```
+//!
+//! Experiments: `table1`, `layers`, `fig5`, `table2`, `postprocessing`,
+//! `fig6`, `fig7`, `runtime`, `ablation`, `hyper`, `confusion`. See
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+use gana::core::{report, Task};
+use gana::datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter, Corpus};
+use gana::eval;
+use gana::gnn::{crossval, Activation, GcnConfig, Trainer, TrainerConfig};
+use std::time::Instant;
+
+/// Corpus / training sizes for one run profile.
+#[derive(Clone, Copy)]
+struct Profile {
+    ota_train: usize,
+    rf_train: usize,
+    ota_test: usize,
+    rf_test: usize,
+    epochs: usize,
+    sweep_train: usize,
+    sweep_epochs: usize,
+    folds: usize,
+}
+
+/// The paper-scale profile (Table I sizes). Slow: roughly the paper's
+/// "under 2 hours for each dataset" territory on one core.
+const FULL: Profile = Profile {
+    ota_train: 624,
+    rf_train: 608,
+    ota_test: 168,
+    rf_test: 105,
+    epochs: 30,
+    sweep_train: 160,
+    sweep_epochs: 10,
+    folds: 5,
+};
+
+/// The default profile: same experiments, smaller corpora, minutes not
+/// hours. Set `GANA_FULL=1` for the paper-scale run.
+const QUICK: Profile = Profile {
+    ota_train: 128,
+    rf_train: 108,
+    ota_test: 48,
+    rf_test: 27,
+    epochs: 12,
+    sweep_train: 64,
+    sweep_epochs: 6,
+    folds: 3,
+};
+
+fn profile() -> Profile {
+    if std::env::var("GANA_FULL").is_ok_and(|v| v == "1") {
+        FULL
+    } else {
+        QUICK
+    }
+}
+
+fn model_config(classes: usize, filter_order: usize, layers: usize) -> GcnConfig {
+    let widths = [16usize, 32, 64];
+    GcnConfig {
+        conv_channels: widths[..layers.clamp(1, 3)].to_vec(),
+        filter_order,
+        fc_dim: 128,
+        num_classes: classes,
+        dropout: 0.1,
+        batch_norm: false,
+        activation: Activation::Relu,
+        ..GcnConfig::default()
+    }
+}
+
+fn trainer_config(epochs: usize) -> TrainerConfig {
+    TrainerConfig { epochs, learning_rate: 4e-3, ..TrainerConfig::default() }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let p = profile();
+    let start = Instant::now();
+    let run = |name: &str| which == "all" || which == name;
+    if run("table1") {
+        table1(p);
+    }
+    if run("layers") {
+        layers(p);
+    }
+    if run("fig5") {
+        fig5(p);
+    }
+    if run("table2") || run("postprocessing") {
+        table2_and_postprocessing(p);
+    }
+    if run("fig6") {
+        fig6(p);
+    }
+    if run("fig7") {
+        fig7(p);
+    }
+    if run("runtime") {
+        runtime(p);
+    }
+    if run("ablation") {
+        ablation(p);
+    }
+    if run("hyper") {
+        hyper(p);
+    }
+    if run("confusion") {
+        confusion(p);
+    }
+    eprintln!("\n[experiments done in {:.1}s]", start.elapsed().as_secs_f64());
+}
+
+/// Table I: training-set description.
+fn table1(p: Profile) {
+    println!("== Table I: training dataset description ==");
+    println!("(paper: OTA bias 624 ckts / 32152 nodes / 2 / 18; RF data 608 / 21886 / 3 / 18)");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>10}",
+        "Dataset", "# Circuits", "# Nodes", "# Labels", "# Features"
+    );
+    for corpus in [ota::corpus(p.ota_train, 1), rf::corpus(p.rf_train, 2)] {
+        let s = corpus.stats();
+        println!(
+            "{:<12} {:>10} {:>8} {:>8} {:>10}",
+            corpus.name, s.circuits, s.nodes, s.labels, s.features
+        );
+    }
+    println!();
+}
+
+/// Section V-A layer study: 1 vs 2 vs 3 conv layers via k-fold CV. Run in
+/// two conditions: the Table II feature set, and the structural condition
+/// (net-type features off, small K) where depth must carry the class
+/// information — the setting closest to the paper's hand-collected corpus.
+fn layers(p: Profile) {
+    println!("== Layer study (paper: 2 layers best; OTA 88.89%±1.71, RF 83.86%±1.98) ==");
+    let conditions = [
+        ("all features, K=8", 8usize, gana::graph::features::FeatureOptions::default()),
+        (
+            "structural (net types off, K=3)",
+            3usize,
+            gana::graph::features::FeatureOptions {
+                net_types: false,
+                ..gana::graph::features::FeatureOptions::default()
+            },
+        ),
+    ];
+    for (condition, k, options) in conditions {
+        println!("[{condition}]");
+        for (name, corpus, classes) in [
+            ("OTA bias", ota::corpus(p.sweep_train, 11), 2),
+            ("RF data", rf::corpus(p.sweep_train, 12), 3),
+        ] {
+            for n_layers in 1..=3 {
+                let config = model_config(classes, k, n_layers);
+                let samples = eval::samples_from_corpus_with_features(
+                    &corpus,
+                    config.levels(),
+                    classes,
+                    5,
+                    options,
+                )
+                .expect("samples");
+                let result = crossval::k_fold(
+                    &config,
+                    &trainer_config(p.sweep_epochs),
+                    &samples,
+                    p.folds,
+                    7,
+                )
+                .expect("cv runs");
+                let (t_mean, t_var) = result.train_summary();
+                let (v_mean, v_var) = result.validation_summary();
+                println!(
+                    "{name:<9} layers={n_layers}  train {:.2}%±{:.2}  validation {:.2}%±{:.2}",
+                    100.0 * t_mean,
+                    100.0 * t_var.sqrt(),
+                    100.0 * v_mean,
+                    100.0 * v_var.sqrt()
+                );
+            }
+        }
+    }
+    println!();
+}
+
+/// Fig. 5: accuracy vs filter size K. Run twice: with all 18 features (the
+/// Table II configuration) and with net-type features disabled — the
+/// ablation that exposes the filter-radius dependence, because designer
+/// net annotations otherwise make the task locally separable.
+fn fig5(p: Profile) {
+    println!("== Fig. 5: two-layer GCN accuracy vs filter size (paper: flattens ≈30) ==");
+    let corpus = ota::corpus(p.sweep_train, 21);
+    for (label, options) in [
+        ("all 18 features", gana::graph::features::FeatureOptions::default()),
+        (
+            "net-type features off",
+            gana::graph::features::FeatureOptions {
+                net_types: false,
+                ..gana::graph::features::FeatureOptions::default()
+            },
+        ),
+    ] {
+        println!("[{label}]");
+        println!("{:>4} {:>12} {:>12}", "K", "train acc", "val acc");
+        for k in [2usize, 4, 8, 16, 24, 32, 48] {
+            let config = model_config(2, k, 2);
+            let samples = eval::samples_from_corpus_with_features(
+                &corpus,
+                config.levels(),
+                2,
+                3,
+                options,
+            )
+            .expect("samples");
+            let result =
+                crossval::k_fold(&config, &trainer_config(p.sweep_epochs), &samples, p.folds, 17)
+                    .expect("cv runs");
+            let (t_mean, _) = result.train_summary();
+            let (v_mean, _) = result.validation_summary();
+            println!("{k:>4} {:>11.2}% {:>11.2}%", 100.0 * t_mean, 100.0 * v_mean);
+        }
+    }
+    println!();
+}
+
+fn train_task(corpus: &Corpus, classes: usize, p: Profile) -> Trainer {
+    eval::train_on_corpus(corpus, model_config(classes, 16, 2), trainer_config(p.epochs), 31)
+        .expect("training runs")
+}
+
+/// Table II + the Section V-B accuracy ladder.
+fn table2_and_postprocessing(p: Profile) {
+    println!("== Table II + postprocessing ladder ==");
+    println!("(paper: OTA 90.5%→100; SC filter 98.2%→100; RF 83.64%→89.24→100; phased array 79.8%→87.3→100)");
+
+    // OTA task.
+    let ota_train = ota::corpus(p.ota_train, 1);
+    let trainer = train_task(&ota_train, 2, p);
+    let last = trainer.history().last().expect("epochs ran");
+    println!(
+        "[OTA model] train acc {:.2}%, val acc {:.2}%",
+        100.0 * last.train_accuracy,
+        100.0 * last.validation_accuracy
+    );
+    let pipeline = eval::make_pipeline(trainer, &ota_classes::NAMES, Task::OtaBias);
+    let ota_test = ota::corpus(p.ota_test, 77_001);
+    let ladder = eval::evaluate_ladder(&pipeline, &ota_test.samples).expect("eval");
+    print_ladder("OTA bias test", p.ota_test, &ladder);
+
+    let sc = sc_filter::generate(0);
+    let ladder = eval::evaluate_ladder(&pipeline, std::slice::from_ref(&sc)).expect("eval");
+    print_ladder("SC filter", 1, &ladder);
+
+    // RF task.
+    let rf_train = rf::corpus(p.rf_train, 2);
+    let trainer = train_task(&rf_train, 3, p);
+    let last = trainer.history().last().expect("epochs ran");
+    println!(
+        "[RF model] train acc {:.2}%, val acc {:.2}%",
+        100.0 * last.train_accuracy,
+        100.0 * last.validation_accuracy
+    );
+    let pipeline = eval::make_pipeline(trainer, &rf_classes::NAMES, Task::Rf);
+    let rf_test = rf::corpus(p.rf_test, 88_001);
+    let ladder = eval::evaluate_ladder(&pipeline, &rf_test.samples).expect("eval");
+    print_ladder("RF test", p.rf_test, &ladder);
+
+    let pa = phased_array::generate(0);
+    let ladder = eval::evaluate_ladder(&pipeline, std::slice::from_ref(&pa)).expect("eval");
+    print_ladder("Phased array", 1, &ladder);
+    let device_ladder =
+        eval::evaluate_device_ladder(&pipeline, std::slice::from_ref(&pa)).expect("eval");
+    print_ladder("Phased array (devices)", 1, &device_ladder);
+    println!();
+}
+
+fn print_ladder(name: &str, circuits: usize, ladder: &eval::AccuracyLadder) {
+    println!(
+        "{name:<24} ({circuits} ckts, {} vertices)  GCN {:.2}%  post-I {:.2}%  post-II {:.2}%",
+        ladder.counted,
+        100.0 * ladder.gcn,
+        100.0 * ladder.post1,
+        100.0 * ladder.post2
+    );
+}
+
+/// Fig. 6: layout of the SC filter from the extracted hierarchy.
+fn fig6(p: Profile) {
+    println!("== Fig. 6: SC filter layout from the extracted hierarchy ==");
+    let ota_train = ota::corpus(p.ota_train.min(128), 1);
+    let trainer = train_task(&ota_train, 2, p);
+    let pipeline = eval::make_pipeline(trainer, &ota_classes::NAMES, Task::OtaBias);
+    let sc = sc_filter::generate(0);
+    let design = pipeline.recognize(&sc.circuit).expect("pipeline runs");
+    println!("{}", report::class_summary(&design));
+    let layout =
+        gana::layout::place_design(&design, &gana::layout::Pdk::default()).expect("places");
+    layout.validate().expect("legal layout");
+    let checks = gana::layout::symmetry::verify(&layout, &design.constraints);
+    println!(
+        "constraints: {} checked, {:.0}% satisfied",
+        checks.len(),
+        100.0 * gana::layout::symmetry::satisfaction_rate(&checks)
+    );
+    println!(
+        "die {}x{} units, utilization {:.0}%",
+        layout.die.w,
+        layout.die.h,
+        100.0 * layout.utilization()
+    );
+    println!("{}", layout.to_ascii());
+    let svg_path = "target/fig6_sc_filter.svg";
+    if std::fs::write(svg_path, gana::layout::render::svg(&layout)).is_ok() {
+        println!("[svg written to {svg_path}]");
+    }
+    println!();
+}
+
+/// Fig. 7: phased-array classification map.
+fn fig7(p: Profile) {
+    println!("== Fig. 7: phased-array classification after postprocessing ==");
+    let rf_train = rf::corpus(p.rf_train.min(108), 2);
+    let trainer = train_task(&rf_train, 3, p);
+    let pipeline = eval::make_pipeline(trainer, &rf_classes::NAMES, Task::Rf);
+    let pa = phased_array::generate(0);
+    println!(
+        "input: {} devices + {} nets = {} vertices (paper: 522 + 380 = 902)",
+        pa.circuit.device_count(),
+        pa.circuit.net_count(),
+        pa.node_count()
+    );
+    let design = pipeline.recognize(&pa.circuit).expect("pipeline runs");
+    println!("final per-class device counts:");
+    for (label, count) in eval::label_histogram(&design) {
+        println!("  {label:<12} {count:>4}");
+    }
+    let ladder =
+        eval::evaluate_device_ladder(&pipeline, std::slice::from_ref(&pa)).expect("eval");
+    print_ladder("phased array devices", 1, &ladder);
+    println!();
+}
+
+/// Section V-B runtimes.
+fn runtime(p: Profile) {
+    println!("== Runtime (paper: SC filter 135s, phased array 514s, post <30s on i7-8core) ==");
+    let ota_train = ota::corpus(p.ota_train.min(96), 1);
+    let trainer = train_task(&ota_train, 2, p);
+    let ota_pipeline = eval::make_pipeline(trainer, &ota_classes::NAMES, Task::OtaBias);
+    let rf_train = rf::corpus(p.rf_train.min(81), 2);
+    let trainer = train_task(&rf_train, 3, p);
+    let rf_pipeline = eval::make_pipeline(trainer, &rf_classes::NAMES, Task::Rf);
+
+    let sc = sc_filter::generate(0);
+    let t = Instant::now();
+    let _ = ota_pipeline.recognize(&sc.circuit).expect("runs");
+    println!("SC filter pipeline: {:.3}s", t.elapsed().as_secs_f64());
+
+    let pa = phased_array::generate(0);
+    let t = Instant::now();
+    let design = rf_pipeline.recognize(&pa.circuit).expect("runs");
+    println!("phased array pipeline: {:.3}s", t.elapsed().as_secs_f64());
+
+    // Postprocessing alone.
+    let t = Instant::now();
+    let _ = rf_pipeline.finish(
+        design.circuit.clone(),
+        design.graph.clone(),
+        design.gcn_class.clone(),
+    );
+    println!("phased array postprocessing alone: {:.3}s", t.elapsed().as_secs_f64());
+    println!();
+}
+
+/// Ablations: ReLU vs tanh and batch norm (averaged over 3 seeds), plus
+/// the three input-feature groups.
+fn ablation(p: Profile) {
+    println!("== Ablations (paper: 'ReLU provides consistently better results') ==");
+    let corpus = ota::corpus(p.sweep_train, 41);
+    for (name, activation, batch_norm) in [
+        ("ReLU", Activation::Relu, false),
+        ("tanh", Activation::Tanh, false),
+        ("ReLU+batchnorm", Activation::Relu, true),
+    ] {
+        let mut train_accs = Vec::new();
+        let mut val_accs = Vec::new();
+        for seed in [5u64, 6, 7] {
+            let config = GcnConfig { activation, batch_norm, seed, ..model_config(2, 8, 2) };
+            let trainer =
+                eval::train_on_corpus(&corpus, config, trainer_config(p.sweep_epochs), seed)
+                    .expect("training runs");
+            let last = trainer.history().last().expect("epochs ran");
+            train_accs.push(last.train_accuracy);
+            val_accs.push(last.validation_accuracy);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{name:<16} train {:.2}%  val {:.2}%  (3 seeds)",
+            100.0 * mean(&train_accs),
+            100.0 * mean(&val_accs)
+        );
+    }
+
+    println!("
+[input-feature groups]");
+    use gana::graph::features::FeatureOptions;
+    for (name, options) in [
+        ("all 18 features", FeatureOptions::default()),
+        ("no element types", FeatureOptions { element_types: false, ..FeatureOptions::default() }),
+        ("no net types", FeatureOptions { net_types: false, ..FeatureOptions::default() }),
+        ("no edge descriptor", FeatureOptions { edge_descriptor: false, ..FeatureOptions::default() }),
+    ] {
+        let config = model_config(2, 8, 2);
+        let samples =
+            eval::samples_from_corpus_with_features(&corpus, config.levels(), 2, 3, options)
+                .expect("samples");
+        let (train, validation) = gana::gnn::Trainer::split_80_20(&samples, 3);
+        let mut trainer = gana::gnn::Trainer::new(config, trainer_config(p.sweep_epochs))
+            .expect("valid");
+        let history = trainer.fit(&train, &validation).expect("trains");
+        let last = history.last().expect("epochs ran");
+        println!(
+            "{name:<20} train {:.2}%  val {:.2}%",
+            100.0 * last.train_accuracy,
+            100.0 * last.validation_accuracy
+        );
+    }
+    println!();
+}
+
+/// §V-A: "a random search method is used to optimize hyperparameters such
+/// as the learning rate, regularization, decay rate, and filter size."
+fn hyper(p: Profile) {
+    use gana::gnn::hyper::{random_search, SearchSpace};
+    println!("== Random hyperparameter search (paper §V-A) ==");
+    let corpus = ota::corpus(p.sweep_train, 61);
+    let base_model = model_config(2, 8, 2);
+    let samples =
+        eval::samples_from_corpus(&corpus, base_model.levels(), 2, 9).expect("samples");
+    let (train, validation) = Trainer::split_80_20(&samples, 9);
+    let base_trainer = trainer_config(p.sweep_epochs);
+    let space = SearchSpace::default();
+    let trials = if p.folds >= 5 { 12 } else { 6 };
+    let candidates = random_search(
+        &base_model,
+        &base_trainer,
+        &space,
+        &train,
+        &validation,
+        trials,
+        42,
+    )
+    .expect("search runs");
+    println!("{:>4} {:>6} {:>9} {:>10} {:>8} {:>10}", "rank", "K", "dropout", "lr", "decay", "val acc");
+    for (rank, c) in candidates.iter().enumerate().take(6) {
+        println!(
+            "{:>4} {:>6} {:>9.2} {:>10.2e} {:>8.3} {:>9.2}%",
+            rank + 1,
+            c.model.filter_order,
+            c.model.dropout,
+            c.trainer.learning_rate,
+            c.trainer.lr_decay,
+            100.0 * c.validation_accuracy
+        );
+    }
+    println!();
+}
+
+/// Per-class precision/recall of the RF model on the held-out receivers
+/// (detail behind the Table II row-3 number).
+fn confusion(p: Profile) {
+    use gana::gnn::metrics::ConfusionMatrix;
+    println!("== RF confusion matrix (GCN alone, vertex level) ==");
+    let rf_train = rf::corpus(p.rf_train, 2);
+    let trainer = train_task(&rf_train, 3, p);
+    let pipeline = eval::make_pipeline(trainer, &rf_classes::NAMES, Task::Rf);
+    let test = rf::corpus(p.rf_test, 88_001);
+    let mut cm = ConfusionMatrix::new(3);
+    for lc in &test.samples {
+        let design = pipeline.recognize(&lc.circuit).expect("pipeline runs");
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        for v in 0..design.graph.vertex_count() {
+            let truth = if let Some(d) = design.graph.device_name(v) {
+                lc.device_class.get(d).copied()
+            } else {
+                design.graph.net_name(v).and_then(|n| lc.net_class.get(n).copied())
+            };
+            preds.push(design.gcn_class[v]);
+            labels.push(truth.filter(|&c| c < 3));
+        }
+        cm.record(&preds, &labels);
+    }
+    println!("{:<12} {:>8} {:>8} {:>8}   {:>9} {:>9}", "truth\\pred", "lna", "mixer", "osc", "precision", "recall");
+    for t in 0..3 {
+        let precision = cm.precision(t).map_or("-".to_string(), |v| format!("{:.1}%", 100.0 * v));
+        let recall = cm.recall(t).map_or("-".to_string(), |v| format!("{:.1}%", 100.0 * v));
+        println!(
+            "{:<12} {:>8} {:>8} {:>8}   {:>9} {:>9}",
+            rf_classes::NAMES[t],
+            cm.get(t, 0),
+            cm.get(t, 1),
+            cm.get(t, 2),
+            precision,
+            recall
+        );
+    }
+    println!("overall GCN accuracy: {:.2}%", 100.0 * cm.accuracy());
+    println!();
+}

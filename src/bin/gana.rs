@@ -1,0 +1,263 @@
+//! `gana` — command-line front end for netlist annotation.
+//!
+//! ```sh
+//! # Train a model on generated circuits and save a checkpoint.
+//! gana train --task ota --circuits 128 --epochs 12 --out ota.ckpt
+//!
+//! # Annotate a SPICE netlist with a trained model.
+//! gana annotate my_design.sp --model ota.ckpt --task ota --export annotated.sp
+//!
+//! # Structural inspection without a model (parse, flatten, preprocess,
+//! # primitives).
+//! gana inspect my_design.sp
+//!
+//! # Emit one of the benchmark circuits as SPICE.
+//! gana generate --kind sc-filter --out sc_filter.sp
+//! ```
+
+use gana::core::{export, report, Pipeline, Task};
+use gana::datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter};
+use gana::eval;
+use gana::gnn::{checkpoint, GcnConfig, TrainerConfig};
+use gana::netlist::SpiceLibrary;
+use gana::primitives::PrimitiveLibrary;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("annotate") => cmd_annotate(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `gana help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "gana — GCN-based netlist annotation (GANA, DATE 2020 reproduction)\n\n\
+         USAGE:\n  gana train    --task ota|rf [--circuits N] [--epochs N] [--filter-order K] [--seed N] --out FILE\n  \
+         gana annotate FILE --model FILE --task ota|rf [--export FILE] [--svg FILE] [--dot FILE]\n  \
+         gana inspect  FILE\n  \
+         gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]"
+    );
+}
+
+/// Splits `--key value` pairs from positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key, value.as_str());
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn parse_task(flags: &HashMap<&str, &str>) -> Result<Task, String> {
+    match flags.get("task").copied() {
+        Some("ota") => Ok(Task::OtaBias),
+        Some("rf") => Ok(Task::Rf),
+        Some(other) => Err(format!("unknown task {other:?} (expected ota or rf)")),
+        None => Err("missing --task ota|rf".to_string()),
+    }
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let task = parse_task(&flags)?;
+    let circuits: usize = numeric(&flags, "circuits", 128)?;
+    let epochs: usize = numeric(&flags, "epochs", 12)?;
+    let filter_order: usize = numeric(&flags, "filter-order", 16)?;
+    let seed: u64 = numeric(&flags, "seed", 1)?;
+    let out = flags.get("out").ok_or("missing --out FILE")?;
+
+    let (corpus, classes) = match task {
+        Task::OtaBias => (ota::corpus(circuits, seed), 2),
+        Task::Rf => (rf::corpus(circuits, seed), 3),
+    };
+    let stats = corpus.stats();
+    println!("training on {} circuits ({} nodes, {} classes)", stats.circuits, stats.nodes, stats.labels);
+    let model_config = GcnConfig {
+        conv_channels: vec![16, 32],
+        filter_order,
+        fc_dim: 128,
+        num_classes: classes,
+        dropout: 0.1,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    let trainer_config =
+        TrainerConfig { epochs, learning_rate: 4e-3, ..TrainerConfig::default() };
+    let trainer = eval::train_on_corpus(&corpus, model_config, trainer_config, seed)
+        .map_err(|e| e.to_string())?;
+    let last = trainer.history().last().ok_or("no epochs ran")?;
+    println!(
+        "trained: loss {:.4}, train acc {:.2}%, val acc {:.2}%",
+        last.train_loss,
+        100.0 * last.train_accuracy,
+        100.0 * last.validation_accuracy
+    );
+    checkpoint::save(trainer.model(), out).map_err(|e| e.to_string())?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn load_pipeline(model_path: &str, task: Task) -> Result<Pipeline, String> {
+    let model = checkpoint::load(model_path).map_err(|e| e.to_string())?;
+    let class_names: Vec<String> = match task {
+        Task::OtaBias => ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        Task::Rf => rf_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+    };
+    Ok(Pipeline::new(
+        model,
+        class_names,
+        PrimitiveLibrary::standard().map_err(|e| e.to_string())?,
+        task,
+    ))
+}
+
+fn read_flat_circuit(path: &str) -> Result<gana::netlist::Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let lib = gana::netlist::parse_library(&text).map_err(|e| e.to_string())?;
+    gana::netlist::flatten(&lib).map_err(|e| e.to_string())
+}
+
+fn cmd_annotate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("missing input netlist FILE")?;
+    let task = parse_task(&flags)?;
+    let model_path = flags.get("model").ok_or("missing --model FILE")?;
+    let pipeline = load_pipeline(model_path, task)?;
+    let flat = read_flat_circuit(path)?;
+    let design = pipeline.recognize(&flat).map_err(|e| e.to_string())?;
+    println!("{}", report::full_report(&design));
+    if let Some(out) = flags.get("export") {
+        std::fs::write(out, export::to_hierarchical_spice(&design))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("hierarchical SPICE written to {out}");
+    }
+    if let Some(dot) = flags.get("dot") {
+        std::fs::write(dot, report::to_dot(&design))
+            .map_err(|e| format!("cannot write {dot}: {e}"))?;
+        println!("hierarchy dot graph written to {dot}");
+    }
+    if let Some(svg) = flags.get("svg") {
+        let layout = gana::layout::place_design(&design, &gana::layout::Pdk::default())
+            .map_err(|e| e.to_string())?;
+        std::fs::write(svg, gana::layout::render::svg(&layout))
+            .map_err(|e| format!("cannot write {svg}: {e}"))?;
+        println!("layout SVG written to {svg}");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let (positional, _) = parse_flags(args)?;
+    let path = positional.first().ok_or("missing input netlist FILE")?;
+    let flat = read_flat_circuit(path)?;
+    let (clean, prep) =
+        gana::netlist::preprocess(&flat, gana::netlist::PreprocessOptions::default())
+            .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} devices, {} nets (after preprocessing: {} devices, {} folded)",
+        clean.name(),
+        flat.device_count(),
+        flat.net_count(),
+        clean.device_count(),
+        prep.eliminated()
+    );
+    let graph = gana::graph::CircuitGraph::build(&clean, gana::graph::GraphOptions::default());
+    println!(
+        "graph: {} vertices ({} elements + {} nets), {} edges",
+        graph.vertex_count(),
+        graph.element_count(),
+        graph.net_count(),
+        graph.edge_count()
+    );
+    let library = PrimitiveLibrary::standard().map_err(|e| e.to_string())?;
+    let annotation = gana::primitives::annotate(&library, &clean, &graph);
+    println!(
+        "primitives: {} instances, {:.0}% device coverage",
+        annotation.instances.len(),
+        100.0 * annotation.coverage()
+    );
+    for inst in &annotation.instances {
+        println!("  {:<10} [{}]", inst.primitive, inst.devices.join(", "));
+    }
+    if !annotation.unclaimed.is_empty() {
+        println!("  unclaimed: [{}]", annotation.unclaimed.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let seed: u64 = numeric(&flags, "seed", 0)?;
+    let kind = flags.get("kind").copied().ok_or("missing --kind")?;
+    let circuit = match kind {
+        "ota" => {
+            ota::generate(ota::OtaSpec {
+                topology: ota::OtaTopology::ALL[(seed as usize) % 6],
+                pmos_input: seed % 2 == 1,
+                bias: ota::BiasStyle::ALL[(seed as usize / 2) % 4],
+                seed,
+            })
+            .circuit
+        }
+        "rf" => {
+            rf::generate(rf::ReceiverSpec {
+                lna: rf::LnaKind::ALL[(seed as usize) % 3],
+                mixer: rf::MixerKind::ALL[(seed as usize / 3) % 3],
+                osc: rf::OscKind::ALL[(seed as usize / 9) % 3],
+                seed,
+            })
+            .circuit
+        }
+        "sc-filter" => sc_filter::generate(seed).circuit,
+        "phased-array" => phased_array::generate(seed).circuit,
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    let text = gana::netlist::write_spice(&SpiceLibrary::new(circuit));
+    match flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("netlist written to {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,219 @@
+//! Training and evaluation helpers shared by the experiments binary, the
+//! examples, and the integration tests.
+//!
+//! The accuracy accounting mirrors the paper: a vertex (device or net) is
+//! correct when the stage's label equals the ground-truth class name, so
+//! classes outside the GCN's space (BPF/BUF/INV in the phased array) count
+//! as errors until postprocessing separates them.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::{Corpus, LabeledCircuit};
+use gana_gnn::{GcnConfig, GraphSample, Trainer, TrainerConfig};
+use std::collections::BTreeMap;
+
+/// Converts a labeled corpus into GNN training samples.
+///
+/// Labels are restricted to the corpus class space; vertices whose class id
+/// exceeds `num_classes` (e.g. BPF in a 3-class RF model) become unlabeled.
+///
+/// # Errors
+///
+/// Propagates coarsening failures.
+pub fn samples_from_corpus(
+    corpus: &Corpus,
+    levels: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Vec<GraphSample>, gana_gnn::GnnError> {
+    samples_from_corpus_with_features(
+        corpus,
+        levels,
+        num_classes,
+        seed,
+        gana_graph::features::FeatureOptions::default(),
+    )
+}
+
+/// [`samples_from_corpus`] with feature-group toggles, for the input-feature
+/// ablation (e.g. Fig. 5 without designer net-type annotations, which forces
+/// the Chebyshev filter radius to carry the structural information).
+///
+/// # Errors
+///
+/// Propagates coarsening failures.
+pub fn samples_from_corpus_with_features(
+    corpus: &Corpus,
+    levels: usize,
+    num_classes: usize,
+    seed: u64,
+    options: gana_graph::features::FeatureOptions,
+) -> Result<Vec<GraphSample>, gana_gnn::GnnError> {
+    corpus
+        .samples
+        .iter()
+        .enumerate()
+        .map(|(i, lc)| {
+            let graph = lc.graph();
+            let labels: Vec<Option<usize>> = lc
+                .vertex_labels(&graph)
+                .into_iter()
+                .map(|l| l.filter(|&c| c < num_classes))
+                .collect();
+            GraphSample::prepare_with_features(
+                lc.name.clone(),
+                &lc.circuit,
+                &graph,
+                labels,
+                levels,
+                seed.wrapping_add(i as u64),
+                options,
+            )
+        })
+        .collect()
+}
+
+/// Trains a GCN on a corpus with an 80/20 split; returns the trainer (with
+/// model and history).
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn train_on_corpus(
+    corpus: &Corpus,
+    model_config: GcnConfig,
+    trainer_config: TrainerConfig,
+    seed: u64,
+) -> Result<Trainer, gana_gnn::GnnError> {
+    let samples = samples_from_corpus(
+        corpus,
+        model_config.levels(),
+        model_config.num_classes,
+        seed,
+    )?;
+    let (train, validation) = Trainer::split_80_20(&samples, seed);
+    let mut trainer = Trainer::new(model_config, trainer_config)?;
+    trainer.fit(&train, &validation)?;
+    Ok(trainer)
+}
+
+/// Accuracy of the three pipeline stages over one or more circuits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyLadder {
+    /// Raw GCN vertex accuracy.
+    pub gcn: f64,
+    /// After Postprocessing I (CCC smoothing + stand-alone separation).
+    pub post1: f64,
+    /// After Postprocessing II (port-knowledge rules) — final labels.
+    pub post2: f64,
+    /// Vertices counted.
+    pub counted: usize,
+}
+
+/// Runs the pipeline on labeled circuits and scores every stage.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_ladder(
+    pipeline: &Pipeline,
+    circuits: &[LabeledCircuit],
+) -> Result<AccuracyLadder, gana_core::CoreError> {
+    let mut totals = [0usize; 3];
+    let mut counted = 0usize;
+    for lc in circuits {
+        let design = pipeline.recognize(&lc.circuit)?;
+        // Ground truth by name, looked up against the (preprocessed) graph.
+        let truth_name = |vertex: usize| -> Option<&str> {
+            let class = if let Some(d) = design.graph.device_name(vertex) {
+                lc.device_class.get(d).copied()
+            } else {
+                design.graph.net_name(vertex).and_then(|n| lc.net_class.get(n).copied())
+            }?;
+            lc.class_names.get(class).map(String::as_str)
+        };
+        let class_name = |c: usize| -> &str {
+            pipeline.class_names().get(c).map(String::as_str).unwrap_or("?")
+        };
+        for v in 0..design.graph.vertex_count() {
+            let Some(truth) = truth_name(v) else { continue };
+            counted += 1;
+            if class_name(design.gcn_class[v]) == truth {
+                totals[0] += 1;
+            }
+            if class_name(design.smoothed_class[v]) == truth {
+                totals[1] += 1;
+            }
+            if design.final_label[v] == truth {
+                totals[2] += 1;
+            }
+        }
+    }
+    let denom = counted.max(1) as f64;
+    Ok(AccuracyLadder {
+        gcn: totals[0] as f64 / denom,
+        post1: totals[1] as f64 / denom,
+        post2: totals[2] as f64 / denom,
+        counted,
+    })
+}
+
+/// Device-only accuracy ladder (the paper's phased-array metric counts
+/// devices: "all 522 devices (100%) are classified correctly").
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_device_ladder(
+    pipeline: &Pipeline,
+    circuits: &[LabeledCircuit],
+) -> Result<AccuracyLadder, gana_core::CoreError> {
+    let mut totals = [0usize; 3];
+    let mut counted = 0usize;
+    for lc in circuits {
+        let design = pipeline.recognize(&lc.circuit)?;
+        let class_name = |c: usize| -> &str {
+            pipeline.class_names().get(c).map(String::as_str).unwrap_or("?")
+        };
+        for v in design.graph.element_vertices() {
+            let Some(device) = design.graph.device_name(v) else { continue };
+            let Some(&class) = lc.device_class.get(device) else { continue };
+            let Some(truth) = lc.class_names.get(class) else { continue };
+            counted += 1;
+            if class_name(design.gcn_class[v]) == truth {
+                totals[0] += 1;
+            }
+            if class_name(design.smoothed_class[v]) == truth {
+                totals[1] += 1;
+            }
+            if &design.final_label[v] == truth {
+                totals[2] += 1;
+            }
+        }
+    }
+    let denom = counted.max(1) as f64;
+    Ok(AccuracyLadder {
+        gcn: totals[0] as f64 / denom,
+        post1: totals[1] as f64 / denom,
+        post2: totals[2] as f64 / denom,
+        counted,
+    })
+}
+
+/// Per-final-label device counts of a recognized design (Fig. 7 style map).
+pub fn label_histogram(design: &gana_core::RecognizedDesign) -> BTreeMap<String, usize> {
+    let mut hist = BTreeMap::new();
+    for v in design.graph.element_vertices() {
+        *hist.entry(design.final_label[v].clone()).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Builds the task-appropriate pipeline around a trained model.
+pub fn make_pipeline(trainer: Trainer, class_names: &[&str], task: Task) -> Pipeline {
+    Pipeline::new(
+        trainer.into_model(),
+        class_names.iter().map(|s| s.to_string()).collect(),
+        gana_primitives::PrimitiveLibrary::standard().expect("shipped templates parse"),
+        task,
+    )
+}

@@ -1,0 +1,62 @@
+//! # GANA — GCN-based automated netlist annotation for analog circuits
+//!
+//! A from-scratch Rust reproduction of *GANA: Graph Convolutional Network
+//! Based Automated Netlist Annotation for Analog Circuits* (Kunal et al.,
+//! DATE 2020), the annotation front end of the ALIGN analog layout flow.
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`netlist`] | `gana-netlist` | SPICE parser, flattening, preprocessing |
+//! | [`graph`] | `gana-graph` | bipartite circuit graph, features, Laplacians, CCC, VF2 |
+//! | [`sparse`] | `gana-sparse` | dense/CSR linear algebra, Lanczos |
+//! | [`gnn`] | `gana-gnn` | spectral ChebNet, Graclus pooling, training |
+//! | [`primitives`] | `gana-primitives` | 21-template library + annotation |
+//! | [`datasets`] | `gana-datasets` | synthetic labeled corpora |
+//! | [`core`] | `gana-core` | the recognition pipeline + postprocessing |
+//! | [`layout`] | `gana-layout` | constraint-driven symbolic placer |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gana::core::{Pipeline, Task};
+//! use gana::gnn::{GcnConfig, GcnModel};
+//! use gana::primitives::PrimitiveLibrary;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Parse + flatten a SPICE netlist.
+//! let lib = gana::netlist::parse_library(
+//!     "M0 id id gnd! gnd! NMOS\nM1 tail id gnd! gnd! NMOS\n\
+//!      M2 o1 in1 tail gnd! NMOS\nM3 o2 in2 tail gnd! NMOS\n.END\n",
+//! )?;
+//! let flat = gana::netlist::flatten(&lib)?;
+//!
+//! // Build a pipeline (a real flow trains the model first; see the
+//! // `experiments` binary and EXPERIMENTS.md).
+//! let model = GcnModel::new(GcnConfig { num_classes: 2, ..GcnConfig::default() })?;
+//! let pipeline = Pipeline::new(
+//!     model,
+//!     vec!["ota".into(), "bias".into()],
+//!     PrimitiveLibrary::standard()?,
+//!     Task::OtaBias,
+//! );
+//! let design = pipeline.recognize(&flat)?;
+//! assert!(design.hierarchy.size() > 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+
+pub use gana_core as core;
+pub use gana_datasets as datasets;
+pub use gana_gnn as gnn;
+pub use gana_graph as graph;
+pub use gana_layout as layout;
+pub use gana_netlist as netlist;
+pub use gana_primitives as primitives;
+pub use gana_sparse as sparse;

@@ -1,0 +1,108 @@
+//! End-to-end test of the `gana` CLI binary: generate → inspect → train →
+//! annotate with checkpoint round-trip through the filesystem.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gana() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gana"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gana_cli_{tag}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn generate_then_inspect() {
+    let dir = temp_dir("inspect");
+    let netlist = dir.join("sc.sp");
+    let out = gana()
+        .args(["generate", "--kind", "sc-filter", "--out"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(netlist.exists());
+
+    let out = gana().arg("inspect").arg(&netlist).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("devices"), "{text}");
+    assert!(text.contains("primitives:"), "{text}");
+    assert!(text.contains("DP_N"), "telescopic OTA's pair found: {text}");
+}
+
+#[test]
+fn train_checkpoint_annotate_roundtrip() {
+    let dir = temp_dir("train");
+    let ckpt = dir.join("ota.ckpt");
+    let netlist = dir.join("design.sp");
+    let export = dir.join("annotated.sp");
+
+    let out = gana()
+        .args(["generate", "--kind", "ota", "--seed", "3", "--out"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Tiny training run: the test checks plumbing, not accuracy.
+    let out = gana()
+        .args(["train", "--task", "ota", "--circuits", "16", "--epochs", "2", "--out"])
+        .arg(&ckpt)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists());
+
+    let dot = dir.join("hierarchy.dot");
+    let out = gana()
+        .arg("annotate")
+        .arg(&netlist)
+        .arg("--model")
+        .arg(&ckpt)
+        .args(["--task", "ota", "--export"])
+        .arg(&export)
+        .arg("--dot")
+        .arg(&dot)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hierarchy:"), "{text}");
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.starts_with("digraph"), "{dot_text}");
+
+    // The exported hierarchical netlist parses and flattens back to the
+    // same device count as the *preprocessed* input (the pipeline folds
+    // parallel splits, dummies, and decaps before recognition).
+    let exported = std::fs::read_to_string(&export).expect("written");
+    let lib = gana::netlist::parse_library(&exported).expect("parses");
+    assert!(!lib.subckts().is_empty(), "sub-blocks exported");
+    let flat = gana::netlist::flatten(&lib).expect("flattens");
+    let original = std::fs::read_to_string(&netlist).expect("readable");
+    let original_lib = gana::netlist::parse_library(&original).expect("parses");
+    let (clean, _) = gana::netlist::preprocess(
+        original_lib.top(),
+        gana::netlist::PreprocessOptions::default(),
+    )
+    .expect("preprocesses");
+    assert_eq!(flat.device_count(), clean.device_count());
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = gana().arg("annotate").output().expect("runs");
+    assert!(!out.status.success(), "missing args must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    let out = gana().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+
+    let out = gana().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

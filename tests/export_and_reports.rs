@@ -1,0 +1,105 @@
+//! Integration tests for the output artifacts: hierarchical SPICE export,
+//! text reports, and the Graphviz hierarchy, across generated designs.
+
+use gana::core::{export, report, Pipeline, Task};
+use gana::datasets::{ota, rf};
+use gana::gnn::{GcnConfig, GcnModel};
+use gana::primitives::PrimitiveLibrary;
+
+fn pipeline(task: Task, names: &[&str]) -> Pipeline {
+    let config = GcnConfig {
+        conv_channels: vec![4, 4],
+        filter_order: 2,
+        fc_dim: 8,
+        num_classes: names.len(),
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid"),
+        names.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("templates"),
+        task,
+    )
+}
+
+#[test]
+fn export_flatten_round_trip_across_ota_space() {
+    let pipeline = pipeline(Task::OtaBias, &["ota", "bias"]);
+    for (i, topology) in ota::OtaTopology::ALL.into_iter().enumerate() {
+        let lc = ota::generate(ota::OtaSpec {
+            topology,
+            pmos_input: i % 2 == 0,
+            bias: ota::BiasStyle::ALL[i % 4],
+            seed: 17,
+        });
+        let design = pipeline.recognize(&lc.circuit).expect("pipeline runs");
+        let text = export::to_hierarchical_spice(&design);
+        let lib = gana::netlist::parse_library(&text)
+            .unwrap_or_else(|e| panic!("{topology:?} export must parse: {e}\n{text}"));
+        let flat = gana::netlist::flatten(&lib).expect("export flattens");
+        assert_eq!(
+            flat.device_count(),
+            design.circuit.device_count(),
+            "{topology:?}: device count preserved through export"
+        );
+        // Every device of the design appears (with its instance prefix).
+        for d in design.circuit.devices() {
+            assert!(
+                flat.devices().iter().any(|fd| fd.name().ends_with(d.name())),
+                "{topology:?}: device {} lost in export",
+                d.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_mention_every_sub_block_label() {
+    let pipeline = pipeline(Task::Rf, &["lna", "mixer", "oscillator"]);
+    let lc = rf::generate(rf::ReceiverSpec {
+        lna: rf::LnaKind::Cascode,
+        mixer: rf::MixerKind::Gilbert,
+        osc: rf::OscKind::CrossCoupledLc,
+        seed: 3,
+    });
+    let design = pipeline.recognize(&lc.circuit).expect("runs");
+    let summary = report::class_summary(&design);
+    let full = report::full_report(&design);
+    let dot = report::to_dot(&design);
+    for block in &design.sub_blocks {
+        assert!(summary.contains(&block.label), "summary misses {}", block.label);
+        assert!(full.contains(&block.label), "report misses {}", block.label);
+        assert!(dot.contains(&block.label), "dot misses {}", block.label);
+    }
+    // Every device appears in the dot output exactly once as a leaf label.
+    for device in design.sub_blocks.iter().flat_map(|b| &b.devices) {
+        assert_eq!(
+            dot.matches(&format!("[label=\"{device}\"")).count(),
+            1,
+            "device {device} should appear once in dot"
+        );
+    }
+}
+
+#[test]
+fn constraint_annotations_round_trip_as_comments() {
+    let pipeline = pipeline(Task::OtaBias, &["ota", "bias"]);
+    let lc = ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::Telescopic,
+        pmos_input: false,
+        bias: ota::BiasStyle::DiodeResistor,
+        seed: 5,
+    });
+    let design = pipeline.recognize(&lc.circuit).expect("runs");
+    let text = export::to_hierarchical_spice(&design);
+    let annotated = text.lines().filter(|l| l.starts_with("* @constraint")).count();
+    assert_eq!(
+        annotated,
+        design.constraints.len(),
+        "one comment per detected constraint"
+    );
+    // Comments must not break re-parsing.
+    assert!(gana::netlist::parse_library(&text).is_ok());
+}

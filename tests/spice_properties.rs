@@ -1,0 +1,133 @@
+//! Property-based integration tests over the SPICE layer and the graph
+//! abstractions, spanning `gana-netlist`, `gana-graph`, and the generators.
+
+use gana::datasets::{ota, rf};
+use gana::graph::{laplacian, CircuitGraph, GraphOptions};
+use gana::netlist::{flatten, parse_library, write_spice, SpiceLibrary};
+use proptest::prelude::*;
+
+/// Strategy: a generated OTA spec drawn from the full variant space.
+fn ota_spec() -> impl Strategy<Value = ota::OtaSpec> {
+    (0usize..6, any::<bool>(), 0usize..4, 0u64..1000).prop_map(|(t, p, b, seed)| ota::OtaSpec {
+        topology: ota::OtaTopology::ALL[t],
+        pmos_input: p,
+        bias: ota::BiasStyle::ALL[b],
+        seed,
+    })
+}
+
+fn rf_spec() -> impl Strategy<Value = rf::ReceiverSpec> {
+    (0usize..3, 0usize..3, 0usize..3, 0u64..1000).prop_map(|(l, m, o, seed)| rf::ReceiverSpec {
+        lna: rf::LnaKind::ALL[l],
+        mixer: rf::MixerKind::ALL[m],
+        osc: rf::OscKind::ALL[o],
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Writer → parser round-trip preserves every generated OTA netlist:
+    /// structure exactly, numeric values within 1e-12 relative.
+    #[test]
+    fn spice_round_trip_preserves_ota_circuits(spec in ota_spec()) {
+        let lc = ota::generate(spec);
+        let lib = SpiceLibrary::new(lc.circuit.clone());
+        let text = write_spice(&lib);
+        let again = parse_library(&text).expect("writer output parses");
+        prop_assert_eq!(lc.circuit.device_count(), again.top().device_count());
+        for (a, b) in lc.circuit.devices().iter().zip(again.top().devices()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert_eq!(a.kind(), b.kind());
+            prop_assert_eq!(a.terminals(), b.terminals());
+            prop_assert_eq!(a.model(), b.model());
+            let close = |x: Option<f64>, y: Option<f64>| match (x, y) {
+                (None, None) => true,
+                (Some(x), Some(y)) => (x - y).abs() <= 1e-9 * x.abs().max(1e-18),
+                _ => false,
+            };
+            prop_assert!(close(a.value(), b.value()), "{:?} vs {:?}", a.value(), b.value());
+            prop_assert_eq!(a.params().len(), b.params().len());
+            for (key, &x) in a.params() {
+                prop_assert!(close(Some(x), b.param(key)), "param {}", key);
+            }
+        }
+        prop_assert_eq!(lc.circuit.port_labels(), again.top().port_labels());
+    }
+
+    /// The bipartite invariant and Laplacian spectral bound hold for every
+    /// generated receiver.
+    #[test]
+    fn graph_invariants_hold_for_receivers(spec in rf_spec()) {
+        let lc = rf::generate(spec);
+        let graph = CircuitGraph::build(&lc.circuit, GraphOptions::default());
+        prop_assert!(graph.is_bipartite());
+        prop_assert_eq!(
+            graph.vertex_count(),
+            graph.element_count() + graph.net_count()
+        );
+        let lap = laplacian::normalized_laplacian(&laplacian::adjacency(&graph))
+            .expect("square");
+        let lambda = gana::sparse::lanczos::largest_eigenvalue(&lap, 60, 1e-9)
+            .expect("square");
+        prop_assert!(lambda <= 2.0 + 1e-6, "spectral bound violated: {}", lambda);
+    }
+
+    /// Flattening a one-level hierarchical wrapper reproduces the flat
+    /// circuit's devices (with the instance prefix).
+    #[test]
+    fn flatten_of_wrapped_circuit_matches_device_count(spec in ota_spec()) {
+        let lc = ota::generate(spec);
+        // Expose every non-rail net as a port of the wrapper subcircuit
+        // and instantiate it once with identical net names.
+        let ports: Vec<String> = lc
+            .circuit
+            .nets()
+            .into_iter()
+            .filter(|n| !lc.circuit.is_supply(n) && !lc.circuit.is_ground(n))
+            .collect();
+        let mut sub = gana::netlist::Circuit::with_ports("CORE", ports.clone());
+        for d in lc.circuit.devices() {
+            sub.add_device(d.clone()).expect("unique");
+        }
+        let mut top = gana::netlist::Circuit::new("top");
+        top.add_device(
+            gana::netlist::Device::new(
+                "X1",
+                gana::netlist::DeviceKind::Instance,
+                ports,
+            )
+            .expect("instance")
+            .with_model("CORE"),
+        )
+        .expect("unique");
+        let mut lib = SpiceLibrary::new(top);
+        lib.add_subckt(sub).expect("unique");
+        let flat = flatten(&lib).expect("flattens");
+        prop_assert_eq!(flat.device_count(), lc.circuit.device_count());
+        // Device names carry the hierarchical prefix.
+        for d in flat.devices() {
+            prop_assert!(d.name().starts_with("X1/"), "name {}", d.name());
+        }
+    }
+
+    /// Preprocessing never increases the device count and keeps the graph
+    /// bipartite.
+    #[test]
+    fn preprocessing_shrinks_and_preserves_invariants(spec in ota_spec()) {
+        let lc = ota::generate(spec);
+        let (clean, report) = gana::netlist::preprocess(
+            &lc.circuit,
+            gana::netlist::PreprocessOptions::default(),
+        )
+        .expect("preprocess runs");
+        prop_assert!(clean.device_count() <= lc.circuit.device_count());
+        prop_assert_eq!(
+            clean.device_count() + report.eliminated(),
+            lc.circuit.device_count()
+        );
+        let graph = CircuitGraph::build(&clean, GraphOptions::default());
+        prop_assert!(graph.is_bipartite());
+    }
+}
