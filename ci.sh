@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Local CI gate. Run from the repository root:
+#
+#   ./ci.sh
+#
+# Order matters: cheap style checks fail fast before the build/test cycle.
+set -eu
+
+echo "==> cargo fmt --check (gana-serve)"
+cargo fmt --check -p gana-serve
+
+echo "==> cargo clippy -D warnings (gana-serve)"
+cargo clippy -p gana-serve --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -8,7 +8,7 @@
 #![warn(missing_docs)]
 
 use gana_core::{Pipeline, Task};
-use gana_datasets::{ota, rf, rf_classes, LabeledCircuit};
+use gana_datasets::{ota, ota_classes, rf, rf_classes, LabeledCircuit};
 use gana_gnn::{Activation, GcnConfig, GcnModel, GraphSample};
 use gana_graph::{CircuitGraph, GraphOptions};
 use gana_netlist::Circuit;
@@ -111,6 +111,32 @@ pub fn rf_pipeline(filter_order: usize) -> Pipeline {
         PrimitiveLibrary::standard().expect("templates parse"),
         Task::Rf,
     )
+}
+
+/// An (untrained) OTA/bias pipeline, used by the service benchmarks.
+pub fn ota_pipeline(filter_order: usize) -> Pipeline {
+    Pipeline::new(
+        model_with_filter(filter_order, 2),
+        ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("templates parse"),
+        Task::OtaBias,
+    )
+}
+
+/// A deterministic corpus of `n` OTA netlists as SPICE text — the
+/// `serve_throughput` workload.
+pub fn ota_spice_corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let lc = ota::generate(ota::OtaSpec {
+                topology: ota::OtaTopology::ALL[i % ota::OtaTopology::ALL.len()],
+                pmos_input: i % 2 == 1,
+                bias: ota::BiasStyle::ALL[i % ota::BiasStyle::ALL.len()],
+                seed: i as u64,
+            });
+            gana_netlist::write_spice(&gana_netlist::SpiceLibrary::new(lc.circuit))
+        })
+        .collect()
 }
 
 /// A single receiver for pipeline benchmarks.

@@ -6,6 +6,7 @@ use gana_gnn::{GcnModel, GraphSample};
 use gana_graph::{CircuitGraph, GraphOptions, VertexId};
 use gana_netlist::{preprocess, Circuit, PreprocessOptions};
 use gana_primitives::{constraints, AnnotationResult, Constraint, PrimitiveLibrary};
+use std::sync::Arc;
 
 /// Which recognition task the pipeline runs; selects the Postprocessing II
 /// rule set (Section V-A: "Postprocessing II requires domain-specific
@@ -93,22 +94,41 @@ impl RecognizedDesign {
 }
 
 /// The GANA pipeline: trained model + primitive library + task rules.
-#[derive(Debug)]
+///
+/// The heavyweight immutable artifacts — the trained [`GcnModel`] and the
+/// 21-primitive [`PrimitiveLibrary`] — live behind [`Arc`], so cloning a
+/// `Pipeline` is a handful of reference-count bumps. A service can load the
+/// artifacts once and hand a clone to every worker thread; all per-request
+/// state lives on the stack of [`Pipeline::recognize`].
+#[derive(Debug, Clone)]
 pub struct Pipeline {
-    model: GcnModel,
-    class_names: Vec<String>,
-    library: PrimitiveLibrary,
+    model: Arc<GcnModel>,
+    class_names: Arc<[String]>,
+    library: Arc<PrimitiveLibrary>,
     task: Task,
     preprocess_options: PreprocessOptions,
     coarsen_seed: u64,
 }
 
 impl Pipeline {
-    /// Creates a pipeline around a trained model.
+    /// Creates a pipeline around a trained model, taking ownership of the
+    /// artifacts (they are moved behind `Arc`s).
     pub fn new(
         model: GcnModel,
         class_names: Vec<String>,
         library: PrimitiveLibrary,
+        task: Task,
+    ) -> Pipeline {
+        Pipeline::shared(Arc::new(model), class_names.into(), Arc::new(library), task)
+    }
+
+    /// Creates a pipeline around already-shared artifacts. Several pipelines
+    /// (e.g. one per task) can reference the same model or library without
+    /// duplicating either.
+    pub fn shared(
+        model: Arc<GcnModel>,
+        class_names: Arc<[String]>,
+        library: Arc<PrimitiveLibrary>,
         task: Task,
     ) -> Pipeline {
         Pipeline {
@@ -127,6 +147,12 @@ impl Pipeline {
         self
     }
 
+    /// Overrides the coarsening seed used when preparing inference samples.
+    pub fn with_coarsen_seed(mut self, seed: u64) -> Pipeline {
+        self.coarsen_seed = seed;
+        self
+    }
+
     /// The GCN class names.
     pub fn class_names(&self) -> &[String] {
         &self.class_names
@@ -135,6 +161,26 @@ impl Pipeline {
     /// The trained model.
     pub fn model(&self) -> &GcnModel {
         &self.model
+    }
+
+    /// Shared handle to the trained model.
+    pub fn model_arc(&self) -> Arc<GcnModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The primitive library.
+    pub fn library(&self) -> &PrimitiveLibrary {
+        &self.library
+    }
+
+    /// Shared handle to the primitive library.
+    pub fn library_arc(&self) -> Arc<PrimitiveLibrary> {
+        Arc::clone(&self.library)
+    }
+
+    /// The recognition task this pipeline runs.
+    pub fn task(&self) -> Task {
+        self.task
     }
 
     /// Prepares an inference sample for a circuit (preprocess + graph +
@@ -188,16 +234,19 @@ impl Pipeline {
         );
         let labels = post2::apply(&circuit, &graph, &stage1.sub_blocks, &self.class_names, self.task);
 
+        // Consume the stage-1 blocks so their element/net/annotation buffers
+        // move into the result instead of being deep-cloned per block.
         let mut sub_blocks: Vec<SubBlock> = Vec::with_capacity(stage1.sub_blocks.len());
-        for (raw, label) in stage1.sub_blocks.iter().zip(&labels) {
+        for (raw, label) in stage1.sub_blocks.into_iter().zip(labels) {
+            let standalone = raw.standalone_label.is_some();
             sub_blocks.push(SubBlock {
-                label: label.clone(),
+                label,
                 gcn_class: raw.gcn_class,
                 devices: raw.device_names(&graph),
-                elements: raw.elements.clone(),
-                nets: raw.nets.clone(),
-                annotation: raw.annotation.clone(),
-                standalone: raw.standalone_label.is_some(),
+                elements: raw.elements,
+                nets: raw.nets,
+                annotation: raw.annotation,
+                standalone,
             });
         }
 

@@ -556,7 +556,7 @@ mod tests {
         let labels = (0..g.vertex_count())
             .map(|v| Some(usize::from(v >= 2)))
             .collect();
-        GraphSample::prepare("tiny", &c, &g, labels, 2, 9).expect("prepares")
+        GraphSample::prepare("tiny", &c, &g, labels, 2, 13).expect("prepares")
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Blocking client for the line protocol, used by `gana submit` and the
+//! integration tests.
+
+use crate::job::Annotation;
+use crate::metrics::StatsSnapshot;
+use crate::protocol::{Request, Response};
+use gana_core::Task;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The daemon sent a line this client could not parse, or an
+    /// unexpected response kind.
+    Protocol(String),
+    /// The daemon answered with a structured per-job error.
+    Job {
+        /// Stable short code (`parse`, `model`, `busy`, ...).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "connection failed: {err}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Job { code, message } => write!(f, "[{code}] {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> ClientError {
+        ClientError::Io(err)
+    }
+}
+
+/// One connection to a `gana serve` daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.read_response()
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("daemon closed the connection".into()));
+        }
+        Response::parse(&line).map_err(|err| ClientError::Protocol(err.0))
+    }
+
+    fn expect_annotation(response: Response) -> Result<Annotation, ClientError> {
+        match response {
+            Response::Ok(annotation) => Ok(annotation),
+            Response::Err { code, message } => Err(ClientError::Job { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Annotates one netlist, blocking until the daemon replies.
+    pub fn annotate(
+        &mut self,
+        netlist: &str,
+        task: Task,
+        deadline: Option<Duration>,
+    ) -> Result<Annotation, ClientError> {
+        let request = Request::Annotate {
+            task,
+            deadline_ms: deadline.map(|d| d.as_millis().min(u64::MAX as u128) as u64),
+            netlist: netlist.to_string(),
+        };
+        let response = self.round_trip(&request)?;
+        Client::expect_annotation(response)
+    }
+
+    /// Submits `netlists` as one batch; all jobs are admitted before any
+    /// reply is awaited, so they run concurrently on the daemon.
+    pub fn annotate_batch(
+        &mut self,
+        netlists: &[&str],
+        task: Task,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Result<Annotation, ClientError>>, ClientError> {
+        self.send(&Request::Batch(netlists.len()))?;
+        for netlist in netlists {
+            self.send(&Request::Annotate {
+                task,
+                deadline_ms: deadline.map(|d| d.as_millis().min(u64::MAX as u128) as u64),
+                netlist: (*netlist).to_string(),
+            })?;
+        }
+        let mut results = Vec::with_capacity(netlists.len());
+        for _ in 0..netlists.len() {
+            // An Io/short-read here is fatal for the whole batch (framing
+            // is lost); a per-job failure is just one entry's result.
+            let response = self.read_response()?;
+            results.push(Client::expect_annotation(response));
+        }
+        Ok(results)
+    }
+
+    /// Fetches a metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(wire) => StatsSnapshot::from_wire(&wire)
+                .ok_or_else(|| ClientError::Protocol(format!("bad stats payload {wire:?}"))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}

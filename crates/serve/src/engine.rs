@@ -1,0 +1,603 @@
+//! The in-process annotation engine: shared artifacts, a bounded job queue,
+//! and a pool of worker threads.
+//!
+//! Architecture (cf. the one-shot CLI path in `gana-core`):
+//!
+//! ```text
+//!  submit()/submit_blocking()         workers (N threads)
+//!  ───────────────┐                   ┌──────────────────┐
+//!   JobRequest ──▶│ bounded channel ─▶│ parse → recognize │──▶ reply channel
+//!                 │  (backpressure)   │  (Arc'd pipeline) │     JobHandle
+//!  ───────────────┘                   └──────────────────┘
+//! ```
+//!
+//! * The GCN model and primitive library are loaded **once** and shared via
+//!   the `Arc`s inside [`Pipeline`]; workers clone the pipeline handle, not
+//!   the artifacts.
+//! * The submission queue is a bounded MPMC channel. [`Engine::submit`]
+//!   never blocks — a full queue returns [`SubmitError::QueueFull`] so the
+//!   caller can shed load; [`Engine::submit_blocking`] waits instead.
+//! * Workers pull from the shared queue (work sharing — an idle worker
+//!   "steals" the next job the moment it frees up, so load balances without
+//!   per-worker queues).
+//! * Identical `(task, netlist)` submissions are answered from a bounded
+//!   result cache without occupying a worker. Failed jobs are never cached.
+
+use crate::channel;
+use crate::job::{Annotation, Job, JobError, JobHandle, JobRequest, JobResult, SubmitError, Work};
+use crate::metrics::{Metrics, StatsSnapshot};
+use gana_core::{Pipeline, Task};
+use gana_netlist::{flatten, parse_library};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. Defaults to available parallelism.
+    pub workers: usize,
+    /// Bounded submission-queue capacity; beyond it, `submit` rejects with
+    /// [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Entries kept in the `(task, netlist) → Annotation` result cache;
+    /// `0` disables caching.
+    pub result_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 256,
+            result_cache_capacity: 1024,
+        }
+    }
+}
+
+/// Map + FIFO insertion order, guarded together so eviction stays consistent.
+type CacheState = (HashMap<u64, Arc<Annotation>>, VecDeque<u64>);
+
+/// Bounded FIFO-eviction map from request hash to cached annotation.
+#[derive(Debug)]
+struct ResultCache {
+    capacity: usize,
+    map: Mutex<CacheState>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: Mutex::new((HashMap::new(), VecDeque::new())),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<Annotation>> {
+        self.map.lock().0.get(&key).cloned()
+    }
+
+    fn insert(&self, key: u64, value: Arc<Annotation>) {
+        let mut guard = self.map.lock();
+        let (map, order) = &mut *guard;
+        if map.insert(key, value).is_none() {
+            order.push_back(key);
+            while map.len() > self.capacity {
+                if let Some(evict) = order.pop_front() {
+                    map.remove(&evict);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn cache_key(task: Task, netlist: &str) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    // Task isn't Hash; its Debug form is stable and two-valued.
+    format!("{task:?}").hash(&mut hasher);
+    netlist.hash(&mut hasher);
+    hasher.finish()
+}
+
+struct Shared {
+    pipelines: Vec<(Task, Pipeline)>,
+    metrics: Metrics,
+    cache: Option<ResultCache>,
+    shutting_down: AtomicBool,
+    next_id: AtomicU64,
+    workers: usize,
+}
+
+impl Shared {
+    fn pipeline(&self, task: Task) -> Option<&Pipeline> {
+        self.pipelines
+            .iter()
+            .find(|(t, _)| *t == task)
+            .map(|(_, p)| p)
+    }
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+    pipelines: Vec<(Task, Pipeline)>,
+}
+
+impl EngineBuilder {
+    /// Starts from a config.
+    pub fn with_config(config: EngineConfig) -> EngineBuilder {
+        EngineBuilder {
+            config,
+            pipelines: Vec::new(),
+        }
+    }
+
+    /// Registers the pipeline serving `task` requests. The pipeline's
+    /// artifacts stay shared; registering the same model for both tasks
+    /// costs nothing extra.
+    pub fn pipeline(mut self, pipeline: Pipeline) -> EngineBuilder {
+        let task = pipeline.task();
+        self.pipelines.retain(|(t, _)| *t != task);
+        self.pipelines.push((task, pipeline));
+        self
+    }
+
+    /// Overrides the worker count.
+    pub fn workers(mut self, workers: usize) -> EngineBuilder {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.config.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the result-cache capacity (`0` disables).
+    pub fn result_cache_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.config.result_cache_capacity = capacity;
+        self
+    }
+
+    /// Spawns the worker pool and returns the running engine.
+    pub fn build(self) -> Engine {
+        let workers = self.config.workers.max(1);
+        let shared = Arc::new(Shared {
+            pipelines: self.pipelines,
+            metrics: Metrics::default(),
+            cache: (self.config.result_cache_capacity > 0)
+                .then(|| ResultCache::new(self.config.result_cache_capacity)),
+            shutting_down: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            workers,
+        });
+        let (tx, rx) = channel::bounded::<Job>(self.config.queue_capacity);
+        let handles = (0..workers)
+            .map(|worker_id| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gana-serve-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Engine {
+            shared,
+            submit_tx: Mutex::new(Some(tx)),
+            queue_rx: rx,
+            handles: Mutex::new(handles),
+        }
+    }
+}
+
+/// The concurrent annotation service core. See the module docs for the
+/// data-flow picture.
+pub struct Engine {
+    shared: Arc<Shared>,
+    /// `None` once shutdown started; dropping the sender is what lets
+    /// workers drain the queue and observe disconnection.
+    submit_tx: Mutex<Option<channel::Sender<Job>>>,
+    /// Kept for queue-depth introspection.
+    queue_rx: channel::Receiver<Job>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.shared.workers)
+            .field("queue_depth", &self.queue_rx.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builder entry point.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Non-blocking submit: a full queue is an immediate
+    /// [`SubmitError::QueueFull`] — the backpressure contract.
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(request, false)
+    }
+
+    /// Blocking submit: waits for queue space instead of rejecting.
+    pub fn submit_blocking(&self, request: JobRequest) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(request, true)
+    }
+
+    /// Submits a batch, amortizing queue locking; per-job admission results.
+    /// Jobs are enqueued in order; a `QueueFull` for one entry does not
+    /// abort the rest.
+    pub fn submit_batch(&self, requests: Vec<JobRequest>) -> Vec<Result<JobHandle, SubmitError>> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    fn submit_inner(&self, request: JobRequest, blocking: bool) -> Result<JobHandle, SubmitError> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+
+        // Cache fast path: answer without a worker round-trip.
+        if let Some(cache) = &self.shared.cache {
+            if let Some(hit) = cache.get(cache_key(request.task, &request.netlist)) {
+                self.shared
+                    .metrics
+                    .cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .metrics
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
+                let (tx, rx) = channel::bounded(1);
+                let _ = tx.send(Ok(hit));
+                return Ok(JobHandle {
+                    id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+                    cancelled: Arc::new(AtomicBool::new(false)),
+                    rx,
+                });
+            }
+        }
+
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let now = Instant::now();
+        let job = Job {
+            id,
+            work: Work::Annotate {
+                netlist: request.netlist,
+                task: request.task,
+            },
+            submitted_at: now,
+            deadline: request.deadline.map(|d| now + d),
+            cancelled: Arc::clone(&cancelled),
+            reply: reply_tx,
+        };
+        self.enqueue(job, blocking)?;
+        Ok(JobHandle {
+            id,
+            cancelled,
+            rx: reply_rx,
+        })
+    }
+
+    /// Test/bench hook: run an arbitrary closure through the worker pool
+    /// with the same queueing, deadline, and reply machinery as real jobs.
+    #[doc(hidden)]
+    pub fn submit_custom(
+        &self,
+        work: Box<dyn FnOnce() -> JobResult + Send>,
+    ) -> Result<JobHandle, SubmitError> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let job = Job {
+            id,
+            work: Work::Custom(work),
+            submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::clone(&cancelled),
+            reply: reply_tx,
+        };
+        self.enqueue(job, false)?;
+        Ok(JobHandle {
+            id,
+            cancelled,
+            rx: reply_rx,
+        })
+    }
+
+    fn enqueue(&self, job: Job, blocking: bool) -> Result<(), SubmitError> {
+        let guard = self.submit_tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let result = if blocking {
+            tx.send(job).map_err(|_| SubmitError::ShuttingDown)
+        } else {
+            tx.try_send(job).map_err(|err| match err {
+                channel::TrySendError::Full(_) => SubmitError::QueueFull,
+                channel::TrySendError::Disconnected(_) => SubmitError::ShuttingDown,
+            })
+        };
+        match result {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(SubmitError::QueueFull) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Current metrics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.queue_rx.len(), self.shared.workers)
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_rx.len()
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admitting, let workers drain every queued
+    /// job, and join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Dropping the sender disconnects the channel once drained.
+        self.submit_tx.lock().take();
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        process(shared, job);
+    }
+}
+
+fn process(shared: &Shared, job: Job) {
+    let picked_up = Instant::now();
+    shared
+        .metrics
+        .queue_wait
+        .record(picked_up - job.submitted_at);
+
+    if job.cancelled.load(Ordering::Relaxed) {
+        shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Err(JobError::Cancelled));
+        return;
+    }
+    if let Some(deadline) = job.deadline {
+        if picked_up > deadline {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(JobError::DeadlineExceeded));
+            return;
+        }
+    }
+
+    let result = match job.work {
+        Work::Annotate { netlist, task } => annotate(shared, &netlist, task),
+        Work::Custom(work) => run_caught(work),
+    };
+
+    match &result {
+        Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
+        Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    shared.metrics.total.record(job.submitted_at.elapsed());
+    // The submitter may have dropped its handle; that's fine.
+    let _ = job.reply.send(result);
+}
+
+/// Runs fallible work, converting panics into a structured [`JobError`] so
+/// one poisoned input cannot take a worker thread down.
+fn run_caught(work: Box<dyn FnOnce() -> JobResult + Send>) -> JobResult {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+        Ok(result) => result,
+        Err(panic) => Err(JobError::Internal(panic_message(&panic))),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn annotate(shared: &Shared, netlist: &str, task: Task) -> JobResult {
+    let Some(pipeline) = shared.pipeline(task) else {
+        return Err(JobError::UnsupportedTask(format!("{task:?}")));
+    };
+
+    let parse_start = Instant::now();
+    let parsed = parse_library(netlist).and_then(|lib| flatten(&lib));
+    shared.metrics.parse.record(parse_start.elapsed());
+    let flat = match parsed {
+        Ok(flat) => flat,
+        Err(err) => return Err(JobError::Parse(err.to_string())),
+    };
+
+    let recognize_start = Instant::now();
+    let pipeline = pipeline.clone();
+    let recognized = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        pipeline.recognize(&flat)
+    }));
+    shared.metrics.recognize.record(recognize_start.elapsed());
+
+    let design = match recognized {
+        Ok(Ok(design)) => design,
+        Ok(Err(err)) => return Err(JobError::Model(err.to_string())),
+        Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
+    };
+    let annotation = Arc::new(Annotation::from_design(&design));
+    if let Some(cache) = &shared.cache {
+        // Only successes are cached; errors must never poison the cache.
+        cache.insert(cache_key(task, netlist), Arc::clone(&annotation));
+    }
+    Ok(annotation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_gnn::{GcnConfig, GcnModel};
+    use gana_primitives::PrimitiveLibrary;
+
+    fn tiny_pipeline(task: Task) -> Pipeline {
+        let config = GcnConfig {
+            conv_channels: vec![4, 4],
+            filter_order: 2,
+            fc_dim: 8,
+            num_classes: 2,
+            dropout: 0.0,
+            batch_norm: false,
+            ..GcnConfig::default()
+        };
+        Pipeline::new(
+            GcnModel::new(config).expect("valid"),
+            vec!["ota".to_string(), "bias".to_string()],
+            PrimitiveLibrary::standard().expect("parses"),
+            task,
+        )
+    }
+
+    const OTA: &str = "M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\nM3 vb vb gnd! gnd! NMOS\nR1 vdd! vb 10k\n";
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(2)
+            .build();
+        let handle = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("accepted");
+        let annotation = handle.wait().expect("annotates");
+        assert_eq!(annotation.device_labels.len(), 5);
+        assert!(annotation.device_labels.iter().any(|(d, _)| d == "M0"));
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn cache_answers_repeat_submissions() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .build();
+        let first = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("accepted")
+            .wait();
+        let second = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("accepted")
+            .wait();
+        assert_eq!(first.expect("ok"), second.expect("ok"));
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn unsupported_task_is_structured_error() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .build();
+        let err = engine
+            .submit(JobRequest::new(OTA, Task::Rf))
+            .expect("accepted")
+            .wait()
+            .expect_err("no RF pipeline");
+        assert_eq!(err.code(), "task");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(2)
+            .build();
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                engine
+                    .submit(JobRequest::new(OTA, Task::OtaBias))
+                    .expect("accepted")
+            })
+            .collect();
+        engine.shutdown();
+        for handle in handles {
+            handle.wait().expect("drained before exit");
+        }
+        assert!(matches!(
+            engine.submit(JobRequest::new(OTA, Task::OtaBias)),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn worker_survives_panicking_job() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .build();
+        let boom = engine
+            .submit_custom(Box::new(|| panic!("injected failure")))
+            .expect("accepted");
+        let err = boom.wait().expect_err("panic surfaces as error");
+        assert_eq!(err.code(), "internal");
+        // The single worker must still be alive to serve this:
+        let ok = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("accepted");
+        ok.wait().expect("worker survived");
+    }
+}

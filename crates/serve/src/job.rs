@@ -1,0 +1,226 @@
+//! Job requests, results, and handles.
+
+use crate::channel;
+use gana_core::{export, RecognizedDesign, Task};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A single annotation request.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Raw SPICE text (may contain `.SUBCKT` hierarchy; it is flattened).
+    pub netlist: String,
+    /// Which rule set / model to run.
+    pub task: Task,
+    /// Drop the job unprocessed if it waits in the queue longer than this.
+    pub deadline: Option<Duration>,
+}
+
+impl JobRequest {
+    /// Request with no deadline.
+    pub fn new(netlist: impl Into<String>, task: Task) -> JobRequest {
+        JobRequest {
+            netlist: netlist.into(),
+            task,
+            deadline: None,
+        }
+    }
+
+    /// Sets a queue deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> JobRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The annotation produced for one netlist — the service-level distillation
+/// of a [`RecognizedDesign`]: stable, ordered, and cheap to ship or cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Circuit name after preprocessing.
+    pub circuit_name: String,
+    /// `(device, final label)` pairs, sorted by device name.
+    pub device_labels: Vec<(String, String)>,
+    /// Recognized sub-block labels in hierarchy order.
+    pub sub_blocks: Vec<String>,
+    /// Number of layout constraints attached.
+    pub constraint_count: usize,
+    /// The annotated hierarchical SPICE export.
+    pub hierarchical_spice: String,
+}
+
+impl Annotation {
+    /// Distills a recognized design into the wire/cacheable form.
+    pub fn from_design(design: &RecognizedDesign) -> Annotation {
+        let mut device_labels: Vec<(String, String)> = (0..design.graph.vertex_count())
+            .filter_map(|v| {
+                design
+                    .graph
+                    .device_name(v)
+                    .map(|name| (name.to_string(), design.final_label[v].clone()))
+            })
+            .collect();
+        device_labels.sort();
+        Annotation {
+            circuit_name: design.circuit.name().to_string(),
+            device_labels,
+            sub_blocks: design.sub_blocks.iter().map(|b| b.label.clone()).collect(),
+            constraint_count: design.constraints.len(),
+            hierarchical_spice: export::to_hierarchical_spice(design),
+        }
+    }
+}
+
+/// Why a job failed. Structured so a malformed netlist maps to a per-job
+/// error response instead of tearing down a worker or the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The SPICE text failed to parse or flatten.
+    Parse(String),
+    /// Preprocessing or model inference failed.
+    Model(String),
+    /// The engine has no pipeline configured for the requested task.
+    UnsupportedTask(String),
+    /// The job sat in the queue past its deadline.
+    DeadlineExceeded,
+    /// The submitter cancelled before a worker picked the job up.
+    Cancelled,
+    /// The engine shut down before the job completed.
+    Shutdown,
+    /// The recognition code panicked; the worker survived.
+    Internal(String),
+}
+
+impl JobError {
+    /// Stable short code used on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobError::Parse(_) => "parse",
+            JobError::Model(_) => "model",
+            JobError::UnsupportedTask(_) => "task",
+            JobError::DeadlineExceeded => "deadline",
+            JobError::Cancelled => "cancelled",
+            JobError::Shutdown => "shutdown",
+            JobError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Parse(m) => write!(f, "netlist rejected: {m}"),
+            JobError::Model(m) => write!(f, "recognition failed: {m}"),
+            JobError::UnsupportedTask(t) => write!(f, "no pipeline for task {t:?}"),
+            JobError::DeadlineExceeded => write!(f, "queue deadline exceeded"),
+            JobError::Cancelled => write!(f, "cancelled by submitter"),
+            JobError::Shutdown => write!(f, "engine shut down"),
+            JobError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Outcome delivered to the submitter.
+pub type JobResult = Result<Arc<Annotation>, JobError>;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Bounded queue at capacity — the explicit backpressure signal.
+    QueueFull,
+    /// The engine is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Handle to one in-flight job.
+#[derive(Debug)]
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) cancelled: Arc<AtomicBool>,
+    pub(crate) rx: channel::Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// The engine-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cancellation. Only jobs still waiting in the queue are
+    /// dropped; a job already on a worker runs to completion (the pipeline
+    /// has no safe interruption points).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the job finishes.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(JobError::Shutdown))
+    }
+
+    /// Blocks up to `timeout`; `None` when it elapses first.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(crate::channel::RecvTimeoutError::Timeout) => None,
+            Err(crate::channel::RecvTimeoutError::Disconnected) => Some(Err(JobError::Shutdown)),
+        }
+    }
+}
+
+/// What a worker executes.
+pub(crate) enum Work {
+    /// The normal path: annotate a netlist.
+    Annotate {
+        /// Raw SPICE text.
+        netlist: String,
+        /// Rule set / model selector.
+        task: Task,
+    },
+    /// Arbitrary closure, used by tests and benches to model slow or
+    /// misbehaving jobs deterministically.
+    #[allow(clippy::type_complexity)]
+    Custom(Box<dyn FnOnce() -> JobResult + Send>),
+}
+
+impl fmt::Debug for Work {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Work::Annotate { task, netlist } => f
+                .debug_struct("Annotate")
+                .field("task", task)
+                .field("netlist_bytes", &netlist.len())
+                .finish(),
+            Work::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// Internal queued job.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// Matches the [`JobHandle::id`] handed to the submitter; kept on the
+    /// queued job for debug logging.
+    #[allow(dead_code)]
+    pub(crate) id: u64,
+    pub(crate) work: Work,
+    pub(crate) submitted_at: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) cancelled: Arc<AtomicBool>,
+    pub(crate) reply: channel::Sender<JobResult>,
+}

@@ -1,0 +1,282 @@
+//! Lock-free service metrics: counters plus per-stage latency histograms.
+//!
+//! Latencies land in logarithmic (power-of-two microsecond) buckets, so a
+//! histogram is a fixed array of atomics — recording is wait-free and a
+//! quantile read is a single sweep. Quantiles are therefore bucket-upper-bound
+//! approximations (within 2× of the true value), which is plenty for spotting
+//! regressions and overload.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40;
+
+/// Wait-free latency histogram over power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_us: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.samples())
+            .unwrap_or(0)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) in microseconds: the upper bound
+    /// of the bucket containing the q-th sample.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket b holds values with highest set bit b-1, i.e. < 2^b.
+                return if bucket == 0 { 0 } else { 1u64 << bucket };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// All counters and histograms of one [`Engine`](crate::Engine).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs finished with a structured error.
+    pub failed: AtomicU64,
+    /// Submissions rejected with `QueueFull`.
+    pub rejected: AtomicU64,
+    /// Jobs answered from the result cache without touching a worker.
+    pub cache_hits: AtomicU64,
+    /// Jobs dropped before processing (deadline passed or cancelled).
+    pub expired: AtomicU64,
+    /// Time from submission to a worker picking the job up.
+    pub queue_wait: LatencyHistogram,
+    /// SPICE parse + flatten stage.
+    pub parse: LatencyHistogram,
+    /// GCN + postprocessing recognition stage.
+    pub recognize: LatencyHistogram,
+    /// Submission to reply, including queueing.
+    pub total: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Immutable snapshot (counters may lag each other by in-flight jobs).
+    pub fn snapshot(&self, queue_depth: usize, workers: usize) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            queue_depth,
+            workers,
+            queue_wait_p50_us: self.queue_wait.quantile_us(0.5),
+            queue_wait_p95_us: self.queue_wait.quantile_us(0.95),
+            parse_p50_us: self.parse.quantile_us(0.5),
+            parse_p95_us: self.parse.quantile_us(0.95),
+            recognize_p50_us: self.recognize.quantile_us(0.5),
+            recognize_p95_us: self.recognize.quantile_us(0.95),
+            total_p50_us: self.total.quantile_us(0.5),
+            total_p95_us: self.total.quantile_us(0.95),
+            total_mean_us: self.total.mean_us(),
+        }
+    }
+}
+
+/// Point-in-time view of the engine counters, used by the `stats` request
+/// and the periodic log line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with a structured error.
+    pub failed: u64,
+    /// Submissions rejected with `QueueFull`.
+    pub rejected: u64,
+    /// Jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Jobs dropped before processing (deadline/cancel).
+    pub expired: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// p50 queue wait (µs).
+    pub queue_wait_p50_us: u64,
+    /// p95 queue wait (µs).
+    pub queue_wait_p95_us: u64,
+    /// p50 parse stage (µs).
+    pub parse_p50_us: u64,
+    /// p95 parse stage (µs).
+    pub parse_p95_us: u64,
+    /// p50 recognize stage (µs).
+    pub recognize_p50_us: u64,
+    /// p95 recognize stage (µs).
+    pub recognize_p95_us: u64,
+    /// p50 end-to-end (µs).
+    pub total_p50_us: u64,
+    /// p95 end-to-end (µs).
+    pub total_p95_us: u64,
+    /// Mean end-to-end (µs).
+    pub total_mean_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Serializes as the `key=value` pairs used on the wire.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "submitted={} completed={} failed={} rejected={} cache_hits={} expired={} \
+             queue_depth={} workers={} queue_wait_p50_us={} queue_wait_p95_us={} \
+             parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
+             total_p50_us={} total_p95_us={} total_mean_us={}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.cache_hits,
+            self.expired,
+            self.queue_depth,
+            self.workers,
+            self.queue_wait_p50_us,
+            self.queue_wait_p95_us,
+            self.parse_p50_us,
+            self.parse_p95_us,
+            self.recognize_p50_us,
+            self.recognize_p95_us,
+            self.total_p50_us,
+            self.total_p95_us,
+            self.total_mean_us,
+        )
+    }
+
+    /// Parses the wire form back into a snapshot (used by `gana submit`).
+    pub fn from_wire(text: &str) -> Option<StatsSnapshot> {
+        let mut snap = StatsSnapshot::default();
+        for pair in text.split_whitespace() {
+            let (key, value) = pair.split_once('=')?;
+            let n: u64 = value.parse().ok()?;
+            match key {
+                "submitted" => snap.submitted = n,
+                "completed" => snap.completed = n,
+                "failed" => snap.failed = n,
+                "rejected" => snap.rejected = n,
+                "cache_hits" => snap.cache_hits = n,
+                "expired" => snap.expired = n,
+                "queue_depth" => snap.queue_depth = n as usize,
+                "workers" => snap.workers = n as usize,
+                "queue_wait_p50_us" => snap.queue_wait_p50_us = n,
+                "queue_wait_p95_us" => snap.queue_wait_p95_us = n,
+                "parse_p50_us" => snap.parse_p50_us = n,
+                "parse_p95_us" => snap.parse_p95_us = n,
+                "recognize_p50_us" => snap.recognize_p50_us = n,
+                "recognize_p95_us" => snap.recognize_p95_us = n,
+                "total_p50_us" => snap.total_p50_us = n,
+                "total_p95_us" => snap.total_p95_us = n,
+                "total_mean_us" => snap.total_mean_us = n,
+                _ => return None,
+            }
+        }
+        Some(snap)
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "jobs: {} submitted, {} completed, {} failed, {} rejected, {} cache hits, \
+             {} expired | queue: {} deep, {} workers | latency µs: \
+             wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.cache_hits,
+            self.expired,
+            self.queue_depth,
+            self.workers,
+            self.queue_wait_p50_us,
+            self.queue_wait_p95_us,
+            self.parse_p50_us,
+            self.parse_p95_us,
+            self.recognize_p50_us,
+            self.recognize_p95_us,
+            self.total_p50_us,
+            self.total_p95_us,
+            self.total_mean_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.samples(), 5);
+        let p50 = h.quantile_us(0.5);
+        assert!((16..=64).contains(&p50), "p50 bucket bound: {p50}");
+        let p95 = h.quantile_us(0.95);
+        assert!(p95 >= 1000, "p95 covers the outlier: {p95}");
+        assert_eq!(h.mean_us(), (10 + 20 + 30 + 40 + 1000) / 5);
+    }
+
+    #[test]
+    fn snapshot_wire_round_trip() {
+        let metrics = Metrics::default();
+        metrics.submitted.store(17, Ordering::Relaxed);
+        metrics.completed.store(15, Ordering::Relaxed);
+        metrics.total.record(Duration::from_micros(500));
+        let snap = metrics.snapshot(3, 8);
+        let wire = snap.to_wire();
+        let back = StatsSnapshot::from_wire(&wire).expect("parses");
+        assert_eq!(snap, back);
+    }
+}

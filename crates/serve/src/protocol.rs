@@ -1,0 +1,400 @@
+//! The newline-delimited wire protocol shared by [`server`](crate::server)
+//! and [`client`](crate::client).
+//!
+//! Every request and every response is exactly one line of UTF-8 text.
+//! Payloads that contain newlines (SPICE netlists, hierarchical exports)
+//! are escaped: `\` → `\\`, newline → `\n`, carriage return → `\r`, so the
+//! framing stays trivially parseable with a buffered line reader.
+//!
+//! Requests:
+//!
+//! ```text
+//! annotate <task> <deadline_ms|-> <escaped-netlist>
+//! batch <n>                        # followed by n annotate lines
+//! stats
+//! ping
+//! shutdown
+//! ```
+//!
+//! Responses (one per request; a batch yields `n` lines in order):
+//!
+//! ```text
+//! ok <escaped-annotation>
+//! err <code> <escaped-message>
+//! stats <key=value ...>
+//! pong
+//! bye
+//! ```
+
+use crate::job::{Annotation, JobError};
+use gana_core::Task;
+
+/// Escapes a payload into a single-line token (`\\`, `\n`, `\r`).
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Unknown escapes pass the escaped char through.
+pub fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Annotate a netlist under a task, with an optional queue deadline.
+    Annotate {
+        /// Which pipeline to run.
+        task: Task,
+        /// Queue deadline in milliseconds, if any.
+        deadline_ms: Option<u64>,
+        /// The unescaped SPICE text.
+        netlist: String,
+    },
+    /// Announces `count` annotate lines that should be admitted together.
+    Batch(usize),
+    /// Asks for a metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Asks the daemon to drain and exit.
+    Shutdown,
+}
+
+/// Why a request line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad request: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn parse_task(token: &str) -> Result<Task, ProtocolError> {
+    match token {
+        "ota" | "ota-bias" => Ok(Task::OtaBias),
+        "rf" => Ok(Task::Rf),
+        other => Err(ProtocolError(format!(
+            "unknown task {other:?} (want ota|rf)"
+        ))),
+    }
+}
+
+/// Stable wire token for a task.
+pub fn task_token(task: Task) -> &'static str {
+    match task {
+        Task::OtaBias => "ota",
+        Task::Rf => "rf",
+    }
+}
+
+impl Request {
+    /// Parses one request line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((verb, rest)) => (verb, rest),
+            None => (line, ""),
+        };
+        match verb {
+            "annotate" => {
+                let (task, rest) = rest.split_once(' ').ok_or_else(|| {
+                    ProtocolError("annotate needs <task> <deadline> <netlist>".into())
+                })?;
+                let (deadline, payload) = rest.split_once(' ').ok_or_else(|| {
+                    ProtocolError("annotate needs <task> <deadline> <netlist>".into())
+                })?;
+                let deadline_ms = match deadline {
+                    "-" => None,
+                    ms => Some(ms.parse::<u64>().map_err(|_| {
+                        ProtocolError(format!("bad deadline {ms:?} (want milliseconds or '-')"))
+                    })?),
+                };
+                Ok(Request::Annotate {
+                    task: parse_task(task)?,
+                    deadline_ms,
+                    netlist: unescape(payload),
+                })
+            }
+            "batch" => {
+                let count: usize = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ProtocolError(format!("bad batch count {rest:?}")))?;
+                Ok(Request::Batch(count))
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError(format!("unknown verb {other:?}"))),
+        }
+    }
+
+    /// Serializes to one request line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Annotate {
+                task,
+                deadline_ms,
+                netlist,
+            } => {
+                let deadline = deadline_ms.map_or_else(|| "-".to_string(), |ms| ms.to_string());
+                format!(
+                    "annotate {} {} {}",
+                    task_token(*task),
+                    deadline,
+                    escape(netlist)
+                )
+            }
+            Request::Batch(count) => format!("batch {count}"),
+            Request::Stats => "stats".to_string(),
+            Request::Ping => "ping".to_string(),
+            Request::Shutdown => "shutdown".to_string(),
+        }
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful annotation.
+    Ok(Annotation),
+    /// Structured per-job (or per-line) error.
+    Err {
+        /// Stable short code (see [`JobError::code`]).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Metrics snapshot in `key=value` form.
+    Stats(String),
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledges `shutdown`; the connection closes after this line.
+    Bye,
+}
+
+/// Field separator inside an escaped annotation payload. `\x1f` (unit
+/// separator) cannot appear in SPICE text handled upstream, and record
+/// fields are themselves escaped, so splitting is unambiguous.
+const FIELD_SEP: char = '\x1f';
+/// Separator between entries of a list field.
+const ITEM_SEP: char = '\x1e';
+
+fn encode_annotation(annotation: &Annotation) -> String {
+    let labels = annotation
+        .device_labels
+        .iter()
+        .map(|(device, label)| format!("{device}={label}"))
+        .collect::<Vec<_>>()
+        .join(&ITEM_SEP.to_string());
+    let blocks = annotation.sub_blocks.join(&ITEM_SEP.to_string());
+    let record = [
+        annotation.circuit_name.as_str(),
+        &labels,
+        &blocks,
+        &annotation.constraint_count.to_string(),
+        &annotation.hierarchical_spice,
+    ]
+    .join(&FIELD_SEP.to_string());
+    escape(&record)
+}
+
+fn decode_annotation(payload: &str) -> Result<Annotation, ProtocolError> {
+    let record = unescape(payload);
+    let fields: Vec<&str> = record.split(FIELD_SEP).collect();
+    if fields.len() != 5 {
+        return Err(ProtocolError(format!(
+            "annotation payload has {} fields, want 5",
+            fields.len()
+        )));
+    }
+    let device_labels = if fields[1].is_empty() {
+        Vec::new()
+    } else {
+        fields[1]
+            .split(ITEM_SEP)
+            .map(|pair| {
+                pair.split_once('=')
+                    .map(|(d, l)| (d.to_string(), l.to_string()))
+                    .ok_or_else(|| ProtocolError(format!("bad device label {pair:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    let sub_blocks = if fields[2].is_empty() {
+        Vec::new()
+    } else {
+        fields[2].split(ITEM_SEP).map(str::to_string).collect()
+    };
+    Ok(Annotation {
+        circuit_name: fields[0].to_string(),
+        device_labels,
+        sub_blocks,
+        constraint_count: fields[3]
+            .parse()
+            .map_err(|_| ProtocolError(format!("bad constraint count {:?}", fields[3])))?,
+        hierarchical_spice: fields[4].to_string(),
+    })
+}
+
+impl Response {
+    /// Builds the error response for a failed job.
+    pub fn from_job_error(err: &JobError) -> Response {
+        Response::Err {
+            code: err.code().to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Parses one response line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Response, ProtocolError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((verb, rest)) => (verb, rest),
+            None => (line, ""),
+        };
+        match verb {
+            "ok" => Ok(Response::Ok(decode_annotation(rest)?)),
+            "err" => {
+                let (code, message) = rest
+                    .split_once(' ')
+                    .map(|(c, m)| (c.to_string(), unescape(m)))
+                    .unwrap_or_else(|| (rest.to_string(), String::new()));
+                Ok(Response::Err { code, message })
+            }
+            "stats" => Ok(Response::Stats(rest.to_string())),
+            "pong" => Ok(Response::Pong),
+            "bye" => Ok(Response::Bye),
+            other => Err(ProtocolError(format!("unknown response {other:?}"))),
+        }
+    }
+
+    /// Serializes to one response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Ok(annotation) => format!("ok {}", encode_annotation(annotation)),
+            Response::Err { code, message } => format!("err {code} {}", escape(message)),
+            Response::Stats(wire) => format!("stats {wire}"),
+            Response::Pong => "pong".to_string(),
+            Response::Bye => "bye".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_awkward_text() {
+        let text = "M1 a b c d NMOS\nR1 x y 10k\r\npath\\with\\slashes\n";
+        assert_eq!(unescape(&escape(text)), text);
+        assert!(!escape(text).contains('\n'));
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let requests = [
+            Request::Annotate {
+                task: Task::OtaBias,
+                deadline_ms: Some(250),
+                netlist: "M1 a b c d NMOS\n.end\n".to_string(),
+            },
+            Request::Annotate {
+                task: Task::Rf,
+                deadline_ms: None,
+                netlist: "R1 a b 1k".into(),
+            },
+            Request::Batch(7),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert!(!line.contains('\n'), "single line: {line:?}");
+            assert_eq!(Request::parse(&line).expect("parses"), request);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let annotation = Annotation {
+            circuit_name: "ota5".to_string(),
+            device_labels: vec![
+                ("M0".to_string(), "gm".to_string()),
+                ("R1".to_string(), "bias".to_string()),
+            ],
+            sub_blocks: vec!["DiffPair".to_string(), "CM".to_string()],
+            constraint_count: 3,
+            hierarchical_spice: ".SUBCKT ota5 in out\nM0 a b c d NMOS\n.ENDS\n".to_string(),
+        };
+        let responses = [
+            Response::Ok(annotation),
+            Response::Err {
+                code: "parse".into(),
+                message: "line 3: bad card\nnear M9".into(),
+            },
+            Response::Stats("submitted=4 completed=4".into()),
+            Response::Pong,
+            Response::Bye,
+        ];
+        for response in responses {
+            let line = response.to_line();
+            assert!(!line.contains('\n'), "single line: {line:?}");
+            assert_eq!(Response::parse(&line).expect("parses"), response);
+        }
+    }
+
+    #[test]
+    fn empty_annotation_lists_round_trip() {
+        let annotation = Annotation {
+            circuit_name: "empty".to_string(),
+            device_labels: Vec::new(),
+            sub_blocks: Vec::new(),
+            constraint_count: 0,
+            hierarchical_spice: String::new(),
+        };
+        let line = Response::Ok(annotation.clone()).to_line();
+        assert_eq!(
+            Response::parse(&line).expect("parses"),
+            Response::Ok(annotation)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Request::parse("annotate ota").is_err());
+        assert!(Request::parse("annotate dac - M1 a b c d NMOS").is_err());
+        assert!(Request::parse("annotate ota soon M1 a b c d NMOS").is_err());
+        assert!(Request::parse("frobnicate").is_err());
+        assert!(Response::parse("what 1 2 3").is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! TCP front end for an [`Engine`]: the `gana serve` daemon.
+//!
+//! One thread accepts connections (non-blocking, so it can poll the
+//! shutdown flag), one thread per connection speaks the line protocol, and
+//! one thread emits a periodic stats log line. A `shutdown` request — or
+//! [`ServerHandle::shutdown`] — stops admission, drains every in-flight
+//! job through [`Engine::shutdown`], and then joins all threads.
+
+use crate::engine::Engine;
+use crate::job::{JobError, JobRequest, SubmitError};
+use crate::protocol::{Request, Response};
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (port `0` picks a free one).
+    pub addr: String,
+    /// Interval between periodic stats log lines; `None` disables them.
+    pub stats_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            stats_interval: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+struct ServerShared {
+    engine: Arc<Engine>,
+    stop: AtomicBool,
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Requests shutdown and blocks until all jobs drained and all server
+    /// threads exited. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.engine.shutdown();
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+
+    /// Blocks until the server stops (e.g. via a `shutdown` request).
+    pub fn join(&self) {
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds the address and spawns the accept, connection, and stats threads.
+pub fn serve(engine: Arc<Engine>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        engine,
+        stop: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("gana-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    if let Some(interval) = config.stats_interval {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("gana-serve-stats".to_string())
+                .spawn(move || stats_loop(&shared, interval))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        threads: Mutex::new(threads),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("gana-serve-conn-{peer}"))
+                    .spawn(move || {
+                        if let Err(err) = handle_connection(stream, &shared) {
+                            if err.kind() != ErrorKind::ConnectionReset {
+                                eprintln!("[gana-serve] connection {peer}: {err}");
+                            }
+                        }
+                    });
+                match spawned {
+                    Ok(handle) => connections.push(handle),
+                    Err(err) => eprintln!("[gana-serve] spawn failed: {err}"),
+                }
+                connections.retain(|c| !c.is_finished());
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(err) => {
+                eprintln!("[gana-serve] accept: {err}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+}
+
+fn stats_loop(shared: &ServerShared, interval: Duration) {
+    let mut elapsed = Duration::ZERO;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL);
+        elapsed += POLL;
+        if elapsed >= interval {
+            elapsed = Duration::ZERO;
+            eprintln!("[gana-serve] {}", shared.engine.stats());
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
+    // A read timeout lets the thread notice shutdown even on idle
+    // connections.
+    stream.set_read_timeout(Some(POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        match read_line_polling(&mut reader, &mut line, shared) {
+            ReadOutcome::Line => {}
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Stopping => return Ok(()),
+            ReadOutcome::Error(err) => return Err(err),
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(err) => {
+                write_response(
+                    &mut writer,
+                    &Response::Err {
+                        code: "protocol".into(),
+                        message: err.0,
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => write_response(&mut writer, &Response::Pong)?,
+            Request::Stats => {
+                let wire = shared.engine.stats().to_wire();
+                write_response(&mut writer, &Response::Stats(wire))?;
+            }
+            Request::Shutdown => {
+                write_response(&mut writer, &Response::Bye)?;
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.engine.shutdown();
+                return Ok(());
+            }
+            Request::Annotate {
+                task,
+                deadline_ms,
+                netlist,
+            } => {
+                let response = annotate_one(shared, task, deadline_ms, netlist);
+                write_response(&mut writer, &response)?;
+            }
+            Request::Batch(count) => {
+                // Admit the whole batch before waiting on any reply, so the
+                // worker pool sees all jobs at once.
+                let mut handles = Vec::with_capacity(count);
+                for _ in 0..count {
+                    line.clear();
+                    match read_line_polling(&mut reader, &mut line, shared) {
+                        ReadOutcome::Line => {}
+                        ReadOutcome::Closed | ReadOutcome::Stopping => return Ok(()),
+                        ReadOutcome::Error(err) => return Err(err),
+                    }
+                    match Request::parse(&line) {
+                        Ok(Request::Annotate {
+                            task,
+                            deadline_ms,
+                            netlist,
+                        }) => {
+                            handles.push(submit_one(shared, task, deadline_ms, netlist));
+                        }
+                        Ok(other) => handles.push(Err(Response::Err {
+                            code: "protocol".into(),
+                            message: format!("batch expects annotate lines, got {other:?}"),
+                        })),
+                        Err(err) => handles.push(Err(Response::Err {
+                            code: "protocol".into(),
+                            message: err.0,
+                        })),
+                    }
+                }
+                for handle in handles {
+                    let response = match handle {
+                        Ok(handle) => match handle.wait() {
+                            Ok(annotation) => Response::Ok((*annotation).clone()),
+                            Err(err) => Response::from_job_error(&err),
+                        },
+                        Err(response) => response,
+                    };
+                    write_response(&mut writer, &response)?;
+                }
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    Line,
+    Closed,
+    Stopping,
+    Error(io::Error),
+}
+
+/// Reads one line, waking every [`POLL`] to check the shutdown flag.
+fn read_line_polling(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    shared: &ServerShared,
+) -> ReadOutcome {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => {
+                // A timeout can split a line; keep reading until newline.
+                if line.ends_with('\n') {
+                    return ReadOutcome::Line;
+                }
+            }
+            Err(err)
+                if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return ReadOutcome::Stopping;
+                }
+            }
+            Err(err) => return ReadOutcome::Error(err),
+        }
+    }
+}
+
+fn submit_one(
+    shared: &ServerShared,
+    task: gana_core::Task,
+    deadline_ms: Option<u64>,
+    netlist: String,
+) -> Result<crate::job::JobHandle, Response> {
+    let mut request = JobRequest::new(netlist, task);
+    if let Some(ms) = deadline_ms {
+        request = request.with_deadline(Duration::from_millis(ms));
+    }
+    shared.engine.submit(request).map_err(|err| match err {
+        SubmitError::QueueFull => Response::Err {
+            code: "busy".into(),
+            message: err.to_string(),
+        },
+        SubmitError::ShuttingDown => Response::from_job_error(&JobError::Shutdown),
+    })
+}
+
+fn annotate_one(
+    shared: &ServerShared,
+    task: gana_core::Task,
+    deadline_ms: Option<u64>,
+    netlist: String,
+) -> Response {
+    match submit_one(shared, task, deadline_ms, netlist) {
+        Ok(handle) => match handle.wait() {
+            Ok(annotation) => Response::Ok((*annotation).clone()),
+            Err(err) => Response::from_job_error(&err),
+        },
+        Err(response) => response,
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    writer.write_all(line.as_bytes())
+}

@@ -1,0 +1,250 @@
+//! Engine-level concurrency guarantees:
+//!
+//! * N threads hammering the same netlists get byte-identical results to
+//!   the sequential pipeline (shared state introduces no nondeterminism);
+//! * a full bounded queue rejects with `QueueFull` instead of deadlocking;
+//! * malformed SPICE comes back as a structured per-job error and leaves
+//!   the worker pool and result cache healthy.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::{ota, ota_classes, rf, rf_classes};
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_netlist::{flatten, parse_library, write_spice, SpiceLibrary};
+use gana_primitives::PrimitiveLibrary;
+use gana_serve::{Annotation, Engine, JobRequest, SubmitError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn pipeline_for(task: Task) -> Pipeline {
+    let (num_classes, class_names): (usize, Vec<String>) = match task {
+        Task::OtaBias => (
+            2,
+            ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        ),
+        Task::Rf => (3, rf_classes::NAMES.iter().map(|s| s.to_string()).collect()),
+    };
+    let config = GcnConfig {
+        conv_channels: vec![8, 8],
+        filter_order: 4,
+        fc_dim: 16,
+        num_classes,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid config"),
+        class_names,
+        PrimitiveLibrary::standard().expect("library parses"),
+        task,
+    )
+}
+
+fn ota_netlists() -> Vec<String> {
+    (0..4)
+        .map(|seed| {
+            let labeled = ota::generate(ota::OtaSpec {
+                topology: ota::OtaTopology::ALL[seed % ota::OtaTopology::ALL.len()],
+                pmos_input: seed % 2 == 1,
+                bias: ota::BiasStyle::ALL[seed % ota::BiasStyle::ALL.len()],
+                seed: seed as u64,
+            });
+            write_spice(&SpiceLibrary::new(labeled.circuit))
+        })
+        .collect()
+}
+
+fn rf_netlists() -> Vec<String> {
+    (0..3)
+        .map(|seed| {
+            let labeled = rf::generate(rf::ReceiverSpec {
+                lna: rf::LnaKind::ALL[seed % rf::LnaKind::ALL.len()],
+                mixer: rf::MixerKind::ALL[seed % rf::MixerKind::ALL.len()],
+                osc: rf::OscKind::ALL[seed % rf::OscKind::ALL.len()],
+                seed: seed as u64,
+            });
+            write_spice(&SpiceLibrary::new(labeled.circuit))
+        })
+        .collect()
+}
+
+fn sequential_annotation(pipeline: &Pipeline, netlist: &str) -> Annotation {
+    let lib = parse_library(netlist).expect("generated netlist parses");
+    let flat = flatten(&lib).expect("flattens");
+    let design = pipeline.recognize(&flat).expect("recognizes");
+    Annotation::from_design(&design)
+}
+
+/// The acceptance-criteria test: an 8-worker engine under 8 submitting
+/// threads must produce byte-identical annotations to the one-shot
+/// sequential pipeline, for both tasks.
+#[test]
+fn eight_workers_match_sequential_pipeline_byte_for_byte() {
+    let ota_pipeline = pipeline_for(Task::OtaBias);
+    let rf_pipeline = pipeline_for(Task::Rf);
+
+    // (task, netlist, expected) triples computed sequentially first.
+    let mut cases: Vec<(Task, String, Annotation)> = Vec::new();
+    for netlist in ota_netlists() {
+        let expected = sequential_annotation(&ota_pipeline, &netlist);
+        cases.push((Task::OtaBias, netlist, expected));
+    }
+    for netlist in rf_netlists() {
+        let expected = sequential_annotation(&rf_pipeline, &netlist);
+        cases.push((Task::Rf, netlist, expected));
+    }
+
+    // Cache disabled so every submission really exercises a worker.
+    let engine = Arc::new(
+        Engine::builder()
+            .pipeline(ota_pipeline)
+            .pipeline(rf_pipeline)
+            .workers(8)
+            .result_cache_capacity(0)
+            .build(),
+    );
+
+    let threads: Vec<_> = (0..8)
+        .map(|thread_id| {
+            let engine = Arc::clone(&engine);
+            let cases = cases.clone();
+            std::thread::spawn(move || {
+                // Each thread walks the cases from a different offset so
+                // workers interleave tasks and netlists.
+                for round in 0..cases.len() {
+                    let (task, netlist, expected) = &cases[(round + thread_id) % cases.len()];
+                    let handle = engine
+                        .submit_blocking(JobRequest::new(netlist.clone(), *task))
+                        .expect("engine accepts while running");
+                    let got = handle.wait().expect("annotation succeeds");
+                    assert_eq!(&*got, expected, "thread {thread_id} round {round}");
+                    assert_eq!(
+                        got.hierarchical_spice.as_bytes(),
+                        expected.hierarchical_spice.as_bytes(),
+                        "hierarchical export must be byte-identical"
+                    );
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("submitter thread panicked");
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 8 * cases.len() as u64);
+    assert_eq!(stats.failed, 0);
+}
+
+/// A saturated queue must reject immediately, not deadlock.
+#[test]
+fn full_queue_returns_queue_full_instead_of_deadlocking() {
+    let engine = Engine::builder()
+        .pipeline(pipeline_for(Task::OtaBias))
+        .workers(1)
+        .queue_capacity(1)
+        .build();
+
+    // Block the single worker, then fill the single queue slot.
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+    let blocker = engine
+        .submit_custom(Box::new(move || {
+            gate_rx.recv().ok();
+            Err(gana_serve::JobError::Cancelled)
+        }))
+        .expect("blocker admitted");
+    // Wait until the worker has picked the blocker up (queue drains to 0).
+    while engine.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let queued = engine
+        .submit_custom(Box::new(|| Err(gana_serve::JobError::Cancelled)))
+        .expect("one job fits the queue");
+
+    // Queue is now full; a non-blocking submit must bounce right away.
+    let netlist = &ota_netlists()[0];
+    match engine.submit(JobRequest::new(netlist.clone(), Task::OtaBias)) {
+        Err(SubmitError::QueueFull) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(engine.stats().rejected, 1);
+
+    // Deadlines expire while stuck behind the blocker.
+    let expired = engine.submit(JobRequest::new(netlist.clone(), Task::OtaBias)); // still full
+    assert!(matches!(expired, Err(SubmitError::QueueFull)));
+
+    // Unblock and verify the engine finishes cleanly.
+    gate_tx.send(()).expect("worker is waiting");
+    assert!(blocker.wait().is_err());
+    assert!(queued.wait().is_err());
+    let ok = engine
+        .submit(JobRequest::new(netlist.clone(), Task::OtaBias))
+        .expect("queue drained");
+    ok.wait().expect("engine still healthy");
+}
+
+/// Queue deadlines: a job that waits longer than its deadline is dropped
+/// with a structured error, not silently run late.
+#[test]
+fn queued_job_past_deadline_is_expired() {
+    let engine = Engine::builder()
+        .pipeline(pipeline_for(Task::OtaBias))
+        .workers(1)
+        .queue_capacity(4)
+        .build();
+
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+    let blocker = engine
+        .submit_custom(Box::new(move || {
+            gate_rx.recv().ok();
+            Err(gana_serve::JobError::Cancelled)
+        }))
+        .expect("blocker admitted");
+    while engine.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+
+    let netlist = ota_netlists().remove(0);
+    let doomed = engine
+        .submit(JobRequest::new(netlist, Task::OtaBias).with_deadline(Duration::from_millis(20)))
+        .expect("admitted");
+    std::thread::sleep(Duration::from_millis(60));
+    gate_tx.send(()).expect("worker is waiting");
+    assert!(blocker.wait().is_err());
+    assert_eq!(doomed.wait(), Err(gana_serve::JobError::DeadlineExceeded));
+    assert_eq!(engine.stats().expired, 1);
+}
+
+/// Malformed SPICE is a per-job error; the worker survives and the result
+/// cache never stores failures.
+#[test]
+fn malformed_netlist_is_structured_error_and_does_not_poison_anything() {
+    let engine = Engine::builder()
+        .pipeline(pipeline_for(Task::OtaBias))
+        .workers(1)
+        .result_cache_capacity(16)
+        .build();
+
+    let garbage = "M0 only three tokens\n.SUBCKT unclosed a b\nM1 a b NMOS\n";
+    for _ in 0..3 {
+        let err = engine
+            .submit(JobRequest::new(garbage, Task::OtaBias))
+            .expect("admitted")
+            .wait()
+            .expect_err("garbage must not annotate");
+        assert_eq!(err.code(), "parse", "got {err:?}");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.failed, 3);
+    // Failures are never cached — each retry reparses and fails afresh.
+    assert_eq!(stats.cache_hits, 0);
+
+    // The same worker then serves a good netlist.
+    let good = &ota_netlists()[0];
+    let annotation = engine
+        .submit(JobRequest::new(good.clone(), Task::OtaBias))
+        .expect("admitted")
+        .wait()
+        .expect("worker survived the garbage");
+    assert!(!annotation.device_labels.is_empty());
+}

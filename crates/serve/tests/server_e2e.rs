@@ -1,0 +1,114 @@
+//! End-to-end test of the TCP daemon: real sockets on an ephemeral port,
+//! the blocking client, batching, stats, error responses, and graceful
+//! shutdown via the wire protocol.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::{ota, ota_classes};
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_netlist::{write_spice, SpiceLibrary};
+use gana_primitives::PrimitiveLibrary;
+use gana_serve::client::Client;
+use gana_serve::server::{serve, ServerConfig};
+use gana_serve::Engine;
+use std::sync::Arc;
+
+fn ota_pipeline() -> Pipeline {
+    let config = GcnConfig {
+        conv_channels: vec![8, 8],
+        filter_order: 4,
+        fc_dim: 16,
+        num_classes: 2,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid config"),
+        ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("library parses"),
+        Task::OtaBias,
+    )
+}
+
+fn ota_netlist(seed: u64) -> String {
+    let labeled = ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::ALL[seed as usize % ota::OtaTopology::ALL.len()],
+        pmos_input: seed % 2 == 1,
+        bias: ota::BiasStyle::ALL[seed as usize % ota::BiasStyle::ALL.len()],
+        seed,
+    });
+    write_spice(&SpiceLibrary::new(labeled.circuit))
+}
+
+#[test]
+fn daemon_round_trip_batch_stats_and_graceful_shutdown() {
+    let engine = Arc::new(
+        Engine::builder()
+            .pipeline(ota_pipeline())
+            .workers(4)
+            .build(),
+    );
+    let handle = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stats_interval: None,
+        },
+    )
+    .expect("binds an ephemeral port");
+    let addr = handle.local_addr();
+
+    let mut client = Client::connect(addr).expect("connects");
+    client.ping().expect("daemon is alive");
+
+    // Single annotate round trip.
+    let netlist = ota_netlist(0);
+    let annotation = client
+        .annotate(&netlist, Task::OtaBias, None)
+        .expect("annotates");
+    assert!(!annotation.device_labels.is_empty());
+    assert!(annotation.hierarchical_spice.contains(".SUBCKT"));
+
+    // Batch: all admitted before any reply; responses arrive in order.
+    let netlists: Vec<String> = (0..4).map(ota_netlist).collect();
+    let refs: Vec<&str> = netlists.iter().map(String::as_str).collect();
+    let results = client
+        .annotate_batch(&refs, Task::OtaBias, None)
+        .expect("batch framing survives");
+    assert_eq!(results.len(), 4);
+    for result in &results {
+        assert!(result.is_ok(), "batch entry failed: {result:?}");
+    }
+    // Entry 0 repeats the earlier single submission: answered by the cache.
+    assert_eq!(
+        results[0].as_ref().expect("ok").hierarchical_spice,
+        annotation.hierarchical_spice
+    );
+
+    // Malformed SPICE over the wire: structured per-job error, the
+    // connection and daemon stay up.
+    let err = client
+        .annotate("M0 not a netlist\n", Task::OtaBias, None)
+        .expect_err("garbage must fail");
+    match err {
+        gana_serve::client::ClientError::Job { code, .. } => assert_eq!(code, "parse"),
+        other => panic!("expected a job error, got {other}"),
+    }
+    client.ping().expect("connection survived the error");
+
+    // A second concurrent connection sees the same engine.
+    let mut second = Client::connect(addr).expect("second connection");
+    let stats = second.stats().expect("stats round trip");
+    assert!(stats.submitted >= 6, "daemon counted our jobs: {stats:?}");
+    assert_eq!(stats.workers, 4);
+
+    // Graceful shutdown over the wire; the server joins and the engine
+    // refuses new work afterwards.
+    second.shutdown().expect("daemon acknowledges");
+    handle.join();
+    assert!(engine.is_shutting_down());
+    assert!(
+        Client::connect(addr).is_err(),
+        "listener is closed after shutdown"
+    );
+}

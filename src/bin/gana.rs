@@ -13,6 +13,10 @@
 //!
 //! # Emit one of the benchmark circuits as SPICE.
 //! gana generate --kind sc-filter --out sc_filter.sp
+//!
+//! # Run the annotation daemon and submit a netlist to it.
+//! gana serve --model ota.ckpt --task ota --addr 127.0.0.1:7878 --workers 8
+//! gana submit my_design.sp --task ota --addr 127.0.0.1:7878
 //! ```
 
 use gana::core::{export, report, Pipeline, Task};
@@ -31,6 +35,8 @@ fn main() -> ExitCode {
         Some("annotate") => cmd_annotate(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -52,7 +58,10 @@ fn print_usage() {
          USAGE:\n  gana train    --task ota|rf [--circuits N] [--epochs N] [--filter-order K] [--seed N] --out FILE\n  \
          gana annotate FILE --model FILE --task ota|rf [--export FILE] [--svg FILE] [--dot FILE]\n  \
          gana inspect  FILE\n  \
-         gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]"
+         gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]\n  \
+         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N]\n  \
+         gana submit   FILE --task ota|rf [--addr HOST:PORT] [--deadline-ms N] [--export FILE]\n  \
+         gana submit   stats|shutdown [--addr HOST:PORT]"
     );
 }
 
@@ -220,6 +229,83 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     }
     if !annotation.unclaimed.is_empty() {
         println!("  unclaimed: [{}]", annotation.unclaimed.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use gana::serve::{server, Engine};
+
+    let (_, flags) = parse_flags(args)?;
+    let task = parse_task(&flags)?;
+    let model_path = flags.get("model").ok_or("missing --model FILE")?;
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
+    let workers: usize = numeric(
+        &flags,
+        "workers",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    )?;
+    let queue: usize = numeric(&flags, "queue", 256)?;
+    let stats_secs: u64 = numeric(&flags, "stats-secs", 30)?;
+
+    let pipeline = load_pipeline(model_path, task)?;
+    let engine = std::sync::Arc::new(
+        Engine::builder().pipeline(pipeline).workers(workers).queue_capacity(queue).build(),
+    );
+    let config = server::ServerConfig {
+        addr: addr.to_string(),
+        stats_interval: (stats_secs > 0).then(|| std::time::Duration::from_secs(stats_secs)),
+    };
+    let handle = server::serve(engine, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "gana-serve listening on {} ({} workers, queue {}); send `shutdown` to stop",
+        handle.local_addr(),
+        workers,
+        queue
+    );
+    handle.join();
+    println!("gana-serve drained and stopped");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    use gana::serve::client::Client;
+
+    let (positional, flags) = parse_flags(args)?;
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+
+    if positional.contains(&"stats") {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!("{stats}");
+        return Ok(());
+    }
+    if positional.contains(&"shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("daemon acknowledged shutdown");
+        return Ok(());
+    }
+
+    let path = positional.first().ok_or("missing input netlist FILE")?;
+    let task = parse_task(&flags)?;
+    let deadline = flags
+        .get("deadline-ms")
+        .map(|ms| ms.parse::<u64>().map_err(|_| format!("bad --deadline-ms value {ms:?}")))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let netlist =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let annotation = client.annotate(&netlist, task, deadline).map_err(|e| e.to_string())?;
+    println!("circuit: {}", annotation.circuit_name);
+    println!("sub-blocks: [{}]", annotation.sub_blocks.join(", "));
+    println!("constraints: {}", annotation.constraint_count);
+    for (device, label) in &annotation.device_labels {
+        println!("  {device:<10} {label}");
+    }
+    if let Some(out) = flags.get("export") {
+        std::fs::write(out, &annotation.hierarchical_spice)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("hierarchical SPICE written to {out}");
     }
     Ok(())
 }

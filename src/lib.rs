@@ -16,6 +16,7 @@
 //! | [`datasets`] | `gana-datasets` | synthetic labeled corpora |
 //! | [`core`] | `gana-core` | the recognition pipeline + postprocessing |
 //! | [`layout`] | `gana-layout` | constraint-driven symbolic placer |
+//! | [`serve`] | `gana-serve` | concurrent annotation service + TCP daemon |
 //!
 //! # Quickstart
 //!
@@ -59,4 +60,5 @@ pub use gana_graph as graph;
 pub use gana_layout as layout;
 pub use gana_netlist as netlist;
 pub use gana_primitives as primitives;
+pub use gana_serve as serve;
 pub use gana_sparse as sparse;

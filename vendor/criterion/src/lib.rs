@@ -1,0 +1,278 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the macro + builder API the workspace's benches use, but measures
+//! with a simple adaptive wall-clock loop instead of criterion's statistical
+//! machinery: warm up, estimate the per-iteration cost, then time enough
+//! iterations to fill a short measurement window and report mean ns/iter
+//! (plus throughput when configured). Honest numbers, tiny footprint.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Target wall-clock spent measuring one benchmark.
+    measurement_time: Duration,
+    /// Upper bound on timed iterations (analogue of criterion's sample size).
+    max_iterations: u64,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            measurement_time: Duration::from_millis(300),
+            max_iterations: 10_000_000,
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.settings, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps timed iterations (criterion's sample-size analogue).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.max_iterations = (n as u64).max(1);
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.settings, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.settings, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (retained for API parity; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// Iteration driver handed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing the iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + per-iteration estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.settings.measurement_time;
+        let iterations = (budget.as_nanos() / estimate.as_nanos()).clamp(1, u128::MAX) as u64;
+        let iterations = iterations.min(self.settings.max_iterations).max(1);
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iterations));
+    }
+}
+
+fn run_one(
+    label: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { settings, measured: None };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((elapsed, iterations)) => {
+            let per_iter_ns = elapsed.as_nanos() as f64 / iterations as f64;
+            let mut line = format!(
+                "bench {label:<50} {:>14.1} ns/iter ({iterations} iters)",
+                per_iter_ns
+            );
+            if let Some(tp) = throughput {
+                let (amount, unit) = match tp {
+                    Throughput::Bytes(n) => (n as f64, "B"),
+                    Throughput::Elements(n) => (n as f64, "elem"),
+                };
+                let per_sec = amount * 1e9 / per_iter_ns;
+                line.push_str(&format!(" {per_sec:>14.0} {unit}/s"));
+            }
+            println!("{line}");
+        }
+        None => println!("bench {label:<50} (no iter() call)"),
+    }
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Builds an id from just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label text.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-harness `main`, as in criterion.
+///
+/// Accepts and ignores harness CLI arguments (`--bench`, filters) that
+/// `cargo bench` passes to `harness = false` targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

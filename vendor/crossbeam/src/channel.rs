@@ -1,0 +1,444 @@
+//! MPMC channels with `crossbeam-channel`-compatible surface.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// True when the failure was a full queue.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message ready.
+    Empty,
+    /// Channel empty and every sender dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Deadline passed with no message.
+    Timeout,
+    /// Channel empty and every sender dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    /// Waiters blocked in `recv` (signalled on push / sender-drop).
+    not_empty: Condvar,
+    /// Waiters blocked in bounded `send` (signalled on pop / receiver-drop).
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Sending half; cloneable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; cloneable (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded channel holding at most `cap` messages.
+///
+/// Unlike upstream crossbeam, `cap == 0` (rendezvous) is approximated as
+/// capacity 1; the workspace never uses rendezvous channels.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake receivers so they observe disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver: wake blocked senders so they observe disconnection.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends, blocking while a bounded channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        loop {
+            if shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            match shared.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = shared
+                        .not_full
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking; fails with `Full` on a saturated bounded
+    /// channel. This is the backpressure primitive.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        if shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = shared.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Channel capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking until a message arrives or all senders drop.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = shared
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        if let Some(value) = queue.pop_front() {
+            drop(queue);
+            shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if shared.senders.load(Ordering::SeqCst) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+            if result.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator draining the channel until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Iterator over received messages; ends at disconnection.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).expect("send");
+        tx.send(2).expect("send");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).expect("fits");
+        tx.try_send(2).expect("fits");
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).expect("space freed");
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_pop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).expect("fits");
+        let t = thread::spawn(move || tx.send(2).expect("unblocks"));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().expect("join");
+    }
+
+    #[test]
+    fn mpmc_every_message_delivered_once() {
+        let (tx, rx) = bounded(8);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|t| t.join().expect("join")).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the workspace uses:
+//!
+//! * [`channel`] — multi-producer **multi-consumer** channels (bounded and
+//!   unbounded) built on a `Mutex<VecDeque>` + two condvars. Semantics match
+//!   `crossbeam-channel`: cloneable `Sender`/`Receiver`, blocking `send` on a
+//!   full bounded channel, `try_send` that reports `Full`/`Disconnected`,
+//!   `recv_timeout`, and disconnection when all peers of the other side drop.
+//! * [`thread`] — scoped threads with crossbeam's closure signature
+//!   (`|scope| … scope.spawn(|_| …)`), delegating to [`std::thread::scope`].
+
+pub mod channel;
+pub mod thread;

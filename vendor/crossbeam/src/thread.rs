@@ -1,0 +1,85 @@
+//! Scoped threads with crossbeam's API shape, delegating to `std`.
+
+/// Result of a scope or join: payload or the panic box.
+pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// Scope handle passed to [`scope`] closures and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (Err on panic).
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. Crossbeam passes the scope back into the
+    /// closure (enabling nested spawns), hence the one-argument signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before `scope` returns.
+///
+/// Matching crossbeam, the `Err` case would carry a panic from an unjoined
+/// child; with `std::thread::scope` underneath, an unjoined child panic
+/// propagates as a panic instead, so the return here is always `Ok` — callers
+/// uniformly `.expect()` it, which stays correct.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let result = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(result, 7);
+    }
+}

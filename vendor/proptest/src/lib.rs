@@ -1,0 +1,102 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`strategy::Just`], `any::<T>()`, [`collection::vec`], and string
+//! strategies from a small regex subset (`[...]` classes, groups, `|`,
+//! `?`/`*`/`+`/`{m,n}` quantifiers).
+//!
+//! Differences from upstream, deliberate for an offline test stub:
+//! * no shrinking — a failing case panics with its case number and the
+//!   per-test seed, which is deterministic, so reruns reproduce it;
+//! * no persistence — `.proptest-regressions` files are ignored;
+//! * default case count is 64 (override per test with
+//!   `ProptestConfig::with_cases`, globally with `PROPTEST_CASES`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Asserts a condition inside a property test.
+///
+/// Upstream returns an `Err` for the runner to shrink; this stub panics,
+/// which the runner catches to report the failing case before re-raising.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            });
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,274 @@
+//! String strategies from a regex subset.
+//!
+//! Upstream proptest treats `&str` as a regex-shaped string strategy. This
+//! stub supports the subset the workspace's tests use — literals, `[...]`
+//! character classes with ranges, groups, `|` alternation, and the
+//! `?` / `*` / `+` / `{m}` / `{m,n}` quantifiers. Unbounded quantifiers are
+//! capped at 8 repetitions.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Compiled regex-subset generator.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    seq: Vec<Node>,
+}
+
+impl RegexStrategy {
+    /// Compiles `pattern`, panicking on syntax outside the supported subset.
+    pub fn new(pattern: &str) -> RegexStrategy {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.push('\0'); // sentinel
+        let mut pos = 0;
+        let alternatives = parse_alternatives(&chars, &mut pos);
+        assert_eq!(chars[pos], '\0', "unexpected trailing regex syntax in {pattern:?}");
+        let seq = if alternatives.len() == 1 {
+            alternatives.into_iter().next().expect("one alternative")
+        } else {
+            vec![Node::Group(alternatives)]
+        };
+        RegexStrategy { seq }
+    }
+}
+
+fn parse_alternatives(chars: &[char], pos: &mut usize) -> Vec<Vec<Node>> {
+    let mut alternatives = vec![parse_sequence(chars, pos)];
+    while chars[*pos] == '|' {
+        *pos += 1;
+        alternatives.push(parse_sequence(chars, pos));
+    }
+    alternatives
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize) -> Vec<Node> {
+    let mut seq = Vec::new();
+    loop {
+        let atom = match chars[*pos] {
+            '\0' | ')' | '|' => break,
+            '(' => {
+                *pos += 1;
+                let alternatives = parse_alternatives(chars, pos);
+                assert_eq!(chars[*pos], ')', "unclosed group");
+                *pos += 1;
+                Node::Group(alternatives)
+            }
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                let c = chars[*pos];
+                assert_ne!(c, '\0', "dangling escape");
+                *pos += 1;
+                Node::Literal(escape_char(c))
+            }
+            '.' => {
+                *pos += 1;
+                // Printable ASCII stand-in for "any char".
+                Node::Class(vec![(' ', '~')])
+            }
+            c => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        seq.push(apply_quantifier(chars, pos, atom));
+    }
+    seq
+}
+
+fn apply_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+        }
+        '{' => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars[*pos].is_ascii_digit() {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min.parse().expect("repeat lower bound");
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut max = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                if max.is_empty() {
+                    min + UNBOUNDED_CAP
+                } else {
+                    max.parse().expect("repeat upper bound")
+                }
+            } else {
+                min
+            };
+            assert_eq!(chars[*pos], '}', "unclosed repetition");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert_ne!(chars[*pos], '^', "negated classes unsupported in vendored proptest");
+    while chars[*pos] != ']' {
+        assert_ne!(chars[*pos], '\0', "unclosed character class");
+        let lo = if chars[*pos] == '\\' {
+            *pos += 1;
+            escape_char(chars[*pos])
+        } else {
+            chars[*pos]
+        };
+        *pos += 1;
+        if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = if chars[*pos] == '\\' {
+                *pos += 1;
+                escape_char(chars[*pos])
+            } else {
+                chars[*pos]
+            };
+            *pos += 1;
+            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    *pos += 1;
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn escape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("in-range scalar"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick always lands in a range");
+        }
+        Node::Group(alternatives) => {
+            let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+            for node in seq {
+                generate_node(node, rng, out);
+            }
+        }
+        Node::Repeat(atom, min, max) => {
+            let count = if min == max { *min } else { rng.gen_range(*min..=*max) };
+            for _ in 0..count {
+                generate_node(atom, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for node in &self.seq {
+            generate_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+/// A `&str` is a regex-shaped string strategy, as in upstream proptest.
+///
+/// Compiles on every generation; fine for test-sized workloads and keeps
+/// `&str` usable directly inside tuples and `collection::vec`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        RegexStrategy::new(self).generate(rng)
+    }
+}
+
+/// Explicit constructor mirroring `proptest::string::string_regex`.
+pub fn string_regex(pattern: &str) -> RegexStrategy {
+    RegexStrategy::new(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spice_cardlike_pattern_generates_plausible_cards() {
+        let pattern =
+            "[MRCLVIXD][a-z0-9]{0,4}( [a-z0-9!]{1,4}){1,6}( [A-Z]{1,5})?( [a-z]{1,2}=[0-9]{1,3}[a-z]{0,3})?";
+        let strat = RegexStrategy::new(pattern);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let card = strat.generate(&mut rng);
+            let first = card.chars().next().expect("non-empty");
+            assert!("MRCLVIXD".contains(first), "{card:?}");
+            assert!(card.contains(' '), "at least one operand: {card:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_and_quantifiers() {
+        let strat = RegexStrategy::new("(ab|cd)+x?");
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            let trimmed = s.strip_suffix('x').unwrap_or(&s);
+            assert!(!trimmed.is_empty());
+            assert!(trimmed.len() % 2 == 0);
+            for chunk in trimmed.as_bytes().chunks(2) {
+                assert!(chunk == b"ab" || chunk == b"cd", "{s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Case-loop runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic case loop: the RNG seed derives from the test name (and an
+/// optional `PROPTEST_SEED` offset), so failures reproduce across runs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        let offset: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        TestRunner { config, seed: fnv1a(name) ^ offset, name }
+    }
+
+    /// Runs `body` once per case with a per-case deterministic RNG; on panic,
+    /// reports the case number and seed, then re-raises.
+    pub fn run<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut StdRng),
+    {
+        for case in 0..self.config.cases {
+            let case_seed = self.seed.wrapping_add(case as u64);
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut rng);
+            }));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest {}: case {}/{} failed (case seed {case_seed}; \
+                     rerun is deterministic)",
+                    self.name,
+                    case + 1,
+                    self.config.cases,
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in s.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(17), "runs_requested_cases");
+        let mut count = 0;
+        runner.run(|_rng| count += 1);
+        assert_eq!(count, 17);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for the `serde` facade.
+//!
+//! The workspace only uses `serde` for `#[derive(Serialize, Deserialize)]`
+//! annotations — no serializer is ever invoked (checkpoints and exports use
+//! hand-rolled text formats). This crate provides the two marker traits and
+//! re-exports no-op derive macros so those annotations keep compiling without
+//! network access to crates.io.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker, for API parity.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

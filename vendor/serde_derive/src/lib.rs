@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde facade.
+//!
+//! The workspace never calls a serializer, so the derives expand to nothing:
+//! the annotation stays valid, the marker traits stay unimplemented, and any
+//! future attempt to actually serialize fails to compile loudly instead of
+//! silently producing garbage.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
