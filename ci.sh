@@ -6,11 +6,11 @@
 # Order matters: cheap style checks fail fast before the build/test cycle.
 set -eu
 
-echo "==> cargo fmt --check (gana-serve)"
-cargo fmt --check -p gana-serve
+echo "==> cargo fmt --check (workspace)"
+cargo fmt --check
 
-echo "==> cargo clippy -D warnings (gana-serve)"
-cargo clippy -p gana-serve --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release

@@ -26,7 +26,9 @@ fn bench_laplacian_construction(c: &mut Criterion) {
         let circuit = mirror_chain(n);
         let graph = graph_of(&circuit);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| laplacian::chebyshev_laplacian(std::hint::black_box(&graph)).expect("builds"));
+            b.iter(|| {
+                laplacian::chebyshev_laplacian(std::hint::black_box(&graph)).expect("builds")
+            });
         });
     }
     group.finish();

@@ -12,7 +12,11 @@ fn bench_filter_size(c: &mut Criterion) {
     for k in [2usize, 4, 8, 16, 32, 48] {
         let model = model_with_filter(k, 2);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| model.predict(std::hint::black_box(&sample)).expect("predicts"));
+            b.iter(|| {
+                model
+                    .predict(std::hint::black_box(&sample))
+                    .expect("predicts")
+            });
         });
     }
     group.finish();
@@ -25,7 +29,11 @@ fn bench_train_step_vs_filter_size(c: &mut Criterion) {
     for k in [4usize, 16, 32] {
         let mut model = model_with_filter(k, 2);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| model.train_step(std::hint::black_box(&sample)).expect("steps"));
+            b.iter(|| {
+                model
+                    .train_step(std::hint::black_box(&sample))
+                    .expect("steps")
+            });
         });
     }
     group.finish();

@@ -1,0 +1,142 @@
+//! Incremental re-annotation vs the cold pipeline: the headline workload is
+//! a single-device edit on the phased-array netlist, where the diff-driven
+//! path must beat a full cold run by well over 5x (the edit folds away in
+//! preprocessing, so the update is a baseline splice plus one structural
+//! hash). A structural-edit variant exercises the partial (dirty-region)
+//! path, which still re-runs GCN + matching only on the touched regions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gana_bench::{receiver, rf_pipeline};
+use gana_datasets::phased_array;
+use gana_incremental::IncrementalPipeline;
+use gana_netlist::{Circuit, Device, DeviceKind};
+
+/// A single-device edit: resize one transistor. Functionally the netlist
+/// is identical after preprocessing — the canonical fast path of an
+/// edit–annotate loop in a schematic editor.
+fn resize_one(circuit: &Circuit) -> Circuit {
+    let mut edited = circuit.clone();
+    let device = edited
+        .devices_mut()
+        .iter_mut()
+        .find(|d| d.kind().is_transistor())
+        .expect("has a transistor");
+    let w = device.param("w").unwrap_or(1e-6);
+    device.set_param("w", w * 1.5);
+    edited
+}
+
+/// A structural edit: hang a load cap on one transistor's first terminal.
+/// This dirties that channel-connected region and takes the partial path.
+fn add_load_cap(circuit: &Circuit) -> Circuit {
+    let mut edited = circuit.clone();
+    let attach = edited
+        .devices()
+        .iter()
+        .find(|d| d.kind().is_transistor())
+        .map(|d| d.terminals()[0].clone())
+        .expect("has a transistor");
+    edited
+        .add_device(
+            Device::new("CBENCH", DeviceKind::Capacitor, vec![attach, "gnd!".into()])
+                .expect("valid")
+                .with_value(1e-12),
+        )
+        .expect("unique name");
+    edited
+}
+
+fn bench_phased_array_single_device_edit(c: &mut Criterion) {
+    let pa = phased_array::generate_with_channels(4, 0);
+    let edited = resize_one(&pa.circuit);
+    let incremental = IncrementalPipeline::new(rf_pipeline(16));
+    let baseline = incremental
+        .annotate_full(&pa.circuit)
+        .expect("cold baseline");
+
+    let mut group = c.benchmark_group("incremental_reannotate");
+    group.sample_size(10);
+    group.bench_function("phased_array_cold", |b| {
+        b.iter(|| {
+            incremental
+                .pipeline()
+                .recognize(std::hint::black_box(&edited))
+                .expect("runs")
+        });
+    });
+    group.bench_function("phased_array_single_device_edit", |b| {
+        b.iter(|| {
+            incremental
+                .update(
+                    std::hint::black_box(&baseline),
+                    std::hint::black_box(&edited),
+                )
+                .expect("runs")
+        });
+    });
+    group.finish();
+}
+
+fn bench_phased_array_structural_edit(c: &mut Criterion) {
+    let pa = phased_array::generate_with_channels(4, 0);
+    let edited = add_load_cap(&pa.circuit);
+    let incremental = IncrementalPipeline::new(rf_pipeline(16));
+    let baseline = incremental
+        .annotate_full(&pa.circuit)
+        .expect("cold baseline");
+
+    let mut group = c.benchmark_group("incremental_reannotate");
+    group.sample_size(10);
+    group.bench_function("phased_array_structural_edit", |b| {
+        b.iter(|| {
+            incremental
+                .update(
+                    std::hint::black_box(&baseline),
+                    std::hint::black_box(&edited),
+                )
+                .expect("runs")
+        });
+    });
+    group.finish();
+}
+
+/// Small-circuit honesty check: on the single receiver the dirty region is
+/// most of the design, so the incremental path is expected to roughly tie
+/// the cold run — this bench keeps that crossover visible.
+fn bench_receiver_structural_edit(c: &mut Criterion) {
+    let rx = receiver();
+    let edited = add_load_cap(&rx.circuit);
+    let incremental = IncrementalPipeline::new(rf_pipeline(16));
+    let baseline = incremental
+        .annotate_full(&rx.circuit)
+        .expect("cold baseline");
+
+    let mut group = c.benchmark_group("incremental_reannotate");
+    group.bench_function("receiver_cold", |b| {
+        b.iter(|| {
+            incremental
+                .pipeline()
+                .recognize(std::hint::black_box(&edited))
+                .expect("runs")
+        });
+    });
+    group.bench_function("receiver_structural_edit", |b| {
+        b.iter(|| {
+            incremental
+                .update(
+                    std::hint::black_box(&baseline),
+                    std::hint::black_box(&edited),
+                )
+                .expect("runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_phased_array_single_device_edit,
+    bench_phased_array_structural_edit,
+    bench_receiver_structural_edit
+);
+criterion_main!(benches);

@@ -11,7 +11,11 @@ fn bench_sc_filter_pipeline(c: &mut Criterion) {
     let pipeline = rf_pipeline(16);
     let sc = sc_filter::generate(0);
     c.bench_function("pipeline_sc_filter", |b| {
-        b.iter(|| pipeline.recognize(std::hint::black_box(&sc.circuit)).expect("runs"));
+        b.iter(|| {
+            pipeline
+                .recognize(std::hint::black_box(&sc.circuit))
+                .expect("runs")
+        });
     });
 }
 
@@ -21,7 +25,11 @@ fn bench_phased_array_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_phased_array");
     group.sample_size(10);
     group.bench_function("recognize_4ch", |b| {
-        b.iter(|| pipeline.recognize(std::hint::black_box(&pa.circuit)).expect("runs"));
+        b.iter(|| {
+            pipeline
+                .recognize(std::hint::black_box(&pa.circuit))
+                .expect("runs")
+        });
     });
     group.finish();
 }
@@ -41,5 +49,10 @@ fn bench_postprocessing_alone(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sc_filter_pipeline, bench_phased_array_pipeline, bench_postprocessing_alone);
+criterion_group!(
+    benches,
+    bench_sc_filter_pipeline,
+    bench_phased_array_pipeline,
+    bench_postprocessing_alone
+);
 criterion_main!(benches);

@@ -12,13 +12,21 @@ fn bench_single_train_step(c: &mut Criterion) {
     let sample = prepare_sample(&lc, 2);
     let mut model = model_with_filter(16, 2);
     c.bench_function("train_step_single_ota", |b| {
-        b.iter(|| model.train_step(std::hint::black_box(&sample)).expect("steps"));
+        b.iter(|| {
+            model
+                .train_step(std::hint::black_box(&sample))
+                .expect("steps")
+        });
     });
 }
 
 fn bench_epoch_over_corpus(c: &mut Criterion) {
     let corpus = ota::corpus(8, 5);
-    let samples: Vec<_> = corpus.samples.iter().map(|lc| prepare_sample(lc, 2)).collect();
+    let samples: Vec<_> = corpus
+        .samples
+        .iter()
+        .map(|lc| prepare_sample(lc, 2))
+        .collect();
     let mut model = model_with_filter(16, 2);
     let mut optimizer = Adam::new(4e-3);
     let mut group = c.benchmark_group("train_epoch_8_circuits");
@@ -26,7 +34,9 @@ fn bench_epoch_over_corpus(c: &mut Criterion) {
     group.bench_function("epoch", |b| {
         b.iter(|| {
             for sample in &samples {
-                let step = model.train_step(std::hint::black_box(sample)).expect("steps");
+                let step = model
+                    .train_step(std::hint::black_box(sample))
+                    .expect("steps");
                 let mut params = model.flatten_params();
                 optimizer.step(&mut params, &step.grads.flatten());
                 model.apply_flat_params(&params).expect("applies");

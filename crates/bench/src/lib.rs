@@ -32,14 +32,24 @@ pub fn mirror_chain(n: usize) -> Circuit {
         let diode = gana_netlist::Device::new(
             format!("MD{i}"),
             gana_netlist::DeviceKind::Nmos,
-            vec![format!("d{i}"), format!("d{i}"), "gnd!".to_string(), "gnd!".to_string()],
+            vec![
+                format!("d{i}"),
+                format!("d{i}"),
+                "gnd!".to_string(),
+                "gnd!".to_string(),
+            ],
         )
         .expect("valid")
         .with_model("NMOS");
         let out = gana_netlist::Device::new(
             format!("MO{i}"),
             gana_netlist::DeviceKind::Nmos,
-            vec![format!("o{i}"), format!("d{i}"), "gnd!".to_string(), "gnd!".to_string()],
+            vec![
+                format!("o{i}"),
+                format!("d{i}"),
+                "gnd!".to_string(),
+                "gnd!".to_string(),
+            ],
         )
         .expect("valid")
         .with_model("NMOS");

@@ -48,9 +48,10 @@ pub fn to_hierarchical_library(design: &RecognizedDesign) -> SpiceLibrary {
             if circuit.is_supply(net) || circuit.is_ground(net) {
                 continue;
             }
-            let used_outside = circuit.devices().iter().any(|d| {
-                !inside.contains(d.name()) && d.terminals().iter().any(|t| t == net)
-            });
+            let used_outside = circuit
+                .devices()
+                .iter()
+                .any(|d| !inside.contains(d.name()) && d.terminals().iter().any(|t| t == net));
             if used_outside || circuit.port_label(net).is_some() {
                 ports.push(net.clone());
             }
@@ -59,7 +60,8 @@ pub fn to_hierarchical_library(design: &RecognizedDesign) -> SpiceLibrary {
         let subckt_name = format!("{}_{}", block.label.to_ascii_uppercase(), bi);
         let mut sub = Circuit::with_ports(subckt_name.clone(), ports.clone());
         for d in &block_devices {
-            sub.add_device((*d).clone()).expect("names unique within block");
+            sub.add_device((*d).clone())
+                .expect("names unique within block");
             placed.insert(d.name().to_string());
         }
         lib_subckts.push(sub);
@@ -155,7 +157,10 @@ mod tests {
         let design = recognized();
         let lib = to_hierarchical_library(&design);
         // The bias gate net vb crosses the ota/bias boundary.
-        let has_vb_port = lib.subckts().iter().any(|s| s.ports().iter().any(|p| p == "vb"));
+        let has_vb_port = lib
+            .subckts()
+            .iter()
+            .any(|s| s.ports().iter().any(|p| p == "vb"));
         assert!(has_vb_port, "vb must be a port of some sub-block");
         // Rails never become ports.
         for sub in lib.subckts() {

@@ -36,7 +36,12 @@ pub struct HierarchyNode {
 impl HierarchyNode {
     /// Creates a leaf element node.
     pub fn element(name: impl Into<String>) -> HierarchyNode {
-        HierarchyNode { name: name.into(), kind: NodeKind::Element, label: None, children: Vec::new() }
+        HierarchyNode {
+            name: name.into(),
+            kind: NodeKind::Element,
+            label: None,
+            children: Vec::new(),
+        }
     }
 
     /// Number of nodes in the subtree (including `self`).
@@ -46,7 +51,12 @@ impl HierarchyNode {
 
     /// Depth of the subtree (a lone node has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(HierarchyNode::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(HierarchyNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// All element names in the subtree, in tree order.
@@ -107,7 +117,11 @@ pub fn build(design_name: &str, sub_blocks: &[SubBlock]) -> HierarchyNode {
         children: Vec::new(),
     };
     for (i, block) in sub_blocks.iter().enumerate() {
-        let kind = if block.standalone { NodeKind::Primitive } else { NodeKind::SubBlock };
+        let kind = if block.standalone {
+            NodeKind::Primitive
+        } else {
+            NodeKind::SubBlock
+        };
         let mut node = HierarchyNode {
             name: format!("{}{}", block.label, i),
             kind,
@@ -156,10 +170,7 @@ mod tests {
                         name: "DP_N".to_string(),
                         kind: NodeKind::Primitive,
                         label: None,
-                        children: vec![
-                            HierarchyNode::element("M1"),
-                            HierarchyNode::element("M2"),
-                        ],
+                        children: vec![HierarchyNode::element("M1"), HierarchyNode::element("M2")],
                     },
                     HierarchyNode::element("C1"),
                 ],

@@ -62,7 +62,9 @@ pub struct RecognizedDesign {
 impl RecognizedDesign {
     /// Final label of a device, if it is part of the design graph.
     pub fn device_label(&self, device: &str) -> Option<&str> {
-        self.graph.element_vertex(device).map(|v| self.final_label[v].as_str())
+        self.graph
+            .element_vertex(device)
+            .map(|v| self.final_label[v].as_str())
     }
 
     /// Device-level accuracy against ground-truth labels
@@ -71,10 +73,7 @@ impl RecognizedDesign {
     ///
     /// `truth` maps device names to expected labels; devices missing from
     /// the map are skipped.
-    pub fn device_accuracy<'a>(
-        &self,
-        truth: impl IntoIterator<Item = (&'a str, &'a str)>,
-    ) -> f64 {
+    pub fn device_accuracy<'a>(&self, truth: impl IntoIterator<Item = (&'a str, &'a str)>) -> f64 {
         let mut total = 0usize;
         let mut correct = 0usize;
         for (device, expected) in truth {
@@ -183,6 +182,37 @@ impl Pipeline {
         self.task
     }
 
+    /// Runs only the preprocessing stage (Section II-B folding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing errors.
+    pub fn preprocess_only(&self, circuit: &Circuit) -> Result<Circuit> {
+        let (clean, _) = preprocess(circuit, self.preprocess_options)?;
+        Ok(clean)
+    }
+
+    /// Builds the graph and inference sample for an already-preprocessed
+    /// circuit (the coarsening half of [`Pipeline::prepare`]); incremental
+    /// callers use it to prepare samples for dirty subcircuits only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coarsening errors.
+    pub fn prepare_preprocessed(&self, clean: &Circuit) -> Result<(CircuitGraph, GraphSample)> {
+        let graph = CircuitGraph::build(clean, GraphOptions::default());
+        let labels = vec![None; graph.vertex_count()];
+        let sample = GraphSample::prepare(
+            clean.name().to_string(),
+            clean,
+            &graph,
+            labels,
+            self.model.config().levels(),
+            self.coarsen_seed,
+        )?;
+        Ok((graph, sample))
+    }
+
     /// Prepares an inference sample for a circuit (preprocess + graph +
     /// coarsening), without labels.
     ///
@@ -190,17 +220,8 @@ impl Pipeline {
     ///
     /// Propagates preprocessing and coarsening errors.
     pub fn prepare(&self, circuit: &Circuit) -> Result<(Circuit, CircuitGraph, GraphSample)> {
-        let (clean, _) = preprocess(circuit, self.preprocess_options)?;
-        let graph = CircuitGraph::build(&clean, GraphOptions::default());
-        let labels = vec![None; graph.vertex_count()];
-        let sample = GraphSample::prepare(
-            clean.name().to_string(),
-            &clean,
-            &graph,
-            labels,
-            self.model.config().levels(),
-            self.coarsen_seed,
-        )?;
+        let clean = self.preprocess_only(circuit)?;
+        let (graph, sample) = self.prepare_preprocessed(&clean)?;
         Ok((clean, graph, sample))
     }
 
@@ -224,15 +245,38 @@ impl Pipeline {
         graph: CircuitGraph,
         gcn_class: Vec<usize>,
     ) -> RecognizedDesign {
+        let library = Arc::clone(&self.library);
+        self.finish_with_annotator(circuit, graph, gcn_class, &mut |sub_circuit, sub_graph| {
+            gana_primitives::annotate(&library, sub_circuit, sub_graph)
+        })
+    }
+
+    /// [`Pipeline::finish`] with per-sub-block primitive annotation
+    /// delegated to `annotator` (see [`post1::apply_with_annotator`]);
+    /// everything else — smoothing, merging, Postprocessing II, hierarchy,
+    /// constraints — is computed exactly as in the cold path.
+    pub fn finish_with_annotator(
+        &self,
+        circuit: Circuit,
+        graph: CircuitGraph,
+        gcn_class: Vec<usize>,
+        annotator: &mut dyn FnMut(&Circuit, &CircuitGraph) -> AnnotationResult,
+    ) -> RecognizedDesign {
         let separate_inverters = self.task == Task::Rf;
-        let stage1 = post1::apply_with_options(
+        let stage1 = post1::apply_with_annotator(
             &circuit,
             &graph,
             &gcn_class,
-            &self.library,
             separate_inverters,
+            annotator,
         );
-        let labels = post2::apply(&circuit, &graph, &stage1.sub_blocks, &self.class_names, self.task);
+        let labels = post2::apply(
+            &circuit,
+            &graph,
+            &stage1.sub_blocks,
+            &self.class_names,
+            self.task,
+        );
 
         // Consume the stage-1 blocks so their element/net/annotation buffers
         // move into the result instead of being deep-cloned per block.
@@ -257,11 +301,7 @@ impl Pipeline {
                 .cloned()
                 .unwrap_or_else(|| format!("class{c}"))
         };
-        let mut final_label: Vec<String> = stage1
-            .smoothed
-            .iter()
-            .map(|&c| class_name(c))
-            .collect();
+        let mut final_label: Vec<String> = stage1.smoothed.iter().map(|&c| class_name(c)).collect();
         for (idx, block) in sub_blocks.iter().enumerate() {
             let _ = idx;
             for &v in block.elements.iter().chain(block.nets.iter()) {
@@ -369,7 +409,10 @@ mod tests {
         assert_eq!(design.final_label.len(), n);
         let covered: usize = design.sub_blocks.iter().map(|b| b.devices.len()).sum();
         assert_eq!(covered, design.graph.element_count());
-        assert_eq!(design.hierarchy.elements().len(), design.graph.element_count());
+        assert_eq!(
+            design.hierarchy.elements().len(),
+            design.graph.element_count()
+        );
     }
 
     #[test]
@@ -430,6 +473,10 @@ mod tests {
         )
         .expect("valid");
         let design = pipeline.recognize(&circuit).expect("runs");
-        assert_eq!(design.graph.element_count(), 2, "M0+M0b merge, Md/Cd dropped");
+        assert_eq!(
+            design.graph.element_count(),
+            2,
+            "M0+M0b merge, Md/Cd dropped"
+        );
     }
 }

@@ -81,6 +81,26 @@ pub fn apply_with_options(
     library: &PrimitiveLibrary,
     separate_inverters: bool,
 ) -> Stage1 {
+    apply_with_annotator(
+        circuit,
+        graph,
+        gcn_predictions,
+        separate_inverters,
+        &mut |sub_circuit, sub_graph| annotate(library, sub_circuit, sub_graph),
+    )
+}
+
+/// Runs Postprocessing I, delegating per-sub-block primitive annotation to
+/// `annotator`. The closure receives the sub-block's induced circuit and
+/// graph; the default implementation runs VF2 over the primitive library,
+/// while incremental callers can answer from a content-addressed cache.
+pub fn apply_with_annotator(
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    gcn_predictions: &[usize],
+    separate_inverters: bool,
+    annotator: &mut dyn FnMut(&Circuit, &CircuitGraph) -> AnnotationResult,
+) -> Stage1 {
     assert_eq!(
         gcn_predictions.len(),
         graph.vertex_count(),
@@ -136,8 +156,9 @@ pub fn apply_with_options(
             for &(u, _) in graph.neighbors(v) {
                 *votes.entry(smoothed[u]).or_insert(0) += 1;
             }
-            if let Some((class, _)) =
-                votes.into_iter().max_by_key(|&(class, count)| (count, std::cmp::Reverse(class)))
+            if let Some((class, _)) = votes
+                .into_iter()
+                .max_by_key(|&(class, count)| (count, std::cmp::Reverse(class)))
             {
                 smoothed[v] = class;
             }
@@ -203,8 +224,10 @@ pub fn apply_with_options(
         if transistors.len() != 2 {
             return None;
         }
-        let kinds: BTreeSet<_> =
-            transistors.iter().map(|&v| graph.element_kind(v).expect("element")).collect();
+        let kinds: BTreeSet<_> = transistors
+            .iter()
+            .map(|&v| graph.element_kind(v).expect("element"))
+            .collect();
         if kinds.len() != 2 {
             return None;
         }
@@ -215,7 +238,11 @@ pub fn apply_with_options(
                 .filter(|(_, l)| l.has_gate())
                 .map(|&(n, _)| n)
                 .collect();
-            if gates.len() == 1 { Some(gates[0]) } else { None }
+            if gates.len() == 1 {
+                Some(gates[0])
+            } else {
+                None
+            }
         };
         let channel_of = |v: VertexId| -> Vec<VertexId> {
             graph
@@ -235,10 +262,14 @@ pub fn apply_with_options(
             let name = graph.net_name(n).expect("net");
             circuit.is_supply(name) || circuit.is_ground(name)
         };
-        let ch0: BTreeSet<VertexId> =
-            channel_of(transistors[0]).into_iter().filter(|&n| !rails(n)).collect();
-        let ch1: BTreeSet<VertexId> =
-            channel_of(transistors[1]).into_iter().filter(|&n| !rails(n)).collect();
+        let ch0: BTreeSet<VertexId> = channel_of(transistors[0])
+            .into_iter()
+            .filter(|&n| !rails(n))
+            .collect();
+        let ch1: BTreeSet<VertexId> = channel_of(transistors[1])
+            .into_iter()
+            .filter(|&n| !rails(n))
+            .collect();
         let shared: Vec<VertexId> = ch0.intersection(&ch1).copied().collect();
         if shared.len() != 1 || ch0.len() != 1 || ch1.len() != 1 {
             return None;
@@ -255,13 +286,16 @@ pub fn apply_with_options(
             if !kind.is_passive() {
                 return None;
             }
-            let nets: BTreeSet<VertexId> =
-                graph.neighbors(v).iter().map(|&(n, _)| n).collect();
+            let nets: BTreeSet<VertexId> = graph.neighbors(v).iter().map(|&(n, _)| n).collect();
             if nets.contains(&g0) && nets.contains(&output) {
                 feedback = true;
             }
         }
-        Some(InvInfo { input: g0, output, feedback })
+        Some(InvInfo {
+            input: g0,
+            output,
+            feedback,
+        })
     };
     let mut inv_info: Vec<Option<InvInfo>> = if separate_inverters {
         clusters.iter().map(|g| inverter_info(g)).collect()
@@ -273,8 +307,9 @@ pub fn apply_with_options(
     // oscillators) are latch/oscillator cores, not buffers: exclude them
     // from stand-alone separation so the normal class rules label them.
     {
-        let nodes: Vec<usize> =
-            (0..clusters.len()).filter(|&i| inv_info[i].is_some()).collect();
+        let nodes: Vec<usize> = (0..clusters.len())
+            .filter(|&i| inv_info[i].is_some())
+            .collect();
         // Structural edges only: a tank or feedback element across a pair
         // must not hide the cycle.
         let edge = |a: usize, b: usize| -> bool {
@@ -285,8 +320,7 @@ pub fn apply_with_options(
         for &start in &nodes {
             // DFS from start's successors; if start is reachable, it is on
             // a cycle.
-            let mut stack: Vec<usize> =
-                nodes.iter().copied().filter(|&m| edge(start, m)).collect();
+            let mut stack: Vec<usize> = nodes.iter().copied().filter(|&m| edge(start, m)).collect();
             let mut seen = BTreeSet::new();
             let mut on_cycle = false;
             while let Some(x) = stack.pop() {
@@ -393,8 +427,9 @@ pub fn apply_with_options(
         }
     }
     // 3d: chain-union buffer inverters (no feedback) coupled drain→gate.
-    let inv_clusters: Vec<usize> =
-        (0..clusters.len()).filter(|&i| inv_info[i].is_some()).collect();
+    let inv_clusters: Vec<usize> = (0..clusters.len())
+        .filter(|&i| inv_info[i].is_some())
+        .collect();
     let mut chained: BTreeSet<usize> = BTreeSet::new();
     for &a in &inv_clusters {
         for &b in &inv_clusters {
@@ -448,7 +483,7 @@ pub fn apply_with_options(
         let sub_circuit = induced_circuit(circuit, graph, &elements);
         let sub_graph =
             gana_graph::CircuitGraph::build(&sub_circuit, gana_graph::GraphOptions::default());
-        let annotation = annotate(library, &sub_circuit, &sub_graph);
+        let annotation = annotator(&sub_circuit, &sub_graph);
         // Stand-alone label when the group is made of inverter clusters.
         let standalone_label = if group.iter().all(|&idx| inv_info[idx].is_some()) {
             if group.len() >= 2 || group.iter().any(|&idx| chained.contains(&idx)) {
@@ -472,7 +507,11 @@ pub fn apply_with_options(
         });
     }
 
-    Stage1 { smoothed, sub_blocks, block_of }
+    Stage1 {
+        smoothed,
+        sub_blocks,
+        block_of,
+    }
 }
 
 /// Assigns every vertex to a CCC where possible: transistors and joining
@@ -570,7 +609,8 @@ fn induced_circuit(circuit: &Circuit, graph: &CircuitGraph, elements: &[VertexId
         .map(|i| &circuit.devices()[i])
         .collect();
     for d in devices {
-        out.add_device(d.clone()).expect("unique names inherited from parent");
+        out.add_device(d.clone())
+            .expect("unique names inherited from parent");
     }
     out
 }
@@ -608,7 +648,10 @@ M5 o2 vb vdd! vdd! PMOS
         preds[m3] = 1;
         let library = PrimitiveLibrary::standard().expect("parse");
         let stage = apply(&circuit, &graph, &preds, &library);
-        assert_eq!(stage.smoothed[m3], 0, "CCC majority must outvote the straggler");
+        assert_eq!(
+            stage.smoothed[m3], 0,
+            "CCC majority must outvote the straggler"
+        );
     }
 
     #[test]
@@ -633,7 +676,11 @@ M5 o2 vb vdd! vdd! PMOS
         let stage = apply(&circuit, &graph, &preds, &library);
         assert_eq!(stage.sub_blocks.len(), 1, "{:?}", stage.sub_blocks.len());
         let annotation = &stage.sub_blocks[0].annotation;
-        let names: Vec<&str> = annotation.instances.iter().map(|i| i.primitive.as_str()).collect();
+        let names: Vec<&str> = annotation
+            .instances
+            .iter()
+            .map(|i| i.primitive.as_str())
+            .collect();
         assert!(names.contains(&"CM_N2"));
         assert!(names.contains(&"DP_N"));
     }
@@ -691,7 +738,11 @@ M3 out mid gnd! gnd! NMOS
             .iter()
             .filter_map(|b| b.standalone_label.as_deref())
             .collect();
-        assert_eq!(labels, vec!["buf"], "directly coupled INVs merge into one buffer");
+        assert_eq!(
+            labels,
+            vec!["buf"],
+            "directly coupled INVs merge into one buffer"
+        );
     }
 
     #[test]

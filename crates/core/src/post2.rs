@@ -60,7 +60,15 @@ pub fn apply(
                 .cloned()
                 .unwrap_or_else(|| format!("class{}", block.gcn_class));
             match task {
-                Task::Rf => rf_label(circuit, graph, block, bi, &net_owner, &fallback, class_names),
+                Task::Rf => rf_label(
+                    circuit,
+                    graph,
+                    block,
+                    bi,
+                    &net_owner,
+                    &fallback,
+                    class_names,
+                ),
                 Task::OtaBias => ota_label(circuit, graph, block, &fallback),
             }
         })
@@ -111,8 +119,7 @@ fn propagate_lo_path(
             if labels[bi] == "oscillator" || sub_blocks[bi].standalone_label.is_some() {
                 continue;
             }
-            if !fan_out[bi].is_empty() && fan_out[bi].iter().all(|&c| labels[c] == "oscillator")
-            {
+            if !fan_out[bi].is_empty() && fan_out[bi].iter().all(|&c| labels[c] == "oscillator") {
                 labels[bi] = "oscillator".to_string();
                 changed = true;
             }
@@ -139,7 +146,9 @@ fn inherit_bias_passives(
         std::collections::HashMap::new();
     for (bi, block) in sub_blocks.iter().enumerate() {
         for &e in &block.elements {
-            let Some(kind) = graph.element_kind(e) else { continue };
+            let Some(kind) = graph.element_kind(e) else {
+                continue;
+            };
             if !kind.is_transistor() {
                 continue;
             }
@@ -192,7 +201,10 @@ fn inherit_bias_passives(
 }
 
 /// All nets a block touches, split into (gate-input nets, channel nets).
-fn block_nets(graph: &CircuitGraph, block: &RawSubBlock) -> (BTreeSet<VertexId>, BTreeSet<VertexId>) {
+fn block_nets(
+    graph: &CircuitGraph,
+    block: &RawSubBlock,
+) -> (BTreeSet<VertexId>, BTreeSet<VertexId>) {
     let mut gate_nets = BTreeSet::new();
     let mut channel_nets = BTreeSet::new();
     for &e in &block.elements {
@@ -208,8 +220,14 @@ fn block_nets(graph: &CircuitGraph, block: &RawSubBlock) -> (BTreeSet<VertexId>,
     (gate_nets, channel_nets)
 }
 
-fn label_of<'c>(circuit: &'c Circuit, graph: &CircuitGraph, net: VertexId) -> Option<&'c PortLabel> {
-    graph.net_name(net).and_then(|name| circuit.port_label(name))
+fn label_of<'c>(
+    circuit: &'c Circuit,
+    graph: &CircuitGraph,
+    net: VertexId,
+) -> Option<&'c PortLabel> {
+    graph
+        .net_name(net)
+        .and_then(|name| circuit.port_label(name))
 }
 
 /// True when any of `start_nets`, or a net reachable from them through at
@@ -236,7 +254,9 @@ fn reaches_label_through_passives(
                 continue;
             }
             for &(element, _) in graph.neighbors(net) {
-                let Some(kind) = graph.element_kind(element) else { continue };
+                let Some(kind) = graph.element_kind(element) else {
+                    continue;
+                };
                 if !kind.is_passive() {
                     continue;
                 }
@@ -292,9 +312,7 @@ fn rf_label(
     // shows up.
     let external_channel_inputs = channel_nets
         .iter()
-        .filter(|&&n| {
-            net_owner.get(&n).is_some_and(|&o| o != block_index)
-        })
+        .filter(|&&n| net_owner.get(&n).is_some_and(|&o| o != block_index))
         .filter(|&&n| {
             !matches!(
                 label_of(circuit, graph, n),
@@ -328,7 +346,11 @@ fn rf_label(
     // combination of an oscillator with two input transistors", Section
     // V-B) — decisive regardless of which class the GCN guessed.
     let _ = class_names;
-    let has_ccp = block.annotation.instances.iter().any(|i| i.primitive.starts_with("CCP"));
+    let has_ccp = block
+        .annotation
+        .instances
+        .iter()
+        .any(|i| i.primitive.starts_with("CCP"));
     if has_ccp && signal_gate_inputs > 0 {
         return "bpf".to_string();
     }
@@ -477,6 +499,10 @@ mod tests {
     fn fallback_keeps_gcn_class_name() {
         let (c, g, stage) = stage1("M0 a b c c NMOS\nR1 a vdd! 1\n", &[], 1);
         let labels = apply(&c, &g, &stage.sub_blocks, &rf_names(), Task::Rf);
-        assert_eq!(labels, vec!["mixer"], "no rule fires; smoothed class name stays");
+        assert_eq!(
+            labels,
+            vec!["mixer"],
+            "no rule fires; smoothed class name stays"
+        );
     }
 }

@@ -41,9 +41,16 @@ pub fn class_summary(design: &RecognizedDesign) -> String {
 /// Renders the hierarchy tree with primitive and constraint counts.
 pub fn full_report(design: &RecognizedDesign) -> String {
     let mut out = class_summary(design);
-    let primitives: usize =
-        design.sub_blocks.iter().map(|b| b.annotation.instances.len()).sum();
-    let _ = writeln!(out, "  primitives: {primitives}, constraints: {}", design.constraints.len());
+    let primitives: usize = design
+        .sub_blocks
+        .iter()
+        .map(|b| b.annotation.instances.len())
+        .sum();
+    let _ = writeln!(
+        out,
+        "  primitives: {primitives}, constraints: {}",
+        design.constraints.len()
+    );
     let _ = writeln!(out, "hierarchy:");
     let _ = write!(out, "{}", design.hierarchy);
     out
@@ -56,8 +63,9 @@ pub fn to_dot(design: &RecognizedDesign) -> String {
         format!("n_{prefix}_{index}")
     }
     fn color(label: &str) -> String {
-        let h: u32 =
-            label.bytes().fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+        let h: u32 = label
+            .bytes()
+            .fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
         // Hue in [0,1) for Graphviz HSV colors.
         format!("{:.3} 0.35 0.95", (h % 360) as f64 / 360.0)
     }
@@ -81,8 +89,7 @@ pub fn to_dot(design: &RecognizedDesign) -> String {
             color(&block.label)
         );
         let _ = writeln!(out, "  root -> {block_node};");
-        let mut placed: std::collections::BTreeSet<&str> =
-            std::collections::BTreeSet::new();
+        let mut placed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
         for inst in &block.annotation.instances {
             counter += 1;
             let prim_node = node_id("p", counter);

@@ -58,7 +58,9 @@ impl CircuitBuilder {
     /// output of one sub-block and the input of another" belonging to both:
     /// ground truth keeps the driver's class.
     pub fn claim_net(&mut self, net: &str) {
-        self.net_class.entry(net.to_string()).or_insert(self.current_class);
+        self.net_class
+            .entry(net.to_string())
+            .or_insert(self.current_class);
     }
 
     /// Forcibly re-labels a net with the current class; used when the block
@@ -85,7 +87,11 @@ impl CircuitBuilder {
     /// Panics on duplicate names (builder-generated names never collide).
     pub fn mos(&mut self, kind: DeviceKind, d: &str, g: &str, s: &str, b: &str) -> String {
         let name = self.next_name('M');
-        let model = if kind == DeviceKind::Pmos { "PMOS" } else { "NMOS" };
+        let model = if kind == DeviceKind::Pmos {
+            "PMOS"
+        } else {
+            "NMOS"
+        };
         let device = Device::new(
             name.clone(),
             kind,
@@ -94,7 +100,9 @@ impl CircuitBuilder {
         .expect("4 terminals")
         .with_model(model);
         self.device_class.insert(name.clone(), self.current_class);
-        self.circuit.add_device(device).expect("generated names are unique");
+        self.circuit
+            .add_device(device)
+            .expect("generated names are unique");
         name
     }
 
@@ -110,7 +118,9 @@ impl CircuitBuilder {
             .expect("2 terminals")
             .with_value(value);
         self.device_class.insert(name.clone(), self.current_class);
-        self.circuit.add_device(device).expect("generated names are unique");
+        self.circuit
+            .add_device(device)
+            .expect("generated names are unique");
         name
     }
 

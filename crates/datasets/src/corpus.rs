@@ -29,8 +29,16 @@ pub struct CorpusStats {
 
 impl Corpus {
     /// Creates a corpus.
-    pub fn new(name: impl Into<String>, samples: Vec<LabeledCircuit>, class_names: Vec<String>) -> Corpus {
-        Corpus { name: name.into(), samples, class_names }
+    pub fn new(
+        name: impl Into<String>,
+        samples: Vec<LabeledCircuit>,
+        class_names: Vec<String>,
+    ) -> Corpus {
+        Corpus {
+            name: name.into(),
+            samples,
+            class_names,
+        }
     }
 
     /// Computes Table I statistics.

@@ -38,7 +38,12 @@ impl Default for MutationConfig {
 impl MutationConfig {
     /// Disables all mutations (for size-exact testcases).
     pub fn none() -> MutationConfig {
-        MutationConfig { split_parallel: 0.0, add_dummy: 0.0, add_decap: 0.0, jitter_sizes: false }
+        MutationConfig {
+            split_parallel: 0.0,
+            add_dummy: 0.0,
+            add_decap: 0.0,
+            jitter_sizes: false,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ pub fn apply(mut lc: LabeledCircuit, config: MutationConfig, seed: u64) -> Label
                 vec![src.clone(), src.clone(), src.clone(), src],
             )
             .expect("4 terminals")
-            .with_model(if d.kind() == DeviceKind::Pmos { "PMOS" } else { "NMOS" });
+            .with_model(if d.kind() == DeviceKind::Pmos {
+                "PMOS"
+            } else {
+                "NMOS"
+            });
             if lc.circuit.add_device(dummy).is_ok() {
                 if let Some(&c) = lc.device_class.get(d.name()) {
                     lc.device_class.insert(name, c);
@@ -98,10 +107,11 @@ pub fn apply(mut lc: LabeledCircuit, config: MutationConfig, seed: u64) -> Label
 
     if rng.gen::<f64>() < config.add_decap {
         let name = "Cdecap0".to_string();
-        let decap = Device::new(name.clone(), DeviceKind::Capacitor, vec![
-            "vdd!".to_string(),
-            "gnd!".to_string(),
-        ])
+        let decap = Device::new(
+            name.clone(),
+            DeviceKind::Capacitor,
+            vec!["vdd!".to_string(), "gnd!".to_string()],
+        )
         .expect("2 terminals")
         .with_value(10e-12);
         if lc.circuit.add_device(decap).is_ok() {
@@ -133,7 +143,16 @@ mod tests {
 
     #[test]
     fn jitter_sets_sizes() {
-        let out = apply(base(), MutationConfig { split_parallel: 0.0, add_dummy: 0.0, add_decap: 0.0, jitter_sizes: true }, 1);
+        let out = apply(
+            base(),
+            MutationConfig {
+                split_parallel: 0.0,
+                add_dummy: 0.0,
+                add_decap: 0.0,
+                jitter_sizes: true,
+            },
+            1,
+        );
         for d in out.circuit.devices() {
             assert!(d.param("w").is_some());
             assert!(d.param("l").is_some());
@@ -142,24 +161,45 @@ mod tests {
 
     #[test]
     fn splits_inherit_class() {
-        let cfg = MutationConfig { split_parallel: 1.0, add_dummy: 0.0, add_decap: 0.0, jitter_sizes: false };
+        let cfg = MutationConfig {
+            split_parallel: 1.0,
+            add_dummy: 0.0,
+            add_decap: 0.0,
+            jitter_sizes: false,
+        };
         let out = apply(base(), cfg, 2);
         assert!(out.device_class.contains_key("M1_core_split"));
-        assert_eq!(out.device_class["M1_core_split"], out.device_class["M1_core"]);
+        assert_eq!(
+            out.device_class["M1_core_split"],
+            out.device_class["M1_core"]
+        );
     }
 
     #[test]
     fn dummies_are_fully_strapped() {
-        let cfg = MutationConfig { split_parallel: 0.0, add_dummy: 1.0, add_decap: 0.0, jitter_sizes: false };
+        let cfg = MutationConfig {
+            split_parallel: 0.0,
+            add_dummy: 1.0,
+            add_decap: 0.0,
+            jitter_sizes: false,
+        };
         let out = apply(base(), cfg, 3);
         let dummy = out.circuit.device("M1_core_dummy").expect("added");
         let t = dummy.terminals();
-        assert!(t.iter().all(|n| n == &t[0]), "dummy terminals all on one net");
+        assert!(
+            t.iter().all(|n| n == &t[0]),
+            "dummy terminals all on one net"
+        );
     }
 
     #[test]
     fn decap_straps_rails_and_is_unlabeled() {
-        let cfg = MutationConfig { split_parallel: 0.0, add_dummy: 0.0, add_decap: 1.0, jitter_sizes: false };
+        let cfg = MutationConfig {
+            split_parallel: 0.0,
+            add_dummy: 0.0,
+            add_decap: 1.0,
+            jitter_sizes: false,
+        };
         let out = apply(base(), cfg, 4);
         let decap = out.circuit.device("Cdecap0").expect("added");
         assert_eq!(decap.terminals(), ["vdd!", "gnd!"]);
@@ -168,15 +208,22 @@ mod tests {
 
     #[test]
     fn mutated_circuit_preprocesses_back_to_core() {
-        let cfg = MutationConfig { split_parallel: 1.0, add_dummy: 1.0, add_decap: 1.0, jitter_sizes: false };
+        let cfg = MutationConfig {
+            split_parallel: 1.0,
+            add_dummy: 1.0,
+            add_decap: 1.0,
+            jitter_sizes: false,
+        };
         let out = apply(base(), cfg, 5);
         assert!(out.circuit.device_count() > 2);
-        let (clean, report) = gana_netlist::preprocess(
-            &out.circuit,
-            gana_netlist::PreprocessOptions::default(),
-        )
-        .expect("preprocess");
-        assert_eq!(clean.transistor_count(), 2, "splits merged, dummies dropped");
+        let (clean, report) =
+            gana_netlist::preprocess(&out.circuit, gana_netlist::PreprocessOptions::default())
+                .expect("preprocess");
+        assert_eq!(
+            clean.transistor_count(),
+            2,
+            "splits merged, dummies dropped"
+        );
         assert!(report.eliminated() >= 3);
     }
 }

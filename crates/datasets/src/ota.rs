@@ -88,9 +88,19 @@ struct Polarity {
 
 fn polarity(pmos_input: bool) -> Polarity {
     if pmos_input {
-        Polarity { inner: DeviceKind::Pmos, load: DeviceKind::Nmos, inner_rail: "vdd!", load_rail: "gnd!" }
+        Polarity {
+            inner: DeviceKind::Pmos,
+            load: DeviceKind::Nmos,
+            inner_rail: "vdd!",
+            load_rail: "gnd!",
+        }
     } else {
-        Polarity { inner: DeviceKind::Nmos, load: DeviceKind::Pmos, inner_rail: "gnd!", load_rail: "vdd!" }
+        Polarity {
+            inner: DeviceKind::Nmos,
+            load: DeviceKind::Pmos,
+            inner_rail: "gnd!",
+            load_rail: "vdd!",
+        }
     }
 }
 
@@ -244,7 +254,12 @@ pub fn generate(spec: OtaSpec) -> LabeledCircuit {
     }
     // Cascode topologies created a vb_casc gate net; give it a generator.
     let mut lc = b.finish();
-    if let Some(vbc) = lc.circuit.nets().into_iter().find(|n| n.ends_with("vb_casc")) {
+    if let Some(vbc) = lc
+        .circuit
+        .nets()
+        .into_iter()
+        .find(|n| n.ends_with("vb_casc"))
+    {
         append_cascode_bias(&mut lc, &vbc, &p);
     }
 
@@ -253,11 +268,22 @@ pub fn generate(spec: OtaSpec) -> LabeledCircuit {
 
 /// Adds a diode + resistor generator for the cascode bias net.
 fn append_cascode_bias(lc: &mut LabeledCircuit, vbc: &str, p: &Polarity) {
-    let model = |k: DeviceKind| if k == DeviceKind::Pmos { "PMOS" } else { "NMOS" };
+    let model = |k: DeviceKind| {
+        if k == DeviceKind::Pmos {
+            "PMOS"
+        } else {
+            "NMOS"
+        }
+    };
     let diode = gana_netlist::Device::new(
         "Mbc1",
         p.inner,
-        vec![vbc.to_string(), vbc.to_string(), p.inner_rail.to_string(), p.inner_rail.to_string()],
+        vec![
+            vbc.to_string(),
+            vbc.to_string(),
+            p.inner_rail.to_string(),
+            p.inner_rail.to_string(),
+        ],
     )
     .expect("4 terminals")
     .with_model(model(p.inner));
@@ -270,8 +296,10 @@ fn append_cascode_bias(lc: &mut LabeledCircuit, vbc: &str, p: &Polarity) {
     .with_value(50e3);
     lc.circuit.add_device(diode).expect("unique name");
     lc.circuit.add_device(res).expect("unique name");
-    lc.device_class.insert("Mbc1".to_string(), ota_classes::BIAS);
-    lc.device_class.insert("Rbc1".to_string(), ota_classes::BIAS);
+    lc.device_class
+        .insert("Mbc1".to_string(), ota_classes::BIAS);
+    lc.device_class
+        .insert("Rbc1".to_string(), ota_classes::BIAS);
     lc.net_class.insert(vbc.to_string(), ota_classes::BIAS);
     lc.circuit.set_port_label(vbc, PortLabel::Bias);
 }
@@ -305,7 +333,11 @@ pub fn corpus(count: usize, seed: u64) -> Corpus {
             break;
         }
     }
-    Corpus::new("OTA bias", samples, ota_classes::NAMES.iter().map(|s| s.to_string()).collect())
+    Corpus::new(
+        "OTA bias",
+        samples,
+        ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -415,7 +447,10 @@ mod tests {
             bias: BiasStyle::DiodeResistor,
             seed: 3,
         });
-        assert!(lc.device_class.contains_key("Mbc1"), "cascode bias diode present");
+        assert!(
+            lc.device_class.contains_key("Mbc1"),
+            "cascode bias diode present"
+        );
         assert_eq!(lc.device_class["Mbc1"], ota_classes::BIAS);
     }
 }

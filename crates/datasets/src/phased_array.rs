@@ -27,13 +27,17 @@ pub fn generate(seed: u64) -> LabeledCircuit {
 /// Generates a phased array with an explicit channel count.
 pub fn generate_with_channels(channels: usize, seed: u64) -> LabeledCircuit {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = CircuitBuilder::new(
-        format!("phased_array_{channels}ch"),
-        &pc::NAMES,
-    );
+    let mut b = CircuitBuilder::new(format!("phased_array_{channels}ch"), &pc::NAMES);
 
     // Shared LO: LC oscillator plus a global distribution buffer.
-    build_oscillator(&mut b, OscKind::CrossCoupledLc, &mut rng, "lo", pc::OSC, "osc");
+    build_oscillator(
+        &mut b,
+        OscKind::CrossCoupledLc,
+        &mut rng,
+        "lo",
+        pc::OSC,
+        "osc",
+    );
     b.port_label("lo", PortLabel::Oscillating);
     build_buffer(&mut b, "lo", "lodist", pc::BUF, "bufg");
 
@@ -49,7 +53,15 @@ pub fn generate_with_channels(channels: usize, seed: u64) -> LabeledCircuit {
         let antm = b.local("antm");
         b.capacitor(&ant, &antm, 0.8e-12);
         b.inductor(&antm, "gnd!", 1.5e-9);
-        build_lna(&mut b, LnaKind::InductiveDegeneration, &mut rng, &antm, &rf1, pc::LNA, &format!("lna{ch}"));
+        build_lna(
+            &mut b,
+            LnaKind::InductiveDegeneration,
+            &mut rng,
+            &antm,
+            &rf1,
+            pc::LNA,
+            &format!("lna{ch}"),
+        );
         b.port_label(&ant, PortLabel::Antenna);
         b.block(&format!("lna{ch}"), pc::LNA);
         b.claim_net(&ant);
@@ -68,7 +80,16 @@ pub fn generate_with_channels(channels: usize, seed: u64) -> LabeledCircuit {
         build_inv_amp(&mut b, &lo_ac, &lo_amp2, pc::INV, &format!("inv2_{ch}"));
         b.port_label(&lo_amp2, PortLabel::Oscillating);
 
-        build_mixer(&mut b, MixerKind::Gilbert, &mut rng, &rf2, &lo_amp2, &ifo, pc::MIXER, &format!("mix{ch}"));
+        build_mixer(
+            &mut b,
+            MixerKind::Gilbert,
+            &mut rng,
+            &rf2,
+            &lo_amp2,
+            &ifo,
+            pc::MIXER,
+            &format!("mix{ch}"),
+        );
         b.port_label(&ifo, PortLabel::Output);
 
         // IF low-pass and smoothing caps.
@@ -177,7 +198,10 @@ mod tests {
             .map(|(n, _)| n)
             .collect();
         let bpf_mos = bpf_devices.iter().filter(|n| n.starts_with('M')).count();
-        assert_eq!(bpf_mos, 5, "2 inputs + 2 cross-coupled + tail: {bpf_devices:?}");
+        assert_eq!(
+            bpf_mos, 5,
+            "2 inputs + 2 cross-coupled + tail: {bpf_devices:?}"
+        );
     }
 
     #[test]

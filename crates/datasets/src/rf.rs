@@ -26,8 +26,11 @@ pub enum LnaKind {
 
 impl LnaKind {
     /// All LNA families.
-    pub const ALL: [LnaKind; 3] =
-        [LnaKind::InductiveDegeneration, LnaKind::Cascode, LnaKind::ShuntFeedback];
+    pub const ALL: [LnaKind; 3] = [
+        LnaKind::InductiveDegeneration,
+        LnaKind::Cascode,
+        LnaKind::ShuntFeedback,
+    ];
 }
 
 /// Mixer topology families.
@@ -43,8 +46,11 @@ pub enum MixerKind {
 
 impl MixerKind {
     /// All mixer families.
-    pub const ALL: [MixerKind; 3] =
-        [MixerKind::Gilbert, MixerKind::SingleBalanced, MixerKind::PassiveRing];
+    pub const ALL: [MixerKind; 3] = [
+        MixerKind::Gilbert,
+        MixerKind::SingleBalanced,
+        MixerKind::PassiveRing,
+    ];
 }
 
 /// Oscillator topology families.
@@ -60,8 +66,11 @@ pub enum OscKind {
 
 impl OscKind {
     /// All oscillator families.
-    pub const ALL: [OscKind; 3] =
-        [OscKind::CrossCoupledLc, OscKind::ComplementaryLc, OscKind::Ring3];
+    pub const ALL: [OscKind; 3] = [
+        OscKind::CrossCoupledLc,
+        OscKind::ComplementaryLc,
+        OscKind::Ring3,
+    ];
 }
 
 /// Specification of one receiver.
@@ -78,7 +87,15 @@ pub struct ReceiverSpec {
 }
 
 /// Emits an LNA into `b`; input `rfin`, output `rfout`.
-pub(crate) fn build_lna(b: &mut CircuitBuilder, kind: LnaKind, rng: &mut StdRng, rfin: &str, rfout: &str, class: usize, tag: &str) {
+pub(crate) fn build_lna(
+    b: &mut CircuitBuilder,
+    kind: LnaKind,
+    rng: &mut StdRng,
+    rfin: &str,
+    rfout: &str,
+    class: usize,
+    tag: &str,
+) {
     b.block(tag, class);
     b.claim_net(rfin);
     b.claim_net(rfout);
@@ -116,7 +133,16 @@ pub(crate) fn build_lna(b: &mut CircuitBuilder, kind: LnaKind, rng: &mut StdRng,
 
 /// Emits a mixer into `b`; RF input `rf`, LO input `lo`, IF output `ifout`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn build_mixer(b: &mut CircuitBuilder, kind: MixerKind, rng: &mut StdRng, rf: &str, lo: &str, ifout: &str, class: usize, tag: &str) {
+pub(crate) fn build_mixer(
+    b: &mut CircuitBuilder,
+    kind: MixerKind,
+    rng: &mut StdRng,
+    rf: &str,
+    lo: &str,
+    ifout: &str,
+    class: usize,
+    tag: &str,
+) {
     b.block(tag, class);
     b.claim_net(ifout);
     let lob = b.local("lob");
@@ -170,7 +196,14 @@ pub(crate) fn build_mixer(b: &mut CircuitBuilder, kind: MixerKind, rng: &mut Std
 }
 
 /// Emits an oscillator into `b`; output `lo`.
-pub(crate) fn build_oscillator(b: &mut CircuitBuilder, kind: OscKind, rng: &mut StdRng, lo: &str, class: usize, tag: &str) {
+pub(crate) fn build_oscillator(
+    b: &mut CircuitBuilder,
+    kind: OscKind,
+    rng: &mut StdRng,
+    lo: &str,
+    class: usize,
+    tag: &str,
+) {
     b.block(tag, class);
     b.claim_net(lo);
     match kind {
@@ -199,7 +232,11 @@ pub(crate) fn build_oscillator(b: &mut CircuitBuilder, kind: OscKind, rng: &mut 
         OscKind::Ring3 => {
             let n1 = b.local("n1");
             let n2 = b.local("n2");
-            for (i, o) in [(lo, n1.as_str()), (n1.as_str(), n2.as_str()), (n2.as_str(), lo)] {
+            for (i, o) in [
+                (lo, n1.as_str()),
+                (n1.as_str(), n2.as_str()),
+                (n2.as_str(), lo),
+            ] {
                 b.mos(DeviceKind::Pmos, o, i, "vdd!", "vdd!");
                 b.mos(DeviceKind::Nmos, o, i, "gnd!", "gnd!");
             }
@@ -211,11 +248,31 @@ pub(crate) fn build_oscillator(b: &mut CircuitBuilder, kind: OscKind, rng: &mut 
 /// Generates one receiver: antenna → LNA → mixer ← oscillator.
 pub fn generate(spec: ReceiverSpec) -> LabeledCircuit {
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let name = format!("rx_{:?}_{:?}_{:?}_{}", spec.lna, spec.mixer, spec.osc, spec.seed);
+    let name = format!(
+        "rx_{:?}_{:?}_{:?}_{}",
+        spec.lna, spec.mixer, spec.osc, spec.seed
+    );
     let mut b = CircuitBuilder::new(name, &rf_classes::NAMES);
-    build_lna(&mut b, spec.lna, &mut rng, "antenna", "rfout", rf_classes::LNA, "lna");
+    build_lna(
+        &mut b,
+        spec.lna,
+        &mut rng,
+        "antenna",
+        "rfout",
+        rf_classes::LNA,
+        "lna",
+    );
     build_oscillator(&mut b, spec.osc, &mut rng, "lo", rf_classes::OSC, "osc");
-    build_mixer(&mut b, spec.mixer, &mut rng, "rfout", "lo", "ifout", rf_classes::MIXER, "mix");
+    build_mixer(
+        &mut b,
+        spec.mixer,
+        &mut rng,
+        "rfout",
+        "lo",
+        "ifout",
+        rf_classes::MIXER,
+        "mix",
+    );
     b.port_label("antenna", PortLabel::Antenna);
     b.port_label("lo", PortLabel::Oscillating);
     b.port_label("ifout", PortLabel::Output);
@@ -250,7 +307,11 @@ pub fn corpus(count: usize, seed: u64) -> Corpus {
             break;
         }
     }
-    Corpus::new("RF data", samples, rf_classes::NAMES.iter().map(|s| s.to_string()).collect())
+    Corpus::new(
+        "RF data",
+        samples,
+        rf_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -263,7 +324,12 @@ mod tests {
         for lna in LnaKind::ALL {
             for mixer in MixerKind::ALL {
                 for osc in OscKind::ALL {
-                    let lc = generate(ReceiverSpec { lna, mixer, osc, seed: 11 });
+                    let lc = generate(ReceiverSpec {
+                        lna,
+                        mixer,
+                        osc,
+                        seed: 11,
+                    });
                     let g = lc.graph();
                     let comps = connected_components(&g);
                     assert_eq!(
@@ -272,7 +338,10 @@ mod tests {
                         "{lna:?}/{mixer:?}/{osc:?} must be connected"
                     );
                     let hist = lc.device_class_histogram();
-                    assert!(hist.iter().all(|&c| c >= 3), "{lna:?}/{mixer:?}/{osc:?}: {hist:?}");
+                    assert!(
+                        hist.iter().all(|&c| c >= 3),
+                        "{lna:?}/{mixer:?}/{osc:?}: {hist:?}"
+                    );
                 }
             }
         }

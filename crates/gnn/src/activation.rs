@@ -39,7 +39,11 @@ impl Activation {
     ///
     /// Panics if `y` and `grad` have different shapes.
     pub fn backward(self, y: &DenseMatrix, grad: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(y.shape(), grad.shape(), "activation backward shape mismatch");
+        assert_eq!(
+            y.shape(),
+            grad.shape(),
+            "activation backward shape mismatch"
+        );
         match self {
             Activation::Relu => {
                 let mask = y.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
@@ -89,7 +93,11 @@ mod tests {
             let fd = (Activation::Tanh.forward(&xp).get(0, c)
                 - Activation::Tanh.forward(&xm).get(0, c))
                 / (2.0 * eps);
-            assert!((dx.get(0, c) - fd).abs() < 1e-8, "col {c}: {} vs {fd}", dx.get(0, c));
+            assert!(
+                (dx.get(0, c) - fd).abs() < 1e-8,
+                "col {c}: {} vs {fd}",
+                dx.get(0, c)
+            );
         }
     }
 

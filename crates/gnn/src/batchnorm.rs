@@ -36,7 +36,9 @@ impl BatchNorm {
     /// Returns [`GnnError::InvalidConfig`] if `dim == 0`.
     pub fn new(dim: usize) -> Result<BatchNorm> {
         if dim == 0 {
-            return Err(GnnError::InvalidConfig("batch norm needs dim > 0".to_string()));
+            return Err(GnnError::InvalidConfig(
+                "batch norm needs dim > 0".to_string(),
+            ));
         }
         Ok(BatchNorm {
             gamma: vec![1.0; dim],
@@ -87,9 +89,8 @@ impl BatchNorm {
             *rv = self.momentum * *rv + (1.0 - self.momentum) * v;
         }
         let std: Vec<f64> = var.iter().map(|v| (v + self.epsilon).sqrt()).collect();
-        let normalized = DenseMatrix::from_fn(x.rows(), x.cols(), |r, c| {
-            (x.get(r, c) - mean[c]) / std[c]
-        });
+        let normalized =
+            DenseMatrix::from_fn(x.rows(), x.cols(), |r, c| (x.get(r, c) - mean[c]) / std[c]);
         let y = DenseMatrix::from_fn(x.rows(), x.cols(), |r, c| {
             self.gamma[c] * normalized.get(r, c) + self.beta[c]
         });
@@ -150,8 +151,7 @@ impl BatchNorm {
         }
         let grad_x = DenseMatrix::from_fn(grad_y.rows(), dim, |r, c| {
             let dxhat = grad_y.get(r, c) * self.gamma[c];
-            (dxhat - mean_dxhat[c] - cache.normalized.get(r, c) * mean_dxhat_xhat[c])
-                / cache.std[c]
+            (dxhat - mean_dxhat[c] - cache.normalized.get(r, c) * mean_dxhat_xhat[c]) / cache.std[c]
         });
         Ok((grad_x, grad_gamma, grad_beta))
     }
@@ -220,8 +220,7 @@ mod tests {
     #[test]
     fn training_output_is_normalized() {
         let mut bn = BatchNorm::new(2).expect("valid");
-        let x = DenseMatrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 50.0]])
-            .expect("valid");
+        let x = DenseMatrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 50.0]]).expect("valid");
         let (y, _) = bn.forward_train(&x).expect("shapes ok");
         for c in 0..2 {
             let mean: f64 = (0..3).map(|r| y.get(r, c)).sum::<f64>() / 3.0;
@@ -249,8 +248,7 @@ mod tests {
         let mut bn = BatchNorm::new(2).expect("valid");
         bn.gamma_mut()[0] = 1.3;
         bn.beta_mut()[1] = -0.4;
-        let x = DenseMatrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.3], &[-0.7, 1.1]])
-            .expect("valid");
+        let x = DenseMatrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.3], &[-0.7, 1.1]]).expect("valid");
         // Freeze running stats influence by copying the layer for each eval.
         let weighted_sum = |y: &DenseMatrix| -> f64 {
             // Non-uniform weights so the mean-subtraction terms matter.

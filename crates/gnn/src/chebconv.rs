@@ -37,7 +37,12 @@ impl ChebConv {
     ///
     /// Returns [`GnnError::InvalidConfig`] if `filter_order == 0` or either
     /// dimension is zero.
-    pub fn new(in_dim: usize, out_dim: usize, filter_order: usize, rng: &mut StdRng) -> Result<Self> {
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        filter_order: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
         if filter_order == 0 || in_dim == 0 || out_dim == 0 {
             return Err(GnnError::InvalidConfig(format!(
                 "chebconv needs positive dims and order, got {in_dim}x{out_dim} K={filter_order}"
@@ -45,11 +50,14 @@ impl ChebConv {
         }
         let limit = (6.0 / (in_dim as f64 * filter_order as f64 + out_dim as f64)).sqrt();
         let weights = (0..filter_order)
-            .map(|_| {
-                DenseMatrix::from_fn(in_dim, out_dim, |_, _| rng.gen_range(-limit..limit))
-            })
+            .map(|_| DenseMatrix::from_fn(in_dim, out_dim, |_, _| rng.gen_range(-limit..limit)))
             .collect();
-        Ok(ChebConv { weights, bias: vec![0.0; out_dim], in_dim, out_dim })
+        Ok(ChebConv {
+            weights,
+            bias: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+        })
     }
 
     /// Filter order `K`.
@@ -224,7 +232,8 @@ mod tests {
             lcoo.push(i, i, 1.0).expect("in bounds");
         }
         for (r, c, v) in adj.iter() {
-            lcoo.push(r, c, -v / (degrees[r].sqrt() * degrees[c].sqrt())).expect("in bounds");
+            lcoo.push(r, c, -v / (degrees[r].sqrt() * degrees[c].sqrt()))
+                .expect("in bounds");
         }
         let l = lcoo.to_csr();
         let eye = CsrMatrix::identity(n);
@@ -243,7 +252,10 @@ mod tests {
         let x = DenseMatrix::from_fn(4, 3, |i, j| (i + j) as f64);
         let (y, _) = conv.forward(&l, &x).expect("shapes ok");
         let expected = x.matmul(&conv.weights()[0]).expect("shapes ok");
-        assert!((&y - &expected).frobenius_norm() < 1e-12, "K=1 ⇒ y = X W_0 (+0 bias)");
+        assert!(
+            (&y - &expected).frobenius_norm() < 1e-12,
+            "K=1 ⇒ y = X W_0 (+0 bias)"
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn to_string(model: &GcnModel) -> String {
 pub fn from_str(text: &str) -> Result<GcnModel> {
     let mut lines = text.lines();
     if lines.next().map(str::trim) != Some(MAGIC) {
-        return Err(GnnError::InvalidConfig("not a gana checkpoint (bad magic)".to_string()));
+        return Err(GnnError::InvalidConfig(
+            "not a gana checkpoint (bad magic)".to_string(),
+        ));
     }
     let mut config = GcnConfig::default();
     let mut expected_params: Option<usize> = None;
@@ -109,7 +111,11 @@ pub fn from_str(text: &str) -> Result<GcnModel> {
                 expected_params = Some(value.parse().map_err(|_| bad("params count"))?);
                 break;
             }
-            _ => return Err(GnnError::InvalidConfig(format!("unknown checkpoint key {key:?}"))),
+            _ => {
+                return Err(GnnError::InvalidConfig(format!(
+                    "unknown checkpoint key {key:?}"
+                )))
+            }
         }
     }
     let expected = expected_params
@@ -123,17 +129,18 @@ pub fn from_str(text: &str) -> Result<GcnModel> {
             continue;
         }
         if let Some(count) = line.strip_prefix("bn_stats ") {
-            bn_layer_count = Some(count.parse().map_err(|_| {
-                GnnError::InvalidConfig(format!("bad bn_stats count {count:?}"))
-            })?);
+            bn_layer_count =
+                Some(count.parse().map_err(|_| {
+                    GnnError::InvalidConfig(format!("bad bn_stats count {count:?}"))
+                })?);
             continue;
         }
         let values: Vec<f64> = line
             .split_whitespace()
             .map(|token| {
-                token.parse().map_err(|_| {
-                    GnnError::InvalidConfig(format!("bad parameter {token:?}"))
-                })
+                token
+                    .parse()
+                    .map_err(|_| GnnError::InvalidConfig(format!("bad parameter {token:?}")))
             })
             .collect::<Result<_>>()?;
         if bn_layer_count.is_some() {
@@ -196,10 +203,9 @@ mod tests {
     use gana_graph::{CircuitGraph, GraphOptions};
 
     fn trained_model() -> (GcnModel, GraphSample) {
-        let circuit = gana_netlist::parse(
-            "M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n",
-        )
-        .expect("valid");
+        let circuit =
+            gana_netlist::parse("M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n")
+                .expect("valid");
         let graph = CircuitGraph::build(&circuit, GraphOptions::default());
         let labels = (0..graph.vertex_count()).map(|v| Some(v % 2)).collect();
         let sample = GraphSample::prepare("t", &circuit, &graph, labels, 1, 0).expect("ok");
@@ -250,14 +256,10 @@ mod tests {
 
     #[test]
     fn batch_norm_running_stats_round_trip() {
-        let circuit = gana_netlist::parse(
-            "M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n",
-        )
-        .expect("valid");
-        let graph = gana_graph::CircuitGraph::build(
-            &circuit,
-            gana_graph::GraphOptions::default(),
-        );
+        let circuit =
+            gana_netlist::parse("M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n")
+                .expect("valid");
+        let graph = gana_graph::CircuitGraph::build(&circuit, gana_graph::GraphOptions::default());
         let labels = (0..graph.vertex_count()).map(|v| Some(v % 2)).collect();
         let sample = GraphSample::prepare("t", &circuit, &graph, labels, 1, 0).expect("ok");
         let mut model = GcnModel::new(GcnConfig {
@@ -294,8 +296,11 @@ mod tests {
     fn truncated_params_are_rejected() {
         let (model, _) = trained_model();
         let text = to_string(&model);
-        let truncated: String =
-            text.lines().take(text.lines().count() - 2).collect::<Vec<_>>().join("\n");
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 2)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(from_str(&truncated).is_err());
     }
 

@@ -83,7 +83,11 @@ impl Coarsening {
             }
             slots[l] = assigned;
         }
-        let level0_padded = if levels == 0 { n_original } else { n_coarsest << levels };
+        let level0_padded = if levels == 0 {
+            n_original
+        } else {
+            n_coarsest << levels
+        };
 
         let mut perm: Vec<Option<usize>> = vec![None; level0_padded];
         let mut inverse_perm = vec![0usize; n_original];
@@ -105,7 +109,13 @@ impl Coarsening {
             laplacians.push(lap);
         }
 
-        Ok(Coarsening { levels, laplacians, perm, inverse_perm, n_original })
+        Ok(Coarsening {
+            levels,
+            laplacians,
+            perm,
+            inverse_perm,
+            n_original,
+        })
     }
 
     /// Number of pooling levels.
@@ -256,11 +266,7 @@ fn coarsen_adjacency(adj: &CsrMatrix, parent: &[usize]) -> CsrMatrix {
 
 /// Permutes a real adjacency into padded slots, then forms the rescaled
 /// normalized Laplacian (fake slots are isolated → zero rows).
-fn padded_scaled_laplacian(
-    adj: &CsrMatrix,
-    slots: &[usize],
-    padded: usize,
-) -> Result<CsrMatrix> {
+fn padded_scaled_laplacian(adj: &CsrMatrix, slots: &[usize], padded: usize) -> Result<CsrMatrix> {
     let mut coo = CooMatrix::new(padded, padded);
     for (r, c, v) in adj.iter() {
         coo.push(slots[r], slots[c], v).expect("slots in bounds");
@@ -302,7 +308,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let parent = graclus_matching(&adj, &mut rng);
         let n_coarse = parent.iter().max().expect("non-empty") + 1;
-        assert!((3..=5).contains(&n_coarse), "6-path coarsens to 3..5 clusters");
+        assert!(
+            (3..=5).contains(&n_coarse),
+            "6-path coarsens to 3..5 clusters"
+        );
         // Each cluster has at most 2 members.
         let mut counts = vec![0; n_coarse];
         for &p in &parent {
@@ -366,10 +375,17 @@ mod tests {
         let padded = c.permute_features(&x).expect("ok");
         for slot in 0..c.padded_size(0) {
             if c.original(slot).is_none() {
-                assert_eq!(padded.row(slot), &[0.0, 0.0], "fake slot {slot} must be zero");
+                assert_eq!(
+                    padded.row(slot),
+                    &[0.0, 0.0],
+                    "fake slot {slot} must be zero"
+                );
                 // Isolated in the Laplacian.
                 assert_eq!(
-                    c.laplacian(0).row_iter(slot).filter(|&(_, v)| v != 0.0).count(),
+                    c.laplacian(0)
+                        .row_iter(slot)
+                        .filter(|&(_, v)| v != 0.0)
+                        .count(),
                     1,
                     "fake slot has only the -I diagonal entry"
                 );
@@ -410,7 +426,10 @@ mod tests {
         for l in 0..=2 {
             let lambda = gana_sparse::lanczos::largest_eigenvalue(c.laplacian(l), 60, 1e-10)
                 .expect("square");
-            assert!(lambda <= 1.0 + 1e-6, "level {l} spectrum exceeds 1: {lambda}");
+            assert!(
+                lambda <= 1.0 + 1e-6,
+                "level {l} spectrum exceeds 1: {lambda}"
+            );
         }
     }
 

@@ -91,7 +91,10 @@ pub fn k_fold(
             .enumerate()
             .map(|(fold_id, held_out)| scope.spawn(move |_| run_fold(fold_id, held_out)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fold thread must not panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread must not panic"))
+            .collect()
     })
     .expect("crossbeam scope");
 
@@ -102,7 +105,10 @@ pub fn k_fold(
         fold_accuracies.push(val);
         fold_train_accuracies.push(train);
     }
-    Ok(CrossValResult { fold_accuracies, fold_train_accuracies })
+    Ok(CrossValResult {
+        fold_accuracies,
+        fold_train_accuracies,
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +133,9 @@ mod tests {
     fn k_fold_runs_and_reports() {
         let samples: Vec<GraphSample> = (0..5)
             .map(|i| {
-                let src = format!("M0 d{i} d{i} gnd! gnd! NMOS\nM1 e{i} d{i} gnd! gnd! NMOS\nR1 e{i} o 1k\n");
+                let src = format!(
+                    "M0 d{i} d{i} gnd! gnd! NMOS\nM1 e{i} d{i} gnd! gnd! NMOS\nR1 e{i} o 1k\n"
+                );
                 let c = parse(&src).expect("valid");
                 let g = CircuitGraph::build(&c, GraphOptions::default());
                 let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
@@ -144,7 +152,10 @@ mod tests {
             batch_norm: false,
             ..GcnConfig::default()
         };
-        let trainer = TrainerConfig { epochs: 2, ..TrainerConfig::default() };
+        let trainer = TrainerConfig {
+            epochs: 2,
+            ..TrainerConfig::default()
+        };
         let result = k_fold(&model, &trainer, &samples, 5, 0).expect("runs");
         assert_eq!(result.fold_accuracies.len(), 5);
         let (mean, var) = result.validation_summary();

@@ -33,7 +33,10 @@ impl DenseLayer {
         }
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
         let weight = DenseMatrix::from_fn(in_dim, out_dim, |_, _| rng.gen_range(-limit..limit));
-        Ok(DenseLayer { weight, bias: vec![0.0; out_dim] })
+        Ok(DenseLayer {
+            weight,
+            bias: vec![0.0; out_dim],
+        })
     }
 
     /// Input dimension.

@@ -28,7 +28,10 @@ impl Dropout {
     ///
     /// Panics if `rate` is not in `[0, 1)`.
     pub fn new(rate: f64) -> Dropout {
-        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
         Dropout { rate }
     }
 
@@ -66,7 +69,8 @@ impl Dropout {
     ///
     /// Panics if `grad` has a different shape from the forward input.
     pub fn backward(&self, mask: &DropoutMask, grad: &DenseMatrix) -> DenseMatrix {
-        grad.hadamard(&mask.mask).expect("mask shape matches forward input")
+        grad.hadamard(&mask.mask)
+            .expect("mask shape matches forward input")
     }
 }
 
@@ -91,7 +95,10 @@ mod tests {
         let x = DenseMatrix::filled(200, 50, 1.0);
         let (y, _) = d.forward_train(&x, &mut rng);
         let mean = y.sum() / (200.0 * 50.0);
-        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps the mean, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "inverted dropout keeps the mean, got {mean}"
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = GnnError::NonFinite { location: "chebconv backward" };
+        let e = GnnError::NonFinite {
+            location: "chebconv backward",
+        };
         assert!(e.to_string().contains("chebconv"));
         let s: GnnError = SparseError::NotSquare { shape: (2, 3) }.into();
         assert!(s.to_string().contains("2x3"));

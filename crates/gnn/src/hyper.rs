@@ -89,7 +89,11 @@ pub fn random_search(
             Err(crate::GnnError::NonFinite { .. }) => 0.0,
             Err(e) => return Err(e),
         };
-        results.push(Candidate { model, trainer: trainer_cfg, validation_accuracy });
+        results.push(Candidate {
+            model,
+            trainer: trainer_cfg,
+            validation_accuracy,
+        });
     }
     results.sort_by(|a, b| {
         b.validation_accuracy
@@ -107,17 +111,19 @@ mod tests {
     use gana_netlist::parse;
 
     fn samples() -> Vec<GraphSample> {
-        ["M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n",
-         "M0 a a gnd! gnd! NMOS\nM1 b a gnd! gnd! NMOS\nC1 b o 1p\n"]
-            .iter()
-            .enumerate()
-            .map(|(i, src)| {
-                let c = parse(src).expect("valid");
-                let g = CircuitGraph::build(&c, GraphOptions::default());
-                let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
-                GraphSample::prepare(format!("s{i}"), &c, &g, labels, 1, 0).expect("ok")
-            })
-            .collect()
+        [
+            "M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nR1 d2 o 1k\n",
+            "M0 a a gnd! gnd! NMOS\nM1 b a gnd! gnd! NMOS\nC1 b o 1p\n",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, src)| {
+            let c = parse(src).expect("valid");
+            let g = CircuitGraph::build(&c, GraphOptions::default());
+            let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
+            GraphSample::prepare(format!("s{i}"), &c, &g, labels, 1, 0).expect("ok")
+        })
+        .collect()
     }
 
     #[test]
@@ -132,14 +138,25 @@ mod tests {
             batch_norm: false,
             ..GcnConfig::default()
         };
-        let base_trainer = TrainerConfig { epochs: 3, ..TrainerConfig::default() };
+        let base_trainer = TrainerConfig {
+            epochs: 3,
+            ..TrainerConfig::default()
+        };
         let space = SearchSpace {
             filter_orders: vec![2, 3],
             dropouts: vec![0.0],
             ..SearchSpace::default()
         };
-        let out = random_search(&base_model, &base_trainer, &space, &refs[..1], &refs[1..], 3, 7)
-            .expect("search runs");
+        let out = random_search(
+            &base_model,
+            &base_trainer,
+            &space,
+            &refs[..1],
+            &refs[1..],
+            3,
+            7,
+        )
+        .expect("search runs");
         assert_eq!(out.len(), 3);
         for w in out.windows(2) {
             assert!(w[0].validation_accuracy >= w[1].validation_accuracy);

@@ -24,8 +24,8 @@
 
 mod activation;
 mod batchnorm;
-pub mod checkpoint;
 mod chebconv;
+pub mod checkpoint;
 pub mod coarsen;
 pub mod crossval;
 mod dense_layer;

@@ -41,7 +41,11 @@ pub fn cross_entropy(logits: &DenseMatrix, labels: &[Option<usize>]) -> (f64, De
     let mut loss = 0.0;
     for (r, label) in labels.iter().enumerate() {
         let Some(y) = label else { continue };
-        assert!(*y < logits.cols(), "label {y} out of range for {} classes", logits.cols());
+        assert!(
+            *y < logits.cols(),
+            "label {y} out of range for {} classes",
+            logits.cols()
+        );
         let p = probs.get(r, *y).max(1e-15);
         loss -= p.ln();
         for c in 0..logits.cols() {
@@ -64,8 +68,7 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let logits = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]])
-            .expect("valid");
+        let logits = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]).expect("valid");
         let p = softmax(&logits);
         for r in 0..2 {
             let sum: f64 = p.row(r).iter().sum();

@@ -9,7 +9,11 @@
 ///
 /// Panics if the slices have different lengths.
 pub fn accuracy(predictions: &[usize], labels: &[Option<usize>]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "one prediction per label slot");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "one prediction per label slot"
+    );
     let mut correct = 0usize;
     let mut total = 0usize;
     for (p, l) in predictions.iter().zip(labels) {
@@ -37,7 +41,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an empty matrix for `classes` classes.
     pub fn new(classes: usize) -> ConfusionMatrix {
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Accumulates one batch of predictions.
@@ -49,7 +56,10 @@ impl ConfusionMatrix {
         assert_eq!(predictions.len(), labels.len());
         for (&p, l) in predictions.iter().zip(labels) {
             if let Some(y) = l {
-                assert!(p < self.classes && *y < self.classes, "class id out of range");
+                assert!(
+                    p < self.classes && *y < self.classes,
+                    "class id out of range"
+                );
                 self.counts[y * self.classes + p] += 1;
             }
         }

@@ -75,13 +75,19 @@ impl GcnConfig {
 
     fn validate(&self) -> Result<()> {
         if self.input_dim == 0 || self.num_classes == 0 || self.fc_dim == 0 {
-            return Err(GnnError::InvalidConfig("dimensions must be positive".to_string()));
+            return Err(GnnError::InvalidConfig(
+                "dimensions must be positive".to_string(),
+            ));
         }
         if self.conv_channels.is_empty() {
-            return Err(GnnError::InvalidConfig("at least one conv layer required".to_string()));
+            return Err(GnnError::InvalidConfig(
+                "at least one conv layer required".to_string(),
+            ));
         }
         if self.filter_order == 0 {
-            return Err(GnnError::InvalidConfig("filter order K must be ≥ 1".to_string()));
+            return Err(GnnError::InvalidConfig(
+                "filter order K must be ≥ 1".to_string(),
+            ));
         }
         if !(0.0..1.0).contains(&self.dropout) {
             return Err(GnnError::InvalidConfig(format!(
@@ -165,7 +171,12 @@ impl GcnModel {
         let mut batch_norms = Vec::new();
         let mut in_dim = config.input_dim;
         for &out_dim in &config.conv_channels {
-            convs.push(ChebConv::new(in_dim, out_dim, config.filter_order, &mut rng)?);
+            convs.push(ChebConv::new(
+                in_dim,
+                out_dim,
+                config.filter_order,
+                &mut rng,
+            )?);
             if config.batch_norm {
                 batch_norms.push(BatchNorm::new(out_dim)?);
             }
@@ -174,7 +185,15 @@ impl GcnModel {
         let fc1 = DenseLayer::new(in_dim, config.fc_dim, &mut rng)?;
         let fc2 = DenseLayer::new(config.fc_dim, config.num_classes, &mut rng)?;
         let dropout = Dropout::new(config.dropout);
-        Ok(GcnModel { config, convs, batch_norms, fc1, fc2, dropout, rng })
+        Ok(GcnModel {
+            config,
+            convs,
+            batch_norms,
+            fc1,
+            fc2,
+            dropout,
+            rng,
+        })
     }
 
     /// The model configuration.
@@ -223,10 +242,7 @@ impl GcnModel {
     ///
     /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
     /// model configuration.
-    pub fn predict_probabilities(
-        &self,
-        sample: &GraphSample,
-    ) -> Result<(DenseMatrix, Vec<usize>)> {
+    pub fn predict_probabilities(&self, sample: &GraphSample) -> Result<(DenseMatrix, Vec<usize>)> {
         self.check_sample(sample)?;
         let mut x = sample.features.clone();
         for (l, conv) in self.convs.iter().enumerate() {
@@ -242,8 +258,9 @@ impl GcnModel {
         let (h, _) = self.fc1.forward(&x)?;
         let h = self.config.activation.forward(&h);
         let (logits, _) = self.fc2.forward(&h)?;
-        let clusters: Vec<usize> =
-            (0..sample.vertex_count()).map(|v| sample.coarsening.cluster_of(v)).collect();
+        let clusters: Vec<usize> = (0..sample.vertex_count())
+            .map(|v| sample.coarsening.cluster_of(v))
+            .collect();
         let vertex_logits = logits.gather_rows(&clusters);
         let probs = softmax(&vertex_logits);
         let preds = (0..probs.rows())
@@ -298,13 +315,15 @@ impl GcnModel {
         let (logits, fc2_cache) = self.fc2.forward(&h_drop)?;
 
         // ---- loss on original vertices via their clusters ----
-        let clusters: Vec<usize> =
-            (0..sample.vertex_count()).map(|v| sample.coarsening.cluster_of(v)).collect();
+        let clusters: Vec<usize> = (0..sample.vertex_count())
+            .map(|v| sample.coarsening.cluster_of(v))
+            .collect();
         let vertex_logits = logits.gather_rows(&clusters);
         let (mut loss, vertex_grad) = cross_entropy(&vertex_logits, &sample.labels);
         let probs = softmax(&vertex_logits);
-        let predictions: Vec<usize> =
-            (0..probs.rows()).map(|r| probs.row_argmax(r).unwrap_or(0)).collect();
+        let predictions: Vec<usize> = (0..probs.rows())
+            .map(|r| probs.row_argmax(r).unwrap_or(0))
+            .collect();
 
         // Scatter vertex gradients back onto cluster logits.
         let mut logits_grad = DenseMatrix::zeros(logits.rows(), logits.cols());
@@ -362,12 +381,26 @@ impl GcnModel {
             fc2_gw.axpy(lambda, self.fc2.weight())?;
             loss += 0.5
                 * lambda
-                * (self.fc1.weight().as_slice().iter().map(|v| v * v).sum::<f64>()
-                    + self.fc2.weight().as_slice().iter().map(|v| v * v).sum::<f64>());
+                * (self
+                    .fc1
+                    .weight()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+                    + self
+                        .fc2
+                        .weight()
+                        .as_slice()
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f64>());
         }
 
         if !loss.is_finite() {
-            return Err(GnnError::NonFinite { location: "training loss" });
+            return Err(GnnError::NonFinite {
+                location: "training loss",
+            });
         }
 
         Ok(StepResult {
@@ -471,10 +504,16 @@ impl GcnModel {
             bn.beta_mut().copy_from_slice(take(d));
         }
         let (r1, c1) = (self.fc1.in_dim(), self.fc1.out_dim());
-        self.fc1.weight_mut().as_mut_slice().copy_from_slice(take(r1 * c1));
+        self.fc1
+            .weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(take(r1 * c1));
         self.fc1.bias_mut().copy_from_slice(take(c1));
         let (r2, c2) = (self.fc2.in_dim(), self.fc2.out_dim());
-        self.fc2.weight_mut().as_mut_slice().copy_from_slice(take(r2 * c2));
+        self.fc2
+            .weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(take(r2 * c2));
         self.fc2.bias_mut().copy_from_slice(take(c2));
         debug_assert_eq!(cursor, flat.len());
         Ok(())
@@ -489,7 +528,11 @@ impl GcnModel {
 /// Panics if the row count is odd (coarsening always produces even padded
 /// sizes when `levels ≥ 1`).
 pub(crate) fn max_pool2(x: &DenseMatrix) -> (DenseMatrix, Vec<usize>) {
-    assert!(x.rows().is_multiple_of(2), "pooling needs an even number of rows, got {}", x.rows());
+    assert!(
+        x.rows().is_multiple_of(2),
+        "pooling needs an even number of rows, got {}",
+        x.rows()
+    );
     let out_rows = x.rows() / 2;
     let mut y = DenseMatrix::zeros(out_rows, x.cols());
     let mut argmax = vec![0usize; out_rows * x.cols()];
@@ -712,6 +755,9 @@ mod tests {
         let g = CircuitGraph::build(&c, GraphOptions::default());
         let labels = vec![Some(0); g.vertex_count()];
         let sample = GraphSample::prepare("bad", &c, &g, labels, 1, 0).expect("prepares");
-        assert!(model.predict(&sample).is_err(), "model pools 2 levels, sample has 1");
+        assert!(
+            model.predict(&sample).is_err(),
+            "model pools 2 levels, sample has 1"
+        );
     }
 }

@@ -33,15 +33,26 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate and momentum (0 disables).
     pub fn new(learning_rate: f64, momentum: f64) -> Sgd {
-        Sgd { learning_rate, momentum, velocity: Vec::new() }
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.velocity.len() != params.len() {
-            assert!(self.velocity.is_empty(), "parameter count changed between steps");
+            assert!(
+                self.velocity.is_empty(),
+                "parameter count changed between steps"
+            );
             self.velocity = vec![0.0; params.len()];
         }
         for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
@@ -74,13 +85,25 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with standard betas (0.9, 0.999).
     pub fn new(learning_rate: f64) -> Adam {
-        Adam { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.m.len() != params.len() {
             assert!(self.m.is_empty(), "parameter count changed between steps");
             self.m = vec![0.0; params.len()];

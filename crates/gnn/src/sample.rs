@@ -77,7 +77,12 @@ impl GraphSample {
         let coarsening = Coarsening::build(&adj, levels, seed)?;
         let x = features::feature_matrix_with_options(circuit, graph, options);
         let features = coarsening.permute_features(&x)?;
-        Ok(GraphSample { name: name.into(), coarsening, features, labels })
+        Ok(GraphSample {
+            name: name.into(),
+            coarsening,
+            features,
+            labels,
+        })
     }
 
     /// Number of original vertices.
@@ -123,8 +128,8 @@ mod tests {
     fn label_length_is_validated() {
         let c = parse("R1 a b 1\n").expect("valid");
         let g = CircuitGraph::build(&c, GraphOptions::default());
-        let err = GraphSample::prepare("t", &c, &g, vec![Some(0)], 1, 0)
-            .expect_err("wrong label count");
+        let err =
+            GraphSample::prepare("t", &c, &g, vec![Some(0)], 1, 0).expect_err("wrong label count");
         assert!(matches!(err, GnnError::ShapeMismatch(_)));
     }
 }

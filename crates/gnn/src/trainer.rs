@@ -65,17 +65,28 @@ impl Trainer {
     ///
     /// Propagates model-construction errors.
     pub fn new(model_config: GcnConfig, config: TrainerConfig) -> Result<Trainer> {
-        Ok(Trainer { model: GcnModel::new(model_config)?, config, history: Vec::new() })
+        Ok(Trainer {
+            model: GcnModel::new(model_config)?,
+            config,
+            history: Vec::new(),
+        })
     }
 
     /// Wraps an existing model (e.g. to continue training).
     pub fn with_model(model: GcnModel, config: TrainerConfig) -> Trainer {
-        Trainer { model, config, history: Vec::new() }
+        Trainer {
+            model,
+            config,
+            history: Vec::new(),
+        }
     }
 
     /// Splits samples 80/20 into train/validation, as in the paper
     /// ("the input data is split into an 80%:20% ratio").
-    pub fn split_80_20(samples: &[GraphSample], seed: u64) -> (Vec<&GraphSample>, Vec<&GraphSample>) {
+    pub fn split_80_20(
+        samples: &[GraphSample],
+        seed: u64,
+    ) -> (Vec<&GraphSample>, Vec<&GraphSample>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut refs: Vec<&GraphSample> = samples.iter().collect();
         refs.shuffle(&mut rng);
@@ -123,7 +134,11 @@ impl Trainer {
                 self.model.apply_flat_params(&params)?;
             }
             optimizer.decay(self.config.lr_decay);
-            let train_accuracy = if labeled == 0 { 1.0 } else { correct as f64 / labeled as f64 };
+            let train_accuracy = if labeled == 0 {
+                1.0
+            } else {
+                correct as f64 / labeled as f64
+            };
             let validation_accuracy = self.evaluate(validation)?;
             let stats = EpochStats {
                 epoch,
@@ -162,7 +177,11 @@ impl Trainer {
                 }
             }
         }
-        Ok(if labeled == 0 { 1.0 } else { correct as f64 / labeled as f64 })
+        Ok(if labeled == 0 {
+            1.0
+        } else {
+            correct as f64 / labeled as f64
+        })
     }
 
     /// Per-sample accuracies (used by the experiment reports).
@@ -251,7 +270,11 @@ mod tests {
         let refs: Vec<&GraphSample> = samples.iter().collect();
         let mut trainer = Trainer::new(
             toy_config(),
-            TrainerConfig { epochs: 60, learning_rate: 0.01, ..TrainerConfig::default() },
+            TrainerConfig {
+                epochs: 60,
+                learning_rate: 0.01,
+                ..TrainerConfig::default()
+            },
         )
         .expect("valid");
         let history = trainer.fit(&refs, &[]).expect("trains");
@@ -277,8 +300,7 @@ mod tests {
 
     #[test]
     fn empty_training_set_is_rejected() {
-        let mut trainer =
-            Trainer::new(toy_config(), TrainerConfig::default()).expect("valid");
+        let mut trainer = Trainer::new(toy_config(), TrainerConfig::default()).expect("valid");
         assert!(matches!(trainer.fit(&[], &[]), Err(GnnError::EmptyDataset)));
     }
 

@@ -7,9 +7,8 @@ use proptest::prelude::*;
 
 fn random_logits() -> impl Strategy<Value = DenseMatrix> {
     (1usize..10, 2usize..6).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(-30.0f64..30.0, rows * cols).prop_map(move |data| {
-            DenseMatrix::from_vec(rows, cols, data).expect("length matches")
-        })
+        proptest::collection::vec(-30.0f64..30.0, rows * cols)
+            .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).expect("length matches"))
     })
 }
 
@@ -23,7 +22,8 @@ fn random_adjacency() -> impl Strategy<Value = CsrMatrix> {
             }
             for (a, b) in extras {
                 if a != b {
-                    coo.push_symmetric(a.min(b), a.max(b), 1.0).expect("in bounds");
+                    coo.push_symmetric(a.min(b), a.max(b), 1.0)
+                        .expect("in bounds");
                 }
             }
             coo.to_csr()

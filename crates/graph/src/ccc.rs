@@ -62,7 +62,9 @@ pub fn channel_connected_components(circuit: &Circuit, graph: &CircuitGraph) -> 
     // Group transistors by shared channel nets.
     let mut channel_net_users: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
     for v in graph.element_vertices() {
-        let Some(kind) = graph.element_kind(v) else { continue };
+        let Some(kind) = graph.element_kind(v) else {
+            continue;
+        };
         if !kind.is_transistor() {
             continue;
         }
@@ -86,12 +88,21 @@ pub fn channel_connected_components(circuit: &Circuit, graph: &CircuitGraph) -> 
     // Collect components.
     let mut by_root: HashMap<usize, Ccc> = HashMap::new();
     for v in graph.element_vertices() {
-        let Some(kind) = graph.element_kind(v) else { continue };
+        let Some(kind) = graph.element_kind(v) else {
+            continue;
+        };
         if !kind.is_transistor() {
             continue;
         }
         let root = find(&mut parent, v);
-        by_root.entry(root).or_insert_with(|| Ccc { transistors: Vec::new(), nets: Vec::new() }).transistors.push(v);
+        by_root
+            .entry(root)
+            .or_insert_with(|| Ccc {
+                transistors: Vec::new(),
+                nets: Vec::new(),
+            })
+            .transistors
+            .push(v);
     }
     for (&net_v, users) in &channel_net_users {
         if let Some(&first) = users.first() {
@@ -107,7 +118,11 @@ pub fn channel_connected_components(circuit: &Circuit, graph: &CircuitGraph) -> 
         c.transistors.sort_unstable();
         c.nets.sort_unstable();
     }
-    components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.transistors.cmp(&b.transistors)));
+    components.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.transistors.cmp(&b.transistors))
+    });
     components
 }
 
@@ -131,10 +146,7 @@ pub fn ccc_membership(components: &[Ccc], vertex_count: usize) -> Vec<Option<usi
 ///
 /// Returns, for every element vertex, `Some(ccc_index)` or `None` when the
 /// element touches no CCC net (e.g. a decap strapped across rails).
-pub fn attach_passives(
-    graph: &CircuitGraph,
-    components: &[Ccc],
-) -> Vec<Option<usize>> {
+pub fn attach_passives(graph: &CircuitGraph, components: &[Ccc]) -> Vec<Option<usize>> {
     let membership = ccc_membership(components, graph.vertex_count());
     let mut out = vec![None; graph.vertex_count()];
     for v in graph.element_vertices() {
@@ -142,7 +154,9 @@ pub fn attach_passives(
             out[v] = Some(idx);
             continue;
         }
-        let Some(kind) = graph.element_kind(v) else { continue };
+        let Some(kind) = graph.element_kind(v) else {
+            continue;
+        };
         if kind.is_transistor() {
             continue;
         }
@@ -245,7 +259,10 @@ mod tests {
         let m2 = g.element_vertex("M2").expect("exists");
         assert_eq!(membership[m1], membership[m2]);
         let b = g.net_vertex("b").expect("exists");
-        assert_eq!(membership[b], membership[m1], "joining net belongs to the CCC");
+        assert_eq!(
+            membership[b], membership[m1],
+            "joining net belongs to the CCC"
+        );
     }
 
     #[test]
@@ -263,16 +280,17 @@ mod tests {
 
     #[test]
     fn components_sorted_largest_first() {
-        let (c, g) = setup(
-            "M1 a g n1 gnd! NMOS\nM2 b g n1 gnd! NMOS\nM3 c g n2 gnd! NMOS\n",
-        );
+        let (c, g) = setup("M1 a g n1 gnd! NMOS\nM2 b g n1 gnd! NMOS\nM3 c g n2 gnd! NMOS\n");
         let comps = channel_connected_components(&c, &g);
         assert!(comps[0].len() >= comps[1].len());
     }
 
     #[test]
     fn standalone_candidate_threshold() {
-        let ccc = Ccc { transistors: vec![0, 1], nets: vec![] };
+        let ccc = Ccc {
+            transistors: vec![0, 1],
+            nets: vec![],
+        };
         assert!(is_standalone_candidate(&ccc, 2));
         assert!(!is_standalone_candidate(&ccc, 1));
     }

@@ -50,7 +50,10 @@ pub struct GraphOptions {
 
 impl Default for GraphOptions {
     fn default() -> Self {
-        GraphOptions { include_body: false, include_supply_nets: true }
+        GraphOptions {
+            include_body: false,
+            include_supply_nets: true,
+        }
     }
 }
 
@@ -85,7 +88,10 @@ impl CircuitGraph {
             if d.kind() == DeviceKind::Instance {
                 continue;
             }
-            vertices.push(VertexKind::Element { device_index: i, kind: d.kind() });
+            vertices.push(VertexKind::Element {
+                device_index: i,
+                kind: d.kind(),
+            });
             device_names.push(d.name().to_string());
             element_devices.push(i);
         }
@@ -142,7 +148,14 @@ impl CircuitGraph {
         for list in &mut adjacency {
             list.sort_unstable_by_key(|&(v, l)| (v, l));
         }
-        CircuitGraph { vertices, adjacency, element_count, device_names, net_ids, edge_count }
+        CircuitGraph {
+            vertices,
+            adjacency,
+            element_count,
+            device_names,
+            net_ids,
+            edge_count,
+        }
     }
 
     /// Total number of vertices `|Ve| + |Vn|`.
@@ -256,7 +269,10 @@ impl CircuitGraph {
 
     /// The label of the edge between `a` and `b`, if present.
     pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<EdgeLabel> {
-        self.adjacency[a].iter().find(|&&(u, _)| u == b).map(|&(_, l)| l)
+        self.adjacency[a]
+            .iter()
+            .find(|&&(u, _)| u == b)
+            .map(|&(_, l)| l)
     }
 }
 
@@ -308,7 +324,10 @@ mod tests {
 
         let with = CircuitGraph::build(
             &c,
-            GraphOptions { include_body: true, ..GraphOptions::default() },
+            GraphOptions {
+                include_body: true,
+                ..GraphOptions::default()
+            },
         );
         let m0 = with.element_vertex("M0").expect("exists");
         let b = with.net_vertex("b").expect("exists");
@@ -320,7 +339,10 @@ mod tests {
         let c = parse("M0 out in vdd! vdd! PMOS\nM1 out in gnd! gnd! NMOS\n").expect("valid");
         let g = CircuitGraph::build(
             &c,
-            GraphOptions { include_supply_nets: false, ..GraphOptions::default() },
+            GraphOptions {
+                include_supply_nets: false,
+                ..GraphOptions::default()
+            },
         );
         assert!(g.net_vertex("vdd!").is_none());
         assert!(g.net_vertex("gnd!").is_none());

@@ -119,7 +119,11 @@ pub struct FeatureOptions {
 impl Default for FeatureOptions {
     /// All 18 features on — the paper's configuration.
     fn default() -> Self {
-        FeatureOptions { element_types: true, net_types: true, edge_descriptor: true }
+        FeatureOptions {
+            element_types: true,
+            net_types: true,
+            edge_descriptor: true,
+        }
     }
 }
 
@@ -195,25 +199,21 @@ fn fill_vertex(circuit: &Circuit, graph: &CircuitGraph, v: VertexId, row: &mut [
             if kind.is_transistor() {
                 // Edge descriptor: mean 3-bit label over incident edges,
                 // normalized by the maximum label value (7).
-                let labels: Vec<u8> =
-                    graph.neighbors(v).iter().map(|&(_, l)| l.bits()).collect();
+                let labels: Vec<u8> = graph.neighbors(v).iter().map(|&(_, l)| l.bits()).collect();
                 if !labels.is_empty() {
-                    let mean =
-                        labels.iter().map(|&b| b as f64).sum::<f64>() / labels.len() as f64;
+                    let mean = labels.iter().map(|&b| b as f64).sum::<f64>() / labels.len() as f64;
                     row[F_EDGE_DESC] = mean / 7.0;
                 }
             }
         }
-        VertexKind::Net { name } => {
-            match classify_net(circuit, name) {
-                NetClass::Input => row[F_NET_IN] = 1.0,
-                NetClass::Output => row[F_NET_OUT] = 1.0,
-                NetClass::Bias => row[F_NET_BIAS] = 1.0,
-                NetClass::Supply => row[F_NET_SUPPLY] = 1.0,
-                NetClass::Ground => row[F_NET_GROUND] = 1.0,
-                NetClass::Internal => {}
-            }
-        }
+        VertexKind::Net { name } => match classify_net(circuit, name) {
+            NetClass::Input => row[F_NET_IN] = 1.0,
+            NetClass::Output => row[F_NET_OUT] = 1.0,
+            NetClass::Bias => row[F_NET_BIAS] = 1.0,
+            NetClass::Supply => row[F_NET_SUPPLY] = 1.0,
+            NetClass::Ground => row[F_NET_GROUND] = 1.0,
+            NetClass::Internal => {}
+        },
     }
 }
 
@@ -231,7 +231,8 @@ mod tests {
 
     #[test]
     fn element_one_hot_slots() {
-        let (c, g) = build("M0 d g s s NMOS\nM1 d g vdd! vdd! PMOS\nR1 a b 10k\nC1 a b 1p\nL1 a b 10n\n");
+        let (c, g) =
+            build("M0 d g s s NMOS\nM1 d g vdd! vdd! PMOS\nR1 a b 10k\nC1 a b 1p\nL1 a b 10n\n");
         let x = feature_matrix(&c, &g);
         let m0 = g.element_vertex("M0").expect("exists");
         assert_eq!(x.get(m0, F_NMOS), 1.0);
@@ -314,7 +315,10 @@ mod tests {
         let (mut c, _) = build("M0 out vin tail gnd! NMOS\n");
         c.set_port_label("vin", PortLabel::Input);
         let g = CircuitGraph::build(&c, GraphOptions::default());
-        let off = FeatureOptions { net_types: false, ..FeatureOptions::default() };
+        let off = FeatureOptions {
+            net_types: false,
+            ..FeatureOptions::default()
+        };
         let x = feature_matrix_with_options(&c, &g, off);
         let vin = g.net_vertex("vin").expect("exists");
         for slot in F_NET_IN..=F_NET_GROUND {

@@ -24,7 +24,9 @@ use std::fmt;
 /// assert_eq!(diode.to_string(), "101");
 /// assert!(diode.has_gate() && diode.has_drain() && !diode.has_source());
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct EdgeLabel(u8);
 
 impl EdgeLabel {
@@ -141,7 +143,10 @@ mod tests {
         let sd = EdgeLabel::SOURCE;
         assert_eq!(sd.swap_source_drain(), EdgeLabel::DRAIN);
         let gd = EdgeLabel::GATE.union(EdgeLabel::DRAIN);
-        assert_eq!(gd.swap_source_drain(), EdgeLabel::GATE.union(EdgeLabel::SOURCE));
+        assert_eq!(
+            gd.swap_source_drain(),
+            EdgeLabel::GATE.union(EdgeLabel::SOURCE)
+        );
         let both = EdgeLabel::SOURCE.union(EdgeLabel::DRAIN);
         assert_eq!(both.swap_source_drain(), both);
     }

@@ -15,7 +15,8 @@ pub fn adjacency(graph: &CircuitGraph) -> CsrMatrix {
     for v in 0..n {
         for &(u, _) in graph.neighbors(v) {
             if v < u {
-                coo.push_symmetric(v, u, 1.0).expect("neighbor ids are in bounds");
+                coo.push_symmetric(v, u, 1.0)
+                    .expect("neighbor ids are in bounds");
             }
         }
     }
@@ -37,8 +38,10 @@ pub fn normalized_laplacian(adj: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
     }
     let n = adj.rows();
     let degrees = adj.row_sums();
-    let inv_sqrt: Vec<f64> =
-        degrees.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt: Vec<f64> = degrees
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
     let mut coo = CooMatrix::with_capacity(n, n, adj.nnz() + n);
     for (i, &degree) in degrees.iter().enumerate() {
         if degree > 0.0 {
@@ -65,7 +68,9 @@ pub fn scaled_laplacian(
     lambda_max: Option<f64>,
 ) -> Result<CsrMatrix, SparseError> {
     if laplacian.rows() != laplacian.cols() {
-        return Err(SparseError::NotSquare { shape: laplacian.shape() });
+        return Err(SparseError::NotSquare {
+            shape: laplacian.shape(),
+        });
     }
     let lambda = match lambda_max {
         Some(l) => l,
@@ -122,7 +127,10 @@ mod tests {
         let g = graph("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\nR1 d2 o 1k\nC1 o gnd! 1p\n");
         let l = normalized_laplacian(&adjacency(&g)).expect("square");
         let lambda = gana_sparse::lanczos::largest_eigenvalue(&l, 40, 1e-12).expect("square");
-        assert!(lambda <= 2.0 + 1e-9, "normalized Laplacian bound violated: {lambda}");
+        assert!(
+            lambda <= 2.0 + 1e-9,
+            "normalized Laplacian bound violated: {lambda}"
+        );
         assert!(lambda > 0.0);
     }
 
@@ -132,7 +140,10 @@ mod tests {
         let l = normalized_laplacian(&adjacency(&g)).expect("square");
         let lhat = scaled_laplacian(&l, None).expect("square");
         let lambda = gana_sparse::lanczos::largest_eigenvalue(&lhat, 40, 1e-12).expect("square");
-        assert!(lambda <= 1.0 + 1e-6, "L̂ spectrum must fit [-1, 1], got {lambda}");
+        assert!(
+            lambda <= 1.0 + 1e-6,
+            "L̂ spectrum must fit [-1, 1], got {lambda}"
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@ use std::collections::VecDeque;
 ///
 /// Panics if `start` is out of bounds.
 pub fn bfs(graph: &CircuitGraph, start: VertexId) -> Vec<VertexId> {
-    bfs_with_depth(graph, start, usize::MAX).into_iter().map(|(v, _)| v).collect()
+    bfs_with_depth(graph, start, usize::MAX)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
 }
 
 /// BFS limited to `max_depth` hops; returns `(vertex, depth)` pairs.
@@ -128,7 +131,10 @@ mod tests {
         let g = graph("R1 a b 1\nR2 c d 1\n");
         let comps = connected_components(&g);
         assert_eq!(comps.len(), 2);
-        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), g.vertex_count());
+        assert_eq!(
+            comps.iter().map(|c| c.len()).sum::<usize>(),
+            g.vertex_count()
+        );
     }
 
     #[test]

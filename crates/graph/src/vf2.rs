@@ -81,8 +81,9 @@ impl Vf2Graph {
                 }
             })
             .collect();
-        let adjacency =
-            (0..graph.vertex_count()).map(|v| graph.neighbors(v).to_vec()).collect();
+        let adjacency = (0..graph.vertex_count())
+            .map(|v| graph.neighbors(v).to_vec())
+            .collect();
         Vf2Graph { labels, adjacency }
     }
 
@@ -110,7 +111,10 @@ impl Vf2Graph {
     }
 
     fn edge(&self, a: usize, b: usize) -> Option<EdgeLabel> {
-        self.adjacency[a].iter().find(|&&(u, _)| u == b).map(|&(_, l)| l)
+        self.adjacency[a]
+            .iter()
+            .find(|&&(u, _)| u == b)
+            .map(|&(_, l)| l)
     }
 }
 
@@ -125,7 +129,10 @@ pub struct MatchOptions {
 
 impl Default for MatchOptions {
     fn default() -> Self {
-        MatchOptions { symmetric_mos: true, max_matches: usize::MAX }
+        MatchOptions {
+            symmetric_mos: true,
+            max_matches: usize::MAX,
+        }
     }
 }
 
@@ -228,8 +235,10 @@ fn pattern_order(pattern: &Vf2Graph) -> Vec<usize> {
         let next = (0..n)
             .filter(|&v| !in_order[v])
             .max_by_key(|&v| {
-                let placed_neighbors =
-                    pattern.adjacency[v].iter().filter(|&&(u, _)| in_order[u]).count();
+                let placed_neighbors = pattern.adjacency[v]
+                    .iter()
+                    .filter(|&&(u, _)| in_order[u])
+                    .count();
                 (placed_neighbors, pattern.degree(v))
             })
             .expect("some vertex remains");
@@ -256,7 +265,9 @@ impl State<'_> {
             return;
         }
         if depth == self.order.len() {
-            let m = Match { assignment: self.core_p.clone() };
+            let m = Match {
+                assignment: self.core_p.clone(),
+            };
             let key = m.element_vertices(self.pattern);
             if self.seen_element_sets.insert(key) {
                 self.matches.push(m);
@@ -272,8 +283,10 @@ impl State<'_> {
             .map(|&(q, _)| self.core_p[q]);
         match mapped_neighbor {
             Some(anchor_t) => {
-                let candidates: Vec<usize> =
-                    self.target.adjacency[anchor_t].iter().map(|&(t, _)| t).collect();
+                let candidates: Vec<usize> = self.target.adjacency[anchor_t]
+                    .iter()
+                    .map(|&(t, _)| t)
+                    .collect();
                 for t in candidates {
                     self.try_pair(depth, p, t);
                 }
@@ -345,7 +358,8 @@ mod tests {
     }
 
     const CM_N: &str = ".SUBCKT CMN d1 d2 s\nM0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n.ENDS\n";
-    const DP_N: &str = ".SUBCKT DPN o1 o2 i1 i2 tail\nM1 o1 i1 tail tail NMOS\nM2 o2 i2 tail tail NMOS\n.ENDS\n";
+    const DP_N: &str =
+        ".SUBCKT DPN o1 o2 i1 i2 tail\nM1 o1 i1 tail tail NMOS\nM2 o2 i2 tail tail NMOS\n.ENDS\n";
 
     /// The paper's Fig. 3 OTA: current mirror + differential pair + load.
     const OTA: &str = "\
@@ -385,7 +399,10 @@ M5 voutp vbp vdd! vdd! PMOS
             &pg,
             &tc,
             &tg,
-            MatchOptions { symmetric_mos: false, ..MatchOptions::default() },
+            MatchOptions {
+                symmetric_mos: false,
+                ..MatchOptions::default()
+            },
         );
         assert_eq!(strict, vec![vec!["M2".to_string(), "M3".to_string()]]);
     }
@@ -402,7 +419,10 @@ M5 voutp vbp vdd! vdd! PMOS
 
     #[test]
     fn pmos_pattern_does_not_match_nmos() {
-        let (pc, pg, _) = graphs(".SUBCKT CMP d1 d2 s\nM0 d1 d1 s s PMOS\nM1 d2 d1 s s PMOS\n.ENDS\n", true);
+        let (pc, pg, _) = graphs(
+            ".SUBCKT CMP d1 d2 s\nM0 d1 d1 s s PMOS\nM1 d2 d1 s s PMOS\n.ENDS\n",
+            true,
+        );
         let (tc, tg, _) = graphs("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n", false);
         assert!(match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default()).is_empty());
     }
@@ -429,7 +449,10 @@ M5 voutp vbp vdd! vdd! PMOS
             &pg,
             &tc,
             &tg,
-            MatchOptions { symmetric_mos: false, ..MatchOptions::default() },
+            MatchOptions {
+                symmetric_mos: false,
+                ..MatchOptions::default()
+            },
         );
         assert!(without.is_empty(), "strict mode must reject the swap");
     }
@@ -463,7 +486,10 @@ M3 d c t t NMOS
             &pg,
             &tc,
             &tg,
-            MatchOptions { max_matches: 1, ..MatchOptions::default() },
+            MatchOptions {
+                max_matches: 1,
+                ..MatchOptions::default()
+            },
         );
         assert_eq!(matches.len(), 1);
     }
@@ -493,8 +519,10 @@ M3 d c t t NMOS
         // Cross-check VF2 against exhaustive permutation search on a small
         // planted instance.
         let (pc, pg, pv) = graphs(CM_N, true);
-        let (tc, tg, tv) =
-            graphs("M0 x x y y NMOS\nM1 z x y y NMOS\nR1 z w 1k\nC1 w y 1p\n", false);
+        let (tc, tg, tv) = graphs(
+            "M0 x x y y NMOS\nM1 z x y y NMOS\nR1 z w 1k\nC1 w y 1p\n",
+            false,
+        );
         let vf2 = match_circuits(&pc, &pg, &tc, &tg, MatchOptions::default());
         let brute = brute_force_count(&pv, &tv);
         assert_eq!(vf2.len(), brute, "vf2 {vf2:?} vs brute {brute}");
@@ -530,8 +558,7 @@ M3 d c t t NMOS
                     }
                     match target.edge(t, core[q]) {
                         Some(tl) => {
-                            pl.bits() == tl.bits()
-                                || pl.swap_source_drain().bits() == tl.bits()
+                            pl.bits() == tl.bits() || pl.swap_source_drain().bits() == tl.bits()
                         }
                         None => false,
                     }

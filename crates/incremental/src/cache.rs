@@ -1,0 +1,245 @@
+//! Bounded, content-addressed region cache.
+//!
+//! Keys are 128-bit structural hashes of a sub-block's induced circuit
+//! (device sequence + the port labels it can observe), values are the VF2
+//! primitive annotations computed for that exact content. Because the key
+//! covers everything the annotator reads, a hit is guaranteed to reproduce
+//! the cold result byte for byte. Eviction is LRU over a total byte budget
+//! with per-entry accounting; all counters are atomics so one cache can be
+//! shared by every session of a serving engine.
+
+use gana_primitives::AnnotationResult;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached sub-block annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedBlock {
+    /// Device names in induced-circuit order (the collision guard: a hit
+    /// must match these exactly to be spliced).
+    pub devices: Vec<String>,
+    /// The VF2 annotation computed for this content.
+    pub annotation: AnnotationResult,
+}
+
+impl CachedBlock {
+    /// Approximate heap footprint, for byte accounting.
+    pub fn cost_bytes(&self) -> usize {
+        let strings: usize = self.devices.iter().map(|d| d.len() + 24).sum::<usize>()
+            + self
+                .annotation
+                .instances
+                .iter()
+                .map(|i| {
+                    i.primitive.len()
+                        + i.devices.iter().map(|d| d.len() + 24).sum::<usize>()
+                        + i.constraints
+                            .iter()
+                            .map(|c| c.members.iter().map(|m| m.len() + 24).sum::<usize>() + 32)
+                            .sum::<usize>()
+                        + 96
+                })
+                .sum::<usize>()
+            + self
+                .annotation
+                .unclaimed
+                .iter()
+                .map(|d| d.len() + 24)
+                .sum::<usize>();
+        strings + 64
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    block: Arc<CachedBlock>,
+    bytes: usize,
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u128, Entry>,
+    /// LRU index: stamp → key. Stamps are unique and monotonic.
+    by_stamp: BTreeMap<u64, u128>,
+    next_stamp: u64,
+    bytes: usize,
+}
+
+/// Point-in-time counters of a [`RegionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to VF2.
+    pub misses: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Sub-block results spliced from prior state without recomputation.
+    pub splices: u64,
+    /// Bytes currently held.
+    pub bytes: u64,
+    /// Entries currently held.
+    pub entries: u64,
+}
+
+/// Bounded LRU cache from content hash to sub-block annotation.
+#[derive(Debug)]
+pub struct RegionCache {
+    max_bytes: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    splices: AtomicU64,
+}
+
+impl RegionCache {
+    /// Creates a cache holding at most `max_bytes` of accounted payload.
+    pub fn new(max_bytes: usize) -> RegionCache {
+        RegionCache {
+            max_bytes,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            splices: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a content hash; `devices` is the collision guard — an entry
+    /// whose device sequence differs is treated as a miss.
+    pub fn get(&self, key: u128, devices: &[String]) -> Option<Arc<CachedBlock>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            if entry.block.devices == devices {
+                let old = std::mem::replace(&mut entry.stamp, stamp);
+                let block = Arc::clone(&entry.block);
+                inner.by_stamp.remove(&old);
+                inner.by_stamp.insert(stamp, key);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(block);
+            }
+        }
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or refreshes) an entry and evicts LRU entries past the
+    /// byte budget. Entries larger than the whole budget are not stored.
+    pub fn insert(&self, key: u128, block: CachedBlock) {
+        let bytes = block.cost_bytes();
+        if bytes > self.max_bytes {
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            let stamp = inner.next_stamp;
+            inner.next_stamp += 1;
+            if let Some(old) = inner.map.remove(&key) {
+                inner.by_stamp.remove(&old.stamp);
+                inner.bytes -= old.bytes;
+            }
+            inner.map.insert(
+                key,
+                Entry {
+                    block: Arc::new(block),
+                    bytes,
+                    stamp,
+                },
+            );
+            inner.by_stamp.insert(stamp, key);
+            inner.bytes += bytes;
+            while inner.bytes > self.max_bytes {
+                let Some((&oldest, &victim)) = inner.by_stamp.iter().next() else {
+                    break;
+                };
+                inner.by_stamp.remove(&oldest);
+                if let Some(entry) = inner.map.remove(&victim) {
+                    inner.bytes -= entry.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `count` sub-block results spliced from prior state.
+    pub fn note_splices(&self, count: u64) {
+        self.splices.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RegionCacheStats {
+        let (bytes, entries) = {
+            let inner = self.inner.lock().expect("cache lock");
+            (inner.bytes as u64, inner.map.len() as u64)
+        };
+        RegionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            splices: self.splices.load(Ordering::Relaxed),
+            bytes,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(tag: &str, n: usize) -> CachedBlock {
+        CachedBlock {
+            devices: (0..n).map(|i| format!("{tag}{i}")).collect(),
+            annotation: AnnotationResult::default(),
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_devices() {
+        let cache = RegionCache::new(1 << 20);
+        cache.insert(7, block("M", 3));
+        assert!(cache.get(7, &block("M", 3).devices).is_some());
+        assert!(
+            cache.get(7, &block("X", 3).devices).is_none(),
+            "collision guard"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let one = block("M", 4).cost_bytes();
+        let cache = RegionCache::new(one * 2 + 1);
+        cache.insert(1, block("M", 4));
+        cache.insert(2, block("N", 4));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(cache.get(1, &block("M", 4).devices).is_some());
+        cache.insert(3, block("O", 4));
+        assert!(cache.get(2, &block("N", 4).devices).is_none(), "2 evicted");
+        assert!(cache.get(1, &block("M", 4).devices).is_some());
+        assert!(cache.get(3, &block("O", 4).devices).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= (one * 2 + 1) as u64);
+    }
+
+    #[test]
+    fn oversized_entries_are_skipped() {
+        let cache = RegionCache::new(8);
+        cache.insert(1, block("M", 10));
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

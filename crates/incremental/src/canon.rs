@@ -1,0 +1,84 @@
+//! Canonical structural form of a preprocessed circuit.
+//!
+//! Two circuits share a structural hash exactly when the annotation
+//! pipeline cannot tell them apart: same name, same device sequence (name,
+//! kind, terminal nets), and same port labels. Sizing values and parameters
+//! are deliberately excluded — the design graph, the GCN features, and the
+//! VF2 matcher are all type- and connectivity-based, so a pure resize
+//! re-annotates to the identical result and must hash identically.
+
+use crate::hash128::Digest;
+use gana_netlist::Circuit;
+
+/// Structural content hash of a preprocessed circuit.
+///
+/// Device *order* is included: graph vertex numbering follows card order,
+/// and downstream stages (coarsening, VF2 claim order) observe it, so a
+/// permuted deck is a different — if cheap to re-annotate — input.
+pub fn structural_hash(circuit: &Circuit) -> u128 {
+    let mut d = Digest::new();
+    d.write(circuit.name());
+    d.write(circuit.ports().len());
+    for port in circuit.ports() {
+        d.write(port.as_str());
+    }
+    d.write(circuit.devices().len());
+    for device in circuit.devices() {
+        d.write(device.name());
+        d.write(format!("{:?}", device.kind()));
+        d.write(device.terminals().len());
+        for terminal in device.terminals() {
+            d.write(terminal.as_str());
+        }
+    }
+    // BTreeMap iteration is sorted, so label order is canonical.
+    d.write(circuit.port_labels().len());
+    for (net, label) in circuit.port_labels() {
+        d.write(net.as_str());
+        d.write(label.keyword());
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_netlist::parse;
+
+    const OTA: &str = "M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\n";
+
+    #[test]
+    fn hash_ignores_sizing() {
+        let plain = parse(OTA).expect("valid");
+        let sized = parse(
+            "M0 o1 i1 t gnd! NMOS W=2u L=180n\nM1 o2 i2 t gnd! NMOS W=9u L=360n\nM2 t vb gnd! gnd! NMOS W=1u\n",
+        )
+        .expect("valid");
+        assert_eq!(structural_hash(&plain), structural_hash(&sized));
+    }
+
+    #[test]
+    fn hash_sees_rewiring_and_retyping() {
+        let base = parse(OTA).expect("valid");
+        let rewired =
+            parse("M0 o1 i1 t gnd! NMOS\nM1 o2 i2 o1 gnd! NMOS\nM2 t vb gnd! gnd! NMOS\n")
+                .expect("valid");
+        let retyped = parse("M0 o1 i1 t gnd! PMOS\nM1 o2 i2 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\n")
+            .expect("valid");
+        assert_ne!(structural_hash(&base), structural_hash(&rewired));
+        assert_ne!(structural_hash(&base), structural_hash(&retyped));
+    }
+
+    #[test]
+    fn hash_sees_port_labels_and_order() {
+        let base = parse(OTA).expect("valid");
+        let mut labeled = parse(OTA).expect("valid");
+        labeled.set_port_label("vb", gana_netlist::PortLabel::Bias);
+        assert_ne!(structural_hash(&base), structural_hash(&labeled));
+
+        let permuted =
+            parse("M1 o2 i2 t gnd! NMOS\nM0 o1 i1 t gnd! NMOS\nM2 t vb gnd! gnd! NMOS\n")
+                .expect("valid");
+        assert_ne!(structural_hash(&base), structural_hash(&permuted));
+    }
+}

@@ -1,0 +1,202 @@
+//! Structural netlist diffing in `gana-netlist` terms.
+//!
+//! Both sides are expected to be *preprocessed* circuits (sizing artifacts
+//! already folded), so the edit set captures exactly the changes the
+//! annotation pipeline can observe: devices added, removed, re-typed, or
+//! re-wired; nets appearing or vanishing; and port-label changes.
+
+use gana_netlist::{Circuit, DeviceKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The edit set between two preprocessed circuits, keyed by device and net
+/// names. All lists are sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetlistDiff {
+    /// Devices present only in the new circuit.
+    pub added: Vec<String>,
+    /// Devices present only in the old circuit.
+    pub removed: Vec<String>,
+    /// Devices whose kind changed (same name).
+    pub retyped: Vec<String>,
+    /// Devices whose terminal list changed (same name, same kind).
+    pub rewired: Vec<String>,
+    /// Nets present only in the new circuit.
+    pub nets_added: Vec<String>,
+    /// Nets present only in the old circuit.
+    pub nets_removed: Vec<String>,
+    /// Nets whose port label changed (including gaining or losing one).
+    pub relabeled_nets: Vec<String>,
+}
+
+impl NetlistDiff {
+    /// Computes the edit set from `old` to `new`.
+    pub fn compute(old: &Circuit, new: &Circuit) -> NetlistDiff {
+        let old_devices: BTreeMap<&str, (DeviceKind, &[String])> = old
+            .devices()
+            .iter()
+            .map(|d| (d.name(), (d.kind(), d.terminals())))
+            .collect();
+        let new_devices: BTreeMap<&str, (DeviceKind, &[String])> = new
+            .devices()
+            .iter()
+            .map(|d| (d.name(), (d.kind(), d.terminals())))
+            .collect();
+
+        let mut diff = NetlistDiff::default();
+        for (&name, &(kind, terminals)) in &new_devices {
+            match old_devices.get(name) {
+                None => diff.added.push(name.to_string()),
+                Some(&(old_kind, _)) if old_kind != kind => diff.retyped.push(name.to_string()),
+                Some(&(_, old_terminals)) if old_terminals != terminals => {
+                    diff.rewired.push(name.to_string());
+                }
+                Some(_) => {}
+            }
+        }
+        for &name in old_devices.keys() {
+            if !new_devices.contains_key(name) {
+                diff.removed.push(name.to_string());
+            }
+        }
+
+        let old_nets: BTreeSet<String> = old.nets().into_iter().collect();
+        let new_nets: BTreeSet<String> = new.nets().into_iter().collect();
+        diff.nets_added = new_nets.difference(&old_nets).cloned().collect();
+        diff.nets_removed = old_nets.difference(&new_nets).cloned().collect();
+
+        for net in old_nets.union(&new_nets) {
+            if old.port_label(net) != new.port_label(net) {
+                diff.relabeled_nets.push(net.clone());
+            }
+        }
+        diff
+    }
+
+    /// True when the two circuits are structurally identical (the diff sees
+    /// no observable edit).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.retyped.is_empty()
+            && self.rewired.is_empty()
+            && self.nets_added.is_empty()
+            && self.nets_removed.is_empty()
+            && self.relabeled_nets.is_empty()
+    }
+
+    /// Total number of recorded edits.
+    pub fn len(&self) -> usize {
+        self.added.len()
+            + self.removed.len()
+            + self.retyped.len()
+            + self.rewired.len()
+            + self.nets_added.len()
+            + self.nets_removed.len()
+            + self.relabeled_nets.len()
+    }
+
+    /// Names of new-circuit devices whose GCN evidence is stale and must be
+    /// re-inferred: edited devices themselves, devices sharing a net with a
+    /// removed device (their neighborhood changed shape), and devices
+    /// touching a relabeled net (their features changed).
+    pub fn seed_devices(&self, old: &Circuit, new: &Circuit) -> BTreeSet<String> {
+        let mut seeds: BTreeSet<String> = BTreeSet::new();
+        seeds.extend(self.added.iter().cloned());
+        seeds.extend(self.retyped.iter().cloned());
+        seeds.extend(self.rewired.iter().cloned());
+
+        // A removed device leaves a hole: every old neighbor that survives
+        // into the new circuit sees different connectivity.
+        if !self.removed.is_empty() {
+            let removed: BTreeSet<&str> = self.removed.iter().map(String::as_str).collect();
+            let mut orphaned_nets: BTreeSet<&str> = BTreeSet::new();
+            for device in old.devices() {
+                if removed.contains(device.name()) {
+                    orphaned_nets.extend(device.terminals().iter().map(String::as_str));
+                }
+            }
+            for device in old.devices() {
+                if removed.contains(device.name()) {
+                    continue;
+                }
+                if device
+                    .terminals()
+                    .iter()
+                    .any(|t| orphaned_nets.contains(t.as_str()))
+                    && new.device(device.name()).is_some()
+                {
+                    seeds.insert(device.name().to_string());
+                }
+            }
+        }
+
+        if !self.relabeled_nets.is_empty() {
+            let relabeled: BTreeSet<&str> =
+                self.relabeled_nets.iter().map(String::as_str).collect();
+            for device in new.devices() {
+                if device
+                    .terminals()
+                    .iter()
+                    .any(|t| relabeled.contains(t.as_str()))
+                {
+                    seeds.insert(device.name().to_string());
+                }
+            }
+        }
+        seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_netlist::parse;
+
+    const BASE: &str = "M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nR1 vdd! vb 10k\n";
+
+    #[test]
+    fn identical_circuits_diff_empty() {
+        let a = parse(BASE).expect("valid");
+        let b = parse(BASE).expect("valid");
+        let diff = NetlistDiff::compute(&a, &b);
+        assert!(diff.is_empty(), "{diff:?}");
+    }
+
+    #[test]
+    fn add_remove_retype_rewire_are_classified() {
+        let old = parse(BASE).expect("valid");
+        let new =
+            parse("M0 o1 i1 t gnd! PMOS\nM1 o2 i2 o1 gnd! NMOS\nC1 o2 gnd! 1p\n").expect("valid");
+        let diff = NetlistDiff::compute(&old, &new);
+        assert_eq!(diff.added, vec!["C1"]);
+        assert_eq!(diff.removed, vec!["R1"]);
+        assert_eq!(diff.retyped, vec!["M0"]);
+        assert_eq!(diff.rewired, vec!["M1"]);
+        assert!(diff.nets_removed.contains(&"vb".to_string()), "{diff:?}");
+    }
+
+    #[test]
+    fn seed_devices_cover_removal_neighborhood() {
+        let old = parse(BASE).expect("valid");
+        // Drop M1: M0 shares net t with it, so M0's evidence is stale.
+        let new = parse("M0 o1 i1 t gnd! NMOS\nR1 vdd! vb 10k\n").expect("valid");
+        let diff = NetlistDiff::compute(&old, &new);
+        let seeds = diff.seed_devices(&old, &new);
+        assert!(seeds.contains("M0"), "{seeds:?}");
+        assert!(
+            !seeds.contains("M1"),
+            "removed devices are not in the new circuit"
+        );
+    }
+
+    #[test]
+    fn seed_devices_cover_relabeled_nets() {
+        let old = parse(BASE).expect("valid");
+        let mut new = parse(BASE).expect("valid");
+        new.set_port_label("vb", gana_netlist::PortLabel::Bias);
+        let diff = NetlistDiff::compute(&old, &new);
+        assert_eq!(diff.relabeled_nets, vec!["vb"]);
+        let seeds = diff.seed_devices(&old, &new);
+        assert!(seeds.contains("R1"), "{seeds:?}");
+    }
+}

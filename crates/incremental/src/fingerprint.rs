@@ -1,0 +1,292 @@
+//! Rename-invariant region fingerprints.
+//!
+//! A *region* is a maximal set of elements coupled through signal nets:
+//! channel-connected components plus the passives hanging off them, merged
+//! whenever two elements share a net that is neither a rail nor a
+//! `Bias`/`Oscillating` distribution net (those span block boundaries by
+//! design, exactly as in Postprocessing I's merge rule). Each region gets a
+//! deterministic 128-bit content hash over device types, `g/s/d` edge
+//! labels, and boundary-net signatures, computed by Weisfeiler–Lehman
+//! refinement — so an unchanged region is recognized by hash equality under
+//! arbitrary device/net renaming and card-order permutation.
+
+use crate::hash128::{digest_of, Digest};
+use gana_graph::ccc::channel_connected_components;
+use gana_graph::{CircuitGraph, VertexId};
+use gana_netlist::{Circuit, PortLabel};
+use std::collections::{BTreeMap, HashMap};
+
+/// Rounds of Weisfeiler–Lehman label refinement. Three rounds separate
+/// everything the 3-bit edge alphabet can separate in primitive-sized
+/// neighborhoods while staying linear in region size.
+const WL_ROUNDS: usize = 3;
+
+/// One fingerprinted region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Element vertex ids (in the graph the map was built from), sorted.
+    pub elements: Vec<VertexId>,
+    /// Device names of the elements, sorted.
+    pub devices: Vec<String>,
+    /// Rename-invariant structural content hash.
+    pub fingerprint: u128,
+}
+
+/// The region decomposition of one circuit graph.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    /// All regions, in ascending order of their smallest element vertex.
+    pub regions: Vec<Region>,
+    /// Region index per vertex: elements always have one; a net vertex
+    /// carries the region of its first adjacent element (rails span many
+    /// regions and keep the first, which is fine for dirty-marking).
+    pub region_of: Vec<Option<usize>>,
+}
+
+impl RegionMap {
+    /// Builds the region decomposition and fingerprints for a circuit.
+    pub fn build(circuit: &Circuit, graph: &CircuitGraph) -> RegionMap {
+        let n = graph.vertex_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        // Union elements through signal nets (not rails, not Bias/Osc
+        // distribution nets — those never fuse blocks in Postprocessing I).
+        for net in graph.net_vertices() {
+            if !net_couples(circuit, graph, net) {
+                continue;
+            }
+            let mut prev: Option<VertexId> = None;
+            for &(element, _) in graph.neighbors(net) {
+                if let Some(p) = prev {
+                    let (ra, rb) = (find(&mut parent, p), find(&mut parent, element));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+                prev = Some(element);
+            }
+        }
+
+        let mut by_root: BTreeMap<usize, Vec<VertexId>> = BTreeMap::new();
+        for v in graph.element_vertices() {
+            let root = find(&mut parent, v);
+            by_root.entry(root).or_default().push(v);
+        }
+        let mut groups: Vec<Vec<VertexId>> = by_root.into_values().collect();
+        for group in &mut groups {
+            group.sort_unstable();
+        }
+        groups.sort_by_key(|g| g[0]);
+
+        let mut region_of: Vec<Option<usize>> = vec![None; n];
+        let mut regions: Vec<Region> = Vec::with_capacity(groups.len());
+        for (idx, elements) in groups.into_iter().enumerate() {
+            for &v in &elements {
+                region_of[v] = Some(idx);
+                for &(net, _) in graph.neighbors(v) {
+                    if region_of[net].is_none() {
+                        region_of[net] = Some(idx);
+                    }
+                }
+            }
+            let mut devices: Vec<String> = elements
+                .iter()
+                .filter_map(|&v| graph.device_name(v).map(str::to_string))
+                .collect();
+            devices.sort();
+            let fingerprint = region_fingerprint(circuit, graph, &elements);
+            regions.push(Region {
+                elements,
+                devices,
+                fingerprint,
+            });
+        }
+        RegionMap { regions, region_of }
+    }
+
+    /// The region owning a device, by name.
+    pub fn region_of_device(&self, graph: &CircuitGraph, device: &str) -> Option<usize> {
+        graph.element_vertex(device).and_then(|v| self.region_of[v])
+    }
+}
+
+/// Whether a net fuses the elements touching it into one region.
+fn net_couples(circuit: &Circuit, graph: &CircuitGraph, net: VertexId) -> bool {
+    let name = graph.net_name(net).expect("net vertex");
+    if circuit.is_supply(name) || circuit.is_ground(name) {
+        return false;
+    }
+    !matches!(
+        circuit.port_label(name),
+        Some(PortLabel::Bias) | Some(PortLabel::Oscillating)
+    )
+}
+
+/// Content hash of one channel-connected component: its transistors plus
+/// every net they touch. This is the unit the ISSUE's invariance properties
+/// quantify over; [`RegionMap`] fingerprints use the same refinement over
+/// coarser element sets.
+pub fn ccc_fingerprints(circuit: &Circuit, graph: &CircuitGraph) -> Vec<u128> {
+    channel_connected_components(circuit, graph)
+        .iter()
+        .map(|ccc| region_fingerprint(circuit, graph, &ccc.transistors))
+        .collect()
+}
+
+/// Rename-invariant fingerprint of the subgraph induced by `elements` plus
+/// their incident nets.
+///
+/// Initial labels carry only structure: device kind for elements; rail
+/// kind, port label, and a boundary bit (does the net also touch elements
+/// *outside* the set?) for nets. Refinement then folds in sorted multisets
+/// of `(edge label, neighbor label)` pairs, so `g/s/d` orientation is part
+/// of every digest.
+pub fn region_fingerprint(circuit: &Circuit, graph: &CircuitGraph, elements: &[VertexId]) -> u128 {
+    let in_set: std::collections::BTreeSet<VertexId> = elements.iter().copied().collect();
+
+    // Incident nets, each with its boundary signature.
+    let mut nets: Vec<VertexId> = Vec::new();
+    {
+        let mut seen: std::collections::BTreeSet<VertexId> = std::collections::BTreeSet::new();
+        for &v in elements {
+            for &(net, _) in graph.neighbors(v) {
+                if seen.insert(net) {
+                    nets.push(net);
+                }
+            }
+        }
+    }
+
+    let mut label: HashMap<VertexId, u128> = HashMap::with_capacity(elements.len() + nets.len());
+    for &v in elements {
+        let kind = graph.element_kind(v).map(|k| format!("{k:?}"));
+        label.insert(v, digest_of(("element", kind)));
+    }
+    for &net in &nets {
+        let name = graph.net_name(net).expect("net vertex");
+        let boundary = graph
+            .neighbors(net)
+            .iter()
+            .any(|&(element, _)| !in_set.contains(&element));
+        let port = circuit.port_label(name).map(PortLabel::keyword);
+        label.insert(
+            net,
+            digest_of((
+                "net",
+                circuit.is_supply(name),
+                circuit.is_ground(name),
+                port,
+                boundary,
+            )),
+        );
+    }
+
+    let members: Vec<VertexId> = elements.iter().chain(nets.iter()).copied().collect();
+    for _ in 0..WL_ROUNDS {
+        let mut next: HashMap<VertexId, u128> = HashMap::with_capacity(members.len());
+        for &v in &members {
+            let mut neighborhood: Vec<(u8, u128)> = graph
+                .neighbors(v)
+                .iter()
+                .filter_map(|&(u, edge)| label.get(&u).map(|&l| (edge.raw(), l)))
+                .collect();
+            neighborhood.sort_unstable();
+            let mut d = Digest::new();
+            d.write(label[&v]);
+            d.write(neighborhood.len());
+            for (edge, l) in neighborhood {
+                d.write((edge, l));
+            }
+            next.insert(v, d.finish());
+        }
+        label = next;
+    }
+
+    // The final digest is order-free: sorted multisets of element and net
+    // labels, tagged separately.
+    let mut element_labels: Vec<u128> = elements.iter().map(|v| label[v]).collect();
+    let mut net_labels: Vec<u128> = nets.iter().map(|v| label[v]).collect();
+    element_labels.sort_unstable();
+    net_labels.sort_unstable();
+    let mut d = Digest::new();
+    d.write(("region", element_labels.len(), net_labels.len()));
+    for l in element_labels {
+        d.write(l);
+    }
+    d.write("nets");
+    for l in net_labels {
+        d.write(l);
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::GraphOptions;
+    use gana_netlist::parse;
+
+    fn graph_of(src: &str) -> (Circuit, CircuitGraph) {
+        let circuit = parse(src).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        (circuit, graph)
+    }
+
+    const MIRROR: &str = "M0 d d gnd! gnd! NMOS\nM1 o d gnd! gnd! NMOS\n";
+
+    #[test]
+    fn renaming_preserves_fingerprints() {
+        let (c0, g0) = graph_of(MIRROR);
+        let (c1, g1) = graph_of("MX q q gnd! gnd! NMOS\nMY z q gnd! gnd! NMOS\n");
+        assert_eq!(ccc_fingerprints(&c0, &g0), ccc_fingerprints(&c1, &g1));
+    }
+
+    #[test]
+    fn edge_label_changes_fingerprint() {
+        let (c0, g0) = graph_of(MIRROR);
+        // Gate of M1 moved from the diode net to its own drain: same device
+        // kinds and net count, different g/s/d structure.
+        let (c1, g1) = graph_of("M0 d d gnd! gnd! NMOS\nM1 o o gnd! gnd! NMOS\n");
+        assert_ne!(ccc_fingerprints(&c0, &g0), ccc_fingerprints(&c1, &g1));
+    }
+
+    #[test]
+    fn regions_split_on_bias_nets() {
+        // Two mirrors joined only through a Bias-labeled net must be two
+        // regions; joined through a signal net they are one.
+        let src = "M0 a a gnd! gnd! NMOS\nM1 b a gnd! gnd! NMOS\nM2 c c gnd! gnd! NMOS\nM3 b2 c gnd! gnd! NMOS\nR1 b b2 1k\n";
+        let (mut circuit, _) = graph_of(src);
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        assert_eq!(
+            RegionMap::build(&circuit, &graph).regions.len(),
+            1,
+            "signal net couples"
+        );
+
+        // Relabel the joining nets as Bias: the resistor decouples.
+        circuit.set_port_label("b", PortLabel::Bias);
+        circuit.set_port_label("b2", PortLabel::Bias);
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let map = RegionMap::build(&circuit, &graph);
+        assert_eq!(map.regions.len(), 3, "{:?}", map.regions);
+    }
+
+    #[test]
+    fn every_element_is_in_a_region() {
+        let (circuit, graph) =
+            graph_of("M0 o i t gnd! NMOS\nR1 vdd! o 1k\nC1 o gnd! 1p\nV1 i gnd! 0\n");
+        let map = RegionMap::build(&circuit, &graph);
+        for v in graph.element_vertices() {
+            assert!(map.region_of[v].is_some(), "element {v} unassigned");
+        }
+        let total: usize = map.regions.iter().map(|r| r.elements.len()).sum();
+        assert_eq!(total, graph.element_count());
+    }
+}

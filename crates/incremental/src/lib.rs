@@ -1,0 +1,38 @@
+//! # gana-incremental — diff-driven incremental annotation
+//!
+//! Re-annotating a whole design after every edit wastes almost all of its
+//! work: an analog netlist evolves by small, local edits, while the GANA
+//! pipeline's cost — graph coarsening, GCN inference, per-sub-block VF2 —
+//! scales with the full design. This crate makes re-annotation cost
+//! proportional to the edit:
+//!
+//! - [`canon::structural_hash`] — canonical content hash of a preprocessed
+//!   circuit; equal hashes mean the pipeline cannot tell the inputs apart
+//!   (sizing excluded by design).
+//! - [`diff::NetlistDiff`] — structural edit set between two preprocessed
+//!   circuits: devices added/removed/re-typed/re-wired, nets appearing,
+//!   vanishing, or relabeled.
+//! - [`fingerprint::RegionMap`] — channel-connected regions with
+//!   rename-invariant Weisfeiler–Lehman fingerprints over device types,
+//!   `g/s/d` edge labels, and boundary-net signatures.
+//! - [`cache::RegionCache`] — bounded, byte-accounted LRU from sub-block
+//!   content hash to VF2 annotation, shareable across sessions.
+//! - [`pipeline::IncrementalPipeline`] — ties it together: dirty-mark the
+//!   edited regions, re-run GCN + VF2 + postprocessing only where needed,
+//!   splice cached results everywhere else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod canon;
+pub mod diff;
+pub mod fingerprint;
+mod hash128;
+pub mod pipeline;
+
+pub use cache::{CachedBlock, RegionCache, RegionCacheStats};
+pub use canon::structural_hash;
+pub use diff::NetlistDiff;
+pub use fingerprint::{ccc_fingerprints, region_fingerprint, Region, RegionMap};
+pub use pipeline::{Baseline, IncrementalPipeline, UpdateStats};

@@ -1,0 +1,504 @@
+//! Diff-driven incremental annotation.
+//!
+//! [`IncrementalPipeline`] wraps a cold [`Pipeline`] and makes re-annotation
+//! cost proportional to the edit:
+//!
+//! 1. the new netlist is preprocessed and canonically hashed — a pure
+//!    resize (or any edit preprocessing folds away) short-circuits to a
+//!    full splice of the prior result;
+//! 2. otherwise a [`NetlistDiff`] seeds dirty marking over the
+//!    [`RegionMap`]: regions holding edited devices, regions without a
+//!    fingerprint match in the baseline, and their immediate
+//!    signal-coupled neighbors are dirty;
+//! 3. GCN inference runs only on the circuit induced by the dirty regions;
+//!    per-vertex classes for clean regions are spliced from the baseline;
+//! 4. Postprocessing I/II, hierarchy, and constraints are recomputed
+//!    exactly over the full design, with per-sub-block VF2 answered from
+//!    the shared content-addressed [`RegionCache`] whenever the block's
+//!    induced content was seen before.
+//!
+//! Stages 3 is the only approximation (quantized away by CCC majority
+//! smoothing); stage 4 cache hits are exact by construction because the key
+//! covers everything the annotator reads.
+
+use crate::cache::{CachedBlock, RegionCache};
+use crate::canon::structural_hash;
+use crate::diff::NetlistDiff;
+use crate::fingerprint::RegionMap;
+use crate::hash128::Digest;
+use gana_core::{Pipeline, RecognizedDesign, Result};
+use gana_graph::{CircuitGraph, GraphOptions};
+use gana_netlist::Circuit;
+use std::cell::Cell;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Prior state an update is computed against: the previous recognized
+/// design plus the indexes needed to splice from it.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Canonical structural hash of the preprocessed circuit.
+    pub canon: u128,
+    /// The full recognition result for the prior netlist.
+    pub design: RecognizedDesign,
+    /// Region decomposition of the prior design graph.
+    pub regions: RegionMap,
+    element_class: HashMap<String, usize>,
+    net_class: HashMap<String, usize>,
+    /// Region fingerprint → indices into `regions.regions`.
+    by_fingerprint: HashMap<u128, Vec<usize>>,
+}
+
+impl Baseline {
+    fn from_design(design: RecognizedDesign) -> Baseline {
+        let canon = structural_hash(&design.circuit);
+        let regions = RegionMap::build(&design.circuit, &design.graph);
+        let mut element_class = HashMap::new();
+        let mut net_class = HashMap::new();
+        for v in 0..design.graph.vertex_count() {
+            if let Some(name) = design.graph.device_name(v) {
+                element_class.insert(name.to_string(), design.gcn_class[v]);
+            } else if let Some(name) = design.graph.net_name(v) {
+                net_class.insert(name.to_string(), design.gcn_class[v]);
+            }
+        }
+        let mut by_fingerprint: HashMap<u128, Vec<usize>> = HashMap::new();
+        for (idx, region) in regions.regions.iter().enumerate() {
+            by_fingerprint
+                .entry(region.fingerprint)
+                .or_default()
+                .push(idx);
+        }
+        Baseline {
+            canon,
+            design,
+            regions,
+            element_class,
+            net_class,
+            by_fingerprint,
+        }
+    }
+
+    /// Whether some prior region has this fingerprint *and* this device
+    /// name sequence (names must match for class splicing by name).
+    fn has_matching_region(&self, fingerprint: u128, devices: &[String]) -> bool {
+        self.by_fingerprint.get(&fingerprint).is_some_and(|idxs| {
+            idxs.iter()
+                .any(|&i| self.regions.regions[i].devices == devices)
+        })
+    }
+}
+
+/// What one [`IncrementalPipeline::update`] did, for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// True when the canonical hash matched and the whole prior result was
+    /// spliced without any recomputation.
+    pub full_splice: bool,
+    /// Size of the structural edit set.
+    pub edits: usize,
+    /// Regions re-annotated from scratch.
+    pub dirty_regions: usize,
+    /// Regions whose GCN classes were spliced from the baseline.
+    pub clean_regions: usize,
+    /// Devices inside dirty regions.
+    pub dirty_devices: usize,
+    /// Devices in the whole design.
+    pub total_devices: usize,
+    /// Sub-block VF2 lookups answered from the region cache.
+    pub cache_hits: u64,
+    /// Sub-block VF2 lookups that ran the matcher.
+    pub cache_misses: u64,
+    /// Sub-blocks spliced wholesale (full-splice path only).
+    pub spliced_blocks: u64,
+    /// Vertices the GCN actually ran on (0 on the full-splice path).
+    pub inferred_vertices: usize,
+}
+
+impl fmt::Display for UpdateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.full_splice {
+            write!(
+                f,
+                "full splice: {} sub-blocks reused, 0/{} devices re-annotated",
+                self.spliced_blocks, self.total_devices
+            )
+        } else {
+            write!(
+                f,
+                "{} edits -> {}/{} regions dirty, {}/{} devices re-inferred, vf2 cache {}/{} hit",
+                self.edits,
+                self.dirty_regions,
+                self.dirty_regions + self.clean_regions,
+                self.dirty_devices,
+                self.total_devices,
+                self.cache_hits,
+                self.cache_hits + self.cache_misses,
+            )
+        }
+    }
+}
+
+/// The incremental annotation engine: a cold [`Pipeline`] plus a shared
+/// content-addressed [`RegionCache`].
+#[derive(Debug, Clone)]
+pub struct IncrementalPipeline {
+    pipeline: Pipeline,
+    cache: Arc<RegionCache>,
+}
+
+impl IncrementalPipeline {
+    /// Default cache budget: plenty for thousands of sub-block entries.
+    pub const DEFAULT_CACHE_BYTES: usize = 8 << 20;
+
+    /// Wraps a pipeline with a private cache of the default size.
+    pub fn new(pipeline: Pipeline) -> IncrementalPipeline {
+        IncrementalPipeline::with_cache(
+            pipeline,
+            Arc::new(RegionCache::new(IncrementalPipeline::DEFAULT_CACHE_BYTES)),
+        )
+    }
+
+    /// Wraps a pipeline with an externally shared cache (e.g. one cache for
+    /// every session of a serving engine).
+    pub fn with_cache(pipeline: Pipeline, cache: Arc<RegionCache>) -> IncrementalPipeline {
+        IncrementalPipeline { pipeline, cache }
+    }
+
+    /// The underlying cold pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The shared region cache.
+    pub fn cache(&self) -> &Arc<RegionCache> {
+        &self.cache
+    }
+
+    /// Cold path: annotates from scratch (warming the region cache) and
+    /// builds the baseline for later [`IncrementalPipeline::update`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing, coarsening, and model errors.
+    pub fn annotate_full(&self, circuit: &Circuit) -> Result<Baseline> {
+        let clean = self.pipeline.preprocess_only(circuit)?;
+        let (graph, sample) = self.pipeline.prepare_preprocessed(&clean)?;
+        let gcn_class = self.pipeline.model().predict(&sample)?;
+        let design = self.finish_cached(clean, graph, gcn_class, &Cell::new(0), &Cell::new(0));
+        Ok(Baseline::from_design(design))
+    }
+
+    /// Incremental path: re-annotates `new_circuit` against `baseline`,
+    /// recomputing only what the edit can affect. Returns the new baseline
+    /// (owning the new [`RecognizedDesign`]) and what was reused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing, coarsening, and model errors.
+    pub fn update(
+        &self,
+        baseline: &Baseline,
+        new_circuit: &Circuit,
+    ) -> Result<(Baseline, UpdateStats)> {
+        let clean = self.pipeline.preprocess_only(new_circuit)?;
+        let canon = structural_hash(&clean);
+        let total_devices = clean.devices().len();
+
+        if canon == baseline.canon {
+            // Structurally identical (any edit folded away in preprocessing
+            // or touched only sizing): splice the entire prior result,
+            // reusing every baseline index — vertex ids are reproducible
+            // from structure alone. The new circuit is swapped in so
+            // value-bearing output (e.g. the hierarchical SPICE) reflects
+            // the edit.
+            let mut next = baseline.clone();
+            next.design.circuit = clean;
+            let spliced = next.design.sub_blocks.len() as u64;
+            self.cache.note_splices(spliced);
+            let stats = UpdateStats {
+                full_splice: true,
+                total_devices,
+                spliced_blocks: spliced,
+                ..UpdateStats::default()
+            };
+            return Ok((next, stats));
+        }
+
+        let graph = CircuitGraph::build(&clean, GraphOptions::default());
+        let diff = NetlistDiff::compute(&baseline.design.circuit, &clean);
+        let seeds = diff.seed_devices(&baseline.design.circuit, &clean);
+        let regions = RegionMap::build(&clean, &graph);
+
+        // Dirty marking: seed-device regions plus regions whose content has
+        // no baseline match (covers renames-with-rewires and merges).
+        let mut dirty: Vec<bool> = regions
+            .regions
+            .iter()
+            .map(|r| {
+                r.devices.iter().any(|d| seeds.contains(d))
+                    || !baseline.has_matching_region(r.fingerprint, &r.devices)
+            })
+            .collect();
+
+        // One ring of signal-coupled neighbors: regions sharing any
+        // non-rail net with a dirty region see changed context.
+        let mut by_net: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (idx, region) in regions.regions.iter().enumerate() {
+            let mut nets: BTreeSet<&str> = BTreeSet::new();
+            for &v in &region.elements {
+                for &(net, _) in graph.neighbors(v) {
+                    let name = graph.net_name(net).expect("net vertex");
+                    if !clean.is_supply(name) && !clean.is_ground(name) {
+                        nets.insert(name);
+                    }
+                }
+            }
+            for net in nets {
+                by_net.entry(net).or_default().push(idx);
+            }
+        }
+        let ring_sources: Vec<usize> = (0..dirty.len()).filter(|&i| dirty[i]).collect();
+        for idx in ring_sources {
+            for &v in &regions.regions[idx].elements {
+                for &(net, _) in graph.neighbors(v) {
+                    let name = graph.net_name(net).expect("net vertex");
+                    if let Some(sharing) = by_net.get(name) {
+                        for &other in sharing {
+                            dirty[other] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let dirty_regions = dirty.iter().filter(|&&d| d).count();
+        let clean_regions = dirty.len() - dirty_regions;
+
+        // Infer fresh classes for the dirty subcircuit only.
+        let mut dirty_element_class: HashMap<String, usize> = HashMap::new();
+        let mut dirty_net_class: HashMap<String, usize> = HashMap::new();
+        let mut dirty_devices = 0usize;
+        let mut inferred_vertices = 0usize;
+        if dirty_regions > 0 {
+            let mut elements: Vec<usize> = Vec::new();
+            for (idx, region) in regions.regions.iter().enumerate() {
+                if dirty[idx] {
+                    elements.extend(region.elements.iter().copied());
+                }
+            }
+            elements.sort_unstable();
+            dirty_devices = elements.len();
+            let sub = induced_circuit(&clean, &graph, &elements);
+            let (sub_graph, sub_sample) = self.pipeline.prepare_preprocessed(&sub)?;
+            let sub_class = self.pipeline.model().predict(&sub_sample)?;
+            inferred_vertices = sub_graph.vertex_count();
+            for (v, &class) in sub_class.iter().enumerate().take(sub_graph.vertex_count()) {
+                if let Some(name) = sub_graph.device_name(v) {
+                    dirty_element_class.insert(name.to_string(), class);
+                } else if let Some(name) = sub_graph.net_name(v) {
+                    dirty_net_class.insert(name.to_string(), class);
+                }
+            }
+        }
+
+        // Assemble full per-vertex classes: fresh where dirty, spliced from
+        // the baseline elsewhere.
+        let gcn_class: Vec<usize> = (0..graph.vertex_count())
+            .map(|v| {
+                if let Some(name) = graph.device_name(v) {
+                    dirty_element_class
+                        .get(name)
+                        .or_else(|| baseline.element_class.get(name))
+                        .copied()
+                        .unwrap_or(0)
+                } else if let Some(name) = graph.net_name(v) {
+                    dirty_net_class
+                        .get(name)
+                        .or_else(|| baseline.net_class.get(name))
+                        .copied()
+                        .unwrap_or(0)
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        let hits = Cell::new(0u64);
+        let misses = Cell::new(0u64);
+        let design = self.finish_cached(clean, graph, gcn_class, &hits, &misses);
+        let stats = UpdateStats {
+            full_splice: false,
+            edits: diff.len(),
+            dirty_regions,
+            clean_regions,
+            dirty_devices,
+            total_devices,
+            cache_hits: hits.get(),
+            cache_misses: misses.get(),
+            spliced_blocks: 0,
+            inferred_vertices,
+        };
+        self.cache.note_splices(stats.cache_hits);
+        let mut next = Baseline::from_design(design);
+        next.canon = canon;
+        Ok((next, stats))
+    }
+
+    /// Postprocessing with per-sub-block VF2 answered from the region cache.
+    fn finish_cached(
+        &self,
+        circuit: Circuit,
+        graph: CircuitGraph,
+        gcn_class: Vec<usize>,
+        hits: &Cell<u64>,
+        misses: &Cell<u64>,
+    ) -> RecognizedDesign {
+        let library = self.pipeline.library_arc();
+        let cache = Arc::clone(&self.cache);
+        self.pipeline
+            .finish_with_annotator(circuit, graph, gcn_class, &mut |sub, sub_graph| {
+                let key = block_key(sub);
+                let devices: Vec<String> =
+                    sub.devices().iter().map(|d| d.name().to_string()).collect();
+                if let Some(block) = cache.get(key, &devices) {
+                    hits.set(hits.get() + 1);
+                    return block.annotation.clone();
+                }
+                misses.set(misses.get() + 1);
+                let annotation = gana_primitives::annotate(&library, sub, sub_graph);
+                cache.insert(
+                    key,
+                    CachedBlock {
+                        devices,
+                        annotation: annotation.clone(),
+                    },
+                );
+                annotation
+            })
+    }
+}
+
+/// Content hash of a sub-block's induced circuit: the device sequence plus
+/// the port labels its own nets carry. This covers everything
+/// [`gana_primitives::annotate`] can observe, so equal keys imply
+/// byte-identical annotations.
+fn block_key(circuit: &Circuit) -> u128 {
+    let mut d = Digest::new();
+    d.write(circuit.devices().len());
+    let mut nets: BTreeSet<&str> = BTreeSet::new();
+    for device in circuit.devices() {
+        d.write(device.name());
+        d.write(format!("{:?}", device.kind()));
+        d.write(device.terminals().len());
+        for terminal in device.terminals() {
+            d.write(terminal.as_str());
+            nets.insert(terminal.as_str());
+        }
+    }
+    d.write("labels");
+    for net in nets {
+        if let Some(label) = circuit.port_label(net) {
+            d.write(net);
+            d.write(label.keyword());
+        }
+    }
+    d.finish()
+}
+
+/// Copy of the dirty elements (in vertex — i.e. card — order) with every
+/// parent port label, mirroring Postprocessing I's sub-block induction.
+fn induced_circuit(circuit: &Circuit, graph: &CircuitGraph, elements: &[usize]) -> Circuit {
+    let mut out = Circuit::new(format!("{}_dirty", circuit.name()));
+    for (net, label) in circuit.port_labels() {
+        out.set_port_label(net.clone(), label.clone());
+    }
+    for &v in elements {
+        if let Some(i) = graph.device_index(v) {
+            out.add_device(circuit.devices()[i].clone())
+                .expect("unique names inherited from parent");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_core::Task;
+    use gana_gnn::{GcnConfig, GcnModel};
+    use gana_primitives::PrimitiveLibrary;
+
+    fn tiny_pipeline() -> Pipeline {
+        let config = GcnConfig {
+            conv_channels: vec![4, 4],
+            filter_order: 2,
+            fc_dim: 8,
+            num_classes: 2,
+            dropout: 0.0,
+            batch_norm: false,
+            ..GcnConfig::default()
+        };
+        Pipeline::new(
+            GcnModel::new(config).expect("valid"),
+            vec!["ota".into(), "bias".into()],
+            PrimitiveLibrary::standard().expect("parse"),
+            Task::OtaBias,
+        )
+    }
+
+    const BASE: &str = "\
+M0 o1 i1 t gnd! NMOS W=1u
+M1 o2 i2 t gnd! NMOS W=1u
+M2 t vb gnd! gnd! NMOS W=2u
+M3 vb vb gnd! gnd! NMOS
+R1 vdd! vb 10k
+";
+
+    #[test]
+    fn resize_takes_the_full_splice_path() {
+        let inc = IncrementalPipeline::new(tiny_pipeline());
+        let baseline = inc
+            .annotate_full(&gana_netlist::parse(BASE).expect("valid"))
+            .expect("cold run");
+        let resized = BASE.replace("W=1u", "W=4u");
+        let (next, stats) = inc
+            .update(&baseline, &gana_netlist::parse(&resized).expect("valid"))
+            .expect("update");
+        assert!(stats.full_splice, "{stats:?}");
+        assert_eq!(stats.spliced_blocks as usize, next.design.sub_blocks.len());
+        assert_eq!(next.design.hierarchy, baseline.design.hierarchy);
+    }
+
+    #[test]
+    fn structural_edit_marks_few_regions_dirty() {
+        let inc = IncrementalPipeline::new(tiny_pipeline());
+        let baseline = inc
+            .annotate_full(&gana_netlist::parse(BASE).expect("valid"))
+            .expect("cold run");
+        // Add a decoupled second mirror: one new dirty region.
+        let extended = format!("{BASE}M4 x x gnd! gnd! NMOS\nM5 y x gnd! gnd! NMOS\n");
+        let (next, stats) = inc
+            .update(&baseline, &gana_netlist::parse(&extended).expect("valid"))
+            .expect("update");
+        assert!(!stats.full_splice);
+        assert!(stats.dirty_regions >= 1, "{stats:?}");
+        assert_eq!(stats.total_devices, 7);
+        assert!(next.design.device_label("M4").is_some());
+    }
+
+    #[test]
+    fn update_matches_cold_run_on_the_report() {
+        let inc = IncrementalPipeline::new(tiny_pipeline());
+        let old = gana_netlist::parse(BASE).expect("valid");
+        let edited = format!("{BASE}C1 o1 gnd! 1p\nC2 o2 gnd! 1p\n");
+        let new = gana_netlist::parse(&edited).expect("valid");
+        let baseline = inc.annotate_full(&old).expect("cold run");
+        let (incremental, _) = inc.update(&baseline, &new).expect("update");
+        let cold = inc.pipeline().recognize(&new).expect("cold");
+        assert_eq!(incremental.design.hierarchy, cold.hierarchy);
+        assert_eq!(incremental.design.constraints, cold.constraints);
+        assert_eq!(incremental.design.final_label, cold.final_label);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for region/CCC fingerprints: invariant under
+//! device/net renaming and card-order permutation, sensitive to device
+//! type changes and `g/s/d` edge-label changes.
+
+use gana_graph::{CircuitGraph, GraphOptions};
+use gana_incremental::{ccc_fingerprints, region_fingerprint, RegionMap};
+use gana_netlist::{Circuit, Device, DeviceKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A chain of `n` current mirrors with resistive links — every device
+/// coupled through signal nets, with distinct diode/output/link roles so
+/// `g/s/d` orientation is observable.
+fn mirror_chain(n: usize, order_seed: u64) -> Circuit {
+    let mut devices: Vec<Device> = Vec::new();
+    for i in 0..n {
+        devices.push(
+            Device::new(
+                format!("MD{i}"),
+                DeviceKind::Nmos,
+                vec![
+                    format!("d{i}"),
+                    format!("d{i}"),
+                    "gnd!".into(),
+                    "gnd!".into(),
+                ],
+            )
+            .expect("valid")
+            .with_model("NMOS"),
+        );
+        devices.push(
+            Device::new(
+                format!("MO{i}"),
+                DeviceKind::Nmos,
+                vec![
+                    format!("o{i}"),
+                    format!("d{i}"),
+                    "gnd!".into(),
+                    "gnd!".into(),
+                ],
+            )
+            .expect("valid")
+            .with_model("NMOS"),
+        );
+        devices.push(
+            Device::new(
+                format!("R{i}"),
+                DeviceKind::Resistor,
+                vec![format!("o{i}"), format!("d{}", (i + 1) % n)],
+            )
+            .expect("valid")
+            .with_value(1e3),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(order_seed);
+    devices.shuffle(&mut rng);
+    let mut c = Circuit::new("chain");
+    for d in devices {
+        c.add_device(d).expect("unique names");
+    }
+    c
+}
+
+fn graph_of(circuit: &Circuit) -> CircuitGraph {
+    CircuitGraph::build(circuit, GraphOptions::default())
+}
+
+/// Sorted multiset of CCC fingerprints (CCC enumeration order is
+/// card-order dependent; content is not).
+fn sorted_cccs(circuit: &Circuit) -> Vec<u128> {
+    let graph = graph_of(circuit);
+    let mut f = ccc_fingerprints(circuit, &graph);
+    f.sort_unstable();
+    f
+}
+
+/// Fingerprint over the whole design (all elements as one set).
+fn whole_design(circuit: &Circuit) -> u128 {
+    let graph = graph_of(circuit);
+    let elements: Vec<usize> = graph.element_vertices().collect();
+    region_fingerprint(circuit, &graph, &elements)
+}
+
+/// Bijectively renames every device and every non-rail net.
+fn renamed(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.name().to_string());
+    for device in circuit.devices() {
+        let mut d = device.clone();
+        d.set_name(format!("ZZ_{}", device.name()));
+        for t in d.terminals_mut() {
+            if !circuit.is_supply(t) && !circuit.is_ground(t) {
+                *t = format!("net_{t}");
+            }
+        }
+        out.add_device(d).expect("unique names");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Renaming devices/nets and permuting the deck changes no fingerprint.
+    #[test]
+    fn fingerprints_invariant_under_rename_and_permutation(
+        n in 2usize..7,
+        seed_a in 0u64..200,
+        seed_b in 200u64..400,
+    ) {
+        let base = mirror_chain(n, seed_a);
+        let shuffled = renamed(&mirror_chain(n, seed_b));
+        prop_assert_eq!(sorted_cccs(&base), sorted_cccs(&shuffled));
+        prop_assert_eq!(whole_design(&base), whole_design(&shuffled));
+
+        let base_graph = graph_of(&base);
+        let shuffled_graph = graph_of(&shuffled);
+        let mut base_regions: Vec<u128> = RegionMap::build(&base, &base_graph)
+            .regions.iter().map(|r| r.fingerprint).collect();
+        let mut shuffled_regions: Vec<u128> = RegionMap::build(&shuffled, &shuffled_graph)
+            .regions.iter().map(|r| r.fingerprint).collect();
+        base_regions.sort_unstable();
+        shuffled_regions.sort_unstable();
+        prop_assert_eq!(base_regions, shuffled_regions);
+    }
+
+    /// Changing one device's type changes the fingerprint set.
+    #[test]
+    fn device_type_change_is_visible(n in 2usize..7, seed in 0u64..200, pick in 0usize..100) {
+        let base = mirror_chain(n, seed);
+        let mut edited = base.clone();
+        let victim = format!("MO{}", pick % n);
+        for d in edited.devices_mut() {
+            if d.name() == victim {
+                *d = Device::new(
+                    d.name().to_string(),
+                    DeviceKind::Pmos,
+                    d.terminals().to_vec(),
+                )
+                .expect("valid")
+                .with_model("PMOS");
+            }
+        }
+        prop_assert_ne!(sorted_cccs(&base), sorted_cccs(&edited));
+        prop_assert_ne!(whole_design(&base), whole_design(&edited));
+    }
+
+    /// Moving a gate edge (swapping a mirror output's drain and gate nets)
+    /// changes the whole-design fingerprint: same devices, same nets, same
+    /// degree sequence — only the `g/s/d` labels moved.
+    #[test]
+    fn edge_label_change_is_visible(n in 2usize..7, seed in 0u64..200, pick in 0usize..100) {
+        let base = mirror_chain(n, seed);
+        let mut edited = base.clone();
+        let victim = format!("MO{}", pick % n);
+        for d in edited.devices_mut() {
+            if d.name() == victim {
+                d.terminals_mut().swap(0, 1);
+            }
+        }
+        prop_assert_ne!(whole_design(&base), whole_design(&edited));
+    }
+}

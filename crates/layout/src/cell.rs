@@ -50,7 +50,12 @@ impl Rect {
         let y = self.y.min(other.y);
         let right = self.right().max(other.right());
         let top = self.top().max(other.top());
-        Rect { x, y, w: right - x, h: top - y }
+        Rect {
+            x,
+            y,
+            w: right - x,
+            h: top - y,
+        }
     }
 
     /// Area.

@@ -180,8 +180,7 @@ pub fn place_design(design: &RecognizedDesign, pdk: &Pdk) -> Result<Layout, Layo
                 // Interleave around the middle: A B A B -> A B B A order.
                 cells = interleave_common_centroid(cells);
             }
-            let row_w: i64 =
-                cells.iter().map(|&(_, w, _)| w + spacing).sum::<i64>() - spacing;
+            let row_w: i64 = cells.iter().map(|&(_, w, _)| w + spacing).sum::<i64>() - spacing;
             let row_h: i64 = cells.iter().map(|&(_, _, h)| h).max().unwrap_or(1);
             let mut x = cursor_x + (block_w - row_w) / 2;
             let n = cells.len();
@@ -214,7 +213,11 @@ pub fn place_design(design: &RecognizedDesign, pdk: &Pdk) -> Result<Layout, Layo
         .map(|b| b.rect)
         .reduce(|a, b| a.union(&b))
         .unwrap_or(Rect::new(0, 0, 1, 1));
-    let layout = Layout { placements, blocks, die };
+    let layout = Layout {
+        placements,
+        blocks,
+        die,
+    };
     layout.validate()?;
     Ok(layout)
 }

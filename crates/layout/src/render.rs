@@ -18,7 +18,13 @@ pub fn ascii(layout: &Layout) -> String {
     let rows = (die.h / scale + 1) as usize;
     let mut raster = vec![vec!['.'; cols]; rows];
     for p in &layout.placements {
-        let letter = p.cell.device.chars().next().unwrap_or('?').to_ascii_uppercase();
+        let letter = p
+            .cell
+            .device
+            .chars()
+            .next()
+            .unwrap_or('?')
+            .to_ascii_uppercase();
         let x0 = ((p.rect.x - die.x) / scale) as usize;
         let y0 = ((p.rect.y - die.y) / scale) as usize;
         let x1 = (((p.rect.right() - die.x) / scale) as usize).min(cols);
@@ -52,7 +58,9 @@ pub fn svg(layout: &Layout) -> String {
     );
     let color = |label: &str| -> String {
         // Deterministic pastel from the label bytes.
-        let h: u32 = label.bytes().fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+        let h: u32 = label
+            .bytes()
+            .fold(17u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
         format!("hsl({}, 55%, 70%)", h % 360)
     };
     for b in &layout.blocks {
@@ -97,13 +105,21 @@ mod tests {
         Layout {
             placements: vec![
                 Placement {
-                    cell: Cell { device: "M1".to_string(), w: 2, h: 2 },
+                    cell: Cell {
+                        device: "M1".to_string(),
+                        w: 2,
+                        h: 2,
+                    },
                     rect: Rect::new(0, 0, 2, 2),
                     mirrored: false,
                     block: "b0".to_string(),
                 },
                 Placement {
-                    cell: Cell { device: "C1".to_string(), w: 3, h: 2 },
+                    cell: Cell {
+                        device: "C1".to_string(),
+                        w: 3,
+                        h: 2,
+                    },
                     rect: Rect::new(3, 0, 3, 2),
                     mirrored: false,
                     block: "b0".to_string(),

@@ -31,7 +31,11 @@ pub fn verify(layout: &Layout, constraints: &[Constraint]) -> Vec<CheckResult> {
         .iter()
         .map(|c| {
             let (satisfied, detail) = check_one(layout, c);
-            CheckResult { constraint: c.clone(), satisfied, detail }
+            CheckResult {
+                constraint: c.clone(),
+                satisfied,
+                detail,
+            }
         })
         .collect()
 }
@@ -52,8 +56,10 @@ fn check_one(layout: &Layout, constraint: &Constraint) -> (bool, String) {
     };
     match constraint.kind {
         ConstraintKind::Symmetry => {
-            let mut offsets: Vec<i64> =
-                placements.iter().map(|p| p.rect.center_x2() - block.axis_x2).collect();
+            let mut offsets: Vec<i64> = placements
+                .iter()
+                .map(|p| p.rect.center_x2() - block.axis_x2)
+                .collect();
             offsets.sort_unstable();
             // Offsets must pair up as {-d, +d}.
             let mut i = 0;
@@ -80,13 +86,19 @@ fn check_one(layout: &Layout, constraint: &Constraint) -> (bool, String) {
             let (w0, h0) = (placements[0].rect.w, placements[0].rect.h);
             for p in &placements[1..] {
                 if (p.rect.w, p.rect.h) != (w0, h0) {
-                    return (false, format!("{} has a different footprint", p.cell.device));
+                    return (
+                        false,
+                        format!("{} has a different footprint", p.cell.device),
+                    );
                 }
             }
             (true, "footprints match".to_string())
         }
         ConstraintKind::CommonCentroid => {
-            let sum: i64 = placements.iter().map(|p| p.rect.center_x2() - block.axis_x2).sum();
+            let sum: i64 = placements
+                .iter()
+                .map(|p| p.rect.center_x2() - block.axis_x2)
+                .sum();
             if sum == 0 {
                 (true, "centroid on axis".to_string())
             } else {
@@ -116,7 +128,11 @@ mod tests {
         let placements = pairs
             .iter()
             .map(|&(name, x, y)| Placement {
-                cell: Cell { device: name.to_string(), w: 2, h: 2 },
+                cell: Cell {
+                    device: name.to_string(),
+                    w: 2,
+                    h: 2,
+                },
                 rect: Rect::new(x, y, 2, 2),
                 mirrored: false,
                 block: "b0".to_string(),

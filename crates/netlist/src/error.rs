@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn display_mentions_line_number() {
-        let err = NetlistError::Parse { line: 12, message: "bad card".to_string() };
+        let err = NetlistError::Parse {
+            line: 12,
+            message: "bad card".to_string(),
+        };
         assert!(err.to_string().contains("line 12"));
     }
 

@@ -92,12 +92,12 @@ fn expand_into(
             let subckt_name = device.model().ok_or_else(|| {
                 NetlistError::Semantic(format!("instance {flat_name} has no subcircuit name"))
             })?;
-            let def = lib.find_subckt(subckt_name).ok_or_else(|| {
-                NetlistError::UnknownSubcircuit {
-                    instance: flat_name.clone(),
-                    subckt: subckt_name.to_string(),
-                }
-            })?;
+            let def =
+                lib.find_subckt(subckt_name)
+                    .ok_or_else(|| NetlistError::UnknownSubcircuit {
+                        instance: flat_name.clone(),
+                        subckt: subckt_name.to_string(),
+                    })?;
             if device.terminals().len() != def.ports().len() {
                 return Err(NetlistError::PortArityMismatch {
                     instance: flat_name,
@@ -107,7 +107,9 @@ fn expand_into(
                 });
             }
             if stack.iter().any(|s| s.eq_ignore_ascii_case(subckt_name)) {
-                return Err(NetlistError::RecursiveSubcircuit { subckt: subckt_name.to_string() });
+                return Err(NetlistError::RecursiveSubcircuit {
+                    subckt: subckt_name.to_string(),
+                });
             }
             let child_map: HashMap<String, String> = def
                 .ports()
@@ -153,10 +155,8 @@ mod tests {
 
     #[test]
     fn globals_stay_global() {
-        let lib = parse_library(
-            ".SUBCKT LEAF in\nM1 in in gnd! gnd! NMOS\n.ENDS\nX1 n LEAF\n",
-        )
-        .expect("valid");
+        let lib = parse_library(".SUBCKT LEAF in\nM1 in in gnd! gnd! NMOS\n.ENDS\nX1 n LEAF\n")
+            .expect("valid");
         let flat = flatten(&lib).expect("flattens");
         let m1 = flat.device("X1/M1").expect("exists");
         assert_eq!(m1.terminals()[2], "gnd!", "ground must not be prefixed");
@@ -174,7 +174,9 @@ mod tests {
         let lib = parse_library(".SUBCKT S a b c\nR1 a b 1\n.ENDS\nX1 n1 n2 S\n").expect("parses");
         let err = flatten(&lib).expect_err("too few nets");
         match err {
-            NetlistError::PortArityMismatch { expected, found, .. } => {
+            NetlistError::PortArityMismatch {
+                expected, found, ..
+            } => {
                 assert_eq!((expected, found), (3, 2));
             }
             other => panic!("unexpected {other:?}"),
@@ -212,10 +214,18 @@ X1 n LEAF
         .expect("valid");
         let flat = flatten(&lib).expect("flattens");
         let m1 = flat.device("X1/M1").expect("exists");
-        assert_eq!(m1.terminals()[1], "vbias", ".GLOBAL net must not be prefixed");
+        assert_eq!(
+            m1.terminals()[1],
+            "vbias",
+            ".GLOBAL net must not be prefixed"
+        );
         assert_eq!(m1.terminals()[2], "avdd");
         let r1 = flat.device("X1/R1").expect("exists");
-        assert_eq!(r1.terminals()[1], "X1/local", "non-global nets still prefix");
+        assert_eq!(
+            r1.terminals()[1],
+            "X1/local",
+            "non-global nets still prefix"
+        );
     }
 
     #[test]

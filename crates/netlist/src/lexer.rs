@@ -41,7 +41,10 @@ pub(crate) fn tokenize(source: &str) -> Vec<Card> {
         }
         let tokens = split_tokens(trimmed.trim_start_matches('+'));
         if !tokens.is_empty() {
-            cards.push(Card { line: line_no, tokens });
+            cards.push(Card {
+                line: line_no,
+                tokens,
+            });
         }
     }
     for card in &mut cards {
@@ -135,7 +138,10 @@ mod tests {
     #[test]
     fn parentheses_act_as_separators() {
         let cards = tokenize("V1 in 0 SIN(0 1 1k)\n");
-        assert_eq!(cards[0].tokens, vec!["V1", "in", "0", "SIN", "0", "1", "1k"]);
+        assert_eq!(
+            cards[0].tokens,
+            vec!["V1", "in", "0", "SIN", "0", "1", "1k"]
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl DeviceKind {
 
     /// True for R/C/L passives.
     pub fn is_passive(self) -> bool {
-        matches!(self, DeviceKind::Resistor | DeviceKind::Capacitor | DeviceKind::Inductor)
+        matches!(
+            self,
+            DeviceKind::Resistor | DeviceKind::Capacitor | DeviceKind::Inductor
+        )
     }
 
     /// True for V/I sources.
@@ -112,7 +115,12 @@ impl MosTerminal {
 
     /// All four terminals in card order.
     pub fn all() -> [MosTerminal; 4] {
-        [MosTerminal::Drain, MosTerminal::Gate, MosTerminal::Source, MosTerminal::Body]
+        [
+            MosTerminal::Drain,
+            MosTerminal::Gate,
+            MosTerminal::Source,
+            MosTerminal::Body,
+        ]
     }
 }
 
@@ -226,7 +234,14 @@ impl Device {
                 "instance {name} must connect at least one net"
             )));
         }
-        Ok(Device { name, kind, terminals, model: None, value: None, params: BTreeMap::new() })
+        Ok(Device {
+            name,
+            kind,
+            terminals,
+            model: None,
+            value: None,
+            params: BTreeMap::new(),
+        })
     }
 
     /// Builder-style: attach a model (MOS model or subcircuit name).
@@ -344,7 +359,12 @@ impl Circuit {
 
     /// Creates an empty circuit with the given external ports.
     pub fn with_ports(name: impl Into<String>, ports: Vec<String>) -> Circuit {
-        Circuit { name: name.into(), ports, devices: Vec::new(), port_labels: BTreeMap::new() }
+        Circuit {
+            name: name.into(),
+            ports,
+            devices: Vec::new(),
+            port_labels: BTreeMap::new(),
+        }
     }
 
     /// Circuit (or subcircuit) name.
@@ -445,7 +465,10 @@ impl Circuit {
 
     /// Number of transistor devices.
     pub fn transistor_count(&self) -> usize {
-        self.devices.iter().filter(|d| d.kind().is_transistor()).count()
+        self.devices
+            .iter()
+            .filter(|d| d.kind().is_transistor())
+            .count()
     }
 }
 
@@ -460,7 +483,11 @@ pub struct SpiceLibrary {
 impl SpiceLibrary {
     /// Creates a library with the given top-level circuit and no subcircuits.
     pub fn new(top: Circuit) -> SpiceLibrary {
-        SpiceLibrary { subckts: Vec::new(), top, globals: BTreeSet::new() }
+        SpiceLibrary {
+            subckts: Vec::new(),
+            top,
+            globals: BTreeSet::new(),
+        }
     }
 
     /// Declares a `.GLOBAL` net: flattening keeps its name at every level
@@ -501,7 +528,9 @@ impl SpiceLibrary {
 
     /// Looks up a subcircuit by name (case-insensitive, as in SPICE).
     pub fn find_subckt(&self, name: &str) -> Option<&Circuit> {
-        self.subckts.iter().find(|c| c.name().eq_ignore_ascii_case(name))
+        self.subckts
+            .iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
     }
 
     /// All subcircuit definitions in declaration order.
@@ -555,9 +584,13 @@ mod tests {
 
     #[test]
     fn params_are_case_insensitive() {
-        let d = Device::new("M0", DeviceKind::Nmos, vec!["d".into(), "g".into(), "s".into(), "b".into()])
-            .expect("valid")
-            .with_param("W", 2e-6);
+        let d = Device::new(
+            "M0",
+            DeviceKind::Nmos,
+            vec!["d".into(), "g".into(), "s".into(), "b".into()],
+        )
+        .expect("valid")
+        .with_param("W", 2e-6);
         assert_eq!(d.param("w"), Some(2e-6));
         assert_eq!(d.param("W"), Some(2e-6));
         assert_eq!(d.multiplier(), 1.0);
@@ -566,8 +599,8 @@ mod tests {
     #[test]
     fn circuit_rejects_duplicate_device_names() {
         let mut c = Circuit::new("top");
-        let d = Device::new("R1", DeviceKind::Resistor, vec!["a".into(), "b".into()])
-            .expect("valid");
+        let d =
+            Device::new("R1", DeviceKind::Resistor, vec!["a".into(), "b".into()]).expect("valid");
         c.add_device(d.clone()).expect("first insert");
         assert!(c.add_device(d).is_err());
     }

@@ -67,12 +67,15 @@ pub fn parse_library(source: &str) -> Result<SpiceLibrary> {
                     lib.add_global(net.clone());
                 }
             }
-            ".MODEL" | ".OPTION" | ".OPTIONS" | ".PARAM" | ".TEMP" | ".OP" | ".TRAN"
-            | ".AC" | ".DC" | ".INCLUDE" | ".LIB" => {
+            ".MODEL" | ".OPTION" | ".OPTIONS" | ".PARAM" | ".TEMP" | ".OP" | ".TRAN" | ".AC"
+            | ".DC" | ".INCLUDE" | ".LIB" => {
                 // Analysis/bookkeeping cards do not affect topology recognition.
             }
             _ if keyword.starts_with('.') => {
-                return Err(parse_err(&card, &format!("unsupported directive {keyword}")));
+                return Err(parse_err(
+                    &card,
+                    &format!("unsupported directive {keyword}"),
+                ));
             }
             _ => {
                 let device = parse_device(&card)?;
@@ -109,7 +112,10 @@ pub fn parse(source: &str) -> Result<Circuit> {
 }
 
 fn parse_err(card: &Card, message: &str) -> NetlistError {
-    NetlistError::Parse { line: card.line, message: message.to_string() }
+    NetlistError::Parse {
+        line: card.line,
+        message: message.to_string(),
+    }
 }
 
 fn split_params(tokens: &[String]) -> (Vec<&String>, Vec<(&str, &str)>) {
@@ -164,8 +170,11 @@ fn parse_device(card: &Card) -> Result<Device> {
             if plain.len() < 2 {
                 return Err(parse_err(card, "source card needs 2 nets"));
             }
-            let kind =
-                if leading == 'V' { DeviceKind::VoltageSource } else { DeviceKind::CurrentSource };
+            let kind = if leading == 'V' {
+                DeviceKind::VoltageSource
+            } else {
+                DeviceKind::CurrentSource
+            };
             let terms = plain[..2].iter().map(|s| s.to_string()).collect();
             let mut d = Device::new(name, kind, terms)?;
             // Accept `V1 a b 1.8`, `V1 a b DC 1.8`, and waveform keywords.
@@ -190,14 +199,23 @@ fn parse_device(card: &Card) -> Result<Device> {
         }
         'X' => {
             if plain.len() < 2 {
-                return Err(parse_err(card, "instance card needs nets and a subcircuit name"));
+                return Err(parse_err(
+                    card,
+                    "instance card needs nets and a subcircuit name",
+                ));
             }
             let subckt = plain[plain.len() - 1].clone();
-            let terms = plain[..plain.len() - 1].iter().map(|s| s.to_string()).collect();
+            let terms = plain[..plain.len() - 1]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             Device::new(name, DeviceKind::Instance, terms)?.with_model(subckt)
         }
         other => {
-            return Err(parse_err(card, &format!("unsupported device card letter {other}")));
+            return Err(parse_err(
+                card,
+                &format!("unsupported device card letter {other}"),
+            ));
         }
     };
 
@@ -305,7 +323,10 @@ CL o gnd! 100f
     fn model_classification_conventions() {
         assert_eq!(classify_mos_model("NMOS"), Some(DeviceKind::Nmos));
         assert_eq!(classify_mos_model("pch_lvt"), Some(DeviceKind::Pmos));
-        assert_eq!(classify_mos_model("sky130_fd_pr__nfet_01v8"), Some(DeviceKind::Nmos));
+        assert_eq!(
+            classify_mos_model("sky130_fd_pr__nfet_01v8"),
+            Some(DeviceKind::Nmos)
+        );
         assert_eq!(classify_mos_model("asap7_p"), Some(DeviceKind::Pmos));
         assert_eq!(classify_mos_model("xyz"), None);
     }

@@ -71,7 +71,10 @@ impl PreprocessReport {
 ///
 /// Propagates construction errors from rebuilding the circuit; these cannot
 /// occur for inputs produced by this crate's parser.
-pub fn preprocess(circuit: &Circuit, options: PreprocessOptions) -> Result<(Circuit, PreprocessReport)> {
+pub fn preprocess(
+    circuit: &Circuit,
+    options: PreprocessOptions,
+) -> Result<(Circuit, PreprocessReport)> {
     let mut report = PreprocessReport::default();
     let mut current = circuit.clone();
 
@@ -120,9 +123,15 @@ fn remove_dummies(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Ci
     let mut kept = Vec::new();
     for d in circuit.devices() {
         let is_dummy = if d.kind().is_transistor() {
-            let gate = d.mos_terminal(MosTerminal::Gate).expect("transistor has gate");
-            let source = d.mos_terminal(MosTerminal::Source).expect("transistor has source");
-            let drain = d.mos_terminal(MosTerminal::Drain).expect("transistor has drain");
+            let gate = d
+                .mos_terminal(MosTerminal::Gate)
+                .expect("transistor has gate");
+            let source = d
+                .mos_terminal(MosTerminal::Source)
+                .expect("transistor has source");
+            let drain = d
+                .mos_terminal(MosTerminal::Drain)
+                .expect("transistor has drain");
             let all_same = gate == source && source == drain;
             let gate_off = match d.kind() {
                 DeviceKind::Nmos => circuit.is_ground(gate),
@@ -155,8 +164,7 @@ fn remove_decaps(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Cir
         let is_decap = d.kind() == DeviceKind::Capacitor && {
             let a = &d.terminals()[0];
             let b = &d.terminals()[1];
-            let rail =
-                |n: &str| circuit.is_supply(n) || circuit.is_ground(n);
+            let rail = |n: &str| circuit.is_supply(n) || circuit.is_ground(n);
             rail(a) && rail(b)
         };
         if is_decap {
@@ -175,7 +183,11 @@ fn parallel_key(d: &Device) -> Option<String> {
             // Drain/source are interchangeable for a symmetric MOS model.
             let drain = d.mos_terminal(MosTerminal::Drain).expect("mos");
             let source = d.mos_terminal(MosTerminal::Source).expect("mos");
-            let (lo, hi) = if drain <= source { (drain, source) } else { (source, drain) };
+            let (lo, hi) = if drain <= source {
+                (drain, source)
+            } else {
+                (source, drain)
+            };
             Some(format!(
                 "{:?}|{}|{}|{}|{}|{}",
                 d.kind(),
@@ -290,7 +302,9 @@ fn merge_series(circuit: &Circuit, report: &mut PreprocessReport) -> Result<Circ
             let terminals = vec![
                 b.mos_terminal(MosTerminal::Drain).expect("mos").to_string(),
                 a_gate.to_string(),
-                a.mos_terminal(MosTerminal::Source).expect("mos").to_string(),
+                a.mos_terminal(MosTerminal::Source)
+                    .expect("mos")
+                    .to_string(),
                 a.mos_terminal(MosTerminal::Body).expect("mos").to_string(),
             ];
             let mut merged = Device::new(merged_name, a.kind(), terminals)?;
@@ -335,9 +349,8 @@ mod tests {
 
     #[test]
     fn parallel_transistors_merge_with_multiplier() {
-        let (c, report) = preprocess_src(
-            "M1 d g s b NMOS m=2\nM2 d g s b NMOS m=3\nM3 s g d b NMOS\n",
-        );
+        let (c, report) =
+            preprocess_src("M1 d g s b NMOS m=2\nM2 d g s b NMOS m=3\nM3 s g d b NMOS\n");
         assert_eq!(c.device_count(), 1);
         assert_eq!(report.merged_parallel.len(), 2);
         assert_eq!(c.devices()[0].multiplier(), 6.0, "2 + 3 + 1");
@@ -363,7 +376,11 @@ mod tests {
             "M1 mid g lo b NMOS L=1u\nM2 hi g mid b NMOS L=1u\nR1 hi x 1k\nR2 lo y 1k\n",
         );
         assert_eq!(report.merged_series.len(), 1);
-        let merged = c.devices().iter().find(|d| d.kind().is_transistor()).expect("exists");
+        let merged = c
+            .devices()
+            .iter()
+            .find(|d| d.kind().is_transistor())
+            .expect("exists");
         assert_eq!(merged.terminals()[0], "hi");
         assert_eq!(merged.terminals()[2], "lo");
         assert_eq!(merged.param("l"), Some(2e-6));
@@ -371,9 +388,7 @@ mod tests {
 
     #[test]
     fn series_not_merged_when_midpoint_used_elsewhere() {
-        let (c, _) = preprocess_src(
-            "M1 mid g lo b NMOS\nM2 hi g mid b NMOS\nR1 mid t 1k\n",
-        );
+        let (c, _) = preprocess_src("M1 mid g lo b NMOS\nM2 hi g mid b NMOS\nR1 mid t 1k\n");
         assert_eq!(c.transistor_count(), 2, "tap on midpoint forbids merging");
     }
 
@@ -397,8 +412,8 @@ mod tests {
 
     #[test]
     fn options_disable_steps() {
-        let lib = parse_library("C1 vdd! gnd! 10p\nM1 d g s b NMOS\nM2 d g s b NMOS\n")
-            .expect("valid");
+        let lib =
+            parse_library("C1 vdd! gnd! 10p\nM1 d g s b NMOS\nM2 d g s b NMOS\n").expect("valid");
         let opts = PreprocessOptions {
             merge_parallel: false,
             merge_series: false,
@@ -416,7 +431,11 @@ mod tests {
             "M1 n1 g lo b NMOS L=1u\nM2 n2 g n1 b NMOS L=1u\nM3 n3 g n2 b NMOS L=1u\nM4 hi g n3 b NMOS L=1u\nR1 hi t 1\nR2 lo u 1\n",
         );
         assert_eq!(c.transistor_count(), 1);
-        let m = c.devices().iter().find(|d| d.kind().is_transistor()).expect("exists");
+        let m = c
+            .devices()
+            .iter()
+            .find(|d| d.kind().is_transistor())
+            .expect("exists");
         assert_eq!(m.param("l"), Some(4e-6));
     }
 
@@ -433,9 +452,8 @@ mod tests {
 
     #[test]
     fn report_counts_match() {
-        let (_, report) = preprocess_src(
-            "M1 d g s b NMOS\nM2 d g s b NMOS\nC1 vdd! gnd! 1p\nM9 x x x x NMOS\n",
-        );
+        let (_, report) =
+            preprocess_src("M1 d g s b NMOS\nM2 d g s b NMOS\nC1 vdd! gnd! 1p\nM9 x x x x NMOS\n");
         assert_eq!(report.eliminated(), 3);
     }
 }

@@ -45,11 +45,13 @@ pub fn parse_si(token: &str) -> Result<f64, NetlistError> {
         end += 1;
     }
     if !seen_digit {
-        return Err(NetlistError::ParseValue { token: token.to_string() });
+        return Err(NetlistError::ParseValue {
+            token: token.to_string(),
+        });
     }
-    let mantissa: f64 = token[..end]
-        .parse()
-        .map_err(|_| NetlistError::ParseValue { token: token.to_string() })?;
+    let mantissa: f64 = token[..end].parse().map_err(|_| NetlistError::ParseValue {
+        token: token.to_string(),
+    })?;
     let suffix = token[end..].to_ascii_lowercase();
     let scale = if suffix.starts_with("meg") {
         1e6

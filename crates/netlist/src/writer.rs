@@ -97,7 +97,10 @@ V1 vdd! gnd! 1.8
         assert_eq!(lib.top().port_labels(), again.top().port_labels());
         let ota = again.find_subckt("OTA").expect("preserved");
         assert_eq!(ota.ports(), lib.find_subckt("OTA").expect("orig").ports());
-        assert_eq!(ota.devices(), lib.find_subckt("OTA").expect("orig").devices());
+        assert_eq!(
+            ota.devices(),
+            lib.find_subckt("OTA").expect("orig").devices()
+        );
     }
 
     #[test]

@@ -82,10 +82,7 @@ fn deeply_nested_hierarchy_flattens() {
     // 8 levels of nesting; names grow as X1/X1/.../R1.
     let mut text = String::from(".SUBCKT L0 a\nR1 a gnd! 1k\n.ENDS\n");
     for level in 1..8 {
-        text.push_str(&format!(
-            ".SUBCKT L{level} a\nX1 a L{}\n.ENDS\n",
-            level - 1
-        ));
+        text.push_str(&format!(".SUBCKT L{level} a\nX1 a L{}\n.ENDS\n", level - 1));
     }
     text.push_str("Xtop in L7\n");
     let lib = parse_library(&text).expect("parses");

@@ -104,7 +104,10 @@ pub fn sub_block_constraints(class_name: &str) -> Vec<ConstraintKind> {
             ConstraintKind::GuardRing,
             ConstraintKind::MinimizeWireLength,
         ],
-        "mixer" => vec![ConstraintKind::GuardRing, ConstraintKind::MinimizeWireLength],
+        "mixer" => vec![
+            ConstraintKind::GuardRing,
+            ConstraintKind::MinimizeWireLength,
+        ],
         // "oscillators and BPFs must be symmetric about a cross-coupled
         // transistor pair"
         "oscillator" | "osc" | "bpf" => {

@@ -98,27 +98,132 @@ pub struct PrimitiveLibrary {
 
 /// The built-in templates: name, description, SPICE text, strict-S/D flag.
 const STANDARD: [(&str, &str, &str, bool); 21] = [
-    ("CM_N2", "NMOS current mirror (2)", include_str!("../templates/cm_n2.sp"), false),
-    ("CM_P2", "PMOS current mirror (2)", include_str!("../templates/cm_p2.sp"), false),
-    ("CM_N3", "NMOS current mirror (3)", include_str!("../templates/cm_n3.sp"), false),
-    ("CM_P3", "PMOS current mirror (3)", include_str!("../templates/cm_p3.sp"), false),
-    ("CM_N4C", "NMOS cascode current mirror", include_str!("../templates/cm_n4_cascode.sp"), true),
-    ("CM_P4C", "PMOS cascode current mirror", include_str!("../templates/cm_p4_cascode.sp"), true),
-    ("DP_N", "NMOS differential pair", include_str!("../templates/dp_n.sp"), true),
-    ("DP_P", "PMOS differential pair", include_str!("../templates/dp_p.sp"), true),
-    ("CCP_N", "cross-coupled NMOS pair", include_str!("../templates/ccp_n.sp"), false),
-    ("CCP_P", "cross-coupled PMOS pair", include_str!("../templates/ccp_p.sp"), false),
-    ("CS_AMP_N", "NMOS common-source amplifier", include_str!("../templates/cs_amp_n.sp"), true),
-    ("CS_AMP_P", "PMOS common-source amplifier", include_str!("../templates/cs_amp_p.sp"), true),
-    ("CDIV", "capacitor divider", include_str!("../templates/cdiv.sp"), false),
-    ("SF_N", "NMOS source follower", include_str!("../templates/sf_n.sp"), true),
-    ("INV", "CMOS inverter", include_str!("../templates/inv.sp"), true),
-    ("TG", "transmission gate", include_str!("../templates/tg.sp"), false),
-    ("SW_N", "NMOS switch", include_str!("../templates/sw_n.sp"), false),
-    ("CC_RC", "series RC compensation", include_str!("../templates/cc_rc.sp"), false),
-    ("LC_TANK", "parallel LC tank", include_str!("../templates/lc_tank.sp"), false),
-    ("RDIV", "resistor divider", include_str!("../templates/rdiv.sp"), false),
-    ("VR_RD", "resistor + diode-connected reference", include_str!("../templates/vr_rd.sp"), false),
+    (
+        "CM_N2",
+        "NMOS current mirror (2)",
+        include_str!("../templates/cm_n2.sp"),
+        false,
+    ),
+    (
+        "CM_P2",
+        "PMOS current mirror (2)",
+        include_str!("../templates/cm_p2.sp"),
+        false,
+    ),
+    (
+        "CM_N3",
+        "NMOS current mirror (3)",
+        include_str!("../templates/cm_n3.sp"),
+        false,
+    ),
+    (
+        "CM_P3",
+        "PMOS current mirror (3)",
+        include_str!("../templates/cm_p3.sp"),
+        false,
+    ),
+    (
+        "CM_N4C",
+        "NMOS cascode current mirror",
+        include_str!("../templates/cm_n4_cascode.sp"),
+        true,
+    ),
+    (
+        "CM_P4C",
+        "PMOS cascode current mirror",
+        include_str!("../templates/cm_p4_cascode.sp"),
+        true,
+    ),
+    (
+        "DP_N",
+        "NMOS differential pair",
+        include_str!("../templates/dp_n.sp"),
+        true,
+    ),
+    (
+        "DP_P",
+        "PMOS differential pair",
+        include_str!("../templates/dp_p.sp"),
+        true,
+    ),
+    (
+        "CCP_N",
+        "cross-coupled NMOS pair",
+        include_str!("../templates/ccp_n.sp"),
+        false,
+    ),
+    (
+        "CCP_P",
+        "cross-coupled PMOS pair",
+        include_str!("../templates/ccp_p.sp"),
+        false,
+    ),
+    (
+        "CS_AMP_N",
+        "NMOS common-source amplifier",
+        include_str!("../templates/cs_amp_n.sp"),
+        true,
+    ),
+    (
+        "CS_AMP_P",
+        "PMOS common-source amplifier",
+        include_str!("../templates/cs_amp_p.sp"),
+        true,
+    ),
+    (
+        "CDIV",
+        "capacitor divider",
+        include_str!("../templates/cdiv.sp"),
+        false,
+    ),
+    (
+        "SF_N",
+        "NMOS source follower",
+        include_str!("../templates/sf_n.sp"),
+        true,
+    ),
+    (
+        "INV",
+        "CMOS inverter",
+        include_str!("../templates/inv.sp"),
+        true,
+    ),
+    (
+        "TG",
+        "transmission gate",
+        include_str!("../templates/tg.sp"),
+        false,
+    ),
+    (
+        "SW_N",
+        "NMOS switch",
+        include_str!("../templates/sw_n.sp"),
+        false,
+    ),
+    (
+        "CC_RC",
+        "series RC compensation",
+        include_str!("../templates/cc_rc.sp"),
+        false,
+    ),
+    (
+        "LC_TANK",
+        "parallel LC tank",
+        include_str!("../templates/lc_tank.sp"),
+        false,
+    ),
+    (
+        "RDIV",
+        "resistor divider",
+        include_str!("../templates/rdiv.sp"),
+        false,
+    ),
+    (
+        "VR_RD",
+        "resistor + diode-connected reference",
+        include_str!("../templates/vr_rd.sp"),
+        false,
+    ),
 ];
 
 impl PrimitiveLibrary {
@@ -177,7 +282,9 @@ impl PrimitiveLibrary {
 
     /// Looks up a template by name (case-insensitive).
     pub fn find(&self, name: &str) -> Option<&Primitive> {
-        self.primitives.iter().find(|p| p.name().eq_ignore_ascii_case(name))
+        self.primitives
+            .iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
     }
 
     /// Iterates templates in registration order.
@@ -197,7 +304,10 @@ impl PrimitiveLibrary {
     ///
     /// Returns a semantic error for unreadable directories/files, parse
     /// failures, or duplicate names.
-    pub fn add_from_dir(&mut self, dir: impl AsRef<std::path::Path>) -> Result<usize, NetlistError> {
+    pub fn add_from_dir(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<usize, NetlistError> {
         let dir = dir.as_ref();
         let entries = std::fs::read_dir(dir).map_err(|e| {
             NetlistError::Semantic(format!("cannot read template directory {dir:?}: {e}"))
@@ -228,7 +338,11 @@ impl PrimitiveLibrary {
     /// Templates sorted by descending matching priority.
     pub fn by_priority(&self) -> Vec<&Primitive> {
         let mut out: Vec<&Primitive> = self.primitives.iter().collect();
-        out.sort_by(|a, b| b.priority().cmp(&a.priority()).then_with(|| a.name().cmp(b.name())));
+        out.sort_by(|a, b| {
+            b.priority()
+                .cmp(&a.priority())
+                .then_with(|| a.name().cmp(b.name()))
+        });
         out
     }
 }
@@ -257,8 +371,16 @@ mod tests {
     fn priority_orders_big_templates_first() {
         let lib = PrimitiveLibrary::standard().expect("templates parse");
         let order = lib.by_priority();
-        let pos = |name: &str| order.iter().position(|p| p.name() == name).expect("present");
-        assert!(pos("CM_N4C") < pos("CM_N2"), "cascode mirror claims before plain mirror");
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|p| p.name() == name)
+                .expect("present")
+        };
+        assert!(
+            pos("CM_N4C") < pos("CM_N2"),
+            "cascode mirror claims before plain mirror"
+        );
         assert!(pos("CM_N3") < pos("CM_N2"));
         assert!(pos("CM_N2") < pos("CS_AMP_N"), "pairs claim before singles");
     }
@@ -314,7 +436,10 @@ M0 vdd! in out out NMOS
         assert_eq!(added, 2);
         assert!(lib.find("MY_PAIR").is_some());
         let follower = lib.find("MY_FOLLOWER").expect("loaded");
-        assert!(follower.strict_source_drain(), ".strict.sp opts into strict matching");
+        assert!(
+            follower.strict_source_drain(),
+            ".strict.sp opts into strict matching"
+        );
         assert!(!lib.find("MY_PAIR").expect("loaded").strict_source_drain());
     }
 

@@ -38,7 +38,9 @@ pub struct AnnotationResult {
 impl AnnotationResult {
     /// The instance that claimed `device`, if any.
     pub fn instance_of(&self, device: &str) -> Option<&PrimitiveInstance> {
-        self.instances.iter().find(|i| i.devices.iter().any(|d| d == device))
+        self.instances
+            .iter()
+            .find(|i| i.devices.iter().any(|d| d == device))
     }
 
     /// Fraction of devices claimed by some primitive.
@@ -103,7 +105,10 @@ pub fn annotate(
         .filter_map(|v| graph.device_name(v).map(str::to_string))
         .collect();
     unclaimed.sort();
-    AnnotationResult { instances, unclaimed }
+    AnnotationResult {
+        instances,
+        unclaimed,
+    }
 }
 
 #[allow(dead_code)]
@@ -126,7 +131,11 @@ mod tests {
     }
 
     fn names_of(result: &AnnotationResult) -> Vec<&str> {
-        result.instances.iter().map(|i| i.primitive.as_str()).collect()
+        result
+            .instances
+            .iter()
+            .map(|i| i.primitive.as_str())
+            .collect()
     }
 
     /// The paper's Fig. 3 differential OTA.
@@ -169,7 +178,10 @@ M5 voutp vbp vdd! vdd! PMOS
         );
         let names = names_of(&result);
         assert!(names.contains(&"CM_N4C"), "{names:?}");
-        assert!(!names.contains(&"CM_N2"), "plain mirror must not double-claim: {names:?}");
+        assert!(
+            !names.contains(&"CM_N2"),
+            "plain mirror must not double-claim: {names:?}"
+        );
     }
 
     #[test]

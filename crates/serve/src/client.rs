@@ -133,6 +133,51 @@ impl Client {
         Ok(results)
     }
 
+    fn expect_session(response: Response) -> Result<(u64, Annotation), ClientError> {
+        match response {
+            Response::Session {
+                session,
+                annotation,
+            } => Ok((session, annotation)),
+            Response::Err { code, message } => Err(ClientError::Job { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Opens a stateful session: the daemon cold-annotates `netlist`, keeps
+    /// the result as the session baseline, and returns the session id with
+    /// the annotation.
+    pub fn open(&mut self, netlist: &str, task: Task) -> Result<(u64, Annotation), ClientError> {
+        let response = self.round_trip(&Request::Open {
+            task,
+            netlist: netlist.to_string(),
+        })?;
+        Client::expect_session(response)
+    }
+
+    /// Sends an edited netlist to an open session; the daemon re-annotates
+    /// incrementally against the session baseline and advances it.
+    pub fn update(&mut self, session: u64, netlist: &str) -> Result<Annotation, ClientError> {
+        let response = self.round_trip(&Request::Update {
+            session,
+            netlist: netlist.to_string(),
+        })?;
+        Client::expect_session(response).map(|(_, annotation)| annotation)
+    }
+
+    /// Closes a session, releasing its baseline state on the daemon.
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Close(session))? {
+            Response::Closed(_) => Ok(()),
+            Response::Err { code, message } => Err(ClientError::Job { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
     /// Fetches a metrics snapshot.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.round_trip(&Request::Stats)? {

@@ -27,7 +27,8 @@ use crate::channel;
 use crate::job::{Annotation, Job, JobError, JobHandle, JobRequest, JobResult, SubmitError, Work};
 use crate::metrics::{Metrics, StatsSnapshot};
 use gana_core::{Pipeline, Task};
-use gana_netlist::{flatten, parse_library};
+use gana_incremental::{Baseline, IncrementalPipeline, RegionCache};
+use gana_netlist::{flatten, parse_library, Circuit};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -47,6 +48,9 @@ pub struct EngineConfig {
     /// Entries kept in the `(task, netlist) → Annotation` result cache;
     /// `0` disables caching.
     pub result_cache_capacity: usize,
+    /// Byte budget of the content-addressed region cache shared by every
+    /// incremental session.
+    pub region_cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +61,7 @@ impl Default for EngineConfig {
                 .unwrap_or(4),
             queue_capacity: 256,
             result_cache_capacity: 1024,
+            region_cache_bytes: IncrementalPipeline::DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -107,8 +112,18 @@ fn cache_key(task: Task, netlist: &str) -> u64 {
     hasher.finish()
 }
 
+/// Baseline state of one open session. Guarded by its own mutex so updates
+/// on the same session serialize while different sessions run in parallel.
+struct SessionState {
+    task: Task,
+    baseline: Baseline,
+}
+
 struct Shared {
     pipelines: Vec<(Task, Pipeline)>,
+    incremental: Vec<(Task, IncrementalPipeline)>,
+    region_cache: Arc<RegionCache>,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
     metrics: Metrics,
     cache: Option<ResultCache>,
     shutting_down: AtomicBool,
@@ -119,6 +134,13 @@ struct Shared {
 impl Shared {
     fn pipeline(&self, task: Task) -> Option<&Pipeline> {
         self.pipelines
+            .iter()
+            .find(|(t, _)| *t == task)
+            .map(|(_, p)| p)
+    }
+
+    fn incremental(&self, task: Task) -> Option<&IncrementalPipeline> {
+        self.incremental
             .iter()
             .find(|(t, _)| *t == task)
             .map(|(_, p)| p)
@@ -169,11 +191,31 @@ impl EngineBuilder {
         self
     }
 
+    /// Overrides the region-cache byte budget shared by all sessions.
+    pub fn region_cache_bytes(mut self, bytes: usize) -> EngineBuilder {
+        self.config.region_cache_bytes = bytes.max(1);
+        self
+    }
+
     /// Spawns the worker pool and returns the running engine.
     pub fn build(self) -> Engine {
         let workers = self.config.workers.max(1);
+        let region_cache = Arc::new(RegionCache::new(self.config.region_cache_bytes));
+        let incremental = self
+            .pipelines
+            .iter()
+            .map(|(task, pipeline)| {
+                (
+                    *task,
+                    IncrementalPipeline::with_cache(pipeline.clone(), Arc::clone(&region_cache)),
+                )
+            })
+            .collect();
         let shared = Arc::new(Shared {
             pipelines: self.pipelines,
+            incremental,
+            region_cache,
+            sessions: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
             cache: (self.config.result_cache_capacity > 0)
                 .then(|| ResultCache::new(self.config.result_cache_capacity)),
@@ -299,6 +341,69 @@ impl Engine {
         })
     }
 
+    /// Opens an incremental session: annotates `request` cold through the
+    /// worker pool and parks the result as the session baseline. Returns
+    /// the session id (valid once the handle resolves successfully) and
+    /// the handle for the cold annotation.
+    pub fn open_session(&self, request: JobRequest) -> Result<(u64, JobHandle), SubmitError> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let session = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let handle = self.submit_work(Work::OpenSession {
+            session,
+            netlist: request.netlist,
+            task: request.task,
+        })?;
+        Ok((session, handle))
+    }
+
+    /// Incrementally re-annotates an edited netlist against an open
+    /// session's baseline, advancing the baseline on success.
+    pub fn update_session(
+        &self,
+        session: u64,
+        netlist: impl Into<String>,
+    ) -> Result<JobHandle, SubmitError> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        self.submit_work(Work::UpdateSession {
+            session,
+            netlist: netlist.into(),
+        })
+    }
+
+    /// Drops a session's baseline state. Returns whether it existed.
+    pub fn close_session(&self, session: u64) -> bool {
+        self.shared.sessions.lock().remove(&session).is_some()
+    }
+
+    /// Open sessions right now.
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions.lock().len()
+    }
+
+    fn submit_work(&self, work: Work) -> Result<JobHandle, SubmitError> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let job = Job {
+            id,
+            work,
+            submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::clone(&cancelled),
+            reply: reply_tx,
+        };
+        self.enqueue(job, false)?;
+        Ok(JobHandle {
+            id,
+            cancelled,
+            rx: reply_rx,
+        })
+    }
+
     /// Test/bench hook: run an arbitrary closure through the worker pool
     /// with the same queueing, deadline, and reply machinery as real jobs.
     #[doc(hidden)]
@@ -359,9 +464,12 @@ impl Engine {
 
     /// Current metrics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared
-            .metrics
-            .snapshot(self.queue_rx.len(), self.shared.workers)
+        self.shared.metrics.snapshot(
+            self.queue_rx.len(),
+            self.shared.workers,
+            self.session_count(),
+            self.shared.region_cache.stats(),
+        )
     }
 
     /// Jobs waiting in the queue right now.
@@ -421,6 +529,12 @@ fn process(shared: &Shared, job: Job) {
 
     let result = match job.work {
         Work::Annotate { netlist, task } => annotate(shared, &netlist, task),
+        Work::OpenSession {
+            session,
+            netlist,
+            task,
+        } => open_session(shared, session, &netlist, task),
+        Work::UpdateSession { session, netlist } => update_session(shared, session, &netlist),
         Work::Custom(work) => run_caught(work),
     };
 
@@ -450,6 +564,68 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     } else {
         "worker panicked".to_string()
     }
+}
+
+/// Parses and flattens SPICE text, recording the parse-stage latency.
+fn parse_flat(shared: &Shared, netlist: &str) -> Result<Circuit, JobError> {
+    let parse_start = Instant::now();
+    let parsed = parse_library(netlist).and_then(|lib| flatten(&lib));
+    shared.metrics.parse.record(parse_start.elapsed());
+    parsed.map_err(|err| JobError::Parse(err.to_string()))
+}
+
+fn open_session(shared: &Shared, session: u64, netlist: &str, task: Task) -> JobResult {
+    let Some(incremental) = shared.incremental(task) else {
+        return Err(JobError::UnsupportedTask(format!("{task:?}")));
+    };
+    let flat = parse_flat(shared, netlist)?;
+
+    let recognize_start = Instant::now();
+    let incremental = incremental.clone();
+    let annotated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        incremental.annotate_full(&flat)
+    }));
+    shared.metrics.recognize.record(recognize_start.elapsed());
+
+    let baseline = match annotated {
+        Ok(Ok(baseline)) => baseline,
+        Ok(Err(err)) => return Err(JobError::Model(err.to_string())),
+        Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
+    };
+    let annotation = Arc::new(Annotation::from_design(&baseline.design));
+    shared.sessions.lock().insert(
+        session,
+        Arc::new(Mutex::new(SessionState { task, baseline })),
+    );
+    Ok(annotation)
+}
+
+fn update_session(shared: &Shared, session: u64, netlist: &str) -> JobResult {
+    // Hold the store lock only to fetch the slot; per-session locking lets
+    // distinct sessions update in parallel.
+    let Some(slot) = shared.sessions.lock().get(&session).cloned() else {
+        return Err(JobError::UnknownSession(session));
+    };
+    let mut state = slot.lock();
+    let Some(incremental) = shared.incremental(state.task) else {
+        return Err(JobError::UnsupportedTask(format!("{:?}", state.task)));
+    };
+    let flat = parse_flat(shared, netlist)?;
+
+    let recognize_start = Instant::now();
+    let updated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        incremental.update(&state.baseline, &flat)
+    }));
+    shared.metrics.recognize.record(recognize_start.elapsed());
+
+    let next = match updated {
+        Ok(Ok((next, _stats))) => next,
+        Ok(Err(err)) => return Err(JobError::Model(err.to_string())),
+        Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
+    };
+    let annotation = Arc::new(Annotation::from_design(&next.design));
+    state.baseline = next;
+    Ok(annotation)
 }
 
 fn annotate(shared: &Shared, netlist: &str, task: Task) -> JobResult {

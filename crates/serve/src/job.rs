@@ -83,6 +83,8 @@ pub enum JobError {
     Model(String),
     /// The engine has no pipeline configured for the requested task.
     UnsupportedTask(String),
+    /// An `update` named a session that was never opened or already closed.
+    UnknownSession(u64),
     /// The job sat in the queue past its deadline.
     DeadlineExceeded,
     /// The submitter cancelled before a worker picked the job up.
@@ -100,6 +102,7 @@ impl JobError {
             JobError::Parse(_) => "parse",
             JobError::Model(_) => "model",
             JobError::UnsupportedTask(_) => "task",
+            JobError::UnknownSession(_) => "session",
             JobError::DeadlineExceeded => "deadline",
             JobError::Cancelled => "cancelled",
             JobError::Shutdown => "shutdown",
@@ -114,6 +117,7 @@ impl fmt::Display for JobError {
             JobError::Parse(m) => write!(f, "netlist rejected: {m}"),
             JobError::Model(m) => write!(f, "recognition failed: {m}"),
             JobError::UnsupportedTask(t) => write!(f, "no pipeline for task {t:?}"),
+            JobError::UnknownSession(id) => write!(f, "unknown session {id}"),
             JobError::DeadlineExceeded => write!(f, "queue deadline exceeded"),
             JobError::Cancelled => write!(f, "cancelled by submitter"),
             JobError::Shutdown => write!(f, "engine shut down"),
@@ -192,6 +196,23 @@ pub(crate) enum Work {
         /// Rule set / model selector.
         task: Task,
     },
+    /// Open a stateful session: cold annotate, then park the baseline.
+    OpenSession {
+        /// Engine-assigned session id (allocated at submit time so the
+        /// caller learns it before the job runs).
+        session: u64,
+        /// Raw SPICE text.
+        netlist: String,
+        /// Rule set / model selector.
+        task: Task,
+    },
+    /// Incrementally re-annotate against a session baseline and advance it.
+    UpdateSession {
+        /// Session id from `OpenSession`.
+        session: u64,
+        /// Raw SPICE text of the edited netlist.
+        netlist: String,
+    },
     /// Arbitrary closure, used by tests and benches to model slow or
     /// misbehaving jobs deterministically.
     #[allow(clippy::type_complexity)]
@@ -204,6 +225,21 @@ impl fmt::Debug for Work {
             Work::Annotate { task, netlist } => f
                 .debug_struct("Annotate")
                 .field("task", task)
+                .field("netlist_bytes", &netlist.len())
+                .finish(),
+            Work::OpenSession {
+                session,
+                task,
+                netlist,
+            } => f
+                .debug_struct("OpenSession")
+                .field("session", session)
+                .field("task", task)
+                .field("netlist_bytes", &netlist.len())
+                .finish(),
+            Work::UpdateSession { session, netlist } => f
+                .debug_struct("UpdateSession")
+                .field("session", session)
                 .field("netlist_bytes", &netlist.len())
                 .finish(),
             Work::Custom(_) => f.write_str("Custom(..)"),

@@ -6,6 +6,7 @@
 //! approximations (within 2× of the true value), which is plenty for spotting
 //! regressions and overload.
 
+use gana_incremental::RegionCacheStats;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -100,8 +101,22 @@ pub struct Metrics {
 
 impl Metrics {
     /// Immutable snapshot (counters may lag each other by in-flight jobs).
-    pub fn snapshot(&self, queue_depth: usize, workers: usize) -> StatsSnapshot {
+    /// `sessions` and `region` come from the engine's session store and
+    /// shared region cache.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        sessions: usize,
+        region: RegionCacheStats,
+    ) -> StatsSnapshot {
         StatsSnapshot {
+            sessions,
+            region_hits: region.hits,
+            region_misses: region.misses,
+            region_evictions: region.evictions,
+            region_splices: region.splices,
+            region_bytes: region.bytes,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -139,6 +154,18 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Jobs dropped before processing (deadline/cancel).
     pub expired: u64,
+    /// Open incremental sessions.
+    pub sessions: usize,
+    /// Region-cache (sub-block VF2) lookups answered from the cache.
+    pub region_hits: u64,
+    /// Region-cache lookups that ran the matcher.
+    pub region_misses: u64,
+    /// Region-cache entries evicted to stay under the byte budget.
+    pub region_evictions: u64,
+    /// Sub-block results spliced from prior session state.
+    pub region_splices: u64,
+    /// Bytes currently held by the region cache.
+    pub region_bytes: u64,
     /// Jobs waiting in the queue right now.
     pub queue_depth: usize,
     /// Worker threads in the pool.
@@ -168,6 +195,8 @@ impl StatsSnapshot {
     pub fn to_wire(&self) -> String {
         format!(
             "submitted={} completed={} failed={} rejected={} cache_hits={} expired={} \
+             sessions={} region_hits={} region_misses={} region_evictions={} \
+             region_splices={} region_bytes={} \
              queue_depth={} workers={} queue_wait_p50_us={} queue_wait_p95_us={} \
              parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
              total_p50_us={} total_p95_us={} total_mean_us={}",
@@ -177,6 +206,12 @@ impl StatsSnapshot {
             self.rejected,
             self.cache_hits,
             self.expired,
+            self.sessions,
+            self.region_hits,
+            self.region_misses,
+            self.region_evictions,
+            self.region_splices,
+            self.region_bytes,
             self.queue_depth,
             self.workers,
             self.queue_wait_p50_us,
@@ -204,6 +239,12 @@ impl StatsSnapshot {
                 "rejected" => snap.rejected = n,
                 "cache_hits" => snap.cache_hits = n,
                 "expired" => snap.expired = n,
+                "sessions" => snap.sessions = n as usize,
+                "region_hits" => snap.region_hits = n,
+                "region_misses" => snap.region_misses = n,
+                "region_evictions" => snap.region_evictions = n,
+                "region_splices" => snap.region_splices = n,
+                "region_bytes" => snap.region_bytes = n,
                 "queue_depth" => snap.queue_depth = n as usize,
                 "workers" => snap.workers = n as usize,
                 "queue_wait_p50_us" => snap.queue_wait_p50_us = n,
@@ -227,7 +268,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "jobs: {} submitted, {} completed, {} failed, {} rejected, {} cache hits, \
-             {} expired | queue: {} deep, {} workers | latency µs: \
+             {} expired | sessions: {} open, region cache {}/{} hit, {} spliced, \
+             {} B, {} evicted | queue: {} deep, {} workers | latency µs: \
              wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
             self.submitted,
             self.completed,
@@ -235,6 +277,12 @@ impl fmt::Display for StatsSnapshot {
             self.rejected,
             self.cache_hits,
             self.expired,
+            self.sessions,
+            self.region_hits,
+            self.region_hits + self.region_misses,
+            self.region_splices,
+            self.region_bytes,
+            self.region_evictions,
             self.queue_depth,
             self.workers,
             self.queue_wait_p50_us,
@@ -274,7 +322,15 @@ mod tests {
         metrics.submitted.store(17, Ordering::Relaxed);
         metrics.completed.store(15, Ordering::Relaxed);
         metrics.total.record(Duration::from_micros(500));
-        let snap = metrics.snapshot(3, 8);
+        let region = RegionCacheStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+            splices: 4,
+            bytes: 4096,
+            entries: 6,
+        };
+        let snap = metrics.snapshot(3, 8, 2, region);
         let wire = snap.to_wire();
         let back = StatsSnapshot::from_wire(&wire).expect("parses");
         assert_eq!(snap, back);

@@ -11,6 +11,9 @@
 //! ```text
 //! annotate <task> <deadline_ms|-> <escaped-netlist>
 //! batch <n>                        # followed by n annotate lines
+//! open <task> <escaped-netlist>    # stateful session: cold annotate
+//! update <session> <escaped-netlist>  # incremental re-annotate
+//! close <session>
 //! stats
 //! ping
 //! shutdown
@@ -20,6 +23,8 @@
 //!
 //! ```text
 //! ok <escaped-annotation>
+//! sess <session> <escaped-annotation>
+//! closed <session>
 //! err <code> <escaped-message>
 //! stats <key=value ...>
 //! pong
@@ -77,6 +82,24 @@ pub enum Request {
     },
     /// Announces `count` annotate lines that should be admitted together.
     Batch(usize),
+    /// Opens a stateful session: annotate cold, keep the result as the
+    /// baseline for later `update`s.
+    Open {
+        /// Which pipeline to run.
+        task: Task,
+        /// The unescaped SPICE text.
+        netlist: String,
+    },
+    /// Incrementally re-annotates an edited netlist against a session's
+    /// baseline, then advances the baseline.
+    Update {
+        /// Session id returned by `open`.
+        session: u64,
+        /// The unescaped SPICE text of the edited netlist.
+        netlist: String,
+    },
+    /// Discards a session's baseline state.
+    Close(u64),
     /// Asks for a metrics snapshot.
     Stats,
     /// Liveness probe.
@@ -150,6 +173,34 @@ impl Request {
                     .map_err(|_| ProtocolError(format!("bad batch count {rest:?}")))?;
                 Ok(Request::Batch(count))
             }
+            "open" => {
+                let (task, payload) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ProtocolError("open needs <task> <netlist>".into()))?;
+                Ok(Request::Open {
+                    task: parse_task(task)?,
+                    netlist: unescape(payload),
+                })
+            }
+            "update" => {
+                let (session, payload) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ProtocolError("update needs <session> <netlist>".into()))?;
+                let session = session
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad session id {session:?}")))?;
+                Ok(Request::Update {
+                    session,
+                    netlist: unescape(payload),
+                })
+            }
+            "close" => {
+                let session = rest
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad session id {rest:?}")))?;
+                Ok(Request::Close(session))
+            }
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -174,6 +225,13 @@ impl Request {
                 )
             }
             Request::Batch(count) => format!("batch {count}"),
+            Request::Open { task, netlist } => {
+                format!("open {} {}", task_token(*task), escape(netlist))
+            }
+            Request::Update { session, netlist } => {
+                format!("update {session} {}", escape(netlist))
+            }
+            Request::Close(session) => format!("close {session}"),
             Request::Stats => "stats".to_string(),
             Request::Ping => "ping".to_string(),
             Request::Shutdown => "shutdown".to_string(),
@@ -186,6 +244,16 @@ impl Request {
 pub enum Response {
     /// Successful annotation.
     Ok(Annotation),
+    /// Successful session open/update: the session id and its (new)
+    /// annotation.
+    Session {
+        /// The session the annotation belongs to.
+        session: u64,
+        /// The annotation of the session's current netlist.
+        annotation: Annotation,
+    },
+    /// Acknowledges `close`.
+    Closed(u64),
     /// Structured per-job (or per-line) error.
     Err {
         /// Stable short code (see [`JobError::code`]).
@@ -282,6 +350,25 @@ impl Response {
         };
         match verb {
             "ok" => Ok(Response::Ok(decode_annotation(rest)?)),
+            "sess" => {
+                let (session, payload) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ProtocolError("sess needs <session> <annotation>".into()))?;
+                let session = session
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad session id {session:?}")))?;
+                Ok(Response::Session {
+                    session,
+                    annotation: decode_annotation(payload)?,
+                })
+            }
+            "closed" => {
+                let session = rest
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad session id {rest:?}")))?;
+                Ok(Response::Closed(session))
+            }
             "err" => {
                 let (code, message) = rest
                     .split_once(' ')
@@ -300,6 +387,13 @@ impl Response {
     pub fn to_line(&self) -> String {
         match self {
             Response::Ok(annotation) => format!("ok {}", encode_annotation(annotation)),
+            Response::Session {
+                session,
+                annotation,
+            } => {
+                format!("sess {session} {}", encode_annotation(annotation))
+            }
+            Response::Closed(session) => format!("closed {session}"),
             Response::Err { code, message } => format!("err {code} {}", escape(message)),
             Response::Stats(wire) => format!("stats {wire}"),
             Response::Pong => "pong".to_string(),
@@ -333,6 +427,15 @@ mod tests {
                 netlist: "R1 a b 1k".into(),
             },
             Request::Batch(7),
+            Request::Open {
+                task: Task::OtaBias,
+                netlist: "M1 a b c d NMOS\n.end\n".to_string(),
+            },
+            Request::Update {
+                session: 42,
+                netlist: "M1 a b c d NMOS W=9u\n.end\n".to_string(),
+            },
+            Request::Close(42),
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -357,7 +460,12 @@ mod tests {
             hierarchical_spice: ".SUBCKT ota5 in out\nM0 a b c d NMOS\n.ENDS\n".to_string(),
         };
         let responses = [
-            Response::Ok(annotation),
+            Response::Ok(annotation.clone()),
+            Response::Session {
+                session: 9,
+                annotation,
+            },
+            Response::Closed(9),
             Response::Err {
                 code: "parse".into(),
                 message: "line 3: bad card\nnear M9".into(),
@@ -395,6 +503,10 @@ mod tests {
         assert!(Request::parse("annotate dac - M1 a b c d NMOS").is_err());
         assert!(Request::parse("annotate ota soon M1 a b c d NMOS").is_err());
         assert!(Request::parse("frobnicate").is_err());
+        assert!(Request::parse("open ota").is_err());
+        assert!(Request::parse("update nine M1 a b c d NMOS").is_err());
+        assert!(Request::parse("close soon").is_err());
         assert!(Response::parse("what 1 2 3").is_err());
+        assert!(Response::parse("sess x ok").is_err());
     }
 }

@@ -215,6 +215,48 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()>
                 let response = annotate_one(shared, task, deadline_ms, netlist);
                 write_response(&mut writer, &response)?;
             }
+            Request::Open { task, netlist } => {
+                let response = match shared.engine.open_session(JobRequest::new(netlist, task)) {
+                    Ok((session, handle)) => match handle.wait() {
+                        Ok(annotation) => Response::Session {
+                            session,
+                            annotation: (*annotation).clone(),
+                        },
+                        Err(err) => Response::from_job_error(&err),
+                    },
+                    Err(SubmitError::QueueFull) => Response::Err {
+                        code: "busy".into(),
+                        message: SubmitError::QueueFull.to_string(),
+                    },
+                    Err(SubmitError::ShuttingDown) => Response::from_job_error(&JobError::Shutdown),
+                };
+                write_response(&mut writer, &response)?;
+            }
+            Request::Update { session, netlist } => {
+                let response = match shared.engine.update_session(session, netlist) {
+                    Ok(handle) => match handle.wait() {
+                        Ok(annotation) => Response::Session {
+                            session,
+                            annotation: (*annotation).clone(),
+                        },
+                        Err(err) => Response::from_job_error(&err),
+                    },
+                    Err(SubmitError::QueueFull) => Response::Err {
+                        code: "busy".into(),
+                        message: SubmitError::QueueFull.to_string(),
+                    },
+                    Err(SubmitError::ShuttingDown) => Response::from_job_error(&JobError::Shutdown),
+                };
+                write_response(&mut writer, &response)?;
+            }
+            Request::Close(session) => {
+                let response = if shared.engine.close_session(session) {
+                    Response::Closed(session)
+                } else {
+                    Response::from_job_error(&JobError::UnknownSession(session))
+                };
+                write_response(&mut writer, &response)?;
+            }
             Request::Batch(count) => {
                 // Admit the whole batch before waiting on any reply, so the
                 // worker pool sees all jobs at once.

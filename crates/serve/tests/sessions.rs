@@ -1,0 +1,159 @@
+//! End-to-end test of stateful sessions: `open`/`update`/`close` over the
+//! wire, region-cache counters in `stats`, and session error codes.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::mutate::{self, MutationConfig};
+use gana_datasets::{ota, ota_classes};
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_netlist::{write_spice, SpiceLibrary};
+use gana_primitives::PrimitiveLibrary;
+use gana_serve::client::{Client, ClientError};
+use gana_serve::server::{serve, ServerConfig};
+use gana_serve::Engine;
+use std::sync::Arc;
+
+fn ota_pipeline() -> Pipeline {
+    let config = GcnConfig {
+        conv_channels: vec![8, 8],
+        filter_order: 4,
+        fc_dim: 16,
+        num_classes: 2,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid config"),
+        ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("library parses"),
+        Task::OtaBias,
+    )
+}
+
+fn base() -> gana_datasets::LabeledCircuit {
+    ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::Miller,
+        pmos_input: false,
+        bias: ota::BiasStyle::MirrorRef,
+        seed: 9,
+    })
+}
+
+fn spice_of(circuit: gana_netlist::Circuit) -> String {
+    write_spice(&SpiceLibrary::new(circuit))
+}
+
+#[test]
+fn session_open_update_close_round_trip() {
+    let engine = Arc::new(
+        Engine::builder()
+            .pipeline(ota_pipeline())
+            .workers(2)
+            .build(),
+    );
+    let handle = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stats_interval: None,
+        },
+    )
+    .expect("binds an ephemeral port");
+    let mut client = Client::connect(handle.local_addr()).expect("connects");
+
+    let labeled = base();
+    let netlist = spice_of(labeled.circuit.clone());
+    let (session, opened) = client.open(&netlist, Task::OtaBias).expect("opens");
+    assert!(!opened.device_labels.is_empty());
+
+    // The session annotation matches the stateless path exactly.
+    let stateless = client
+        .annotate(&netlist, Task::OtaBias, None)
+        .expect("stateless annotate");
+    assert_eq!(opened, stateless);
+
+    // Resize-only edit: the incremental path answers via the full splice
+    // and the splice counter moves.
+    let edited = mutate::apply(
+        labeled,
+        MutationConfig {
+            split_parallel: 0.0,
+            add_dummy: 0.0,
+            add_decap: 0.0,
+            jitter_sizes: true,
+        },
+        5,
+    );
+    let updated = client
+        .update(session, &spice_of(edited.circuit))
+        .expect("incremental update");
+    assert_eq!(
+        updated.device_labels, opened.device_labels,
+        "a pure resize keeps every label"
+    );
+
+    let stats = client.stats().expect("stats round trip");
+    assert_eq!(stats.sessions, 1, "one session open: {stats:?}");
+    assert!(
+        stats.region_splices >= 1,
+        "resize edit full-spliced: {stats:?}"
+    );
+
+    // Unknown session: structured error with code "session"; the
+    // connection stays usable.
+    match client.update(session + 100, &netlist) {
+        Err(ClientError::Job { code, .. }) => assert_eq!(code, "session"),
+        other => panic!("expected a session job error, got {other:?}"),
+    }
+    client.ping().expect("connection survived the error");
+
+    // Close releases state; a second close reports the same session code.
+    client.close(session).expect("closes");
+    let stats = client.stats().expect("stats after close");
+    assert_eq!(stats.sessions, 0, "session released: {stats:?}");
+    match client.close(session) {
+        Err(ClientError::Job { code, .. }) => assert_eq!(code, "session"),
+        other => panic!("expected a session job error, got {other:?}"),
+    }
+    match client.update(session, &netlist) {
+        Err(ClientError::Job { code, .. }) => assert_eq!(code, "session"),
+        other => panic!("expected a session job error, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn engine_sessions_share_one_region_cache() {
+    use gana_serve::JobRequest;
+
+    let engine = Engine::builder()
+        .pipeline(ota_pipeline())
+        .workers(2)
+        .build();
+    let netlist = spice_of(base().circuit);
+
+    let (first, handle) = engine
+        .open_session(JobRequest::new(netlist.clone(), Task::OtaBias))
+        .expect("admits");
+    handle.wait().expect("opens");
+    let (second, handle) = engine
+        .open_session(JobRequest::new(netlist.clone(), Task::OtaBias))
+        .expect("admits");
+    handle.wait().expect("opens");
+    assert_ne!(first, second, "sessions get distinct ids");
+    assert_eq!(engine.session_count(), 2);
+
+    // The second cold open replays the first one's sub-block matches from
+    // the shared content-addressed cache.
+    let stats = engine.stats();
+    assert!(
+        stats.region_hits >= 1,
+        "second open hits the shared cache: {stats:?}"
+    );
+
+    assert!(engine.close_session(first));
+    assert!(!engine.close_session(first), "double close is visible");
+    assert!(engine.close_session(second));
+    engine.shutdown();
+}

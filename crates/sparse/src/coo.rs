@@ -32,12 +32,20 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `rows × cols` COO matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty COO matrix with capacity for `cap` entries.
     pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::with_capacity(cap) }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends the triplet `(r, c, v)`.
@@ -147,7 +155,11 @@ impl FromIterator<(usize, usize, f64)> for CooMatrix {
         let entries: Vec<_> = iter.into_iter().collect();
         let rows = entries.iter().map(|&(r, _, _)| r + 1).max().unwrap_or(0);
         let cols = entries.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(0);
-        CooMatrix { rows, cols, entries }
+        CooMatrix {
+            rows,
+            cols,
+            entries,
+        }
     }
 }
 

@@ -67,7 +67,9 @@ impl CsrMatrix {
         }
         for w in indptr.windows(2) {
             if w[1] < w[0] {
-                return Err(SparseError::InvalidData("indptr must be non-decreasing".to_string()));
+                return Err(SparseError::InvalidData(
+                    "indptr must be non-decreasing".to_string(),
+                ));
             }
             let row = &indices[w[0]..w[1]];
             for pair in row.windows(2) {
@@ -85,7 +87,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// The `n × n` identity matrix in CSR form.
@@ -137,7 +145,10 @@ impl CsrMatrix {
     ///
     /// Panics if `r` or `c` is out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
         match row.binary_search(&c) {
             Ok(pos) => self.values[self.indptr[r] + pos],
@@ -153,7 +164,10 @@ impl CsrMatrix {
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         assert!(r < self.rows, "row {r} out of bounds");
         let range = self.indptr[r]..self.indptr[r + 1];
-        self.indices[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+        self.indices[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
     }
 
     /// Iterates over all `(row, col, value)` triplets in row-major order.
@@ -246,7 +260,12 @@ impl CsrMatrix {
     /// # Errors
     ///
     /// Returns [`SparseError::ShapeMismatch`] if the shapes differ.
-    pub fn linear_combination(&self, alpha: f64, other: &CsrMatrix, beta: f64) -> Result<CsrMatrix> {
+    pub fn linear_combination(
+        &self,
+        alpha: f64,
+        other: &CsrMatrix,
+        beta: f64,
+    ) -> Result<CsrMatrix> {
         if self.shape() != other.shape() {
             return Err(SparseError::ShapeMismatch {
                 left: self.shape(),
@@ -256,10 +275,12 @@ impl CsrMatrix {
         }
         let mut coo = CooMatrix::with_capacity(self.rows, self.cols, self.nnz() + other.nnz());
         for (r, c, v) in self.iter() {
-            coo.push(r, c, alpha * v).expect("indices from a valid CSR are in bounds");
+            coo.push(r, c, alpha * v)
+                .expect("indices from a valid CSR are in bounds");
         }
         for (r, c, v) in other.iter() {
-            coo.push(r, c, beta * v).expect("indices from a valid CSR are in bounds");
+            coo.push(r, c, beta * v)
+                .expect("indices from a valid CSR are in bounds");
         }
         Ok(coo.to_csr())
     }
@@ -284,7 +305,9 @@ impl CsrMatrix {
 
     /// Extracts the main diagonal (length `min(rows, cols)`).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Row sums; for an adjacency matrix these are the vertex degrees.
@@ -308,7 +331,8 @@ impl CsrMatrix {
         if self.rows != self.cols {
             return false;
         }
-        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+        self.iter()
+            .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
     }
 
     /// Extracts the square submatrix induced by `keep` (in the given order).
@@ -321,7 +345,9 @@ impl CsrMatrix {
     /// [`SparseError::IndexOutOfBounds`] if any index in `keep` is out of range.
     pub fn submatrix(&self, keep: &[usize]) -> Result<CsrMatrix> {
         if self.rows != self.cols {
-            return Err(SparseError::NotSquare { shape: self.shape() });
+            return Err(SparseError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut position = vec![usize::MAX; self.rows];
         for (new, &old) in keep.iter().enumerate() {
@@ -338,7 +364,8 @@ impl CsrMatrix {
             for (old_c, v) in self.row_iter(old_r) {
                 let new_c = position[old_c];
                 if new_c != usize::MAX {
-                    coo.push(new_r, new_c, v).expect("in bounds by construction");
+                    coo.push(new_r, new_c, v)
+                        .expect("in bounds by construction");
                 }
             }
         }
@@ -355,7 +382,13 @@ mod tests {
         // [ 0 0 3 ]
         // [ 4 5 0 ]
         let mut coo = CooMatrix::new(3, 3);
-        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)] {
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+        ] {
             coo.push(r, c, v).expect("in bounds");
         }
         coo.to_csr()
@@ -434,7 +467,9 @@ mod tests {
     fn symmetry_check() {
         let a = sample();
         assert!(!a.is_symmetric(1e-12));
-        let sym = a.linear_combination(1.0, &a.transpose(), 1.0).expect("same shape");
+        let sym = a
+            .linear_combination(1.0, &a.transpose(), 1.0)
+            .expect("same shape");
         assert!(sym.is_symmetric(1e-12));
     }
 
@@ -443,9 +478,7 @@ mod tests {
         // Wrong indptr length.
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // Non-increasing column indices within a row.
-        assert!(
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
         // Column out of range.
         assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
         // Valid.

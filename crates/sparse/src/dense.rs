@@ -32,12 +32,20 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix with every entry set to `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        DenseMatrix { rows, cols, data: vec![value; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -66,7 +74,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: rows.len(), cols: ncols, data })
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -98,7 +110,11 @@ impl DenseMatrix {
 
     /// Builds a single-column matrix from a slice.
     pub fn column_vector(values: &[f64]) -> Self {
-        DenseMatrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        DenseMatrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -123,7 +139,10 @@ impl DenseMatrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -134,7 +153,10 @@ impl DenseMatrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -145,7 +167,10 @@ impl DenseMatrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] += v;
     }
 
@@ -320,8 +345,17 @@ impl DenseMatrix {
                 op,
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(DenseMatrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// In-place `self += alpha * rhs` (AXPY).
@@ -420,7 +454,11 @@ impl DenseMatrix {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(DenseMatrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(DenseMatrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Concatenates `self` and `other` side by side.
@@ -479,8 +517,18 @@ impl fmt::Display for DenseMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "DenseMatrix {}x{}", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
-            let row: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:.4}")).collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            let row: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:.4}"))
+                .collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;
@@ -496,7 +544,8 @@ impl Add for &DenseMatrix {
     ///
     /// Panics if shapes differ; use [`DenseMatrix::add_matrix`] for a fallible version.
     fn add(self, rhs: &DenseMatrix) -> DenseMatrix {
-        self.add_matrix(rhs).expect("matrix shapes must match for +")
+        self.add_matrix(rhs)
+            .expect("matrix shapes must match for +")
     }
 }
 
@@ -507,7 +556,8 @@ impl Sub for &DenseMatrix {
     ///
     /// Panics if shapes differ; use [`DenseMatrix::sub_matrix`] for a fallible version.
     fn sub(self, rhs: &DenseMatrix) -> DenseMatrix {
-        self.sub_matrix(rhs).expect("matrix shapes must match for -")
+        self.sub_matrix(rhs)
+            .expect("matrix shapes must match for -")
     }
 }
 
@@ -554,8 +604,13 @@ mod tests {
     #[test]
     fn matmul_shape_mismatch_is_an_error() {
         let a = sample();
-        let err = a.matmul(&sample()).expect_err("3 cols vs 2 rows must not multiply");
-        assert!(matches!(err, SparseError::ShapeMismatch { op: "matmul", .. }));
+        let err = a
+            .matmul(&sample())
+            .expect_err("3 cols vs 2 rows must not multiply");
+        assert!(matches!(
+            err,
+            SparseError::ShapeMismatch { op: "matmul", .. }
+        ));
     }
 
     #[test]

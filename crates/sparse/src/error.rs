@@ -49,7 +49,11 @@ impl fmt::Display for SparseError {
                 index.0, index.1, shape.0, shape.1
             ),
             SparseError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             SparseError::InvalidData(msg) => write!(f, "invalid matrix data: {msg}"),
             SparseError::NoConvergence { iterations } => {
@@ -67,7 +71,11 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let err = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "matmul" };
+        let err = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
         let text = err.to_string();
         assert!(text.contains("matmul"));
         assert!(text.contains("2x3"));
@@ -82,7 +90,10 @@ mod tests {
 
     #[test]
     fn index_error_display() {
-        let err = SparseError::IndexOutOfBounds { index: (9, 0), shape: (3, 3) };
+        let err = SparseError::IndexOutOfBounds {
+            index: (9, 0),
+            shape: (3, 3),
+        };
         assert!(err.to_string().contains("(9, 0)"));
     }
 }

@@ -186,7 +186,11 @@ fn tridiag_max_eigenvalue(alphas: &[f64], betas: &[f64]) -> f64 {
         let mut count = 0;
         let mut d = 1.0_f64;
         for i in 0..n {
-            let beta_sq = if i > 0 { betas[i - 1] * betas[i - 1] } else { 0.0 };
+            let beta_sq = if i > 0 {
+                betas[i - 1] * betas[i - 1]
+            } else {
+                0.0
+            };
             d = alphas[i] - x - beta_sq / if d != 0.0 { d } else { f64::EPSILON };
             if d < 0.0 {
                 count += 1;
@@ -235,7 +239,10 @@ mod tests {
         let l = path_laplacian(n);
         let expected = 2.0 - 2.0 * (std::f64::consts::PI * (n as f64 - 1.0) / n as f64).cos();
         let lambda = largest_eigenvalue(&l, 60, 1e-12).expect("square matrix");
-        assert!((lambda - expected).abs() < 1e-6, "got {lambda}, expected {expected}");
+        assert!(
+            (lambda - expected).abs() < 1e-6,
+            "got {lambda}, expected {expected}"
+        );
     }
 
     #[test]

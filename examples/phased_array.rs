@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_norm: false,
         ..GcnConfig::default()
     };
-    let trainer_config =
-        TrainerConfig { epochs: 12, learning_rate: 4e-3, ..TrainerConfig::default() };
+    let trainer_config = TrainerConfig {
+        epochs: 12,
+        learning_rate: 4e-3,
+        ..TrainerConfig::default()
+    };
     let trainer = eval::train_on_corpus(&corpus, model_config, trainer_config, 31)?;
     let pipeline = eval::make_pipeline(trainer, &rf_classes::NAMES, Task::Rf);
 

@@ -28,9 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dropout: 0.1,
         ..GcnConfig::default()
     };
-    let trainer_config = TrainerConfig { epochs: 12, learning_rate: 4e-3, ..TrainerConfig::default() };
+    let trainer_config = TrainerConfig {
+        epochs: 12,
+        learning_rate: 4e-3,
+        ..TrainerConfig::default()
+    };
     let trainer = eval::train_on_corpus(&corpus, model_config, trainer_config, 7)?;
-    let last = trainer.history().last().expect("trained at least one epoch");
+    let last = trainer
+        .history()
+        .last()
+        .expect("trained at least one epoch");
     println!(
         "training: loss {:.3}, train acc {:.1}%, val acc {:.1}%",
         last.train_loss,

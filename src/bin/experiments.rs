@@ -78,7 +78,11 @@ fn model_config(classes: usize, filter_order: usize, layers: usize) -> GcnConfig
 }
 
 fn trainer_config(epochs: usize) -> TrainerConfig {
-    TrainerConfig { epochs, learning_rate: 4e-3, ..TrainerConfig::default() }
+    TrainerConfig {
+        epochs,
+        learning_rate: 4e-3,
+        ..TrainerConfig::default()
+    }
 }
 
 fn main() {
@@ -116,7 +120,10 @@ fn main() {
     if run("confusion") {
         confusion(p);
     }
-    eprintln!("\n[experiments done in {:.1}s]", start.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[experiments done in {:.1}s]",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 /// Table I: training-set description.
@@ -144,7 +151,11 @@ fn table1(p: Profile) {
 fn layers(p: Profile) {
     println!("== Layer study (paper: 2 layers best; OTA 88.89%±1.71, RF 83.86%±1.98) ==");
     let conditions = [
-        ("all features, K=8", 8usize, gana::graph::features::FeatureOptions::default()),
+        (
+            "all features, K=8",
+            8usize,
+            gana::graph::features::FeatureOptions::default(),
+        ),
         (
             "structural (net types off, K=3)",
             3usize,
@@ -201,7 +212,10 @@ fn fig5(p: Profile) {
     println!("== Fig. 5: two-layer GCN accuracy vs filter size (paper: flattens ≈30) ==");
     let corpus = ota::corpus(p.sweep_train, 21);
     for (label, options) in [
-        ("all 18 features", gana::graph::features::FeatureOptions::default()),
+        (
+            "all 18 features",
+            gana::graph::features::FeatureOptions::default(),
+        ),
         (
             "net-type features off",
             gana::graph::features::FeatureOptions {
@@ -214,17 +228,17 @@ fn fig5(p: Profile) {
         println!("{:>4} {:>12} {:>12}", "K", "train acc", "val acc");
         for k in [2usize, 4, 8, 16, 24, 32, 48] {
             let config = model_config(2, k, 2);
-            let samples = eval::samples_from_corpus_with_features(
-                &corpus,
-                config.levels(),
-                2,
-                3,
-                options,
+            let samples =
+                eval::samples_from_corpus_with_features(&corpus, config.levels(), 2, 3, options)
+                    .expect("samples");
+            let result = crossval::k_fold(
+                &config,
+                &trainer_config(p.sweep_epochs),
+                &samples,
+                p.folds,
+                17,
             )
-            .expect("samples");
-            let result =
-                crossval::k_fold(&config, &trainer_config(p.sweep_epochs), &samples, p.folds, 17)
-                    .expect("cv runs");
+            .expect("cv runs");
             let (t_mean, _) = result.train_summary();
             let (v_mean, _) = result.validation_summary();
             println!("{k:>4} {:>11.2}% {:>11.2}%", 100.0 * t_mean, 100.0 * v_mean);
@@ -234,8 +248,13 @@ fn fig5(p: Profile) {
 }
 
 fn train_task(corpus: &Corpus, classes: usize, p: Profile) -> Trainer {
-    eval::train_on_corpus(corpus, model_config(classes, 16, 2), trainer_config(p.epochs), 31)
-        .expect("training runs")
+    eval::train_on_corpus(
+        corpus,
+        model_config(classes, 16, 2),
+        trainer_config(p.epochs),
+        31,
+    )
+    .expect("training runs")
 }
 
 /// Table II + the Section V-B accuracy ladder.
@@ -344,8 +363,7 @@ fn fig7(p: Profile) {
     for (label, count) in eval::label_histogram(&design) {
         println!("  {label:<12} {count:>4}");
     }
-    let ladder =
-        eval::evaluate_device_ladder(&pipeline, std::slice::from_ref(&pa)).expect("eval");
+    let ladder = eval::evaluate_device_ladder(&pipeline, std::slice::from_ref(&pa)).expect("eval");
     print_ladder("phased array devices", 1, &ladder);
     println!();
 }
@@ -377,7 +395,10 @@ fn runtime(p: Profile) {
         design.graph.clone(),
         design.gcn_class.clone(),
     );
-    println!("phased array postprocessing alone: {:.3}s", t.elapsed().as_secs_f64());
+    println!(
+        "phased array postprocessing alone: {:.3}s",
+        t.elapsed().as_secs_f64()
+    );
     println!();
 }
 
@@ -394,7 +415,12 @@ fn ablation(p: Profile) {
         let mut train_accs = Vec::new();
         let mut val_accs = Vec::new();
         for seed in [5u64, 6, 7] {
-            let config = GcnConfig { activation, batch_norm, seed, ..model_config(2, 8, 2) };
+            let config = GcnConfig {
+                activation,
+                batch_norm,
+                seed,
+                ..model_config(2, 8, 2)
+            };
             let trainer =
                 eval::train_on_corpus(&corpus, config, trainer_config(p.sweep_epochs), seed)
                     .expect("training runs");
@@ -410,22 +436,42 @@ fn ablation(p: Profile) {
         );
     }
 
-    println!("
-[input-feature groups]");
+    println!(
+        "
+[input-feature groups]"
+    );
     use gana::graph::features::FeatureOptions;
     for (name, options) in [
         ("all 18 features", FeatureOptions::default()),
-        ("no element types", FeatureOptions { element_types: false, ..FeatureOptions::default() }),
-        ("no net types", FeatureOptions { net_types: false, ..FeatureOptions::default() }),
-        ("no edge descriptor", FeatureOptions { edge_descriptor: false, ..FeatureOptions::default() }),
+        (
+            "no element types",
+            FeatureOptions {
+                element_types: false,
+                ..FeatureOptions::default()
+            },
+        ),
+        (
+            "no net types",
+            FeatureOptions {
+                net_types: false,
+                ..FeatureOptions::default()
+            },
+        ),
+        (
+            "no edge descriptor",
+            FeatureOptions {
+                edge_descriptor: false,
+                ..FeatureOptions::default()
+            },
+        ),
     ] {
         let config = model_config(2, 8, 2);
         let samples =
             eval::samples_from_corpus_with_features(&corpus, config.levels(), 2, 3, options)
                 .expect("samples");
         let (train, validation) = gana::gnn::Trainer::split_80_20(&samples, 3);
-        let mut trainer = gana::gnn::Trainer::new(config, trainer_config(p.sweep_epochs))
-            .expect("valid");
+        let mut trainer =
+            gana::gnn::Trainer::new(config, trainer_config(p.sweep_epochs)).expect("valid");
         let history = trainer.fit(&train, &validation).expect("trains");
         let last = history.last().expect("epochs ran");
         println!(
@@ -444,8 +490,7 @@ fn hyper(p: Profile) {
     println!("== Random hyperparameter search (paper §V-A) ==");
     let corpus = ota::corpus(p.sweep_train, 61);
     let base_model = model_config(2, 8, 2);
-    let samples =
-        eval::samples_from_corpus(&corpus, base_model.levels(), 2, 9).expect("samples");
+    let samples = eval::samples_from_corpus(&corpus, base_model.levels(), 2, 9).expect("samples");
     let (train, validation) = Trainer::split_80_20(&samples, 9);
     let base_trainer = trainer_config(p.sweep_epochs);
     let space = SearchSpace::default();
@@ -460,7 +505,10 @@ fn hyper(p: Profile) {
         42,
     )
     .expect("search runs");
-    println!("{:>4} {:>6} {:>9} {:>10} {:>8} {:>10}", "rank", "K", "dropout", "lr", "decay", "val acc");
+    println!(
+        "{:>4} {:>6} {:>9} {:>10} {:>8} {:>10}",
+        "rank", "K", "dropout", "lr", "decay", "val acc"
+    );
     for (rank, c) in candidates.iter().enumerate().take(6) {
         println!(
             "{:>4} {:>6} {:>9.2} {:>10.2e} {:>8.3} {:>9.2}%",
@@ -493,17 +541,27 @@ fn confusion(p: Profile) {
             let truth = if let Some(d) = design.graph.device_name(v) {
                 lc.device_class.get(d).copied()
             } else {
-                design.graph.net_name(v).and_then(|n| lc.net_class.get(n).copied())
+                design
+                    .graph
+                    .net_name(v)
+                    .and_then(|n| lc.net_class.get(n).copied())
             };
             preds.push(design.gcn_class[v]);
             labels.push(truth.filter(|&c| c < 3));
         }
         cm.record(&preds, &labels);
     }
-    println!("{:<12} {:>8} {:>8} {:>8}   {:>9} {:>9}", "truth\\pred", "lna", "mixer", "osc", "precision", "recall");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}   {:>9} {:>9}",
+        "truth\\pred", "lna", "mixer", "osc", "precision", "recall"
+    );
     for t in 0..3 {
-        let precision = cm.precision(t).map_or("-".to_string(), |v| format!("{:.1}%", 100.0 * v));
-        let recall = cm.recall(t).map_or("-".to_string(), |v| format!("{:.1}%", 100.0 * v));
+        let precision = cm
+            .precision(t)
+            .map_or("-".to_string(), |v| format!("{:.1}%", 100.0 * v));
+        let recall = cm
+            .recall(t)
+            .map_or("-".to_string(), |v| format!("{:.1}%", 100.0 * v));
         println!(
             "{:<12} {:>8} {:>8} {:>8}   {:>9} {:>9}",
             rf_classes::NAMES[t],

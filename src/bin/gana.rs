@@ -56,7 +56,7 @@ fn print_usage() {
     println!(
         "gana — GCN-based netlist annotation (GANA, DATE 2020 reproduction)\n\n\
          USAGE:\n  gana train    --task ota|rf [--circuits N] [--epochs N] [--filter-order K] [--seed N] --out FILE\n  \
-         gana annotate FILE --model FILE --task ota|rf [--export FILE] [--svg FILE] [--dot FILE]\n  \
+         gana annotate FILE --model FILE --task ota|rf [--baseline FILE] [--export FILE] [--svg FILE] [--dot FILE]\n  \
          gana inspect  FILE\n  \
          gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]\n  \
          gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N]\n  \
@@ -119,7 +119,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         Task::Rf => (rf::corpus(circuits, seed), 3),
     };
     let stats = corpus.stats();
-    println!("training on {} circuits ({} nodes, {} classes)", stats.circuits, stats.nodes, stats.labels);
+    println!(
+        "training on {} circuits ({} nodes, {} classes)",
+        stats.circuits, stats.nodes, stats.labels
+    );
     let model_config = GcnConfig {
         conv_channels: vec![16, 32],
         filter_order,
@@ -129,8 +132,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         batch_norm: false,
         ..GcnConfig::default()
     };
-    let trainer_config =
-        TrainerConfig { epochs, learning_rate: 4e-3, ..TrainerConfig::default() };
+    let trainer_config = TrainerConfig {
+        epochs,
+        learning_rate: 4e-3,
+        ..TrainerConfig::default()
+    };
     let trainer = eval::train_on_corpus(&corpus, model_config, trainer_config, seed)
         .map_err(|e| e.to_string())?;
     let last = trainer.history().last().ok_or("no epochs ran")?;
@@ -172,7 +178,23 @@ fn cmd_annotate(args: &[String]) -> Result<(), String> {
     let model_path = flags.get("model").ok_or("missing --model FILE")?;
     let pipeline = load_pipeline(model_path, task)?;
     let flat = read_flat_circuit(path)?;
-    let design = pipeline.recognize(&flat).map_err(|e| e.to_string())?;
+    let design = match flags.get("baseline") {
+        Some(prev) => {
+            // Incremental path: cold-annotate the previous revision, then
+            // diff-update to the edited netlist.
+            let incremental = gana::incremental::IncrementalPipeline::new(pipeline);
+            let prev_flat = read_flat_circuit(prev)?;
+            let baseline = incremental
+                .annotate_full(&prev_flat)
+                .map_err(|e| e.to_string())?;
+            let (next, stats) = incremental
+                .update(&baseline, &flat)
+                .map_err(|e| e.to_string())?;
+            println!("incremental vs {prev}: {stats}");
+            next.design
+        }
+        None => pipeline.recognize(&flat).map_err(|e| e.to_string())?,
+    };
     println!("{}", report::full_report(&design));
     if let Some(out) = flags.get("export") {
         std::fs::write(out, export::to_hierarchical_spice(&design))
@@ -243,14 +265,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let workers: usize = numeric(
         &flags,
         "workers",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     )?;
     let queue: usize = numeric(&flags, "queue", 256)?;
     let stats_secs: u64 = numeric(&flags, "stats-secs", 30)?;
 
     let pipeline = load_pipeline(model_path, task)?;
     let engine = std::sync::Arc::new(
-        Engine::builder().pipeline(pipeline).workers(workers).queue_capacity(queue).build(),
+        Engine::builder()
+            .pipeline(pipeline)
+            .workers(workers)
+            .queue_capacity(queue)
+            .build(),
     );
     let config = server::ServerConfig {
         addr: addr.to_string(),
@@ -290,12 +318,16 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let task = parse_task(&flags)?;
     let deadline = flags
         .get("deadline-ms")
-        .map(|ms| ms.parse::<u64>().map_err(|_| format!("bad --deadline-ms value {ms:?}")))
+        .map(|ms| {
+            ms.parse::<u64>()
+                .map_err(|_| format!("bad --deadline-ms value {ms:?}"))
+        })
         .transpose()?
         .map(std::time::Duration::from_millis);
-    let netlist =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let annotation = client.annotate(&netlist, task, deadline).map_err(|e| e.to_string())?;
+    let netlist = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let annotation = client
+        .annotate(&netlist, task, deadline)
+        .map_err(|e| e.to_string())?;
     println!("circuit: {}", annotation.circuit_name);
     println!("sub-blocks: [{}]", annotation.sub_blocks.join(", "));
     println!("constraints: {}", annotation.constraint_count);

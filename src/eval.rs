@@ -127,12 +127,19 @@ pub fn evaluate_ladder(
             let class = if let Some(d) = design.graph.device_name(vertex) {
                 lc.device_class.get(d).copied()
             } else {
-                design.graph.net_name(vertex).and_then(|n| lc.net_class.get(n).copied())
+                design
+                    .graph
+                    .net_name(vertex)
+                    .and_then(|n| lc.net_class.get(n).copied())
             }?;
             lc.class_names.get(class).map(String::as_str)
         };
         let class_name = |c: usize| -> &str {
-            pipeline.class_names().get(c).map(String::as_str).unwrap_or("?")
+            pipeline
+                .class_names()
+                .get(c)
+                .map(String::as_str)
+                .unwrap_or("?")
         };
         for v in 0..design.graph.vertex_count() {
             let Some(truth) = truth_name(v) else { continue };
@@ -172,12 +179,22 @@ pub fn evaluate_device_ladder(
     for lc in circuits {
         let design = pipeline.recognize(&lc.circuit)?;
         let class_name = |c: usize| -> &str {
-            pipeline.class_names().get(c).map(String::as_str).unwrap_or("?")
+            pipeline
+                .class_names()
+                .get(c)
+                .map(String::as_str)
+                .unwrap_or("?")
         };
         for v in design.graph.element_vertices() {
-            let Some(device) = design.graph.device_name(v) else { continue };
-            let Some(&class) = lc.device_class.get(device) else { continue };
-            let Some(truth) = lc.class_names.get(class) else { continue };
+            let Some(device) = design.graph.device_name(v) else {
+                continue;
+            };
+            let Some(&class) = lc.device_class.get(device) else {
+                continue;
+            };
+            let Some(truth) = lc.class_names.get(class) else {
+                continue;
+            };
             counted += 1;
             if class_name(design.gcn_class[v]) == truth {
                 totals[0] += 1;

@@ -15,6 +15,7 @@
 //! | [`primitives`] | `gana-primitives` | 21-template library + annotation |
 //! | [`datasets`] | `gana-datasets` | synthetic labeled corpora |
 //! | [`core`] | `gana-core` | the recognition pipeline + postprocessing |
+//! | [`incremental`] | `gana-incremental` | netlist diffing + incremental re-annotation |
 //! | [`layout`] | `gana-layout` | constraint-driven symbolic placer |
 //! | [`serve`] | `gana-serve` | concurrent annotation service + TCP daemon |
 //!
@@ -57,6 +58,7 @@ pub use gana_core as core;
 pub use gana_datasets as datasets;
 pub use gana_gnn as gnn;
 pub use gana_graph as graph;
+pub use gana_incremental as incremental;
 pub use gana_layout as layout;
 pub use gana_netlist as netlist;
 pub use gana_primitives as primitives;

@@ -23,7 +23,11 @@ fn generate_then_inspect() {
         .arg(&netlist)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(netlist.exists());
 
     let out = gana().arg("inspect").arg(&netlist).output().expect("runs");
@@ -46,15 +50,32 @@ fn train_checkpoint_annotate_roundtrip() {
         .arg(&netlist)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Tiny training run: the test checks plumbing, not accuracy.
     let out = gana()
-        .args(["train", "--task", "ota", "--circuits", "16", "--epochs", "2", "--out"])
+        .args([
+            "train",
+            "--task",
+            "ota",
+            "--circuits",
+            "16",
+            "--epochs",
+            "2",
+            "--out",
+        ])
         .arg(&ckpt)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckpt.exists());
 
     let dot = dir.join("hierarchy.dot");
@@ -69,7 +90,11 @@ fn train_checkpoint_annotate_roundtrip() {
         .arg(&dot)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("hierarchy:"), "{text}");
     let dot_text = std::fs::read_to_string(&dot).expect("dot written");
@@ -90,6 +115,87 @@ fn train_checkpoint_annotate_roundtrip() {
     )
     .expect("preprocesses");
     assert_eq!(flat.device_count(), clean.device_count());
+
+    // Incremental re-annotation against a baseline revision: identical
+    // revisions take the full-splice path and report it.
+    let out = gana()
+        .arg("annotate")
+        .arg(&netlist)
+        .arg("--model")
+        .arg(&ckpt)
+        .args(["--task", "ota", "--baseline"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("incremental vs"), "{text}");
+    assert!(text.contains("full splice"), "{text}");
+    assert!(text.contains("hierarchy:"), "{text}");
+}
+
+#[test]
+fn submit_exits_nonzero_on_per_job_error() {
+    use gana::core::{Pipeline, Task};
+    use gana::gnn::{GcnConfig, GcnModel};
+    use gana::primitives::PrimitiveLibrary;
+    use gana::serve::server::{serve, ServerConfig};
+    use gana::serve::Engine;
+
+    // In-process daemon on an ephemeral port; the model is untrained —
+    // per-job error handling doesn't depend on accuracy.
+    let pipeline = Pipeline::new(
+        GcnModel::new(GcnConfig {
+            conv_channels: vec![8, 8],
+            filter_order: 4,
+            fc_dim: 16,
+            num_classes: 2,
+            dropout: 0.0,
+            batch_norm: false,
+            ..GcnConfig::default()
+        })
+        .expect("valid config"),
+        vec!["ota".into(), "bias".into()],
+        PrimitiveLibrary::standard().expect("library parses"),
+        Task::OtaBias,
+    );
+    let engine = std::sync::Arc::new(Engine::builder().pipeline(pipeline).workers(2).build());
+    let handle = serve(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stats_interval: None,
+        },
+    )
+    .expect("binds an ephemeral port");
+    let addr = handle.local_addr().to_string();
+
+    let dir = temp_dir("submit_err");
+    let garbage = dir.join("garbage.sp");
+    std::fs::write(&garbage, "M0 not a netlist\n").expect("writes");
+
+    let out = gana()
+        .arg("submit")
+        .arg(&garbage)
+        .args(["--task", "ota", "--addr", &addr])
+        .output()
+        .expect("runs");
+    assert!(
+        !out.status.success(),
+        "a structured per-job error must exit non-zero: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("parse"),
+        "error names the job error code: {err}"
+    );
+
+    handle.shutdown();
 }
 
 #[test]

@@ -47,7 +47,9 @@ fn export_flatten_round_trip_across_ota_space() {
         // Every device of the design appears (with its instance prefix).
         for d in design.circuit.devices() {
             assert!(
-                flat.devices().iter().any(|fd| fd.name().ends_with(d.name())),
+                flat.devices()
+                    .iter()
+                    .any(|fd| fd.name().ends_with(d.name())),
                 "{topology:?}: device {} lost in export",
                 d.name()
             );
@@ -69,7 +71,11 @@ fn reports_mention_every_sub_block_label() {
     let full = report::full_report(&design);
     let dot = report::to_dot(&design);
     for block in &design.sub_blocks {
-        assert!(summary.contains(&block.label), "summary misses {}", block.label);
+        assert!(
+            summary.contains(&block.label),
+            "summary misses {}",
+            block.label
+        );
         assert!(full.contains(&block.label), "report misses {}", block.label);
         assert!(dot.contains(&block.label), "dot misses {}", block.label);
     }
@@ -94,7 +100,10 @@ fn constraint_annotations_round_trip_as_comments() {
     });
     let design = pipeline.recognize(&lc.circuit).expect("runs");
     let text = export::to_hierarchical_spice(&design);
-    let annotated = text.lines().filter(|l| l.starts_with("* @constraint")).count();
+    let annotated = text
+        .lines()
+        .filter(|l| l.starts_with("* @constraint"))
+        .count();
     assert_eq!(
         annotated,
         design.constraints.len(),

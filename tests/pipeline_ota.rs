@@ -18,8 +18,11 @@ fn small_trainer() -> gana::gnn::Trainer {
         batch_norm: false,
         ..GcnConfig::default()
     };
-    let trainer_config =
-        TrainerConfig { epochs: 8, learning_rate: 5e-3, ..TrainerConfig::default() };
+    let trainer_config = TrainerConfig {
+        epochs: 8,
+        learning_rate: 5e-3,
+        ..TrainerConfig::default()
+    };
     eval::train_on_corpus(&corpus, model_config, trainer_config, 7).expect("training runs")
 }
 
@@ -42,7 +45,11 @@ fn postprocessing_reaches_100_percent_on_held_out_otas() {
     let pipeline = eval::make_pipeline(trainer, &ota_classes::NAMES, Task::OtaBias);
     let test = ota::corpus(12, 999_001);
     let ladder = eval::evaluate_ladder(&pipeline, &test.samples).expect("eval runs");
-    assert!(ladder.gcn > 0.6, "GCN alone should be well above chance: {:.3}", ladder.gcn);
+    assert!(
+        ladder.gcn > 0.6,
+        "GCN alone should be well above chance: {:.3}",
+        ladder.gcn
+    );
     assert!(
         ladder.post2 >= 0.999,
         "postprocessing must reach 100% (paper Table II): got {:.4}",
@@ -55,8 +62,7 @@ fn sc_filter_with_unseen_telescopic_ota_is_fully_recovered() {
     let trainer = small_trainer();
     let pipeline = eval::make_pipeline(trainer, &ota_classes::NAMES, Task::OtaBias);
     let sc = sc_filter::generate(0);
-    let ladder =
-        eval::evaluate_ladder(&pipeline, std::slice::from_ref(&sc)).expect("eval runs");
+    let ladder = eval::evaluate_ladder(&pipeline, std::slice::from_ref(&sc)).expect("eval runs");
     assert!(
         ladder.post2 >= 0.999,
         "SC filter must be fully annotated after postprocessing: {:.4}",
@@ -77,9 +83,10 @@ fn recognized_hierarchy_covers_every_device() {
     );
     assert!(design.sub_blocks.len() >= 2, "SC network and OTA at least");
     assert!(
-        design.constraints.iter().any(|c| {
-            c.kind == gana::primitives::ConstraintKind::Symmetry
-        }),
+        design
+            .constraints
+            .iter()
+            .any(|c| { c.kind == gana::primitives::ConstraintKind::Symmetry }),
         "the telescopic OTA's differential pair must yield a symmetry constraint"
     );
 }

@@ -17,8 +17,11 @@ fn small_trainer() -> gana::gnn::Trainer {
         batch_norm: false,
         ..GcnConfig::default()
     };
-    let trainer_config =
-        TrainerConfig { epochs: 8, learning_rate: 5e-3, ..TrainerConfig::default() };
+    let trainer_config = TrainerConfig {
+        epochs: 8,
+        learning_rate: 5e-3,
+        ..TrainerConfig::default()
+    };
     eval::train_on_corpus(&corpus, model_config, trainer_config, 9).expect("training runs")
 }
 
@@ -43,8 +46,8 @@ fn phased_array_devices_fully_classified() {
     // Two channels keep the debug-build runtime reasonable; the structure
     // (LNA + BPF + mixer + LO chain per channel) is the full one.
     let system = phased_array::generate_with_channels(2, 0);
-    let ladder = eval::evaluate_device_ladder(&pipeline, std::slice::from_ref(&system))
-        .expect("eval runs");
+    let ladder =
+        eval::evaluate_device_ladder(&pipeline, std::slice::from_ref(&system)).expect("eval runs");
     assert!(
         ladder.post2 >= 0.999,
         "all devices classified after Post-II (paper Fig. 7): got {:.4}",
@@ -96,7 +99,12 @@ fn untrained_pipeline_still_produces_complete_structure() {
         osc: rf::OscKind::CrossCoupledLc,
         seed: 5,
     });
-    let design = pipeline.recognize(&receiver.circuit).expect("pipeline runs");
-    assert_eq!(design.hierarchy.elements().len(), design.graph.element_count());
+    let design = pipeline
+        .recognize(&receiver.circuit)
+        .expect("pipeline runs");
+    assert_eq!(
+        design.hierarchy.elements().len(),
+        design.graph.element_count()
+    );
     assert_eq!(design.final_label.len(), design.graph.vertex_count());
 }

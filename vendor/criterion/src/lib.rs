@@ -151,7 +151,10 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
-    let mut bencher = Bencher { settings, measured: None };
+    let mut bencher = Bencher {
+        settings,
+        measured: None,
+    };
     f(&mut bencher);
     match bencher.measured {
         Some((elapsed, iterations)) => {
@@ -183,12 +186,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a parameter.
     pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{function}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
     }
 
     /// Builds an id from just the parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 

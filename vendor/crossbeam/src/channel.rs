@@ -159,7 +159,12 @@ fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> std::fmt::Debug for Sender<T> {
@@ -177,7 +182,9 @@ impl<T> std::fmt::Debug for Receiver<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.senders.fetch_add(1, Ordering::SeqCst);
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -193,7 +200,9 @@ impl<T> Drop for Sender<T> {
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -432,7 +441,10 @@ mod tests {
         let err = rx.recv_timeout(Duration::from_millis(10));
         assert_eq!(err, Err(RecvTimeoutError::Timeout));
         drop(tx);
-        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

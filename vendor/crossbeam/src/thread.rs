@@ -59,13 +59,13 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let total: i32 = super::scope(|scope| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&x| scope.spawn(move |_| x * 2))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
         })
         .expect("scope");
         assert_eq!(total, 20);

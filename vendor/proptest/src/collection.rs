@@ -13,26 +13,38 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(exact: usize) -> SizeRange {
-        SizeRange { lo: exact, hi: exact + 1 }
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
     }
 }
 
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(range: core::ops::Range<usize>) -> SizeRange {
         assert!(range.start < range.end, "empty vec size range");
-        SizeRange { lo: range.start, hi: range.end }
+        SizeRange {
+            lo: range.start,
+            hi: range.end,
+        }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     fn from(range: core::ops::RangeInclusive<usize>) -> SizeRange {
-        SizeRange { lo: *range.start(), hi: *range.end() + 1 }
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end() + 1,
+        }
     }
 }
 
 /// Strategy producing `Vec`s of `element` with a length drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`vec`].

@@ -39,7 +39,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, pred }
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
     }
 }
 
@@ -122,7 +126,10 @@ where
                 return candidate;
             }
         }
-        panic!("prop_filter {:?} rejected 1000 consecutive candidates", self.whence);
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive candidates",
+            self.whence
+        );
     }
 }
 
@@ -173,10 +180,12 @@ mod tests {
     #[test]
     fn combinators_compose() {
         let mut rng = StdRng::seed_from_u64(1);
-        let strat = (1usize..5).prop_flat_map(|n| (Just(n), 0..n)).prop_map(|(n, k)| (n, k));
+        let strat = (1usize..5)
+            .prop_flat_map(|n| (Just(n), 0..n))
+            .prop_map(|(n, k)| (n, k));
         for _ in 0..200 {
             let (n, k) = strat.generate(&mut rng);
-            assert!(n >= 1 && n < 5 && k < n);
+            assert!((1..5).contains(&n) && k < n);
         }
     }
 }

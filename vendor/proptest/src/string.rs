@@ -35,7 +35,10 @@ impl RegexStrategy {
         chars.push('\0'); // sentinel
         let mut pos = 0;
         let alternatives = parse_alternatives(&chars, &mut pos);
-        assert_eq!(chars[pos], '\0', "unexpected trailing regex syntax in {pattern:?}");
+        assert_eq!(
+            chars[pos], '\0',
+            "unexpected trailing regex syntax in {pattern:?}"
+        );
         let seq = if alternatives.len() == 1 {
             alternatives.into_iter().next().expect("one alternative")
         } else {
@@ -139,7 +142,10 @@ fn apply_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
 
 fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
     let mut ranges = Vec::new();
-    assert_ne!(chars[*pos], '^', "negated classes unsupported in vendored proptest");
+    assert_ne!(
+        chars[*pos], '^',
+        "negated classes unsupported in vendored proptest"
+    );
     while chars[*pos] != ']' {
         assert_ne!(chars[*pos], '\0', "unclosed character class");
         let lo = if chars[*pos] == '\\' {
@@ -182,7 +188,10 @@ fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
     match node {
         Node::Literal(c) => out.push(*c),
         Node::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
             let mut pick = rng.gen_range(0..total);
             for &(lo, hi) in ranges {
                 let span = hi as u32 - lo as u32 + 1;
@@ -201,7 +210,11 @@ fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
             }
         }
         Node::Repeat(atom, min, max) => {
-            let count = if min == max { *min } else { rng.gen_range(*min..=*max) };
+            let count = if min == max {
+                *min
+            } else {
+                rng.gen_range(*min..=*max)
+            };
             for _ in 0..count {
                 generate_node(atom, rng, out);
             }

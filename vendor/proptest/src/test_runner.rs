@@ -42,7 +42,11 @@ impl TestRunner {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
-        TestRunner { config, seed: fnv1a(name) ^ offset, name }
+        TestRunner {
+            config,
+            seed: fnv1a(name) ^ offset,
+            name,
+        }
     }
 
     /// Runs `body` once per case with a per-case deterministic RNG; on panic,

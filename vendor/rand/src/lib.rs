@@ -265,7 +265,12 @@ pub mod rngs {
             }
             // All-zero state is a fixed point for xoshiro; nudge it.
             if s == [0; 4] {
-                s = [0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 1];
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0xbf58476d1ce4e5b9,
+                    0x94d049bb133111eb,
+                    1,
+                ];
             }
             StdRng { s }
         }
@@ -332,9 +337,9 @@ pub mod seq {
 
 /// Common imports, mirroring `rand::prelude`.
 pub mod prelude {
-    pub use crate::rngs::StdRng;
     #[cfg(feature = "small_rng")]
     pub use crate::rngs::SmallRng;
+    pub use crate::rngs::StdRng;
     pub use crate::seq::SliceRandom;
     pub use crate::{Rng, RngCore, SeedableRng};
 }
