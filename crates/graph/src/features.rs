@@ -83,11 +83,18 @@ pub fn classify_net(circuit: &Circuit, net: &str) -> NetClass {
     }
 }
 
-/// Magnitude bucket for a passive's value, used for features 9–11.
+/// Magnitude class (`0` low, `1` medium, `2` high) of a passive's value as
+/// the GCN input features observe it — features 9–11 are the one-hot of
+/// this value. `None` for every non-R/C/L kind (transistor `W`/`L` never
+/// reach the feature matrix).
 ///
 /// The paper's example: large capacitors distinguish a DC-DC converter from
 /// a filter. Thresholds are per element kind.
-fn value_bucket(kind: DeviceKind, value: f64) -> Option<usize> {
+///
+/// Anything that caches or splices GCN results must treat a bucket change
+/// as a feature change: `gana-incremental` keys its structural hash, diff,
+/// and region fingerprints on this exact function.
+pub fn value_magnitude(kind: DeviceKind, value: f64) -> Option<u8> {
     let (lo, hi) = match kind {
         DeviceKind::Capacitor => (1e-12, 100e-12),
         DeviceKind::Resistor => (1e3, 100e3),
@@ -95,11 +102,20 @@ fn value_bucket(kind: DeviceKind, value: f64) -> Option<usize> {
         _ => return None,
     };
     Some(if value < lo {
-        F_VAL_LO
+        0
     } else if value < hi {
-        F_VAL_MED
+        1
     } else {
-        F_VAL_HI
+        2
+    })
+}
+
+/// Feature-row index for a passive's value magnitude (features 9–11).
+fn value_bucket(kind: DeviceKind, value: f64) -> Option<usize> {
+    value_magnitude(kind, value).map(|m| match m {
+        0 => F_VAL_LO,
+        1 => F_VAL_MED,
+        _ => F_VAL_HI,
     })
 }
 

@@ -2,12 +2,18 @@
 //!
 //! Two circuits share a structural hash exactly when the annotation
 //! pipeline cannot tell them apart: same name, same device sequence (name,
-//! kind, terminal nets), and same port labels. Sizing values and parameters
-//! are deliberately excluded — the design graph, the GCN features, and the
-//! VF2 matcher are all type- and connectivity-based, so a pure resize
-//! re-annotates to the identical result and must hash identically.
+//! kind, terminal nets), same port labels, and — for passives — the same
+//! value-magnitude bucket. Transistor sizing (`W`/`L` and other parameters)
+//! is deliberately excluded: the design graph, the GCN features, and the
+//! VF2 matcher never observe it, so a pure resize re-annotates to the
+//! identical result and must hash identically. Passive R/C/L values *are*
+//! observed, but only through the low/medium/high buckets of
+//! [`gana_graph::features::value_magnitude`] (features 9–11), so the hash
+//! folds each value to its bucket: a within-bucket tweak splices, a
+//! bucket-crossing edit re-annotates.
 
 use crate::hash128::Digest;
+use gana_graph::features::value_magnitude;
 use gana_netlist::Circuit;
 
 /// Structural content hash of a preprocessed circuit.
@@ -30,6 +36,13 @@ pub fn structural_hash(circuit: &Circuit) -> u128 {
         for terminal in device.terminals() {
             d.write(terminal.as_str());
         }
+        // Passive value bucket: the only way a device value reaches the
+        // GCN features. `None` for transistors and bucket-less kinds.
+        d.write(
+            device
+                .value()
+                .and_then(|v| value_magnitude(device.kind(), v)),
+        );
     }
     // BTreeMap iteration is sorted, so label order is canonical.
     d.write(circuit.port_labels().len());
@@ -67,6 +80,18 @@ mod tests {
             .expect("valid");
         assert_ne!(structural_hash(&base), structural_hash(&rewired));
         assert_ne!(structural_hash(&base), structural_hash(&retyped));
+    }
+
+    #[test]
+    fn hash_folds_passive_values_to_buckets() {
+        // 10k and 20k are both medium resistors: identical features,
+        // identical hash. 500k crosses into the high bucket: the GCN sees a
+        // different feature row, so the hash must differ.
+        let base = parse("R1 a b 10k\nM0 a b gnd! gnd! NMOS\n").expect("valid");
+        let same_bucket = parse("R1 a b 20k\nM0 a b gnd! gnd! NMOS\n").expect("valid");
+        let crossed = parse("R1 a b 500k\nM0 a b gnd! gnd! NMOS\n").expect("valid");
+        assert_eq!(structural_hash(&base), structural_hash(&same_bucket));
+        assert_ne!(structural_hash(&base), structural_hash(&crossed));
     }
 
     #[test]

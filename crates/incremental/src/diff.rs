@@ -2,9 +2,14 @@
 //!
 //! Both sides are expected to be *preprocessed* circuits (sizing artifacts
 //! already folded), so the edit set captures exactly the changes the
-//! annotation pipeline can observe: devices added, removed, re-typed, or
-//! re-wired; nets appearing or vanishing; and port-label changes.
+//! annotation pipeline can observe: devices added, removed, re-typed,
+//! re-wired, or re-valued across a feature bucket; nets appearing or
+//! vanishing; and port-label changes. Passive values are compared through
+//! [`gana_graph::features::value_magnitude`] — the same low/medium/high
+//! quantization the GCN features use — so a within-bucket value tweak is
+//! invisible here exactly because it is invisible to the model.
 
+use gana_graph::features::value_magnitude;
 use gana_netlist::{Circuit, DeviceKind};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -20,6 +25,9 @@ pub struct NetlistDiff {
     pub retyped: Vec<String>,
     /// Devices whose terminal list changed (same name, same kind).
     pub rewired: Vec<String>,
+    /// Passives whose value moved to a different feature magnitude bucket
+    /// (same name, kind, and wiring).
+    pub revalued: Vec<String>,
     /// Nets present only in the new circuit.
     pub nets_added: Vec<String>,
     /// Nets present only in the old circuit.
@@ -31,24 +39,24 @@ pub struct NetlistDiff {
 impl NetlistDiff {
     /// Computes the edit set from `old` to `new`.
     pub fn compute(old: &Circuit, new: &Circuit) -> NetlistDiff {
-        let old_devices: BTreeMap<&str, (DeviceKind, &[String])> = old
-            .devices()
-            .iter()
-            .map(|d| (d.name(), (d.kind(), d.terminals())))
-            .collect();
-        let new_devices: BTreeMap<&str, (DeviceKind, &[String])> = new
-            .devices()
-            .iter()
-            .map(|d| (d.name(), (d.kind(), d.terminals())))
-            .collect();
+        type DeviceView<'a> = (DeviceKind, &'a [String], Option<u8>);
+        fn view(d: &gana_netlist::Device) -> (&str, DeviceView<'_>) {
+            let bucket = d.value().and_then(|v| value_magnitude(d.kind(), v));
+            (d.name(), (d.kind(), d.terminals(), bucket))
+        }
+        let old_devices: BTreeMap<&str, DeviceView<'_>> = old.devices().iter().map(view).collect();
+        let new_devices: BTreeMap<&str, DeviceView<'_>> = new.devices().iter().map(view).collect();
 
         let mut diff = NetlistDiff::default();
-        for (&name, &(kind, terminals)) in &new_devices {
+        for (&name, &(kind, terminals, bucket)) in &new_devices {
             match old_devices.get(name) {
                 None => diff.added.push(name.to_string()),
-                Some(&(old_kind, _)) if old_kind != kind => diff.retyped.push(name.to_string()),
-                Some(&(_, old_terminals)) if old_terminals != terminals => {
+                Some(&(old_kind, _, _)) if old_kind != kind => diff.retyped.push(name.to_string()),
+                Some(&(_, old_terminals, _)) if old_terminals != terminals => {
                     diff.rewired.push(name.to_string());
+                }
+                Some(&(_, _, old_bucket)) if old_bucket != bucket => {
+                    diff.revalued.push(name.to_string());
                 }
                 Some(_) => {}
             }
@@ -79,6 +87,7 @@ impl NetlistDiff {
             && self.removed.is_empty()
             && self.retyped.is_empty()
             && self.rewired.is_empty()
+            && self.revalued.is_empty()
             && self.nets_added.is_empty()
             && self.nets_removed.is_empty()
             && self.relabeled_nets.is_empty()
@@ -90,20 +99,23 @@ impl NetlistDiff {
             + self.removed.len()
             + self.retyped.len()
             + self.rewired.len()
+            + self.revalued.len()
             + self.nets_added.len()
             + self.nets_removed.len()
             + self.relabeled_nets.len()
     }
 
     /// Names of new-circuit devices whose GCN evidence is stale and must be
-    /// re-inferred: edited devices themselves, devices sharing a net with a
-    /// removed device (their neighborhood changed shape), and devices
-    /// touching a relabeled net (their features changed).
+    /// re-inferred: edited devices themselves (including bucket-crossing
+    /// value edits), devices sharing a net with a removed device (their
+    /// neighborhood changed shape), and devices touching a relabeled net
+    /// (their features changed).
     pub fn seed_devices(&self, old: &Circuit, new: &Circuit) -> BTreeSet<String> {
         let mut seeds: BTreeSet<String> = BTreeSet::new();
         seeds.extend(self.added.iter().cloned());
         seeds.extend(self.retyped.iter().cloned());
         seeds.extend(self.rewired.iter().cloned());
+        seeds.extend(self.revalued.iter().cloned());
 
         // A removed device leaves a hole: every old neighbor that survives
         // into the new circuit sees different connectivity.
@@ -173,6 +185,23 @@ mod tests {
         assert_eq!(diff.retyped, vec!["M0"]);
         assert_eq!(diff.rewired, vec!["M1"]);
         assert!(diff.nets_removed.contains(&"vb".to_string()), "{diff:?}");
+    }
+
+    #[test]
+    fn bucket_crossing_value_edit_is_revalued_and_seeded() {
+        let old = parse(BASE).expect("valid");
+        // 10k (medium) → 500k (high): the GCN feature row for R1 changes.
+        let crossed =
+            parse("M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nR1 vdd! vb 500k\n").expect("valid");
+        let diff = NetlistDiff::compute(&old, &crossed);
+        assert_eq!(diff.revalued, vec!["R1"]);
+        assert!(diff.seed_devices(&old, &crossed).contains("R1"));
+
+        // 10k → 20k stays medium: invisible to the model, invisible here.
+        let same =
+            parse("M0 o1 i1 t gnd! NMOS\nM1 o2 i2 t gnd! NMOS\nR1 vdd! vb 20k\n").expect("valid");
+        let diff = NetlistDiff::compute(&old, &same);
+        assert!(diff.is_empty(), "{diff:?}");
     }
 
     #[test]

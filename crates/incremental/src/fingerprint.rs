@@ -5,13 +5,17 @@
 //! whenever two elements share a net that is neither a rail nor a
 //! `Bias`/`Oscillating` distribution net (those span block boundaries by
 //! design, exactly as in Postprocessing I's merge rule). Each region gets a
-//! deterministic 128-bit content hash over device types, `g/s/d` edge
-//! labels, and boundary-net signatures, computed by Weisfeiler–Lehman
-//! refinement — so an unchanged region is recognized by hash equality under
-//! arbitrary device/net renaming and card-order permutation.
+//! deterministic 128-bit content hash over device types, passive
+//! value-magnitude buckets, `g/s/d` edge labels, and boundary-net
+//! signatures, computed by Weisfeiler–Lehman refinement — so an unchanged
+//! region is recognized by hash equality under arbitrary device/net
+//! renaming and card-order permutation, while any edit the GCN features
+//! can observe (including a bucket-crossing R/C/L value change) breaks the
+//! match.
 
 use crate::hash128::{digest_of, Digest};
 use gana_graph::ccc::channel_connected_components;
+use gana_graph::features::value_magnitude;
 use gana_graph::{CircuitGraph, VertexId};
 use gana_netlist::{Circuit, PortLabel};
 use std::collections::{BTreeMap, HashMap};
@@ -143,8 +147,9 @@ pub fn ccc_fingerprints(circuit: &Circuit, graph: &CircuitGraph) -> Vec<u128> {
 /// Rename-invariant fingerprint of the subgraph induced by `elements` plus
 /// their incident nets.
 ///
-/// Initial labels carry only structure: device kind for elements; rail
-/// kind, port label, and a boundary bit (does the net also touch elements
+/// Initial labels carry exactly what the GCN features can observe locally:
+/// device kind and passive value-magnitude bucket for elements; rail kind,
+/// port label, and a boundary bit (does the net also touch elements
 /// *outside* the set?) for nets. Refinement then folds in sorted multisets
 /// of `(edge label, neighbor label)` pairs, so `g/s/d` orientation is part
 /// of every digest.
@@ -167,7 +172,13 @@ pub fn region_fingerprint(circuit: &Circuit, graph: &CircuitGraph, elements: &[V
     let mut label: HashMap<VertexId, u128> = HashMap::with_capacity(elements.len() + nets.len());
     for &v in elements {
         let kind = graph.element_kind(v).map(|k| format!("{k:?}"));
-        label.insert(v, digest_of(("element", kind)));
+        let bucket = graph.device_index(v).and_then(|i| {
+            let device = &circuit.devices()[i];
+            device
+                .value()
+                .and_then(|value| value_magnitude(device.kind(), value))
+        });
+        label.insert(v, digest_of(("element", kind, bucket)));
     }
     for &net in &nets {
         let name = graph.net_name(net).expect("net vertex");
@@ -255,6 +266,17 @@ mod tests {
         // kinds and net count, different g/s/d structure.
         let (c1, g1) = graph_of("M0 d d gnd! gnd! NMOS\nM1 o o gnd! gnd! NMOS\n");
         assert_ne!(ccc_fingerprints(&c0, &g0), ccc_fingerprints(&c1, &g1));
+    }
+
+    #[test]
+    fn value_bucket_change_is_visible_within_a_bucket_tweak_is_not() {
+        let base = "M0 o i t gnd! NMOS\nR1 vdd! o 10k\n";
+        let (c0, g0) = graph_of(base);
+        let (c1, g1) = graph_of("M0 o i t gnd! NMOS\nR1 vdd! o 20k\n");
+        let (c2, g2) = graph_of("M0 o i t gnd! NMOS\nR1 vdd! o 500k\n");
+        let fp = |c: &Circuit, g: &CircuitGraph| RegionMap::build(c, g).regions[0].fingerprint;
+        assert_eq!(fp(&c0, &g0), fp(&c1, &g1), "10k and 20k are both medium");
+        assert_ne!(fp(&c0, &g0), fp(&c2, &g2), "500k is a high resistor");
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Deterministic 128-bit content hashing built on the std SipHash.
 //!
-//! `DefaultHasher::new()` uses fixed keys, so digests are stable across
-//! runs and processes — a requirement for a content-addressed cache whose
-//! hit rate must survive daemon restarts and cross-session sharing. Two
-//! independently-seeded 64-bit lanes are concatenated to push accidental
-//! collisions out of practical reach.
+//! `DefaultHasher::new()` uses fixed keys, so digests are stable for the
+//! lifetime of one process — all a purely in-memory content-addressed
+//! cache shared across sessions needs. std documents the algorithm as
+//! unspecified and free to change between Rust releases, so digests must
+//! never be persisted or compared across binaries; if the cache ever
+//! learns to survive daemon restarts, switch to an explicitly versioned
+//! hash first. Two independently-seeded 64-bit lanes are concatenated to
+//! push accidental collisions out of practical reach.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};

@@ -8,13 +8,15 @@
 //!
 //! - [`canon::structural_hash`] — canonical content hash of a preprocessed
 //!   circuit; equal hashes mean the pipeline cannot tell the inputs apart
-//!   (sizing excluded by design).
+//!   (transistor sizing excluded by design; passive values folded to the
+//!   magnitude buckets the GCN features observe).
 //! - [`diff::NetlistDiff`] — structural edit set between two preprocessed
-//!   circuits: devices added/removed/re-typed/re-wired, nets appearing,
-//!   vanishing, or relabeled.
+//!   circuits: devices added/removed/re-typed/re-wired/re-bucketed, nets
+//!   appearing, vanishing, or relabeled.
 //! - [`fingerprint::RegionMap`] — channel-connected regions with
 //!   rename-invariant Weisfeiler–Lehman fingerprints over device types,
-//!   `g/s/d` edge labels, and boundary-net signatures.
+//!   passive value buckets, `g/s/d` edge labels, and boundary-net
+//!   signatures.
 //! - [`cache::RegionCache`] — bounded, byte-accounted LRU from sub-block
 //!   content hash to VF2 annotation, shareable across sessions.
 //! - [`pipeline::IncrementalPipeline`] — ties it together: dirty-mark the

@@ -3,13 +3,16 @@
 //! [`IncrementalPipeline`] wraps a cold [`Pipeline`] and makes re-annotation
 //! cost proportional to the edit:
 //!
-//! 1. the new netlist is preprocessed and canonically hashed — a pure
-//!    resize (or any edit preprocessing folds away) short-circuits to a
-//!    full splice of the prior result;
+//! 1. the new netlist is preprocessed and canonically hashed — an edit the
+//!    GCN features cannot observe (transistor resize, within-bucket
+//!    passive value tweak, anything preprocessing folds away)
+//!    short-circuits to a full splice of the prior result;
 //! 2. otherwise a [`NetlistDiff`] seeds dirty marking over the
 //!    [`RegionMap`]: regions holding edited devices, regions without a
-//!    fingerprint match in the baseline, and their immediate
-//!    signal-coupled neighbors are dirty;
+//!    fingerprint match in the baseline, and their signal-coupled
+//!    neighborhood out to [`IncrementalPipeline::dirty_rings`] rings are
+//!    dirty — by default enough rings to cover the model's receptive field
+//!    (`filter_order × layers` vertex hops, two hops per region boundary);
 //! 3. GCN inference runs only on the circuit induced by the dirty regions;
 //!    per-vertex classes for clean regions are spliced from the baseline;
 //! 4. Postprocessing I/II, hierarchy, and constraints are recomputed
@@ -17,9 +20,16 @@
 //!    the shared content-addressed [`RegionCache`] whenever the block's
 //!    induced content was seen before.
 //!
-//! Stages 3 is the only approximation (quantized away by CCC majority
-//! smoothing); stage 4 cache hits are exact by construction because the key
-//! covers everything the annotator reads.
+//! Stage 3 is the only approximation, and only at the dirty set's rim: the
+//! induced subcircuit is cut at the outermost dirty ring, so vertices near
+//! that cut see truncated context relative to a cold run. The default ring
+//! depth pushes the cut a full receptive field away from every edit, and
+//! the residual rim noise is quantized away by CCC majority smoothing —
+//! the equivalence suite asserts byte-identical reports across all four
+//! dataset families. [`IncrementalPipeline::with_dirty_rings`] can shrink
+//! the ring for speed (the smoothing bound alone then carries equality) or
+//! widen it for models with unusual reach. Stage 4 cache hits are exact by
+//! construction because the key covers everything the annotator reads.
 
 use crate::cache::{CachedBlock, RegionCache};
 use crate::canon::structural_hash;
@@ -146,6 +156,9 @@ impl fmt::Display for UpdateStats {
 pub struct IncrementalPipeline {
     pipeline: Pipeline,
     cache: Arc<RegionCache>,
+    /// Dirty-neighborhood rings; `None` derives from the model's receptive
+    /// field.
+    dirty_rings: Option<usize>,
 }
 
 impl IncrementalPipeline {
@@ -163,7 +176,40 @@ impl IncrementalPipeline {
     /// Wraps a pipeline with an externally shared cache (e.g. one cache for
     /// every session of a serving engine).
     pub fn with_cache(pipeline: Pipeline, cache: Arc<RegionCache>) -> IncrementalPipeline {
-        IncrementalPipeline { pipeline, cache }
+        IncrementalPipeline {
+            pipeline,
+            cache,
+            dirty_rings: None,
+        }
+    }
+
+    /// Overrides how many rings of signal-coupled neighbor regions are
+    /// re-inferred around every edited region.
+    ///
+    /// The default ([`IncrementalPipeline::dirty_rings`]) covers the GCN's
+    /// receptive field, which makes the spliced classes exact but can dirty
+    /// most of a design for high filter orders. A small override (`1` is
+    /// typical) trades that guarantee for edit-proportional cost and leans
+    /// on CCC majority smoothing to absorb rim differences — the tradeoff
+    /// the `incremental_reannotate` partial-path benches measure.
+    pub fn with_dirty_rings(mut self, rings: usize) -> IncrementalPipeline {
+        self.dirty_rings = Some(rings.max(1));
+        self
+    }
+
+    /// Rings of neighbor regions re-inferred around an edit.
+    ///
+    /// Unless overridden, this is derived from the model: the GCN sees
+    /// `filter_order × layers` vertex hops, and crossing from one region
+    /// into the next costs at least two hops (element → shared net →
+    /// element), so `⌈hops / 2⌉` rings put the splice boundary beyond the
+    /// receptive field of every edited vertex.
+    pub fn dirty_rings(&self) -> usize {
+        self.dirty_rings.unwrap_or_else(|| {
+            let config = self.pipeline.model().config();
+            let hops = config.filter_order * config.conv_channels.len();
+            hops.div_ceil(2).max(1)
+        })
     }
 
     /// The underlying cold pipeline.
@@ -207,8 +253,9 @@ impl IncrementalPipeline {
         let total_devices = clean.devices().len();
 
         if canon == baseline.canon {
-            // Structurally identical (any edit folded away in preprocessing
-            // or touched only sizing): splice the entire prior result,
+            // Feature-identical (any edit folded away in preprocessing,
+            // touched only transistor sizing, or moved a passive value
+            // within its magnitude bucket): splice the entire prior result,
             // reusing every baseline index — vertex ids are reproducible
             // from structure alone. The new circuit is swapped in so
             // value-bearing output (e.g. the hierarchical SPICE) reflects
@@ -242,8 +289,10 @@ impl IncrementalPipeline {
             })
             .collect();
 
-        // One ring of signal-coupled neighbors: regions sharing any
-        // non-rail net with a dirty region see changed context.
+        // Rings of signal-coupled neighbors: regions sharing any non-rail
+        // net with a dirty region see changed context. BFS over the
+        // region-adjacency graph to `dirty_rings()` depth, so the splice
+        // boundary sits past the model's receptive field (see module docs).
         let mut by_net: HashMap<&str, Vec<usize>> = HashMap::new();
         for (idx, region) in regions.regions.iter().enumerate() {
             let mut nets: BTreeSet<&str> = BTreeSet::new();
@@ -259,18 +308,28 @@ impl IncrementalPipeline {
                 by_net.entry(net).or_default().push(idx);
             }
         }
-        let ring_sources: Vec<usize> = (0..dirty.len()).filter(|&i| dirty[i]).collect();
-        for idx in ring_sources {
-            for &v in &regions.regions[idx].elements {
-                for &(net, _) in graph.neighbors(v) {
-                    let name = graph.net_name(net).expect("net vertex");
-                    if let Some(sharing) = by_net.get(name) {
-                        for &other in sharing {
-                            dirty[other] = true;
+        let mut frontier: Vec<usize> = (0..dirty.len()).filter(|&i| dirty[i]).collect();
+        for _ in 0..self.dirty_rings() {
+            let mut next: Vec<usize> = Vec::new();
+            for idx in frontier {
+                for &v in &regions.regions[idx].elements {
+                    for &(net, _) in graph.neighbors(v) {
+                        let name = graph.net_name(net).expect("net vertex");
+                        if let Some(sharing) = by_net.get(name) {
+                            for &other in sharing {
+                                if !dirty[other] {
+                                    dirty[other] = true;
+                                    next.push(other);
+                                }
+                            }
                         }
                     }
                 }
             }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
         }
 
         let dirty_regions = dirty.iter().filter(|&&d| d).count();

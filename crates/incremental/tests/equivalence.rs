@@ -39,7 +39,12 @@ fn pipeline(task: Task, names: &[&str]) -> Pipeline {
 /// Asserts that updating `base → edited` incrementally matches a cold run
 /// on `edited` exactly, and returns whether the full-splice path fired.
 fn assert_equivalent(pipeline: Pipeline, base: &Circuit, edited: &Circuit) -> bool {
-    let inc = IncrementalPipeline::new(pipeline);
+    assert_equivalent_inc(IncrementalPipeline::new(pipeline), base, edited)
+}
+
+/// [`assert_equivalent`] over a pre-configured incremental pipeline (used
+/// to exercise non-default dirty-ring settings).
+fn assert_equivalent_inc(inc: IncrementalPipeline, base: &Circuit, edited: &Circuit) -> bool {
     let baseline = inc.annotate_full(base).expect("cold baseline");
     let (next, stats) = inc.update(&baseline, edited).expect("incremental update");
     let cold = inc.pipeline().recognize(edited).expect("cold rerun");
@@ -152,6 +157,99 @@ fn phased_array_mutate_edits_are_equivalent_and_sliced() {
         spliced,
         "mutate edits fold away in preprocessing: full splice expected"
     );
+}
+
+/// Moves one passive's value into a different feature magnitude bucket and
+/// returns the edited circuit. Panics if the design has no bucketed passive.
+fn cross_a_bucket(circuit: &Circuit) -> Circuit {
+    use gana_graph::features::value_magnitude;
+    let mut edited = circuit.clone();
+    let device = edited
+        .devices_mut()
+        .iter_mut()
+        .find(|d| {
+            d.value()
+                .and_then(|v| value_magnitude(d.kind(), v))
+                .is_some()
+        })
+        .expect("has a bucketed passive");
+    let bucket =
+        value_magnitude(device.kind(), device.value().expect("has value")).expect("bucketed kind");
+    // Jump to the far bucket for the device's kind: high unless already
+    // high, low otherwise.
+    let target = match (device.kind(), bucket) {
+        (gana_netlist::DeviceKind::Resistor, 2) => 1.0,
+        (gana_netlist::DeviceKind::Resistor, _) => 1e6,
+        (gana_netlist::DeviceKind::Capacitor, 2) => 1e-13,
+        (gana_netlist::DeviceKind::Capacitor, _) => 1e-9,
+        (gana_netlist::DeviceKind::Inductor, 2) => 1e-10,
+        (gana_netlist::DeviceKind::Inductor, _) => 1e-6,
+        (kind, bucket) => panic!("unbucketed kind {kind:?} in bucket {bucket}"),
+    };
+    *device = device.clone().with_value(target);
+    edited
+}
+
+#[test]
+fn resistor_bucket_crossing_edit_is_equivalent_and_not_spliced() {
+    // The regression the review caught: a passive value edit that crosses a
+    // feature bucket threshold changes the GCN input, so it must NOT take
+    // the full-splice path — and the partial path must still reproduce the
+    // cold result byte for byte.
+    let base = ota_base();
+    let edited = cross_a_bucket(&base.circuit);
+    let spliced = assert_equivalent(
+        pipeline(Task::OtaBias, &ota_classes::NAMES),
+        &base.circuit,
+        &edited,
+    );
+    assert!(
+        !spliced,
+        "a bucket-crossing value edit changes the GCN features and must re-annotate"
+    );
+}
+
+#[test]
+fn rf_bucket_crossing_edit_is_equivalent_and_not_spliced() {
+    let base = rf_base();
+    let edited = cross_a_bucket(&base.circuit);
+    let spliced = assert_equivalent(
+        pipeline(Task::Rf, &rf_classes::NAMES),
+        &base.circuit,
+        &edited,
+    );
+    assert!(!spliced, "bucket crossing must take the partial path");
+}
+
+#[test]
+fn ota_structural_edit_is_equivalent_with_one_dirty_ring() {
+    // The speed-over-receptive-field setting the benches use: one ring of
+    // neighbors, equality carried by CCC majority smoothing.
+    let base = ota_base();
+    let mut edited = base.circuit.clone();
+    let attach: Vec<String> = edited
+        .devices()
+        .iter()
+        .find(|d| d.kind().is_transistor())
+        .map(|d| d.terminals().to_vec())
+        .expect("has a transistor");
+    edited
+        .add_device(
+            gana_netlist::Device::new(
+                "CEQ2",
+                gana_netlist::DeviceKind::Capacitor,
+                vec![attach[0].clone(), "gnd!".into()],
+            )
+            .expect("valid")
+            .with_value(1e-12),
+        )
+        .expect("unique");
+    let spliced = assert_equivalent_inc(
+        IncrementalPipeline::new(pipeline(Task::OtaBias, &ota_classes::NAMES)).with_dirty_rings(1),
+        &base.circuit,
+        &edited,
+    );
+    assert!(!spliced, "a structural edit must take the partial path");
 }
 
 #[test]

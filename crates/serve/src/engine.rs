@@ -51,6 +51,11 @@ pub struct EngineConfig {
     /// Byte budget of the content-addressed region cache shared by every
     /// incremental session.
     pub region_cache_bytes: usize,
+    /// Maximum concurrently open incremental sessions. Each session pins a
+    /// full baseline (recognized design + splice indexes) in memory, so the
+    /// map must stay bounded; an `open` past the limit is rejected with a
+    /// structured [`JobError::SessionLimit`].
+    pub max_sessions: usize,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +67,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             result_cache_capacity: 1024,
             region_cache_bytes: IncrementalPipeline::DEFAULT_CACHE_BYTES,
+            max_sessions: 64,
         }
     }
 }
@@ -112,18 +118,38 @@ fn cache_key(task: Task, netlist: &str) -> u64 {
     hasher.finish()
 }
 
-/// Baseline state of one open session. Guarded by its own mutex so updates
-/// on the same session serialize while different sessions run in parallel.
+/// Baseline state of one open session.
 struct SessionState {
     task: Task,
     baseline: Baseline,
+}
+
+/// One queued same-session update, carrying everything needed to finish
+/// the job from whichever worker drains it.
+struct PendingUpdate {
+    netlist: String,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+    reply: channel::Sender<JobResult>,
+}
+
+/// One open session. Same-session updates land in `pending` and are
+/// drained by at most one worker at a time (`draining`), so a burst of
+/// updates for one session occupies one worker instead of blocking the
+/// whole pool on `state`; distinct sessions still run in parallel.
+struct SessionSlot {
+    state: Mutex<SessionState>,
+    pending: Mutex<VecDeque<PendingUpdate>>,
+    draining: AtomicBool,
 }
 
 struct Shared {
     pipelines: Vec<(Task, Pipeline)>,
     incremental: Vec<(Task, IncrementalPipeline)>,
     region_cache: Arc<RegionCache>,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+    sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
+    max_sessions: usize,
     metrics: Metrics,
     cache: Option<ResultCache>,
     shutting_down: AtomicBool,
@@ -197,6 +223,12 @@ impl EngineBuilder {
         self
     }
 
+    /// Overrides the open-session limit.
+    pub fn max_sessions(mut self, max: usize) -> EngineBuilder {
+        self.config.max_sessions = max.max(1);
+        self
+    }
+
     /// Spawns the worker pool and returns the running engine.
     pub fn build(self) -> Engine {
         let workers = self.config.workers.max(1);
@@ -216,6 +248,7 @@ impl EngineBuilder {
             incremental,
             region_cache,
             sessions: Mutex::new(HashMap::new()),
+            max_sessions: self.config.max_sessions,
             metrics: Metrics::default(),
             cache: (self.config.result_cache_capacity > 0)
                 .then(|| ResultCache::new(self.config.result_cache_capacity)),
@@ -509,42 +542,72 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
 
 fn process(shared: &Shared, job: Job) {
     let picked_up = Instant::now();
-    shared
-        .metrics
-        .queue_wait
-        .record(picked_up - job.submitted_at);
+    let Job {
+        work,
+        submitted_at,
+        deadline,
+        cancelled,
+        reply,
+        ..
+    } = job;
+    shared.metrics.queue_wait.record(picked_up - submitted_at);
 
-    if job.cancelled.load(Ordering::Relaxed) {
+    if cancelled.load(Ordering::Relaxed) {
         shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
-        let _ = job.reply.send(Err(JobError::Cancelled));
+        let _ = reply.send(Err(JobError::Cancelled));
         return;
     }
-    if let Some(deadline) = job.deadline {
+    if let Some(deadline) = deadline {
         if picked_up > deadline {
             shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(JobError::DeadlineExceeded));
+            let _ = reply.send(Err(JobError::DeadlineExceeded));
             return;
         }
     }
 
-    let result = match job.work {
+    let result = match work {
         Work::Annotate { netlist, task } => annotate(shared, &netlist, task),
         Work::OpenSession {
             session,
             netlist,
             task,
         } => open_session(shared, session, &netlist, task),
-        Work::UpdateSession { session, netlist } => update_session(shared, session, &netlist),
+        Work::UpdateSession { session, netlist } => {
+            // Same-session updates go through the per-session pending
+            // queue; replies and completion metrics are handled per drained
+            // update inside.
+            enqueue_session_update(
+                shared,
+                session,
+                PendingUpdate {
+                    netlist,
+                    submitted_at,
+                    deadline,
+                    cancelled,
+                    reply,
+                },
+            );
+            return;
+        }
         Work::Custom(work) => run_caught(work),
     };
+    finish_job(shared, submitted_at, &reply, result);
+}
 
+/// Records completion metrics and delivers the result to the submitter
+/// (who may have dropped the handle; that's fine).
+fn finish_job(
+    shared: &Shared,
+    submitted_at: Instant,
+    reply: &channel::Sender<JobResult>,
+    result: JobResult,
+) {
     match &result {
         Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
         Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),
     };
-    shared.metrics.total.record(job.submitted_at.elapsed());
-    // The submitter may have dropped its handle; that's fine.
-    let _ = job.reply.send(result);
+    shared.metrics.total.record(submitted_at.elapsed());
+    let _ = reply.send(result);
 }
 
 /// Runs fallible work, converting panics into a structured [`JobError`] so
@@ -578,6 +641,11 @@ fn open_session(shared: &Shared, session: u64, netlist: &str, task: Task) -> Job
     let Some(incremental) = shared.incremental(task) else {
         return Err(JobError::UnsupportedTask(format!("{task:?}")));
     };
+    // Cheap pre-check so a full store rejects before the cold annotate;
+    // re-checked authoritatively at insert time below.
+    if shared.sessions.lock().len() >= shared.max_sessions {
+        return Err(JobError::SessionLimit(shared.max_sessions));
+    }
     let flat = parse_flat(shared, netlist)?;
 
     let recognize_start = Instant::now();
@@ -593,39 +661,104 @@ fn open_session(shared: &Shared, session: u64, netlist: &str, task: Task) -> Job
         Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
     };
     let annotation = Arc::new(Annotation::from_design(&baseline.design));
-    shared.sessions.lock().insert(
-        session,
-        Arc::new(Mutex::new(SessionState { task, baseline })),
-    );
+    {
+        let mut sessions = shared.sessions.lock();
+        if sessions.len() >= shared.max_sessions {
+            return Err(JobError::SessionLimit(shared.max_sessions));
+        }
+        sessions.insert(
+            session,
+            Arc::new(SessionSlot {
+                state: Mutex::new(SessionState { task, baseline }),
+                pending: Mutex::new(VecDeque::new()),
+                draining: AtomicBool::new(false),
+            }),
+        );
+    }
     Ok(annotation)
 }
 
-fn update_session(shared: &Shared, session: u64, netlist: &str) -> JobResult {
-    // Hold the store lock only to fetch the slot; per-session locking lets
-    // distinct sessions update in parallel.
+/// Parks an update on its session's pending queue, then drains the queue
+/// if no other worker currently is. The CAS loop re-checks after releasing
+/// drain duty so an update that raced in during the handoff is never
+/// stranded: either this worker reclaims duty or the racing pusher won it.
+fn enqueue_session_update(shared: &Shared, session: u64, update: PendingUpdate) {
+    // Hold the store lock only to fetch the slot; distinct sessions drain
+    // in parallel on different workers.
     let Some(slot) = shared.sessions.lock().get(&session).cloned() else {
-        return Err(JobError::UnknownSession(session));
+        finish_job(
+            shared,
+            update.submitted_at,
+            &update.reply,
+            Err(JobError::UnknownSession(session)),
+        );
+        return;
     };
-    let mut state = slot.lock();
-    let Some(incremental) = shared.incremental(state.task) else {
-        return Err(JobError::UnsupportedTask(format!("{:?}", state.task)));
-    };
-    let flat = parse_flat(shared, netlist)?;
+    slot.pending.lock().push_back(update);
+    while slot
+        .draining
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        loop {
+            let next = slot.pending.lock().pop_front();
+            let Some(update) = next else { break };
+            run_session_update(shared, &slot, update);
+        }
+        slot.draining.store(false, Ordering::Release);
+        if slot.pending.lock().is_empty() {
+            break;
+        }
+    }
+}
 
-    let recognize_start = Instant::now();
-    let updated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        incremental.update(&state.baseline, &flat)
-    }));
-    shared.metrics.recognize.record(recognize_start.elapsed());
+/// Executes one drained update: parse outside the state lock, advance the
+/// baseline inside it, and deliver the reply.
+fn run_session_update(shared: &Shared, slot: &SessionSlot, update: PendingUpdate) {
+    let PendingUpdate {
+        netlist,
+        submitted_at,
+        deadline,
+        cancelled,
+        reply,
+    } = update;
+    // Queued updates waited twice (shared queue, then session queue):
+    // re-check the caller's deadline and cancellation before running.
+    if cancelled.load(Ordering::Relaxed) {
+        shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(Err(JobError::Cancelled));
+        return;
+    }
+    if let Some(deadline) = deadline {
+        if Instant::now() > deadline {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Err(JobError::DeadlineExceeded));
+            return;
+        }
+    }
 
-    let next = match updated {
-        Ok(Ok((next, _stats))) => next,
-        Ok(Err(err)) => return Err(JobError::Model(err.to_string())),
-        Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
-    };
-    let annotation = Arc::new(Annotation::from_design(&next.design));
-    state.baseline = next;
-    Ok(annotation)
+    let result = (|| {
+        let flat = parse_flat(shared, &netlist)?;
+        let mut state = slot.state.lock();
+        let Some(incremental) = shared.incremental(state.task) else {
+            return Err(JobError::UnsupportedTask(format!("{:?}", state.task)));
+        };
+        let recognize_start = Instant::now();
+        let updated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            incremental.update(&state.baseline, &flat)
+        }));
+        shared.metrics.recognize.record(recognize_start.elapsed());
+
+        let next = match updated {
+            Ok(Ok((next, _stats))) => next,
+            Ok(Err(err)) => return Err(JobError::Model(err.to_string())),
+            Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
+        };
+        let annotation = Arc::new(Annotation::from_design(&next.design));
+        state.baseline = next;
+        Ok(annotation)
+    })();
+    finish_job(shared, submitted_at, &reply, result);
 }
 
 fn annotate(shared: &Shared, netlist: &str, task: Task) -> JobResult {
@@ -757,6 +890,53 @@ mod tests {
             engine.submit(JobRequest::new(OTA, Task::OtaBias)),
             Err(SubmitError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn session_limit_rejects_with_structured_error() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .max_sessions(1)
+            .build();
+        let (first, handle) = engine
+            .open_session(JobRequest::new(OTA, Task::OtaBias))
+            .expect("admits");
+        handle.wait().expect("opens");
+        let (_, handle) = engine
+            .open_session(JobRequest::new(OTA, Task::OtaBias))
+            .expect("admits");
+        let err = handle.wait().expect_err("store is full");
+        assert_eq!(err.code(), "session_limit");
+        // Closing frees a slot for the next open.
+        assert!(engine.close_session(first));
+        let (_, handle) = engine
+            .open_session(JobRequest::new(OTA, Task::OtaBias))
+            .expect("admits");
+        handle.wait().expect("opens after a close");
+    }
+
+    #[test]
+    fn concurrent_same_session_updates_all_complete_in_order() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(2)
+            .build();
+        let (session, handle) = engine
+            .open_session(JobRequest::new(OTA, Task::OtaBias))
+            .expect("admits");
+        handle.wait().expect("opens");
+        // Burst of updates for one session: the per-session pending queue
+        // must drain them all (on at most one worker at a time) and answer
+        // every handle.
+        let handles: Vec<_> = (0..6)
+            .map(|_| engine.update_session(session, OTA).expect("admits"))
+            .collect();
+        for handle in handles {
+            handle.wait().expect("update completes");
+        }
+        assert_eq!(engine.session_count(), 1);
+        engine.shutdown();
     }
 
     #[test]

@@ -85,6 +85,8 @@ pub enum JobError {
     UnsupportedTask(String),
     /// An `update` named a session that was never opened or already closed.
     UnknownSession(u64),
+    /// An `open` would exceed the engine's configured session limit.
+    SessionLimit(usize),
     /// The job sat in the queue past its deadline.
     DeadlineExceeded,
     /// The submitter cancelled before a worker picked the job up.
@@ -103,6 +105,7 @@ impl JobError {
             JobError::Model(_) => "model",
             JobError::UnsupportedTask(_) => "task",
             JobError::UnknownSession(_) => "session",
+            JobError::SessionLimit(_) => "session_limit",
             JobError::DeadlineExceeded => "deadline",
             JobError::Cancelled => "cancelled",
             JobError::Shutdown => "shutdown",
@@ -118,6 +121,9 @@ impl fmt::Display for JobError {
             JobError::Model(m) => write!(f, "recognition failed: {m}"),
             JobError::UnsupportedTask(t) => write!(f, "no pipeline for task {t:?}"),
             JobError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            JobError::SessionLimit(max) => {
+                write!(f, "session limit reached ({max} open); close one first")
+            }
             JobError::DeadlineExceeded => write!(f, "queue deadline exceeded"),
             JobError::Cancelled => write!(f, "cancelled by submitter"),
             JobError::Shutdown => write!(f, "engine shut down"),

@@ -167,6 +167,23 @@ fn stats_loop(shared: &ServerShared, interval: Duration) {
 }
 
 fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
+    // Sessions are connection-scoped: whatever this connection opened and
+    // did not close is released when the stream drops (cleanly or not), so
+    // a client that disconnects mid-session cannot leak baselines in the
+    // engine's session store.
+    let mut opened: Vec<u64> = Vec::new();
+    let result = connection_loop(stream, shared, &mut opened);
+    for session in opened {
+        shared.engine.close_session(session);
+    }
+    result
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    shared: &ServerShared,
+    opened: &mut Vec<u64>,
+) -> io::Result<()> {
     // A read timeout lets the thread notice shutdown even on idle
     // connections.
     stream.set_read_timeout(Some(POLL))?;
@@ -218,10 +235,13 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()>
             Request::Open { task, netlist } => {
                 let response = match shared.engine.open_session(JobRequest::new(netlist, task)) {
                     Ok((session, handle)) => match handle.wait() {
-                        Ok(annotation) => Response::Session {
-                            session,
-                            annotation: (*annotation).clone(),
-                        },
+                        Ok(annotation) => {
+                            opened.push(session);
+                            Response::Session {
+                                session,
+                                annotation: (*annotation).clone(),
+                            }
+                        }
                         Err(err) => Response::from_job_error(&err),
                     },
                     Err(SubmitError::QueueFull) => Response::Err {
@@ -251,6 +271,7 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()>
             }
             Request::Close(session) => {
                 let response = if shared.engine.close_session(session) {
+                    opened.retain(|&s| s != session);
                     Response::Closed(session)
                 } else {
                     Response::from_job_error(&JobError::UnknownSession(session))

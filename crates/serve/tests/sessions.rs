@@ -124,6 +124,42 @@ fn session_open_update_close_round_trip() {
 }
 
 #[test]
+fn disconnect_without_close_releases_sessions() {
+    let engine = Arc::new(
+        Engine::builder()
+            .pipeline(ota_pipeline())
+            .workers(2)
+            .build(),
+    );
+    let handle = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stats_interval: None,
+        },
+    )
+    .expect("binds an ephemeral port");
+    let netlist = spice_of(base().circuit);
+    {
+        let mut client = Client::connect(handle.local_addr()).expect("connects");
+        client.open(&netlist, Task::OtaBias).expect("opens");
+        assert_eq!(engine.session_count(), 1);
+        // Dropped here without `close`: the TCP stream just goes away.
+    }
+    // The connection thread notices the hangup within one poll interval
+    // and must release everything the connection opened.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while engine.session_count() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session leaked after disconnect"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn engine_sessions_share_one_region_cache() {
     use gana_serve::JobRequest;
 
