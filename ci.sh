@@ -18,4 +18,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --doc"
+cargo test --doc -q
+
+echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> bench smoke (report-only -> BENCH_pipeline.json)"
+# Absolute timings flake on shared runners, so this stage reports but never
+# gates: a bench failure is surfaced without failing CI.
+if cargo run --release -p gana-bench --bin bench-smoke; then
+    echo "bench artifact: BENCH_pipeline.json"
+else
+    echo "WARNING: bench smoke failed (report-only stage, not gating)"
+fi
+
 echo "CI green."

@@ -1,0 +1,153 @@
+//! CI bench smoke: a fixed subset of the benchmark suite, timed directly
+//! (no Criterion dependency in the release binary) and written as a
+//! machine-readable artifact at `BENCH_pipeline.json`.
+//!
+//! The subset is deliberately small and stable — cold annotation on the
+//! three dataset families (OTA, RF receiver, phased array), the phased
+//! array additionally at 1 and 4 intra-request threads, and one
+//! incremental re-annotation — so successive CI runs produce comparable
+//! numbers. The stage is report-only: CI uploads the artifact but never
+//! gates on the values, because shared runners make absolute timings
+//! flaky.
+//!
+//! Output schema: `{ "<bench_name>": { "median_ns": u64, "iters": u64,
+//! "commit": "<short-sha>" } }`.
+
+use gana_bench::{ota_pipeline, receiver, rf_pipeline, small_circuit};
+use gana_datasets::phased_array;
+use gana_incremental::IncrementalPipeline;
+use gana_netlist::Circuit;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Per-bench time budget after warm-up; more iterations are better but CI
+/// wall-clock matters more than tight confidence intervals here.
+const BUDGET: Duration = Duration::from_secs(2);
+const MAX_ITERS: usize = 40;
+const MIN_ITERS: usize = 3;
+
+struct Measurement {
+    median_ns: u128,
+    iters: usize,
+}
+
+/// Runs `f` once to warm caches, then repeatedly until the time budget or
+/// iteration cap is hit (always at least [`MIN_ITERS`]), and reports the
+/// median wall-clock time per iteration.
+fn measure<F: FnMut()>(mut f: F) -> Measurement {
+    f();
+    let mut times: Vec<u128> = Vec::new();
+    let start = Instant::now();
+    while times.len() < MIN_ITERS || (times.len() < MAX_ITERS && start.elapsed() < BUDGET) {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    Measurement {
+        median_ns: times[times.len() / 2],
+        iters: times.len(),
+    }
+}
+
+/// Resizes one transistor: the canonical single-device edit whose
+/// incremental re-annotation cost the smoke tracks.
+fn resize_one(circuit: &Circuit) -> Circuit {
+    let mut edited = circuit.clone();
+    let device = edited
+        .devices_mut()
+        .iter_mut()
+        .find(|d| d.kind().is_transistor())
+        .expect("has a transistor");
+    let w = device.param("w").unwrap_or(1e-6);
+    device.set_param("w", w * 1.5);
+    edited
+}
+
+fn short_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn to_json(results: &BTreeMap<String, Measurement>, commit: &str) -> String {
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, m)| {
+            format!(
+                "  \"{name}\": {{ \"median_ns\": {}, \"iters\": {}, \"commit\": \"{commit}\" }}",
+                m.median_ns, m.iters
+            )
+        })
+        .collect();
+    format!("{{\n{}\n}}\n", entries.join(",\n"))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let mut results: BTreeMap<String, Measurement> = BTreeMap::new();
+
+    // Cold annotation, one circuit per dataset family. Filter order 4 keeps
+    // the smoke comparable across runs without Criterion-scale runtimes.
+    let ota = small_circuit();
+    let pipeline = ota_pipeline(4);
+    eprintln!("bench: cold_annotate_ota");
+    results.insert(
+        "cold_annotate_ota".to_string(),
+        measure(|| {
+            pipeline.recognize(&ota.circuit).expect("runs");
+        }),
+    );
+
+    let rx = receiver();
+    let pipeline = rf_pipeline(4);
+    eprintln!("bench: cold_annotate_rf_receiver");
+    results.insert(
+        "cold_annotate_rf_receiver".to_string(),
+        measure(|| {
+            pipeline.recognize(&rx.circuit).expect("runs");
+        }),
+    );
+
+    // Phased array at 1 and 4 intra-request threads: the pair CI watches
+    // for the region-parallel speedup (and for regressions in either path).
+    let pa = phased_array::generate_with_channels(2, 0);
+    for threads in [1usize, 4] {
+        let pipeline = rf_pipeline(4).with_threads(threads);
+        eprintln!("bench: cold_annotate_phased_array_{threads}t");
+        results.insert(
+            format!("cold_annotate_phased_array_{threads}t"),
+            measure(|| {
+                pipeline.recognize(&pa.circuit).expect("runs");
+            }),
+        );
+    }
+
+    // Incremental re-annotation of a single-device edit against a parked
+    // baseline — the edit-loop latency the incremental subsystem exists for.
+    let incremental = IncrementalPipeline::new(rf_pipeline(4));
+    let baseline = incremental
+        .annotate_full(&pa.circuit)
+        .expect("cold baseline");
+    let edited = resize_one(&pa.circuit);
+    eprintln!("bench: incremental_reannotate_phased_array");
+    results.insert(
+        "incremental_reannotate_phased_array".to_string(),
+        measure(|| {
+            incremental.update(&baseline, &edited).expect("runs");
+        }),
+    );
+
+    let json = to_json(&results, &short_commit());
+    std::fs::write(&out_path, &json).expect("write BENCH artifact");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

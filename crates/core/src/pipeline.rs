@@ -5,6 +5,7 @@ use crate::{post1, post2, Result};
 use gana_gnn::{GcnModel, GraphSample};
 use gana_graph::{CircuitGraph, GraphOptions, VertexId};
 use gana_netlist::{preprocess, Circuit, PreprocessOptions};
+use gana_par::Parallelism;
 use gana_primitives::{constraints, AnnotationResult, Constraint, PrimitiveLibrary};
 use std::sync::Arc;
 
@@ -107,6 +108,7 @@ pub struct Pipeline {
     task: Task,
     preprocess_options: PreprocessOptions,
     coarsen_seed: u64,
+    parallelism: Parallelism,
 }
 
 impl Pipeline {
@@ -137,6 +139,7 @@ impl Pipeline {
             task,
             preprocess_options: PreprocessOptions::default(),
             coarsen_seed: 0,
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -144,6 +147,26 @@ impl Pipeline {
     pub fn with_preprocess(mut self, options: PreprocessOptions) -> Pipeline {
         self.preprocess_options = options;
         self
+    }
+
+    /// Sets the intra-request thread budget spent on GCN sparse matmuls
+    /// and per-sub-block / per-template VF2 fan-out. The default is serial;
+    /// the output is bit-identical at any thread count (`gana-par`'s
+    /// determinism contract, enforced by the `parallel_equivalence` tests).
+    pub fn with_threads(self, threads: usize) -> Pipeline {
+        self.with_parallelism(Parallelism::new(threads))
+    }
+
+    /// Sets a shared [`Parallelism`] budget (e.g. one owned by a serving
+    /// engine, so every worker's pipelines report into one pool gauge).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Pipeline {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The intra-request thread budget.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.parallelism
     }
 
     /// Overrides the coarsening seed used when preparing inference samples.
@@ -232,7 +255,7 @@ impl Pipeline {
     /// Propagates preprocessing and model errors.
     pub fn recognize(&self, circuit: &Circuit) -> Result<RecognizedDesign> {
         let (clean, graph, sample) = self.prepare(circuit)?;
-        let gcn_class = self.model.predict(&sample)?;
+        let gcn_class = self.model.predict_with(&self.parallelism, &sample)?;
         Ok(self.finish(clean, graph, gcn_class))
     }
 
@@ -246,24 +269,28 @@ impl Pipeline {
         gcn_class: Vec<usize>,
     ) -> RecognizedDesign {
         let library = Arc::clone(&self.library);
-        self.finish_with_annotator(circuit, graph, gcn_class, &mut |sub_circuit, sub_graph| {
-            gana_primitives::annotate(&library, sub_circuit, sub_graph)
+        self.finish_with_annotator(circuit, graph, gcn_class, &|par, sub_circuit, sub_graph| {
+            gana_primitives::annotate_with(par, &library, sub_circuit, sub_graph)
         })
     }
 
     /// [`Pipeline::finish`] with per-sub-block primitive annotation
     /// delegated to `annotator` (see [`post1::apply_with_annotator`]);
     /// everything else — smoothing, merging, Postprocessing II, hierarchy,
-    /// constraints — is computed exactly as in the cold path.
+    /// constraints — is computed exactly as in the cold path. Sub-blocks
+    /// annotate concurrently over the pipeline's thread budget, so the
+    /// annotator must be `Sync`; it receives the leftover per-sub-block
+    /// budget for template-level fan-out.
     pub fn finish_with_annotator(
         &self,
         circuit: Circuit,
         graph: CircuitGraph,
         gcn_class: Vec<usize>,
-        annotator: &mut dyn FnMut(&Circuit, &CircuitGraph) -> AnnotationResult,
+        annotator: &post1::Annotator<'_>,
     ) -> RecognizedDesign {
         let separate_inverters = self.task == Task::Rf;
         let stage1 = post1::apply_with_annotator(
+            &self.parallelism,
             &circuit,
             &graph,
             &gcn_class,

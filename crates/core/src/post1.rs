@@ -19,8 +19,15 @@
 use gana_graph::ccc::{ccc_membership, channel_connected_components};
 use gana_graph::{CircuitGraph, VertexId};
 use gana_netlist::{Circuit, Device};
-use gana_primitives::{annotate, AnnotationResult, PrimitiveLibrary};
+use gana_par::Parallelism;
+use gana_primitives::{annotate_with, AnnotationResult, PrimitiveLibrary};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Per-sub-block primitive annotator: receives the thread budget left over
+/// for template-level fan-out plus the sub-block's induced circuit and
+/// graph. Must be `Sync` — sub-blocks annotate concurrently.
+pub type Annotator<'a> =
+    dyn Fn(&Parallelism, &Circuit, &CircuitGraph) -> AnnotationResult + Sync + 'a;
 
 /// A sub-block assembled from one or more CCCs.
 #[derive(Debug, Clone)]
@@ -82,11 +89,12 @@ pub fn apply_with_options(
     separate_inverters: bool,
 ) -> Stage1 {
     apply_with_annotator(
+        &Parallelism::serial(),
         circuit,
         graph,
         gcn_predictions,
         separate_inverters,
-        &mut |sub_circuit, sub_graph| annotate(library, sub_circuit, sub_graph),
+        &|par, sub_circuit, sub_graph| annotate_with(par, library, sub_circuit, sub_graph),
     )
 }
 
@@ -94,12 +102,17 @@ pub fn apply_with_options(
 /// `annotator`. The closure receives the sub-block's induced circuit and
 /// graph; the default implementation runs VF2 over the primitive library,
 /// while incremental callers can answer from a content-addressed cache.
+///
+/// Sub-blocks are annotated concurrently over `par`'s thread budget and
+/// merged back in group order, so the result is bit-identical to the
+/// serial path at any thread count.
 pub fn apply_with_annotator(
+    par: &Parallelism,
     circuit: &Circuit,
     graph: &CircuitGraph,
     gcn_predictions: &[usize],
     separate_inverters: bool,
-    annotator: &mut dyn FnMut(&Circuit, &CircuitGraph) -> AnnotationResult,
+    annotator: &Annotator<'_>,
 ) -> Stage1 {
     assert_eq!(
         gcn_predictions.len(),
@@ -451,19 +464,29 @@ pub fn apply_with_annotator(
         }
     }
 
-    // 4: assemble sub-blocks and annotate primitives inside each.
+    // 4: assemble sub-blocks and annotate primitives inside each. Groups
+    // are independent, so they fan out across the thread budget; whatever
+    // budget the group fan-out leaves unused (all of it when one merged
+    // block dominates, as in an OTA) is handed to the annotator for
+    // template-level VF2 fan-out, keeping the joint spend at ~`threads`.
+    // Group order (BTreeMap) plus `map`'s index-ordered merge keep the
+    // result bit-identical to the serial path.
     let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for idx in 0..clusters.len() {
         let root = find(&mut parent, idx);
         groups.entry(root).or_default().push(idx);
     }
+    let group_list: Vec<&Vec<usize>> = groups.values().collect();
+    let inner = if group_list.len() >= par.threads() {
+        Parallelism::serial()
+    } else {
+        Parallelism::new(par.threads() / group_list.len().max(1))
+    };
 
-    let mut sub_blocks: Vec<RawSubBlock> = Vec::new();
-    let mut block_of: Vec<Option<usize>> = vec![None; n];
-    for group in groups.values() {
+    let annotated = par.map(&group_list, |_, group| {
         let mut elements: Vec<VertexId> = Vec::new();
         let mut nets: Vec<VertexId> = Vec::new();
-        for &idx in group {
+        for &idx in group.iter() {
             for &v in &clusters[idx] {
                 if graph.vertex(v).is_element() {
                     elements.push(v);
@@ -473,7 +496,7 @@ pub fn apply_with_annotator(
             }
         }
         if elements.is_empty() {
-            continue;
+            return None;
         }
         elements.sort_unstable();
         elements.dedup();
@@ -483,7 +506,7 @@ pub fn apply_with_annotator(
         let sub_circuit = induced_circuit(circuit, graph, &elements);
         let sub_graph =
             gana_graph::CircuitGraph::build(&sub_circuit, gana_graph::GraphOptions::default());
-        let annotation = annotator(&sub_circuit, &sub_graph);
+        let annotation = annotator(&inner, &sub_circuit, &sub_graph);
         // Stand-alone label when the group is made of inverter clusters.
         let standalone_label = if group.iter().all(|&idx| inv_info[idx].is_some()) {
             if group.len() >= 2 || group.iter().any(|&idx| chained.contains(&idx)) {
@@ -494,17 +517,23 @@ pub fn apply_with_annotator(
         } else {
             None
         };
-        let block_index = sub_blocks.len();
-        for &v in elements.iter().chain(nets.iter()) {
-            block_of[v] = Some(block_index);
-        }
-        sub_blocks.push(RawSubBlock {
+        Some(RawSubBlock {
             gcn_class: class,
             elements,
             nets,
             annotation,
             standalone_label,
-        });
+        })
+    });
+
+    let mut sub_blocks: Vec<RawSubBlock> = Vec::new();
+    let mut block_of: Vec<Option<usize>> = vec![None; n];
+    for raw in annotated.into_iter().flatten() {
+        let block_index = sub_blocks.len();
+        for &v in raw.elements.iter().chain(raw.nets.iter()) {
+            block_of[v] = Some(block_index);
+        }
+        sub_blocks.push(raw);
     }
 
     Stage1 {

@@ -1,0 +1,141 @@
+//! The determinism contract of the intra-request parallel layer: a
+//! [`Pipeline`] running with any thread budget must produce output that is
+//! **byte-identical** to the serial path — same hierarchical SPICE export,
+//! same report, same constraints — across the dataset corpus, including
+//! the functionality-preserving `mutate` edits. Parallelism here is a pure
+//! scheduling choice; any visible difference is a bug.
+
+use gana_core::{export, report, Pipeline, Task};
+use gana_datasets::mutate::{self, MutationConfig};
+use gana_datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter};
+use gana_gnn::{Activation, GcnConfig, GcnModel};
+use gana_netlist::Circuit;
+use gana_primitives::PrimitiveLibrary;
+use proptest::prelude::*;
+
+/// Deterministic untrained pipeline: inference determinism is identical to
+/// a trained model's, which is all the equivalence needs.
+fn pipeline(task: Task, names: &[&str]) -> Pipeline {
+    let model = GcnModel::new(GcnConfig {
+        input_dim: 18,
+        conv_channels: vec![8, 16],
+        filter_order: 4,
+        fc_dim: 32,
+        num_classes: names.len(),
+        activation: Activation::Relu,
+        dropout: 0.0,
+        batch_norm: false,
+        weight_decay: 0.0,
+        seed: 3,
+    })
+    .expect("valid config");
+    Pipeline::new(
+        model,
+        names.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("templates parse"),
+        task,
+    )
+}
+
+/// Recognizes `circuit` serially and at `threads`, asserting the exports
+/// match byte for byte.
+fn assert_parallel_matches_serial(task: Task, names: &[&str], circuit: &Circuit, threads: usize) {
+    let serial = pipeline(task, names)
+        .with_threads(1)
+        .recognize(circuit)
+        .expect("serial run");
+    let parallel = pipeline(task, names)
+        .with_threads(threads)
+        .recognize(circuit)
+        .expect("parallel run");
+    assert_eq!(
+        export::to_hierarchical_spice(&serial),
+        export::to_hierarchical_spice(&parallel),
+        "hierarchy export must be byte-identical at {threads} threads"
+    );
+    assert_eq!(
+        report::full_report(&serial),
+        report::full_report(&parallel),
+        "report must be byte-identical at {threads} threads"
+    );
+    assert_eq!(serial.constraints, parallel.constraints);
+    assert_eq!(serial.final_label, parallel.final_label);
+    assert_eq!(serial.gcn_class, parallel.gcn_class);
+}
+
+/// The mutate edit set used across the corpus: size jitter plus the
+/// structural-but-foldable idioms (parallel splits, dummies, decaps).
+fn mutation() -> MutationConfig {
+    MutationConfig {
+        split_parallel: 0.5,
+        add_dummy: 0.5,
+        add_decap: 0.8,
+        jitter_sizes: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ota_corpus_parallel_export_is_byte_identical(
+        topo in 0usize..6,
+        bias in 0usize..4,
+        seed in 0u64..1000,
+        mutate_seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let base = ota::generate(ota::OtaSpec {
+            topology: ota::OtaTopology::ALL[topo],
+            pmos_input: seed % 2 == 1,
+            bias: ota::BiasStyle::ALL[bias],
+            seed,
+        });
+        assert_parallel_matches_serial(
+            Task::OtaBias, &ota_classes::NAMES, &base.circuit, threads,
+        );
+        // Same corpus entry after functionality-preserving mutate edits.
+        let edited = mutate::apply(base, mutation(), mutate_seed).circuit;
+        assert_parallel_matches_serial(Task::OtaBias, &ota_classes::NAMES, &edited, threads);
+    }
+
+    #[test]
+    fn rf_corpus_parallel_export_is_byte_identical(
+        lna in 0usize..3,
+        mixer in 0usize..3,
+        osc in 0usize..3,
+        seed in 0u64..1000,
+        mutate_seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let base = rf::generate(rf::ReceiverSpec {
+            lna: rf::LnaKind::ALL[lna],
+            mixer: rf::MixerKind::ALL[mixer],
+            osc: rf::OscKind::ALL[osc],
+            seed,
+        });
+        assert_parallel_matches_serial(Task::Rf, &rf_classes::NAMES, &base.circuit, threads);
+        let edited = mutate::apply(base, mutation(), mutate_seed).circuit;
+        assert_parallel_matches_serial(Task::Rf, &rf_classes::NAMES, &edited, threads);
+    }
+}
+
+#[test]
+fn sc_filter_parallel_export_is_byte_identical() {
+    let base = sc_filter::generate(5);
+    for threads in [2, 4, 8] {
+        assert_parallel_matches_serial(Task::Rf, &rf_classes::NAMES, &base.circuit, threads);
+    }
+    let edited = mutate::apply(base, mutation(), 91).circuit;
+    assert_parallel_matches_serial(Task::Rf, &rf_classes::NAMES, &edited, 4);
+}
+
+#[test]
+fn phased_array_parallel_export_is_byte_identical() {
+    let base = phased_array::generate_with_channels(2, 0);
+    for threads in [2, 4, 8] {
+        assert_parallel_matches_serial(Task::Rf, &rf_classes::NAMES, &base.circuit, threads);
+    }
+    let edited = mutate::apply(base, mutation(), 92).circuit;
+    assert_parallel_matches_serial(Task::Rf, &rf_classes::NAMES, &edited, 4);
+}

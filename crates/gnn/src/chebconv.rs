@@ -6,6 +6,7 @@
 //! bounded-degree graph, as the paper emphasizes.
 
 use crate::{GnnError, Result};
+use gana_par::Parallelism;
 use gana_sparse::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -76,15 +77,25 @@ impl ChebConv {
     }
 
     /// Computes the Chebyshev basis `[T_0(L̂)X, …, T_{K−1}(L̂)X]`.
-    fn chebyshev_basis(&self, laplacian: &CsrMatrix, x: &DenseMatrix) -> Result<Vec<DenseMatrix>> {
+    ///
+    /// The recurrence itself is sequential in `k` (each `T_k` needs
+    /// `T_{k−1}`), so the thread budget is spent *inside* each of the `K`
+    /// sparse–dense products, tiled by output rows — which is bit-identical
+    /// to the serial product at any thread count.
+    fn chebyshev_basis(
+        &self,
+        par: &Parallelism,
+        laplacian: &CsrMatrix,
+        x: &DenseMatrix,
+    ) -> Result<Vec<DenseMatrix>> {
         let mut basis = Vec::with_capacity(self.filter_order());
         basis.push(x.clone());
         if self.filter_order() > 1 {
-            basis.push(laplacian.mul_dense(x)?);
+            basis.push(laplacian.mul_dense_par(par, x)?);
         }
         for k in 2..self.filter_order() {
             // T_k = 2 L̂ T_{k-1} − T_{k-2}.
-            let mut t = laplacian.mul_dense(&basis[k - 1])?;
+            let mut t = laplacian.mul_dense_par(par, &basis[k - 1])?;
             t.scale_in_place(2.0);
             t.axpy(-1.0, &basis[k - 2])?;
             basis.push(t);
@@ -103,6 +114,23 @@ impl ChebConv {
         laplacian: &CsrMatrix,
         x: &DenseMatrix,
     ) -> Result<(DenseMatrix, ChebConvCache)> {
+        self.forward_with(&Parallelism::serial(), laplacian, x)
+    }
+
+    /// [`ChebConv::forward`] spending the given intra-request thread budget
+    /// on the `K` sparse–dense products. The output is bit-identical to the
+    /// serial forward at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `x` has the wrong number of
+    /// columns or does not match the Laplacian's vertex count.
+    pub fn forward_with(
+        &self,
+        par: &Parallelism,
+        laplacian: &CsrMatrix,
+        x: &DenseMatrix,
+    ) -> Result<(DenseMatrix, ChebConvCache)> {
         if x.cols() != self.in_dim {
             return Err(GnnError::ShapeMismatch(format!(
                 "chebconv expects {} input features, got {}",
@@ -118,7 +146,7 @@ impl ChebConv {
                 laplacian.cols()
             )));
         }
-        let basis = self.chebyshev_basis(laplacian, x)?;
+        let basis = self.chebyshev_basis(par, laplacian, x)?;
         let mut y = DenseMatrix::zeros(x.rows(), self.out_dim);
         for (t, w) in basis.iter().zip(&self.weights) {
             let term = t.matmul(w)?;
@@ -278,7 +306,9 @@ mod tests {
         let conv = ChebConv::new(1, 1, 4, &mut r).expect("valid");
         let l = ring_laplacian(5);
         let x = DenseMatrix::from_fn(5, 1, |i, _| (i as f64) - 2.0);
-        let basis = conv.chebyshev_basis(&l, &x).expect("shapes ok");
+        let basis = conv
+            .chebyshev_basis(&Parallelism::serial(), &l, &x)
+            .expect("shapes ok");
 
         let ld = l.to_dense();
         let eye = DenseMatrix::identity(5);

@@ -17,6 +17,7 @@ use crate::dropout::Dropout;
 use crate::loss::{cross_entropy, softmax};
 use crate::sample::GraphSample;
 use crate::{GnnError, Result};
+use gana_par::Parallelism;
 use gana_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -236,6 +237,18 @@ impl GcnModel {
         Ok(self.predict_probabilities(sample)?.1)
     }
 
+    /// [`GcnModel::predict`] spending an intra-request thread budget on the
+    /// Chebyshev sparse matmuls. Bit-identical to [`GcnModel::predict`] at
+    /// any thread count (`gana-par`'s determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
+    /// model configuration.
+    pub fn predict_with(&self, par: &Parallelism, sample: &GraphSample) -> Result<Vec<usize>> {
+        Ok(self.predict_probabilities_with(par, sample)?.1)
+    }
+
     /// Inference returning `(per-vertex class probabilities, predictions)`.
     ///
     /// # Errors
@@ -243,10 +256,25 @@ impl GcnModel {
     /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
     /// model configuration.
     pub fn predict_probabilities(&self, sample: &GraphSample) -> Result<(DenseMatrix, Vec<usize>)> {
+        self.predict_probabilities_with(&Parallelism::serial(), sample)
+    }
+
+    /// [`GcnModel::predict_probabilities`] spending an intra-request thread
+    /// budget on the Chebyshev sparse matmuls (bit-identical output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
+    /// model configuration.
+    pub fn predict_probabilities_with(
+        &self,
+        par: &Parallelism,
+        sample: &GraphSample,
+    ) -> Result<(DenseMatrix, Vec<usize>)> {
         self.check_sample(sample)?;
         let mut x = sample.features.clone();
         for (l, conv) in self.convs.iter().enumerate() {
-            let (y, _) = conv.forward(sample.coarsening.laplacian(l), &x)?;
+            let (y, _) = conv.forward_with(par, sample.coarsening.laplacian(l), &x)?;
             let y = if self.config.batch_norm {
                 self.batch_norms[l].forward_eval(&y)?
             } else {
@@ -647,6 +675,19 @@ mod tests {
         let preds = model.predict(&sample).expect("compatible");
         assert_eq!(preds.len(), sample.vertex_count());
         assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn parallel_predict_is_bit_identical_to_serial() {
+        let model = GcnModel::new(tiny_config()).expect("valid");
+        let sample = tiny_sample();
+        let (serial_probs, serial_preds) = model.predict_probabilities(&sample).expect("ok");
+        for threads in [2, 4, 8] {
+            let par = Parallelism::new(threads);
+            let (probs, preds) = model.predict_probabilities_with(&par, &sample).expect("ok");
+            assert_eq!(serial_probs, probs, "threads={threads}");
+            assert_eq!(serial_preds, preds, "threads={threads}");
+        }
     }
 
     #[test]

@@ -39,9 +39,9 @@ use crate::hash128::Digest;
 use gana_core::{Pipeline, RecognizedDesign, Result};
 use gana_graph::{CircuitGraph, GraphOptions};
 use gana_netlist::Circuit;
-use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Prior state an update is computed against: the previous recognized
@@ -231,8 +231,17 @@ impl IncrementalPipeline {
     pub fn annotate_full(&self, circuit: &Circuit) -> Result<Baseline> {
         let clean = self.pipeline.preprocess_only(circuit)?;
         let (graph, sample) = self.pipeline.prepare_preprocessed(&clean)?;
-        let gcn_class = self.pipeline.model().predict(&sample)?;
-        let design = self.finish_cached(clean, graph, gcn_class, &Cell::new(0), &Cell::new(0));
+        let gcn_class = self
+            .pipeline
+            .model()
+            .predict_with(self.pipeline.parallelism(), &sample)?;
+        let design = self.finish_cached(
+            clean,
+            graph,
+            gcn_class,
+            &AtomicU64::new(0),
+            &AtomicU64::new(0),
+        );
         Ok(Baseline::from_design(design))
     }
 
@@ -351,7 +360,10 @@ impl IncrementalPipeline {
             dirty_devices = elements.len();
             let sub = induced_circuit(&clean, &graph, &elements);
             let (sub_graph, sub_sample) = self.pipeline.prepare_preprocessed(&sub)?;
-            let sub_class = self.pipeline.model().predict(&sub_sample)?;
+            let sub_class = self
+                .pipeline
+                .model()
+                .predict_with(self.pipeline.parallelism(), &sub_sample)?;
             inferred_vertices = sub_graph.vertex_count();
             for (v, &class) in sub_class.iter().enumerate().take(sub_graph.vertex_count()) {
                 if let Some(name) = sub_graph.device_name(v) {
@@ -384,8 +396,8 @@ impl IncrementalPipeline {
             })
             .collect();
 
-        let hits = Cell::new(0u64);
-        let misses = Cell::new(0u64);
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
         let design = self.finish_cached(clean, graph, gcn_class, &hits, &misses);
         let stats = UpdateStats {
             full_splice: false,
@@ -394,8 +406,8 @@ impl IncrementalPipeline {
             clean_regions,
             dirty_devices,
             total_devices,
-            cache_hits: hits.get(),
-            cache_misses: misses.get(),
+            cache_hits: hits.load(Ordering::Relaxed),
+            cache_misses: misses.load(Ordering::Relaxed),
             spliced_blocks: 0,
             inferred_vertices,
         };
@@ -406,27 +418,31 @@ impl IncrementalPipeline {
     }
 
     /// Postprocessing with per-sub-block VF2 answered from the region cache.
+    ///
+    /// Sub-blocks annotate concurrently over the pipeline's thread budget
+    /// (the cache is internally locked; the counters are atomics), so hit
+    /// and miss totals are exact at any thread count.
     fn finish_cached(
         &self,
         circuit: Circuit,
         graph: CircuitGraph,
         gcn_class: Vec<usize>,
-        hits: &Cell<u64>,
-        misses: &Cell<u64>,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
     ) -> RecognizedDesign {
         let library = self.pipeline.library_arc();
         let cache = Arc::clone(&self.cache);
         self.pipeline
-            .finish_with_annotator(circuit, graph, gcn_class, &mut |sub, sub_graph| {
+            .finish_with_annotator(circuit, graph, gcn_class, &|par, sub, sub_graph| {
                 let key = block_key(sub);
                 let devices: Vec<String> =
                     sub.devices().iter().map(|d| d.name().to_string()).collect();
                 if let Some(block) = cache.get(key, &devices) {
-                    hits.set(hits.get() + 1);
+                    hits.fetch_add(1, Ordering::Relaxed);
                     return block.annotation.clone();
                 }
-                misses.set(misses.get() + 1);
-                let annotation = gana_primitives::annotate(&library, sub, sub_graph);
+                misses.fetch_add(1, Ordering::Relaxed);
+                let annotation = gana_primitives::annotate_with(par, &library, sub, sub_graph);
                 cache.insert(
                     key,
                     CachedBlock {

@@ -253,6 +253,23 @@ fn ota_structural_edit_is_equivalent_with_one_dirty_ring() {
 }
 
 #[test]
+fn parallel_incremental_update_matches_serial_cold_run() {
+    // The intra-request pool is shared by the incremental dirty-region
+    // path: an update running at 4 threads must still reproduce the cold
+    // run byte for byte (the bucket-crossing edit forces the partial path,
+    // so the parallel GCN re-inference actually executes; cold-vs-serial
+    // identity is covered by gana-core's parallel_equivalence suite).
+    let base = ota_base();
+    let edited = cross_a_bucket(&base.circuit);
+    let spliced = assert_equivalent(
+        pipeline(Task::OtaBias, &ota_classes::NAMES).with_threads(4),
+        &base.circuit,
+        &edited,
+    );
+    assert!(!spliced, "bucket crossing must take the partial path");
+}
+
+#[test]
 fn ota_structural_edit_is_equivalent() {
     // Load caps on the signal path: a real structural edit that takes the
     // partial (dirty-region) path, not the full splice.

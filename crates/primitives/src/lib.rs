@@ -44,4 +44,4 @@ mod matcher;
 
 pub use constraints::{Constraint, ConstraintKind};
 pub use library::{Primitive, PrimitiveLibrary};
-pub use matcher::{annotate, AnnotationResult, PrimitiveInstance};
+pub use matcher::{annotate, annotate_with, AnnotationResult, PrimitiveInstance};

@@ -13,6 +13,7 @@ use crate::library::{Primitive, PrimitiveLibrary};
 use gana_graph::vf2::{find_matches, MatchOptions, Vf2Graph};
 use gana_graph::CircuitGraph;
 use gana_netlist::Circuit;
+use gana_par::Parallelism;
 use std::collections::BTreeSet;
 
 /// One recognized primitive instance.
@@ -66,16 +67,37 @@ pub fn annotate(
     circuit: &Circuit,
     graph: &CircuitGraph,
 ) -> AnnotationResult {
+    annotate_with(&Parallelism::serial(), library, circuit, graph)
+}
+
+/// [`annotate`] spending an intra-request thread budget on the per-template
+/// VF2 searches.
+///
+/// Match *finding* is claim-independent (the VF2 search never looks at what
+/// other templates matched), so the searches fan out across the budget and
+/// the match lists are merged back in template-priority order; the greedy
+/// claim pass then runs serially over that order. The result is
+/// bit-identical to [`annotate`] at any thread count.
+pub fn annotate_with(
+    par: &Parallelism,
+    library: &PrimitiveLibrary,
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+) -> AnnotationResult {
     let target = Vf2Graph::from_circuit(circuit, graph, false);
     let mut claimed: BTreeSet<usize> = BTreeSet::new();
     let mut instances = Vec::new();
 
-    for primitive in library.by_priority() {
+    let templates = library.by_priority();
+    let match_lists = par.map(&templates, |_, primitive| {
         let options = MatchOptions {
             symmetric_mos: !primitive.strict_source_drain(),
             ..MatchOptions::default()
         };
-        let matches = find_matches(primitive.pattern(), &target, options);
+        find_matches(primitive.pattern(), &target, options)
+    });
+
+    for (primitive, matches) in templates.iter().zip(match_lists) {
         for m in matches {
             let elements = m.element_vertices(primitive.pattern());
             if elements.iter().any(|v| claimed.contains(v)) {
@@ -239,6 +261,19 @@ M5 voutp vbp vdd! vdd! PMOS
         let result = annotate_src("C7 x y 1p\n");
         assert_eq!(result.unclaimed, vec!["C7"]);
         assert_eq!(result.coverage(), 0.0);
+    }
+
+    #[test]
+    fn parallel_annotate_is_identical_to_serial() {
+        let circuit = parse(FIG3_OTA).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("templates parse");
+        let serial = annotate(&library, &circuit, &graph);
+        for threads in [2, 4, 8] {
+            let par = Parallelism::new(threads);
+            let parallel = annotate_with(&par, &library, &circuit, &graph);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::metrics::{Metrics, StatsSnapshot};
 use gana_core::{Pipeline, Task};
 use gana_incremental::{Baseline, IncrementalPipeline, RegionCache};
 use gana_netlist::{flatten, parse_library, Circuit};
+use gana_par::Parallelism;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -56,6 +57,12 @@ pub struct EngineConfig {
     /// map must stay bounded; an `open` past the limit is rejected with a
     /// structured [`JobError::SessionLimit`].
     pub max_sessions: usize,
+    /// Intra-request thread budget per worker (`0` = auto). Auto divides the
+    /// machine between the request-level workers and each request's internal
+    /// parallelism via [`gana_par::joint_budget`], so
+    /// `workers × intra_threads` never oversubscribes the box. Explicit
+    /// values are capped to that same joint budget.
+    pub intra_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +75,7 @@ impl Default for EngineConfig {
             result_cache_capacity: 1024,
             region_cache_bytes: IncrementalPipeline::DEFAULT_CACHE_BYTES,
             max_sessions: 64,
+            intra_threads: 0,
         }
     }
 }
@@ -110,6 +118,19 @@ impl ResultCache {
     }
 }
 
+/// Resolves the per-worker intra-request thread budget: `0` asks for the
+/// automatic [`gana_par::joint_budget`]; explicit requests are honored but
+/// capped to that same budget, so `workers × intra` can never oversubscribe
+/// the machine regardless of configuration.
+fn effective_intra_threads(workers: usize, requested: usize, cores: usize) -> usize {
+    let cap = gana_par::joint_budget(workers, cores);
+    if requested == 0 {
+        cap
+    } else {
+        requested.min(cap).max(1)
+    }
+}
+
 fn cache_key(task: Task, netlist: &str) -> u64 {
     let mut hasher = DefaultHasher::new();
     // Task isn't Hash; its Debug form is stable and two-valued.
@@ -147,6 +168,9 @@ struct SessionSlot {
 struct Shared {
     pipelines: Vec<(Task, Pipeline)>,
     incremental: Vec<(Task, IncrementalPipeline)>,
+    /// One budget clone per engine: every pipeline shares its gauge, so
+    /// `stats` sees aggregate intra-request pool pressure across workers.
+    intra: Parallelism,
     region_cache: Arc<RegionCache>,
     sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
     max_sessions: usize,
@@ -229,12 +253,31 @@ impl EngineBuilder {
         self
     }
 
+    /// Overrides the per-worker intra-request thread budget (`0` = auto).
+    /// The effective value is always capped so `workers × intra` stays
+    /// within the machine's joint budget.
+    pub fn intra_threads(mut self, threads: usize) -> EngineBuilder {
+        self.config.intra_threads = threads;
+        self
+    }
+
     /// Spawns the worker pool and returns the running engine.
     pub fn build(self) -> Engine {
         let workers = self.config.workers.max(1);
-        let region_cache = Arc::new(RegionCache::new(self.config.region_cache_bytes));
-        let incremental = self
+        let intra = Parallelism::new(effective_intra_threads(
+            workers,
+            self.config.intra_threads,
+            gana_par::available_threads(),
+        ));
+        // Clone the shared budget into every registered pipeline: clones
+        // share one gauge, so stats aggregate across all workers.
+        let pipelines: Vec<(Task, Pipeline)> = self
             .pipelines
+            .into_iter()
+            .map(|(task, pipeline)| (task, pipeline.with_parallelism(intra.clone())))
+            .collect();
+        let region_cache = Arc::new(RegionCache::new(self.config.region_cache_bytes));
+        let incremental = pipelines
             .iter()
             .map(|(task, pipeline)| {
                 (
@@ -244,8 +287,9 @@ impl EngineBuilder {
             })
             .collect();
         let shared = Arc::new(Shared {
-            pipelines: self.pipelines,
+            pipelines,
             incremental,
+            intra,
             region_cache,
             sessions: Mutex::new(HashMap::new()),
             max_sessions: self.config.max_sessions,
@@ -502,7 +546,13 @@ impl Engine {
             self.shared.workers,
             self.session_count(),
             self.shared.region_cache.stats(),
+            self.shared.intra.gauge(),
         )
+    }
+
+    /// The intra-request thread budget each worker's pipeline runs with.
+    pub fn intra_threads(&self) -> usize {
+        self.shared.intra.threads()
     }
 
     /// Jobs waiting in the queue right now.
@@ -937,6 +987,50 @@ mod tests {
         }
         assert_eq!(engine.session_count(), 1);
         engine.shutdown();
+    }
+
+    #[test]
+    fn joint_budget_caps_workers_times_intra() {
+        // For every (workers, cores, requested) combination, the effective
+        // intra budget must keep workers × intra within the joint budget's
+        // oversubscription ceiling — even when the caller asks for more.
+        for cores in 1..=16 {
+            for workers in 1..=16 {
+                for requested in [0, 1, 3, 64] {
+                    let intra = effective_intra_threads(workers, requested, cores);
+                    assert!(intra >= 1);
+                    assert!(
+                        workers * intra < cores + workers,
+                        "workers={workers} cores={cores} requested={requested} intra={intra}"
+                    );
+                    if requested > 0 {
+                        assert!(intra <= requested, "explicit requests are a ceiling");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_expose_intra_pool_gauge() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(2)
+            .intra_threads(3)
+            .build();
+        let budget = engine.intra_threads();
+        assert!((1..=3).contains(&budget));
+        let handle = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("accepted");
+        handle.wait().expect("annotates");
+        let stats = engine.stats();
+        assert_eq!(stats.intra_pool_size, budget);
+        // Idle engine: the shared gauge must have settled back to zero.
+        assert_eq!(stats.intra_busy, 0);
+        assert_eq!(stats.intra_queued, 0);
+        let wire = stats.to_wire();
+        assert!(wire.contains("intra_pool_size="));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! regressions and overload.
 
 use gana_incremental::RegionCacheStats;
+use gana_par::GaugeSnapshot;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -102,16 +103,21 @@ pub struct Metrics {
 impl Metrics {
     /// Immutable snapshot (counters may lag each other by in-flight jobs).
     /// `sessions` and `region` come from the engine's session store and
-    /// shared region cache.
+    /// shared region cache; `intra` from the shared intra-request pool
+    /// gauge.
     pub fn snapshot(
         &self,
         queue_depth: usize,
         workers: usize,
         sessions: usize,
         region: RegionCacheStats,
+        intra: GaugeSnapshot,
     ) -> StatsSnapshot {
         StatsSnapshot {
             sessions,
+            intra_pool_size: intra.size,
+            intra_busy: intra.busy,
+            intra_queued: intra.queued,
             region_hits: region.hits,
             region_misses: region.misses,
             region_evictions: region.evictions,
@@ -170,6 +176,12 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Per-worker intra-request thread budget.
+    pub intra_pool_size: usize,
+    /// Intra-request pool workers currently executing items (all workers).
+    pub intra_busy: usize,
+    /// Intra-request items claimed by no worker yet (all workers).
+    pub intra_queued: usize,
     /// p50 queue wait (µs).
     pub queue_wait_p50_us: u64,
     /// p95 queue wait (µs).
@@ -197,7 +209,8 @@ impl StatsSnapshot {
             "submitted={} completed={} failed={} rejected={} cache_hits={} expired={} \
              sessions={} region_hits={} region_misses={} region_evictions={} \
              region_splices={} region_bytes={} \
-             queue_depth={} workers={} queue_wait_p50_us={} queue_wait_p95_us={} \
+             queue_depth={} workers={} intra_pool_size={} intra_busy={} intra_queued={} \
+             queue_wait_p50_us={} queue_wait_p95_us={} \
              parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
              total_p50_us={} total_p95_us={} total_mean_us={}",
             self.submitted,
@@ -214,6 +227,9 @@ impl StatsSnapshot {
             self.region_bytes,
             self.queue_depth,
             self.workers,
+            self.intra_pool_size,
+            self.intra_busy,
+            self.intra_queued,
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
             self.parse_p50_us,
@@ -247,6 +263,9 @@ impl StatsSnapshot {
                 "region_bytes" => snap.region_bytes = n,
                 "queue_depth" => snap.queue_depth = n as usize,
                 "workers" => snap.workers = n as usize,
+                "intra_pool_size" => snap.intra_pool_size = n as usize,
+                "intra_busy" => snap.intra_busy = n as usize,
+                "intra_queued" => snap.intra_queued = n as usize,
                 "queue_wait_p50_us" => snap.queue_wait_p50_us = n,
                 "queue_wait_p95_us" => snap.queue_wait_p95_us = n,
                 "parse_p50_us" => snap.parse_p50_us = n,
@@ -269,7 +288,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "jobs: {} submitted, {} completed, {} failed, {} rejected, {} cache hits, \
              {} expired | sessions: {} open, region cache {}/{} hit, {} spliced, \
-             {} B, {} evicted | queue: {} deep, {} workers | latency µs: \
+             {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
+             {} threads/worker, {} busy, {} queued | latency µs: \
              wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
             self.submitted,
             self.completed,
@@ -285,6 +305,9 @@ impl fmt::Display for StatsSnapshot {
             self.region_evictions,
             self.queue_depth,
             self.workers,
+            self.intra_pool_size,
+            self.intra_busy,
+            self.intra_queued,
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
             self.parse_p50_us,
@@ -330,7 +353,20 @@ mod tests {
             bytes: 4096,
             entries: 6,
         };
-        let snap = metrics.snapshot(3, 8, 2, region);
+        let snap = metrics.snapshot(
+            3,
+            8,
+            2,
+            region,
+            GaugeSnapshot {
+                size: 2,
+                busy: 1,
+                queued: 5,
+            },
+        );
+        assert_eq!(snap.intra_pool_size, 2);
+        assert_eq!(snap.intra_busy, 1);
+        assert_eq!(snap.intra_queued, 5);
         let wire = snap.to_wire();
         let back = StatsSnapshot::from_wire(&wire).expect("parses");
         assert_eq!(snap, back);

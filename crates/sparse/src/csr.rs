@@ -1,5 +1,10 @@
 use crate::{CooMatrix, DenseMatrix, Result, SparseError};
+use gana_par::Parallelism;
 use serde::{Deserialize, Serialize};
+
+/// Smallest number of output rows a parallel spmm worker takes per claim;
+/// below this the spawn/claim overhead dominates the row arithmetic.
+const PAR_ROW_GRAIN: usize = 64;
 
 /// A compressed-sparse-row matrix of `f64`.
 ///
@@ -224,6 +229,52 @@ impl CsrMatrix {
                     *d += v * s;
                 }
             }
+        }
+        Ok(out)
+    }
+
+    /// Row-parallel [`CsrMatrix::mul_dense`] over the given thread budget.
+    ///
+    /// The output is tiled by whole rows, so every row's accumulation runs
+    /// in exactly the serial kernel's order and the result is
+    /// **bit-identical** to [`CsrMatrix::mul_dense`] at any thread count
+    /// (see `gana-par`'s determinism contract). With a serial budget this
+    /// delegates to the serial kernel directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
+    pub fn mul_dense_par(&self, par: &Parallelism, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if par.is_serial() || self.rows <= PAR_ROW_GRAIN {
+            return self.mul_dense(x);
+        }
+        if x.rows() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: x.shape(),
+                op: "mul_dense_par",
+            });
+        }
+        let cols = x.cols();
+        let blocks = par.map_chunks(self.rows, PAR_ROW_GRAIN, |range| {
+            let mut block = vec![0.0; (range.end - range.start) * cols];
+            for r in range.clone() {
+                let local = r - range.start;
+                let dst = &mut block[local * cols..(local + 1) * cols];
+                for i in self.indptr[r]..self.indptr[r + 1] {
+                    let v = self.values[i];
+                    let src = x.row(self.indices[i]);
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += v * s;
+                    }
+                }
+            }
+            (range, block)
+        });
+        let mut out = DenseMatrix::zeros(self.rows, cols);
+        let flat = out.as_mut_slice();
+        for (range, block) in blocks {
+            flat[range.start * cols..range.end * cols].copy_from_slice(&block);
         }
         Ok(out)
     }
@@ -499,6 +550,43 @@ mod tests {
     fn submatrix_rejects_bad_index() {
         let a = sample();
         assert!(a.submatrix(&[5]).is_err());
+    }
+
+    #[test]
+    fn mul_dense_par_is_bit_identical_to_serial() {
+        // Pseudo-random matrix big enough to exceed the parallel row grain
+        // and split across several chunks.
+        let n = 300;
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for _ in 0..5 {
+                let c = (next() % n as u64) as usize;
+                let v = (next() % 1000) as f64 / 37.0 - 13.0;
+                coo.push(r, c, v).expect("in bounds");
+            }
+        }
+        let a = coo.to_csr();
+        let x = DenseMatrix::from_fn(n, 7, |i, j| ((i * 31 + j * 17) % 101) as f64 / 9.0);
+        let serial = a.mul_dense(&x).expect("shapes match");
+        for threads in [1, 2, 3, 8] {
+            let par = Parallelism::new(threads);
+            let parallel = a.mul_dense_par(&par, &x).expect("shapes match");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mul_dense_par_rejects_shape_mismatch() {
+        let a = sample();
+        let par = Parallelism::new(2);
+        assert!(a.mul_dense_par(&par, &DenseMatrix::zeros(5, 2)).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Offline vendored stand-in for `proptest`.
 //!
 //! Implements the subset this workspace's property tests use: the
-//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, the [`Strategy`]
-//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies,
 //! [`strategy::Just`], `any::<T>()`, [`collection::vec`], and string
 //! strategies from a small regex subset (`[...]` classes, groups, `|`,
 //! `?`/`*`/`+`/`{m,n}` quantifiers).
