@@ -9,8 +9,8 @@ set -eu
 echo "==> cargo fmt --check (workspace)"
 cargo fmt --check
 
-echo "==> cargo clippy -D warnings (workspace)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings -W clippy::perf (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::perf
 
 echo "==> cargo build --release"
 cargo build --release
@@ -29,6 +29,37 @@ echo "==> bench smoke (report-only -> BENCH_pipeline.json)"
 # gates: a bench failure is surfaced without failing CI.
 if cargo run --release -p gana-bench --bin bench-smoke; then
     echo "bench artifact: BENCH_pipeline.json"
+    echo "==> bench regression check (report-only, vs committed baseline)"
+    # Diff fresh medians against the baseline committed at HEAD. Entries
+    # regressing >10% are printed for a human to judge; shared runners make
+    # absolute timings flaky, so this never fails the build.
+    if git show HEAD:BENCH_pipeline.json >/tmp/bench_baseline.json 2>/dev/null; then
+        awk '
+            function parse(line) {
+                name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
+                med = line; sub(/.*"median_ns": /, "", med); sub(/[^0-9].*/, "", med)
+                return name "\t" med
+            }
+            /"median_ns"/ {
+                split(parse($0), kv, "\t")
+                if (FILENAME == ARGV[1]) base[kv[1]] = kv[2]
+                else fresh[kv[1]] = kv[2]
+            }
+            END {
+                worst = 0
+                for (n in fresh) {
+                    if (!(n in base) || base[n] == 0) continue
+                    pct = (fresh[n] - base[n]) * 100.0 / base[n]
+                    if (pct > 10)
+                        printf "REGRESSION %s: %d -> %d ns (+%.1f%%)\n", n, base[n], fresh[n], pct
+                    if (pct > worst) worst = pct
+                }
+                if (worst <= 10) print "no bench regressed >10% vs committed baseline"
+            }
+        ' /tmp/bench_baseline.json BENCH_pipeline.json || true
+    else
+        echo "no committed BENCH_pipeline.json baseline at HEAD; skipping diff"
+    fi
 else
     echo "WARNING: bench smoke failed (report-only stage, not gating)"
 fi

@@ -11,7 +11,11 @@
 //! flaky.
 //!
 //! Output schema: `{ "<bench_name>": { "median_ns": u64, "iters": u64,
-//! "commit": "<short-sha>" } }`.
+//! "threads": u64, "nproc": u64, "commit": "<short-sha>" } }`. `threads`
+//! is the intra-request thread count the bench asked for; `nproc` is the
+//! parallelism the runner actually had. A 4-thread bench on a 1-core
+//! runner measures scheduling overhead, not speedup, so the summary only
+//! frames the multi-thread pair as a speedup when `nproc > 1`.
 
 use gana_bench::{ota_pipeline, receiver, rf_pipeline, small_circuit};
 use gana_datasets::phased_array;
@@ -29,12 +33,15 @@ const MIN_ITERS: usize = 3;
 struct Measurement {
     median_ns: u128,
     iters: usize,
+    threads: usize,
 }
 
 /// Runs `f` once to warm caches, then repeatedly until the time budget or
 /// iteration cap is hit (always at least [`MIN_ITERS`]), and reports the
-/// median wall-clock time per iteration.
-fn measure<F: FnMut()>(mut f: F) -> Measurement {
+/// median wall-clock time per iteration. `threads` is recorded verbatim in
+/// the artifact so a reader can tell a 1-thread entry from a 4-thread one
+/// without decoding the bench name.
+fn measure<F: FnMut()>(threads: usize, mut f: F) -> Measurement {
     f();
     let mut times: Vec<u128> = Vec::new();
     let start = Instant::now();
@@ -47,7 +54,17 @@ fn measure<F: FnMut()>(mut f: F) -> Measurement {
     Measurement {
         median_ns: times[times.len() / 2],
         iters: times.len(),
+        threads,
     }
+}
+
+/// The parallelism the runner actually offers, as opposed to what a bench
+/// asks for. Recorded per entry so artifacts from different CI boxes stay
+/// interpretable.
+fn nproc() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Resizes one transistor: the canonical single-device edit whose
@@ -76,13 +93,14 @@ fn short_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn to_json(results: &BTreeMap<String, Measurement>, commit: &str) -> String {
+fn to_json(results: &BTreeMap<String, Measurement>, commit: &str, nproc: usize) -> String {
     let entries: Vec<String> = results
         .iter()
         .map(|(name, m)| {
             format!(
-                "  \"{name}\": {{ \"median_ns\": {}, \"iters\": {}, \"commit\": \"{commit}\" }}",
-                m.median_ns, m.iters
+                "  \"{name}\": {{ \"median_ns\": {}, \"iters\": {}, \"threads\": {}, \
+                 \"nproc\": {nproc}, \"commit\": \"{commit}\" }}",
+                m.median_ns, m.iters, m.threads
             )
         })
         .collect();
@@ -102,7 +120,7 @@ fn main() {
     eprintln!("bench: cold_annotate_ota");
     results.insert(
         "cold_annotate_ota".to_string(),
-        measure(|| {
+        measure(1, || {
             pipeline.recognize(&ota.circuit).expect("runs");
         }),
     );
@@ -112,7 +130,7 @@ fn main() {
     eprintln!("bench: cold_annotate_rf_receiver");
     results.insert(
         "cold_annotate_rf_receiver".to_string(),
-        measure(|| {
+        measure(1, || {
             pipeline.recognize(&rx.circuit).expect("runs");
         }),
     );
@@ -125,7 +143,7 @@ fn main() {
         eprintln!("bench: cold_annotate_phased_array_{threads}t");
         results.insert(
             format!("cold_annotate_phased_array_{threads}t"),
-            measure(|| {
+            measure(threads, || {
                 pipeline.recognize(&pa.circuit).expect("runs");
             }),
         );
@@ -141,12 +159,30 @@ fn main() {
     eprintln!("bench: incremental_reannotate_phased_array");
     results.insert(
         "incremental_reannotate_phased_array".to_string(),
-        measure(|| {
+        measure(1, || {
             incremental.update(&baseline, &edited).expect("runs");
         }),
     );
 
-    let json = to_json(&results, &short_commit());
+    let nproc = nproc();
+    if let (Some(t1), Some(t4)) = (
+        results.get("cold_annotate_phased_array_1t"),
+        results.get("cold_annotate_phased_array_4t"),
+    ) {
+        if nproc > 1 {
+            eprintln!(
+                "phased array intra-request speedup 4t vs 1t: {:.2}x (nproc={nproc})",
+                t1.median_ns as f64 / t4.median_ns as f64
+            );
+        } else {
+            eprintln!(
+                "nproc=1: not framing the 4t/1t pair as a speedup — on a single-core \
+                 runner the 4-thread number measures scheduling overhead, not parallelism"
+            );
+        }
+    }
+
+    let json = to_json(&results, &short_commit(), nproc);
     std::fs::write(&out_path, &json).expect("write BENCH artifact");
     println!("{json}");
     eprintln!("wrote {out_path}");

@@ -53,10 +53,12 @@ mod pipeline;
 pub mod post1;
 pub mod post2;
 pub mod report;
+mod workspace;
 
 pub use error::CoreError;
 pub use hierarchy::{HierarchyNode, NodeKind};
 pub use pipeline::{Pipeline, RecognizedDesign, SubBlock, Task};
+pub use workspace::Workspace;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

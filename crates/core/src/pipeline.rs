@@ -1,6 +1,7 @@
 //! The end-to-end GANA pipeline.
 
 use crate::hierarchy::{self, HierarchyNode};
+use crate::workspace::Workspace;
 use crate::{post1, post2, Result};
 use gana_gnn::{GcnModel, GraphSample};
 use gana_graph::{CircuitGraph, GraphOptions, VertexId};
@@ -109,6 +110,7 @@ pub struct Pipeline {
     preprocess_options: PreprocessOptions,
     coarsen_seed: u64,
     parallelism: Parallelism,
+    workspace: Arc<Workspace>,
 }
 
 impl Pipeline {
@@ -140,6 +142,7 @@ impl Pipeline {
             preprocess_options: PreprocessOptions::default(),
             coarsen_seed: 0,
             parallelism: Parallelism::serial(),
+            workspace: Arc::new(Workspace::new()),
         }
     }
 
@@ -167,6 +170,21 @@ impl Pipeline {
     /// The intra-request thread budget.
     pub fn parallelism(&self) -> &Parallelism {
         &self.parallelism
+    }
+
+    /// Attaches a shared [`Workspace`] whose scratch buffers survive across
+    /// requests. Pipelines created without one get a private workspace, so
+    /// back-to-back calls on a single `Pipeline` already reuse buffers; a
+    /// serving engine passes one workspace per worker instead, keeping the
+    /// steady-state footprint at one buffer set per thread.
+    pub fn with_workspace(mut self, workspace: Arc<Workspace>) -> Pipeline {
+        self.workspace = workspace;
+        self
+    }
+
+    /// The annotation workspace (scratch buffers + prune/footprint counters).
+    pub fn workspace(&self) -> &Arc<Workspace> {
+        &self.workspace
     }
 
     /// Overrides the coarsening seed used when preparing inference samples.
@@ -255,8 +273,21 @@ impl Pipeline {
     /// Propagates preprocessing and model errors.
     pub fn recognize(&self, circuit: &Circuit) -> Result<RecognizedDesign> {
         let (clean, graph, sample) = self.prepare(circuit)?;
-        let gcn_class = self.model.predict_with(&self.parallelism, &sample)?;
+        let gcn_class = self.predict_sample(&sample)?;
         Ok(self.finish(clean, graph, gcn_class))
+    }
+
+    /// Runs GCN inference on a prepared sample through the pipeline's
+    /// workspace buffers (byte-identical to
+    /// [`GcnModel::predict_with`] on fresh allocations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model shape errors.
+    pub fn predict_sample(&self, sample: &GraphSample) -> Result<Vec<usize>> {
+        Ok(self
+            .workspace
+            .predict(&self.model, &self.parallelism, sample)?)
     }
 
     /// Runs postprocessing and hierarchy construction on externally
@@ -269,8 +300,15 @@ impl Pipeline {
         gcn_class: Vec<usize>,
     ) -> RecognizedDesign {
         let library = Arc::clone(&self.library);
+        let workspace = Arc::clone(&self.workspace);
         self.finish_with_annotator(circuit, graph, gcn_class, &|par, sub_circuit, sub_graph| {
-            gana_primitives::annotate_with(par, &library, sub_circuit, sub_graph)
+            gana_primitives::annotate_with_workspace(
+                par,
+                &library,
+                sub_circuit,
+                sub_graph,
+                workspace.matcher(),
+            )
         })
     }
 

@@ -102,7 +102,7 @@ proptest! {
         let circuit = gana_netlist::parse(&src).expect("parses");
         let design = pipeline.recognize(&circuit).expect("runs");
         for c in &design.constraints {
-            for m in &c.members {
+            for m in c.members.iter() {
                 prop_assert!(
                     design.circuit.device(m).is_some(),
                     "constraint member {m} is not a device"

@@ -1,0 +1,188 @@
+//! The determinism contract of the workspace layer: a [`Pipeline`] whose
+//! [`Workspace`] buffers are recycled across requests must produce output
+//! **byte-identical** to a cold pipeline allocating everything fresh —
+//! same hierarchical SPICE export, same report, same constraints — across
+//! the dataset corpus, including back-to-back requests of very different
+//! sizes (buffers shrink and grow between them) and at any thread count.
+//! Workspace reuse is a pure allocation strategy; any visible difference
+//! is a bug.
+
+use gana_core::{export, report, Pipeline, RecognizedDesign, Task, Workspace};
+use gana_datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter};
+use gana_gnn::{Activation, GcnConfig, GcnModel};
+use gana_netlist::Circuit;
+use gana_primitives::PrimitiveLibrary;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic untrained pipeline: inference determinism is identical to
+/// a trained model's, which is all the equivalence needs.
+fn pipeline(task: Task, names: &[&str]) -> Pipeline {
+    let model = GcnModel::new(GcnConfig {
+        input_dim: 18,
+        conv_channels: vec![8, 16],
+        filter_order: 4,
+        fc_dim: 32,
+        num_classes: names.len(),
+        activation: Activation::Relu,
+        dropout: 0.0,
+        batch_norm: false,
+        weight_decay: 0.0,
+        seed: 3,
+    })
+    .expect("valid config");
+    Pipeline::new(
+        model,
+        names.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("templates parse"),
+        task,
+    )
+}
+
+/// Asserts the externally visible annotation artifacts match byte for byte.
+fn assert_identical(fresh: &RecognizedDesign, reused: &RecognizedDesign, what: &str) {
+    assert_eq!(
+        export::to_hierarchical_spice(fresh),
+        export::to_hierarchical_spice(reused),
+        "hierarchy export must be byte-identical ({what})"
+    );
+    assert_eq!(
+        report::full_report(fresh),
+        report::full_report(reused),
+        "report must be byte-identical ({what})"
+    );
+    assert_eq!(fresh.constraints, reused.constraints, "{what}");
+    assert_eq!(fresh.final_label, reused.final_label, "{what}");
+    assert_eq!(fresh.gcn_class, reused.gcn_class, "{what}");
+}
+
+/// Runs every circuit of `corpus` twice through one shared workspace
+/// (so the second pass sees fully warmed buffers) and compares each run
+/// against a cold, freshly allocated pipeline.
+fn assert_reuse_matches_fresh(
+    task: Task,
+    names: &[&str],
+    corpus: &[(&str, &Circuit)],
+    threads: usize,
+) {
+    let workspace = Arc::new(Workspace::new());
+    let reused = pipeline(task, names)
+        .with_threads(threads)
+        .with_workspace(Arc::clone(&workspace));
+    for pass in 0..2 {
+        for (label, circuit) in corpus {
+            let cold = pipeline(task, names).recognize(circuit).expect("fresh run");
+            let warm = reused.recognize(circuit).expect("reused run");
+            assert_identical(&cold, &warm, &format!("{label}, pass {pass}"));
+        }
+    }
+    assert!(
+        workspace.high_water_bytes() > 0,
+        "the shared workspace was never exercised"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Small and large requests interleave through one workspace, so the
+    /// buffers shrink and grow between requests; every run must match a
+    /// cold pipeline.
+    #[test]
+    fn ota_corpus_workspace_reuse_is_byte_identical(
+        topo in 0usize..6,
+        bias in 0usize..4,
+        seed in 0u64..1000,
+        threads in 1usize..9,
+    ) {
+        let small = ota::generate(ota::OtaSpec {
+            topology: ota::OtaTopology::ALL[topo],
+            pmos_input: seed % 2 == 1,
+            bias: ota::BiasStyle::ALL[bias],
+            seed,
+        }).circuit;
+        let big = sc_filter::generate(4).circuit;
+        assert_reuse_matches_fresh(
+            Task::OtaBias,
+            &ota_classes::NAMES,
+            &[("small ota", &small), ("big sc-filter", &big)],
+            threads,
+        );
+    }
+
+    #[test]
+    fn rf_corpus_workspace_reuse_is_byte_identical(
+        lna in 0usize..3,
+        mixer in 0usize..3,
+        osc in 0usize..3,
+        seed in 0u64..1000,
+        threads in 1usize..9,
+    ) {
+        let receiver = rf::generate(rf::ReceiverSpec {
+            lna: rf::LnaKind::ALL[lna],
+            mixer: rf::MixerKind::ALL[mixer],
+            osc: rf::OscKind::ALL[osc],
+            seed,
+        }).circuit;
+        assert_reuse_matches_fresh(
+            Task::Rf,
+            &rf_classes::NAMES,
+            &[("rf receiver", &receiver)],
+            threads,
+        );
+    }
+}
+
+#[test]
+fn mixed_size_sequence_through_one_workspace_is_byte_identical() {
+    // The torture sequence: tiny → huge → tiny → huge through ONE
+    // workspace exercises both the shrink and the grow path of every
+    // buffer; phased-array is the largest corpus design.
+    let tiny = ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::ALL[0],
+        pmos_input: false,
+        bias: ota::BiasStyle::ALL[0],
+        seed: 7,
+    })
+    .circuit;
+    let huge = phased_array::generate_with_channels(2, 0).circuit;
+    let sc = sc_filter::generate(5).circuit;
+    assert_reuse_matches_fresh(
+        Task::Rf,
+        &rf_classes::NAMES,
+        &[
+            ("tiny ota", &tiny),
+            ("huge phased-array", &huge),
+            ("tiny ota again", &tiny),
+            ("sc filter", &sc),
+        ],
+        4,
+    );
+}
+
+#[test]
+fn workspace_counters_accumulate_across_requests() {
+    let circuit = ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::ALL[0],
+        pmos_input: false,
+        bias: ota::BiasStyle::ALL[0],
+        seed: 7,
+    })
+    .circuit;
+    let workspace = Arc::new(Workspace::new());
+    let p = pipeline(Task::OtaBias, &ota_classes::NAMES).with_workspace(Arc::clone(&workspace));
+    p.recognize(&circuit).expect("first");
+    let pruned_once = workspace.templates_pruned();
+    let bytes_once = workspace.high_water_bytes();
+    assert!(bytes_once > 0);
+    p.recognize(&circuit).expect("second");
+    assert!(
+        workspace.templates_pruned() >= pruned_once,
+        "prune counter must be cumulative"
+    );
+    assert_eq!(
+        workspace.high_water_bytes(),
+        bytes_once,
+        "identical request must not grow the high-water mark"
+    );
+}

@@ -29,6 +29,16 @@ impl Activation {
         }
     }
 
+    /// Applies the activation in place — same per-entry arithmetic as
+    /// [`Activation::forward`], without the output allocation.
+    pub fn forward_in_place(self, x: &mut DenseMatrix) {
+        match self {
+            Activation::Relu => x.map_in_place(|v| v.max(0.0)),
+            Activation::Tanh => x.map_in_place(f64::tanh),
+            Activation::Identity => {}
+        }
+    }
+
     /// Backward pass: given the layer *output* `y` and upstream gradient
     /// `grad`, returns the gradient with respect to the input.
     ///

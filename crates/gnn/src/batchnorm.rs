@@ -103,11 +103,32 @@ impl BatchNorm {
     ///
     /// Returns [`GnnError::ShapeMismatch`] if `x.cols() != dim`.
     pub fn forward_eval(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(x.rows(), x.cols());
+        self.forward_eval_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`BatchNorm::forward_eval`] written into `out` (resized), reusing
+    /// `out`'s allocation; the per-entry arithmetic is identical, so the
+    /// result is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `x.cols() != dim`.
+    pub fn forward_eval_into(&self, x: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         self.check_dim(x)?;
-        Ok(DenseMatrix::from_fn(x.rows(), x.cols(), |r, c| {
-            let std = (self.running_var[c] + self.epsilon).sqrt();
-            self.gamma[c] * (x.get(r, c) - self.running_mean[c]) / std + self.beta[c]
-        }))
+        out.resize(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let std = (self.running_var[c] + self.epsilon).sqrt();
+                out.set(
+                    r,
+                    c,
+                    self.gamma[c] * (x.get(r, c) - self.running_mean[c]) / std + self.beta[c],
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Backward pass: returns `(grad_x, grad_gamma, grad_beta)`.

@@ -89,18 +89,38 @@ impl ChebConv {
         x: &DenseMatrix,
     ) -> Result<Vec<DenseMatrix>> {
         let mut basis = Vec::with_capacity(self.filter_order());
-        basis.push(x.clone());
-        if self.filter_order() > 1 {
-            basis.push(laplacian.mul_dense_par(par, x)?);
-        }
-        for k in 2..self.filter_order() {
-            // T_k = 2 L̂ T_{k-1} − T_{k-2}.
-            let mut t = laplacian.mul_dense_par(par, &basis[k - 1])?;
-            t.scale_in_place(2.0);
-            t.axpy(-1.0, &basis[k - 2])?;
-            basis.push(t);
-        }
+        self.chebyshev_basis_into(par, laplacian, x, &mut basis)?;
         Ok(basis)
+    }
+
+    /// [`ChebConv::chebyshev_basis`] written into reusable buffers: `basis`
+    /// is extended to `K` matrices (reusing existing allocations) and filled
+    /// with exactly the same operation sequence, so the contents are
+    /// byte-identical to the allocating recurrence.
+    fn chebyshev_basis_into(
+        &self,
+        par: &Parallelism,
+        laplacian: &CsrMatrix,
+        x: &DenseMatrix,
+        basis: &mut Vec<DenseMatrix>,
+    ) -> Result<()> {
+        let taps = self.filter_order();
+        if basis.len() < taps {
+            basis.resize_with(taps, DenseMatrix::default);
+        }
+        basis[0].copy_from(x);
+        if taps > 1 {
+            laplacian.mul_dense_par_into(par, x, &mut basis[1])?;
+        }
+        for k in 2..taps {
+            // T_k = 2 L̂ T_{k-1} − T_{k-2}.
+            let (prev, rest) = basis.split_at_mut(k);
+            let t = &mut rest[0];
+            laplacian.mul_dense_par_into(par, &prev[k - 1], t)?;
+            t.scale_in_place(2.0);
+            t.axpy(-1.0, &prev[k - 2])?;
+        }
+        Ok(())
     }
 
     /// Forward pass. Returns the output and a cache for [`ChebConv::backward`].
@@ -158,6 +178,54 @@ impl ChebConv {
             }
         }
         Ok((y, ChebConvCache { basis }))
+    }
+
+    /// Inference-only [`ChebConv::forward_with`] writing every intermediate
+    /// into caller-owned buffers: the Chebyshev basis into `basis`, the
+    /// per-tap product into `term`, and the layer output into `y`. No cache
+    /// is produced. The operation sequence matches the allocating forward
+    /// exactly, so `y` is byte-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `x` has the wrong number of
+    /// columns or does not match the Laplacian's vertex count.
+    pub fn forward_into(
+        &self,
+        par: &Parallelism,
+        laplacian: &CsrMatrix,
+        x: &DenseMatrix,
+        basis: &mut Vec<DenseMatrix>,
+        term: &mut DenseMatrix,
+        y: &mut DenseMatrix,
+    ) -> Result<()> {
+        if x.cols() != self.in_dim {
+            return Err(GnnError::ShapeMismatch(format!(
+                "chebconv expects {} input features, got {}",
+                self.in_dim,
+                x.cols()
+            )));
+        }
+        if x.rows() != laplacian.rows() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "signal has {} rows but Laplacian is {}x{}",
+                x.rows(),
+                laplacian.rows(),
+                laplacian.cols()
+            )));
+        }
+        self.chebyshev_basis_into(par, laplacian, x, basis)?;
+        y.resize(x.rows(), self.out_dim);
+        for (t, w) in basis.iter().zip(&self.weights) {
+            t.matmul_into(w, term)?;
+            y.axpy(1.0, term)?;
+        }
+        for r in 0..y.rows() {
+            for (value, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *value += b;
+            }
+        }
+        Ok(())
     }
 
     /// Backward pass: returns `(grad_x, grad_weights, grad_bias)`.
@@ -380,6 +448,27 @@ mod tests {
             let fd = (yp.sum() - ym.sum()) / (2.0 * eps);
             assert!((gb[j] - fd).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn forward_into_is_byte_identical_to_forward() {
+        let mut r = rng();
+        let conv = ChebConv::new(3, 2, 4, &mut r).expect("valid");
+        let l = ring_laplacian(6);
+        let x = DenseMatrix::from_fn(6, 3, |i, j| 0.7 * (i as f64) - 0.3 * (j as f64));
+        let par = Parallelism::serial();
+        let (fresh, _) = conv.forward_with(&par, &l, &x).expect("shapes ok");
+        // Dirty, wrongly-shaped buffers must not leak into the result.
+        let mut basis = vec![DenseMatrix::filled(2, 2, 9.0)];
+        let mut term = DenseMatrix::filled(1, 5, -3.0);
+        let mut y = DenseMatrix::filled(4, 4, 1.0);
+        conv.forward_into(&par, &l, &x, &mut basis, &mut term, &mut y)
+            .expect("shapes ok");
+        assert_eq!(y, fresh);
+        // Second run through the same buffers stays identical.
+        conv.forward_into(&par, &l, &x, &mut basis, &mut term, &mut y)
+            .expect("shapes ok");
+        assert_eq!(y, fresh);
     }
 
     #[test]

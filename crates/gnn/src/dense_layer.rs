@@ -71,6 +71,30 @@ impl DenseLayer {
         Ok((y, DenseCache { x: x.clone() }))
     }
 
+    /// Inference-only [`DenseLayer::forward`] written into `y` (resized),
+    /// reusing `y`'s allocation and producing no backward cache; the
+    /// arithmetic is identical, so the result is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &DenseMatrix, y: &mut DenseMatrix) -> Result<()> {
+        if x.cols() != self.in_dim() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "dense layer expects {} features, got {}",
+                self.in_dim(),
+                x.cols()
+            )));
+        }
+        x.matmul_into(&self.weight, y)?;
+        for r in 0..y.rows() {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
     /// Backward pass: returns `(grad_x, grad_weight, grad_bias)`.
     ///
     /// # Errors

@@ -38,6 +38,7 @@ mod model;
 mod optimizer;
 mod sample;
 mod trainer;
+mod workspace;
 
 pub use activation::Activation;
 pub use batchnorm::BatchNorm;
@@ -50,6 +51,7 @@ pub use model::{GcnConfig, GcnModel};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use sample::GraphSample;
 pub use trainer::{EpochStats, Trainer, TrainerConfig};
+pub use workspace::GnnWorkspace;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, GnnError>;

@@ -23,6 +23,27 @@ pub fn softmax(logits: &DenseMatrix) -> DenseMatrix {
     out
 }
 
+/// [`softmax`] applied in place — the per-row arithmetic is identical
+/// (each exponential is computed from the original entry before it is
+/// overwritten), so the result is byte-identical.
+pub fn softmax_in_place(m: &mut DenseMatrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for v in row.iter_mut() {
+            let e = (*v - max).exp();
+            *v = e;
+            denom += e;
+        }
+        if denom > 0.0 {
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+        }
+    }
+}
+
 /// Masked cross-entropy over rows: returns `(mean_loss, grad_logits)`.
 ///
 /// Row `r` contributes `−log p[r][labels[r]]` when `labels[r]` is `Some`;

@@ -14,8 +14,9 @@ use crate::batchnorm::{BatchNorm, BatchNormCache};
 use crate::chebconv::{ChebConv, ChebConvCache};
 use crate::dense_layer::DenseLayer;
 use crate::dropout::Dropout;
-use crate::loss::{cross_entropy, softmax};
+use crate::loss::{cross_entropy, softmax, softmax_in_place};
 use crate::sample::GraphSample;
+use crate::workspace::GnnWorkspace;
 use crate::{GnnError, Result};
 use gana_par::Parallelism;
 use gana_sparse::DenseMatrix;
@@ -295,6 +296,56 @@ impl GcnModel {
             .map(|r| probs.row_argmax(r).unwrap_or(0))
             .collect();
         Ok((probs, preds))
+    }
+
+    /// [`GcnModel::predict_with`] writing every intermediate into a
+    /// reusable [`GnnWorkspace`] instead of allocating. Each `_into` kernel
+    /// runs the same operation sequence as its allocating twin, so the
+    /// predictions are byte-identical to [`GcnModel::predict_with`] at any
+    /// thread count, whether the workspace is fresh or has served requests
+    /// of other sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the sample does not match the
+    /// model configuration.
+    pub fn predict_into(
+        &self,
+        par: &Parallelism,
+        sample: &GraphSample,
+        ws: &mut GnnWorkspace,
+    ) -> Result<Vec<usize>> {
+        self.check_sample(sample)?;
+        ws.x.copy_from(&sample.features);
+        for (l, conv) in self.convs.iter().enumerate() {
+            conv.forward_into(
+                par,
+                sample.coarsening.laplacian(l),
+                &ws.x,
+                &mut ws.basis,
+                &mut ws.term,
+                &mut ws.y,
+            )?;
+            if self.config.batch_norm {
+                // `term` is free after the tap loop; use it as the
+                // batch-norm output and swap it into place.
+                self.batch_norms[l].forward_eval_into(&ws.y, &mut ws.term)?;
+                std::mem::swap(&mut ws.y, &mut ws.term);
+            }
+            self.config.activation.forward_in_place(&mut ws.y);
+            max_pool2_into(&ws.y, &mut ws.x);
+        }
+        self.fc1.forward_into(&ws.x, &mut ws.y)?;
+        self.config.activation.forward_in_place(&mut ws.y);
+        self.fc2.forward_into(&ws.y, &mut ws.x)?;
+        ws.clusters.clear();
+        ws.clusters
+            .extend((0..sample.vertex_count()).map(|v| sample.coarsening.cluster_of(v)));
+        ws.x.gather_rows_into(&ws.clusters, &mut ws.gathered);
+        softmax_in_place(&mut ws.gathered);
+        Ok((0..ws.gathered.rows())
+            .map(|r| ws.gathered.row_argmax(r).unwrap_or(0))
+            .collect())
     }
 
     /// One training step: forward, loss, full backward. The caller applies
@@ -580,6 +631,30 @@ pub(crate) fn max_pool2(x: &DenseMatrix) -> (DenseMatrix, Vec<usize>) {
     (y, argmax)
 }
 
+/// Inference-only [`max_pool2`] written into `y` (resized), without the
+/// argmax bookkeeping the backward pass needs; the pooled values are
+/// selected identically.
+///
+/// # Panics
+///
+/// Panics if the row count is odd.
+pub(crate) fn max_pool2_into(x: &DenseMatrix, y: &mut DenseMatrix) {
+    assert!(
+        x.rows().is_multiple_of(2),
+        "pooling needs an even number of rows, got {}",
+        x.rows()
+    );
+    let out_rows = x.rows() / 2;
+    y.resize(out_rows, x.cols());
+    for r in 0..out_rows {
+        for c in 0..x.cols() {
+            let a = x.get(2 * r, c);
+            let b = x.get(2 * r + 1, c);
+            y.set(r, c, if a >= b { a } else { b });
+        }
+    }
+}
+
 /// Backward of [`max_pool2`]: routes each output gradient to the winning row.
 pub(crate) fn max_pool2_backward(
     argmax: &[usize],
@@ -688,6 +763,34 @@ mod tests {
             assert_eq!(serial_probs, probs, "threads={threads}");
             assert_eq!(serial_preds, preds, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn predict_into_matches_predict_across_reuse_and_sizes() {
+        let mut config = tiny_config();
+        config.batch_norm = true;
+        let model = GcnModel::new(config).expect("valid");
+        let small = tiny_sample();
+        let big = {
+            let c = parse(
+                "M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nM2 out in d2 gnd! NMOS\n\
+                 M3 o2 in2 d2 gnd! NMOS\nR1 out vdd! 10k\nR2 o2 vdd! 20k\nC1 out gnd! 1p\n",
+            )
+            .expect("valid");
+            let g = CircuitGraph::build(&c, GraphOptions::default());
+            let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
+            GraphSample::prepare("big", &c, &g, labels, 2, 13).expect("prepares")
+        };
+        let par = Parallelism::serial();
+        let mut ws = GnnWorkspace::new();
+        // Grow, shrink, grow again through one workspace; every run must
+        // match the allocating path exactly.
+        for sample in [&small, &big, &small, &big] {
+            let fresh = model.predict_with(&par, sample).expect("ok");
+            let reused = model.predict_into(&par, sample, &mut ws).expect("ok");
+            assert_eq!(reused, fresh);
+        }
+        assert!(ws.heap_bytes() > 0);
     }
 
     #[test]

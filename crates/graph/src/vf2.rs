@@ -81,9 +81,15 @@ impl Vf2Graph {
                 }
             })
             .collect();
-        let adjacency = (0..graph.vertex_count())
+        let adjacency: Vec<Vec<(usize, EdgeLabel)>> = (0..graph.vertex_count())
             .map(|v| graph.neighbors(v).to_vec())
             .collect();
+        // `CircuitGraph::build` merges terminals per (element, net) pair and
+        // sorts each list by neighbor id, which `edge()` relies on for its
+        // binary search.
+        debug_assert!(adjacency
+            .iter()
+            .all(|row| row.windows(2).all(|w| w[0].0 < w[1].0)));
         Vf2Graph { labels, adjacency }
     }
 
@@ -111,10 +117,12 @@ impl Vf2Graph {
     }
 
     fn edge(&self, a: usize, b: usize) -> Option<EdgeLabel> {
+        // Adjacency rows are sorted by neighbor id with one entry per
+        // neighbor (see `from_circuit`), so the lookup is O(log deg).
         self.adjacency[a]
-            .iter()
-            .find(|&&(u, _)| u == b)
-            .map(|&(_, l)| l)
+            .binary_search_by_key(&b, |&(u, _)| u)
+            .ok()
+            .map(|i| self.adjacency[a][i].1)
     }
 }
 
@@ -171,19 +179,57 @@ impl Match {
 /// vertices adjacent to the image of the already-mapped pattern neighbors,
 /// which is what makes matching O(n) for O(1)-size patterns.
 pub fn find_matches(pattern: &Vf2Graph, target: &Vf2Graph, options: MatchOptions) -> Vec<Match> {
+    let order = pattern_order(pattern);
+    find_matches_with(pattern, target, options, &order, &mut Vf2Scratch::new())
+}
+
+/// Reusable VF2 search state: the core assignment, the used-target mask,
+/// and the match-dedup set survive across [`find_matches_with`] calls so
+/// steady-state matching performs no per-call allocations.
+///
+/// A scratch belongs to one matching thread at a time; reuse never changes
+/// results — every buffer is reset before the search starts.
+#[derive(Debug, Default)]
+pub struct Vf2Scratch {
+    core_p: Vec<usize>,
+    used_t: Vec<bool>,
+    seen_element_sets: BTreeSet<Vec<VertexId>>,
+}
+
+impl Vf2Scratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Vf2Scratch {
+        Vf2Scratch::default()
+    }
+}
+
+/// [`find_matches`] with a precomputed pattern order (see [`pattern_order`])
+/// and a reusable [`Vf2Scratch`]. Output is identical to [`find_matches`]
+/// when `order` was produced by [`pattern_order`] on the same pattern.
+pub fn find_matches_with(
+    pattern: &Vf2Graph,
+    target: &Vf2Graph,
+    options: MatchOptions,
+    order: &[usize],
+    scratch: &mut Vf2Scratch,
+) -> Vec<Match> {
     if pattern.is_empty() || pattern.len() > target.len() {
         return Vec::new();
     }
-    let order = pattern_order(pattern);
+    scratch.core_p.clear();
+    scratch.core_p.resize(pattern.len(), usize::MAX);
+    scratch.used_t.clear();
+    scratch.used_t.resize(target.len(), false);
+    scratch.seen_element_sets.clear();
     let mut state = State {
         pattern,
         target,
         options,
-        order: &order,
-        core_p: vec![usize::MAX; pattern.len()],
-        used_t: vec![false; target.len()],
+        order,
+        core_p: &mut scratch.core_p,
+        used_t: &mut scratch.used_t,
         matches: Vec::new(),
-        seen_element_sets: BTreeSet::new(),
+        seen_element_sets: &mut scratch.seen_element_sets,
     };
     state.explore(0);
     let mut matches = state.matches;
@@ -219,7 +265,14 @@ pub fn match_circuits(
 /// Orders pattern vertices so each vertex (after the first) is adjacent to
 /// an earlier one; starts from the highest-degree element vertex, which is
 /// the most selective anchor.
-fn pattern_order(pattern: &Vf2Graph) -> Vec<usize> {
+///
+/// The order depends only on the pattern, so callers matching one pattern
+/// against many targets can compute it once and pass it to
+/// [`find_matches_with`].
+pub fn pattern_order(pattern: &Vf2Graph) -> Vec<usize> {
+    if pattern.is_empty() {
+        return Vec::new();
+    }
     let n = pattern.len();
     let start = (0..n)
         .max_by_key(|&v| {
@@ -253,10 +306,10 @@ struct State<'a> {
     target: &'a Vf2Graph,
     options: MatchOptions,
     order: &'a [usize],
-    core_p: Vec<usize>,
-    used_t: Vec<bool>,
+    core_p: &'a mut Vec<usize>,
+    used_t: &'a mut Vec<bool>,
     matches: Vec<Match>,
-    seen_element_sets: BTreeSet<Vec<VertexId>>,
+    seen_element_sets: &'a mut BTreeSet<Vec<VertexId>>,
 }
 
 impl State<'_> {
@@ -283,11 +336,10 @@ impl State<'_> {
             .map(|&(q, _)| self.core_p[q]);
         match mapped_neighbor {
             Some(anchor_t) => {
-                let candidates: Vec<usize> = self.target.adjacency[anchor_t]
-                    .iter()
-                    .map(|&(t, _)| t)
-                    .collect();
-                for t in candidates {
+                // `target` is a shared borrow independent of `&mut self`,
+                // so the candidate list needs no per-depth copy.
+                let target = self.target;
+                for &(t, _) in &target.adjacency[anchor_t] {
                     self.try_pair(depth, p, t);
                 }
             }

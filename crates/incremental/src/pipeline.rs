@@ -183,6 +183,15 @@ impl IncrementalPipeline {
         }
     }
 
+    /// Re-targets the inner pipeline at a different [`gana_core::Workspace`]
+    /// (e.g. a serving worker attaching its per-thread scratch buffers
+    /// before replaying a session update). Cache, rings, and artifacts are
+    /// untouched.
+    pub fn with_workspace(mut self, workspace: Arc<gana_core::Workspace>) -> IncrementalPipeline {
+        self.pipeline = self.pipeline.with_workspace(workspace);
+        self
+    }
+
     /// Overrides how many rings of signal-coupled neighbor regions are
     /// re-inferred around every edited region.
     ///
@@ -231,10 +240,7 @@ impl IncrementalPipeline {
     pub fn annotate_full(&self, circuit: &Circuit) -> Result<Baseline> {
         let clean = self.pipeline.preprocess_only(circuit)?;
         let (graph, sample) = self.pipeline.prepare_preprocessed(&clean)?;
-        let gcn_class = self
-            .pipeline
-            .model()
-            .predict_with(self.pipeline.parallelism(), &sample)?;
+        let gcn_class = self.pipeline.predict_sample(&sample)?;
         let design = self.finish_cached(
             clean,
             graph,
@@ -360,10 +366,7 @@ impl IncrementalPipeline {
             dirty_devices = elements.len();
             let sub = induced_circuit(&clean, &graph, &elements);
             let (sub_graph, sub_sample) = self.pipeline.prepare_preprocessed(&sub)?;
-            let sub_class = self
-                .pipeline
-                .model()
-                .predict_with(self.pipeline.parallelism(), &sub_sample)?;
+            let sub_class = self.pipeline.predict_sample(&sub_sample)?;
             inferred_vertices = sub_graph.vertex_count();
             for (v, &class) in sub_class.iter().enumerate().take(sub_graph.vertex_count()) {
                 if let Some(name) = sub_graph.device_name(v) {
@@ -431,6 +434,7 @@ impl IncrementalPipeline {
         misses: &AtomicU64,
     ) -> RecognizedDesign {
         let library = self.pipeline.library_arc();
+        let workspace = Arc::clone(self.pipeline.workspace());
         let cache = Arc::clone(&self.cache);
         self.pipeline
             .finish_with_annotator(circuit, graph, gcn_class, &|par, sub, sub_graph| {
@@ -442,7 +446,13 @@ impl IncrementalPipeline {
                     return block.annotation.clone();
                 }
                 misses.fetch_add(1, Ordering::Relaxed);
-                let annotation = gana_primitives::annotate_with(par, &library, sub, sub_graph);
+                let annotation = gana_primitives::annotate_with_workspace(
+                    par,
+                    &library,
+                    sub,
+                    sub_graph,
+                    workspace.matcher(),
+                );
                 cache.insert(
                     key,
                     CachedBlock {

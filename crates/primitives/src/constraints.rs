@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The kinds of geometric/layout constraints GANA annotates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -43,18 +44,40 @@ impl fmt::Display for ConstraintKind {
 }
 
 /// One constraint instance over a set of devices (or nets for wire-length).
+///
+/// Members live behind an [`Arc`] so the several constraints a primitive
+/// implies (symmetry + matching + …) share one name list instead of each
+/// cloning it; `Clone` on a constraint is a reference-count bump.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Constraint {
     /// The constraint kind.
     pub kind: ConstraintKind,
     /// Device (or net) names the constraint covers, sorted.
-    pub members: Vec<String>,
+    pub members: Arc<[String]>,
 }
 
 impl Constraint {
     /// Creates a constraint, sorting members for deterministic equality.
     pub fn new(kind: ConstraintKind, mut members: Vec<String>) -> Constraint {
         members.sort();
+        Constraint {
+            kind,
+            members: members.into(),
+        }
+    }
+
+    /// Creates a constraint over an already-sorted shared member list
+    /// without copying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `members` is not sorted — unsorted members
+    /// would break the deterministic-equality contract of [`Constraint::new`].
+    pub fn from_shared(kind: ConstraintKind, members: Arc<[String]>) -> Constraint {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] <= w[1]),
+            "shared constraint members must be pre-sorted"
+        );
         Constraint { kind, members }
     }
 }
@@ -126,6 +149,15 @@ mod tests {
         let a = Constraint::new(ConstraintKind::Matching, vec!["M2".into(), "M1".into()]);
         let b = Constraint::new(ConstraintKind::Matching, vec!["M1".into(), "M2".into()]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_shared_equals_new() {
+        let shared: Arc<[String]> = vec!["M1".to_string(), "M2".to_string()].into();
+        let a = Constraint::from_shared(ConstraintKind::Matching, Arc::clone(&shared));
+        let b = Constraint::new(ConstraintKind::Matching, vec!["M2".into(), "M1".into()]);
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.members, &shared), "no copy taken");
     }
 
     #[test]

@@ -41,7 +41,12 @@
 pub mod constraints;
 mod library;
 mod matcher;
+pub mod prefilter;
 
 pub use constraints::{Constraint, ConstraintKind};
 pub use library::{Primitive, PrimitiveLibrary};
-pub use matcher::{annotate, annotate_with, AnnotationResult, PrimitiveInstance};
+pub use matcher::{
+    annotate, annotate_with, annotate_with_workspace, AnnotationResult, MatcherWorkspace,
+    PrimitiveInstance,
+};
+pub use prefilter::GraphSignature;

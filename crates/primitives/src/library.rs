@@ -1,6 +1,10 @@
 //! The primitive template library.
 
-use gana_graph::{vf2::Vf2Graph, CircuitGraph, GraphOptions};
+use crate::prefilter::GraphSignature;
+use gana_graph::{
+    vf2::{pattern_order, Vf2Graph},
+    CircuitGraph, GraphOptions,
+};
 use gana_netlist::{parse, Circuit, NetlistError};
 
 /// One primitive template: its circuit, graph, matcher form, and policy.
@@ -12,6 +16,8 @@ pub struct Primitive {
     graph: CircuitGraph,
     pattern: Vf2Graph,
     strict_source_drain: bool,
+    order: Vec<usize>,
+    signature: GraphSignature,
 }
 
 impl Primitive {
@@ -33,6 +39,8 @@ impl Primitive {
         let circuit = parse(spice)?;
         let graph = CircuitGraph::build(&circuit, GraphOptions::default());
         let pattern = Vf2Graph::from_circuit(&circuit, &graph, true);
+        let order = pattern_order(&pattern);
+        let signature = GraphSignature::of(&graph);
         Ok(Primitive {
             name: name.into(),
             description: description.into(),
@@ -40,6 +48,8 @@ impl Primitive {
             graph,
             pattern,
             strict_source_drain,
+            order,
+            signature,
         })
     }
 
@@ -71,6 +81,19 @@ impl Primitive {
     /// Whether matching must keep source/drain orientation.
     pub fn strict_source_drain(&self) -> bool {
         self.strict_source_drain
+    }
+
+    /// The precomputed VF2 visit order for this template's pattern.
+    ///
+    /// [`pattern_order`] depends only on the pattern graph, so it is
+    /// computed once at parse time instead of once per annotate call.
+    pub fn match_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The template's kind/degree prefilter signature.
+    pub fn signature(&self) -> &GraphSignature {
+        &self.signature
     }
 
     /// Number of elements (transistors + passives) in the template.

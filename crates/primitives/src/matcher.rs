@@ -10,11 +10,58 @@
 
 use crate::constraints::{primitive_constraints, Constraint};
 use crate::library::{Primitive, PrimitiveLibrary};
-use gana_graph::vf2::{find_matches, MatchOptions, Vf2Graph};
+use crate::prefilter::GraphSignature;
+use gana_graph::vf2::{find_matches_with, MatchOptions, Vf2Graph, Vf2Scratch};
 use gana_graph::CircuitGraph;
 use gana_netlist::Circuit;
 use gana_par::Parallelism;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Reusable scratch and counters for repeated annotation calls.
+///
+/// The VF2 search states (mapping arrays, dedup sets) are checked out of a
+/// free-list pool and restored after each template, so a long-lived caller
+/// (a serving worker, an incremental session) stops allocating them once
+/// the pool reaches steady state. The pool is a free list rather than a
+/// per-worker slot because [`Parallelism::map`] passes *item* indices to
+/// its closure — any worker may run any template.
+///
+/// The workspace also counts templates skipped by the
+/// [`GraphSignature`] prefilter across all calls that share it.
+#[derive(Debug, Default)]
+pub struct MatcherWorkspace {
+    scratch: Mutex<Vec<Vf2Scratch>>,
+    templates_pruned: AtomicU64,
+}
+
+impl MatcherWorkspace {
+    /// An empty workspace; scratch states are created on first use.
+    pub fn new() -> MatcherWorkspace {
+        MatcherWorkspace::default()
+    }
+
+    /// Total templates rejected by the signature prefilter (never entered
+    /// VF2) across every annotate call that used this workspace.
+    pub fn templates_pruned(&self) -> u64 {
+        self.templates_pruned.load(Ordering::Relaxed)
+    }
+
+    fn checkout(&self) -> Vf2Scratch {
+        self.scratch
+            .lock()
+            .map(|mut pool| pool.pop())
+            .unwrap_or_default()
+            .unwrap_or_default()
+    }
+
+    fn restore(&self, scratch: Vf2Scratch) {
+        if let Ok(mut pool) = self.scratch.lock() {
+            pool.push(scratch);
+        }
+    }
+}
 
 /// One recognized primitive instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,17 +131,49 @@ pub fn annotate_with(
     circuit: &Circuit,
     graph: &CircuitGraph,
 ) -> AnnotationResult {
+    annotate_with_workspace(par, library, circuit, graph, &MatcherWorkspace::new())
+}
+
+/// [`annotate_with`] reusing the scratch pool and counters of `workspace`.
+///
+/// The target's [`GraphSignature`] is computed once per call; templates it
+/// proves non-embeddable are skipped without entering VF2 (counted in
+/// [`MatcherWorkspace::templates_pruned`]). Pruning and scratch reuse never
+/// change the result: a pruned template has no matches by construction, and
+/// every VF2 search resets its scratch before use. Output stays
+/// bit-identical to [`annotate`] at any thread count.
+pub fn annotate_with_workspace(
+    par: &Parallelism,
+    library: &PrimitiveLibrary,
+    circuit: &Circuit,
+    graph: &CircuitGraph,
+    workspace: &MatcherWorkspace,
+) -> AnnotationResult {
     let target = Vf2Graph::from_circuit(circuit, graph, false);
+    let target_signature = GraphSignature::of(graph);
     let mut claimed: BTreeSet<usize> = BTreeSet::new();
     let mut instances = Vec::new();
 
     let templates = library.by_priority();
     let match_lists = par.map(&templates, |_, primitive| {
+        if !primitive.signature().embeds_in(&target_signature) {
+            workspace.templates_pruned.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
         let options = MatchOptions {
             symmetric_mos: !primitive.strict_source_drain(),
             ..MatchOptions::default()
         };
-        find_matches(primitive.pattern(), &target, options)
+        let mut scratch = workspace.checkout();
+        let matches = find_matches_with(
+            primitive.pattern(),
+            &target,
+            options,
+            primitive.match_order(),
+            &mut scratch,
+        );
+        workspace.restore(scratch);
+        matches
     });
 
     for (primitive, matches) in templates.iter().zip(match_lists) {
@@ -109,9 +188,11 @@ pub fn annotate_with(
                 .filter_map(|&v| graph.device_name(v).map(str::to_string))
                 .collect();
             devices.sort();
+            // One shared allocation serves every constraint of the instance.
+            let members: Arc<[String]> = devices.as_slice().into();
             let constraints = primitive_constraints(primitive.name(), primitive.transistor_count())
                 .into_iter()
-                .map(|kind| Constraint::new(kind, devices.clone()))
+                .map(|kind| Constraint::from_shared(kind, Arc::clone(&members)))
                 .collect();
             instances.push(PrimitiveInstance {
                 primitive: primitive.name().to_string(),
@@ -251,7 +332,7 @@ M5 voutp vbp vdd! vdd! PMOS
         assert!(kinds.contains(&ConstraintKind::Symmetry));
         assert!(kinds.contains(&ConstraintKind::Matching));
         for c in &dp.constraints {
-            assert_eq!(c.members, dp.devices);
+            assert_eq!(&*c.members, dp.devices.as_slice());
         }
     }
 
@@ -273,6 +354,56 @@ M5 voutp vbp vdd! vdd! PMOS
             let par = Parallelism::new(threads);
             let parallel = annotate_with(&par, &library, &circuit, &graph);
             assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_identical_and_prunes() {
+        let circuit = parse(FIG3_OTA).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("templates parse");
+        let fresh = annotate(&library, &circuit, &graph);
+
+        let ws = MatcherWorkspace::new();
+        let par = Parallelism::serial();
+        let first = annotate_with_workspace(&par, &library, &circuit, &graph, &ws);
+        let pruned_once = ws.templates_pruned();
+        // An NMOS-only OTA cannot host PMOS mirrors, LC tanks, RC pairs, …
+        assert!(pruned_once > 0, "prefilter never fired");
+        let second = annotate_with_workspace(&par, &library, &circuit, &graph, &ws);
+        assert_eq!(fresh, first);
+        assert_eq!(fresh, second, "recycled scratch changed the result");
+        assert_eq!(
+            ws.templates_pruned(),
+            2 * pruned_once,
+            "pruning is deterministic per call"
+        );
+    }
+
+    #[test]
+    fn workspace_annotate_parallel_is_identical_to_serial() {
+        let circuit = parse(FIG3_OTA).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        let library = PrimitiveLibrary::standard().expect("templates parse");
+        let serial = annotate(&library, &circuit, &graph);
+        let ws = MatcherWorkspace::new();
+        for threads in [2, 4, 8] {
+            let par = Parallelism::new(threads);
+            let parallel = annotate_with_workspace(&par, &library, &circuit, &graph, &ws);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn instance_constraints_share_one_member_list() {
+        let result = annotate_src(FIG3_OTA);
+        let dp = result.instance_of("M2").expect("claimed");
+        assert!(dp.constraints.len() >= 2, "DP implies symmetry + matching");
+        for pair in dp.constraints.windows(2) {
+            assert!(
+                std::sync::Arc::ptr_eq(&pair[0].members, &pair[1].members),
+                "constraints must share the member allocation"
+            );
         }
     }
 

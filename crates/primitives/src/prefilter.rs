@@ -1,0 +1,123 @@
+//! VF2 candidate prefilter: cheap necessary conditions for embeddability.
+//!
+//! Most templates cannot possibly match a given sub-block — a PMOS mirror
+//! inside an NMOS-only group, an LC tank in a resistor string. A
+//! [`GraphSignature`] captures the element-kind multiset and the maximum
+//! vertex degree of a bipartite circuit graph; both are monotone under
+//! subgraph embedding, so comparing the pattern's signature against the
+//! target's rejects impossible templates in `O(kinds)` without entering the
+//! exponential VF2 search. The check is a pure function of the two graphs —
+//! independent of thread count and match order — so pruning never changes
+//! the annotation result, only the work done to reach it.
+
+use gana_graph::CircuitGraph;
+use gana_netlist::DeviceKind;
+use std::collections::BTreeMap;
+
+/// Element-kind counts and maximum vertex degree of one circuit graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphSignature {
+    kind_counts: BTreeMap<DeviceKind, usize>,
+    max_degree: usize,
+}
+
+impl GraphSignature {
+    /// Computes the signature of `graph` in one pass over its vertices.
+    pub fn of(graph: &CircuitGraph) -> GraphSignature {
+        let mut kind_counts = BTreeMap::new();
+        let mut max_degree = 0;
+        for v in 0..graph.vertex_count() {
+            max_degree = max_degree.max(graph.degree(v));
+            if let Some(kind) = graph.element_kind(v) {
+                *kind_counts.entry(kind).or_insert(0) += 1;
+            }
+        }
+        GraphSignature {
+            kind_counts,
+            max_degree,
+        }
+    }
+
+    /// Whether a pattern with this signature *could* embed in a target with
+    /// signature `target`.
+    ///
+    /// Necessary conditions only: an embedding maps pattern elements to
+    /// distinct target elements of the same kind (so each kind count must
+    /// not exceed the target's) and maps every pattern vertex to a target
+    /// vertex of at least its degree (so the pattern's maximum degree must
+    /// not exceed the target's). A `false` here proves VF2 would find no
+    /// matches; `true` promises nothing.
+    pub fn embeds_in(&self, target: &GraphSignature) -> bool {
+        self.max_degree <= target.max_degree
+            && self
+                .kind_counts
+                .iter()
+                .all(|(kind, &n)| target.kind_counts.get(kind).copied().unwrap_or(0) >= n)
+    }
+
+    /// Number of elements of `kind` in the signed graph.
+    pub fn kind_count(&self, kind: DeviceKind) -> usize {
+        self.kind_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Maximum vertex degree in the signed graph.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_graph::GraphOptions;
+    use gana_netlist::parse;
+
+    fn sig(src: &str) -> GraphSignature {
+        let circuit = parse(src).expect("valid");
+        let graph = CircuitGraph::build(&circuit, GraphOptions::default());
+        GraphSignature::of(&graph)
+    }
+
+    #[test]
+    fn counts_kinds_and_degree() {
+        let s = sig("M0 d g s b NMOS\nM1 d g s b PMOS\nR1 d x 1k\n");
+        assert_eq!(s.kind_count(DeviceKind::Nmos), 1);
+        assert_eq!(s.kind_count(DeviceKind::Pmos), 1);
+        assert_eq!(s.kind_count(DeviceKind::Resistor), 1);
+        assert_eq!(s.kind_count(DeviceKind::Capacitor), 0);
+        // Net `d` touches all three elements; the MOS elements also have
+        // degree 3 (body terminals are off by default in `GraphOptions`).
+        assert_eq!(s.max_degree(), 3);
+    }
+
+    #[test]
+    fn embedding_is_reflexive_and_kind_monotone() {
+        let small = sig("M0 d g s b NMOS\n");
+        let big = sig("M0 d g s b NMOS\nM1 e g s b NMOS\n");
+        assert!(small.embeds_in(&small));
+        assert!(small.embeds_in(&big));
+        assert!(!big.embeds_in(&small), "two NMOS cannot fit in one");
+    }
+
+    #[test]
+    fn missing_kind_rejects() {
+        let pmos = sig("M0 d g s b PMOS\n");
+        let nmos_only = sig("M0 d g s b NMOS\nM1 e g s b NMOS\n");
+        assert!(!pmos.embeds_in(&nmos_only));
+    }
+
+    #[test]
+    fn degree_rejects() {
+        // A resistor star needs a net of degree 3; a resistor chain of the
+        // same size tops out at degree 2, so only degree can reject it.
+        let star = sig("R1 c a 1\nR2 c b 1\nR3 c d 1\n");
+        let chain = sig("R1 a b 1\nR2 b c 1\nR3 c d 1\n");
+        assert_eq!(star.kind_count(DeviceKind::Resistor), 3);
+        assert_eq!(chain.kind_count(DeviceKind::Resistor), 3);
+        assert!(star.max_degree() > chain.max_degree());
+        assert!(!star.embeds_in(&chain));
+        // The converse passes the necessary conditions (even though no real
+        // embedding exists) — the signature is a filter, not a decision.
+        assert!(chain.embeds_in(&star));
+    }
+}

@@ -25,8 +25,8 @@
 
 use crate::channel;
 use crate::job::{Annotation, Job, JobError, JobHandle, JobRequest, JobResult, SubmitError, Work};
-use crate::metrics::{Metrics, StatsSnapshot};
-use gana_core::{Pipeline, Task};
+use crate::metrics::{Metrics, StatsSnapshot, WorkspaceStats};
+use gana_core::{Pipeline, Task, Workspace};
 use gana_incremental::{Baseline, IncrementalPipeline, RegionCache};
 use gana_netlist::{flatten, parse_library, Circuit};
 use gana_par::Parallelism;
@@ -171,6 +171,10 @@ struct Shared {
     /// One budget clone per engine: every pipeline shares its gauge, so
     /// `stats` sees aggregate intra-request pool pressure across workers.
     intra: Parallelism,
+    /// One annotation workspace per worker thread: scratch buffers survive
+    /// across that worker's requests, and `stats` aggregates the prune
+    /// counters and high-water footprints across the pool.
+    workspaces: Vec<Arc<Workspace>>,
     region_cache: Arc<RegionCache>,
     sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
     max_sessions: usize,
@@ -286,10 +290,12 @@ impl EngineBuilder {
                 )
             })
             .collect();
+        let workspaces = (0..workers).map(|_| Arc::new(Workspace::new())).collect();
         let shared = Arc::new(Shared {
             pipelines,
             incremental,
             intra,
+            workspaces,
             region_cache,
             sessions: Mutex::new(HashMap::new()),
             max_sessions: self.config.max_sessions,
@@ -307,7 +313,7 @@ impl EngineBuilder {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gana-serve-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(&shared, worker_id, &rx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -541,12 +547,28 @@ impl Engine {
 
     /// Current metrics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
+        let workspace = WorkspaceStats {
+            templates_pruned: self
+                .shared
+                .workspaces
+                .iter()
+                .map(|w| w.templates_pruned())
+                .sum(),
+            high_water_bytes: self
+                .shared
+                .workspaces
+                .iter()
+                .map(|w| w.high_water_bytes())
+                .max()
+                .unwrap_or(0),
+        };
         self.shared.metrics.snapshot(
             self.queue_rx.len(),
             self.shared.workers,
             self.session_count(),
             self.shared.region_cache.stats(),
             self.shared.intra.gauge(),
+            workspace,
         )
     }
 
@@ -584,13 +606,14 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
+fn worker_loop(shared: &Shared, worker_id: usize, rx: &channel::Receiver<Job>) {
+    let workspace = &shared.workspaces[worker_id];
     while let Ok(job) = rx.recv() {
-        process(shared, job);
+        process(shared, workspace, job);
     }
 }
 
-fn process(shared: &Shared, job: Job) {
+fn process(shared: &Shared, workspace: &Arc<Workspace>, job: Job) {
     let picked_up = Instant::now();
     let Job {
         work,
@@ -616,18 +639,19 @@ fn process(shared: &Shared, job: Job) {
     }
 
     let result = match work {
-        Work::Annotate { netlist, task } => annotate(shared, &netlist, task),
+        Work::Annotate { netlist, task } => annotate(shared, workspace, &netlist, task),
         Work::OpenSession {
             session,
             netlist,
             task,
-        } => open_session(shared, session, &netlist, task),
+        } => open_session(shared, workspace, session, &netlist, task),
         Work::UpdateSession { session, netlist } => {
             // Same-session updates go through the per-session pending
             // queue; replies and completion metrics are handled per drained
             // update inside.
             enqueue_session_update(
                 shared,
+                workspace,
                 session,
                 PendingUpdate {
                     netlist,
@@ -687,7 +711,13 @@ fn parse_flat(shared: &Shared, netlist: &str) -> Result<Circuit, JobError> {
     parsed.map_err(|err| JobError::Parse(err.to_string()))
 }
 
-fn open_session(shared: &Shared, session: u64, netlist: &str, task: Task) -> JobResult {
+fn open_session(
+    shared: &Shared,
+    workspace: &Arc<Workspace>,
+    session: u64,
+    netlist: &str,
+    task: Task,
+) -> JobResult {
     let Some(incremental) = shared.incremental(task) else {
         return Err(JobError::UnsupportedTask(format!("{task:?}")));
     };
@@ -699,7 +729,7 @@ fn open_session(shared: &Shared, session: u64, netlist: &str, task: Task) -> Job
     let flat = parse_flat(shared, netlist)?;
 
     let recognize_start = Instant::now();
-    let incremental = incremental.clone();
+    let incremental = incremental.clone().with_workspace(Arc::clone(workspace));
     let annotated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         incremental.annotate_full(&flat)
     }));
@@ -732,7 +762,12 @@ fn open_session(shared: &Shared, session: u64, netlist: &str, task: Task) -> Job
 /// if no other worker currently is. The CAS loop re-checks after releasing
 /// drain duty so an update that raced in during the handoff is never
 /// stranded: either this worker reclaims duty or the racing pusher won it.
-fn enqueue_session_update(shared: &Shared, session: u64, update: PendingUpdate) {
+fn enqueue_session_update(
+    shared: &Shared,
+    workspace: &Arc<Workspace>,
+    session: u64,
+    update: PendingUpdate,
+) {
     // Hold the store lock only to fetch the slot; distinct sessions drain
     // in parallel on different workers.
     let Some(slot) = shared.sessions.lock().get(&session).cloned() else {
@@ -753,7 +788,7 @@ fn enqueue_session_update(shared: &Shared, session: u64, update: PendingUpdate) 
         loop {
             let next = slot.pending.lock().pop_front();
             let Some(update) = next else { break };
-            run_session_update(shared, &slot, update);
+            run_session_update(shared, workspace, &slot, update);
         }
         slot.draining.store(false, Ordering::Release);
         if slot.pending.lock().is_empty() {
@@ -764,7 +799,12 @@ fn enqueue_session_update(shared: &Shared, session: u64, update: PendingUpdate) 
 
 /// Executes one drained update: parse outside the state lock, advance the
 /// baseline inside it, and deliver the reply.
-fn run_session_update(shared: &Shared, slot: &SessionSlot, update: PendingUpdate) {
+fn run_session_update(
+    shared: &Shared,
+    workspace: &Arc<Workspace>,
+    slot: &SessionSlot,
+    update: PendingUpdate,
+) {
     let PendingUpdate {
         netlist,
         submitted_at,
@@ -793,6 +833,7 @@ fn run_session_update(shared: &Shared, slot: &SessionSlot, update: PendingUpdate
         let Some(incremental) = shared.incremental(state.task) else {
             return Err(JobError::UnsupportedTask(format!("{:?}", state.task)));
         };
+        let incremental = incremental.clone().with_workspace(Arc::clone(workspace));
         let recognize_start = Instant::now();
         let updated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             incremental.update(&state.baseline, &flat)
@@ -811,7 +852,7 @@ fn run_session_update(shared: &Shared, slot: &SessionSlot, update: PendingUpdate
     finish_job(shared, submitted_at, &reply, result);
 }
 
-fn annotate(shared: &Shared, netlist: &str, task: Task) -> JobResult {
+fn annotate(shared: &Shared, workspace: &Arc<Workspace>, netlist: &str, task: Task) -> JobResult {
     let Some(pipeline) = shared.pipeline(task) else {
         return Err(JobError::UnsupportedTask(format!("{task:?}")));
     };
@@ -825,7 +866,7 @@ fn annotate(shared: &Shared, netlist: &str, task: Task) -> JobResult {
     };
 
     let recognize_start = Instant::now();
-    let pipeline = pipeline.clone();
+    let pipeline = pipeline.clone().with_workspace(Arc::clone(workspace));
     let recognized = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         pipeline.recognize(&flat)
     }));
@@ -1031,6 +1072,28 @@ mod tests {
         assert_eq!(stats.intra_queued, 0);
         let wire = stats.to_wire();
         assert!(wire.contains("intra_pool_size="));
+    }
+
+    #[test]
+    fn stats_expose_workspace_counters() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .build();
+        engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("accepted")
+            .wait()
+            .expect("annotates");
+        let stats = engine.stats();
+        // The NMOS-only OTA cannot host PMOS/LC/RC templates, so the
+        // prefilter must have skipped some; inference must have grown the
+        // worker's dense buffers.
+        assert!(stats.templates_pruned > 0, "{stats:?}");
+        assert!(stats.workspace_high_water_bytes > 0, "{stats:?}");
+        let wire = stats.to_wire();
+        assert!(wire.contains("templates_pruned="));
+        assert!(wire.contains("workspace_high_water_bytes="));
     }
 
     #[test]

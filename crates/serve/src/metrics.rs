@@ -104,7 +104,7 @@ impl Metrics {
     /// Immutable snapshot (counters may lag each other by in-flight jobs).
     /// `sessions` and `region` come from the engine's session store and
     /// shared region cache; `intra` from the shared intra-request pool
-    /// gauge.
+    /// gauge; `workspace` aggregates the per-worker annotation workspaces.
     pub fn snapshot(
         &self,
         queue_depth: usize,
@@ -112,12 +112,15 @@ impl Metrics {
         sessions: usize,
         region: RegionCacheStats,
         intra: GaugeSnapshot,
+        workspace: WorkspaceStats,
     ) -> StatsSnapshot {
         StatsSnapshot {
             sessions,
             intra_pool_size: intra.size,
             intra_busy: intra.busy,
             intra_queued: intra.queued,
+            templates_pruned: workspace.templates_pruned,
+            workspace_high_water_bytes: workspace.high_water_bytes,
             region_hits: region.hits,
             region_misses: region.misses,
             region_evictions: region.evictions,
@@ -142,6 +145,17 @@ impl Metrics {
             total_mean_us: self.total.mean_us(),
         }
     }
+}
+
+/// Aggregate view of the per-worker annotation workspaces, computed by the
+/// engine at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Templates skipped by the VF2 prefilter, summed over all workers.
+    pub templates_pruned: u64,
+    /// Largest steady-state inference-buffer footprint (bytes) any single
+    /// worker has reached.
+    pub high_water_bytes: u64,
 }
 
 /// Point-in-time view of the engine counters, used by the `stats` request
@@ -182,6 +196,10 @@ pub struct StatsSnapshot {
     pub intra_busy: usize,
     /// Intra-request items claimed by no worker yet (all workers).
     pub intra_queued: usize,
+    /// Templates skipped by the VF2 candidate prefilter (all workers).
+    pub templates_pruned: u64,
+    /// Peak per-worker annotation-workspace footprint in bytes.
+    pub workspace_high_water_bytes: u64,
     /// p50 queue wait (µs).
     pub queue_wait_p50_us: u64,
     /// p95 queue wait (µs).
@@ -210,6 +228,7 @@ impl StatsSnapshot {
              sessions={} region_hits={} region_misses={} region_evictions={} \
              region_splices={} region_bytes={} \
              queue_depth={} workers={} intra_pool_size={} intra_busy={} intra_queued={} \
+             templates_pruned={} workspace_high_water_bytes={} \
              queue_wait_p50_us={} queue_wait_p95_us={} \
              parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
              total_p50_us={} total_p95_us={} total_mean_us={}",
@@ -230,6 +249,8 @@ impl StatsSnapshot {
             self.intra_pool_size,
             self.intra_busy,
             self.intra_queued,
+            self.templates_pruned,
+            self.workspace_high_water_bytes,
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
             self.parse_p50_us,
@@ -266,6 +287,8 @@ impl StatsSnapshot {
                 "intra_pool_size" => snap.intra_pool_size = n as usize,
                 "intra_busy" => snap.intra_busy = n as usize,
                 "intra_queued" => snap.intra_queued = n as usize,
+                "templates_pruned" => snap.templates_pruned = n,
+                "workspace_high_water_bytes" => snap.workspace_high_water_bytes = n,
                 "queue_wait_p50_us" => snap.queue_wait_p50_us = n,
                 "queue_wait_p95_us" => snap.queue_wait_p95_us = n,
                 "parse_p50_us" => snap.parse_p50_us = n,
@@ -289,7 +312,8 @@ impl fmt::Display for StatsSnapshot {
             "jobs: {} submitted, {} completed, {} failed, {} rejected, {} cache hits, \
              {} expired | sessions: {} open, region cache {}/{} hit, {} spliced, \
              {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
-             {} threads/worker, {} busy, {} queued | latency µs: \
+             {} threads/worker, {} busy, {} queued | workspace: {} templates \
+             pruned, {} B peak | latency µs: \
              wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
             self.submitted,
             self.completed,
@@ -308,6 +332,8 @@ impl fmt::Display for StatsSnapshot {
             self.intra_pool_size,
             self.intra_busy,
             self.intra_queued,
+            self.templates_pruned,
+            self.workspace_high_water_bytes,
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
             self.parse_p50_us,
@@ -363,10 +389,16 @@ mod tests {
                 busy: 1,
                 queued: 5,
             },
+            WorkspaceStats {
+                templates_pruned: 42,
+                high_water_bytes: 65536,
+            },
         );
         assert_eq!(snap.intra_pool_size, 2);
         assert_eq!(snap.intra_busy, 1);
         assert_eq!(snap.intra_queued, 5);
+        assert_eq!(snap.templates_pruned, 42);
+        assert_eq!(snap.workspace_high_water_bytes, 65536);
         let wire = snap.to_wire();
         let back = StatsSnapshot::from_wire(&wire).expect("parses");
         assert_eq!(snap, back);

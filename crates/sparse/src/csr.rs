@@ -212,6 +212,19 @@ impl CsrMatrix {
     ///
     /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
     pub fn mul_dense(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.rows, x.cols());
+        self.mul_dense_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::mul_dense`] written into `out` (resized and zeroed),
+    /// reusing `out`'s allocation. The accumulation order is identical to
+    /// the allocating kernel, so the result is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
+    pub fn mul_dense_into(&self, x: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if x.rows() != self.cols {
             return Err(SparseError::ShapeMismatch {
                 left: self.shape(),
@@ -219,7 +232,7 @@ impl CsrMatrix {
                 op: "mul_dense",
             });
         }
-        let mut out = DenseMatrix::zeros(self.rows, x.cols());
+        out.resize(self.rows, x.cols());
         for r in 0..self.rows {
             for i in self.indptr[r]..self.indptr[r + 1] {
                 let v = self.values[i];
@@ -230,7 +243,7 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Row-parallel [`CsrMatrix::mul_dense`] over the given thread budget.
@@ -245,8 +258,26 @@ impl CsrMatrix {
     ///
     /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
     pub fn mul_dense_par(&self, par: &Parallelism, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.rows, x.cols());
+        self.mul_dense_par_into(par, x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::mul_dense_par`] written into `out` (resized and zeroed),
+    /// reusing `out`'s allocation; byte-identical to the allocating kernels
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
+    pub fn mul_dense_par_into(
+        &self,
+        par: &Parallelism,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
         if par.is_serial() || self.rows <= PAR_ROW_GRAIN {
-            return self.mul_dense(x);
+            return self.mul_dense_into(x, out);
         }
         if x.rows() != self.cols {
             return Err(SparseError::ShapeMismatch {
@@ -271,12 +302,12 @@ impl CsrMatrix {
             }
             (range, block)
         });
-        let mut out = DenseMatrix::zeros(self.rows, cols);
+        out.resize(self.rows, cols);
         let flat = out.as_mut_slice();
         for (range, block) in blocks {
             flat[range.start * cols..range.end * cols].copy_from_slice(&block);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed sparse–dense product `Y = Aᵀ·X` without materializing `Aᵀ`.
@@ -580,6 +611,20 @@ mod tests {
             let parallel = a.mul_dense_par(&par, &x).expect("shapes match");
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn mul_dense_into_reuses_buffer_and_matches_fresh() {
+        let a = sample();
+        let x = DenseMatrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[3.0, 2.0]]).expect("valid");
+        let fresh = a.mul_dense(&x).expect("shapes match");
+        let mut reused = DenseMatrix::filled(7, 1, 42.0);
+        a.mul_dense_into(&x, &mut reused).expect("shapes match");
+        assert_eq!(reused, fresh);
+        let par = Parallelism::new(3);
+        a.mul_dense_par_into(&par, &x, &mut reused)
+            .expect("shapes match");
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -209,12 +209,47 @@ impl DenseMatrix {
         self.data
     }
 
+    /// Reshapes the matrix to `rows × cols` and zeros every entry, reusing
+    /// the existing allocation when it has enough capacity.
+    ///
+    /// This is the workspace-reuse primitive: repeated calls with varying
+    /// shapes settle on the high-water allocation instead of reallocating
+    /// per request.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `src` (shape and contents), reusing the
+    /// existing allocation when possible.
+    pub fn copy_from(&mut self, src: &DenseMatrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self · rhs`.
     ///
     /// # Errors
     ///
     /// Returns [`SparseError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhs` written into `out` (resized and zeroed),
+    /// reusing `out`'s allocation. The accumulation order is identical to
+    /// [`DenseMatrix::matmul`], so results are byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(SparseError::ShapeMismatch {
                 left: self.shape(),
@@ -222,7 +257,7 @@ impl DenseMatrix {
                 op: "matmul",
             });
         }
-        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        out.resize(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -236,7 +271,7 @@ impl DenseMatrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
@@ -433,10 +468,27 @@ impl DenseMatrix {
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(indices.len(), self.cols);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`DenseMatrix::gather_rows`] written into `out` (resized), reusing
+    /// `out`'s allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut DenseMatrix) {
+        out.resize(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
+    }
+
+    /// Bytes of heap memory backing the matrix (capacity, not length) —
+    /// the workspace high-water accounting unit.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Stacks `self` on top of `other`.
@@ -709,6 +761,47 @@ mod tests {
     fn from_rows_rejects_ragged_input() {
         let err = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).expect_err("ragged");
         assert!(matches!(err, SparseError::InvalidData(_)));
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_zeros() {
+        let mut m = DenseMatrix::filled(4, 4, 7.0);
+        let cap_before = m.heap_bytes();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.heap_bytes(), cap_before, "shrink keeps the allocation");
+        m.resize(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let a = sample();
+        let mut b = DenseMatrix::filled(5, 5, 9.0);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn matmul_into_is_identical_to_matmul() {
+        let a = sample();
+        let b = DenseMatrix::from_rows(&[&[7.0, 1.0], &[8.0, -2.0], &[9.0, 0.5]]).expect("valid");
+        let fresh = a.matmul(&b).expect("shapes match");
+        let mut reused = DenseMatrix::filled(1, 7, 3.0);
+        a.matmul_into(&b, &mut reused).expect("shapes match");
+        assert_eq!(reused, fresh);
+        assert!(a.matmul_into(&a, &mut reused).is_err());
+    }
+
+    #[test]
+    fn gather_rows_into_is_identical_to_gather_rows() {
+        let a = sample();
+        let fresh = a.gather_rows(&[1, 1, 0]);
+        let mut reused = DenseMatrix::filled(9, 2, -1.0);
+        a.gather_rows_into(&[1, 1, 0], &mut reused);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

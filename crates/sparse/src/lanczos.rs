@@ -26,13 +26,25 @@ fn norm(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
+/// Iterations between convergence checks of [`largest_eigenvalue`]. The
+/// tridiagonal eigenvalue estimate (bisection, `O(k)` per evaluation) costs
+/// more than a Lanczos step on the sparse graphs this crate serves, so the
+/// plateau test runs every few steps; requiring the estimate to be flat
+/// across a whole stride is a *stronger* stopping condition than the
+/// per-iteration check it replaces.
+const CHECK_STRIDE: usize = 3;
+
 /// Estimates the largest eigenvalue of a symmetric matrix with the Lanczos
 /// algorithm.
 ///
-/// Builds a Krylov tridiagonal matrix of dimension at most `max_iter` with
-/// full reorthogonalization (cheap at these sizes) and returns the largest
-/// eigenvalue of the tridiagonal matrix, computed by bisection on its
-/// Sturm sequence.
+/// Runs the plain three-term recurrence (no reorthogonalization) for at
+/// most `max_iter` steps, keeping only the last two basis vectors, and
+/// returns the largest eigenvalue of the Krylov tridiagonal matrix,
+/// computed by bisection on its Sturm sequence. Loss of orthogonality in
+/// finite precision duplicates *converged* Ritz values; it does not
+/// degrade the extreme one this routine reports, so the recurrence stays
+/// `O(nnz + n)` per step instead of the `O(k·n)` a full
+/// reorthogonalization would cost.
 ///
 /// # Errors
 ///
@@ -71,53 +83,48 @@ pub fn largest_eigenvalue(a: &CsrMatrix, max_iter: usize, tol: f64) -> Result<f6
     let m = max_iter.min(n).max(1);
     let mut alphas: Vec<f64> = Vec::with_capacity(m);
     let mut betas: Vec<f64> = Vec::with_capacity(m);
-    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
 
     let mut q = seed_vector(n);
     let q_norm = norm(&q);
     for x in &mut q {
         *x /= q_norm;
     }
-    basis.push(q.clone());
+    let mut q_prev = vec![0.0f64; n];
 
     let mut prev_estimate = f64::NEG_INFINITY;
     for k in 0..m {
-        let mut w = a.mul_vec(&basis[k])?;
-        let alpha: f64 = w.iter().zip(&basis[k]).map(|(a, b)| a * b).sum();
+        let mut w = a.mul_vec(&q)?;
+        let alpha: f64 = w.iter().zip(&q).map(|(a, b)| a * b).sum();
         alphas.push(alpha);
-        // w = w - alpha*q_k - beta*q_{k-1}, then full reorthogonalization.
-        for (wi, qi) in w.iter_mut().zip(&basis[k]) {
+        // w = w - alpha*q_k - beta*q_{k-1}.
+        for (wi, qi) in w.iter_mut().zip(&q) {
             *wi -= alpha * qi;
         }
         if k > 0 {
             let beta_prev = betas[k - 1];
-            for (wi, qi) in w.iter_mut().zip(&basis[k - 1]) {
+            for (wi, qi) in w.iter_mut().zip(&q_prev) {
                 *wi -= beta_prev * qi;
             }
         }
-        for q_prev in &basis {
-            let overlap: f64 = w.iter().zip(q_prev).map(|(a, b)| a * b).sum();
-            for (wi, qi) in w.iter_mut().zip(q_prev) {
-                *wi -= overlap * qi;
-            }
-        }
 
-        let estimate = tridiag_max_eigenvalue(&alphas, &betas);
-        if (estimate - prev_estimate).abs() <= tol * estimate.abs().max(1.0) && k >= 2 {
-            return Ok(estimate);
+        if k >= 2 && k % CHECK_STRIDE == 0 {
+            let estimate = tridiag_max_eigenvalue(&alphas, &betas);
+            if (estimate - prev_estimate).abs() <= tol * estimate.abs().max(1.0) {
+                return Ok(estimate);
+            }
+            prev_estimate = estimate;
         }
-        prev_estimate = estimate;
 
         let beta = norm(&w);
         if beta <= f64::EPSILON * (n as f64) {
             // Invariant subspace found: the tridiagonal spectrum is exact.
-            return Ok(estimate);
+            return Ok(tridiag_max_eigenvalue(&alphas, &betas));
         }
         betas.push(beta);
         for wi in &mut w {
             *wi /= beta;
         }
-        basis.push(w);
+        q_prev = std::mem::replace(&mut q, w);
     }
     Ok(tridiag_max_eigenvalue(&alphas, &betas))
 }
