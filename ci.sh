@@ -48,12 +48,19 @@ if cargo run --release -p gana-bench --bin bench-smoke; then
             END {
                 worst = 0
                 for (n in fresh) {
-                    if (!(n in base) || base[n] == 0) continue
+                    if (!(n in base)) {
+                        printf "NEW bench %s: %d ns (no committed baseline)\n", n, fresh[n]
+                        continue
+                    }
+                    if (base[n] == 0) continue
                     pct = (fresh[n] - base[n]) * 100.0 / base[n]
                     if (pct > 10)
                         printf "REGRESSION %s: %d -> %d ns (+%.1f%%)\n", n, base[n], fresh[n], pct
                     if (pct > worst) worst = pct
                 }
+                for (n in base)
+                    if (!(n in fresh))
+                        printf "REMOVED bench %s: was %d ns in committed baseline\n", n, base[n]
                 if (worst <= 10) print "no bench regressed >10% vs committed baseline"
             }
         ' /tmp/bench_baseline.json BENCH_pipeline.json || true

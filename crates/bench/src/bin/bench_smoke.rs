@@ -11,16 +11,23 @@
 //! flaky.
 //!
 //! Output schema: `{ "<bench_name>": { "median_ns": u64, "iters": u64,
-//! "threads": u64, "nproc": u64, "commit": "<short-sha>" } }`. `threads`
-//! is the intra-request thread count the bench asked for; `nproc` is the
-//! parallelism the runner actually had. A 4-thread bench on a 1-core
-//! runner measures scheduling overhead, not speedup, so the summary only
-//! frames the multi-thread pair as a speedup when `nproc > 1`.
+//! "threads": u64, "batch": u64, "nproc": u64, "commit": "<short-sha>",
+//! "dirty": bool } }`. `threads` is the intra-request thread count the
+//! bench asked for; `batch` is the fused micro-batch size (per-request
+//! entries report `median_ns` already divided by it); `nproc` is the
+//! parallelism the runner actually had; `dirty` records whether the
+//! working tree had uncommitted changes, so an artifact stamped with a
+//! commit that does not actually match the measured code is detectable.
+//! A 4-thread bench on a 1-core runner measures scheduling overhead, not
+//! speedup, so the summary only frames the multi-thread pair as a speedup
+//! when `nproc > 1`.
 
 use gana_bench::{ota_pipeline, receiver, rf_pipeline, small_circuit};
 use gana_datasets::phased_array;
+use gana_gnn::GraphSample;
 use gana_incremental::IncrementalPipeline;
 use gana_netlist::Circuit;
+use gana_serve::{Engine, JobRequest};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -34,6 +41,10 @@ struct Measurement {
     median_ns: u128,
     iters: usize,
     threads: usize,
+    /// Fused micro-batch size behind each reported number (`1` for the
+    /// serial benches). Batched entries divide the fused median by this,
+    /// so every entry is a per-request cost.
+    batch: usize,
 }
 
 /// Runs `f` once to warm caches, then repeatedly until the time budget or
@@ -55,7 +66,58 @@ fn measure<F: FnMut()>(threads: usize, mut f: F) -> Measurement {
         median_ns: times[times.len() / 2],
         iters: times.len(),
         threads,
+        batch: 1,
     }
+}
+
+/// Like [`measure`], but each `f()` serves `batch` requests: the reported
+/// median is divided by `batch` so the entry reads as per-request cost.
+fn measure_batched<F: FnMut()>(threads: usize, batch: usize, f: F) -> Measurement {
+    let m = measure(threads, f);
+    Measurement {
+        median_ns: m.median_ns / batch as u128,
+        iters: m.iters,
+        threads,
+        batch,
+    }
+}
+
+/// Measures several batch sizes as one paired experiment: every round
+/// times one call per variant back-to-back, so the slow frequency and
+/// scheduling drift of a shared runner hits all variants equally instead
+/// of biasing whichever happened to get its own timing loop last. Returns
+/// one per-request [`Measurement`] per entry of `batches`, in order.
+/// `f(slot)` must serve `batches[slot]` requests.
+fn measure_batched_interleaved<F: FnMut(usize)>(
+    threads: usize,
+    batches: &[usize],
+    mut f: F,
+) -> Vec<Measurement> {
+    for slot in 0..batches.len() {
+        f(slot);
+    }
+    let mut times: Vec<Vec<u128>> = vec![Vec::new(); batches.len()];
+    let start = Instant::now();
+    while times[0].len() < MIN_ITERS || (times[0].len() < MAX_ITERS && start.elapsed() < BUDGET) {
+        for (slot, samples) in times.iter_mut().enumerate() {
+            let t = Instant::now();
+            f(slot);
+            samples.push(t.elapsed().as_nanos());
+        }
+    }
+    times
+        .into_iter()
+        .zip(batches)
+        .map(|(mut samples, &batch)| {
+            samples.sort_unstable();
+            Measurement {
+                median_ns: samples[samples.len() / 2] / batch as u128,
+                iters: samples.len(),
+                threads,
+                batch,
+            }
+        })
+        .collect()
 }
 
 /// The parallelism the runner actually offers, as opposed to what a bench
@@ -93,14 +155,29 @@ fn short_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Whether the working tree differs from the stamped commit. A dirty tree
+/// means the numbers may not reproduce from that commit; `true` when git
+/// itself is unavailable, since cleanliness cannot be verified then.
+fn worktree_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| !out.stdout.is_empty())
+        .unwrap_or(true)
+}
+
 fn to_json(results: &BTreeMap<String, Measurement>, commit: &str, nproc: usize) -> String {
+    let dirty = worktree_dirty();
     let entries: Vec<String> = results
         .iter()
         .map(|(name, m)| {
             format!(
                 "  \"{name}\": {{ \"median_ns\": {}, \"iters\": {}, \"threads\": {}, \
-                 \"nproc\": {nproc}, \"commit\": \"{commit}\" }}",
-                m.median_ns, m.iters, m.threads
+                 \"batch\": {}, \"nproc\": {nproc}, \"commit\": \"{commit}\", \
+                 \"dirty\": {dirty} }}",
+                m.median_ns, m.iters, m.threads, m.batch
             )
         })
         .collect();
@@ -149,6 +226,56 @@ fn main() {
         );
     }
 
+    // Micro-batched GNN inference: per-request cost of the fused
+    // block-diagonal forward at batch sizes 1, 4, 8 on the same prepared
+    // phased-array sample. b1 goes through the serial singleton path, so
+    // the b8-vs-b1 delta is exactly what cross-request batching saves.
+    let batch_pipeline = rf_pipeline(4);
+    let (_, _, pa_sample) = batch_pipeline.prepare(&pa.circuit).expect("prepares");
+    let batches = [1usize, 4, 8];
+    let batch_refs: Vec<Vec<&GraphSample>> = batches
+        .iter()
+        .map(|&b| (0..b).map(|_| &pa_sample).collect())
+        .collect();
+    eprintln!("bench: batched_annotate_phased_array_b{{1,4,8}} (interleaved)");
+    let measurements = measure_batched_interleaved(1, &batches, |slot| {
+        batch_pipeline
+            .predict_samples(&batch_refs[slot])
+            .expect("runs");
+    });
+    for (batch, m) in batches.iter().zip(measurements) {
+        results.insert(format!("batched_annotate_phased_array_b{batch}"), m);
+    }
+
+    // End-to-end service throughput with batching on: one worker, bursts
+    // of 8 phased-array requests, a short gather window. Reported as
+    // per-request latency so it is comparable with the entries above.
+    let pa_spice = gana_netlist::write_spice(&gana_netlist::SpiceLibrary::new(pa.circuit.clone()));
+    let engine = Engine::builder()
+        .pipeline(rf_pipeline(4))
+        .workers(1)
+        .result_cache_capacity(0)
+        .max_batch(8)
+        .batch_window_us(1_000)
+        .build();
+    eprintln!("bench: serve_batched_throughput");
+    results.insert(
+        "serve_batched_throughput".to_string(),
+        measure_batched(1, 8, || {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    engine
+                        .submit_blocking(JobRequest::new(pa_spice.clone(), gana_core::Task::Rf))
+                        .expect("accepted")
+                })
+                .collect();
+            for handle in handles {
+                handle.wait().expect("annotates");
+            }
+        }),
+    );
+    engine.shutdown();
+
     // Incremental re-annotation of a single-device edit against a parked
     // baseline — the edit-loop latency the incremental subsystem exists for.
     let incremental = IncrementalPipeline::new(rf_pipeline(4));
@@ -180,6 +307,16 @@ fn main() {
                  runner the 4-thread number measures scheduling overhead, not parallelism"
             );
         }
+    }
+
+    if let (Some(b1), Some(b8)) = (
+        results.get("batched_annotate_phased_array_b1"),
+        results.get("batched_annotate_phased_array_b8"),
+    ) {
+        eprintln!(
+            "micro-batch per-request GNN cost b8 vs b1: {:.2}x cheaper",
+            b1.median_ns as f64 / b8.median_ns as f64
+        );
     }
 
     let json = to_json(&results, &short_commit(), nproc);

@@ -290,6 +290,29 @@ impl Pipeline {
             .predict(&self.model, &self.parallelism, sample)?)
     }
 
+    /// Runs GCN inference on a whole batch of prepared samples in one
+    /// fused forward pass, returning one prediction vector per sample in
+    /// order. The samples' Laplacians fuse into a block-diagonal operator
+    /// so the batch shares a single Chebyshev sweep per layer
+    /// ([`GcnModel::predict_batch_into`]); results are byte-identical to
+    /// calling [`Pipeline::predict_sample`] per sample. A batch of one
+    /// takes the single-sample path directly, skipping the fusion
+    /// assembly — output is the same either way, so batched and serial
+    /// callers share this one entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model shape errors for any sample in the batch.
+    pub fn predict_samples(&self, samples: &[&GraphSample]) -> Result<Vec<Vec<usize>>> {
+        match samples {
+            [] => Ok(Vec::new()),
+            [only] => Ok(vec![self.predict_sample(only)?]),
+            _ => Ok(self
+                .workspace
+                .predict_batch(&self.model, &self.parallelism, samples)?),
+        }
+    }
+
     /// Runs postprocessing and hierarchy construction on externally
     /// produced per-vertex predictions (used by evaluation code that wants
     /// to score the raw GCN separately).

@@ -84,4 +84,29 @@ impl Workspace {
             Err(_) => model.predict_into(par, sample, &mut GnnWorkspace::new()),
         }
     }
+
+    /// Runs one fused GCN forward over a whole batch of samples through
+    /// the reusable buffers, returning one prediction vector per sample.
+    /// Byte-identical to calling [`Workspace::predict`] per sample (see
+    /// [`GcnModel::predict_batch_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model shape errors for any sample in the batch.
+    pub fn predict_batch(
+        &self,
+        model: &GcnModel,
+        par: &Parallelism,
+        samples: &[&GraphSample],
+    ) -> gana_gnn::Result<Vec<Vec<usize>>> {
+        match self.gnn.try_lock() {
+            Ok(mut ws) => {
+                let out = model.predict_batch_into(par, samples, &mut ws);
+                self.high_water_bytes
+                    .fetch_max(ws.heap_bytes() as u64, Ordering::Relaxed);
+                out
+            }
+            Err(_) => model.predict_batch_into(par, samples, &mut GnnWorkspace::new()),
+        }
+    }
 }

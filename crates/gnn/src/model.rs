@@ -19,7 +19,7 @@ use crate::sample::GraphSample;
 use crate::workspace::GnnWorkspace;
 use crate::{GnnError, Result};
 use gana_par::Parallelism;
-use gana_sparse::DenseMatrix;
+use gana_sparse::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -346,6 +346,111 @@ impl GcnModel {
         Ok((0..ws.gathered.rows())
             .map(|r| ws.gathered.row_argmax(r).unwrap_or(0))
             .collect())
+    }
+
+    /// Micro-batched [`GcnModel::predict_into`]: fuses `samples` into one
+    /// forward pass and returns one prediction vector per sample, in order.
+    ///
+    /// Per coarsening level the samples' rescaled Laplacians are stacked
+    /// into a single block-diagonal operator
+    /// ([`CsrMatrix::block_diag`]) and their padded feature maps are
+    /// stacked vertically, so each Chebyshev tap costs one fused
+    /// sparse–dense sweep instead of one per sample — the per-call
+    /// overhead (kernel dispatch, buffer administration, per-tap matmul
+    /// ramp-up) is paid once for the whole batch.
+    ///
+    /// The fusion is exact, not approximate: every stage of the forward is
+    /// row-local (spmm rows accumulate only their own block's entries;
+    /// batch-norm inference uses running statistics; activation, pooling,
+    /// FC layers, gather, and softmax act per row or per row pair), and
+    /// every sample's padded size is even at each pooled level, so stride-2
+    /// pooling never pairs rows across a block boundary. Predictions are
+    /// therefore **byte-identical** to calling
+    /// [`GcnModel::predict_into`] per sample — the equivalence the
+    /// `batched_equivalence` proptests enforce.
+    ///
+    /// An empty batch returns no predictions. A batch of one still runs the
+    /// fused path (callers that want to skip the block-diagonal assembly
+    /// for single samples should call [`GcnModel::predict_into`]
+    /// directly — results match either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if any sample does not match the
+    /// model configuration.
+    pub fn predict_batch_into(
+        &self,
+        par: &Parallelism,
+        samples: &[&GraphSample],
+        ws: &mut GnnWorkspace,
+    ) -> Result<Vec<Vec<usize>>> {
+        if samples.is_empty() {
+            return Ok(Vec::new());
+        }
+        for sample in samples {
+            self.check_sample(sample)?;
+        }
+        let levels = self.config.levels();
+        // Assemble the fused operators into the workspace's recycled CSR
+        // buffers: steady-state batched inference allocates nothing here.
+        ws.fused.resize_with(levels, CsrMatrix::default);
+        let mut blocks: Vec<&CsrMatrix> = Vec::with_capacity(samples.len());
+        for (l, fused) in ws.fused.iter_mut().enumerate() {
+            blocks.clear();
+            blocks.extend(samples.iter().map(|s| s.coarsening.laplacian(l)));
+            CsrMatrix::block_diag_into(&blocks, fused);
+        }
+        let total_rows: usize = samples.iter().map(|s| s.features.rows()).sum();
+        let width = self.config.input_dim;
+        ws.x.resize(total_rows, width);
+        let mut offset = 0;
+        for sample in samples {
+            let len = sample.features.rows() * width;
+            ws.x.as_mut_slice()[offset..offset + len].copy_from_slice(sample.features.as_slice());
+            offset += len;
+        }
+        for (l, conv) in self.convs.iter().enumerate() {
+            conv.forward_into(
+                par,
+                &ws.fused[l],
+                &ws.x,
+                &mut ws.basis,
+                &mut ws.term,
+                &mut ws.y,
+            )?;
+            if self.config.batch_norm {
+                self.batch_norms[l].forward_eval_into(&ws.y, &mut ws.term)?;
+                std::mem::swap(&mut ws.y, &mut ws.term);
+            }
+            self.config.activation.forward_in_place(&mut ws.y);
+            max_pool2_into(&ws.y, &mut ws.x);
+        }
+        self.fc1.forward_into(&ws.x, &mut ws.y)?;
+        self.config.activation.forward_in_place(&mut ws.y);
+        self.fc2.forward_into(&ws.y, &mut ws.x)?;
+        ws.clusters.clear();
+        let mut cluster_offset = 0;
+        for sample in samples {
+            ws.clusters.extend(
+                (0..sample.vertex_count())
+                    .map(|v| cluster_offset + sample.coarsening.cluster_of(v)),
+            );
+            cluster_offset += sample.coarsening.padded_size(levels);
+        }
+        ws.x.gather_rows_into(&ws.clusters, &mut ws.gathered);
+        softmax_in_place(&mut ws.gathered);
+        let mut out = Vec::with_capacity(samples.len());
+        let mut row = 0;
+        for sample in samples {
+            let n = sample.vertex_count();
+            out.push(
+                (row..row + n)
+                    .map(|r| ws.gathered.row_argmax(r).unwrap_or(0))
+                    .collect(),
+            );
+            row += n;
+        }
+        Ok(out)
     }
 
     /// One training step: forward, loss, full backward. The caller applies
@@ -791,6 +896,48 @@ mod tests {
             assert_eq!(reused, fresh);
         }
         assert!(ws.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn predict_batch_into_matches_per_sample_predict_into() {
+        let mut config = tiny_config();
+        config.batch_norm = true;
+        let model = GcnModel::new(config).expect("valid");
+        let small = tiny_sample();
+        let big = {
+            let c = parse(
+                "M0 d1 d1 gnd! gnd! NMOS\nM1 d2 d1 gnd! gnd! NMOS\nM2 out in d2 gnd! NMOS\n\
+                 M3 o2 in2 d2 gnd! NMOS\nR1 out vdd! 10k\nR2 o2 vdd! 20k\nC1 out gnd! 1p\n",
+            )
+            .expect("valid");
+            let g = CircuitGraph::build(&c, GraphOptions::default());
+            let labels = (0..g.vertex_count()).map(|v| Some(v % 2)).collect();
+            GraphSample::prepare("big", &c, &g, labels, 2, 13).expect("prepares")
+        };
+        let par = Parallelism::serial();
+        let mut serial_ws = GnnWorkspace::new();
+        let mut batch_ws = GnnWorkspace::new();
+        // Mixed-size batches, a singleton, repeats of one sample, and the
+        // empty batch, all through one recycled workspace.
+        let batches: Vec<Vec<&GraphSample>> = vec![
+            vec![&small, &big],
+            vec![&big],
+            vec![&big, &small, &big],
+            vec![&small, &small],
+            vec![],
+        ];
+        for batch in batches {
+            let fused = model
+                .predict_batch_into(&par, &batch, &mut batch_ws)
+                .expect("ok");
+            assert_eq!(fused.len(), batch.len());
+            for (sample, preds) in batch.iter().zip(&fused) {
+                let expected = model
+                    .predict_into(&par, sample, &mut serial_ws)
+                    .expect("ok");
+                assert_eq!(preds, &expected);
+            }
+        }
     }
 
     #[test]

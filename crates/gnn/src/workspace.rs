@@ -9,7 +9,7 @@
 //! request via [`gana_sparse::DenseMatrix::resize`], settling on the
 //! high-water allocation.
 
-use gana_sparse::DenseMatrix;
+use gana_sparse::{CsrMatrix, DenseMatrix};
 
 /// Scratch buffers for one in-flight GCN inference.
 ///
@@ -33,6 +33,10 @@ pub struct GnnWorkspace {
     pub(crate) gathered: DenseMatrix,
     /// Vertex-to-cluster index list for the gather.
     pub(crate) clusters: Vec<usize>,
+    /// Fused block-diagonal Laplacians, one per coarsening level, reused
+    /// across batched forward passes
+    /// ([`crate::GcnModel::predict_batch_into`]).
+    pub(crate) fused: Vec<CsrMatrix>,
 }
 
 impl GnnWorkspace {
@@ -55,5 +59,6 @@ impl GnnWorkspace {
                 .map(DenseMatrix::heap_bytes)
                 .sum::<usize>()
             + self.clusters.capacity() * std::mem::size_of::<usize>()
+            + self.fused.iter().map(CsrMatrix::heap_bytes).sum::<usize>()
     }
 }

@@ -27,6 +27,8 @@ use crate::channel;
 use crate::job::{Annotation, Job, JobError, JobHandle, JobRequest, JobResult, SubmitError, Work};
 use crate::metrics::{Metrics, StatsSnapshot, WorkspaceStats};
 use gana_core::{Pipeline, Task, Workspace};
+use gana_gnn::GraphSample;
+use gana_graph::CircuitGraph;
 use gana_incremental::{Baseline, IncrementalPipeline, RegionCache};
 use gana_netlist::{flatten, parse_library, Circuit};
 use gana_par::Parallelism;
@@ -36,7 +38,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +65,16 @@ pub struct EngineConfig {
     /// `workers × intra_threads` never oversubscribes the box. Explicit
     /// values are capped to that same joint budget.
     pub intra_threads: usize,
+    /// Largest fused GCN micro-batch a worker assembles from queued
+    /// annotate jobs of the same task. `1` (the default) disables batching
+    /// entirely; results are byte-identical either way.
+    pub max_batch: usize,
+    /// How long (µs) a worker holding a partial batch may wait for more
+    /// compatible jobs before flushing. `0` means flush as soon as the
+    /// queue runs dry (drain-only batching). The wait is always capped by
+    /// the earliest deadline among the batch members, so batching never
+    /// delays a job past its deadline.
+    pub batch_window_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +88,8 @@ impl Default for EngineConfig {
             region_cache_bytes: IncrementalPipeline::DEFAULT_CACHE_BYTES,
             max_sessions: 64,
             intra_threads: 0,
+            max_batch: 1,
+            batch_window_us: 0,
         }
     }
 }
@@ -183,6 +197,8 @@ struct Shared {
     shutting_down: AtomicBool,
     next_id: AtomicU64,
     workers: usize,
+    max_batch: usize,
+    batch_window_us: u64,
 }
 
 impl Shared {
@@ -265,6 +281,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Overrides the largest fused annotate micro-batch (`1`, the default,
+    /// disables batching).
+    pub fn max_batch(mut self, max_batch: usize) -> EngineBuilder {
+        self.config.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Overrides the batch gather window in microseconds (`0` = flush as
+    /// soon as the queue runs dry). The wait is always capped by the
+    /// earliest deadline among the gathered jobs.
+    pub fn batch_window_us(mut self, window_us: u64) -> EngineBuilder {
+        self.config.batch_window_us = window_us;
+        self
+    }
+
     /// Spawns the worker pool and returns the running engine.
     pub fn build(self) -> Engine {
         let workers = self.config.workers.max(1);
@@ -305,6 +336,8 @@ impl EngineBuilder {
             shutting_down: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
             workers,
+            max_batch: self.config.max_batch.max(1),
+            batch_window_us: self.config.batch_window_us,
         });
         let (tx, rx) = channel::bounded::<Job>(self.config.queue_capacity);
         let handles = (0..workers)
@@ -609,8 +642,281 @@ impl Drop for Engine {
 fn worker_loop(shared: &Shared, worker_id: usize, rx: &channel::Receiver<Job>) {
     let workspace = &shared.workspaces[worker_id];
     while let Ok(job) = rx.recv() {
-        process(shared, workspace, job);
+        match job.work {
+            Work::Annotate { task, .. } if shared.max_batch > 1 => {
+                let (batch, stashed) = collect_batch(shared, rx, task, job);
+                process_annotate_batch(shared, workspace, task, batch);
+                // A non-batchable job drained while gathering runs next, in
+                // its original queue position relative to this worker.
+                if let Some(stashed) = stashed {
+                    process(shared, workspace, stashed);
+                }
+            }
+            _ => process(shared, workspace, job),
+        }
     }
+}
+
+/// One annotate job admitted into a micro-batch. Deadline and cancellation
+/// were checked when the job was drained from the queue (its pickup), so
+/// only completion bookkeeping remains.
+struct BatchJob {
+    netlist: String,
+    submitted_at: Instant,
+    reply: channel::Sender<JobResult>,
+}
+
+/// A batch member that survived parse + prepare and awaits the fused
+/// forward pass.
+struct BatchItem {
+    job: BatchJob,
+    clean: Circuit,
+    graph: CircuitGraph,
+    sample: GraphSample,
+}
+
+/// Admits one drained job into the gathering batch, mirroring the pickup
+/// semantics of [`process`]: queue wait is recorded now, and cancelled or
+/// already-expired jobs are answered immediately instead of joining. A
+/// job admitted here is committed — it runs even if the fused pass later
+/// crosses its deadline, exactly like a serial job picked up in time.
+fn admit_into_batch(
+    shared: &Shared,
+    job: Job,
+    batch: &mut Vec<BatchJob>,
+    earliest_deadline: &mut Option<Instant>,
+) {
+    let picked_up = Instant::now();
+    let Job {
+        work,
+        submitted_at,
+        deadline,
+        cancelled,
+        reply,
+        ..
+    } = job;
+    shared.metrics.queue_wait.record(picked_up - submitted_at);
+    if cancelled.load(Ordering::Relaxed) {
+        shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(Err(JobError::Cancelled));
+        return;
+    }
+    if let Some(deadline) = deadline {
+        if picked_up > deadline {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Err(JobError::DeadlineExceeded));
+            return;
+        }
+    }
+    let Work::Annotate { netlist, .. } = work else {
+        // The callers only admit annotate jobs; answer defensively rather
+        // than panicking a worker.
+        let _ = reply.send(Err(JobError::Internal(
+            "non-annotate job routed into a batch".to_string(),
+        )));
+        return;
+    };
+    *earliest_deadline = match (*earliest_deadline, deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    batch.push(BatchJob {
+        netlist,
+        submitted_at,
+        reply,
+    });
+}
+
+/// Gathers queued annotate jobs for `task` into a micro-batch, starting
+/// from `first`. Draining never blocks; once the queue runs dry, the
+/// worker waits at most `batch_window_us` for stragglers — capped by the
+/// earliest deadline among the gathered jobs, so batching can never hold a
+/// job past its deadline. The first drained job that is *not* a same-task
+/// annotate is returned unprocessed (`stashed`) and ends the gather.
+fn collect_batch(
+    shared: &Shared,
+    rx: &channel::Receiver<Job>,
+    task: Task,
+    first: Job,
+) -> (Vec<BatchJob>, Option<Job>) {
+    let mut batch = Vec::new();
+    let mut earliest_deadline = None;
+    admit_into_batch(shared, first, &mut batch, &mut earliest_deadline);
+    let window_ends = Instant::now() + Duration::from_micros(shared.batch_window_us);
+    let mut stashed = None;
+    while batch.len() < shared.max_batch {
+        let job = match rx.try_recv() {
+            Ok(job) => job,
+            Err(channel::TryRecvError::Disconnected) => break,
+            Err(channel::TryRecvError::Empty) => {
+                if shared.batch_window_us == 0 || batch.is_empty() {
+                    break;
+                }
+                let now = Instant::now();
+                let flush_at =
+                    earliest_deadline.map_or(window_ends, |d: Instant| d.min(window_ends));
+                if flush_at <= now {
+                    if flush_at < window_ends {
+                        shared
+                            .metrics
+                            .batch_flush_deadline
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                match rx.recv_timeout(flush_at - now) {
+                    Ok(job) => job,
+                    Err(channel::RecvTimeoutError::Timeout) => {
+                        if flush_at < window_ends {
+                            shared
+                                .metrics
+                                .batch_flush_deadline
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match &job.work {
+            Work::Annotate { task: t, .. } if *t == task => {
+                admit_into_batch(shared, job, &mut batch, &mut earliest_deadline);
+            }
+            _ => {
+                stashed = Some(job);
+                break;
+            }
+        }
+    }
+    (batch, stashed)
+}
+
+/// Runs one gathered micro-batch: per-job parse + prepare, a single fused
+/// GCN forward pass across every prepared sample (byte-identical to
+/// running them serially — enforced by `gana-core`'s batched-equivalence
+/// suite), then per-job postprocessing, caching, and replies. If the
+/// fused pass itself errors or panics, every member falls back to the
+/// serial predict path so one poisoned sample cannot fail its batchmates.
+/// The recognize histogram receives **one** sample covering the whole
+/// fused stage, not one per member.
+fn process_annotate_batch(
+    shared: &Shared,
+    workspace: &Arc<Workspace>,
+    task: Task,
+    batch: Vec<BatchJob>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let Some(pipeline) = shared.pipeline(task) else {
+        for job in batch {
+            finish_job(
+                shared,
+                job.submitted_at,
+                &job.reply,
+                Err(JobError::UnsupportedTask(format!("{task:?}"))),
+            );
+        }
+        return;
+    };
+    let pipeline = pipeline.clone().with_workspace(Arc::clone(workspace));
+
+    let mut parsed = Vec::with_capacity(batch.len());
+    for job in batch {
+        match parse_flat(shared, &job.netlist) {
+            Ok(flat) => parsed.push((job, flat)),
+            Err(err) => finish_job(shared, job.submitted_at, &job.reply, Err(err)),
+        }
+    }
+
+    let recognize_start = Instant::now();
+    let mut items: Vec<BatchItem> = Vec::with_capacity(parsed.len());
+    for (job, flat) in parsed {
+        let p = &pipeline;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.prepare(&flat))) {
+            Ok(Ok((clean, graph, sample))) => items.push(BatchItem {
+                job,
+                clean,
+                graph,
+                sample,
+            }),
+            Ok(Err(err)) => finish_job(
+                shared,
+                job.submitted_at,
+                &job.reply,
+                Err(JobError::Model(err.to_string())),
+            ),
+            Err(panic) => finish_job(
+                shared,
+                job.submitted_at,
+                &job.reply,
+                Err(JobError::Internal(panic_message(&panic))),
+            ),
+        }
+    }
+    if items.is_empty() {
+        return;
+    }
+
+    shared.metrics.batch_sizes.record(items.len());
+    if items.len() >= 2 {
+        shared
+            .metrics
+            .batched_requests
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+    }
+
+    let fused = {
+        let refs: Vec<&GraphSample> = items.iter().map(|item| &item.sample).collect();
+        let p = &pipeline;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.predict_samples(&refs)))
+    };
+    let predictions: Vec<Result<Vec<usize>, JobError>> = match fused {
+        Ok(Ok(preds)) => preds.into_iter().map(Ok).collect(),
+        _ => items
+            .iter()
+            .map(|item| {
+                let p = &pipeline;
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    p.predict_sample(&item.sample)
+                })) {
+                    Ok(Ok(pred)) => Ok(pred),
+                    Ok(Err(err)) => Err(JobError::Model(err.to_string())),
+                    Err(panic) => Err(JobError::Internal(panic_message(&panic))),
+                }
+            })
+            .collect(),
+    };
+
+    for (item, prediction) in items.into_iter().zip(predictions) {
+        let BatchItem {
+            job,
+            clean,
+            graph,
+            sample: _,
+        } = item;
+        let result = match prediction {
+            Ok(gcn_class) => {
+                let p = &pipeline;
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    p.finish(clean, graph, gcn_class)
+                })) {
+                    Ok(design) => {
+                        let annotation = Arc::new(Annotation::from_design(&design));
+                        if let Some(cache) = &shared.cache {
+                            cache.insert(cache_key(task, &job.netlist), Arc::clone(&annotation));
+                        }
+                        Ok(annotation)
+                    }
+                    Err(panic) => Err(JobError::Internal(panic_message(&panic))),
+                }
+            }
+            Err(err) => Err(err),
+        };
+        finish_job(shared, job.submitted_at, &job.reply, result);
+    }
+    shared.metrics.recognize.record(recognize_start.elapsed());
 }
 
 fn process(shared: &Shared, workspace: &Arc<Workspace>, job: Job) {
@@ -1094,6 +1400,106 @@ mod tests {
         let wire = stats.to_wire();
         assert!(wire.contains("templates_pruned="));
         assert!(wire.contains("workspace_high_water_bytes="));
+    }
+
+    /// Distinct netlists (one per `k`) so a burst is real work, not cache
+    /// hits: the shared OTA core plus a load resistor whose value varies.
+    fn ota_variant(k: usize) -> String {
+        format!("{OTA}R2 vdd! o1 {}k\n", 10 + k)
+    }
+
+    #[test]
+    fn batched_burst_matches_unbatched_annotations() {
+        let plain = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .result_cache_capacity(0)
+            .build();
+        let batched = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .result_cache_capacity(0)
+            .max_batch(4)
+            .batch_window_us(500_000)
+            .build();
+        let netlists: Vec<String> = (0..4).map(ota_variant).collect();
+        let expected: Vec<_> = netlists
+            .iter()
+            .map(|n| {
+                plain
+                    .submit(JobRequest::new(n.clone(), Task::OtaBias))
+                    .expect("accepted")
+                    .wait()
+                    .expect("annotates")
+            })
+            .collect();
+        let handles: Vec<_> = netlists
+            .iter()
+            .map(|n| {
+                batched
+                    .submit(JobRequest::new(n.clone(), Task::OtaBias))
+                    .expect("accepted")
+            })
+            .collect();
+        for (handle, expected) in handles.into_iter().zip(&expected) {
+            assert_eq!(&handle.wait().expect("annotates"), expected);
+        }
+        let stats = batched.stats();
+        assert_eq!(stats.completed, 4);
+        // The single worker held the first job for up to the 500 ms window,
+        // so the burst must have fused at least once.
+        assert!(stats.batched_requests >= 2, "{stats:?}");
+        assert!(stats.batch_size_p95 >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn partial_batch_flushes_at_member_deadline() {
+        // A window far beyond the test budget: only the deadline cap can
+        // flush the lone job in time.
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .result_cache_capacity(0)
+            .max_batch(8)
+            .batch_window_us(60_000_000)
+            .build();
+        let start = Instant::now();
+        let handle = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias).with_deadline(Duration::from_millis(300)))
+            .expect("accepted");
+        handle
+            .wait()
+            .expect("flushed at the deadline, not the window");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline cap must beat the window"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 1);
+        assert!(stats.batch_flush_deadline >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn batching_is_off_by_default() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .result_cache_capacity(0)
+            .build();
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                engine
+                    .submit(JobRequest::new(ota_variant(k), Task::OtaBias))
+                    .expect("accepted")
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().expect("annotates");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.batched_requests, 0);
+        assert_eq!(stats.batch_size_p50, 0);
+        assert_eq!(stats.batch_flush_deadline, 0);
     }
 
     #[test]

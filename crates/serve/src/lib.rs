@@ -30,5 +30,5 @@ pub(crate) use crossbeam::channel;
 
 pub use engine::{Engine, EngineBuilder, EngineConfig};
 pub use job::{Annotation, JobError, JobHandle, JobRequest, JobResult, SubmitError};
-pub use metrics::{LatencyHistogram, Metrics, StatsSnapshot, WorkspaceStats};
+pub use metrics::{LatencyHistogram, Metrics, SizeHistogram, StatsSnapshot, WorkspaceStats};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -75,6 +75,59 @@ impl LatencyHistogram {
     }
 }
 
+/// Exact micro-batch sizes land in their own slot up to this cap (larger
+/// batches clamp into the last slot). Serving batches are single-digit to
+/// low-double-digit, so exact small buckets beat the latency histogram's
+/// power-of-two bounds, which would report a batch of 8 as "≤16".
+const SIZE_BUCKETS: usize = 65;
+
+/// Wait-free histogram over exact small integer sizes (micro-batch sizes).
+#[derive(Debug)]
+pub struct SizeHistogram {
+    counts: [AtomicU64; SIZE_BUCKETS],
+    samples: AtomicU64,
+}
+
+impl Default for SizeHistogram {
+    fn default() -> SizeHistogram {
+        SizeHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            samples: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SizeHistogram {
+    /// Records one size observation.
+    pub fn record(&self, size: usize) {
+        self.counts[size.min(SIZE_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Exact quantile (`q` in `[0,1]`): the size of the q-th observation
+    /// (0 when empty; sizes above the cap read as the cap).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (size, count) in self.counts.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            if seen >= rank {
+                return size as u64;
+            }
+        }
+        (SIZE_BUCKETS - 1) as u64
+    }
+}
+
 /// All counters and histograms of one [`Engine`](crate::Engine).
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -98,6 +151,13 @@ pub struct Metrics {
     pub recognize: LatencyHistogram,
     /// Submission to reply, including queueing.
     pub total: LatencyHistogram,
+    /// Jobs whose GCN forward ran inside a fused micro-batch of ≥ 2.
+    pub batched_requests: AtomicU64,
+    /// Fused forwards run by the batcher, by batch size.
+    pub batch_sizes: SizeHistogram,
+    /// Batch flushes forced by a member's deadline before the batch window
+    /// elapsed or the batch filled.
+    pub batch_flush_deadline: AtomicU64,
 }
 
 impl Metrics {
@@ -143,6 +203,10 @@ impl Metrics {
             total_p50_us: self.total.quantile_us(0.5),
             total_p95_us: self.total.quantile_us(0.95),
             total_mean_us: self.total.mean_us(),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batch_size_p50: self.batch_sizes.quantile(0.5),
+            batch_size_p95: self.batch_sizes.quantile(0.95),
+            batch_flush_deadline: self.batch_flush_deadline.load(Ordering::Relaxed),
         }
     }
 }
@@ -218,6 +282,14 @@ pub struct StatsSnapshot {
     pub total_p95_us: u64,
     /// Mean end-to-end (µs).
     pub total_mean_us: u64,
+    /// Jobs served from inside a fused micro-batch of ≥ 2.
+    pub batched_requests: u64,
+    /// Median fused-batch size (exact).
+    pub batch_size_p50: u64,
+    /// p95 fused-batch size (exact).
+    pub batch_size_p95: u64,
+    /// Batch flushes forced early by a member's deadline.
+    pub batch_flush_deadline: u64,
 }
 
 impl StatsSnapshot {
@@ -229,6 +301,7 @@ impl StatsSnapshot {
              region_splices={} region_bytes={} \
              queue_depth={} workers={} intra_pool_size={} intra_busy={} intra_queued={} \
              templates_pruned={} workspace_high_water_bytes={} \
+             batched_requests={} batch_size_p50={} batch_size_p95={} batch_flush_deadline={} \
              queue_wait_p50_us={} queue_wait_p95_us={} \
              parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
              total_p50_us={} total_p95_us={} total_mean_us={}",
@@ -251,6 +324,10 @@ impl StatsSnapshot {
             self.intra_queued,
             self.templates_pruned,
             self.workspace_high_water_bytes,
+            self.batched_requests,
+            self.batch_size_p50,
+            self.batch_size_p95,
+            self.batch_flush_deadline,
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
             self.parse_p50_us,
@@ -298,10 +375,31 @@ impl StatsSnapshot {
                 "total_p50_us" => snap.total_p50_us = n,
                 "total_p95_us" => snap.total_p95_us = n,
                 "total_mean_us" => snap.total_mean_us = n,
+                "batched_requests" => snap.batched_requests = n,
+                "batch_size_p50" => snap.batch_size_p50 = n,
+                "batch_size_p95" => snap.batch_size_p95 = n,
+                "batch_flush_deadline" => snap.batch_flush_deadline = n,
                 _ => return None,
             }
         }
         Some(snap)
+    }
+}
+
+/// Formats one latency figure for the human-readable stats line. Every
+/// stage goes through this single helper so all figures share one unit
+/// rule — previously a sub-microsecond parse printed a bare `0` beside
+/// millisecond-scale recognize figures under one "µs" banner. Wire-format
+/// fields stay raw integer microseconds; only the display changes.
+fn human_us(us: u64) -> String {
+    if us == 0 {
+        "<1µs".to_string()
+    } else if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
     }
 }
 
@@ -313,7 +411,8 @@ impl fmt::Display for StatsSnapshot {
              {} expired | sessions: {} open, region cache {}/{} hit, {} spliced, \
              {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
              {} threads/worker, {} busy, {} queued | workspace: {} templates \
-             pruned, {} B peak | latency µs: \
+             pruned, {} B peak | batch: {} fused jobs, size p50/p95 {}/{}, \
+             {} deadline flushes | latency: \
              wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
             self.submitted,
             self.completed,
@@ -334,15 +433,19 @@ impl fmt::Display for StatsSnapshot {
             self.intra_queued,
             self.templates_pruned,
             self.workspace_high_water_bytes,
-            self.queue_wait_p50_us,
-            self.queue_wait_p95_us,
-            self.parse_p50_us,
-            self.parse_p95_us,
-            self.recognize_p50_us,
-            self.recognize_p95_us,
-            self.total_p50_us,
-            self.total_p95_us,
-            self.total_mean_us,
+            self.batched_requests,
+            self.batch_size_p50,
+            self.batch_size_p95,
+            self.batch_flush_deadline,
+            human_us(self.queue_wait_p50_us),
+            human_us(self.queue_wait_p95_us),
+            human_us(self.parse_p50_us),
+            human_us(self.parse_p95_us),
+            human_us(self.recognize_p50_us),
+            human_us(self.recognize_p95_us),
+            human_us(self.total_p50_us),
+            human_us(self.total_p95_us),
+            human_us(self.total_mean_us),
         )
     }
 }
@@ -366,11 +469,53 @@ mod tests {
     }
 
     #[test]
+    fn size_histogram_quantiles_are_exact() {
+        let h = SizeHistogram::default();
+        for size in [1usize, 1, 4, 8, 8, 8, 8] {
+            h.record(size);
+        }
+        assert_eq!(h.samples(), 7);
+        assert_eq!(h.quantile(0.5), 8, "exact, not a power-of-two bound");
+        assert_eq!(h.quantile(0.95), 8);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(SizeHistogram::default().quantile(0.5), 0, "empty reads 0");
+        // Oversized observations clamp into the last slot instead of lost.
+        let big = SizeHistogram::default();
+        big.record(10_000);
+        assert_eq!(big.quantile(0.5), (SIZE_BUCKETS - 1) as u64);
+    }
+
+    #[test]
+    fn display_formats_all_latencies_uniformly() {
+        assert_eq!(human_us(0), "<1µs");
+        assert_eq!(human_us(999), "999µs");
+        assert_eq!(human_us(1_500), "1.5ms");
+        assert_eq!(human_us(2_345_678), "2.35s");
+        let snap = StatsSnapshot {
+            parse_p50_us: 0,
+            recognize_p50_us: 2048,
+            total_mean_us: 900,
+            ..StatsSnapshot::default()
+        };
+        let text = snap.to_string();
+        // One unit rule for every stage: the sub-µs stage is labeled, not a
+        // bare 0, and ms-scale figures carry their unit.
+        assert!(text.contains("parse <1µs"), "{text}");
+        assert!(text.contains("recognize 2.0ms"), "{text}");
+        assert!(text.contains("(mean 900µs)"), "{text}");
+        assert!(!text.contains("latency µs:"), "{text}");
+    }
+
+    #[test]
     fn snapshot_wire_round_trip() {
         let metrics = Metrics::default();
         metrics.submitted.store(17, Ordering::Relaxed);
         metrics.completed.store(15, Ordering::Relaxed);
         metrics.total.record(Duration::from_micros(500));
+        metrics.batched_requests.store(6, Ordering::Relaxed);
+        metrics.batch_flush_deadline.store(2, Ordering::Relaxed);
+        metrics.batch_sizes.record(3);
+        metrics.batch_sizes.record(8);
         let region = RegionCacheStats {
             hits: 5,
             misses: 2,
@@ -399,6 +544,10 @@ mod tests {
         assert_eq!(snap.intra_queued, 5);
         assert_eq!(snap.templates_pruned, 42);
         assert_eq!(snap.workspace_high_water_bytes, 65536);
+        assert_eq!(snap.batched_requests, 6);
+        assert_eq!(snap.batch_size_p50, 3);
+        assert_eq!(snap.batch_size_p95, 8);
+        assert_eq!(snap.batch_flush_deadline, 2);
         let wire = snap.to_wire();
         let back = StatsSnapshot::from_wire(&wire).expect("parses");
         assert_eq!(snap, back);

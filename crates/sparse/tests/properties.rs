@@ -93,6 +93,57 @@ proptest! {
         prop_assert_eq!(&right, &a);
     }
 
+    /// The register-tiled spmm micro-kernel is bit-for-bit identical to the
+    /// naive nnz-outer kernel on random shapes, including widths straddling
+    /// the tile boundary and buffers recycled at the wrong size.
+    #[test]
+    fn tiled_spmm_matches_naive_bit_for_bit(
+        (n, entries) in sparse_square(),
+        cols in 1usize..20,
+        stale_rows in 0usize..9,
+    ) {
+        let a = build(n, &entries);
+        let x = DenseMatrix::from_fn(n, cols, |r, c| ((r * 13 + c * 7) % 29) as f64 / 3.0 - 4.0);
+        let mut tiled = DenseMatrix::filled(stale_rows, 2, 42.0);
+        let mut naive = DenseMatrix::default();
+        a.mul_dense_into(&x, &mut tiled).expect("shapes match");
+        a.mul_dense_into_naive(&x, &mut naive).expect("shapes match");
+        prop_assert_eq!(&tiled, &naive);
+    }
+
+    /// A block-diagonal fusion of random matrices times vertically stacked
+    /// features is bit-for-bit the vertical stack of the per-block
+    /// products — the identity micro-batched inference rests on.
+    #[test]
+    fn block_diag_mul_is_stack_of_block_muls(
+        parts in proptest::collection::vec(sparse_square(), 1..5),
+        cols in 1usize..12,
+    ) {
+        let blocks: Vec<CsrMatrix> = parts.iter().map(|(n, e)| build(*n, e)).collect();
+        let refs: Vec<&CsrMatrix> = blocks.iter().collect();
+        let fused = CsrMatrix::block_diag(&refs);
+        let feats: Vec<DenseMatrix> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                DenseMatrix::from_fn(b.cols(), cols, move |r, c| {
+                    ((r * 17 + c * 5 + i * 3) % 31) as f64 / 7.0 - 2.0
+                })
+            })
+            .collect();
+        let mut stacked = feats[0].clone();
+        for f in &feats[1..] {
+            stacked = stacked.vstack(f).expect("same width");
+        }
+        let fused_out = fused.mul_dense(&stacked).expect("shapes match");
+        let mut expected = blocks[0].mul_dense(&feats[0]).expect("shapes match");
+        for (b, f) in blocks[1..].iter().zip(&feats[1..]) {
+            let y = b.mul_dense(f).expect("shapes match");
+            expected = expected.vstack(&y).expect("same width");
+        }
+        prop_assert_eq!(&fused_out, &expected);
+    }
+
     #[test]
     fn submatrix_agrees_with_dense_indexing((n, entries) in sparse_square()) {
         let a = build(n, &entries);

@@ -59,7 +59,7 @@ fn print_usage() {
          gana annotate FILE --model FILE --task ota|rf [--baseline FILE] [--export FILE] [--svg FILE] [--dot FILE]\n  \
          gana inspect  FILE\n  \
          gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]\n  \
-         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N]\n  \
+         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N]\n  \
          gana submit   FILE --task ota|rf [--addr HOST:PORT] [--deadline-ms N] [--export FILE]\n  \
          gana submit   stats|shutdown [--addr HOST:PORT]"
     );
@@ -271,6 +271,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     )?;
     let queue: usize = numeric(&flags, "queue", 256)?;
     let stats_secs: u64 = numeric(&flags, "stats-secs", 30)?;
+    let max_batch: usize = numeric(&flags, "max-batch", 1)?;
+    let batch_window_us: u64 = numeric(&flags, "batch-window-us", 0)?;
 
     let pipeline = load_pipeline(model_path, task)?;
     let engine = std::sync::Arc::new(
@@ -278,6 +280,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .pipeline(pipeline)
             .workers(workers)
             .queue_capacity(queue)
+            .max_batch(max_batch)
+            .batch_window_us(batch_window_us)
             .build(),
     );
     let config = server::ServerConfig {
