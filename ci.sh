@@ -24,6 +24,32 @@ cargo test --doc -q
 echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> snapshot round-trip smoke (train -> save -> inspect -> reject corrupt)"
+# End-to-end check of the gana-persist container through the CLI: a model
+# trained in one process must re-save byte-identically from its checkpoint
+# (canonical encoding), and damaged snapshots must be rejected.
+SNAP_DIR=$(mktemp -d)
+./target/release/gana train --task ota --circuits 8 --epochs 2 \
+    --out "$SNAP_DIR/ota.ckpt" --save-model "$SNAP_DIR/engine.gsnap" >/dev/null
+./target/release/gana snapshot inspect "$SNAP_DIR/engine.gsnap"
+./target/release/gana snapshot save --model "$SNAP_DIR/ota.ckpt" --task ota \
+    --out "$SNAP_DIR/resave.gsnap" >/dev/null
+cmp "$SNAP_DIR/engine.gsnap" "$SNAP_DIR/resave.gsnap"
+echo "checkpoint -> snapshot re-save is byte-identical"
+head -c 64 "$SNAP_DIR/engine.gsnap" >"$SNAP_DIR/truncated.gsnap"
+if ./target/release/gana snapshot inspect "$SNAP_DIR/truncated.gsnap" >/dev/null 2>&1; then
+    echo "ERROR: truncated snapshot was accepted"
+    exit 1
+fi
+cp "$SNAP_DIR/engine.gsnap" "$SNAP_DIR/corrupt.gsnap"
+printf 'X' | dd of="$SNAP_DIR/corrupt.gsnap" bs=1 seek=0 conv=notrunc status=none
+if ./target/release/gana snapshot inspect "$SNAP_DIR/corrupt.gsnap" >/dev/null 2>&1; then
+    echo "ERROR: corrupt snapshot was accepted"
+    exit 1
+fi
+echo "truncated and corrupt snapshots rejected"
+rm -rf "$SNAP_DIR"
+
 echo "==> bench smoke (report-only -> BENCH_pipeline.json)"
 # Absolute timings flake on shared runners, so this stage reports but never
 # gates: a bench failure is surfaced without failing CI.

@@ -22,11 +22,16 @@
 //! speedup, so the summary only frames the multi-thread pair as a speedup
 //! when `nproc > 1`.
 
-use gana_bench::{ota_pipeline, receiver, rf_pipeline, small_circuit};
-use gana_datasets::phased_array;
-use gana_gnn::GraphSample;
+use gana_bench::{
+    model_with_filter, ota_pipeline, prepare_sample, receiver, rf_pipeline, small_circuit,
+};
+use gana_core::Pipeline;
+use gana_datasets::{phased_array, rf, rf_classes};
+use gana_gnn::{Adam, GcnModel, GraphSample, Optimizer};
 use gana_incremental::IncrementalPipeline;
 use gana_netlist::Circuit;
+use gana_persist::{EngineSnapshot, ModelEntry};
+use gana_primitives::PrimitiveLibrary;
 use gana_serve::{Engine, JobRequest};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -141,6 +146,32 @@ fn resize_one(circuit: &Circuit) -> Circuit {
     let w = device.param("w").unwrap_or(1e-6);
     device.set_param("w", w * 1.5);
     edited
+}
+
+fn rf_class_names() -> Vec<String> {
+    rf_classes::NAMES.iter().map(|s| s.to_string()).collect()
+}
+
+/// The minimal cold-boot training loop: the `gana train` default of 12
+/// Adam epochs, over a corpus 16x smaller than the default 128 circuits. This is the work a snapshot warm start skips.
+fn train_small_rf_model() -> GcnModel {
+    let corpus = rf::corpus(8, 1);
+    let samples: Vec<_> = corpus
+        .samples
+        .iter()
+        .map(|lc| prepare_sample(lc, 2))
+        .collect();
+    let mut model = model_with_filter(4, 3);
+    let mut optimizer = Adam::new(4e-3);
+    for _ in 0..12 {
+        for sample in &samples {
+            let step = model.train_step(sample).expect("steps");
+            let mut params = model.flatten_params();
+            optimizer.step(&mut params, &step.grads.flatten());
+            model.apply_flat_params(&params).expect("applies");
+        }
+    }
+    model
 }
 
 fn short_commit() -> String {
@@ -291,6 +322,50 @@ fn main() {
         }),
     );
 
+    // Cold vs warm boot to first answer: the cold path must train a model
+    // and build the primitive library before the phased array can be
+    // annotated; the warm path restores the same state from a
+    // `gana-persist` snapshot. The pair records what `gana serve
+    // --snapshot-dir` saves at boot time.
+    let snap_path =
+        std::env::temp_dir().join(format!("gana-bench-warm-{}.gsnap", std::process::id()));
+    EngineSnapshot {
+        models: vec![ModelEntry {
+            task: gana_core::Task::Rf,
+            class_names: rf_class_names(),
+            model: train_small_rf_model(),
+        }],
+        library: PrimitiveLibrary::standard().expect("templates parse"),
+        cache_entries: Vec::new(),
+    }
+    .save(&snap_path)
+    .expect("snapshot saves");
+    eprintln!("bench: cold_start_phased_array");
+    results.insert(
+        "cold_start_phased_array".to_string(),
+        measure(1, || {
+            let pipeline = Pipeline::new(
+                train_small_rf_model(),
+                rf_class_names(),
+                PrimitiveLibrary::standard().expect("templates parse"),
+                gana_core::Task::Rf,
+            );
+            pipeline.recognize(&pa.circuit).expect("runs");
+        }),
+    );
+    eprintln!("bench: warm_start_phased_array");
+    results.insert(
+        "warm_start_phased_array".to_string(),
+        measure(1, || {
+            let snapshot = EngineSnapshot::load(&snap_path).expect("snapshot loads");
+            let entry = snapshot.models.into_iter().next().expect("has a model");
+            let pipeline =
+                Pipeline::new(entry.model, entry.class_names, snapshot.library, entry.task);
+            pipeline.recognize(&pa.circuit).expect("runs");
+        }),
+    );
+    let _ = std::fs::remove_file(&snap_path);
+
     let nproc = nproc();
     if let (Some(t1), Some(t4)) = (
         results.get("cold_annotate_phased_array_1t"),
@@ -316,6 +391,16 @@ fn main() {
         eprintln!(
             "micro-batch per-request GNN cost b8 vs b1: {:.2}x cheaper",
             b1.median_ns as f64 / b8.median_ns as f64
+        );
+    }
+
+    if let (Some(cold), Some(warm)) = (
+        results.get("cold_start_phased_array"),
+        results.get("warm_start_phased_array"),
+    ) {
+        eprintln!(
+            "snapshot warm start vs cold start (train + library build): {:.1}x faster",
+            cold.median_ns as f64 / warm.median_ns as f64
         );
     }
 

@@ -1,22 +1,176 @@
-//! Deterministic 128-bit content hashing built on the std SipHash.
+//! Deterministic, cross-process-stable 128-bit content hashing.
 //!
-//! `DefaultHasher::new()` uses fixed keys, so digests are stable for the
-//! lifetime of one process — all a purely in-memory content-addressed
-//! cache shared across sessions needs. std documents the algorithm as
-//! unspecified and free to change between Rust releases, so digests must
-//! never be persisted or compared across binaries; if the cache ever
-//! learns to survive daemon restarts, switch to an explicitly versioned
-//! hash first. Two independently-seeded 64-bit lanes are concatenated to
-//! push accidental collisions out of practical reach.
+//! Region fingerprints and cache keys are persisted in snapshots
+//! (`gana-persist`) and must hash to the same value in the process that
+//! saved them and the process that loads them — possibly different builds
+//! on different machines. std's `DefaultHasher` documents its algorithm as
+//! unspecified and free to change between Rust releases, so this module
+//! pins its own: SipHash-2-4 with explicit, versioned keys, fed through a
+//! [`std::hash::Hasher`] whose integer methods write fixed-width
+//! little-endian bytes (`usize` as `u64`), making digests independent of
+//! platform word size and endianness. Two independently keyed 64-bit lanes
+//! are concatenated to push accidental collisions out of practical reach.
+//!
+//! The pinned test vectors below are part of the on-disk format: if they
+//! change, snapshots written by older builds stop matching, so any keying
+//! or algorithm change must bump the snapshot container version.
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-/// Two independently seeded hash lanes combined into one `u128` digest.
+/// Fixed SipHash keys, version 1 of the digest. The ASCII spells
+/// "GANA-LO-"/"GANA-HI-" + "k0v1"/"k1v1" so a hex dump self-identifies.
+const LO_KEY: (u64, u64) = (0x47414e412d4c4f2d, 0x6b30763100000001);
+const HI_KEY: (u64, u64) = (0x47414e412d48492d, 0x6b31763100000001);
+
+/// SipHash-2-4 with explicit keys and platform-independent integer
+/// encoding. Unlike `DefaultHasher`, the algorithm and keys are part of
+/// this crate's stability contract.
+#[derive(Debug, Clone)]
+pub struct StableSip {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Bytes fed so far (mod 256 is what SipHash folds into the tail).
+    len: u64,
+    /// Pending tail bytes, little-endian packed.
+    tail: u64,
+    /// Number of valid bytes in `tail` (0..8).
+    ntail: usize,
+}
+
+#[inline]
+fn sipround(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+    *v0 = v0.wrapping_add(*v1);
+    *v1 = v1.rotate_left(13);
+    *v1 ^= *v0;
+    *v0 = v0.rotate_left(32);
+    *v2 = v2.wrapping_add(*v3);
+    *v3 = v3.rotate_left(16);
+    *v3 ^= *v2;
+    *v0 = v0.wrapping_add(*v3);
+    *v3 = v3.rotate_left(21);
+    *v3 ^= *v0;
+    *v2 = v2.wrapping_add(*v1);
+    *v1 = v1.rotate_left(17);
+    *v1 ^= *v2;
+    *v2 = v2.rotate_left(32);
+}
+
+impl StableSip {
+    /// Starts a SipHash-2-4 state with the given 128-bit key.
+    pub fn new(k0: u64, k1: u64) -> StableSip {
+        StableSip {
+            v0: k0 ^ 0x736f6d6570736575,
+            v1: k1 ^ 0x646f72616e646f6d,
+            v2: k0 ^ 0x6c7967656e657261,
+            v3: k1 ^ 0x7465646279746573,
+            len: 0,
+            tail: 0,
+            ntail: 0,
+        }
+    }
+
+    #[inline]
+    fn compress(&mut self, m: u64) {
+        self.v3 ^= m;
+        sipround(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        sipround(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        self.v0 ^= m;
+    }
+}
+
+impl Hasher for StableSip {
+    fn write(&mut self, mut bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        // Fill the pending tail first.
+        if self.ntail > 0 {
+            while self.ntail < 8 && !bytes.is_empty() {
+                self.tail |= u64::from(bytes[0]) << (8 * self.ntail);
+                self.ntail += 1;
+                bytes = &bytes[1..];
+            }
+            if self.ntail < 8 {
+                // Input exhausted before completing a word; the partial
+                // tail stays buffered for the next write.
+                return;
+            }
+            let m = self.tail;
+            self.compress(m);
+            self.tail = 0;
+            self.ntail = 0;
+        }
+        // Whole 8-byte words.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.compress(m);
+        }
+        // Stash the remainder.
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            self.tail |= u64::from(b) << (8 * i);
+        }
+        self.ntail = chunks.remainder().len();
+    }
+
+    fn finish(&self) -> u64 {
+        let mut state = self.clone();
+        let b = (state.len & 0xff) << 56 | state.tail;
+        state.compress(b);
+        state.v2 ^= 0xff;
+        for _ in 0..4 {
+            sipround(&mut state.v0, &mut state.v1, &mut state.v2, &mut state.v3);
+        }
+        state.v0 ^ state.v1 ^ state.v2 ^ state.v3
+    }
+
+    // Fixed-width little-endian integer writes: `Hash` impls reach these
+    // through the blanket methods, and the defaults use native endianness
+    // and native `usize` width — exactly what a persisted digest must not
+    // depend on.
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
+    }
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+/// Two independently keyed hash lanes combined into one `u128` digest.
 #[derive(Debug)]
 pub struct Digest {
-    lo: DefaultHasher,
-    hi: DefaultHasher,
+    lo: StableSip,
+    hi: StableSip,
 }
 
 impl Default for Digest {
@@ -26,14 +180,12 @@ impl Default for Digest {
 }
 
 impl Digest {
-    /// Starts a fresh digest.
+    /// Starts a fresh digest (version-1 keys).
     pub fn new() -> Digest {
-        let mut lo = DefaultHasher::new();
-        let mut hi = DefaultHasher::new();
-        // Distinct lane seeds so the two 64-bit halves are independent.
-        0x47414e415f4c4fu64.hash(&mut lo);
-        0x47414e415f4849u64.hash(&mut hi);
-        Digest { lo, hi }
+        Digest {
+            lo: StableSip::new(LO_KEY.0, LO_KEY.1),
+            hi: StableSip::new(HI_KEY.0, HI_KEY.1),
+        }
     }
 
     /// Feeds one hashable value into both lanes.
@@ -44,7 +196,7 @@ impl Digest {
 
     /// Finalizes into a 128-bit digest.
     pub fn finish(&self) -> u128 {
-        ((self.hi.finish() as u128) << 64) | self.lo.finish() as u128
+        (u128::from(self.hi.finish()) << 64) | u128::from(self.lo.finish())
     }
 }
 
@@ -69,5 +221,55 @@ mod tests {
     fn lanes_are_independent() {
         let d = digest_of(42u64);
         assert_ne!((d >> 64) as u64, d as u64, "hi and lo lanes differ");
+    }
+
+    #[test]
+    fn siphash_reference_vectors() {
+        // The SipHash-2-4 reference test vector from the paper's appendix:
+        // key 0x000102...0f, input 0x00..0e (15 bytes) -> 0xa129ca6149be45e5.
+        let mut h = StableSip::new(0x0706050403020100, 0x0f0e0d0c0b0a0908);
+        h.write(&[
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e,
+        ]);
+        assert_eq!(h.finish(), 0xa129ca6149be45e5);
+        // Empty input, same key.
+        let h = StableSip::new(0x0706050403020100, 0x0f0e0d0c0b0a0908);
+        assert_eq!(h.finish(), 0x726fdb47dd0e0e31);
+    }
+
+    #[test]
+    fn split_writes_match_one_shot() {
+        let mut a = StableSip::new(1, 2);
+        a.write(b"hello world, this spans words");
+        let mut b = StableSip::new(1, 2);
+        b.write(b"hello");
+        b.write(b" world, this ");
+        b.write(b"spans words");
+        assert_eq!(a.finish(), b.finish());
+        // Byte-at-a-time writes keep the tail buffered across calls.
+        let mut c = StableSip::new(1, 2);
+        for &byte in b"hello world, this spans words" {
+            c.write(&[byte]);
+        }
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    /// Pinned digest vectors: these values are written into snapshots as
+    /// region-cache keys, so they are part of the persistence format.
+    /// If this test fails, the digest changed — bump the snapshot
+    /// container version and state the migration in the CHANGELOG.
+    #[test]
+    fn pinned_digest_vectors() {
+        assert_eq!(digest_of(0u64), 0xeef88d5c24cfdb796f0f9952fff03cea);
+        assert_eq!(digest_of("abc"), 0xc8818fad46de3e31fcc41b7311d50233);
+        assert_eq!(
+            digest_of(("nmos", 4usize, [1u32, 2, 3])),
+            0x10aac30061cb3f6bf06f3b77203bbc2f
+        );
+        assert_eq!(
+            digest_of(vec![String::from("m1"), String::from("m2")]),
+            0xf38a4da14d15bd9e3bdba87fd08521d7
+        );
     }
 }

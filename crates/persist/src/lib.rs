@@ -1,0 +1,43 @@
+//! # gana-persist — versioned binary snapshots for millisecond warm starts
+//!
+//! A restarting annotation shard used to retrain its GCN and rebuild the
+//! 21-template primitive library from scratch, and the region cache — the
+//! incremental-path win — evaporated with the process. This crate turns
+//! restart cost into a warm load: a versioned, checksummed, length-prefixed
+//! binary container (magic + format version + section table + CRC32 per
+//! section) holding trained models, the primitive library, and region-cache
+//! entries keyed by their cross-process-stable WL fingerprints.
+//!
+//! Design rules:
+//!
+//! - **Strict rejection.** Truncated, bit-flipped, or version-skewed files
+//!   produce structured [`PersistError`]s — decoding never panics and never
+//!   yields a silently-wrong model.
+//! - **Serialize-verify.** Derived artifacts (VF2 match orders, prefilter
+//!   signatures) are stored *and* re-derived on load; a mismatch (e.g. the
+//!   derivation logic changed since the snapshot was written) is an error,
+//!   not a stale acceleration structure.
+//! - **Atomic writes.** Saves go through a temp file + `rename`, so a crash
+//!   mid-snapshot never corrupts the previous good snapshot.
+//! - **Canonical encoding.** One byte sequence per value, so re-encoding a
+//!   decoded snapshot is byte-identical (property-tested).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod container;
+mod error;
+mod sections;
+mod snapshot;
+mod wire;
+
+pub use container::{Container, Section, CONTAINER_VERSION, MAGIC};
+pub use error::{PersistError, Result};
+pub use sections::{
+    decode_cache_entries, decode_csr, decode_library, decode_meta, decode_model,
+    encode_cache_entries, encode_csr, encode_library, encode_meta, encode_model, section_name,
+    Meta, SnapshotFlavor, SECTION_CSR, SECTION_LIBRARY, SECTION_META, SECTION_MODEL,
+    SECTION_REGION_CACHE, SECTION_VERSION,
+};
+pub use snapshot::{inspect, EngineSnapshot, ModelEntry, SectionInfo, SnapshotInfo};
+pub use wire::{crc32, Reader, Writer};

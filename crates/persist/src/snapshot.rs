@@ -1,0 +1,211 @@
+//! High-level snapshot assembly: engine snapshots and `inspect`.
+//!
+//! An [`EngineSnapshot`] is everything a serving shard needs to answer
+//! annotation requests without retraining or rebuilding: one trained
+//! [`GcnModel`] per task (with its class names), the primitive library,
+//! and the region-cache entries in LRU order. `gana train --save-model`
+//! writes the same container with an empty cache — a model snapshot *is*
+//! an engine snapshot that has not served traffic yet.
+
+use crate::container::{Container, CONTAINER_VERSION};
+use crate::error::{PersistError, Result};
+use crate::sections::{
+    check_section_version, decode_cache_entries, decode_library, decode_meta, decode_model,
+    encode_cache_entries, encode_library, encode_meta, encode_model, section_name, Meta,
+    SnapshotFlavor, SECTION_LIBRARY, SECTION_META, SECTION_MODEL, SECTION_REGION_CACHE,
+    SECTION_VERSION,
+};
+use gana_core::Task;
+use gana_gnn::GcnModel;
+use gana_incremental::CachedBlock;
+use gana_primitives::PrimitiveLibrary;
+use std::fmt;
+use std::path::Path;
+
+/// One task's trained model and its class-name table.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The task this model serves.
+    pub task: Task,
+    /// Class names indexed by GCN output class.
+    pub class_names: Vec<String>,
+    /// The trained model (config + parameters + batch-norm stats).
+    pub model: GcnModel,
+}
+
+/// A complete warm-start image of a serving engine.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    /// One entry per served task.
+    pub models: Vec<ModelEntry>,
+    /// The primitive template library.
+    pub library: PrimitiveLibrary,
+    /// Region-cache entries, oldest (least recently used) first.
+    pub cache_entries: Vec<(u128, CachedBlock)>,
+}
+
+impl EngineSnapshot {
+    /// Assembles the container (meta + models + library + cache).
+    pub fn to_container(&self) -> Container {
+        let meta = Meta {
+            created_by: env!("CARGO_PKG_VERSION").to_string(),
+            flavor: SnapshotFlavor::Engine,
+        };
+        let mut c = Container::new();
+        c.push(SECTION_META, SECTION_VERSION, encode_meta(&meta));
+        for entry in &self.models {
+            c.push(
+                SECTION_MODEL,
+                SECTION_VERSION,
+                encode_model(entry.task, &entry.class_names, &entry.model),
+            );
+        }
+        c.push(
+            SECTION_LIBRARY,
+            SECTION_VERSION,
+            encode_library(&self.library),
+        );
+        c.push(
+            SECTION_REGION_CACHE,
+            SECTION_VERSION,
+            encode_cache_entries(&self.cache_entries),
+        );
+        c
+    }
+
+    /// Rebuilds a snapshot from a verified container.
+    pub fn from_container(c: &Container) -> Result<EngineSnapshot> {
+        let meta_section = c.require(SECTION_META)?;
+        check_section_version(SECTION_META, meta_section.version)?;
+        decode_meta(&meta_section.payload)?;
+        let mut models = Vec::new();
+        for s in c.sections_of(SECTION_MODEL) {
+            check_section_version(SECTION_MODEL, s.version)?;
+            let (task, class_names, model) = decode_model(&s.payload)?;
+            if models.iter().any(|m: &ModelEntry| m.task == task) {
+                return Err(PersistError::Malformed(format!(
+                    "duplicate model section for task {task:?}"
+                )));
+            }
+            models.push(ModelEntry {
+                task,
+                class_names,
+                model,
+            });
+        }
+        if models.is_empty() {
+            return Err(PersistError::MissingSection {
+                kind: SECTION_MODEL,
+            });
+        }
+        let lib_section = c.require(SECTION_LIBRARY)?;
+        check_section_version(SECTION_LIBRARY, lib_section.version)?;
+        let library = decode_library(&lib_section.payload)?;
+        let cache_section = c.require(SECTION_REGION_CACHE)?;
+        check_section_version(SECTION_REGION_CACHE, cache_section.version)?;
+        let cache_entries = decode_cache_entries(&cache_section.payload)?;
+        Ok(EngineSnapshot {
+            models,
+            library,
+            cache_entries,
+        })
+    }
+
+    /// Serializes to the on-disk byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_container().to_bytes()
+    }
+
+    /// Parses and fully verifies a snapshot from raw bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EngineSnapshot> {
+        EngineSnapshot::from_container(&Container::from_bytes(bytes)?)
+    }
+
+    /// Writes the snapshot to `path` atomically; returns bytes written.
+    pub fn save(&self, path: &Path) -> Result<u64> {
+        self.to_container().save(path)
+    }
+
+    /// Loads and fully verifies a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<EngineSnapshot> {
+        EngineSnapshot::from_container(&Container::load(path)?)
+    }
+
+    /// The model entry for `task`, if the snapshot has one.
+    pub fn model_for(&self, task: Task) -> Option<&ModelEntry> {
+        self.models.iter().find(|m| m.task == task)
+    }
+}
+
+/// Per-section metadata reported by [`inspect`].
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// Section kind tag.
+    pub kind: u16,
+    /// Section payload version.
+    pub version: u16,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// What [`inspect`] reports about a snapshot file without fully
+/// decoding the payloads (CRCs and framing are still verified).
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Container format version.
+    pub container_version: u32,
+    /// Total file size in bytes.
+    pub file_bytes: usize,
+    /// Creator version from the meta section, if readable.
+    pub created_by: Option<String>,
+    /// Per-section breakdown in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl fmt::Display for SnapshotInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gana snapshot: container v{}, {} bytes, created by {}",
+            self.container_version,
+            self.file_bytes,
+            self.created_by.as_deref().unwrap_or("unknown")
+        )?;
+        for s in &self.sections {
+            writeln!(
+                f,
+                "  {:<13} v{:<2} {:>10} bytes",
+                section_name(s.kind),
+                s.version,
+                s.bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies framing + CRCs of the snapshot at `path` and reports its
+/// section layout. All integrity checks run; payloads are not decoded
+/// (except the tiny meta section, best-effort).
+pub fn inspect(path: &Path) -> Result<SnapshotInfo> {
+    let bytes = std::fs::read(path)?;
+    let c = Container::from_bytes(&bytes)?;
+    let created_by = c
+        .section(SECTION_META)
+        .and_then(|s| decode_meta(&s.payload).ok())
+        .map(|m| m.created_by);
+    Ok(SnapshotInfo {
+        container_version: CONTAINER_VERSION,
+        file_bytes: bytes.len(),
+        created_by,
+        sections: c
+            .sections
+            .iter()
+            .map(|s| SectionInfo {
+                kind: s.kind,
+                version: s.version,
+                bytes: s.payload.len(),
+            })
+            .collect(),
+    })
+}

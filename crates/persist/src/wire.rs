@@ -1,0 +1,319 @@
+//! Little-endian byte-level encoding primitives and CRC32.
+//!
+//! Everything in a snapshot is written through [`Writer`] and read back
+//! through [`Reader`]. The reader is defensive: every fetch bounds-checks
+//! against the remaining slice (returning [`PersistError::Truncated`]), and
+//! every length prefix is validated against the bytes actually left before
+//! an allocation happens, so corrupt or hostile input cannot trigger huge
+//! allocations or panics.
+
+use crate::error::{PersistError, Result};
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// Hand-rolled because the build environment vendors no checksum crate;
+/// the table is computed once at first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128` little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (fixed width across platforms).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string (`u32` length + bytes).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed list of strings.
+    pub fn put_str_list(&mut self, items: &[String]) {
+        self.put_u32(items.len() as u32);
+        for s in items {
+            self.put_str(s);
+        }
+    }
+
+    /// Appends a length-prefixed list of `u64` values (from `usize`s).
+    pub fn put_usize_list(&mut self, items: &[usize]) {
+        self.put_u32(items.len() as u32);
+        for &v in items {
+            self.put_u64(v as u64);
+        }
+    }
+
+    /// Appends a length-prefixed list of `f64` bit patterns.
+    pub fn put_f64_list(&mut self, items: &[f64]) {
+        self.put_u32(items.len() as u32);
+        for &v in items {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `bytes` for decoding from the start.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless all bytes were consumed — catches trailing garbage.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(PersistError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16` little-endian.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u128` little-endian.
+    pub fn get_u128(&mut self) -> Result<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64` and converts to `usize`, rejecting overflow.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        usize::try_from(self.get_u64()?)
+            .map_err(|_| PersistError::Malformed("usize field overflows this platform".into()))
+    }
+
+    /// Reads a `u32` length prefix for a collection whose elements occupy
+    /// at least `min_elem_bytes` each, rejecting counts that could not
+    /// possibly fit in the remaining bytes (pre-allocation guard).
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.get_u32()? as usize;
+        let floor = n.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(PersistError::Truncated {
+                needed: floor,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("string field is not valid UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed list of strings.
+    pub fn get_str_list(&mut self) -> Result<Vec<String>> {
+        let n = self.get_count(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_str()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed list of `usize` values.
+    pub fn get_usize_list(&mut self) -> Result<Vec<usize>> {
+        let n = self.get_count(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed list of `f64` values.
+    pub fn get_f64_list(&mut self) -> Result<Vec<f64>> {
+        let n = self.get_count(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_u128(u128::MAX / 3);
+        w.put_f64(-0.125);
+        w.put_str("héllo");
+        w.put_usize_list(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_usize_list().unwrap(), vec![1, 2, 3]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_errors() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(
+            r.get_u32(),
+            Err(PersistError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_before_allocation() {
+        // Claims 4 billion strings but carries 0 payload bytes.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_str_list(),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+}

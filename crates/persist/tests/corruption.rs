@@ -1,0 +1,156 @@
+//! Corruption corpus: bit flips, truncations, and version bumps against a
+//! real snapshot must always produce structured [`PersistError`]s — never a
+//! panic, and never a silently-wrong decode.
+
+use gana_core::Task;
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_incremental::CachedBlock;
+use gana_persist::{
+    Container, EngineSnapshot, ModelEntry, PersistError, SECTION_MODEL, SECTION_VERSION,
+};
+use gana_primitives::{
+    AnnotationResult, Constraint, ConstraintKind, PrimitiveInstance, PrimitiveLibrary,
+};
+
+fn sample_snapshot() -> EngineSnapshot {
+    let model = GcnModel::new(GcnConfig {
+        conv_channels: vec![3],
+        filter_order: 2,
+        fc_dim: 4,
+        num_classes: 2,
+        dropout: 0.0,
+        batch_norm: true,
+        ..GcnConfig::default()
+    })
+    .expect("valid model");
+    EngineSnapshot {
+        models: vec![ModelEntry {
+            task: Task::OtaBias,
+            class_names: vec!["ota".into(), "bias".into()],
+            model,
+        }],
+        library: PrimitiveLibrary::standard().expect("standard library"),
+        cache_entries: vec![(
+            0x1234_5678_9abc_def0_u128,
+            CachedBlock {
+                devices: vec!["M0".into(), "M1".into()],
+                annotation: AnnotationResult {
+                    instances: vec![PrimitiveInstance {
+                        primitive: "DiffPair".into(),
+                        devices: vec!["M0".into(), "M1".into()],
+                        constraints: vec![Constraint::new(
+                            ConstraintKind::Symmetry,
+                            vec!["M0".into(), "M1".into()],
+                        )],
+                    }],
+                    unclaimed: Vec::new(),
+                },
+            },
+        )],
+    }
+}
+
+/// Every strict prefix of a snapshot is rejected, whatever the cut point.
+#[test]
+fn truncation_at_every_length_is_rejected() {
+    let bytes = sample_snapshot().to_bytes();
+    for keep in 0..bytes.len() {
+        assert!(
+            EngineSnapshot::from_bytes(&bytes[..keep]).is_err(),
+            "prefix of {keep}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+}
+
+/// Flipping any single bit never panics: the decode either fails with a
+/// structured error, or (for the rare don't-care bits, e.g. a container
+/// version field flipped to an older accepted value) still decodes to the
+/// canonical snapshot.
+#[test]
+fn single_bit_flips_never_panic_or_corrupt() {
+    let bytes = sample_snapshot().to_bytes();
+    // Every bit of the header + section table, then a stride through the
+    // payloads (every payload byte is CRC-covered, so a sample suffices).
+    let dense_end = 200.min(bytes.len());
+    let positions = (0..dense_end * 8).chain((dense_end * 8..bytes.len() * 8).step_by(97));
+    for bit in positions {
+        let mut mutated = bytes.clone();
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        match EngineSnapshot::from_bytes(&mutated) {
+            Err(_) => {}
+            Ok(decoded) => assert_eq!(
+                decoded.to_bytes(),
+                bytes,
+                "bit {bit}: an accepted mutation must still decode canonically"
+            ),
+        }
+    }
+}
+
+#[test]
+fn future_container_version_is_version_skew() {
+    let mut bytes = sample_snapshot().to_bytes();
+    // Container version lives at offset 8 (after the 8-byte magic).
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        EngineSnapshot::from_bytes(&bytes),
+        Err(PersistError::VersionSkew {
+            found: 2,
+            supported: 1
+        })
+    ));
+}
+
+#[test]
+fn future_section_version_is_section_skew() {
+    let container = sample_snapshot().to_container();
+    let mut bumped = Container::new();
+    for s in &container.sections {
+        let version = if s.kind == SECTION_MODEL {
+            SECTION_VERSION + 1
+        } else {
+            s.version
+        };
+        bumped.push(s.kind, version, s.payload.clone());
+    }
+    assert!(matches!(
+        EngineSnapshot::from_bytes(&bumped.to_bytes()),
+        Err(PersistError::SectionVersionSkew {
+            kind: SECTION_MODEL,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn missing_sections_are_structured_errors() {
+    let container = sample_snapshot().to_container();
+    for dropped in 0..container.sections.len() {
+        let mut partial = Container::new();
+        for (i, s) in container.sections.iter().enumerate() {
+            if i != dropped {
+                partial.push(s.kind, s.version, s.payload.clone());
+            }
+        }
+        let err = EngineSnapshot::from_bytes(&partial.to_bytes())
+            .expect_err("a snapshot missing a required section must not decode");
+        assert!(
+            matches!(
+                err,
+                PersistError::MissingSection { .. } | PersistError::Malformed(_)
+            ),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn io_failures_surface_as_persist_errors() {
+    let missing = std::path::Path::new("/nonexistent/gana/engine.gsnap");
+    assert!(matches!(
+        EngineSnapshot::load(missing),
+        Err(PersistError::Io(_))
+    ));
+    assert!(gana_persist::inspect(missing).is_err());
+}

@@ -1,0 +1,209 @@
+//! Canonical round-trip properties: for every section type, decoding and
+//! re-encoding reproduces the original bytes exactly, with payloads drawn
+//! from all four benchmark circuit families (ota, rf, sc-filter,
+//! phased-array) and from property-generated model configurations.
+
+use gana_core::Task;
+use gana_datasets::{ota, phased_array, rf, sc_filter};
+use gana_gnn::{Activation, GcnConfig, GcnModel};
+use gana_graph::laplacian::{adjacency, chebyshev_laplacian};
+use gana_graph::{CircuitGraph, GraphOptions};
+use gana_incremental::CachedBlock;
+use gana_netlist::{preprocess, Circuit, PreprocessOptions};
+use gana_persist::{
+    decode_cache_entries, decode_csr, decode_library, decode_model, encode_cache_entries,
+    encode_csr, encode_library, encode_model, EngineSnapshot, ModelEntry,
+};
+use gana_primitives::{annotate, PrimitiveLibrary};
+use proptest::prelude::*;
+
+const FAMILIES: [&str; 4] = ["ota", "rf", "sc-filter", "phased-array"];
+
+fn family_circuit(family: &str, seed: u64) -> Circuit {
+    match family {
+        "ota" => {
+            ota::generate(ota::OtaSpec {
+                topology: ota::OtaTopology::ALL[(seed as usize) % 6],
+                pmos_input: seed % 2 == 1,
+                bias: ota::BiasStyle::ALL[(seed as usize / 2) % 4],
+                seed,
+            })
+            .circuit
+        }
+        "rf" => {
+            rf::generate(rf::ReceiverSpec {
+                lna: rf::LnaKind::ALL[(seed as usize) % 3],
+                mixer: rf::MixerKind::ALL[(seed as usize / 3) % 3],
+                osc: rf::OscKind::ALL[(seed as usize / 9) % 3],
+                seed,
+            })
+            .circuit
+        }
+        "sc-filter" => sc_filter::generate(seed).circuit,
+        "phased-array" => phased_array::generate(seed).circuit,
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+/// Preprocesses a family circuit and annotates it with the standard
+/// library, producing a realistic region-cache entry.
+fn family_cache_entry(family: &str, seed: u64) -> (u128, CachedBlock) {
+    let circuit = family_circuit(family, seed);
+    let (clean, _) = preprocess(&circuit, PreprocessOptions::default()).expect("preprocesses");
+    let graph = CircuitGraph::build(&clean, GraphOptions::default());
+    let library = PrimitiveLibrary::standard().expect("standard library");
+    let annotation = annotate(&library, &clean, &graph);
+    let mut devices: Vec<String> = annotation
+        .instances
+        .iter()
+        .flat_map(|i| i.devices.iter().cloned())
+        .chain(annotation.unclaimed.iter().cloned())
+        .collect();
+    devices.sort();
+    let key = u128::from(seed) << 64 | family.len() as u128;
+    (
+        key,
+        CachedBlock {
+            devices,
+            annotation,
+        },
+    )
+}
+
+#[test]
+fn csr_sections_round_trip_for_every_family() {
+    for (i, family) in FAMILIES.iter().enumerate() {
+        let circuit = family_circuit(family, i as u64);
+        let (clean, _) = preprocess(&circuit, PreprocessOptions::default()).expect("preprocesses");
+        let graph = CircuitGraph::build(&clean, GraphOptions::default());
+        for matrix in [
+            adjacency(&graph),
+            chebyshev_laplacian(&graph).expect("laplacian"),
+        ] {
+            let bytes = encode_csr(&matrix);
+            let decoded = decode_csr(&bytes).expect("decodes");
+            assert_eq!(
+                encode_csr(&decoded),
+                bytes,
+                "{family}: re-encode must be byte-identical"
+            );
+            assert_eq!(decoded.rows(), matrix.rows());
+            assert_eq!(decoded.nnz(), matrix.nnz());
+        }
+    }
+}
+
+#[test]
+fn library_section_round_trips_byte_identically() {
+    let library = PrimitiveLibrary::standard().expect("standard library");
+    let bytes = encode_library(&library);
+    let decoded = decode_library(&bytes).expect("decodes");
+    assert_eq!(decoded.len(), library.len());
+    assert_eq!(
+        encode_library(&decoded),
+        bytes,
+        "re-encode must be byte-identical"
+    );
+}
+
+#[test]
+fn cache_sections_round_trip_for_every_family() {
+    for seed in [0u64, 3] {
+        let entries: Vec<(u128, CachedBlock)> = FAMILIES
+            .iter()
+            .map(|family| family_cache_entry(family, seed))
+            .collect();
+        let bytes = encode_cache_entries(&entries);
+        let decoded = decode_cache_entries(&bytes).expect("decodes");
+        assert_eq!(decoded, entries);
+        assert_eq!(
+            encode_cache_entries(&decoded),
+            bytes,
+            "re-encode must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn engine_snapshot_round_trips_with_all_families_cached() {
+    let model = GcnModel::new(GcnConfig {
+        conv_channels: vec![4, 4],
+        filter_order: 2,
+        fc_dim: 8,
+        num_classes: 2,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    })
+    .expect("valid model");
+    let snapshot = EngineSnapshot {
+        models: vec![ModelEntry {
+            task: Task::OtaBias,
+            class_names: vec!["ota".into(), "bias".into()],
+            model,
+        }],
+        library: PrimitiveLibrary::standard().expect("standard library"),
+        cache_entries: FAMILIES
+            .iter()
+            .map(|family| family_cache_entry(family, 1))
+            .collect(),
+    };
+    let bytes = snapshot.to_bytes();
+    let decoded = EngineSnapshot::from_bytes(&bytes).expect("decodes");
+    assert_eq!(
+        decoded.to_bytes(),
+        bytes,
+        "re-encode must be byte-identical"
+    );
+    assert_eq!(decoded.cache_entries, snapshot.cache_entries);
+    assert!(decoded.model_for(Task::OtaBias).is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Model sections round-trip byte-identically across the
+    /// hyperparameter space: decoded models re-encode to the same bytes
+    /// and carry the same parameter vector.
+    #[test]
+    fn model_sections_round_trip(
+        channels in prop::collection::vec(2usize..6, 1..3),
+        filter_order in 1usize..4,
+        fc_dim in 4usize..12,
+        num_classes in 2usize..4,
+        activation_tag in 0u8..3,
+        batch_norm in any::<bool>(),
+        rf_task in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let config = GcnConfig {
+            conv_channels: channels,
+            filter_order,
+            fc_dim,
+            num_classes,
+            activation: match activation_tag {
+                0 => Activation::Relu,
+                1 => Activation::Tanh,
+                _ => Activation::Identity,
+            },
+            dropout: 0.0,
+            batch_norm,
+            seed,
+            ..GcnConfig::default()
+        };
+        let model = GcnModel::new(config).expect("valid config");
+        let task = if rf_task { Task::Rf } else { Task::OtaBias };
+        let class_names: Vec<String> =
+            (0..num_classes).map(|i| format!("class{i}")).collect();
+        let bytes = encode_model(task, &class_names, &model);
+        let (dtask, dnames, dmodel) = decode_model(&bytes).expect("decodes");
+        prop_assert_eq!(dtask, task);
+        prop_assert_eq!(&dnames, &class_names);
+        prop_assert_eq!(dmodel.flatten_params(), model.flatten_params());
+        prop_assert_eq!(
+            encode_model(dtask, &dnames, &dmodel),
+            bytes,
+            "re-encode must be byte-identical"
+        );
+    }
+}

@@ -12,6 +12,7 @@ use gana_netlist::{parse, Circuit, NetlistError};
 pub struct Primitive {
     name: String,
     description: String,
+    source: String,
     circuit: Circuit,
     graph: CircuitGraph,
     pattern: Vf2Graph,
@@ -44,6 +45,7 @@ impl Primitive {
         Ok(Primitive {
             name: name.into(),
             description: description.into(),
+            source: spice.to_string(),
             circuit,
             graph,
             pattern,
@@ -61,6 +63,14 @@ impl Primitive {
     /// Human-readable description.
     pub fn description(&self) -> &str {
         &self.description
+    }
+
+    /// The SPICE text this primitive was parsed from, verbatim.
+    ///
+    /// Kept so snapshots can persist a template exactly as registered and
+    /// re-derive (then verify) its graph, pattern, and match order on load.
+    pub fn source(&self) -> &str {
+        &self.source
     }
 
     /// The template circuit.

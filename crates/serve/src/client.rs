@@ -1,6 +1,9 @@
-//! Blocking client for the line protocol, used by `gana submit` and the
-//! integration tests.
+//! Blocking client for the serve protocol, used by `gana submit` and the
+//! integration tests. Speaks either the newline-delimited text protocol
+//! ([`Client::connect`]) or the length-prefixed binary frame protocol
+//! ([`Client::connect_binary`]); the request surface is identical.
 
+use crate::frame::{self, FrameError};
 use crate::job::Annotation;
 use crate::metrics::StatsSnapshot;
 use crate::protocol::{Request, Response};
@@ -48,17 +51,34 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    binary: bool,
 }
 
 impl Client {
-    /// Connects to the daemon.
+    /// Connects to the daemon, speaking the text protocol.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_mode(addr, false)
+    }
+
+    /// Connects to the daemon, speaking the binary frame protocol. The
+    /// server auto-detects the mode from the first frame byte.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_mode(addr, true)
+    }
+
+    fn connect_mode(addr: impl ToSocketAddrs, binary: bool) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            binary,
         })
+    }
+
+    /// True when this connection speaks the binary frame protocol.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -67,13 +87,26 @@ impl Client {
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        let mut line = request.to_line();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
+        if self.binary {
+            self.writer.write_all(&frame::encode_request(request))?;
+        } else {
+            let mut line = request.to_line();
+            line.push('\n');
+            self.writer.write_all(line.as_bytes())?;
+        }
         Ok(())
     }
 
     fn read_response(&mut self) -> Result<Response, ClientError> {
+        if self.binary {
+            return match frame::read_frame(&mut self.reader) {
+                Ok(Some(body)) => frame::decode_response(&body)
+                    .map_err(|err| ClientError::Protocol(err.to_string())),
+                Ok(None) => Err(ClientError::Protocol("daemon closed the connection".into())),
+                Err(FrameError::Io(err)) => Err(ClientError::Io(err)),
+                Err(other) => Err(ClientError::Protocol(other.to_string())),
+            };
+        }
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(ClientError::Protocol("daemon closed the connection".into()));

@@ -25,17 +25,19 @@
 
 use crate::channel;
 use crate::job::{Annotation, Job, JobError, JobHandle, JobRequest, JobResult, SubmitError, Work};
-use crate::metrics::{Metrics, StatsSnapshot, WorkspaceStats};
+use crate::metrics::{Metrics, SnapshotGauge, StatsSnapshot, WorkspaceStats};
 use gana_core::{Pipeline, Task, Workspace};
 use gana_gnn::GraphSample;
 use gana_graph::CircuitGraph;
-use gana_incremental::{Baseline, IncrementalPipeline, RegionCache};
+use gana_incremental::{Baseline, CachedBlock, IncrementalPipeline, RegionCache};
 use gana_netlist::{flatten, parse_library, Circuit};
 use gana_par::Parallelism;
+use gana_persist::{EngineSnapshot, ModelEntry, PersistError};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -179,6 +181,26 @@ struct SessionSlot {
     draining: AtomicBool,
 }
 
+/// Snapshot persistence state shared across the engine.
+#[derive(Debug, Default)]
+struct PersistState {
+    /// Where periodic/drain snapshots are written; `None` disables saving.
+    path: Option<PathBuf>,
+    /// When the last successful save finished.
+    last_save: Mutex<Option<Instant>>,
+    /// Bytes of the last written snapshot.
+    bytes: AtomicU64,
+    /// True when the engine was built from a snapshot (`warm_from`).
+    warm_start: AtomicBool,
+    /// Ensures the drain-time snapshot runs once even though `shutdown`
+    /// is idempotent and also called from `Drop`.
+    drain_saved: AtomicBool,
+    /// Serializes writers: the periodic snapshot thread and the drain-time
+    /// save share one `.tmp` staging file, so concurrent saves would
+    /// rename each other's half-written output into place.
+    save_lock: Mutex<()>,
+}
+
 struct Shared {
     pipelines: Vec<(Task, Pipeline)>,
     incremental: Vec<(Task, IncrementalPipeline)>,
@@ -199,6 +221,7 @@ struct Shared {
     workers: usize,
     max_batch: usize,
     batch_window_us: u64,
+    persist: PersistState,
 }
 
 impl Shared {
@@ -222,6 +245,9 @@ impl Shared {
 pub struct EngineBuilder {
     config: EngineConfig,
     pipelines: Vec<(Task, Pipeline)>,
+    snapshot_path: Option<PathBuf>,
+    seed_cache: Vec<(u128, CachedBlock)>,
+    warm_start: bool,
 }
 
 impl EngineBuilder {
@@ -230,7 +256,37 @@ impl EngineBuilder {
         EngineBuilder {
             config,
             pipelines: Vec::new(),
+            snapshot_path: None,
+            seed_cache: Vec::new(),
+            warm_start: false,
         }
+    }
+
+    /// Sets where [`Engine::save_snapshot`] writes the engine snapshot.
+    /// Without a path, `save_snapshot` is a no-op returning `Ok(None)`.
+    pub fn snapshot_path(mut self, path: impl Into<PathBuf>) -> EngineBuilder {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Boots the engine from a persisted [`EngineSnapshot`]: every model in
+    /// the snapshot becomes a registered pipeline sharing the snapshot's
+    /// primitive library, and the persisted region-cache entries are warm
+    /// loaded so the first incremental sessions splice instead of recompute.
+    pub fn warm_from(mut self, snapshot: EngineSnapshot) -> EngineBuilder {
+        let library = Arc::new(snapshot.library);
+        for entry in snapshot.models {
+            let pipeline = Pipeline::shared(
+                Arc::new(entry.model),
+                entry.class_names.into(),
+                Arc::clone(&library),
+                entry.task,
+            );
+            self = self.pipeline(pipeline);
+        }
+        self.seed_cache = snapshot.cache_entries;
+        self.warm_start = true;
+        self
     }
 
     /// Registers the pipeline serving `task` requests. The pipeline's
@@ -312,6 +368,7 @@ impl EngineBuilder {
             .map(|(task, pipeline)| (task, pipeline.with_parallelism(intra.clone())))
             .collect();
         let region_cache = Arc::new(RegionCache::new(self.config.region_cache_bytes));
+        region_cache.restore(self.seed_cache);
         let incremental = pipelines
             .iter()
             .map(|(task, pipeline)| {
@@ -338,6 +395,11 @@ impl EngineBuilder {
             workers,
             max_batch: self.config.max_batch.max(1),
             batch_window_us: self.config.batch_window_us,
+            persist: PersistState {
+                path: self.snapshot_path,
+                warm_start: AtomicBool::new(self.warm_start),
+                ..Default::default()
+            },
         });
         let (tx, rx) = channel::bounded::<Job>(self.config.queue_capacity);
         let handles = (0..workers)
@@ -602,7 +664,65 @@ impl Engine {
             self.shared.region_cache.stats(),
             self.shared.intra.gauge(),
             workspace,
+            self.snapshot_gauge(),
         )
+    }
+
+    /// Assembles a point-in-time [`EngineSnapshot`] of the models, library,
+    /// and region-cache contents — everything a fresh process needs for a
+    /// byte-identical warm start.
+    pub fn export_snapshot(&self) -> EngineSnapshot {
+        let library = self
+            .shared
+            .pipelines
+            .first()
+            .map(|(_, p)| (*p.library_arc()).clone())
+            .unwrap_or_default();
+        EngineSnapshot {
+            models: self
+                .shared
+                .pipelines
+                .iter()
+                .map(|(task, p)| ModelEntry {
+                    task: *task,
+                    class_names: p.class_names().to_vec(),
+                    model: p.model().clone(),
+                })
+                .collect(),
+            library,
+            cache_entries: self.shared.region_cache.export_entries(),
+        }
+    }
+
+    /// Writes an engine snapshot to the configured path (atomic
+    /// write-rename). Returns the byte count written, or `Ok(None)` when no
+    /// snapshot path was configured.
+    pub fn save_snapshot(&self) -> Result<Option<u64>, PersistError> {
+        let Some(path) = self.shared.persist.path.as_ref() else {
+            return Ok(None);
+        };
+        let _writer = self.shared.persist.save_lock.lock();
+        let bytes = self.export_snapshot().save(path)?;
+        *self.shared.persist.last_save.lock() = Some(Instant::now());
+        self.shared.persist.bytes.store(bytes, Ordering::Relaxed);
+        Ok(Some(bytes))
+    }
+
+    /// True when this engine was booted from a snapshot via
+    /// [`EngineBuilder::warm_from`].
+    pub fn warm_start(&self) -> bool {
+        self.shared.persist.warm_start.load(Ordering::Relaxed)
+    }
+
+    fn snapshot_gauge(&self) -> SnapshotGauge {
+        let last = *self.shared.persist.last_save.lock();
+        SnapshotGauge {
+            last_save_us: last
+                .map(|t| t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64)
+                .unwrap_or(0),
+            bytes: self.shared.persist.bytes.load(Ordering::Relaxed),
+            warm_start: self.shared.persist.warm_start.load(Ordering::Relaxed),
+        }
     }
 
     /// The intra-request thread budget each worker's pipeline runs with.
@@ -629,6 +749,15 @@ impl Engine {
         let handles: Vec<_> = self.handles.lock().drain(..).collect();
         for handle in handles {
             let _ = handle.join();
+        }
+        // Drain-time snapshot: persist the final cache state exactly once so
+        // the next boot warm-starts from where this process left off.
+        if self.shared.persist.path.is_some()
+            && !self.shared.persist.drain_saved.swap(true, Ordering::SeqCst)
+        {
+            if let Err(e) = self.save_snapshot() {
+                eprintln!("[gana-serve] drain snapshot failed: {e}");
+            }
         }
     }
 }

@@ -1,0 +1,528 @@
+//! Length-prefixed binary framing for the serve protocol.
+//!
+//! The text protocol ([`crate::protocol`]) escapes newlines out of SPICE
+//! payloads and re-parses them on every hop. This module carries the exact
+//! same [`Request`]/[`Response`] surface as checksummed binary frames, so
+//! high-volume clients skip the escape/unescape pass and corrupted frames
+//! are detected instead of misparsed:
+//!
+//! ```text
+//! [0xBF][version u8][body_len u32 LE][body][crc32(body) u32 LE]
+//! ```
+//!
+//! The body is `[opcode u8][fields...]` with integers little-endian and
+//! strings length-prefixed (`u32` byte count + UTF-8 bytes) — the same
+//! primitives `gana-persist` uses for snapshots, via its bounds-checked
+//! [`Reader`]/[`Writer`].
+//!
+//! The first frame byte `0xBF` can never start a text-protocol line (verbs
+//! are lowercase ASCII), which is what lets the server auto-detect the mode
+//! from the first byte of a connection and keep legacy text clients working
+//! unchanged.
+//!
+//! Framing violations (bad magic, unsupported version, oversized length,
+//! CRC mismatch) are unrecoverable — the byte stream has lost sync — so
+//! the server answers with one structured error frame and closes. A
+//! well-framed body that fails to decode (unknown opcode, bad task tag)
+//! only fails that one request.
+
+use crate::job::Annotation;
+use crate::protocol::{Request, Response};
+use gana_core::Task;
+use gana_persist::{crc32, PersistError, Reader, Writer};
+use std::io::{self, Read, Write as IoWrite};
+
+/// First byte of every binary frame. Text-protocol lines start with
+/// lowercase ASCII, so this byte unambiguously selects the binary mode.
+pub const FRAME_MAGIC: u8 = 0xBF;
+/// Frame format version this build writes and accepts.
+pub const FRAME_VERSION: u8 = 1;
+/// Upper bound on a frame body; anything larger is a framing error, not an
+/// allocation request.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+/// Frame header: magic + version + body length.
+pub const HEADER_BYTES: usize = 6;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket-level failure (includes a peer closing mid-frame).
+    Io(io::Error),
+    /// Framing is broken: bad magic, unsupported version, oversized or
+    /// CRC-mismatched body. The stream has lost sync; close the connection.
+    Desync(String),
+    /// The frame was intact but its body does not decode (unknown opcode,
+    /// bad tag, truncated field). Recoverable: only this request fails.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(err) => write!(f, "frame i/o: {err}"),
+            FrameError::Desync(msg) => write!(f, "frame desync: {msg}"),
+            FrameError::Malformed(msg) => write!(f, "bad frame body: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(err: io::Error) -> FrameError {
+        FrameError::Io(err)
+    }
+}
+
+fn body_error(err: PersistError) -> FrameError {
+    FrameError::Malformed(err.to_string())
+}
+
+// Request opcodes.
+const OP_ANNOTATE: u8 = 1;
+const OP_BATCH: u8 = 2;
+const OP_OPEN: u8 = 3;
+const OP_UPDATE: u8 = 4;
+const OP_CLOSE: u8 = 5;
+const OP_STATS: u8 = 6;
+const OP_PING: u8 = 7;
+const OP_SHUTDOWN: u8 = 8;
+
+// Response opcodes.
+const RESP_OK: u8 = 1;
+const RESP_SESSION: u8 = 2;
+const RESP_CLOSED: u8 = 3;
+const RESP_ERR: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_PONG: u8 = 6;
+const RESP_BYE: u8 = 7;
+
+fn task_tag(task: Task) -> u8 {
+    match task {
+        Task::OtaBias => 0,
+        Task::Rf => 1,
+    }
+}
+
+fn task_from_tag(tag: u8) -> Result<Task, FrameError> {
+    match tag {
+        0 => Ok(Task::OtaBias),
+        1 => Ok(Task::Rf),
+        other => Err(FrameError::Malformed(format!("unknown task tag {other}"))),
+    }
+}
+
+/// Wraps a body in the frame header + trailing CRC.
+pub fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_BODY_BYTES);
+    let mut out = Vec::with_capacity(HEADER_BYTES + body.len() + 4);
+    out.push(FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+/// Encodes a request as one complete frame.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match request {
+        Request::Annotate {
+            task,
+            deadline_ms,
+            netlist,
+        } => {
+            w.put_u8(OP_ANNOTATE);
+            w.put_u8(task_tag(*task));
+            w.put_u8(u8::from(deadline_ms.is_some()));
+            w.put_u64(deadline_ms.unwrap_or(0));
+            w.put_str(netlist);
+        }
+        Request::Batch(count) => {
+            w.put_u8(OP_BATCH);
+            w.put_u64(*count as u64);
+        }
+        Request::Open { task, netlist } => {
+            w.put_u8(OP_OPEN);
+            w.put_u8(task_tag(*task));
+            w.put_str(netlist);
+        }
+        Request::Update { session, netlist } => {
+            w.put_u8(OP_UPDATE);
+            w.put_u64(*session);
+            w.put_str(netlist);
+        }
+        Request::Close(session) => {
+            w.put_u8(OP_CLOSE);
+            w.put_u64(*session);
+        }
+        Request::Stats => w.put_u8(OP_STATS),
+        Request::Ping => w.put_u8(OP_PING),
+        Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+    }
+    frame_bytes(&w.into_bytes())
+}
+
+/// Decodes a request from a verified frame body.
+pub fn decode_request(body: &[u8]) -> Result<Request, FrameError> {
+    let mut r = Reader::new(body);
+    let opcode = r.get_u8().map_err(body_error)?;
+    let request = match opcode {
+        OP_ANNOTATE => {
+            let task = task_from_tag(r.get_u8().map_err(body_error)?)?;
+            let has_deadline = r.get_u8().map_err(body_error)?;
+            let deadline = r.get_u64().map_err(body_error)?;
+            Request::Annotate {
+                task,
+                deadline_ms: (has_deadline != 0).then_some(deadline),
+                netlist: r.get_str().map_err(body_error)?,
+            }
+        }
+        OP_BATCH => {
+            let count = r.get_u64().map_err(body_error)?;
+            let count = usize::try_from(count)
+                .map_err(|_| FrameError::Malformed(format!("batch count {count} overflows")))?;
+            Request::Batch(count)
+        }
+        OP_OPEN => Request::Open {
+            task: task_from_tag(r.get_u8().map_err(body_error)?)?,
+            netlist: r.get_str().map_err(body_error)?,
+        },
+        OP_UPDATE => Request::Update {
+            session: r.get_u64().map_err(body_error)?,
+            netlist: r.get_str().map_err(body_error)?,
+        },
+        OP_CLOSE => Request::Close(r.get_u64().map_err(body_error)?),
+        OP_STATS => Request::Stats,
+        OP_PING => Request::Ping,
+        OP_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(FrameError::Malformed(format!(
+                "unknown request opcode {other}"
+            )))
+        }
+    };
+    r.expect_end().map_err(body_error)?;
+    Ok(request)
+}
+
+fn put_annotation(w: &mut Writer, annotation: &Annotation) {
+    w.put_str(&annotation.circuit_name);
+    w.put_u32(annotation.device_labels.len() as u32);
+    for (device, label) in &annotation.device_labels {
+        w.put_str(device);
+        w.put_str(label);
+    }
+    w.put_str_list(&annotation.sub_blocks);
+    w.put_u64(annotation.constraint_count as u64);
+    w.put_str(&annotation.hierarchical_spice);
+}
+
+fn get_annotation(r: &mut Reader<'_>) -> Result<Annotation, FrameError> {
+    let circuit_name = r.get_str().map_err(body_error)?;
+    let labels = r.get_count(8).map_err(body_error)?;
+    let mut device_labels = Vec::with_capacity(labels);
+    for _ in 0..labels {
+        let device = r.get_str().map_err(body_error)?;
+        let label = r.get_str().map_err(body_error)?;
+        device_labels.push((device, label));
+    }
+    Ok(Annotation {
+        circuit_name,
+        device_labels,
+        sub_blocks: r.get_str_list().map_err(body_error)?,
+        constraint_count: r.get_usize().map_err(body_error)?,
+        hierarchical_spice: r.get_str().map_err(body_error)?,
+    })
+}
+
+/// Encodes a response as one complete frame.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match response {
+        Response::Ok(annotation) => {
+            w.put_u8(RESP_OK);
+            put_annotation(&mut w, annotation);
+        }
+        Response::Session {
+            session,
+            annotation,
+        } => {
+            w.put_u8(RESP_SESSION);
+            w.put_u64(*session);
+            put_annotation(&mut w, annotation);
+        }
+        Response::Closed(session) => {
+            w.put_u8(RESP_CLOSED);
+            w.put_u64(*session);
+        }
+        Response::Err { code, message } => {
+            w.put_u8(RESP_ERR);
+            w.put_str(code);
+            w.put_str(message);
+        }
+        Response::Stats(wire) => {
+            w.put_u8(RESP_STATS);
+            w.put_str(wire);
+        }
+        Response::Pong => w.put_u8(RESP_PONG),
+        Response::Bye => w.put_u8(RESP_BYE),
+    }
+    frame_bytes(&w.into_bytes())
+}
+
+/// Decodes a response from a verified frame body.
+pub fn decode_response(body: &[u8]) -> Result<Response, FrameError> {
+    let mut r = Reader::new(body);
+    let opcode = r.get_u8().map_err(body_error)?;
+    let response = match opcode {
+        RESP_OK => Response::Ok(get_annotation(&mut r)?),
+        RESP_SESSION => Response::Session {
+            session: r.get_u64().map_err(body_error)?,
+            annotation: get_annotation(&mut r)?,
+        },
+        RESP_CLOSED => Response::Closed(r.get_u64().map_err(body_error)?),
+        RESP_ERR => Response::Err {
+            code: r.get_str().map_err(body_error)?,
+            message: r.get_str().map_err(body_error)?,
+        },
+        RESP_STATS => Response::Stats(r.get_str().map_err(body_error)?),
+        RESP_PONG => Response::Pong,
+        RESP_BYE => Response::Bye,
+        other => {
+            return Err(FrameError::Malformed(format!(
+                "unknown response opcode {other}"
+            )))
+        }
+    };
+    r.expect_end().map_err(body_error)?;
+    Ok(response)
+}
+
+/// Validates a frame header (magic, version, body length) and returns the
+/// body length. The 6 header bytes are `buf[..HEADER_BYTES]`.
+pub fn check_header(header: &[u8; HEADER_BYTES]) -> Result<usize, FrameError> {
+    if header[0] != FRAME_MAGIC {
+        return Err(FrameError::Desync(format!(
+            "bad frame magic 0x{:02x} (want 0x{FRAME_MAGIC:02x})",
+            header[0]
+        )));
+    }
+    if header[1] != FRAME_VERSION {
+        return Err(FrameError::Desync(format!(
+            "unsupported frame version {} (this build speaks {FRAME_VERSION})",
+            header[1]
+        )));
+    }
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    if len > MAX_BODY_BYTES {
+        return Err(FrameError::Desync(format!(
+            "frame body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    Ok(len)
+}
+
+/// Verifies the trailing CRC against the body.
+pub fn check_crc(body: &[u8], crc_bytes: &[u8; 4]) -> Result<(), FrameError> {
+    let want = u32::from_le_bytes(*crc_bytes);
+    let got = crc32(body);
+    if got != want {
+        return Err(FrameError::Desync(format!(
+            "frame crc mismatch (got 0x{got:08x}, frame says 0x{want:08x})"
+        )));
+    }
+    Ok(())
+}
+
+/// Reads one complete frame from a blocking stream and returns its verified
+/// body. Returns `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    match reader.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(err) => return Err(FrameError::Io(err)),
+    }
+    let len = check_header(&header)?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let mut crc_bytes = [0u8; 4];
+    reader.read_exact(&mut crc_bytes)?;
+    check_crc(&body, &crc_bytes)?;
+    Ok(Some(body))
+}
+
+/// Writes one pre-encoded frame.
+pub fn write_frame(writer: &mut impl IoWrite, frame: &[u8]) -> io::Result<()> {
+    writer.write_all(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_annotation() -> Annotation {
+        Annotation {
+            circuit_name: "ota5".to_string(),
+            device_labels: vec![
+                ("M0".to_string(), "gm".to_string()),
+                ("R1".to_string(), "bias".to_string()),
+            ],
+            sub_blocks: vec!["DiffPair".to_string(), "CM".to_string()],
+            constraint_count: 3,
+            hierarchical_spice: ".SUBCKT ota5 in out\nM0 a b c d NMOS\n.ENDS\n".to_string(),
+        }
+    }
+
+    fn round_trip_request(request: Request) {
+        let frame = encode_request(&request);
+        let body = read_frame(&mut frame.as_slice())
+            .expect("frame reads")
+            .expect("not eof");
+        assert_eq!(decode_request(&body).expect("decodes"), request);
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        round_trip_request(Request::Annotate {
+            task: Task::OtaBias,
+            deadline_ms: Some(250),
+            netlist: "M1 a b c d NMOS\n.end\n".to_string(),
+        });
+        round_trip_request(Request::Annotate {
+            task: Task::Rf,
+            deadline_ms: None,
+            netlist: "R1 a b 1k".into(),
+        });
+        // A zero deadline is distinct from no deadline.
+        round_trip_request(Request::Annotate {
+            task: Task::Rf,
+            deadline_ms: Some(0),
+            netlist: String::new(),
+        });
+        round_trip_request(Request::Batch(7));
+        round_trip_request(Request::Open {
+            task: Task::OtaBias,
+            netlist: "M1 a b c d NMOS\n.end\n".to_string(),
+        });
+        round_trip_request(Request::Update {
+            session: 42,
+            netlist: "M1 a b c d NMOS W=9u\n.end\n".to_string(),
+        });
+        round_trip_request(Request::Close(42));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let responses = [
+            Response::Ok(sample_annotation()),
+            Response::Session {
+                session: 9,
+                annotation: sample_annotation(),
+            },
+            Response::Closed(9),
+            Response::Err {
+                code: "parse".into(),
+                message: "line 3: bad card\nnear M9".into(),
+            },
+            Response::Stats("submitted=4 completed=4".into()),
+            Response::Pong,
+            Response::Bye,
+        ];
+        for response in responses {
+            let frame = encode_response(&response);
+            let body = read_frame(&mut frame.as_slice())
+                .expect("frame reads")
+                .expect("not eof");
+            assert_eq!(decode_response(&body).expect("decodes"), response);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_structured_errors() {
+        let mut frame = encode_request(&Request::Ping);
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] = b'p';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(FrameError::Desync(_))
+        ));
+        // Future version.
+        let mut bad = frame.clone();
+        bad[1] = FRAME_VERSION + 1;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(FrameError::Desync(_))
+        ));
+        // Body bit flip fails the CRC.
+        let flip = HEADER_BYTES;
+        frame[flip] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut frame.as_slice()),
+            Err(FrameError::Desync(_))
+        ));
+        // Absurd length is rejected before allocation.
+        let mut huge = encode_request(&Request::Ping);
+        huge[2..HEADER_BYTES].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(FrameError::Desync(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors_not_panics() {
+        let frame = encode_request(&Request::Annotate {
+            task: Task::OtaBias,
+            deadline_ms: None,
+            netlist: "M1 a b c d NMOS".into(),
+        });
+        // EOF exactly at a frame boundary is a clean close...
+        assert!(matches!(read_frame(&mut [].as_slice()), Ok(None)));
+        // ...but EOF anywhere inside a frame is an error.
+        for cut in 1..frame.len() {
+            let result = read_frame(&mut &frame[..cut]);
+            assert!(
+                !matches!(result, Ok(Some(_))),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_recoverable_errors() {
+        // Unknown opcode in a well-formed frame.
+        let body = vec![0xEEu8];
+        assert!(matches!(
+            decode_request(&body),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_response(&body),
+            Err(FrameError::Malformed(_))
+        ));
+        // Bad task tag.
+        let mut w = Writer::new();
+        w.put_u8(OP_OPEN);
+        w.put_u8(9);
+        w.put_str("M1 a b c d NMOS");
+        assert!(matches!(
+            decode_request(&w.into_bytes()),
+            Err(FrameError::Malformed(_))
+        ));
+        // Trailing garbage after a valid request.
+        let mut w = Writer::new();
+        w.put_u8(OP_PING);
+        w.put_u8(0);
+        assert!(matches!(
+            decode_request(&w.into_bytes()),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

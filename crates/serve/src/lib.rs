@@ -9,10 +9,13 @@
 //! * [`Engine`] — in-process service: shared `Arc`'d artifacts, a bounded
 //!   MPMC submission queue, N worker threads, a result cache, and
 //!   per-stage metrics.
-//! * [`server`] — a newline-delimited TCP front end (`gana serve`) with
-//!   graceful shutdown that drains in-flight jobs.
+//! * [`server`] — a TCP front end (`gana serve`) with graceful shutdown
+//!   that drains in-flight jobs; each connection auto-detects text or
+//!   binary framing from its first byte.
 //! * [`client`] — a small blocking client used by `gana submit` and tests.
-//! * [`protocol`] — the hand-rolled wire format shared by both sides.
+//! * [`protocol`] — the newline-delimited text format shared by both sides.
+//! * [`frame`] — the length-prefixed, CRC-checked binary framing carrying
+//!   the same request/response surface.
 //!
 //! The submission queue is the backpressure boundary: [`Engine::submit`]
 //! returns [`SubmitError::QueueFull`] immediately when the queue is at
@@ -21,6 +24,7 @@
 
 pub mod client;
 pub mod engine;
+pub mod frame;
 pub mod job;
 pub mod metrics;
 pub mod protocol;

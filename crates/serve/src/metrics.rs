@@ -165,6 +165,7 @@ impl Metrics {
     /// `sessions` and `region` come from the engine's session store and
     /// shared region cache; `intra` from the shared intra-request pool
     /// gauge; `workspace` aggregates the per-worker annotation workspaces.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         queue_depth: usize,
@@ -173,9 +174,13 @@ impl Metrics {
         region: RegionCacheStats,
         intra: GaugeSnapshot,
         workspace: WorkspaceStats,
+        persistence: SnapshotGauge,
     ) -> StatsSnapshot {
         StatsSnapshot {
             sessions,
+            snapshot_last_save_us: persistence.last_save_us,
+            snapshot_bytes: persistence.bytes,
+            warm_start: persistence.warm_start,
             intra_pool_size: intra.size,
             intra_busy: intra.busy,
             intra_queued: intra.queued,
@@ -209,6 +214,18 @@ impl Metrics {
             batch_flush_deadline: self.batch_flush_deadline.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Point-in-time persistence state, computed by the engine at stats time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotGauge {
+    /// Microseconds since the last successful snapshot save (`0` when no
+    /// snapshot has been written by this process yet).
+    pub last_save_us: u64,
+    /// Size in bytes of the last written snapshot (`0` when none).
+    pub bytes: u64,
+    /// True when the engine was restored from a snapshot at boot.
+    pub warm_start: bool,
 }
 
 /// Aggregate view of the per-worker annotation workspaces, computed by the
@@ -290,6 +307,12 @@ pub struct StatsSnapshot {
     pub batch_size_p95: u64,
     /// Batch flushes forced early by a member's deadline.
     pub batch_flush_deadline: u64,
+    /// Microseconds since the last successful snapshot save (`0` = never).
+    pub snapshot_last_save_us: u64,
+    /// Size in bytes of the last written snapshot (`0` = none).
+    pub snapshot_bytes: u64,
+    /// True when the engine warm-started from a snapshot at boot.
+    pub warm_start: bool,
 }
 
 impl StatsSnapshot {
@@ -302,6 +325,7 @@ impl StatsSnapshot {
              queue_depth={} workers={} intra_pool_size={} intra_busy={} intra_queued={} \
              templates_pruned={} workspace_high_water_bytes={} \
              batched_requests={} batch_size_p50={} batch_size_p95={} batch_flush_deadline={} \
+             snapshot_last_save_us={} snapshot_bytes={} warm_start={} \
              queue_wait_p50_us={} queue_wait_p95_us={} \
              parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
              total_p50_us={} total_p95_us={} total_mean_us={}",
@@ -328,6 +352,9 @@ impl StatsSnapshot {
             self.batch_size_p50,
             self.batch_size_p95,
             self.batch_flush_deadline,
+            self.snapshot_last_save_us,
+            self.snapshot_bytes,
+            u64::from(self.warm_start),
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
             self.parse_p50_us,
@@ -379,6 +406,9 @@ impl StatsSnapshot {
                 "batch_size_p50" => snap.batch_size_p50 = n,
                 "batch_size_p95" => snap.batch_size_p95 = n,
                 "batch_flush_deadline" => snap.batch_flush_deadline = n,
+                "snapshot_last_save_us" => snap.snapshot_last_save_us = n,
+                "snapshot_bytes" => snap.snapshot_bytes = n,
+                "warm_start" => snap.warm_start = n != 0,
                 _ => return None,
             }
         }
@@ -403,6 +433,26 @@ fn human_us(us: u64) -> String {
     }
 }
 
+impl StatsSnapshot {
+    /// Human summary of persistence state: boot mode, snapshot age, size.
+    fn snapshot_summary(&self) -> String {
+        let boot = if self.warm_start {
+            "warm start"
+        } else {
+            "cold start"
+        };
+        if self.snapshot_bytes == 0 {
+            format!("{boot}, none saved")
+        } else {
+            format!(
+                "{boot}, saved {} ago ({} B)",
+                human_us(self.snapshot_last_save_us),
+                self.snapshot_bytes
+            )
+        }
+    }
+}
+
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -412,7 +462,7 @@ impl fmt::Display for StatsSnapshot {
              {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
              {} threads/worker, {} busy, {} queued | workspace: {} templates \
              pruned, {} B peak | batch: {} fused jobs, size p50/p95 {}/{}, \
-             {} deadline flushes | latency: \
+             {} deadline flushes | snapshot: {} | latency: \
              wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
             self.submitted,
             self.completed,
@@ -437,6 +487,7 @@ impl fmt::Display for StatsSnapshot {
             self.batch_size_p50,
             self.batch_size_p95,
             self.batch_flush_deadline,
+            self.snapshot_summary(),
             human_us(self.queue_wait_p50_us),
             human_us(self.queue_wait_p95_us),
             human_us(self.parse_p50_us),
@@ -507,6 +558,25 @@ mod tests {
     }
 
     #[test]
+    fn display_reports_snapshot_age_and_boot_mode() {
+        let cold = StatsSnapshot::default();
+        assert!(cold
+            .to_string()
+            .contains("snapshot: cold start, none saved"));
+        let warm = StatsSnapshot {
+            warm_start: true,
+            snapshot_last_save_us: 2_000_000,
+            snapshot_bytes: 4096,
+            ..StatsSnapshot::default()
+        };
+        let text = warm.to_string();
+        assert!(
+            text.contains("snapshot: warm start, saved 2.00s ago (4096 B)"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn snapshot_wire_round_trip() {
         let metrics = Metrics::default();
         metrics.submitted.store(17, Ordering::Relaxed);
@@ -538,8 +608,16 @@ mod tests {
                 templates_pruned: 42,
                 high_water_bytes: 65536,
             },
+            SnapshotGauge {
+                last_save_us: 2_500_000,
+                bytes: 8192,
+                warm_start: true,
+            },
         );
         assert_eq!(snap.intra_pool_size, 2);
+        assert_eq!(snap.snapshot_last_save_us, 2_500_000);
+        assert_eq!(snap.snapshot_bytes, 8192);
+        assert!(snap.warm_start);
         assert_eq!(snap.intra_busy, 1);
         assert_eq!(snap.intra_queued, 5);
         assert_eq!(snap.templates_pruned, 42);

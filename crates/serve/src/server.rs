@@ -1,16 +1,28 @@
 //! TCP front end for an [`Engine`]: the `gana serve` daemon.
 //!
 //! One thread accepts connections (non-blocking, so it can poll the
-//! shutdown flag), one thread per connection speaks the line protocol, and
+//! shutdown flag), one thread per connection speaks the wire protocol, and
 //! one thread emits a periodic stats log line. A `shutdown` request — or
 //! [`ServerHandle::shutdown`] — stops admission, drains every in-flight
 //! job through [`Engine::shutdown`], and then joins all threads.
+//!
+//! Each connection auto-detects its protocol from the first byte: the
+//! binary frame magic (`0xBF`, see [`crate::frame`]) selects length-prefixed
+//! frames; anything else falls back to the legacy newline-delimited text
+//! protocol, so old clients keep working unchanged. Both modes share one
+//! dispatch loop — the `Request`/`Response` surface is identical.
+//!
+//! When the engine has a snapshot path configured, a snapshot thread
+//! periodically persists the models, library, and region cache so the next
+//! boot warm-starts; [`Engine::shutdown`] writes a final drain-time
+//! snapshot.
 
 use crate::engine::Engine;
+use crate::frame;
 use crate::job::{JobError, JobRequest, SubmitError};
 use crate::protocol::{Request, Response};
 use parking_lot::Mutex;
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,6 +35,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Interval between periodic stats log lines; `None` disables them.
     pub stats_interval: Option<Duration>,
+    /// Interval between periodic engine snapshots; `None` disables them.
+    /// Saves are no-ops unless the engine was built with a snapshot path.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -30,6 +45,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             stats_interval: Some(Duration::from_secs(30)),
+            snapshot_interval: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -113,6 +129,14 @@ pub fn serve(engine: Arc<Engine>, config: ServerConfig) -> io::Result<ServerHand
                 .spawn(move || stats_loop(&shared, interval))?,
         );
     }
+    if let Some(interval) = config.snapshot_interval {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("gana-serve-snapshot".to_string())
+                .spawn(move || snapshot_loop(&shared, interval))?,
+        );
+    }
 
     Ok(ServerHandle {
         shared,
@@ -166,6 +190,23 @@ fn stats_loop(shared: &ServerShared, interval: Duration) {
     }
 }
 
+fn snapshot_loop(shared: &ServerShared, interval: Duration) {
+    let mut elapsed = Duration::ZERO;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL);
+        elapsed += POLL;
+        if elapsed >= interval {
+            elapsed = Duration::ZERO;
+            match shared.engine.save_snapshot() {
+                Ok(Some(bytes)) => eprintln!("[gana-serve] snapshot saved ({bytes} B)"),
+                // No snapshot path configured; nothing to persist.
+                Ok(None) => return,
+                Err(err) => eprintln!("[gana-serve] snapshot failed: {err}"),
+            }
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
     // Sessions are connection-scoped: whatever this connection opened and
     // did not close is released when the stream drops (cleanly or not), so
@@ -187,39 +228,228 @@ fn connection_loop(
     // A read timeout lets the thread notice shutdown even on idle
     // connections.
     stream.set_read_timeout(Some(POLL))?;
-    let mut writer = stream.try_clone()?;
+    let writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-
-    loop {
-        line.clear();
-        match read_line_polling(&mut reader, &mut line, shared) {
-            ReadOutcome::Line => {}
-            ReadOutcome::Closed => return Ok(()),
-            ReadOutcome::Stopping => return Ok(()),
-            ReadOutcome::Error(err) => return Err(err),
+    // Protocol auto-detect: peek (without consuming) the first byte. The
+    // binary frame magic cannot start a text verb, so one byte decides.
+    let first = loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // closed before the first request
+            Ok(buf) => break buf[0],
+            Err(err)
+                if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(err) => return Err(err),
         }
-        let request = match Request::parse(&line) {
-            Ok(request) => request,
+    };
+    if first == frame::FRAME_MAGIC {
+        dispatch_loop(&mut BinaryTransport { reader, writer }, shared, opened)
+    } else {
+        dispatch_loop(
+            &mut TextTransport {
+                reader,
+                writer,
+                line: String::new(),
+            },
+            shared,
+            opened,
+        )
+    }
+}
+
+/// What a transport's request read produced.
+enum ReadRequest {
+    /// A well-formed request.
+    Request(Request),
+    /// The peer sent something unparseable: report `message`; when `fatal`
+    /// (binary framing lost sync) the connection closes after the report.
+    Bad { message: String, fatal: bool },
+    /// Clean close at a message boundary.
+    Closed,
+    /// The server is shutting down.
+    Stopping,
+    /// Socket-level failure.
+    Error(io::Error),
+}
+
+/// One protocol mode: how requests come off the socket and how responses go
+/// back. The dispatch loop is shared; only the framing differs.
+trait Transport {
+    fn read_request(&mut self, shared: &ServerShared) -> ReadRequest;
+    fn write_response(&mut self, response: &Response) -> io::Result<()>;
+}
+
+/// Legacy newline-delimited text framing.
+struct TextTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+}
+
+impl Transport for TextTransport {
+    fn read_request(&mut self, shared: &ServerShared) -> ReadRequest {
+        self.line.clear();
+        loop {
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return ReadRequest::Closed,
+                Ok(_) => {
+                    // A timeout can split a line; keep reading to newline.
+                    if self.line.ends_with('\n') {
+                        return match Request::parse(&self.line) {
+                            Ok(request) => ReadRequest::Request(request),
+                            Err(err) => ReadRequest::Bad {
+                                message: err.0,
+                                fatal: false,
+                            },
+                        };
+                    }
+                }
+                Err(err)
+                    if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
+                {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return ReadRequest::Stopping;
+                    }
+                }
+                Err(err) => return ReadRequest::Error(err),
+            }
+        }
+    }
+
+    fn write_response(&mut self, response: &Response) -> io::Result<()> {
+        let mut line = response.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+}
+
+/// Length-prefixed, CRC-checked binary framing (see [`crate::frame`]).
+struct BinaryTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+enum FillOutcome {
+    Done,
+    Closed,
+    Stopping,
+    Error(io::Error),
+}
+
+impl BinaryTransport {
+    /// Fills `buf` completely, waking every [`POLL`] to check the shutdown
+    /// flag. `Closed` is only clean when nothing was read yet.
+    fn read_exact_polling(&mut self, mut buf: &mut [u8], shared: &ServerShared) -> FillOutcome {
+        let whole = buf.len();
+        while !buf.is_empty() {
+            match self.reader.read(buf) {
+                Ok(0) => {
+                    return if buf.len() == whole {
+                        FillOutcome::Closed
+                    } else {
+                        FillOutcome::Error(io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => buf = &mut buf[n..],
+                Err(err)
+                    if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
+                {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return FillOutcome::Stopping;
+                    }
+                }
+                Err(err) => return FillOutcome::Error(err),
+            }
+        }
+        FillOutcome::Done
+    }
+}
+
+impl Transport for BinaryTransport {
+    fn read_request(&mut self, shared: &ServerShared) -> ReadRequest {
+        let mut header = [0u8; frame::HEADER_BYTES];
+        match self.read_exact_polling(&mut header, shared) {
+            FillOutcome::Done => {}
+            FillOutcome::Closed => return ReadRequest::Closed,
+            FillOutcome::Stopping => return ReadRequest::Stopping,
+            FillOutcome::Error(err) => return ReadRequest::Error(err),
+        }
+        let len = match frame::check_header(&header) {
+            Ok(len) => len,
             Err(err) => {
-                write_response(
-                    &mut writer,
-                    &Response::Err {
-                        code: "protocol".into(),
-                        message: err.0,
-                    },
-                )?;
-                continue;
+                return ReadRequest::Bad {
+                    message: err.to_string(),
+                    fatal: true,
+                }
             }
         };
+        let mut body = vec![0u8; len];
+        let mut crc = [0u8; 4];
+        for buf in [body.as_mut_slice(), crc.as_mut_slice()] {
+            match self.read_exact_polling(buf, shared) {
+                FillOutcome::Done => {}
+                FillOutcome::Closed | FillOutcome::Stopping => return ReadRequest::Stopping,
+                FillOutcome::Error(err) => return ReadRequest::Error(err),
+            }
+        }
+        if let Err(err) = frame::check_crc(&body, &crc) {
+            return ReadRequest::Bad {
+                message: err.to_string(),
+                fatal: true,
+            };
+        }
+        match frame::decode_request(&body) {
+            Ok(request) => ReadRequest::Request(request),
+            // The frame itself was intact, so the stream is still in sync:
+            // only this request fails.
+            Err(err) => ReadRequest::Bad {
+                message: err.to_string(),
+                fatal: false,
+            },
+        }
+    }
+
+    fn write_response(&mut self, response: &Response) -> io::Result<()> {
+        self.writer.write_all(&frame::encode_response(response))
+    }
+}
+
+fn dispatch_loop<T: Transport>(
+    transport: &mut T,
+    shared: &ServerShared,
+    opened: &mut Vec<u64>,
+) -> io::Result<()> {
+    loop {
+        let request = match transport.read_request(shared) {
+            ReadRequest::Request(request) => request,
+            ReadRequest::Bad { message, fatal } => {
+                transport.write_response(&Response::Err {
+                    code: "protocol".into(),
+                    message,
+                })?;
+                if fatal {
+                    return Ok(());
+                }
+                continue;
+            }
+            ReadRequest::Closed | ReadRequest::Stopping => return Ok(()),
+            ReadRequest::Error(err) => return Err(err),
+        };
         match request {
-            Request::Ping => write_response(&mut writer, &Response::Pong)?,
+            Request::Ping => transport.write_response(&Response::Pong)?,
             Request::Stats => {
                 let wire = shared.engine.stats().to_wire();
-                write_response(&mut writer, &Response::Stats(wire))?;
+                transport.write_response(&Response::Stats(wire))?;
             }
             Request::Shutdown => {
-                write_response(&mut writer, &Response::Bye)?;
+                transport.write_response(&Response::Bye)?;
                 shared.stop.store(true, Ordering::SeqCst);
                 shared.engine.shutdown();
                 return Ok(());
@@ -230,7 +460,7 @@ fn connection_loop(
                 netlist,
             } => {
                 let response = annotate_one(shared, task, deadline_ms, netlist);
-                write_response(&mut writer, &response)?;
+                transport.write_response(&response)?;
             }
             Request::Open { task, netlist } => {
                 let response = match shared.engine.open_session(JobRequest::new(netlist, task)) {
@@ -250,7 +480,7 @@ fn connection_loop(
                     },
                     Err(SubmitError::ShuttingDown) => Response::from_job_error(&JobError::Shutdown),
                 };
-                write_response(&mut writer, &response)?;
+                transport.write_response(&response)?;
             }
             Request::Update { session, netlist } => {
                 let response = match shared.engine.update_session(session, netlist) {
@@ -267,7 +497,7 @@ fn connection_loop(
                     },
                     Err(SubmitError::ShuttingDown) => Response::from_job_error(&JobError::Shutdown),
                 };
-                write_response(&mut writer, &response)?;
+                transport.write_response(&response)?;
             }
             Request::Close(session) => {
                 let response = if shared.engine.close_session(session) {
@@ -276,35 +506,43 @@ fn connection_loop(
                 } else {
                     Response::from_job_error(&JobError::UnknownSession(session))
                 };
-                write_response(&mut writer, &response)?;
+                transport.write_response(&response)?;
             }
             Request::Batch(count) => {
                 // Admit the whole batch before waiting on any reply, so the
                 // worker pool sees all jobs at once.
                 let mut handles = Vec::with_capacity(count);
                 for _ in 0..count {
-                    line.clear();
-                    match read_line_polling(&mut reader, &mut line, shared) {
-                        ReadOutcome::Line => {}
-                        ReadOutcome::Closed | ReadOutcome::Stopping => return Ok(()),
-                        ReadOutcome::Error(err) => return Err(err),
-                    }
-                    match Request::parse(&line) {
-                        Ok(Request::Annotate {
+                    match transport.read_request(shared) {
+                        ReadRequest::Request(Request::Annotate {
                             task,
                             deadline_ms,
                             netlist,
                         }) => {
                             handles.push(submit_one(shared, task, deadline_ms, netlist));
                         }
-                        Ok(other) => handles.push(Err(Response::Err {
+                        ReadRequest::Request(other) => handles.push(Err(Response::Err {
                             code: "protocol".into(),
                             message: format!("batch expects annotate lines, got {other:?}"),
                         })),
-                        Err(err) => handles.push(Err(Response::Err {
-                            code: "protocol".into(),
-                            message: err.0,
-                        })),
+                        ReadRequest::Bad { message, fatal } => {
+                            if fatal {
+                                // Framing lost sync mid-batch: report and
+                                // close; already-admitted jobs still run but
+                                // their replies have nowhere to go.
+                                transport.write_response(&Response::Err {
+                                    code: "protocol".into(),
+                                    message,
+                                })?;
+                                return Ok(());
+                            }
+                            handles.push(Err(Response::Err {
+                                code: "protocol".into(),
+                                message,
+                            }));
+                        }
+                        ReadRequest::Closed | ReadRequest::Stopping => return Ok(()),
+                        ReadRequest::Error(err) => return Err(err),
                     }
                 }
                 for handle in handles {
@@ -315,43 +553,9 @@ fn connection_loop(
                         },
                         Err(response) => response,
                     };
-                    write_response(&mut writer, &response)?;
+                    transport.write_response(&response)?;
                 }
             }
-        }
-    }
-}
-
-enum ReadOutcome {
-    Line,
-    Closed,
-    Stopping,
-    Error(io::Error),
-}
-
-/// Reads one line, waking every [`POLL`] to check the shutdown flag.
-fn read_line_polling(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    shared: &ServerShared,
-) -> ReadOutcome {
-    loop {
-        match reader.read_line(line) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(_) => {
-                // A timeout can split a line; keep reading until newline.
-                if line.ends_with('\n') {
-                    return ReadOutcome::Line;
-                }
-            }
-            Err(err)
-                if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
-            {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return ReadOutcome::Stopping;
-                }
-            }
-            Err(err) => return ReadOutcome::Error(err),
         }
     }
 }
@@ -388,10 +592,4 @@ fn annotate_one(
         },
         Err(response) => response,
     }
-}
-
-fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let mut line = response.to_line();
-    line.push('\n');
-    writer.write_all(line.as_bytes())
 }

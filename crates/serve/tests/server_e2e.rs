@@ -53,6 +53,7 @@ fn daemon_round_trip_batch_stats_and_graceful_shutdown() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             stats_interval: None,
+            snapshot_interval: None,
         },
     )
     .expect("binds an ephemeral port");

@@ -56,6 +56,7 @@ fn session_open_update_close_round_trip() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             stats_interval: None,
+            snapshot_interval: None,
         },
     )
     .expect("binds an ephemeral port");
@@ -136,6 +137,7 @@ fn disconnect_without_close_releases_sessions() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             stats_interval: None,
+            snapshot_interval: None,
         },
     )
     .expect("binds an ephemeral port");

@@ -1,0 +1,269 @@
+//! Warm-start equivalence and mixed-protocol serving:
+//!
+//! * an engine restored from a snapshot (`warm_from`) produces byte-identical
+//!   annotations to the engine that wrote it, across all four circuit
+//!   families (ota, rf, sc-filter, phased-array);
+//! * one daemon serves a legacy text client and a binary-frame client on
+//!   concurrent connections with identical results;
+//! * a desynced binary stream gets one structured error frame and a close,
+//!   without disturbing other connections.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter};
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_netlist::{write_spice, SpiceLibrary};
+use gana_persist::EngineSnapshot;
+use gana_primitives::PrimitiveLibrary;
+use gana_serve::client::{Client, ClientError};
+use gana_serve::frame;
+use gana_serve::protocol::Response;
+use gana_serve::server::{serve, ServerConfig};
+use gana_serve::{Annotation, Engine, JobRequest};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn pipeline_for(task: Task) -> Pipeline {
+    let (num_classes, class_names): (usize, Vec<String>) = match task {
+        Task::OtaBias => (
+            2,
+            ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        ),
+        Task::Rf => (3, rf_classes::NAMES.iter().map(|s| s.to_string()).collect()),
+    };
+    let config = GcnConfig {
+        conv_channels: vec![8, 8],
+        filter_order: 4,
+        fc_dim: 16,
+        num_classes,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid config"),
+        class_names,
+        PrimitiveLibrary::standard().expect("library parses"),
+        task,
+    )
+}
+
+/// One netlist per circuit family, paired with the task that annotates it.
+fn family_netlists() -> Vec<(&'static str, Task, String)> {
+    let spice = |c| write_spice(&SpiceLibrary::new(c));
+    vec![
+        (
+            "ota",
+            Task::OtaBias,
+            spice(
+                ota::generate(ota::OtaSpec {
+                    topology: ota::OtaTopology::Miller,
+                    pmos_input: true,
+                    bias: ota::BiasStyle::MirrorRef,
+                    seed: 1,
+                })
+                .circuit,
+            ),
+        ),
+        (
+            "rf",
+            Task::Rf,
+            spice(
+                rf::generate(rf::ReceiverSpec {
+                    lna: rf::LnaKind::ALL[0],
+                    mixer: rf::MixerKind::ALL[1],
+                    osc: rf::OscKind::ALL[2],
+                    seed: 2,
+                })
+                .circuit,
+            ),
+        ),
+        ("sc-filter", Task::Rf, spice(sc_filter::generate(3).circuit)),
+        (
+            "phased-array",
+            Task::Rf,
+            spice(phased_array::generate(1).circuit),
+        ),
+    ]
+}
+
+fn annotate_all(engine: &Engine, inputs: &[(&str, Task, String)]) -> Vec<Arc<Annotation>> {
+    inputs
+        .iter()
+        .map(|(family, task, netlist)| {
+            engine
+                .submit(JobRequest::new(netlist.clone(), *task))
+                .unwrap_or_else(|e| panic!("{family} admits: {e}"))
+                .wait()
+                .unwrap_or_else(|e| panic!("{family} annotates: {e}"))
+        })
+        .collect()
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gana-warm-{}-{name}.gsnap", std::process::id()))
+}
+
+/// The acceptance-criteria test: save a snapshot from a live engine, build
+/// a second engine from it, and require byte-identical annotations for all
+/// four circuit families.
+#[test]
+fn warm_started_engine_reproduces_annotations_byte_for_byte() {
+    let path = scratch_path("equivalence");
+    let inputs = family_netlists();
+
+    let cold = Engine::builder()
+        .pipeline(pipeline_for(Task::OtaBias))
+        .pipeline(pipeline_for(Task::Rf))
+        .snapshot_path(&path)
+        .workers(2)
+        .build();
+    assert!(!cold.warm_start(), "a fresh engine is a cold start");
+    let cold_annotations = annotate_all(&cold, &inputs);
+
+    let bytes = cold
+        .save_snapshot()
+        .expect("snapshot saves")
+        .expect("a snapshot path is configured");
+    assert!(bytes > 0, "snapshot is non-empty");
+    let stats = cold.stats();
+    assert_eq!(stats.snapshot_bytes, bytes, "stats report the saved size");
+    assert!(!stats.warm_start);
+    cold.shutdown();
+
+    let snapshot = EngineSnapshot::load(&path).expect("snapshot loads");
+    let warm = Engine::builder().warm_from(snapshot).workers(2).build();
+    assert!(warm.warm_start(), "restored engines report a warm start");
+    assert!(warm.stats().warm_start, "stats carry the warm-start flag");
+
+    let warm_annotations = annotate_all(&warm, &inputs);
+    for ((family, _, _), (cold_a, warm_a)) in inputs
+        .iter()
+        .zip(cold_annotations.iter().zip(&warm_annotations))
+    {
+        assert_eq!(
+            cold_a, warm_a,
+            "{family}: warm-started engine must reproduce the annotation exactly"
+        );
+    }
+    warm.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Engine shutdown with a configured snapshot path persists state at drain
+/// time, so an abrupt stop still leaves a loadable snapshot behind.
+#[test]
+fn drain_time_snapshot_is_loadable() {
+    let path = scratch_path("drain");
+    let inputs = family_netlists();
+    let engine = Engine::builder()
+        .pipeline(pipeline_for(Task::OtaBias))
+        .pipeline(pipeline_for(Task::Rf))
+        .snapshot_path(&path)
+        .workers(2)
+        .build();
+    let annotations = annotate_all(&engine, &inputs);
+    // No explicit save: shutdown itself must write the snapshot.
+    engine.shutdown();
+
+    let snapshot = EngineSnapshot::load(&path).expect("drain snapshot loads");
+    let warm = Engine::builder().warm_from(snapshot).workers(2).build();
+    let warm_annotations = annotate_all(&warm, &inputs);
+    assert_eq!(annotations, warm_annotations);
+    warm.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// One text client and one binary client against the same daemon: both
+/// protocols answer every verb with identical payloads, and a desynced
+/// binary stream is rejected without taking the daemon down.
+#[test]
+fn mixed_text_and_binary_clients_share_one_server() {
+    let engine = Arc::new(
+        Engine::builder()
+            .pipeline(pipeline_for(Task::OtaBias))
+            .workers(2)
+            .build(),
+    );
+    let handle = serve(
+        Arc::clone(&engine),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stats_interval: None,
+            snapshot_interval: None,
+        },
+    )
+    .expect("binds an ephemeral port");
+    let addr = handle.local_addr();
+
+    let mut text = Client::connect(addr).expect("text client connects");
+    let mut binary = Client::connect_binary(addr).expect("binary client connects");
+    assert!(!text.is_binary());
+    assert!(binary.is_binary());
+    text.ping().expect("text ping");
+    binary.ping().expect("binary ping");
+
+    let netlist = &family_netlists()[0].2;
+    let from_text = text
+        .annotate(netlist, Task::OtaBias, None)
+        .expect("text annotate");
+    let from_binary = binary
+        .annotate(netlist, Task::OtaBias, None)
+        .expect("binary annotate");
+    assert_eq!(
+        from_text, from_binary,
+        "both protocols carry the same annotation"
+    );
+
+    // Batches frame correctly in binary mode too.
+    let refs = [netlist.as_str(), netlist.as_str()];
+    let results = binary
+        .annotate_batch(&refs, Task::OtaBias, None)
+        .expect("binary batch");
+    assert_eq!(results.len(), 2);
+    for result in &results {
+        assert_eq!(result.as_ref().expect("batch entry"), &from_binary);
+    }
+
+    // Sessions work over binary frames.
+    let (session, opened) = binary.open(netlist, Task::OtaBias).expect("binary open");
+    assert_eq!(opened, from_binary);
+    binary.close(session).expect("binary close");
+
+    // A malformed netlist in a well-formed frame is a per-request error:
+    // the connection survives.
+    match binary.annotate("M0 not a netlist\n", Task::OtaBias, None) {
+        Err(ClientError::Job { code, .. }) => assert_eq!(code, "parse"),
+        other => panic!("expected a job error, got {other:?}"),
+    }
+    binary.ping().expect("binary connection survived the error");
+
+    // A desynced stream (future frame version) gets one structured error
+    // frame, then the server closes that connection only.
+    let mut raw = TcpStream::connect(addr).expect("raw connection");
+    raw.write_all(&[frame::FRAME_MAGIC, frame::FRAME_VERSION + 1, 0, 0, 0, 0])
+        .expect("writes a bad header");
+    raw.flush().expect("flushes");
+    let body = frame::read_frame(&mut raw)
+        .expect("server answers with a frame")
+        .expect("an error frame, not silence");
+    match frame::decode_response(&body).expect("error frame decodes") {
+        Response::Err { code, .. } => assert_eq!(code, "protocol"),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    assert!(
+        matches!(frame::read_frame(&mut raw), Ok(None)),
+        "server closes a desynced connection"
+    );
+
+    // The other clients are unaffected.
+    let stats = binary.stats().expect("binary stats");
+    assert_eq!(stats.workers, 2);
+    assert!(stats.submitted >= 4, "daemon counted our jobs: {stats:?}");
+    text.ping().expect("text connection still healthy");
+
+    text.shutdown().expect("daemon acknowledges shutdown");
+    handle.join();
+    assert!(engine.is_shutting_down());
+}

@@ -311,7 +311,7 @@ impl CsrMatrix {
     /// [`CsrMatrix::mul_dense`] written into `out` (resized and zeroed),
     /// reusing `out`'s allocation. Runs the cache-blocked, register-tiled
     /// micro-kernel: the output row is cut into fixed-width column tiles
-    /// ([`COL_TILE`] wide) held in unrolled register accumulators while the
+    /// (`COL_TILE` wide) held in unrolled register accumulators while the
     /// nnz loop streams over the row's stored entries. Every output element
     /// still receives its addends in exactly the naive kernel's order (the
     /// row's entries, first to last), so the result is **bit-identical** to

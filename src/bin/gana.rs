@@ -17,6 +17,11 @@
 //! # Run the annotation daemon and submit a netlist to it.
 //! gana serve --model ota.ckpt --task ota --addr 127.0.0.1:7878 --workers 8
 //! gana submit my_design.sp --task ota --addr 127.0.0.1:7878
+//!
+//! # Persist a binary engine snapshot and warm-start the daemon from it.
+//! gana train --task ota --out ota.ckpt --save-model ota.gsnap
+//! gana serve --model ota.ckpt --task ota --snapshot-dir /var/lib/gana
+//! gana snapshot inspect /var/lib/gana/engine.gsnap
 //! ```
 
 use gana::core::{export, report, Pipeline, Task};
@@ -24,6 +29,7 @@ use gana::datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter};
 use gana::eval;
 use gana::gnn::{checkpoint, GcnConfig, TrainerConfig};
 use gana::netlist::SpiceLibrary;
+use gana::persist::{EngineSnapshot, ModelEntry};
 use gana::primitives::PrimitiveLibrary;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -55,14 +62,37 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "gana — GCN-based netlist annotation (GANA, DATE 2020 reproduction)\n\n\
-         USAGE:\n  gana train    --task ota|rf [--circuits N] [--epochs N] [--filter-order K] [--seed N] --out FILE\n  \
+         USAGE:\n  gana train    --task ota|rf [--circuits N] [--epochs N] [--filter-order K] [--seed N] --out FILE [--save-model SNAP]\n  \
          gana annotate FILE --model FILE --task ota|rf [--baseline FILE] [--export FILE] [--svg FILE] [--dot FILE]\n  \
          gana inspect  FILE\n  \
          gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]\n  \
-         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N]\n  \
-         gana submit   FILE --task ota|rf [--addr HOST:PORT] [--deadline-ms N] [--export FILE]\n  \
-         gana submit   stats|shutdown [--addr HOST:PORT]"
+         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N] [--snapshot-dir DIR] [--snapshot-secs N]\n  \
+         gana submit   FILE --task ota|rf [--addr HOST:PORT] [--deadline-ms N] [--export FILE] [--binary]\n  \
+         gana submit   stats|shutdown [--addr HOST:PORT] [--binary]\n  \
+         gana snapshot save --model FILE --task ota|rf --out SNAP\n  \
+         gana snapshot inspect SNAP"
     );
+}
+
+/// Removes a bare `--name` switch (no value) from the argument list,
+/// reporting whether it was present. Run before [`parse_flags`], which only
+/// understands `--key value` pairs.
+fn extract_bool_flag(args: &[String], name: &str) -> (Vec<String>, bool) {
+    let flag = format!("--{name}");
+    let mut present = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if **a == flag {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, present)
 }
 
 /// Splits `--key value` pairs from positional arguments.
@@ -148,18 +178,41 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     );
     checkpoint::save(trainer.model(), out).map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
+    if let Some(snap) = flags.get("save-model") {
+        let bytes = model_snapshot(trainer.model().clone(), task)?
+            .save(std::path::Path::new(snap))
+            .map_err(|e| e.to_string())?;
+        println!("engine snapshot written to {snap} ({bytes} B)");
+    }
     Ok(())
+}
+
+fn task_class_names(task: Task) -> Vec<String> {
+    match task {
+        Task::OtaBias => ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        Task::Rf => rf_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Wraps a trained model (plus the standard primitive library and an empty
+/// region cache) into a loadable engine snapshot.
+fn model_snapshot(model: gana::gnn::GcnModel, task: Task) -> Result<EngineSnapshot, String> {
+    Ok(EngineSnapshot {
+        models: vec![ModelEntry {
+            task,
+            class_names: task_class_names(task),
+            model,
+        }],
+        library: PrimitiveLibrary::standard().map_err(|e| e.to_string())?,
+        cache_entries: Vec::new(),
+    })
 }
 
 fn load_pipeline(model_path: &str, task: Task) -> Result<Pipeline, String> {
     let model = checkpoint::load(model_path).map_err(|e| e.to_string())?;
-    let class_names: Vec<String> = match task {
-        Task::OtaBias => ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
-        Task::Rf => rf_classes::NAMES.iter().map(|s| s.to_string()).collect(),
-    };
     Ok(Pipeline::new(
         model,
-        class_names,
+        task_class_names(task),
         PrimitiveLibrary::standard().map_err(|e| e.to_string())?,
         task,
     ))
@@ -255,12 +308,15 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The snapshot file a `--snapshot-dir` daemon reads at boot and writes
+/// periodically and at drain time.
+const SNAPSHOT_FILE: &str = "engine.gsnap";
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use gana::serve::{server, Engine};
 
     let (_, flags) = parse_flags(args)?;
     let task = parse_task(&flags)?;
-    let model_path = flags.get("model").ok_or("missing --model FILE")?;
     let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
     let workers: usize = numeric(
         &flags,
@@ -271,22 +327,54 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     )?;
     let queue: usize = numeric(&flags, "queue", 256)?;
     let stats_secs: u64 = numeric(&flags, "stats-secs", 30)?;
+    let snapshot_secs: u64 = numeric(&flags, "snapshot-secs", 300)?;
     let max_batch: usize = numeric(&flags, "max-batch", 1)?;
     let batch_window_us: u64 = numeric(&flags, "batch-window-us", 0)?;
 
-    let pipeline = load_pipeline(model_path, task)?;
-    let engine = std::sync::Arc::new(
-        Engine::builder()
-            .pipeline(pipeline)
-            .workers(workers)
-            .queue_capacity(queue)
-            .max_batch(max_batch)
-            .batch_window_us(batch_window_us)
-            .build(),
-    );
+    let mut builder = Engine::builder()
+        .workers(workers)
+        .queue_capacity(queue)
+        .max_batch(max_batch)
+        .batch_window_us(batch_window_us);
+
+    // Warm start: an existing snapshot replaces the train-and-build cold
+    // path entirely — the model, library, and region cache all come from
+    // the file. A corrupt or version-skewed snapshot is rejected (never
+    // silently half-loaded); the daemon then falls back to --model if
+    // given.
+    let snapshot_path = flags
+        .get("snapshot-dir")
+        .map(|dir| std::path::Path::new(dir).join(SNAPSHOT_FILE));
+    let mut warm = false;
+    if let Some(path) = &snapshot_path {
+        if path.exists() {
+            match EngineSnapshot::load(path) {
+                Ok(snapshot) => {
+                    println!("warm start from {}", path.display());
+                    builder = builder.warm_from(snapshot);
+                    warm = true;
+                }
+                Err(err) => eprintln!(
+                    "warning: cannot warm-start from {}: {err}; starting cold",
+                    path.display()
+                ),
+            }
+        }
+        builder = builder.snapshot_path(path.clone());
+    }
+    if !warm {
+        let model_path = flags
+            .get("model")
+            .ok_or("missing --model FILE (no usable snapshot to warm-start from)")?;
+        builder = builder.pipeline(load_pipeline(model_path, task)?);
+    }
+
+    let engine = std::sync::Arc::new(builder.build());
     let config = server::ServerConfig {
         addr: addr.to_string(),
         stats_interval: (stats_secs > 0).then(|| std::time::Duration::from_secs(stats_secs)),
+        snapshot_interval: (snapshot_secs > 0 && snapshot_path.is_some())
+            .then(|| std::time::Duration::from_secs(snapshot_secs)),
     };
     let handle = server::serve(engine, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
@@ -300,12 +388,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    match positional.first().copied() {
+        Some("save") => {
+            let task = parse_task(&flags)?;
+            let model_path = flags.get("model").ok_or("missing --model FILE")?;
+            let out = flags.get("out").ok_or("missing --out SNAP")?;
+            let model = checkpoint::load(model_path).map_err(|e| e.to_string())?;
+            let bytes = model_snapshot(model, task)?
+                .save(std::path::Path::new(out))
+                .map_err(|e| e.to_string())?;
+            println!("engine snapshot written to {out} ({bytes} B)");
+            Ok(())
+        }
+        Some("inspect") => {
+            let path = positional
+                .get(1)
+                .ok_or("missing snapshot FILE (usage: gana snapshot inspect SNAP)")?;
+            let info =
+                gana::persist::inspect(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            println!("{info}");
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown snapshot subcommand {other:?} (want save|inspect)"
+        )),
+        None => Err("missing snapshot subcommand (want save|inspect)".to_string()),
+    }
+}
+
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     use gana::serve::client::Client;
 
-    let (positional, flags) = parse_flags(args)?;
+    let (args, binary) = extract_bool_flag(args, "binary");
+    let (positional, flags) = parse_flags(&args)?;
     let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = if binary {
+        Client::connect_binary(addr).map_err(|e| e.to_string())?
+    } else {
+        Client::connect(addr).map_err(|e| e.to_string())?
+    };
 
     if positional.contains(&"stats") {
         let stats = client.stats().map_err(|e| e.to_string())?;

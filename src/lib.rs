@@ -18,6 +18,7 @@
 //! | [`incremental`] | `gana-incremental` | netlist diffing + incremental re-annotation |
 //! | [`layout`] | `gana-layout` | constraint-driven symbolic placer |
 //! | [`serve`] | `gana-serve` | concurrent annotation service + TCP daemon |
+//! | [`persist`] | `gana-persist` | versioned binary snapshots for warm starts |
 //!
 //! # Quickstart
 //!
@@ -61,6 +62,7 @@ pub use gana_graph as graph;
 pub use gana_incremental as incremental;
 pub use gana_layout as layout;
 pub use gana_netlist as netlist;
+pub use gana_persist as persist;
 pub use gana_primitives as primitives;
 pub use gana_serve as serve;
 pub use gana_sparse as sparse;

@@ -169,6 +169,7 @@ fn submit_exits_nonzero_on_per_job_error() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             stats_interval: None,
+            snapshot_interval: None,
         },
     )
     .expect("binds an ephemeral port");
