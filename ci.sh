@@ -50,6 +50,51 @@ fi
 echo "truncated and corrupt snapshots rejected"
 rm -rf "$SNAP_DIR"
 
+echo "==> shard smoke (router + 2 supervised shards, drain, warm-restartable)"
+# End-to-end fleet check through the CLI: train once, launch a two-shard
+# supervised fleet behind the router, route traffic that lands on both
+# shards, drain the fleet, and require every shard directory to hold a
+# loadable warm-start snapshot afterwards.
+SHARD_DIR=$(mktemp -d)
+./target/release/gana train --task ota --circuits 8 --epochs 2 \
+    --out "$SHARD_DIR/ota.ckpt" --save-model "$SHARD_DIR/seed.gsnap" >/dev/null
+./target/release/gana generate --kind ota --seed 1 --out "$SHARD_DIR/a.sp"
+./target/release/gana generate --kind ota --seed 2 --out "$SHARD_DIR/b.sp"
+./target/release/gana generate --kind ota --seed 3 --out "$SHARD_DIR/c.sp"
+./target/release/gana generate --kind ota --seed 4 --out "$SHARD_DIR/d.sp"
+./target/release/gana shard --shards 2 --snapshot-root "$SHARD_DIR/fleet" \
+    --seed-snapshot "$SHARD_DIR/seed.gsnap" --addr 127.0.0.1:0 \
+    >"$SHARD_DIR/shard.log" 2>&1 &
+SHARD_PID=$!
+# The router prints its bound address once the fleet is up.
+for _ in $(seq 1 100); do
+    SHARD_ADDR=$(sed -n 's/^gana-shard router on \([0-9.:]*\) .*/\1/p' "$SHARD_DIR/shard.log")
+    [ -n "$SHARD_ADDR" ] && break
+    sleep 0.2
+done
+[ -n "$SHARD_ADDR" ] || { cat "$SHARD_DIR/shard.log"; exit 1; }
+for f in a b c d; do
+    ./target/release/gana submit "$SHARD_DIR/$f.sp" --task ota \
+        --addr "$SHARD_ADDR" --binary >/dev/null
+done
+./target/release/gana submit stats --per-shard --addr "$SHARD_ADDR" \
+    | tee "$SHARD_DIR/stats.txt"
+# Mixed seeds must have landed work on both shards.
+SHARDS_WITH_TRAFFIC=$(grep -c '^shard [0-9][0-9]*: jobs: [0-9][0-9]* submitted, [1-9][0-9]* completed' \
+    "$SHARD_DIR/stats.txt")
+[ "$SHARDS_WITH_TRAFFIC" -eq 2 ] || {
+    echo "ERROR: expected traffic on 2 shards, saw $SHARDS_WITH_TRAFFIC"
+    exit 1
+}
+./target/release/gana submit shutdown --addr "$SHARD_ADDR" >/dev/null
+wait "$SHARD_PID"
+for shard in 0 1; do
+    ./target/release/gana snapshot inspect \
+        "$SHARD_DIR/fleet/shard-$shard/engine.gsnap" >/dev/null
+done
+echo "fleet drained; both shard snapshots loadable"
+rm -rf "$SHARD_DIR"
+
 echo "==> bench smoke (report-only -> BENCH_pipeline.json)"
 # Absolute timings flake on shared runners, so this stage reports but never
 # gates: a bench failure is surfaced without failing CI.

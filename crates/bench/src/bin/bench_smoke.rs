@@ -307,6 +307,83 @@ fn main() {
     );
     engine.shutdown();
 
+    // Sharded service throughput: two engines behind real TCP daemons, a
+    // static two-shard topology, and the consistent-hash router in front.
+    // Same burst shape as serve_batched_throughput, so the delta between
+    // the two entries is the routing + binary proxy hop.
+    let rx_spice = gana_netlist::write_spice(&gana_netlist::SpiceLibrary::new(rx.circuit.clone()));
+    let shard_engines: Vec<std::sync::Arc<Engine>> = (0..2)
+        .map(|_| {
+            std::sync::Arc::new(
+                Engine::builder()
+                    .pipeline(rf_pipeline(4))
+                    .workers(1)
+                    .result_cache_capacity(0)
+                    .build(),
+            )
+        })
+        .collect();
+    let shard_handles: Vec<_> = shard_engines
+        .iter()
+        .map(|engine| {
+            gana_serve::server::serve(
+                std::sync::Arc::clone(engine),
+                gana_serve::server::ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    stats_interval: None,
+                    snapshot_interval: None,
+                },
+            )
+            .expect("shard binds")
+        })
+        .collect();
+    let topology = gana_shard::supervisor::static_topology(
+        shard_handles
+            .iter()
+            .enumerate()
+            .map(|(id, handle)| (id as u64, handle.local_addr())),
+    );
+    let router = gana_shard::serve_router(
+        topology,
+        gana_shard::RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..gana_shard::RouterConfig::default()
+        },
+    )
+    .expect("router binds");
+    let mut shard_client =
+        gana_serve::Client::connect_binary(router.local_addr()).expect("router client connects");
+    // Mixed circuits so the content hash can spread the burst over shards.
+    let burst: Vec<&str> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                pa_spice.as_str()
+            } else {
+                rx_spice.as_str()
+            }
+        })
+        .collect();
+    eprintln!("bench: serve_shard_throughput");
+    results.insert(
+        "serve_shard_throughput".to_string(),
+        measure_batched(1, 8, || {
+            for result in shard_client
+                .annotate_batch(&burst, gana_core::Task::Rf, None)
+                .expect("batch admits")
+            {
+                result.expect("annotates");
+            }
+        }),
+    );
+    drop(shard_client);
+    router.shutdown();
+    for handle in &shard_handles {
+        handle.shutdown();
+    }
+    for engine in &shard_engines {
+        engine.shutdown();
+    }
+
     // Incremental re-annotation of a single-device edit against a parked
     // baseline — the edit-loop latency the incremental subsystem exists for.
     let incremental = IncrementalPipeline::new(rf_pipeline(4));
@@ -391,6 +468,17 @@ fn main() {
         eprintln!(
             "micro-batch per-request GNN cost b8 vs b1: {:.2}x cheaper",
             b1.median_ns as f64 / b8.median_ns as f64
+        );
+    }
+
+    if let (Some(single), Some(sharded)) = (
+        results.get("serve_batched_throughput"),
+        results.get("serve_shard_throughput"),
+    ) {
+        eprintln!(
+            "two-shard router vs in-process engine, per request: {:.2}x \
+             (loopback TCP + routing hop included)",
+            sharded.median_ns as f64 / single.median_ns as f64
         );
     }
 

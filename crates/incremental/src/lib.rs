@@ -22,6 +22,10 @@
 //! - [`pipeline::IncrementalPipeline`] — ties it together: dirty-mark the
 //!   edited regions, re-run GCN + VF2 + postprocessing only where needed,
 //!   splice cached results everywhere else.
+//! - [`hash128`] / [`routing`] — the cross-process-stable SipHash digests
+//!   behind the fingerprints, and shard-routing keys derived with the same
+//!   stability discipline (used by `gana-shard` to pin circuits and
+//!   sessions to engine shards).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +34,13 @@ pub mod cache;
 pub mod canon;
 pub mod diff;
 pub mod fingerprint;
-mod hash128;
+pub mod hash128;
 pub mod pipeline;
+pub mod routing;
 
 pub use cache::{CachedBlock, RegionCache, RegionCacheStats};
 pub use canon::structural_hash;
 pub use diff::NetlistDiff;
 pub use fingerprint::{ccc_fingerprints, region_fingerprint, Region, RegionMap};
+pub use hash128::{digest_of, Digest, StableSip};
 pub use pipeline::{Baseline, IncrementalPipeline, UpdateStats};

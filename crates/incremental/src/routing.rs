@@ -1,0 +1,78 @@
+//! Shard-routing keys derived from netlist content.
+//!
+//! A horizontally sharded deployment routes every request to exactly one
+//! engine shard, and the win of doing so is *affinity*: a session's
+//! baseline and the region-cache entries for a given netlist live on one
+//! shard, so repeat traffic for the same circuit keeps hitting warm state.
+//! That only works if the key is stable in the strongest sense — equal
+//! across processes, builds, and machines — which is the same contract the
+//! persisted WL fingerprints already satisfy via [`crate::hash128`].
+//!
+//! Two key extractors cover the protocol surface:
+//!
+//! - [`netlist_key`]: digests the raw SPICE text. Stateless `annotate` and
+//!   session `open` requests are routed by this, matching the engine's
+//!   result-cache granularity (exact text), so identical submissions land
+//!   on the shard that already cached them.
+//! - [`session_key`]: digests a session id, for routers that re-route an
+//!   already-placed session by id alone.
+//!
+//! Both are domain-separated so a netlist whose bytes happen to encode a
+//! session id can never collide with it. The pinned vectors in the tests
+//! below are part of the routing contract: if they change, a rolling
+//! restart of a shard fleet would re-home every key at once, so any change
+//! must be treated like a persistence-format bump.
+
+use crate::hash128::Digest;
+
+/// Domain tag for [`netlist_key`] digests (version 1).
+const NETLIST_DOMAIN: &str = "gana-route-netlist-v1";
+/// Domain tag for [`session_key`] digests (version 1).
+const SESSION_DOMAIN: &str = "gana-route-session-v1";
+
+/// Routing key for a netlist payload: a cross-process-stable 128-bit
+/// digest of the raw SPICE text.
+///
+/// The text is digested verbatim — the same granularity as the engine's
+/// result cache — so byte-identical submissions always map to the same
+/// shard, while the key costs one hash pass instead of a parse.
+pub fn netlist_key(netlist: &str) -> u128 {
+    let mut digest = Digest::new();
+    digest.write(NETLIST_DOMAIN);
+    digest.write(netlist);
+    digest.finish()
+}
+
+/// Routing key for a session id.
+pub fn session_key(session: u64) -> u128 {
+    let mut digest = Digest::new();
+    digest.write(SESSION_DOMAIN);
+    digest.write(session);
+    digest.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_domain_separated() {
+        assert_eq!(netlist_key("R1 a b 1k\n"), netlist_key("R1 a b 1k\n"));
+        assert_ne!(netlist_key("R1 a b 1k\n"), netlist_key("R1 a b 2k\n"));
+        assert_ne!(netlist_key("7"), session_key(7));
+    }
+
+    /// Pinned routing vectors: part of the fleet-wide routing contract.
+    /// If this test fails, every key would re-home on the next rolling
+    /// restart — bump the domain tags and document the migration instead.
+    #[test]
+    fn pinned_routing_vectors() {
+        assert_eq!(
+            netlist_key("M1 a b c d NMOS\n.end\n"),
+            0xf64bdbaa9dfd3ddbfe61ad442083a513
+        );
+        assert_eq!(netlist_key(""), 0x2ab82ea72e0c316b257f2e1b1e6a2625);
+        assert_eq!(session_key(0), 0x656d6c6d65fe00a1e4483c575f73a416);
+        assert_eq!(session_key(42), 0x76a38df74cde1927c1071674886390f9);
+    }
+}

@@ -87,6 +87,7 @@ const OP_CLOSE: u8 = 5;
 const OP_STATS: u8 = 6;
 const OP_PING: u8 = 7;
 const OP_SHUTDOWN: u8 = 8;
+const OP_FLEET_STATS: u8 = 9;
 
 // Response opcodes.
 const RESP_OK: u8 = 1;
@@ -96,6 +97,7 @@ const RESP_ERR: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_PONG: u8 = 6;
 const RESP_BYE: u8 = 7;
+const RESP_FLEET: u8 = 8;
 
 fn task_tag(task: Task) -> u8 {
     match task {
@@ -158,6 +160,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             w.put_u64(*session);
         }
         Request::Stats => w.put_u8(OP_STATS),
+        Request::FleetStats => w.put_u8(OP_FLEET_STATS),
         Request::Ping => w.put_u8(OP_PING),
         Request::Shutdown => w.put_u8(OP_SHUTDOWN),
     }
@@ -195,6 +198,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, FrameError> {
         },
         OP_CLOSE => Request::Close(r.get_u64().map_err(body_error)?),
         OP_STATS => Request::Stats,
+        OP_FLEET_STATS => Request::FleetStats,
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
         other => {
@@ -266,6 +270,15 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.put_u8(RESP_STATS);
             w.put_str(wire);
         }
+        Response::Fleet { shards, fleet } => {
+            w.put_u8(RESP_FLEET);
+            w.put_u32(shards.len() as u32);
+            for (id, wire) in shards {
+                w.put_u64(*id);
+                w.put_str(wire);
+            }
+            w.put_str(fleet);
+        }
         Response::Pong => w.put_u8(RESP_PONG),
         Response::Bye => w.put_u8(RESP_BYE),
     }
@@ -288,6 +301,19 @@ pub fn decode_response(body: &[u8]) -> Result<Response, FrameError> {
             message: r.get_str().map_err(body_error)?,
         },
         RESP_STATS => Response::Stats(r.get_str().map_err(body_error)?),
+        RESP_FLEET => {
+            let count = r.get_count(12).map_err(body_error)?;
+            let mut shards = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = r.get_u64().map_err(body_error)?;
+                let wire = r.get_str().map_err(body_error)?;
+                shards.push((id, wire));
+            }
+            Response::Fleet {
+                shards,
+                fleet: r.get_str().map_err(body_error)?,
+            }
+        }
         RESP_PONG => Response::Pong,
         RESP_BYE => Response::Bye,
         other => {
@@ -413,6 +439,7 @@ mod tests {
         });
         round_trip_request(Request::Close(42));
         round_trip_request(Request::Stats);
+        round_trip_request(Request::FleetStats);
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
     }
@@ -431,6 +458,17 @@ mod tests {
                 message: "line 3: bad card\nnear M9".into(),
             },
             Response::Stats("submitted=4 completed=4".into()),
+            Response::Fleet {
+                shards: vec![
+                    (0, "submitted=4 completed=4".into()),
+                    (1, "submitted=2 completed=2".into()),
+                ],
+                fleet: "submitted=6 completed=6".into(),
+            },
+            Response::Fleet {
+                shards: Vec::new(),
+                fleet: String::new(),
+            },
             Response::Pong,
             Response::Bye,
         ];

@@ -29,10 +29,13 @@ pub mod job;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod transport;
 
 pub(crate) use crossbeam::channel;
 
+pub use client::{Client, ClientError, RetryPolicy};
 pub use engine::{Engine, EngineBuilder, EngineConfig};
 pub use job::{Annotation, JobError, JobHandle, JobRequest, JobResult, SubmitError};
 pub use metrics::{LatencyHistogram, Metrics, SizeHistogram, StatsSnapshot, WorkspaceStats};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use transport::{accept_transport, ReadRequest, Transport};

@@ -367,6 +367,64 @@ impl StatsSnapshot {
         )
     }
 
+    /// Folds per-shard snapshots into one fleet view. Counters and gauges
+    /// that add up across processes (job counts, cache traffic, queue
+    /// depth, worker/session totals) are summed; percentile and high-water
+    /// figures are not additive, so the fleet reports the worst shard
+    /// (max); `warm_start` is true only when every shard warm-started.
+    /// Aggregating nothing yields the default (all-zero) snapshot.
+    pub fn aggregate<'a>(shards: impl IntoIterator<Item = &'a StatsSnapshot>) -> StatsSnapshot {
+        let mut fleet = StatsSnapshot::default();
+        let mut any = false;
+        for shard in shards {
+            fleet.submitted += shard.submitted;
+            fleet.completed += shard.completed;
+            fleet.failed += shard.failed;
+            fleet.rejected += shard.rejected;
+            fleet.cache_hits += shard.cache_hits;
+            fleet.expired += shard.expired;
+            fleet.sessions += shard.sessions;
+            fleet.region_hits += shard.region_hits;
+            fleet.region_misses += shard.region_misses;
+            fleet.region_evictions += shard.region_evictions;
+            fleet.region_splices += shard.region_splices;
+            fleet.region_bytes += shard.region_bytes;
+            fleet.queue_depth += shard.queue_depth;
+            fleet.workers += shard.workers;
+            fleet.intra_pool_size += shard.intra_pool_size;
+            fleet.intra_busy += shard.intra_busy;
+            fleet.intra_queued += shard.intra_queued;
+            fleet.templates_pruned += shard.templates_pruned;
+            fleet.batched_requests += shard.batched_requests;
+            fleet.batch_flush_deadline += shard.batch_flush_deadline;
+            fleet.snapshot_bytes += shard.snapshot_bytes;
+            fleet.workspace_high_water_bytes = fleet
+                .workspace_high_water_bytes
+                .max(shard.workspace_high_water_bytes);
+            fleet.queue_wait_p50_us = fleet.queue_wait_p50_us.max(shard.queue_wait_p50_us);
+            fleet.queue_wait_p95_us = fleet.queue_wait_p95_us.max(shard.queue_wait_p95_us);
+            fleet.parse_p50_us = fleet.parse_p50_us.max(shard.parse_p50_us);
+            fleet.parse_p95_us = fleet.parse_p95_us.max(shard.parse_p95_us);
+            fleet.recognize_p50_us = fleet.recognize_p50_us.max(shard.recognize_p50_us);
+            fleet.recognize_p95_us = fleet.recognize_p95_us.max(shard.recognize_p95_us);
+            fleet.total_p50_us = fleet.total_p50_us.max(shard.total_p50_us);
+            fleet.total_p95_us = fleet.total_p95_us.max(shard.total_p95_us);
+            fleet.total_mean_us = fleet.total_mean_us.max(shard.total_mean_us);
+            fleet.batch_size_p50 = fleet.batch_size_p50.max(shard.batch_size_p50);
+            fleet.batch_size_p95 = fleet.batch_size_p95.max(shard.batch_size_p95);
+            // Oldest save is the fleet's staleness bound.
+            fleet.snapshot_last_save_us =
+                fleet.snapshot_last_save_us.max(shard.snapshot_last_save_us);
+            fleet.warm_start = if any {
+                fleet.warm_start && shard.warm_start
+            } else {
+                shard.warm_start
+            };
+            any = true;
+        }
+        fleet
+    }
+
     /// Parses the wire form back into a snapshot (used by `gana submit`).
     pub fn from_wire(text: &str) -> Option<StatsSnapshot> {
         let mut snap = StatsSnapshot::default();
@@ -629,5 +687,62 @@ mod tests {
         let wire = snap.to_wire();
         let back = StatsSnapshot::from_wire(&wire).expect("parses");
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_maxes_percentiles() {
+        let a = StatsSnapshot {
+            submitted: 10,
+            completed: 9,
+            failed: 1,
+            sessions: 2,
+            queue_depth: 3,
+            workers: 4,
+            region_hits: 7,
+            region_bytes: 100,
+            total_p95_us: 800,
+            workspace_high_water_bytes: 4096,
+            snapshot_last_save_us: 1_000,
+            snapshot_bytes: 50,
+            warm_start: true,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            submitted: 5,
+            completed: 5,
+            sessions: 1,
+            queue_depth: 1,
+            workers: 4,
+            region_hits: 2,
+            region_bytes: 40,
+            total_p95_us: 1200,
+            workspace_high_water_bytes: 1024,
+            snapshot_last_save_us: 9_000,
+            snapshot_bytes: 60,
+            warm_start: true,
+            ..StatsSnapshot::default()
+        };
+        let fleet = StatsSnapshot::aggregate([&a, &b]);
+        assert_eq!(fleet.submitted, 15);
+        assert_eq!(fleet.completed, 14);
+        assert_eq!(fleet.failed, 1);
+        assert_eq!(fleet.sessions, 3);
+        assert_eq!(fleet.queue_depth, 4);
+        assert_eq!(fleet.workers, 8);
+        assert_eq!(fleet.region_hits, 9);
+        assert_eq!(fleet.region_bytes, 140);
+        assert_eq!(fleet.total_p95_us, 1200, "worst shard, not a sum");
+        assert_eq!(fleet.workspace_high_water_bytes, 4096);
+        assert_eq!(fleet.snapshot_last_save_us, 9_000, "oldest save wins");
+        assert_eq!(fleet.snapshot_bytes, 110);
+        assert!(fleet.warm_start, "all shards warm");
+
+        let cold = StatsSnapshot::default();
+        assert!(
+            !StatsSnapshot::aggregate([&a, &cold]).warm_start,
+            "one cold shard makes the fleet cold"
+        );
+        let none: [&StatsSnapshot; 0] = [];
+        assert_eq!(StatsSnapshot::aggregate(none), StatsSnapshot::default());
     }
 }

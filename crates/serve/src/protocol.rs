@@ -15,6 +15,7 @@
 //! update <session> <escaped-netlist>  # incremental re-annotate
 //! close <session>
 //! stats
+//! fleetstats                       # per-shard + aggregated fleet stats
 //! ping
 //! shutdown
 //! ```
@@ -27,6 +28,7 @@
 //! closed <session>
 //! err <code> <escaped-message>
 //! stats <key=value ...>
+//! fleet <escaped-record>           # aggregate + per-shard stats record
 //! pong
 //! bye
 //! ```
@@ -102,6 +104,9 @@ pub enum Request {
     Close(u64),
     /// Asks for a metrics snapshot.
     Stats,
+    /// Asks for per-shard stats plus a fleet-wide aggregate. A single
+    /// (unsharded) daemon answers with itself as shard `0`.
+    FleetStats,
     /// Liveness probe.
     Ping,
     /// Asks the daemon to drain and exit.
@@ -202,6 +207,7 @@ impl Request {
                 Ok(Request::Close(session))
             }
             "stats" => Ok(Request::Stats),
+            "fleetstats" => Ok(Request::FleetStats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError(format!("unknown verb {other:?}"))),
@@ -233,6 +239,7 @@ impl Request {
             }
             Request::Close(session) => format!("close {session}"),
             Request::Stats => "stats".to_string(),
+            Request::FleetStats => "fleetstats".to_string(),
             Request::Ping => "ping".to_string(),
             Request::Shutdown => "shutdown".to_string(),
         }
@@ -263,6 +270,16 @@ pub enum Response {
     },
     /// Metrics snapshot in `key=value` form.
     Stats(String),
+    /// Per-shard stats plus a fleet-wide aggregate (see
+    /// [`crate::metrics::StatsSnapshot::aggregate`]). Each shard entry is
+    /// `(shard id, key=value wire)`; `fleet` is the aggregate in the same
+    /// wire form.
+    Fleet {
+        /// `(shard id, stats wire)` for every responding shard, id-ordered.
+        shards: Vec<(u64, String)>,
+        /// Aggregate of all shard snapshots in `key=value` form.
+        fleet: String,
+    },
     /// Answer to `ping`.
     Pong,
     /// Acknowledges `shutdown`; the connection closes after this line.
@@ -332,6 +349,36 @@ fn decode_annotation(payload: &str) -> Result<Annotation, ProtocolError> {
     })
 }
 
+fn encode_fleet(shards: &[(u64, String)], fleet: &str) -> String {
+    let entries = shards
+        .iter()
+        .map(|(id, wire)| format!("{id} {wire}"))
+        .collect::<Vec<_>>()
+        .join(&ITEM_SEP.to_string());
+    escape(&[fleet, entries.as_str()].join(&FIELD_SEP.to_string()))
+}
+
+fn decode_fleet(payload: &str) -> Result<Response, ProtocolError> {
+    let record = unescape(payload);
+    let (fleet, entries) = record
+        .split_once(FIELD_SEP)
+        .ok_or_else(|| ProtocolError("fleet payload needs <aggregate><sep><shards>".into()))?;
+    let mut shards = Vec::new();
+    for entry in entries.split(ITEM_SEP).filter(|e| !e.is_empty()) {
+        let (id, wire) = entry
+            .split_once(' ')
+            .ok_or_else(|| ProtocolError(format!("bad fleet shard entry {entry:?}")))?;
+        let id = id
+            .parse::<u64>()
+            .map_err(|_| ProtocolError(format!("bad shard id {id:?}")))?;
+        shards.push((id, wire.to_string()));
+    }
+    Ok(Response::Fleet {
+        shards,
+        fleet: fleet.to_string(),
+    })
+}
+
 impl Response {
     /// Builds the error response for a failed job.
     pub fn from_job_error(err: &JobError) -> Response {
@@ -377,6 +424,7 @@ impl Response {
                 Ok(Response::Err { code, message })
             }
             "stats" => Ok(Response::Stats(rest.to_string())),
+            "fleet" => decode_fleet(rest),
             "pong" => Ok(Response::Pong),
             "bye" => Ok(Response::Bye),
             other => Err(ProtocolError(format!("unknown response {other:?}"))),
@@ -396,6 +444,7 @@ impl Response {
             Response::Closed(session) => format!("closed {session}"),
             Response::Err { code, message } => format!("err {code} {}", escape(message)),
             Response::Stats(wire) => format!("stats {wire}"),
+            Response::Fleet { shards, fleet } => format!("fleet {}", encode_fleet(shards, fleet)),
             Response::Pong => "pong".to_string(),
             Response::Bye => "bye".to_string(),
         }
@@ -437,6 +486,7 @@ mod tests {
             },
             Request::Close(42),
             Request::Stats,
+            Request::FleetStats,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -471,6 +521,17 @@ mod tests {
                 message: "line 3: bad card\nnear M9".into(),
             },
             Response::Stats("submitted=4 completed=4".into()),
+            Response::Fleet {
+                shards: vec![
+                    (0, "submitted=4 completed=4".into()),
+                    (1, "submitted=2 completed=2".into()),
+                ],
+                fleet: "submitted=6 completed=6".into(),
+            },
+            Response::Fleet {
+                shards: Vec::new(),
+                fleet: "submitted=0".into(),
+            },
             Response::Pong,
             Response::Bye,
         ];
@@ -508,5 +569,7 @@ mod tests {
         assert!(Request::parse("close soon").is_err());
         assert!(Response::parse("what 1 2 3").is_err());
         assert!(Response::parse("sess x ok").is_err());
+        assert!(Response::parse("fleet no-separator").is_err());
+        assert!(Response::parse("fleet a=1\x1fbad-entry").is_err());
     }
 }

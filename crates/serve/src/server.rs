@@ -18,11 +18,11 @@
 //! snapshot.
 
 use crate::engine::Engine;
-use crate::frame;
 use crate::job::{JobError, JobRequest, SubmitError};
 use crate::protocol::{Request, Response};
+use crate::transport::{accept_transport, ReadRequest, Transport, POLL};
 use parking_lot::Mutex;
-use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -49,9 +49,6 @@ impl Default for ServerConfig {
         }
     }
 }
-
-/// How often blocked threads re-check the shutdown flag.
-const POLL: Duration = Duration::from_millis(50);
 
 struct ServerShared {
     engine: Arc<Engine>,
@@ -85,6 +82,13 @@ impl ServerHandle {
         for thread in threads {
             let _ = thread.join();
         }
+    }
+
+    /// True once shutdown has been requested (by a `shutdown` wire request,
+    /// a signal-driven [`ServerHandle::shutdown`], or a drop). Supervisors
+    /// poll this to tell a draining server from a hung one.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
     }
 
     /// Blocks until the server stops (e.g. via a `shutdown` request).
@@ -225,209 +229,21 @@ fn connection_loop(
     shared: &ServerShared,
     opened: &mut Vec<u64>,
 ) -> io::Result<()> {
-    // A read timeout lets the thread notice shutdown even on idle
-    // connections.
-    stream.set_read_timeout(Some(POLL))?;
-    let writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // Protocol auto-detect: peek (without consuming) the first byte. The
-    // binary frame magic cannot start a text verb, so one byte decides.
-    let first = loop {
-        match reader.fill_buf() {
-            Ok([]) => return Ok(()), // closed before the first request
-            Ok(buf) => break buf[0],
-            Err(err)
-                if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
-            {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-            }
-            Err(err) => return Err(err),
-        }
-    };
-    if first == frame::FRAME_MAGIC {
-        dispatch_loop(&mut BinaryTransport { reader, writer }, shared, opened)
-    } else {
-        dispatch_loop(
-            &mut TextTransport {
-                reader,
-                writer,
-                line: String::new(),
-            },
-            shared,
-            opened,
-        )
+    // Framing (text vs binary, auto-detected from the first byte) lives in
+    // [`crate::transport`], shared with the `gana-shard` router.
+    match accept_transport(stream, &shared.stop)? {
+        Some(mut transport) => dispatch_loop(transport.as_mut(), shared, opened),
+        None => Ok(()),
     }
 }
 
-/// What a transport's request read produced.
-enum ReadRequest {
-    /// A well-formed request.
-    Request(Request),
-    /// The peer sent something unparseable: report `message`; when `fatal`
-    /// (binary framing lost sync) the connection closes after the report.
-    Bad { message: String, fatal: bool },
-    /// Clean close at a message boundary.
-    Closed,
-    /// The server is shutting down.
-    Stopping,
-    /// Socket-level failure.
-    Error(io::Error),
-}
-
-/// One protocol mode: how requests come off the socket and how responses go
-/// back. The dispatch loop is shared; only the framing differs.
-trait Transport {
-    fn read_request(&mut self, shared: &ServerShared) -> ReadRequest;
-    fn write_response(&mut self, response: &Response) -> io::Result<()>;
-}
-
-/// Legacy newline-delimited text framing.
-struct TextTransport {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    line: String,
-}
-
-impl Transport for TextTransport {
-    fn read_request(&mut self, shared: &ServerShared) -> ReadRequest {
-        self.line.clear();
-        loop {
-            match self.reader.read_line(&mut self.line) {
-                Ok(0) => return ReadRequest::Closed,
-                Ok(_) => {
-                    // A timeout can split a line; keep reading to newline.
-                    if self.line.ends_with('\n') {
-                        return match Request::parse(&self.line) {
-                            Ok(request) => ReadRequest::Request(request),
-                            Err(err) => ReadRequest::Bad {
-                                message: err.0,
-                                fatal: false,
-                            },
-                        };
-                    }
-                }
-                Err(err)
-                    if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
-                {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return ReadRequest::Stopping;
-                    }
-                }
-                Err(err) => return ReadRequest::Error(err),
-            }
-        }
-    }
-
-    fn write_response(&mut self, response: &Response) -> io::Result<()> {
-        let mut line = response.to_line();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())
-    }
-}
-
-/// Length-prefixed, CRC-checked binary framing (see [`crate::frame`]).
-struct BinaryTransport {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-enum FillOutcome {
-    Done,
-    Closed,
-    Stopping,
-    Error(io::Error),
-}
-
-impl BinaryTransport {
-    /// Fills `buf` completely, waking every [`POLL`] to check the shutdown
-    /// flag. `Closed` is only clean when nothing was read yet.
-    fn read_exact_polling(&mut self, mut buf: &mut [u8], shared: &ServerShared) -> FillOutcome {
-        let whole = buf.len();
-        while !buf.is_empty() {
-            match self.reader.read(buf) {
-                Ok(0) => {
-                    return if buf.len() == whole {
-                        FillOutcome::Closed
-                    } else {
-                        FillOutcome::Error(io::Error::new(
-                            ErrorKind::UnexpectedEof,
-                            "connection closed mid-frame",
-                        ))
-                    };
-                }
-                Ok(n) => buf = &mut buf[n..],
-                Err(err)
-                    if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
-                {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return FillOutcome::Stopping;
-                    }
-                }
-                Err(err) => return FillOutcome::Error(err),
-            }
-        }
-        FillOutcome::Done
-    }
-}
-
-impl Transport for BinaryTransport {
-    fn read_request(&mut self, shared: &ServerShared) -> ReadRequest {
-        let mut header = [0u8; frame::HEADER_BYTES];
-        match self.read_exact_polling(&mut header, shared) {
-            FillOutcome::Done => {}
-            FillOutcome::Closed => return ReadRequest::Closed,
-            FillOutcome::Stopping => return ReadRequest::Stopping,
-            FillOutcome::Error(err) => return ReadRequest::Error(err),
-        }
-        let len = match frame::check_header(&header) {
-            Ok(len) => len,
-            Err(err) => {
-                return ReadRequest::Bad {
-                    message: err.to_string(),
-                    fatal: true,
-                }
-            }
-        };
-        let mut body = vec![0u8; len];
-        let mut crc = [0u8; 4];
-        for buf in [body.as_mut_slice(), crc.as_mut_slice()] {
-            match self.read_exact_polling(buf, shared) {
-                FillOutcome::Done => {}
-                FillOutcome::Closed | FillOutcome::Stopping => return ReadRequest::Stopping,
-                FillOutcome::Error(err) => return ReadRequest::Error(err),
-            }
-        }
-        if let Err(err) = frame::check_crc(&body, &crc) {
-            return ReadRequest::Bad {
-                message: err.to_string(),
-                fatal: true,
-            };
-        }
-        match frame::decode_request(&body) {
-            Ok(request) => ReadRequest::Request(request),
-            // The frame itself was intact, so the stream is still in sync:
-            // only this request fails.
-            Err(err) => ReadRequest::Bad {
-                message: err.to_string(),
-                fatal: false,
-            },
-        }
-    }
-
-    fn write_response(&mut self, response: &Response) -> io::Result<()> {
-        self.writer.write_all(&frame::encode_response(response))
-    }
-}
-
-fn dispatch_loop<T: Transport>(
-    transport: &mut T,
+fn dispatch_loop(
+    transport: &mut dyn Transport,
     shared: &ServerShared,
     opened: &mut Vec<u64>,
 ) -> io::Result<()> {
     loop {
-        let request = match transport.read_request(shared) {
+        let request = match transport.read_request(&shared.stop) {
             ReadRequest::Request(request) => request,
             ReadRequest::Bad { message, fatal } => {
                 transport.write_response(&Response::Err {
@@ -447,6 +263,14 @@ fn dispatch_loop<T: Transport>(
             Request::Stats => {
                 let wire = shared.engine.stats().to_wire();
                 transport.write_response(&Response::Stats(wire))?;
+            }
+            Request::FleetStats => {
+                // An unsharded daemon is a fleet of one: itself as shard 0.
+                let wire = shared.engine.stats().to_wire();
+                transport.write_response(&Response::Fleet {
+                    shards: vec![(0, wire.clone())],
+                    fleet: wire,
+                })?;
             }
             Request::Shutdown => {
                 transport.write_response(&Response::Bye)?;
@@ -513,7 +337,7 @@ fn dispatch_loop<T: Transport>(
                 // worker pool sees all jobs at once.
                 let mut handles = Vec::with_capacity(count);
                 for _ in 0..count {
-                    match transport.read_request(shared) {
+                    match transport.read_request(&shared.stop) {
                         ReadRequest::Request(Request::Annotate {
                             task,
                             deadline_ms,

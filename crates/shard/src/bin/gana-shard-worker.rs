@@ -1,0 +1,79 @@
+//! A minimal shard daemon for `gana-shard` integration tests.
+//!
+//! Production fleets use the full `gana serve` CLI as the shard command;
+//! this binary is the in-crate equivalent (`CARGO_BIN_EXE_gana-shard-worker`)
+//! so the crate's tests do not depend on the workspace root's binary. It
+//! boots *only* warm — the snapshot in `--snapshot-dir` is the model — and
+//! honors the same supervisor contract: `--addr`/`--snapshot-dir` flags,
+//! PID file, SIGTERM drain.
+
+use gana_persist::EngineSnapshot;
+use gana_serve::server::{serve, ServerConfig};
+use gana_serve::Engine;
+use gana_shard::daemon::{run_until_shutdown, PidFile};
+use std::time::Duration;
+
+fn parse_args() -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
+        let value = args
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn run() -> Result<(), String> {
+    let flags = parse_args()?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let snapshot_dir = flags
+        .get("snapshot-dir")
+        .ok_or("missing --snapshot-dir DIR")?;
+    let workers: usize = flags
+        .get("workers")
+        .map(|w| w.parse().map_err(|e| format!("--workers: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+
+    let snapshot_path = std::path::Path::new(snapshot_dir).join("engine.gsnap");
+    let snapshot = EngineSnapshot::load(&snapshot_path)
+        .map_err(|e| format!("cannot warm-start from {}: {e}", snapshot_path.display()))?;
+
+    let _pid = flags
+        .get("pid-file")
+        .map(PidFile::write)
+        .transpose()
+        .map_err(|e| format!("pid file: {e}"))?;
+
+    let engine = std::sync::Arc::new(
+        Engine::builder()
+            .warm_from(snapshot)
+            .snapshot_path(snapshot_path)
+            .workers(workers)
+            .build(),
+    );
+    let config = ServerConfig {
+        addr: addr.clone(),
+        stats_interval: None,
+        snapshot_interval: Some(Duration::from_secs(300)),
+    };
+    let handle = serve(engine, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!("[gana-shard-worker] listening on {}", handle.local_addr());
+    run_until_shutdown(&handle);
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("gana-shard-worker: {err}");
+        std::process::exit(1);
+    }
+}

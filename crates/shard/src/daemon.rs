@@ -1,0 +1,76 @@
+//! Daemon-side plumbing for supervised `gana serve` processes: a PID file
+//! and a SIGTERM-aware replacement for blocking on the server handle.
+
+use crate::sys;
+use gana_serve::ServerHandle;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A PID file that exists exactly while its owner runs: written on
+/// creation, removed on drop. Supervisors and operators use it to find
+/// the daemon to signal; a stale file after a crash is overwritten by the
+/// next boot.
+#[derive(Debug)]
+pub struct PidFile {
+    path: PathBuf,
+}
+
+impl PidFile {
+    /// Writes the current process id to `path`.
+    pub fn write(path: impl AsRef<Path>) -> io::Result<PidFile> {
+        let path = path.as_ref().to_path_buf();
+        std::fs::write(&path, format!("{}\n", std::process::id()))?;
+        Ok(PidFile { path })
+    }
+
+    /// Where the pid was written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for PidFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Blocks until the server stops, treating SIGTERM/SIGINT as a graceful
+/// drain: the handler flag (installed here) turns the signal into
+/// [`ServerHandle::shutdown`], which stops admission, drains in-flight
+/// jobs, and writes the drain-time snapshot — exactly what a `shutdown`
+/// wire request does. Returns when all server threads have exited.
+pub fn run_until_shutdown(handle: &ServerHandle) {
+    sys::install_term_handler();
+    loop {
+        if sys::term_requested() {
+            handle.shutdown();
+            return;
+        }
+        if handle.is_stopped() {
+            handle.join();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_file_lives_and_dies_with_its_guard() {
+        let path = std::env::temp_dir().join(format!("gana-pid-test-{}", std::process::id()));
+        {
+            let pid = PidFile::write(&path).expect("writes");
+            let text = std::fs::read_to_string(pid.path()).expect("readable");
+            assert_eq!(
+                text.trim().parse::<u32>().expect("a pid"),
+                std::process::id()
+            );
+        }
+        assert!(!path.exists(), "removed on drop");
+    }
+}

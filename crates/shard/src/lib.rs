@@ -1,0 +1,43 @@
+//! `gana-shard`: horizontal sharding for the annotation service.
+//!
+//! One `gana serve` engine holds its sessions, region cache, and snapshot
+//! in a single process. This crate turns N such processes into one
+//! deployment with near-linear capacity while keeping every piece of
+//! warm state exactly where repeat traffic will find it:
+//!
+//! * [`ring`] — consistent-hash ring over shard ids with cross-process-
+//!   stable placement (same `StableSip` discipline as the persisted WL
+//!   fingerprints) and bounded key movement on shard join/leave.
+//! * [`topology`] — the live fleet view: shard id → address + health,
+//!   shared between the router (reads) and the supervisor (writes).
+//! * [`router`] — a front end accepting text *and* binary clients on one
+//!   port, routing netlists/sessions by content key onto shards over the
+//!   binary frame protocol, and aggregating per-shard stats into one
+//!   fleet view.
+//! * [`supervisor`] — spawns one engine daemon per shard, each with its
+//!   own snapshot directory, health-checks them with deadline-bounded
+//!   wire pings, warm-restarts crashed or hung shards from their
+//!   snapshots, and replays the drain protocol on planned shutdown.
+//! * [`daemon`] / [`sys`] — PID files and minimal Unix signal plumbing so
+//!   a supervisor (this crate's or an init system) can tell a planned
+//!   drain from a crash.
+//!
+//! Circuit/session affinity is the partitioning key: a session's
+//! incremental baseline and a netlist's cached region annotations live on
+//! exactly one shard, so routing by content keeps hitting warm state, and
+//! a shard's snapshot file is a complete warm-restart image of its slice
+//! of the fleet.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod ring;
+pub mod router;
+pub mod supervisor;
+pub mod sys;
+pub mod topology;
+
+pub use ring::{Ring, RING_REPLICAS};
+pub use router::{serve_router, RouterConfig, RouterHandle, SHARD_UNAVAILABLE};
+pub use supervisor::{Cluster, ClusterConfig, ShardCommand};
+pub use topology::{ShardStatus, Topology};

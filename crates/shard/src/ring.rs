@@ -1,0 +1,175 @@
+//! Consistent-hash ring mapping routing keys onto shard ids.
+//!
+//! Each shard owns [`RING_REPLICAS`] pseudo-random points on a `u64`
+//! circle; a key is served by the shard owning the first point at or after
+//! the key (wrapping). Because points are derived only from the shard id
+//! (via the same cross-process-stable [`Digest`] behind the persisted WL
+//! fingerprints), every router instance — current or future — computes the
+//! identical ring, and adding or removing one shard only re-homes the keys
+//! in the arcs that shard's points bound: ~`K/N` of `K` keys on an
+//! `N`-shard ring, not all of them.
+//!
+//! The exact movement guarantees (test-enforced, see the crate's proptests):
+//!
+//! - **join**: a key's shard either stays unchanged or becomes the new
+//!   shard — joining never shuffles keys between pre-existing shards;
+//! - **leave**: only keys on the removed shard move, each to the shard
+//!   that already owned the next arc.
+//!
+//! The point derivation is versioned (`gana-shard-ring-v1`) and pinned by
+//! tests: changing it would re-home every key in a fleet at once, so treat
+//! any change like a persistence-format bump.
+
+use gana_incremental::hash128::Digest;
+
+/// Virtual nodes per shard. More replicas smooth the load split (the
+/// largest shard's share concentrates toward `1/N`) at a small ring-build
+/// cost; 64 keeps the worst-case imbalance in the low tens of percent.
+pub const RING_REPLICAS: u32 = 64;
+
+/// Domain tag folded into every ring point (version 1).
+const RING_DOMAIN: &str = "gana-shard-ring-v1";
+
+/// Folds a 128-bit routing key onto the 64-bit ring circle.
+fn fold(key: u128) -> u64 {
+    (key >> 64) as u64 ^ key as u64
+}
+
+/// The ring point for one replica of one shard.
+fn point(shard: u64, replica: u32) -> u64 {
+    let mut digest = Digest::new();
+    digest.write(RING_DOMAIN);
+    digest.write(shard);
+    digest.write(replica as u64);
+    fold(digest.finish())
+}
+
+/// Consistent-hash ring over shard ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point, then shard — the shard tiebreak
+    /// makes routing deterministic even on (astronomically unlikely) point
+    /// collisions between shards.
+    points: Vec<(u64, u64)>,
+}
+
+impl Ring {
+    /// Builds a ring over `shards` (duplicates are ignored).
+    pub fn new(shards: impl IntoIterator<Item = u64>) -> Ring {
+        let mut ring = Ring::default();
+        for shard in shards {
+            ring.add(shard);
+        }
+        ring
+    }
+
+    /// Adds a shard's replicas to the ring. No-op if already present.
+    pub fn add(&mut self, shard: u64) {
+        if self.contains(shard) {
+            return;
+        }
+        self.points
+            .extend((0..RING_REPLICAS).map(|replica| (point(shard, replica), shard)));
+        self.points.sort_unstable();
+    }
+
+    /// Removes a shard's replicas. No-op if absent.
+    pub fn remove(&mut self, shard: u64) {
+        self.points.retain(|&(_, owner)| owner != shard);
+    }
+
+    /// True when `shard` is on the ring.
+    pub fn contains(&self, shard: u64) -> bool {
+        self.points.iter().any(|&(_, owner)| owner == shard)
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len() / RING_REPLICAS as usize
+    }
+
+    /// True when no shard is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sorted shard ids currently on the ring.
+    pub fn shards(&self) -> Vec<u64> {
+        let mut shards: Vec<u64> = self.points.iter().map(|&(_, owner)| owner).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// The shard owning `key`: the first ring point at or after the folded
+    /// key, wrapping past the top of the circle. `None` on an empty ring.
+    pub fn route(&self, key: u128) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let k = fold(key);
+        let idx = self.points.partition_point(|&(p, _)| p < k);
+        let (_, shard) = self.points[idx % self.points.len()];
+        Some(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_incremental::routing::{netlist_key, session_key};
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = Ring::new([0, 1, 2]);
+        assert_eq!(ring.len(), 3);
+        for session in 0..100 {
+            let key = session_key(session);
+            let shard = ring.route(key).expect("non-empty ring routes");
+            assert!(shard < 3);
+            assert_eq!(ring.route(key), Some(shard), "stable on re-query");
+        }
+        assert_eq!(Ring::default().route(session_key(1)), None);
+    }
+
+    #[test]
+    fn all_shards_receive_traffic() {
+        let ring = Ring::new([0, 1, 2, 3]);
+        let mut hit = [false; 4];
+        for session in 0..256 {
+            hit[ring.route(session_key(session)).unwrap() as usize] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "every shard owns some keys: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn add_then_remove_restores_the_ring() {
+        let mut ring = Ring::new([0, 1]);
+        let before = ring.clone();
+        ring.add(7);
+        assert_eq!(ring.len(), 3);
+        ring.remove(7);
+        assert_eq!(ring, before);
+        // Idempotence.
+        ring.add(0);
+        assert_eq!(ring, before);
+        ring.remove(99);
+        assert_eq!(ring, before);
+    }
+
+    /// Pinned routing vectors: ring placement is part of the fleet-wide
+    /// contract. If this fails, a router upgrade would re-home every key —
+    /// bump `RING_DOMAIN` and document the migration instead.
+    #[test]
+    fn pinned_ring_vectors() {
+        let ring = Ring::new([0, 1, 2]);
+        let placements: Vec<u64> = (0..8)
+            .map(|session| ring.route(session_key(session)).unwrap())
+            .collect();
+        assert_eq!(placements, vec![2, 2, 0, 2, 2, 1, 2, 1]);
+        assert_eq!(ring.route(netlist_key("M1 a b c d NMOS\n.end\n")), Some(2));
+    }
+}

@@ -1,0 +1,460 @@
+//! Process supervision for a fleet of engine shards.
+//!
+//! A [`Cluster`] spawns one `gana serve` child per shard, each with its
+//! own snapshot directory under the cluster's snapshot root, then watches
+//! them from a monitor thread:
+//!
+//! * **crash** — the child exited ([`std::process::Child::try_wait`]);
+//! * **hang** — the child is alive but stops answering deadline-bounded
+//!   binary ping frames for several consecutive probes; it is SIGKILLed
+//!   and treated as crashed.
+//!
+//! Either way the slot is respawned with the *same* snapshot directory —
+//! the daemon warm-starts from its last snapshot, so the shard comes back
+//! with its cached regions and pipeline intact — and the shared
+//! [`Topology`] is updated in place: the ring id never changes across a
+//! restart (zero key movement), only the address and health flip.
+//!
+//! Planned shutdown replays the drain protocol instead: a `shutdown` wire
+//! request per shard (drains in-flight work and writes the drain-time
+//! snapshot), then SIGTERM, then SIGKILL as escalating fallbacks.
+
+use crate::ring::Ring;
+use crate::sys;
+use crate::topology::Topology;
+use gana_serve::client::Client;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Name of the snapshot file inside each shard's snapshot directory
+/// (mirrors the `gana serve --snapshot-dir` convention).
+pub const SNAPSHOT_FILE: &str = "engine.gsnap";
+
+/// How to launch one shard daemon. The supervisor appends
+/// `--addr <ip:port>` and `--snapshot-dir <dir>` per shard.
+#[derive(Debug, Clone)]
+pub struct ShardCommand {
+    /// Executable to run (e.g. the `gana` binary).
+    pub program: PathBuf,
+    /// Leading arguments (e.g. `["serve", "--workers", "1"]`).
+    pub args: Vec<String>,
+}
+
+impl ShardCommand {
+    fn spawn(&self, addr: SocketAddr, snapshot_dir: &PathBuf) -> io::Result<Child> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .arg("--addr")
+            .arg(addr.to_string())
+            .arg("--snapshot-dir")
+            .arg(snapshot_dir)
+            .stdin(Stdio::null())
+            .spawn()
+    }
+}
+
+/// Fleet sizing and health-check tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// How many shards to launch.
+    pub shards: usize,
+    /// Root directory; shard `i` gets `snapshot_root/shard-<i>`.
+    pub snapshot_root: PathBuf,
+    /// How to launch each shard daemon.
+    pub command: ShardCommand,
+    /// Optional snapshot file copied into each shard directory that does
+    /// not already have one, so cold shards boot with a trained model.
+    pub seed_snapshot: Option<PathBuf>,
+    /// Pause between monitor ticks.
+    pub ping_interval: Duration,
+    /// Deadline for one health-check ping round trip.
+    pub ping_timeout: Duration,
+    /// Consecutive failed pings before a live child is declared hung.
+    pub ping_failures: u32,
+    /// How long a (re)spawned shard may take to answer its first ping.
+    pub boot_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Defaults tuned for local fleets: 200ms probe cadence, 2s ping
+    /// deadline, 3 strikes, 30s boot budget.
+    pub fn new(shards: usize, snapshot_root: impl Into<PathBuf>, command: ShardCommand) -> Self {
+        ClusterConfig {
+            shards,
+            snapshot_root: snapshot_root.into(),
+            command,
+            seed_snapshot: None,
+            ping_interval: Duration::from_millis(200),
+            ping_timeout: Duration::from_secs(2),
+            ping_failures: 3,
+            boot_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Slot {
+    id: u64,
+    snapshot_dir: PathBuf,
+    addr: SocketAddr,
+    /// `None` means "not running": crashed, hung-and-killed, or failed to
+    /// boot. The monitor respawns any such slot on its next tick.
+    child: Option<Child>,
+    failures: u32,
+    restarts: u64,
+}
+
+struct ClusterInner {
+    config: ClusterConfig,
+    topology: Arc<Topology>,
+    slots: Mutex<Vec<Slot>>,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// A running fleet: children + monitor thread + shared topology.
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Grabs a free ephemeral port. The listener is dropped before the child
+/// binds, which is racy in principle; in practice collisions are rare and
+/// a failed bind surfaces as a boot failure, which the monitor retries on
+/// a fresh port.
+fn free_port() -> io::Result<SocketAddr> {
+    TcpListener::bind("127.0.0.1:0")?.local_addr()
+}
+
+fn seed_dir(config: &ClusterConfig, dir: &PathBuf) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if let Some(seed) = &config.seed_snapshot {
+        let target = dir.join(SNAPSHOT_FILE);
+        if !target.exists() {
+            std::fs::copy(seed, &target)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deadline-bounded liveness probe: fresh connection, binary ping frame,
+/// bounded reads/writes throughout.
+fn probe(addr: SocketAddr, timeout: Duration) -> bool {
+    let Ok(stream) = std::net::TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    let Ok(mut client) = Client::from_stream_binary(stream) else {
+        return false;
+    };
+    if client.set_io_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    client.ping().is_ok()
+}
+
+/// Waits for a freshly spawned shard to answer its first ping.
+fn wait_for_boot(child: &mut Child, addr: SocketAddr, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if matches!(child.try_wait(), Ok(Some(_)) | Err(_)) {
+            return false; // died during boot
+        }
+        if probe(addr, Duration::from_millis(500)) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+impl ClusterInner {
+    /// (Re)spawns `slot` on a fresh port and flips the topology when it
+    /// answers pings. On failure the slot stays `None` and down; the next
+    /// monitor tick retries.
+    fn respawn(&self, slot: &mut Slot) {
+        let addr = match free_port() {
+            Ok(addr) => addr,
+            Err(err) => {
+                eprintln!("[gana-shard] shard {}: no free port: {err}", slot.id);
+                return;
+            }
+        };
+        if let Err(err) = seed_dir(&self.config, &slot.snapshot_dir) {
+            eprintln!("[gana-shard] shard {}: snapshot dir: {err}", slot.id);
+            return;
+        }
+        let mut child = match self.config.command.spawn(addr, &slot.snapshot_dir) {
+            Ok(child) => child,
+            Err(err) => {
+                eprintln!("[gana-shard] shard {}: spawn: {err}", slot.id);
+                return;
+            }
+        };
+        if !wait_for_boot(&mut child, addr, self.config.boot_timeout) {
+            eprintln!("[gana-shard] shard {}: did not boot on {addr}", slot.id);
+            let _ = child.kill();
+            let _ = child.wait();
+            return;
+        }
+        slot.addr = addr;
+        slot.child = Some(child);
+        slot.failures = 0;
+        self.topology.set_addr(slot.id, addr);
+        self.topology
+            .set_up(slot.id, true, Duration::from_millis(500));
+    }
+
+    /// One monitor pass over every slot.
+    fn tick(&self) {
+        let mut slots = self.slots.lock();
+        for slot in slots.iter_mut() {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(child) = &mut slot.child {
+                if let Ok(Some(status)) = child.try_wait() {
+                    eprintln!(
+                        "[gana-shard] shard {} exited ({status}); warm-restarting",
+                        slot.id
+                    );
+                    slot.child = None;
+                } else if probe(slot.addr, self.config.ping_timeout) {
+                    slot.failures = 0;
+                } else {
+                    slot.failures += 1;
+                    if slot.failures >= self.config.ping_failures {
+                        eprintln!(
+                            "[gana-shard] shard {} hung ({} failed pings); killing",
+                            slot.id, slot.failures
+                        );
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        slot.child = None;
+                    }
+                }
+            }
+            if slot.child.is_none() {
+                self.topology
+                    .set_up(slot.id, false, self.restart_estimate());
+                slot.restarts += 1;
+                self.respawn(slot);
+            }
+        }
+    }
+
+    /// What the router should tell clients: roughly one boot.
+    fn restart_estimate(&self) -> Duration {
+        self.config.boot_timeout.min(Duration::from_secs(2))
+    }
+
+    /// Drains one shard: wire `shutdown` (drain + drain-time snapshot),
+    /// then SIGTERM (same drain path via the daemon's signal handler),
+    /// then SIGKILL.
+    fn drain(&self, slot: &mut Slot) {
+        let Some(mut child) = slot.child.take() else {
+            return;
+        };
+        let polite = Client::connect_binary(slot.addr)
+            .and_then(|mut client| {
+                client.set_io_timeout(Some(Duration::from_secs(10)))?;
+                client.shutdown()
+            })
+            .is_ok();
+        let deadline = Duration::from_secs(if polite { 10 } else { 5 });
+        if wait_exit(&mut child, deadline) {
+            return;
+        }
+        sys::send_signal(child.id(), sys::SIGTERM);
+        if wait_exit(&mut child, Duration::from_secs(5)) {
+            return;
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Polls `try_wait` until the child exits or `deadline` passes.
+fn wait_exit(child: &mut Child, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        match child.try_wait() {
+            Ok(Some(_)) | Err(_) => return true,
+            Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    false
+}
+
+impl Cluster {
+    /// Launches the fleet: creates shard snapshot directories, spawns one
+    /// daemon per shard, waits for each to answer pings, and starts the
+    /// health monitor. Fails if any shard cannot boot.
+    pub fn launch(config: ClusterConfig) -> io::Result<Cluster> {
+        let shards = config.shards.max(1);
+        let topology = Arc::new(Topology::new([]));
+        let inner = Arc::new(ClusterInner {
+            config,
+            topology,
+            slots: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(shards as u64),
+        });
+        {
+            let mut slots = inner.slots.lock();
+            for id in 0..shards as u64 {
+                let snapshot_dir = inner.config.snapshot_root.join(format!("shard-{id}"));
+                let mut slot = Slot {
+                    id,
+                    snapshot_dir,
+                    addr: "127.0.0.1:0".parse().expect("literal addr"),
+                    child: None,
+                    failures: 0,
+                    restarts: 0,
+                };
+                // Register first so respawn's topology writes land, then
+                // mark down until the boot ping succeeds.
+                inner.topology.add(id, slot.addr);
+                inner.topology.set_up(id, false, inner.restart_estimate());
+                inner.respawn(&mut slot);
+                if slot.child.is_none() {
+                    // Boot failure is fatal at launch (config error, bad
+                    // snapshot): tear down what already started.
+                    for started in slots.iter_mut() {
+                        inner.drain(started);
+                    }
+                    return Err(io::Error::other(format!("shard {id} failed to boot")));
+                }
+                slots.push(slot);
+            }
+        }
+        let monitor_inner = Arc::clone(&inner);
+        let monitor = std::thread::Builder::new()
+            .name("gana-shard-monitor".to_string())
+            .spawn(move || {
+                while !monitor_inner.stop.load(Ordering::SeqCst) {
+                    monitor_inner.tick();
+                    std::thread::sleep(monitor_inner.config.ping_interval);
+                }
+            })?;
+        Ok(Cluster {
+            inner,
+            monitor: Mutex::new(Some(monitor)),
+        })
+    }
+
+    /// The fleet view to hand to [`crate::router::serve_router`].
+    pub fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.inner.topology)
+    }
+
+    /// How many times a shard has been (re)started beyond its first boot.
+    pub fn restarts(&self, id: u64) -> Option<u64> {
+        self.inner
+            .slots
+            .lock()
+            .iter()
+            .find(|slot| slot.id == id)
+            .map(|slot| slot.restarts)
+    }
+
+    /// The OS pid of a shard's current child process, if running.
+    pub fn pid(&self, id: u64) -> Option<u32> {
+        self.inner
+            .slots
+            .lock()
+            .iter()
+            .find(|slot| slot.id == id)
+            .and_then(|slot| slot.child.as_ref().map(Child::id))
+    }
+
+    /// The current listen address of a shard, if known.
+    pub fn addr(&self, id: u64) -> Option<SocketAddr> {
+        self.inner.topology.get(id).map(|status| status.addr)
+    }
+
+    /// Adds a shard to the fleet: new id, new snapshot directory, spawn,
+    /// boot-wait, then ring join (moving only the keys the ring assigns to
+    /// the newcomer). Returns the new shard id.
+    pub fn add_shard(&self) -> io::Result<u64> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let snapshot_dir = self.inner.config.snapshot_root.join(format!("shard-{id}"));
+        let mut slot = Slot {
+            id,
+            snapshot_dir,
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            child: None,
+            failures: 0,
+            restarts: 0,
+        };
+        self.inner.topology.add(id, slot.addr);
+        self.inner
+            .topology
+            .set_up(id, false, self.inner.restart_estimate());
+        self.inner.respawn(&mut slot);
+        if slot.child.is_none() {
+            self.inner.topology.remove(id);
+            return Err(io::Error::other(format!("shard {id} failed to boot")));
+        }
+        self.inner.slots.lock().push(slot);
+        Ok(id)
+    }
+
+    /// Removes a shard: takes it off the ring first (its keys move to
+    /// their ring neighbors; new requests route around it immediately),
+    /// then drains the daemon.
+    pub fn remove_shard(&self, id: u64) -> bool {
+        let mut slots = self.inner.slots.lock();
+        let Some(index) = slots.iter().position(|slot| slot.id == id) else {
+            return false;
+        };
+        self.inner.topology.remove(id);
+        let mut slot = slots.remove(index);
+        drop(slots);
+        self.inner.drain(&mut slot);
+        true
+    }
+
+    /// Planned fleet shutdown: stop the monitor, then drain every shard
+    /// (wire shutdown → SIGTERM → SIGKILL). Each daemon writes its
+    /// drain-time snapshot, so the whole fleet can warm-restart.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.lock().take() {
+            let _ = monitor.join();
+        }
+        let mut slots = self.inner.slots.lock();
+        for slot in slots.iter_mut() {
+            self.inner
+                .topology
+                .set_up(slot.id, false, Duration::from_secs(1));
+            self.inner.drain(slot);
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A static (unsupervised) fleet description for tests and benches: build
+/// a [`Topology`] straight from known addresses.
+pub fn static_topology(shards: impl IntoIterator<Item = (u64, SocketAddr)>) -> Arc<Topology> {
+    Arc::new(Topology::new(shards))
+}
+
+/// Exposed for documentation: a shard's keys under a ring of `n` shards.
+/// (Convenience wrapper so operators can predict placement offline.)
+pub fn owner_of(key: u128, shard_ids: &[u64]) -> Option<u64> {
+    let mut ring = Ring::default();
+    for &id in shard_ids {
+        ring.add(id);
+    }
+    ring.route(key)
+}

@@ -1,0 +1,158 @@
+//! The live fleet view shared between router and supervisor.
+//!
+//! A [`Topology`] owns the consistent-hash [`Ring`] plus, per shard, the
+//! current listen address and health. The router reads it on every request
+//! (`route`), the supervisor writes it on restart (`set_addr`, `set_up`)
+//! and on fleet resize (`add`, `remove`). Restarting a shard keeps its ring
+//! id — the supervisor only swaps the address — so a warm restart moves
+//! zero keys; only explicit `add`/`remove` rebalance the ring, and those
+//! move only the bounded slice the ring guarantees.
+
+use crate::ring::Ring;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// One shard as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Where the shard's daemon currently listens (changes on restart).
+    pub addr: SocketAddr,
+    /// False while the shard is down or restarting.
+    pub up: bool,
+    /// How long clients should wait before retrying a request that hit
+    /// this shard while it was down (the supervisor's restart estimate).
+    pub retry_after: Duration,
+}
+
+struct Inner {
+    ring: Ring,
+    shards: HashMap<u64, ShardStatus>,
+}
+
+/// Shared, mutable fleet state: the ring plus per-shard address + health.
+pub struct Topology {
+    inner: RwLock<Inner>,
+}
+
+impl Topology {
+    /// Builds a topology over `(shard id, address)` pairs, all initially up.
+    pub fn new(shards: impl IntoIterator<Item = (u64, SocketAddr)>) -> Topology {
+        let topology = Topology {
+            inner: RwLock::new(Inner {
+                ring: Ring::default(),
+                shards: HashMap::new(),
+            }),
+        };
+        for (id, addr) in shards {
+            topology.add(id, addr);
+        }
+        topology
+    }
+
+    /// Routes a key to `(shard id, status)`. `None` on an empty fleet.
+    pub fn route(&self, key: u128) -> Option<(u64, ShardStatus)> {
+        let inner = self.inner.read();
+        let id = inner.ring.route(key)?;
+        inner.shards.get(&id).map(|status| (id, *status))
+    }
+
+    /// The status of one shard.
+    pub fn get(&self, id: u64) -> Option<ShardStatus> {
+        self.inner.read().shards.get(&id).copied()
+    }
+
+    /// Sorted ids of all shards on the ring.
+    pub fn shard_ids(&self) -> Vec<u64> {
+        self.inner.read().ring.shards()
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.inner.read().ring.len()
+    }
+
+    /// True when no shard is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().ring.is_empty()
+    }
+
+    /// Adds a shard (rebalancing the ring; only keys landing on the new
+    /// shard move). No-op if the id is already present.
+    pub fn add(&self, id: u64, addr: SocketAddr) {
+        let mut inner = self.inner.write();
+        inner.ring.add(id);
+        inner.shards.entry(id).or_insert(ShardStatus {
+            addr,
+            up: true,
+            retry_after: Duration::from_millis(500),
+        });
+    }
+
+    /// Removes a shard; only the removed shard's keys move, each to the
+    /// neighbor that already owned the next ring arc.
+    pub fn remove(&self, id: u64) {
+        let mut inner = self.inner.write();
+        inner.ring.remove(id);
+        inner.shards.remove(&id);
+    }
+
+    /// Points an existing shard id at a new address (warm restart: the ring
+    /// id is unchanged, so no keys move).
+    pub fn set_addr(&self, id: u64, addr: SocketAddr) {
+        if let Some(status) = self.inner.write().shards.get_mut(&id) {
+            status.addr = addr;
+        }
+    }
+
+    /// Marks a shard up or down; `retry_after` is what the router
+    /// advertises to clients hitting the shard while it is down.
+    pub fn set_up(&self, id: u64, up: bool, retry_after: Duration) {
+        if let Some(status) = self.inner.write().shards.get_mut(&id) {
+            status.up = up;
+            status.retry_after = retry_after;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_incremental::routing::session_key;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn restart_keeps_placement_but_changes_address() {
+        let topology = Topology::new([(0, addr(9000)), (1, addr(9001))]);
+        let key = session_key(7);
+        let (shard, before) = topology.route(key).unwrap();
+        topology.set_up(shard, false, Duration::from_millis(250));
+        let (_, down) = topology.route(key).unwrap();
+        assert!(!down.up);
+        assert_eq!(down.retry_after, Duration::from_millis(250));
+        topology.set_addr(shard, addr(9100));
+        topology.set_up(shard, true, Duration::from_millis(500));
+        let (after_shard, after) = topology.route(key).unwrap();
+        assert_eq!(after_shard, shard, "restart must not move keys");
+        assert_ne!(after.addr, before.addr);
+        assert!(after.up);
+    }
+
+    #[test]
+    fn add_and_remove_update_the_ring() {
+        let topology = Topology::new([(0, addr(9000))]);
+        assert_eq!(topology.len(), 1);
+        topology.add(1, addr(9001));
+        assert_eq!(topology.shard_ids(), vec![0, 1]);
+        topology.remove(0);
+        assert_eq!(topology.shard_ids(), vec![1]);
+        assert_eq!(topology.route(session_key(1)).unwrap().0, 1);
+        topology.remove(1);
+        assert!(topology.is_empty());
+        assert!(topology.route(session_key(1)).is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! End-to-end fleet test: a supervised two-shard deployment behind the
+//! consistent-hash router serves the full protocol surface — annotate,
+//! batch, sessions, stats — byte-identical to a single direct engine, and
+//! a `kill -9`'d shard is warm-restarted from its snapshot with zero
+//! effect on traffic pinned to the surviving shard.
+
+use gana_core::{Pipeline, Task};
+use gana_datasets::{ota, ota_classes, rf, rf_classes, sc_filter};
+use gana_gnn::{GcnConfig, GcnModel};
+use gana_incremental::routing::netlist_key;
+use gana_netlist::{write_spice, SpiceLibrary};
+use gana_persist::EngineSnapshot;
+use gana_primitives::PrimitiveLibrary;
+use gana_serve::client::{Client, ClientError, RetryPolicy};
+use gana_serve::{Annotation, Engine, JobRequest};
+use gana_shard::supervisor::SNAPSHOT_FILE;
+use gana_shard::{serve_router, sys, Cluster, ClusterConfig, RouterConfig, ShardCommand};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn pipeline_for(task: Task) -> Pipeline {
+    let (num_classes, class_names): (usize, Vec<String>) = match task {
+        Task::OtaBias => (
+            2,
+            ota_classes::NAMES.iter().map(|s| s.to_string()).collect(),
+        ),
+        Task::Rf => (3, rf_classes::NAMES.iter().map(|s| s.to_string()).collect()),
+    };
+    let config = GcnConfig {
+        conv_channels: vec![8, 8],
+        filter_order: 4,
+        fc_dim: 16,
+        num_classes,
+        dropout: 0.0,
+        batch_norm: false,
+        ..GcnConfig::default()
+    };
+    Pipeline::new(
+        GcnModel::new(config).expect("valid config"),
+        class_names,
+        PrimitiveLibrary::standard().expect("library parses"),
+        task,
+    )
+}
+
+/// One netlist per circuit family, paired with its annotating task.
+fn family_netlists() -> Vec<(&'static str, Task, String)> {
+    let spice = |c| write_spice(&SpiceLibrary::new(c));
+    vec![
+        (
+            "ota",
+            Task::OtaBias,
+            spice(
+                ota::generate(ota::OtaSpec {
+                    topology: ota::OtaTopology::Miller,
+                    pmos_input: true,
+                    bias: ota::BiasStyle::MirrorRef,
+                    seed: 1,
+                })
+                .circuit,
+            ),
+        ),
+        (
+            "rf",
+            Task::Rf,
+            spice(
+                rf::generate(rf::ReceiverSpec {
+                    lna: rf::LnaKind::ALL[0],
+                    mixer: rf::MixerKind::ALL[1],
+                    osc: rf::OscKind::ALL[2],
+                    seed: 2,
+                })
+                .circuit,
+            ),
+        ),
+        ("sc-filter", Task::Rf, spice(sc_filter::generate(3).circuit)),
+        (
+            "phased-array",
+            Task::Rf,
+            spice(gana_datasets::phased_array::generate(1).circuit),
+        ),
+    ]
+}
+
+fn scratch_root() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("gana-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("scratch root");
+    root
+}
+
+/// Builds the fleet seed snapshot (both task pipelines) and the direct
+/// reference engine the fleet must match byte-for-byte.
+fn build_seed(path: &PathBuf) -> Engine {
+    let engine = Engine::builder()
+        .pipeline(pipeline_for(Task::OtaBias))
+        .pipeline(pipeline_for(Task::Rf))
+        .snapshot_path(path)
+        .workers(1)
+        .build();
+    engine
+        .save_snapshot()
+        .expect("seed snapshot saves")
+        .expect("snapshot path configured");
+    engine
+}
+
+/// Annotates through the router, retrying `shard_unavailable` (a shard
+/// mid-restart) with the server-provided backoff hint — the documented
+/// client behavior during a warm restart.
+fn annotate_retrying(
+    client: &mut Client,
+    netlist: &str,
+    task: Task,
+) -> Result<Annotation, ClientError> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match client.annotate(netlist, task, None) {
+            Err(err) if Instant::now() < deadline => match err.retry_after_hint() {
+                Some(wait) => std::thread::sleep(wait.min(Duration::from_millis(500))),
+                None => return Err(err),
+            },
+            other => return other,
+        }
+    }
+}
+
+#[test]
+fn two_shard_fleet_matches_direct_engine_and_survives_kill_9() {
+    let root = scratch_root();
+    let seed = root.join("seed.gsnap");
+    let direct = build_seed(&seed);
+    let inputs = family_netlists();
+    let reference: Vec<Arc<Annotation>> = inputs
+        .iter()
+        .map(|(family, task, netlist)| {
+            direct
+                .submit(JobRequest::new(netlist.clone(), *task))
+                .unwrap_or_else(|e| panic!("{family} admits: {e}"))
+                .wait()
+                .unwrap_or_else(|e| panic!("{family} annotates: {e}"))
+        })
+        .collect();
+    direct.shutdown();
+
+    // Launch the supervised fleet: two warm shards plus the router.
+    let mut config = ClusterConfig::new(
+        2,
+        &root,
+        ShardCommand {
+            program: PathBuf::from(env!("CARGO_BIN_EXE_gana-shard-worker")),
+            args: Vec::new(),
+        },
+    );
+    config.seed_snapshot = Some(seed.clone());
+    let cluster = Cluster::launch(config).expect("fleet boots");
+    let router = serve_router(
+        cluster.topology(),
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            upstream_retry: RetryPolicy::default(),
+        },
+    )
+    .expect("router binds");
+    let addr = router.local_addr();
+
+    // --- Parity: text and binary clients, annotate per family. ---
+    let mut text = Client::connect(addr).expect("text client");
+    let mut binary = Client::connect_binary(addr).expect("binary client");
+    for ((family, task, netlist), want) in inputs.iter().zip(&reference) {
+        let via_text = text
+            .annotate(netlist, *task, None)
+            .unwrap_or_else(|e| panic!("{family} via text: {e}"));
+        let via_binary = binary
+            .annotate(netlist, *task, None)
+            .unwrap_or_else(|e| panic!("{family} via binary: {e}"));
+        assert_eq!(&via_text, want.as_ref(), "{family}: text != direct engine");
+        assert_eq!(
+            &via_binary,
+            want.as_ref(),
+            "{family}: binary != direct engine"
+        );
+    }
+
+    // --- Parity: one batch spanning both shards (the three rf-task
+    // families), reassembled into the client's order. ---
+    let rf_inputs: Vec<&(&str, Task, String)> =
+        inputs.iter().filter(|(_, t, _)| *t == Task::Rf).collect();
+    let batch_netlists: Vec<&str> = rf_inputs.iter().map(|(_, _, n)| n.as_str()).collect();
+    let batched = binary
+        .annotate_batch(&batch_netlists, Task::Rf, None)
+        .expect("batch admits");
+    for ((family, _, netlist), result) in rf_inputs.iter().zip(batched) {
+        let got = result.unwrap_or_else(|e| panic!("{family} in batch: {e}"));
+        let want = inputs
+            .iter()
+            .position(|(_, _, n)| n == netlist)
+            .map(|i| &reference[i])
+            .expect("input present");
+        assert_eq!(&got, want.as_ref(), "{family}: batched != direct engine");
+    }
+
+    // --- Sessions: router-scoped ids, correct routing on update/close. ---
+    let (ota_family, ota_task, ota_netlist) = &inputs[0];
+    let (rf_family, rf_task, rf_netlist) = &inputs[1];
+    let (first, first_annotation) = text
+        .open(ota_netlist, *ota_task)
+        .unwrap_or_else(|e| panic!("{ota_family} opens: {e}"));
+    let (second, _) = text
+        .open(rf_netlist, *rf_task)
+        .unwrap_or_else(|e| panic!("{rf_family} opens: {e}"));
+    assert_ne!(first, second, "router session ids are distinct");
+    assert_eq!(&first_annotation, reference[0].as_ref());
+    let updated = text.update(first, ota_netlist).expect("update routes");
+    assert_eq!(
+        &updated,
+        reference[0].as_ref(),
+        "identity update reproduces the baseline annotation"
+    );
+    text.close(second).expect("close routes");
+
+    // --- Stats: the aggregate counts work from both shards, and the
+    // per-shard view shows the whole fleet. ---
+    let (per_shard, fleet) = binary.fleet_stats().expect("fleetstats answers");
+    assert_eq!(per_shard.len(), 2, "both shards report");
+    for (id, stats) in &per_shard {
+        assert!(
+            stats.completed > 0,
+            "shard {id} saw no traffic; ring placement regressed"
+        );
+    }
+    assert_eq!(
+        fleet.completed,
+        per_shard.iter().map(|(_, s)| s.completed).sum::<u64>(),
+        "fleet aggregate sums shard counters"
+    );
+    let solo = binary.stats().expect("stats answers");
+    assert_eq!(
+        solo.completed, fleet.completed,
+        "plain stats through the router is the fleet aggregate"
+    );
+
+    // --- Pick the victim: the shard owning the ota netlist. A session
+    // pinned to the *other* shard must ride through the kill untouched. ---
+    let topology = cluster.topology();
+    let (victim, _) = topology
+        .route(netlist_key(ota_netlist))
+        .expect("ota netlist routes");
+    let survivor = topology
+        .shard_ids()
+        .into_iter()
+        .find(|&id| id != victim)
+        .expect("two shards");
+    // A survivor-owned netlist for background load during the restart.
+    let survivor_index = inputs
+        .iter()
+        .position(|(_, _, netlist)| topology.route(netlist_key(netlist)).unwrap().0 == survivor)
+        .expect("some family routes to the survivor");
+    let survivor_input = &inputs[survivor_index];
+    let restarts_before = cluster.restarts(victim).expect("victim tracked");
+
+    // A session pinned to the survivor, opened before the kill: the
+    // victim's restart must not disturb it in any way.
+    let (survivor_session, _) = text
+        .open(&survivor_input.2, survivor_input.1)
+        .expect("survivor session opens");
+
+    // Background load on the surviving shard across the kill window: every
+    // request must succeed — a victim restart may not touch the survivor.
+    let stop_load = Arc::new(AtomicBool::new(false));
+    let load = {
+        let stop = Arc::clone(&stop_load);
+        let (_, task, netlist) = survivor_input.clone();
+        let mut client = Client::connect(addr).expect("load client");
+        std::thread::spawn(move || -> Result<u64, String> {
+            let mut completed = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                client
+                    .annotate(&netlist, task, None)
+                    .map_err(|e| format!("survivor traffic failed mid-restart: {e}"))?;
+                completed += 1;
+            }
+            Ok(completed)
+        })
+    };
+
+    let pid = cluster.pid(victim).expect("victim runs");
+    assert!(sys::send_signal(pid, sys::SIGKILL), "kill -9 delivered");
+
+    // The broken upstream surfaces as a structured shard_unavailable with
+    // a retry hint (never a hang) until the supervisor restores the shard.
+    let error_deadline = Instant::now() + Duration::from_secs(60);
+    let first_error = loop {
+        assert!(
+            Instant::now() < error_deadline,
+            "victim kept answering with no restart recorded"
+        );
+        match binary.annotate(ota_netlist, *ota_task, None) {
+            Err(err) => break Some(err),
+            Ok(_) => {
+                // The supervisor won the race and already restarted it.
+                if cluster.restarts(victim).expect("tracked") > restarts_before {
+                    break None;
+                }
+            }
+        }
+    };
+    if let Some(err) = first_error {
+        assert!(
+            err.retry_after_hint().is_some(),
+            "kill surfaced as {err}, want shard_unavailable with retry_after_ms"
+        );
+    }
+
+    // Wait for the warm restart, then require byte-identical annotations
+    // across all four families — the snapshot carried the whole model.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while cluster.restarts(victim).expect("tracked") == restarts_before
+        || !topology.get(victim).expect("tracked").up
+    {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never restarted the shard"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    for ((family, task, netlist), want) in inputs.iter().zip(&reference) {
+        let after = annotate_retrying(&mut binary, netlist, *task)
+            .unwrap_or_else(|e| panic!("{family} after restart: {e}"));
+        assert_eq!(
+            &after,
+            want.as_ref(),
+            "{family}: post-restart annotation differs from pre-kill"
+        );
+    }
+
+    // The surviving shard never dropped a request, and its session state
+    // (opened before the kill) is fully intact.
+    stop_load.store(true, Ordering::SeqCst);
+    let load_completed = load
+        .join()
+        .expect("load thread joins")
+        .expect("all survivor requests succeed");
+    assert!(load_completed > 0, "load thread exercised the kill window");
+    let survived = text
+        .update(survivor_session, &survivor_input.2)
+        .expect("survivor session still updates after the victim restart");
+    assert_eq!(
+        &survived,
+        reference[survivor_index].as_ref(),
+        "survivor session baseline intact"
+    );
+
+    // --- Planned drain: every shard writes its snapshot; both dirs must
+    // hold a loadable warm-start image. ---
+    drop(text);
+    drop(binary);
+    cluster.shutdown();
+    router.shutdown();
+    for id in [victim, survivor] {
+        let path = root.join(format!("shard-{id}")).join(SNAPSHOT_FILE);
+        EngineSnapshot::load(&path)
+            .unwrap_or_else(|e| panic!("shard {id} drain snapshot unloadable: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

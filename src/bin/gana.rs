@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -66,9 +67,10 @@ fn print_usage() {
          gana annotate FILE --model FILE --task ota|rf [--baseline FILE] [--export FILE] [--svg FILE] [--dot FILE]\n  \
          gana inspect  FILE\n  \
          gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]\n  \
-         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N] [--snapshot-dir DIR] [--snapshot-secs N]\n  \
+         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N] [--snapshot-dir DIR] [--snapshot-secs N] [--pid-file FILE]\n  \
+         gana shard    --snapshot-root DIR [--shards N] [--addr HOST:PORT] [--seed-snapshot SNAP | --model FILE --task ota|rf] [--workers N] [--queue N] [--max-batch N] [--batch-window-us N]\n  \
          gana submit   FILE --task ota|rf [--addr HOST:PORT] [--deadline-ms N] [--export FILE] [--binary]\n  \
-         gana submit   stats|shutdown [--addr HOST:PORT] [--binary]\n  \
+         gana submit   stats|shutdown [--addr HOST:PORT] [--binary] [--per-shard]\n  \
          gana snapshot save --model FILE --task ota|rf --out SNAP\n  \
          gana snapshot inspect SNAP"
     );
@@ -316,7 +318,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use gana::serve::{server, Engine};
 
     let (_, flags) = parse_flags(args)?;
-    let task = parse_task(&flags)?;
     let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
     let workers: usize = numeric(
         &flags,
@@ -363,11 +364,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         builder = builder.snapshot_path(path.clone());
     }
     if !warm {
+        // --task is only needed on the cold path; a warm start carries the
+        // task inside the snapshot.
+        let task = parse_task(&flags)?;
         let model_path = flags
             .get("model")
             .ok_or("missing --model FILE (no usable snapshot to warm-start from)")?;
         builder = builder.pipeline(load_pipeline(model_path, task)?);
     }
+
+    // The pid file lives exactly as long as this daemon: written before we
+    // listen, removed when the guard drops after the drain.
+    let _pid = flags
+        .get("pid-file")
+        .map(gana::shard::daemon::PidFile::write)
+        .transpose()
+        .map_err(|e| format!("cannot write pid file: {e}"))?;
 
     let engine = std::sync::Arc::new(builder.build());
     let config = server::ServerConfig {
@@ -383,8 +395,98 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers,
         queue
     );
-    handle.join();
+    // SIGTERM/SIGINT drain the daemon exactly like a `shutdown` request
+    // (stop admission, finish in-flight jobs, write the drain snapshot).
+    gana::shard::daemon::run_until_shutdown(&handle);
     println!("gana-serve drained and stopped");
+    Ok(())
+}
+
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    use gana::shard::{serve_router, Cluster, ClusterConfig, RouterConfig, ShardCommand};
+
+    let (_, flags) = parse_flags(args)?;
+    let shards: usize = numeric(&flags, "shards", 2)?;
+    let snapshot_root = flags
+        .get("snapshot-root")
+        .ok_or("missing --snapshot-root DIR")?;
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7979");
+    std::fs::create_dir_all(snapshot_root)
+        .map_err(|e| format!("cannot create {snapshot_root}: {e}"))?;
+
+    // Seed snapshot for cold shard directories: either given directly, or
+    // built from a checkpoint the same way `gana snapshot save` does.
+    let seed_snapshot = match (flags.get("seed-snapshot"), flags.get("model")) {
+        (Some(snap), _) => Some(std::path::PathBuf::from(snap)),
+        (None, Some(model_path)) => {
+            let task = parse_task(&flags)?;
+            let model = checkpoint::load(model_path).map_err(|e| e.to_string())?;
+            let path = std::path::Path::new(snapshot_root).join("seed.gsnap");
+            model_snapshot(model, task)?
+                .save(&path)
+                .map_err(|e| e.to_string())?;
+            println!("seed snapshot written to {}", path.display());
+            Some(path)
+        }
+        (None, None) => None, // shard dirs must already hold snapshots
+    };
+
+    // Each shard is a full `gana serve` daemon run from this same binary;
+    // the supervisor appends --addr and --snapshot-dir per shard.
+    let program = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut worker_args = vec!["serve".to_string()];
+    for key in [
+        "workers",
+        "queue",
+        "stats-secs",
+        "snapshot-secs",
+        "max-batch",
+        "batch-window-us",
+    ] {
+        if let Some(value) = flags.get(key) {
+            worker_args.push(format!("--{key}"));
+            worker_args.push(value.to_string());
+        }
+    }
+    if !flags.contains_key("workers") {
+        // Shards multiply processes; default each to one worker thread.
+        worker_args.push("--workers".to_string());
+        worker_args.push("1".to_string());
+    }
+
+    let mut config = ClusterConfig::new(
+        shards,
+        snapshot_root,
+        ShardCommand {
+            program,
+            args: worker_args,
+        },
+    );
+    config.seed_snapshot = seed_snapshot;
+    let cluster = Cluster::launch(config).map_err(|e| format!("cannot launch fleet: {e}"))?;
+    let router = serve_router(
+        cluster.topology(),
+        RouterConfig {
+            addr: addr.to_string(),
+            ..RouterConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "gana-shard router on {} over {} shards (snapshots under {}); send `shutdown` to stop",
+        router.local_addr(),
+        shards,
+        snapshot_root
+    );
+
+    gana::shard::sys::install_term_handler();
+    while !gana::shard::sys::term_requested() && !router.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("draining fleet (each shard writes its snapshot)");
+    cluster.shutdown();
+    router.shutdown();
+    println!("gana-shard drained and stopped");
     Ok(())
 }
 
@@ -419,20 +521,32 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_submit(args: &[String]) -> Result<(), String> {
-    use gana::serve::client::Client;
+    use gana::serve::client::{Client, RetryPolicy};
 
     let (args, binary) = extract_bool_flag(args, "binary");
+    let (args, per_shard) = extract_bool_flag(&args, "per-shard");
     let (positional, flags) = parse_flags(&args)?;
     let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
+    // Retry refused connections: the daemon (or a shard fleet) may still
+    // be booting or mid-restart.
+    let policy = RetryPolicy::default();
     let mut client = if binary {
-        Client::connect_binary(addr).map_err(|e| e.to_string())?
+        Client::connect_binary_retrying(addr, policy).map_err(|e| e.to_string())?
     } else {
-        Client::connect(addr).map_err(|e| e.to_string())?
+        Client::connect_retrying(addr, policy).map_err(|e| e.to_string())?
     };
 
     if positional.contains(&"stats") {
-        let stats = client.stats().map_err(|e| e.to_string())?;
-        println!("{stats}");
+        if per_shard {
+            let (shards, fleet) = client.fleet_stats().map_err(|e| e.to_string())?;
+            for (id, stats) in shards {
+                println!("shard {id}: {stats}");
+            }
+            println!("fleet: {fleet}");
+        } else {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("{stats}");
+        }
         return Ok(());
     }
     if positional.contains(&"shutdown") {

@@ -19,6 +19,7 @@
 //! | [`layout`] | `gana-layout` | constraint-driven symbolic placer |
 //! | [`serve`] | `gana-serve` | concurrent annotation service + TCP daemon |
 //! | [`persist`] | `gana-persist` | versioned binary snapshots for warm starts |
+//! | [`shard`] | `gana-shard` | consistent-hash router + supervised engine shards |
 //!
 //! # Quickstart
 //!
@@ -65,4 +66,5 @@ pub use gana_netlist as netlist;
 pub use gana_persist as persist;
 pub use gana_primitives as primitives;
 pub use gana_serve as serve;
+pub use gana_shard as shard;
 pub use gana_sparse as sparse;
