@@ -95,28 +95,117 @@ done
 echo "fleet drained; both shard snapshots loadable"
 rm -rf "$SHARD_DIR"
 
+echo "==> loadgen smoke (open-loop generator vs live daemon, overload behavior)"
+# End-to-end SLO check through the CLI: a healthy open-loop run must account
+# for every operation it scheduled (histogram count conservation) with
+# ordered quantiles, and a grossly over-capacity run must surface structured
+# `overloaded` rejections — never hangs, stalls, or silent disconnects —
+# while the daemon stays responsive enough to drain cleanly.
+LOAD_DIR=$(mktemp -d)
+./target/release/gana train --task ota --circuits 8 --epochs 2 \
+    --out "$LOAD_DIR/ota.ckpt" >/dev/null
+./target/release/gana serve --model "$LOAD_DIR/ota.ckpt" --task ota \
+    --addr 127.0.0.1:0 --workers 1 --queue 64 --max-batch 4 \
+    --batch-window-us auto --stats-secs 0 >"$LOAD_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    SERVE_ADDR=$(sed -n 's/^gana-serve listening on \([0-9.:]*\) .*/\1/p' "$LOAD_DIR/serve.log")
+    [ -n "$SERVE_ADDR" ] && break
+    sleep 0.2
+done
+[ -n "$SERVE_ADDR" ] || { cat "$LOAD_DIR/serve.log"; exit 1; }
+# Healthy run: well under capacity, generous deadline.
+./target/release/gana loadgen --addr "$SERVE_ADDR" --families ota \
+    --rate 25 --duration-s 2 --connections 2 --deadline-ms 1000 --seed 7 \
+    | tee "$LOAD_DIR/healthy.txt"
+grep '^loadgen-result ' "$LOAD_DIR/healthy.txt" | awk '
+    {
+        for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    }
+    END {
+        if (v["sent"] == 0) { print "ERROR: healthy run sent nothing"; exit 1 }
+        if (v["sent"] != v["hist_count"]) {
+            printf "ERROR: count conservation broken: sent %d but histogram holds %d\n", \
+                v["sent"], v["hist_count"]; exit 1
+        }
+        if (v["p50_us"] + 0 > v["p99_us"] + 0 || v["p99_us"] + 0 > v["p999_us"] + 0) {
+            printf "ERROR: quantiles out of order: p50 %d p99 %d p999 %d\n", \
+                v["p50_us"], v["p99_us"], v["p999_us"]; exit 1
+        }
+        print "healthy run: count conservation holds, quantiles ordered"
+    }'
+# Overload run: far beyond a single worker's capacity with a tight deadline
+# and enough connections that the server queue (not the client) holds the
+# backlog. The deadline-aware shed must reject with structured `overloaded`
+# errors and keep the accepted tail bounded instead of letting the queue grow.
+./target/release/gana loadgen --addr "$SERVE_ADDR" --families ota \
+    --rate 2000 --duration-s 2 --connections 64 --deadline-ms 20 --seed 7 \
+    | tee "$LOAD_DIR/overload.txt"
+grep '^loadgen-result ' "$LOAD_DIR/overload.txt" | awk '
+    {
+        for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    }
+    END {
+        if (v["sent"] != v["hist_count"]) {
+            printf "ERROR: count conservation broken under overload: sent %d, histogram %d\n", \
+                v["sent"], v["hist_count"]; exit 1
+        }
+        if (v["overloaded"] + 0 == 0) {
+            print "ERROR: 10x-capacity run produced no structured overloaded rejections"; exit 1
+        }
+        if (v["io_errors"] + 0 > 0) {
+            printf "ERROR: overload caused %d transport errors (hangs/disconnects)\n", \
+                v["io_errors"]; exit 1
+        }
+        if (v["accepted_p99_us"] + 0 > 1000000) {
+            printf "ERROR: accepted p99 unbounded under overload: %dus\n", \
+                v["accepted_p99_us"]; exit 1
+        }
+        printf "overload run: %d overloaded rejections, accepted p99 %dus (bounded)\n", \
+            v["overloaded"], v["accepted_p99_us"]
+    }'
+./target/release/gana submit shutdown --addr "$SERVE_ADDR" >/dev/null
+wait "$SERVE_PID"
+echo "daemon drained cleanly after overload"
+rm -rf "$LOAD_DIR"
+
 echo "==> bench smoke (report-only -> BENCH_pipeline.json)"
 # Absolute timings flake on shared runners, so this stage reports but never
 # gates: a bench failure is surfaced without failing CI.
 if cargo run --release -p gana-bench --bin bench-smoke; then
     echo "bench artifact: BENCH_pipeline.json"
     echo "==> bench regression check (report-only, vs committed baseline)"
-    # Diff fresh medians against the baseline committed at HEAD. Entries
-    # regressing >10% are printed for a human to judge; shared runners make
-    # absolute timings flaky, so this never fails the build.
+    # Diff fresh medians — and, where present, p99 tails — against the
+    # baseline committed at HEAD. Entries regressing >10% are printed for a
+    # human to judge; shared runners make absolute timings flaky, so this
+    # never fails the build. Entries stamped `"dirty": true` were measured
+    # on an uncommitted tree, so their numbers cannot be reproduced from
+    # the stamped commit: warn loudly on either side of the diff.
     if git show HEAD:BENCH_pipeline.json >/tmp/bench_baseline.json 2>/dev/null; then
         awk '
-            function parse(line) {
-                name = line; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
-                med = line; sub(/.*"median_ns": /, "", med); sub(/[^0-9].*/, "", med)
-                return name "\t" med
+            function field(line, key,    v) {
+                if (line !~ ("\"" key "\":")) return ""
+                v = line
+                sub(".*\"" key "\": ", "", v); sub(/[^0-9].*/, "", v)
+                return v
             }
             /"median_ns"/ {
-                split(parse($0), kv, "\t")
-                if (FILENAME == ARGV[1]) base[kv[1]] = kv[2]
-                else fresh[kv[1]] = kv[2]
+                name = $0; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
+                if (FILENAME == ARGV[1]) {
+                    base[name] = field($0, "median_ns")
+                    base_p99[name] = field($0, "p99_ns")
+                    if ($0 ~ /"dirty": true/) base_dirty++
+                } else {
+                    fresh[name] = field($0, "median_ns")
+                    fresh_p99[name] = field($0, "p99_ns")
+                    if ($0 ~ /"dirty": true/) fresh_dirty++
+                }
             }
             END {
+                if (base_dirty > 0)
+                    printf "WARNING: committed baseline has %d entries stamped \"dirty\": true — those numbers were measured on an uncommitted tree and cannot be reproduced from the stamped commit\n", base_dirty
+                if (fresh_dirty > 0)
+                    printf "WARNING: fresh artifact has %d entries stamped \"dirty\": true — re-run bench-smoke from a clean tree before committing it as the new baseline\n", fresh_dirty
                 worst = 0
                 for (n in fresh) {
                     if (!(n in base)) {
@@ -128,11 +217,18 @@ if cargo run --release -p gana-bench --bin bench-smoke; then
                     if (pct > 10)
                         printf "REGRESSION %s: %d -> %d ns (+%.1f%%)\n", n, base[n], fresh[n], pct
                     if (pct > worst) worst = pct
+                    if (base_p99[n] != "" && fresh_p99[n] != "" && base_p99[n] > 0) {
+                        p99pct = (fresh_p99[n] - base_p99[n]) * 100.0 / base_p99[n]
+                        if (p99pct > 10)
+                            printf "TAIL REGRESSION %s: p99 %d -> %d ns (+%.1f%%)\n", \
+                                n, base_p99[n], fresh_p99[n], p99pct
+                        if (p99pct > worst) worst = p99pct
+                    }
                 }
                 for (n in base)
                     if (!(n in fresh))
                         printf "REMOVED bench %s: was %d ns in committed baseline\n", n, base[n]
-                if (worst <= 10) print "no bench regressed >10% vs committed baseline"
+                if (worst <= 10) print "no bench median or p99 regressed >10% vs committed baseline"
             }
         ' /tmp/bench_baseline.json BENCH_pipeline.json || true
     else

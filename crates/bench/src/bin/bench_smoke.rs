@@ -18,6 +18,10 @@
 //! parallelism the runner actually had; `dirty` records whether the
 //! working tree had uncommitted changes, so an artifact stamped with a
 //! commit that does not actually match the measured code is detectable.
+//! The open-loop `loadgen_p99_*` entries additionally carry `"p99_ns"`
+//! (tail latency of accepted requests at that offered-load multiple of the
+//! calibrated closed-loop rate); for those, `median_ns` is the accepted
+//! p50 and `iters` the operations sent.
 //! A 4-thread bench on a 1-core runner measures scheduling overhead, not
 //! speedup, so the summary only frames the multi-thread pair as a speedup
 //! when `nproc > 1`.
@@ -50,6 +54,9 @@ struct Measurement {
     /// serial benches). Batched entries divide the fused median by this,
     /// so every entry is a per-request cost.
     batch: usize,
+    /// Tail latency, recorded only by the open-loop loadgen entries
+    /// (medians alone cannot show overload collapse).
+    p99_ns: Option<u128>,
 }
 
 /// Runs `f` once to warm caches, then repeatedly until the time budget or
@@ -72,6 +79,7 @@ fn measure<F: FnMut()>(threads: usize, mut f: F) -> Measurement {
         iters: times.len(),
         threads,
         batch: 1,
+        p99_ns: None,
     }
 }
 
@@ -84,6 +92,7 @@ fn measure_batched<F: FnMut()>(threads: usize, batch: usize, f: F) -> Measuremen
         iters: m.iters,
         threads,
         batch,
+        p99_ns: None,
     }
 }
 
@@ -120,6 +129,7 @@ fn measure_batched_interleaved<F: FnMut(usize)>(
                 iters: samples.len(),
                 threads,
                 batch,
+                p99_ns: None,
             }
         })
         .collect()
@@ -204,9 +214,13 @@ fn to_json(results: &BTreeMap<String, Measurement>, commit: &str, nproc: usize) 
     let entries: Vec<String> = results
         .iter()
         .map(|(name, m)| {
+            let p99 = m
+                .p99_ns
+                .map(|p| format!(", \"p99_ns\": {p}"))
+                .unwrap_or_default();
             format!(
                 "  \"{name}\": {{ \"median_ns\": {}, \"iters\": {}, \"threads\": {}, \
-                 \"batch\": {}, \"nproc\": {nproc}, \"commit\": \"{commit}\", \
+                 \"batch\": {}{p99}, \"nproc\": {nproc}, \"commit\": \"{commit}\", \
                  \"dirty\": {dirty} }}",
                 m.median_ns, m.iters, m.threads, m.batch
             )
@@ -384,6 +398,70 @@ fn main() {
         engine.shutdown();
     }
 
+    // Open-loop tail latency vs offered load: a fresh engine behind a real
+    // TCP daemon, driven by the Poisson generator at 0.5x / 1x / 2x the
+    // calibrated closed-loop rate. The three entries trace the p99 curve CI
+    // watches: flat at 0.5x, bending at 1x, and — because deadline-aware
+    // shedding bounds the accepted queue — still bounded (not collapsing)
+    // at 2x, with the excess surfacing as `overloaded` rejections instead.
+    let loadgen_engine = std::sync::Arc::new(
+        Engine::builder()
+            .pipeline(rf_pipeline(4))
+            .workers(2)
+            .result_cache_capacity(0)
+            .max_batch(4)
+            .batch_window_auto()
+            .build(),
+    );
+    let loadgen_handle = gana_serve::server::serve(
+        std::sync::Arc::clone(&loadgen_engine),
+        gana_serve::server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stats_interval: None,
+            snapshot_interval: None,
+        },
+    )
+    .expect("loadgen daemon binds");
+    let mut loadgen_config = gana_loadgen::LoadConfig::new(loadgen_handle.local_addr().to_string());
+    loadgen_config.families = vec![gana_loadgen::Family::Rf];
+    // Enough connections that past saturation the backlog queues in the
+    // server (where the deadline-aware shed can see it), not the client.
+    loadgen_config.connections = 32;
+    loadgen_config.duration = Duration::from_millis(1500);
+    loadgen_config.deadline = Some(Duration::from_millis(250));
+    let base_rps = gana_loadgen::calibrate_rps(&loadgen_config, Duration::from_secs(1))
+        .expect("calibration annotates");
+    eprintln!("bench: loadgen calibrated closed-loop rate {base_rps:.1} rps");
+    for (name, factor) in [
+        ("loadgen_p99_0_5x", 0.5),
+        ("loadgen_p99_1x", 1.0),
+        ("loadgen_p99_2x", 2.0),
+    ] {
+        loadgen_config.rate_rps = (base_rps * factor).max(1.0);
+        eprintln!("bench: {name} ({:.1} rps offered)", loadgen_config.rate_rps);
+        let summary = gana_loadgen::run(&loadgen_config).expect("loadgen runs");
+        eprintln!(
+            "  {} sent, {} completed, {} overloaded; accepted p50 {}us p99 {}us",
+            summary.sent,
+            summary.completed,
+            summary.overloaded,
+            summary.accepted.quantile_us(0.5),
+            summary.accepted.quantile_us(0.99),
+        );
+        results.insert(
+            name.to_string(),
+            Measurement {
+                median_ns: summary.accepted.quantile_us(0.5) as u128 * 1_000,
+                iters: summary.sent as usize,
+                threads: loadgen_config.connections,
+                batch: 1,
+                p99_ns: Some(summary.accepted.quantile_us(0.99) as u128 * 1_000),
+            },
+        );
+    }
+    loadgen_handle.shutdown();
+    loadgen_engine.shutdown();
+
     // Incremental re-annotation of a single-device edit against a parked
     // baseline — the edit-loop latency the incremental subsystem exists for.
     let incremental = IncrementalPipeline::new(rf_pipeline(4));
@@ -480,6 +558,19 @@ fn main() {
              (loopback TCP + routing hop included)",
             sharded.median_ns as f64 / single.median_ns as f64
         );
+    }
+
+    if let (Some(half), Some(double)) = (
+        results.get("loadgen_p99_0_5x"),
+        results.get("loadgen_p99_2x"),
+    ) {
+        if let (Some(p99_half), Some(p99_double)) = (half.p99_ns, double.p99_ns) {
+            eprintln!(
+                "open-loop accepted p99, 2x vs 0.5x offered load: {:.2}x \
+                 (bounded by deadline-aware shedding)",
+                p99_double as f64 / p99_half.max(1) as f64
+            );
+        }
     }
 
     if let (Some(cold), Some(warm)) = (

@@ -1,0 +1,616 @@
+//! `gana-loadgen`: an open-loop Poisson-arrival load generator for the
+//! gana serving stack.
+//!
+//! Closed-loop benchmarks (issue one request, wait, issue the next) can
+//! never observe queueing delay or overload collapse — the generator slows
+//! down exactly when the server does, hiding the latency it should be
+//! measuring (coordinated omission). This crate drives `gana serve` /
+//! `gana shard` the way real traffic does:
+//!
+//! * **Open loop** — arrivals follow a Poisson process at the configured
+//!   offered rate, scheduled independently of server progress. Latency is
+//!   measured from the *scheduled arrival* to completion, so time an
+//!   overloaded server makes a request spend waiting counts against it.
+//! * **Mixed workload** — single annotates, pipelined annotate batches,
+//!   and session open/update/close churn across the four generated circuit
+//!   families, with a configurable Zipf-style skew.
+//! * **HDR histograms** — every operation lands in a log-bucketed
+//!   [`LatencyHistogram`] (bounded ~3.1% relative error), mergeable across
+//!   connections; the summary reports p50/p99/p999 for accepted work and
+//!   conserves one histogram entry per operation sent for the rest.
+//!
+//! The [`run`] entry point powers both the `gana loadgen` CLI verb and the
+//! `loadgen_p99_*` bench entries recording the p99-vs-offered-load curve.
+
+use gana_core::Task;
+use gana_datasets::{ota, phased_array, rf, sc_filter};
+use gana_netlist::{write_spice, SpiceLibrary};
+use gana_serve::{Client, ClientError, HistogramSnapshot, LatencyHistogram};
+use rand::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One generated circuit family in the mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// OTA + bias networks (`Task::OtaBias` model).
+    Ota,
+    /// RF receiver chains (`Task::Rf` model).
+    Rf,
+    /// Switched-capacitor filters (`Task::Rf` model).
+    ScFilter,
+    /// Phased-array front ends (`Task::Rf` model).
+    PhasedArray,
+}
+
+impl Family {
+    /// Every family, in CLI order.
+    pub const ALL: [Family; 4] = [
+        Family::Ota,
+        Family::Rf,
+        Family::ScFilter,
+        Family::PhasedArray,
+    ];
+
+    /// The serving task whose model annotates this family.
+    pub fn task(self) -> Task {
+        match self {
+            Family::Ota => Task::OtaBias,
+            _ => Task::Rf,
+        }
+    }
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Ota => "ota",
+            Family::Rf => "rf",
+            Family::ScFilter => "sc-filter",
+            Family::PhasedArray => "phased-array",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(text: &str) -> Option<Family> {
+        Family::ALL.iter().copied().find(|f| f.name() == text)
+    }
+
+    /// Generates the `k`-th SPICE netlist of this family.
+    fn netlist(self, k: u64) -> String {
+        let circuit = match self {
+            Family::Ota => {
+                ota::generate(ota::OtaSpec {
+                    topology: ota::OtaTopology::ALL[(k as usize) % 6],
+                    pmos_input: k % 2 == 1,
+                    bias: ota::BiasStyle::ALL[(k as usize / 2) % 4],
+                    seed: k,
+                })
+                .circuit
+            }
+            Family::Rf => {
+                rf::generate(rf::ReceiverSpec {
+                    lna: rf::LnaKind::ALL[(k as usize) % 3],
+                    mixer: rf::MixerKind::ALL[(k as usize / 3) % 3],
+                    osc: rf::OscKind::ALL[(k as usize / 9) % 3],
+                    seed: k,
+                })
+                .circuit
+            }
+            Family::ScFilter => sc_filter::generate(k).circuit,
+            Family::PhasedArray => phased_array::generate(k).circuit,
+        };
+        write_spice(&SpiceLibrary::new(circuit))
+    }
+}
+
+/// Load-run configuration. Start from `LoadConfig::new(addr)` and override.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Offered load in requests per second (Poisson arrival rate).
+    pub rate_rps: f64,
+    /// How long to keep scheduling arrivals.
+    pub duration: Duration,
+    /// Concurrent client connections draining the arrival queue.
+    pub connections: usize,
+    /// Per-request deadline shipped to the server; also what the server's
+    /// deadline-aware shedding judges against. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// RNG seed: same seed + config = same arrival schedule and op mix.
+    pub seed: u64,
+    /// Zipf exponent skewing family popularity (`0` = uniform): family `i`
+    /// gets weight `1/(i+1)^skew` in the order of `families`.
+    pub skew: f64,
+    /// Fraction of operations that exercise session churn
+    /// (open/update/close) instead of stateless annotates.
+    pub session_frac: f64,
+    /// Fraction of operations sent as pipelined annotate batches.
+    pub batch_frac: f64,
+    /// Netlists per batch operation.
+    pub batch_size: usize,
+    /// Families in the mix (at least one).
+    pub families: Vec<Family>,
+    /// Distinct pre-generated netlists per family.
+    pub corpus_per_family: u64,
+    /// Speak the binary frame protocol (text otherwise).
+    pub binary: bool,
+    /// Prepend a unique comment line to every annotate/batch netlist so the
+    /// server's content-addressed result cache cannot absorb the load
+    /// (default). Disable to measure cache-hit traffic instead.
+    pub cache_bust: bool,
+}
+
+impl LoadConfig {
+    /// Defaults: 50 rps for 2 s on 4 binary connections, uniform across
+    /// all four families, 10% sessions, 10% batches of 4, 250 ms deadline.
+    pub fn new(addr: impl Into<String>) -> LoadConfig {
+        LoadConfig {
+            addr: addr.into(),
+            rate_rps: 50.0,
+            duration: Duration::from_secs(2),
+            connections: 4,
+            deadline: Some(Duration::from_millis(250)),
+            seed: 0,
+            skew: 0.0,
+            session_frac: 0.1,
+            batch_frac: 0.1,
+            batch_size: 4,
+            families: Family::ALL.to_vec(),
+            corpus_per_family: 6,
+            binary: true,
+            cache_bust: true,
+        }
+    }
+}
+
+/// Everything a finished run reports. Counter identity: `sent ==
+/// completed + overloaded + busy + deadline_expired + other_errors +
+/// io_errors == all.samples()` — every scheduled operation lands in the
+/// all-outcomes histogram exactly once.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Configured offered load (rps).
+    pub offered_rps: f64,
+    /// Completed operations per second of wall time actually spent.
+    pub achieved_rps: f64,
+    /// Wall time from first schedule to last completion.
+    pub elapsed: Duration,
+    /// Operations scheduled and executed.
+    pub sent: u64,
+    /// Operations that finished successfully.
+    pub completed: u64,
+    /// Structured `overloaded` rejections (deadline-aware shed).
+    pub overloaded: u64,
+    /// Plain `busy` (queue full) rejections.
+    pub busy: u64,
+    /// Server-side deadline expirations.
+    pub deadline_expired: u64,
+    /// Any other structured per-job error.
+    pub other_errors: u64,
+    /// Transport failures (timeouts, resets). Connections are re-dialed.
+    pub io_errors: u64,
+    /// Arrival-to-completion latency of every operation, any outcome.
+    pub all: HistogramSnapshot,
+    /// Arrival-to-completion latency of successful operations only.
+    pub accepted: HistogramSnapshot,
+}
+
+impl LoadSummary {
+    /// One `key=value` line for scripts (ci.sh's loadgen smoke parses it).
+    pub fn machine_line(&self) -> String {
+        format!(
+            "sent={} completed={} overloaded={} busy={} deadline_expired={} \
+             other_errors={} io_errors={} hist_count={} p50_us={} p99_us={} \
+             p999_us={} mean_us={} accepted_p50_us={} accepted_p99_us={} \
+             accepted_p999_us={} offered_rps={:.1} achieved_rps={:.1}",
+            self.sent,
+            self.completed,
+            self.overloaded,
+            self.busy,
+            self.deadline_expired,
+            self.other_errors,
+            self.io_errors,
+            self.all.samples(),
+            self.all.quantile_us(0.5),
+            self.all.quantile_us(0.99),
+            self.all.quantile_us(0.999),
+            self.all.mean_us(),
+            self.accepted.quantile_us(0.5),
+            self.accepted.quantile_us(0.99),
+            self.accepted.quantile_us(0.999),
+            self.offered_rps,
+            self.achieved_rps,
+        )
+    }
+}
+
+/// Outcome counters shared across connection workers.
+#[derive(Debug, Default)]
+struct Counters {
+    completed: AtomicU64,
+    overloaded: AtomicU64,
+    busy: AtomicU64,
+    deadline_expired: AtomicU64,
+    other_errors: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// What one scheduled arrival does.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    /// One stateless annotate of corpus entry `netlist` of `family`.
+    Annotate { family: usize, netlist: u64 },
+    /// A pipelined batch of `count` annotates of `family`.
+    Batch { family: usize, count: usize },
+    /// Session traffic on `family`: open on first touch, update after,
+    /// close-and-forget when `churn` (so the next touch re-opens).
+    Session {
+        family: usize,
+        netlist: u64,
+        churn: bool,
+    },
+}
+
+/// One scheduled arrival. `scheduled_at` is the Poisson arrival instant —
+/// the latency epoch — regardless of when a connection picks it up.
+struct Op {
+    scheduled_at: Instant,
+    kind: OpKind,
+}
+
+/// Pre-generated SPICE texts: `corpus[family][k]`.
+struct Corpus {
+    families: Vec<Family>,
+    netlists: Vec<Vec<String>>,
+}
+
+impl Corpus {
+    fn build(config: &LoadConfig) -> Corpus {
+        let netlists = config
+            .families
+            .iter()
+            .map(|family| {
+                (0..config.corpus_per_family.max(1))
+                    .map(|k| family.netlist(k))
+                    .collect()
+            })
+            .collect();
+        Corpus {
+            families: config.families.clone(),
+            netlists,
+        }
+    }
+
+    fn text(&self, family: usize, k: u64) -> &str {
+        let pool = &self.netlists[family];
+        &pool[(k as usize) % pool.len()]
+    }
+}
+
+/// Cumulative Zipf weights over the family list: family `i` has weight
+/// `1/(i+1)^skew`.
+fn family_cdf(count: usize, skew: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (0..count)
+        .map(|i| {
+            acc += 1.0 / ((i + 1) as f64).powf(skew);
+            acc
+        })
+        .collect();
+    if let Some(total) = cdf.last().copied() {
+        for c in &mut cdf {
+            *c /= total;
+        }
+    }
+    cdf
+}
+
+fn pick_family(cdf: &[f64], u: f64) -> usize {
+    cdf.iter()
+        .position(|&c| u < c)
+        .unwrap_or(cdf.len().saturating_sub(1))
+}
+
+fn connect(config: &LoadConfig) -> Result<Client, ClientError> {
+    let mut client = if config.binary {
+        Client::connect_binary(&config.addr)
+    } else {
+        Client::connect(&config.addr)
+    }?;
+    // A hung server must surface as an IO error, never a stuck worker.
+    client.set_io_timeout(Some(Duration::from_secs(30)))?;
+    Ok(client)
+}
+
+/// Prepends a unique comment line so the server's content-addressed
+/// result cache sees a never-before-annotated netlist (the parsed circuit
+/// is identical — `*` lines are SPICE comments).
+fn bust(text: &str, nonce: u64) -> String {
+    format!("* loadgen nonce {nonce}\n{text}")
+}
+
+/// Executes one operation; `Ok` means the server completed it. `nonce` is
+/// `Some` when the result cache should be defeated for this op.
+fn execute(
+    client: &mut Client,
+    corpus: &Corpus,
+    sessions: &mut HashMap<usize, u64>,
+    deadline: Option<Duration>,
+    kind: OpKind,
+    nonce: Option<u64>,
+) -> Result<(), ClientError> {
+    match kind {
+        OpKind::Annotate { family, netlist } => {
+            let task = corpus.families[family].task();
+            let text = corpus.text(family, netlist);
+            match nonce {
+                Some(n) => client.annotate(&bust(text, n), task, deadline).map(|_| ()),
+                None => client.annotate(text, task, deadline).map(|_| ()),
+            }
+        }
+        OpKind::Batch { family, count } => {
+            let task = corpus.families[family].task();
+            let busted: Vec<String> = match nonce {
+                Some(n) => (0..count as u64)
+                    .map(|k| bust(corpus.text(family, k), n.wrapping_add(k)))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let texts: Vec<&str> = if busted.is_empty() {
+                (0..count as u64).map(|k| corpus.text(family, k)).collect()
+            } else {
+                busted.iter().map(String::as_str).collect()
+            };
+            let results = client.annotate_batch(&texts, task, deadline)?;
+            // The batch counts as one operation; the first member error
+            // classifies it.
+            for result in results {
+                result?;
+            }
+            Ok(())
+        }
+        OpKind::Session {
+            family,
+            netlist,
+            churn,
+        } => {
+            let task = corpus.families[family].task();
+            let text = corpus.text(family, netlist);
+            match sessions.get(&family).copied() {
+                None => {
+                    let (session, _) = client.open(text, task)?;
+                    sessions.insert(family, session);
+                    Ok(())
+                }
+                Some(session) => {
+                    let result = client.update(session, text).map(|_| ());
+                    if churn {
+                        let _ = client.close(session);
+                        sessions.remove(&family);
+                    }
+                    result
+                }
+            }
+        }
+    }
+}
+
+fn classify(counters: &Counters, outcome: &Result<(), ClientError>) {
+    let cell = match outcome {
+        Ok(()) => &counters.completed,
+        Err(ClientError::Job { code, .. }) => match code.as_str() {
+            "overloaded" => &counters.overloaded,
+            "busy" => &counters.busy,
+            "deadline" => &counters.deadline_expired,
+            _ => &counters.other_errors,
+        },
+        Err(_) => &counters.io_errors,
+    };
+    cell.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Runs one open-loop load test against a live server. Blocks until every
+/// scheduled operation has a recorded outcome. Fails fast only when the
+/// initial connections cannot be established; mid-run transport errors are
+/// counted (`io_errors`) and the connection re-dialed.
+pub fn run(config: &LoadConfig) -> Result<LoadSummary, ClientError> {
+    assert!(!config.families.is_empty(), "at least one family");
+    assert!(config.rate_rps > 0.0, "offered rate must be positive");
+    let corpus = Arc::new(Corpus::build(config));
+    let all_hist = Arc::new(LatencyHistogram::default());
+    let accepted_hist = Arc::new(LatencyHistogram::default());
+    let counters = Arc::new(Counters::default());
+
+    let (op_tx, op_rx) = crossbeam::channel::unbounded::<Op>();
+    // Batch members consume `batch_size` nonces each, so ops reserve a
+    // block of ids instead of incrementing by one.
+    let nonce_stride = config.batch_size.max(1) as u64;
+    let nonces = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for _ in 0..config.connections.max(1) {
+        let client = connect(config)?;
+        let rx = op_rx.clone();
+        let corpus = Arc::clone(&corpus);
+        let all_hist = Arc::clone(&all_hist);
+        let accepted_hist = Arc::clone(&accepted_hist);
+        let counters = Arc::clone(&counters);
+        let nonces = Arc::clone(&nonces);
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Some(client);
+            let mut sessions: HashMap<usize, u64> = HashMap::new();
+            while let Ok(op) = rx.recv() {
+                let nonce = config
+                    .cache_bust
+                    .then(|| nonces.fetch_add(nonce_stride, Ordering::Relaxed));
+                let outcome = match client.as_mut() {
+                    Some(c) => {
+                        let r = execute(c, &corpus, &mut sessions, config.deadline, op.kind, nonce);
+                        if matches!(r, Err(ClientError::Io(_) | ClientError::Protocol(_))) {
+                            // The stream may hold half-read frames: drop it
+                            // and re-dial before the next op.
+                            client = connect(&config).ok();
+                            sessions.clear();
+                        }
+                        r
+                    }
+                    None => {
+                        client = connect(&config).ok();
+                        sessions.clear();
+                        Err(ClientError::Protocol("connection lost".to_string()))
+                    }
+                };
+                // Exactly one all-outcomes histogram entry per op — the
+                // count-conservation contract the smoke test asserts.
+                let latency = op.scheduled_at.elapsed();
+                all_hist.record(latency);
+                if outcome.is_ok() {
+                    accepted_hist.record(latency);
+                }
+                classify(&counters, &outcome);
+            }
+            // Leave no sessions behind on a clean drain.
+            if let Some(c) = client.as_mut() {
+                for (_, session) in sessions.drain() {
+                    let _ = c.close(session);
+                }
+            }
+        }));
+    }
+    drop(op_rx);
+
+    // Open-loop scheduler: Poisson arrivals at the offered rate. Arrivals
+    // are stamped with their *scheduled* instant; if the scheduler falls
+    // behind (it only sleeps, never works), lateness still counts into the
+    // measured latency rather than silently stretching the test.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cdf = family_cdf(config.families.len(), config.skew);
+    let start = Instant::now();
+    let mut offset = Duration::ZERO;
+    let mut sent = 0u64;
+    loop {
+        let u: f64 = rng.gen();
+        let gap = -(1.0 - u).ln() / config.rate_rps;
+        offset += Duration::from_secs_f64(gap);
+        if offset >= config.duration {
+            break;
+        }
+        let scheduled_at = start + offset;
+        if let Some(wait) = scheduled_at.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let family = pick_family(&cdf, rng.gen());
+        let netlist = rng.gen_range(0..config.corpus_per_family.max(1));
+        let mix: f64 = rng.gen();
+        let kind = if mix < config.session_frac {
+            OpKind::Session {
+                family,
+                netlist,
+                churn: rng.gen_bool(0.25),
+            }
+        } else if mix < config.session_frac + config.batch_frac {
+            OpKind::Batch {
+                family,
+                count: config.batch_size.max(1),
+            }
+        } else {
+            OpKind::Annotate { family, netlist }
+        };
+        if op_tx.send(Op { scheduled_at, kind }).is_err() {
+            break;
+        }
+        sent += 1;
+    }
+    drop(op_tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+
+    let elapsed = start.elapsed();
+    let completed = counters.completed.load(Ordering::Relaxed);
+    Ok(LoadSummary {
+        offered_rps: config.rate_rps,
+        achieved_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed,
+        sent,
+        completed,
+        overloaded: counters.overloaded.load(Ordering::Relaxed),
+        busy: counters.busy.load(Ordering::Relaxed),
+        deadline_expired: counters.deadline_expired.load(Ordering::Relaxed),
+        other_errors: counters.other_errors.load(Ordering::Relaxed),
+        io_errors: counters.io_errors.load(Ordering::Relaxed),
+        all: all_hist.snapshot(),
+        accepted: accepted_hist.snapshot(),
+    })
+}
+
+/// Closed-loop calibration: sequentially annotates corpus entries of the
+/// first configured family for `probe` wall time and returns the achieved
+/// requests per second — the denominator for "N× the sustainable rate".
+/// Honors `config.cache_bust` so calibration measures recognition, not the
+/// result cache.
+pub fn calibrate_rps(config: &LoadConfig, probe: Duration) -> Result<f64, ClientError> {
+    assert!(!config.families.is_empty(), "at least one family");
+    let family = config.families[0];
+    let texts: Vec<String> = (0..config.corpus_per_family.max(1))
+        .map(|k| family.netlist(k))
+        .collect();
+    let mut client = connect(config)?;
+    let start = Instant::now();
+    let mut done = 0u64;
+    while start.elapsed() < probe {
+        let text = &texts[(done % texts.len() as u64) as usize];
+        if config.cache_bust {
+            client.annotate(&bust(text, u64::MAX - done), family.task(), None)?;
+        } else {
+            client.annotate(text, family.task(), None)?;
+        }
+        done += 1;
+    }
+    Ok(done as f64 / start.elapsed().as_secs_f64().max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_cdf_is_normalized_and_skewed() {
+        let uniform = family_cdf(4, 0.0);
+        assert!((uniform.last().copied().unwrap() - 1.0).abs() < 1e-12);
+        assert!((uniform[0] - 0.25).abs() < 1e-12);
+        let skewed = family_cdf(4, 1.0);
+        assert!(skewed[0] > 0.4, "skew favors the first family: {skewed:?}");
+        assert_eq!(pick_family(&skewed, 0.0), 0);
+        assert_eq!(pick_family(&skewed, 0.999), 3);
+    }
+
+    #[test]
+    fn families_parse_and_generate_distinct_netlists() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+            let a = family.netlist(0);
+            let b = family.netlist(1);
+            assert!(a.contains('\n'), "{family:?} emits SPICE");
+            // sc-filter is a fixed design (its generator ignores the seed,
+            // matching the paper's single testcase); the rest vary.
+            if family != Family::ScFilter {
+                assert_ne!(a, b, "{family:?} corpus entries differ");
+            }
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+
+    #[test]
+    fn corpus_text_wraps_around() {
+        let mut config = LoadConfig::new("127.0.0.1:1");
+        config.families = vec![Family::Ota];
+        config.corpus_per_family = 2;
+        let corpus = Corpus::build(&config);
+        assert_eq!(corpus.text(0, 0), corpus.text(0, 2));
+        assert_ne!(corpus.text(0, 0), corpus.text(0, 1));
+    }
+}

@@ -105,14 +105,14 @@ impl From<io::Error> for ClientError {
 }
 
 impl ClientError {
-    /// For a structured `shard_unavailable` error, the router's suggested
-    /// wait before retrying (it advertises `retry_after_ms=N` in the
-    /// message). `None` for every other error.
+    /// For a structured `shard_unavailable` or `overloaded` error, the
+    /// server's suggested wait before retrying (both advertise
+    /// `retry_after_ms=N` in the message). `None` for every other error.
     pub fn retry_after_hint(&self) -> Option<Duration> {
         let ClientError::Job { code, message } = self else {
             return None;
         };
-        if code != "shard_unavailable" {
+        if code != "shard_unavailable" && code != "overloaded" {
             return None;
         }
         message.split_whitespace().find_map(|token| {

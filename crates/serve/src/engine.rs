@@ -77,6 +77,13 @@ pub struct EngineConfig {
     /// the earliest deadline among the batch members, so batching never
     /// delays a job past its deadline.
     pub batch_window_us: u64,
+    /// When true, ignore the fixed `batch_window_us` and derive the gather
+    /// window per batch from the observed arrival-gap EMA: wait roughly as
+    /// long as the missing batch slots are expected to take to arrive,
+    /// never more than half the mean service time (so batching adds at
+    /// most ~50% latency) and never more than 5 ms. With no traffic
+    /// history, or with a full batch already queued, the window is 0.
+    pub batch_window_auto: bool,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +99,7 @@ impl Default for EngineConfig {
             intra_threads: 0,
             max_batch: 1,
             batch_window_us: 0,
+            batch_window_auto: false,
         }
     }
 }
@@ -201,6 +209,35 @@ struct PersistState {
     save_lock: Mutex<()>,
 }
 
+/// Ceiling on the auto-tuned batch gather window. Even under pathological
+/// EMA readings, batching never holds a job longer than this.
+const MAX_AUTO_WINDOW_NS: u64 = 5_000_000;
+
+/// Pending same-session updates one drain runs before yielding the worker
+/// back to the shared queue via a [`Work::DrainSession`] marker, so a
+/// burst of edits on one session cannot monopolize a worker while other
+/// sessions' jobs sit queued behind it.
+const SESSION_DRAIN_QUANTUM: usize = 4;
+
+/// Backoff hint for an [`SubmitError::Overloaded`] rejection: how long
+/// until the estimated queue wait should have fallen back under the
+/// deadline, never less than 1 ms so clients always pause.
+fn retry_after_ms(estimated_wait: Duration, deadline: Duration) -> u64 {
+    (estimated_wait.saturating_sub(deadline).as_millis() as u64).max(1)
+}
+
+/// Racy-but-harmless exponential moving average (α = 1/8). `0` is the
+/// "no samples yet" sentinel, so updates clamp to at least 1.
+fn ema_update(cell: &AtomicU64, sample: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let next = if old == 0 {
+        sample
+    } else {
+        old - old / 8 + sample / 8
+    };
+    cell.store(next.max(1), Ordering::Relaxed);
+}
+
 struct Shared {
     pipelines: Vec<(Task, Pipeline)>,
     incremental: Vec<(Task, IncrementalPipeline)>,
@@ -221,6 +258,23 @@ struct Shared {
     workers: usize,
     max_batch: usize,
     batch_window_us: u64,
+    batch_window_auto: bool,
+    /// Per-job service time EMA (ns), fed by every processed job; `0`
+    /// until the first job completes. Drives load shedding and the auto
+    /// batch window.
+    service_ema_ns: AtomicU64,
+    /// EMA of the gap between consecutive accepted submissions (ns); `0`
+    /// until two arrivals have been seen.
+    arrival_gap_ns: AtomicU64,
+    /// Monotonic timestamp (ns since `started`) of the last accepted
+    /// submission; `0` = none yet.
+    last_arrival_ns: AtomicU64,
+    /// Engine construction time — the epoch for `last_arrival_ns`.
+    started: Instant,
+    /// Sender clone workers use to re-enqueue [`Work::DrainSession`]
+    /// fairness markers. Taken (dropped) at shutdown along with the main
+    /// sender so the channel still disconnects and workers exit.
+    requeue_tx: Mutex<Option<channel::Sender<Job>>>,
     persist: PersistState,
 }
 
@@ -237,6 +291,64 @@ impl Shared {
             .iter()
             .find(|(t, _)| *t == task)
             .map(|(_, p)| p)
+    }
+
+    /// Feeds the arrival-gap EMA from one accepted submission.
+    fn note_arrival(&self) {
+        let now_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev = self.last_arrival_ns.swap(now_ns.max(1), Ordering::Relaxed);
+        if prev != 0 && now_ns > prev {
+            ema_update(&self.arrival_gap_ns, now_ns - prev);
+        }
+    }
+
+    /// Feeds the service-time EMA with `elapsed` worker time spent over
+    /// `jobs` finished jobs (batches amortize).
+    fn note_service(&self, elapsed: Duration, jobs: u64) {
+        if jobs == 0 {
+            return;
+        }
+        let per = (elapsed.as_nanos().min(u128::from(u64::MAX)) as u64) / jobs;
+        ema_update(&self.service_ema_ns, per);
+    }
+
+    /// Expected queue wait for a submission arriving now: queued jobs times
+    /// the mean service time, spread over the worker pool. `None` until the
+    /// service EMA has a sample or when the queue is empty (a free or
+    /// soon-free worker picks it up — don't shed on an idle engine).
+    fn estimated_queue_wait(&self, queue_depth: usize) -> Option<Duration> {
+        let svc = self.service_ema_ns.load(Ordering::Relaxed);
+        if svc == 0 || queue_depth == 0 {
+            return None;
+        }
+        let wait_ns = svc.saturating_mul(queue_depth as u64) / self.workers.max(1) as u64;
+        Some(Duration::from_nanos(wait_ns))
+    }
+
+    /// The gather window for a batch starting with `queued` jobs already
+    /// waiting behind it. Fixed mode returns the configured window; auto
+    /// mode waits only as long as the missing slots are expected to take
+    /// to arrive (arrival-gap EMA), capped at half the mean service time
+    /// and at [`MAX_AUTO_WINDOW_NS`].
+    fn effective_batch_window_us(&self, queued: usize) -> u64 {
+        if !self.batch_window_auto {
+            return self.batch_window_us;
+        }
+        if queued + 1 >= self.max_batch {
+            return 0; // a full batch is already waiting: flush immediately
+        }
+        let gap = self.arrival_gap_ns.load(Ordering::Relaxed);
+        if gap == 0 {
+            return 0; // no traffic history: don't hold the first jobs hostage
+        }
+        let missing = (self.max_batch - 1 - queued) as u64;
+        let svc = self.service_ema_ns.load(Ordering::Relaxed);
+        let cap_ns = if svc == 0 {
+            MAX_AUTO_WINDOW_NS
+        } else {
+            (svc / 2).min(MAX_AUTO_WINDOW_NS)
+        };
+        gap.saturating_mul(missing).min(cap_ns) / 1_000
     }
 }
 
@@ -349,6 +461,16 @@ impl EngineBuilder {
     /// earliest deadline among the gathered jobs.
     pub fn batch_window_us(mut self, window_us: u64) -> EngineBuilder {
         self.config.batch_window_us = window_us;
+        self.config.batch_window_auto = false;
+        self
+    }
+
+    /// Auto-tunes the batch gather window from observed traffic instead of
+    /// a fixed `batch_window_us`: each batch waits roughly as long as its
+    /// missing slots are expected to take to arrive (arrival-gap EMA),
+    /// capped at half the mean service time and at 5 ms.
+    pub fn batch_window_auto(mut self) -> EngineBuilder {
+        self.config.batch_window_auto = true;
         self
     }
 
@@ -395,6 +517,12 @@ impl EngineBuilder {
             workers,
             max_batch: self.config.max_batch.max(1),
             batch_window_us: self.config.batch_window_us,
+            batch_window_auto: self.config.batch_window_auto,
+            service_ema_ns: AtomicU64::new(0),
+            arrival_gap_ns: AtomicU64::new(0),
+            last_arrival_ns: AtomicU64::new(0),
+            started: Instant::now(),
+            requeue_tx: Mutex::new(None),
             persist: PersistState {
                 path: self.snapshot_path,
                 warm_start: AtomicBool::new(self.warm_start),
@@ -402,6 +530,7 @@ impl EngineBuilder {
             },
         });
         let (tx, rx) = channel::bounded::<Job>(self.config.queue_capacity);
+        *shared.requeue_tx.lock() = Some(tx.clone());
         let handles = (0..workers)
             .map(|worker_id| {
                 let rx = rx.clone();
@@ -496,10 +625,25 @@ impl Engine {
             }
         }
 
+        // Deadline-aware shed: when the expected queue wait alone already
+        // blows the deadline, queueing the job would burn a worker on work
+        // that expires anyway. Reject up front with a retry hint instead.
+        if let Some(deadline) = request.deadline {
+            if let Some(wait) = self.shared.estimated_queue_wait(self.queue_rx.len()) {
+                if wait > deadline {
+                    self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Overloaded {
+                        retry_after_ms: retry_after_ms(wait, deadline),
+                    });
+                }
+            }
+        }
+
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let cancelled = Arc::new(AtomicBool::new(false));
         let (reply_tx, reply_rx) = channel::bounded(1);
         let now = Instant::now();
+        let deadline = request.deadline;
         let job = Job {
             id,
             work: Work::Annotate {
@@ -507,11 +651,28 @@ impl Engine {
                 task: request.task,
             },
             submitted_at: now,
-            deadline: request.deadline.map(|d| now + d),
+            deadline: deadline.map(|d| now + d),
             cancelled: Arc::clone(&cancelled),
             reply: reply_tx,
         };
-        self.enqueue(job, blocking)?;
+        match self.enqueue(job, blocking) {
+            Ok(()) => {}
+            // A deadline-carrying request bouncing off a full queue is the
+            // same overload condition as the pre-queue shed — surface it
+            // with the same structured error and hint. Deadline-less
+            // requests keep the plain QueueFull backpressure contract.
+            Err(SubmitError::QueueFull) if deadline.is_some() => {
+                let deadline = deadline.unwrap_or_default();
+                let wait = self
+                    .shared
+                    .estimated_queue_wait(self.queue_rx.len())
+                    .unwrap_or(deadline);
+                return Err(SubmitError::Overloaded {
+                    retry_after_ms: retry_after_ms(wait, deadline),
+                });
+            }
+            Err(other) => return Err(other),
+        }
         Ok(JobHandle {
             id,
             cancelled,
@@ -630,6 +791,7 @@ impl Engine {
                     .metrics
                     .submitted
                     .fetch_add(1, Ordering::Relaxed);
+                self.shared.note_arrival();
                 Ok(())
             }
             Err(SubmitError::QueueFull) => {
@@ -744,7 +906,9 @@ impl Engine {
     /// job, and join the pool. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Dropping the sender disconnects the channel once drained.
+        // Dropping the senders disconnects the channel once drained; the
+        // workers' requeue clone must go too or they would never exit.
+        self.shared.requeue_tx.lock().take();
         self.submit_tx.lock().take();
         let handles: Vec<_> = self.handles.lock().drain(..).collect();
         for handle in handles {
@@ -871,14 +1035,15 @@ fn collect_batch(
     let mut batch = Vec::new();
     let mut earliest_deadline = None;
     admit_into_batch(shared, first, &mut batch, &mut earliest_deadline);
-    let window_ends = Instant::now() + Duration::from_micros(shared.batch_window_us);
+    let window_us = shared.effective_batch_window_us(rx.len());
+    let window_ends = Instant::now() + Duration::from_micros(window_us);
     let mut stashed = None;
     while batch.len() < shared.max_batch {
         let job = match rx.try_recv() {
             Ok(job) => job,
             Err(channel::TryRecvError::Disconnected) => break,
             Err(channel::TryRecvError::Empty) => {
-                if shared.batch_window_us == 0 || batch.is_empty() {
+                if window_us == 0 || batch.is_empty() {
                     break;
                 }
                 let now = Instant::now();
@@ -938,6 +1103,8 @@ fn process_annotate_batch(
     if batch.is_empty() {
         return;
     }
+    let members = batch.len() as u64;
+    let service_start = Instant::now();
     let Some(pipeline) = shared.pipeline(task) else {
         for job in batch {
             finish_job(
@@ -1046,9 +1213,19 @@ fn process_annotate_batch(
         finish_job(shared, job.submitted_at, &job.reply, result);
     }
     shared.metrics.recognize.record(recognize_start.elapsed());
+    // The fused pass amortizes: per-job service cost is the batch elapsed
+    // divided by its members.
+    shared.note_service(service_start.elapsed(), members);
 }
 
 fn process(shared: &Shared, workspace: &Arc<Workspace>, job: Job) {
+    // Fairness marker: resume a yielded session drain. It carries no reply
+    // and records no per-job metrics — the queued updates it resumes own
+    // those.
+    if let Work::DrainSession { session } = job.work {
+        resume_session_drain(shared, workspace, session);
+        return;
+    }
     let picked_up = Instant::now();
     let Job {
         work,
@@ -1073,6 +1250,7 @@ fn process(shared: &Shared, workspace: &Arc<Workspace>, job: Job) {
         }
     }
 
+    let service_start = Instant::now();
     let result = match work {
         Work::Annotate { netlist, task } => annotate(shared, workspace, &netlist, task),
         Work::OpenSession {
@@ -1098,8 +1276,10 @@ fn process(shared: &Shared, workspace: &Arc<Workspace>, job: Job) {
             );
             return;
         }
+        Work::DrainSession { .. } => return, // handled before destructuring
         Work::Custom(work) => run_caught(work),
     };
+    shared.note_service(service_start.elapsed(), 1);
     finish_job(shared, submitted_at, &reply, result);
 }
 
@@ -1194,9 +1374,7 @@ fn open_session(
 }
 
 /// Parks an update on its session's pending queue, then drains the queue
-/// if no other worker currently is. The CAS loop re-checks after releasing
-/// drain duty so an update that raced in during the handoff is never
-/// stranded: either this worker reclaims duty or the racing pusher won it.
+/// if no other worker currently is.
 fn enqueue_session_update(
     shared: &Shared,
     workspace: &Arc<Workspace>,
@@ -1215,21 +1393,89 @@ fn enqueue_session_update(
         return;
     };
     slot.pending.lock().push_back(update);
+    drain_session(shared, workspace, session, &slot);
+}
+
+/// Resumes a drain for a [`Work::DrainSession`] marker. A session closed
+/// or drained in the meantime makes this a no-op.
+fn resume_session_drain(shared: &Shared, workspace: &Arc<Workspace>, session: u64) {
+    let Some(slot) = shared.sessions.lock().get(&session).cloned() else {
+        return;
+    };
+    drain_session(shared, workspace, session, &slot);
+}
+
+/// Drains a session's pending updates if no other worker currently is.
+///
+/// Fairness: after [`SESSION_DRAIN_QUANTUM`] updates with more still
+/// pending, the worker releases drain duty and re-enqueues a
+/// [`Work::DrainSession`] marker at the *back* of the shared queue, so
+/// jobs from other sessions that queued behind a one-session burst get a
+/// worker before the burst finishes. Duty is released **before** the
+/// marker is sent — the claiming worker's CAS must succeed — and if the
+/// requeue fails (queue full, shutdown) this worker reclaims duty and
+/// keeps draining inline rather than stranding the updates.
+///
+/// The outer CAS loop re-checks `pending` after every release so an
+/// update that raced in during the handoff is never stranded: either this
+/// worker reclaims duty or the racing pusher won it.
+fn drain_session(shared: &Shared, workspace: &Arc<Workspace>, session: u64, slot: &SessionSlot) {
     while slot
         .draining
         .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
         .is_ok()
     {
+        let mut drained = 0usize;
         loop {
+            if drained >= SESSION_DRAIN_QUANTUM && !slot.pending.lock().is_empty() {
+                slot.draining.store(false, Ordering::Release);
+                if requeue_drain(shared, session) {
+                    shared
+                        .metrics
+                        .session_yields
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if slot
+                    .draining
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    return; // a racing pusher took over the drain
+                }
+                drained = 0;
+            }
             let next = slot.pending.lock().pop_front();
             let Some(update) = next else { break };
-            run_session_update(shared, workspace, &slot, update);
+            run_session_update(shared, workspace, slot, update);
+            drained += 1;
         }
         slot.draining.store(false, Ordering::Release);
         if slot.pending.lock().is_empty() {
             break;
         }
     }
+}
+
+/// Re-enqueues a [`Work::DrainSession`] fairness marker at the back of the
+/// shared queue. Returns false when the queue is full or the engine is
+/// shutting down — the caller then keeps draining inline.
+fn requeue_drain(shared: &Shared, session: u64) -> bool {
+    let guard = shared.requeue_tx.lock();
+    let Some(tx) = guard.as_ref() else {
+        return false;
+    };
+    // The marker's reply channel is a dummy: nothing ever sends on it.
+    let (reply, _rx) = channel::bounded(1);
+    let job = Job {
+        id: 0,
+        work: Work::DrainSession { session },
+        submitted_at: Instant::now(),
+        deadline: None,
+        cancelled: Arc::new(AtomicBool::new(false)),
+        reply,
+    };
+    tx.try_send(job).is_ok()
 }
 
 /// Executes one drained update: parse outside the state lock, advance the
@@ -1262,6 +1508,7 @@ fn run_session_update(
         }
     }
 
+    let service_start = Instant::now();
     let result = (|| {
         let flat = parse_flat(shared, &netlist)?;
         let mut state = slot.state.lock();
@@ -1284,6 +1531,7 @@ fn run_session_update(
         state.baseline = next;
         Ok(annotation)
     })();
+    shared.note_service(service_start.elapsed(), 1);
     finish_job(shared, submitted_at, &reply, result);
 }
 
@@ -1629,6 +1877,139 @@ mod tests {
         assert_eq!(stats.batched_requests, 0);
         assert_eq!(stats.batch_size_p50, 0);
         assert_eq!(stats.batch_flush_deadline, 0);
+    }
+
+    #[test]
+    fn deadline_aware_shed_returns_overloaded() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .result_cache_capacity(0)
+            .build();
+        // Warm the service EMA with a measurably slow job.
+        engine
+            .submit_custom(Box::new(|| {
+                std::thread::sleep(Duration::from_millis(40));
+                Err(JobError::Internal("timing probe".to_string()))
+            }))
+            .expect("accepted")
+            .wait()
+            .expect_err("probe result");
+        // Occupy the lone worker behind a gate, then pile up queue depth.
+        let (gate_tx, gate_rx) = channel::bounded::<()>(1);
+        let busy = engine
+            .submit_custom(Box::new(move || {
+                let _ = gate_rx.recv();
+                Err(JobError::Internal("gated".to_string()))
+            }))
+            .expect("accepted");
+        let queued: Vec<_> = (0..3)
+            .map(|_| {
+                engine
+                    .submit_custom(Box::new(|| Err(JobError::Internal("filler".to_string()))))
+                    .expect("accepted")
+            })
+            .collect();
+        // ~40 ms EMA × 3 queued on 1 worker ≫ a 1 ms deadline: shed.
+        let err = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias).with_deadline(Duration::from_millis(1)))
+            .expect_err("sheds before queueing");
+        assert!(
+            matches!(err, SubmitError::Overloaded { retry_after_ms } if retry_after_ms >= 1),
+            "{err:?}"
+        );
+        // A deadline-less submission still queues: shedding never touches
+        // the plain backpressure path.
+        let no_deadline = engine
+            .submit(JobRequest::new(OTA, Task::OtaBias))
+            .expect("deadline-less submissions bypass the shed");
+        assert_eq!(engine.stats().shed, 1);
+        let _ = gate_tx.send(());
+        let _ = busy.wait();
+        for handle in queued {
+            let _ = handle.wait();
+        }
+        no_deadline.wait().expect("annotates once the queue drains");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn session_drain_yields_after_quantum() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .build();
+        let (session, handle) = engine
+            .open_session(JobRequest::new(OTA, Task::OtaBias))
+            .expect("admits");
+        handle.wait().expect("opens");
+        let slot = engine
+            .shared
+            .sessions
+            .lock()
+            .get(&session)
+            .cloned()
+            .expect("open slot");
+        // Stage a burst longer than two quanta directly on the pending
+        // queue, then drain from this thread: the drain must yield via a
+        // DrainSession marker (resumed by the engine's worker) and still
+        // deliver every reply.
+        let n = SESSION_DRAIN_QUANTUM * 2 + 1;
+        let mut replies = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = channel::bounded(1);
+            slot.pending.lock().push_back(PendingUpdate {
+                netlist: OTA.to_string(),
+                submitted_at: Instant::now(),
+                deadline: None,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                reply: tx,
+            });
+            replies.push(rx);
+        }
+        drain_session(&engine.shared, &engine.shared.workspaces[0], session, &slot);
+        for rx in replies {
+            rx.recv_timeout(Duration::from_secs(60))
+                .expect("reply delivered")
+                .expect("update succeeds");
+        }
+        assert!(engine.stats().session_yields >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn auto_batch_window_tracks_traffic() {
+        let engine = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .max_batch(8)
+            .batch_window_auto()
+            .build();
+        let shared = &engine.shared;
+        // No traffic history yet: flush immediately.
+        assert_eq!(shared.effective_batch_window_us(0), 0);
+        shared.arrival_gap_ns.store(100_000, Ordering::Relaxed); // 100 µs gaps
+        shared.service_ema_ns.store(4_000_000, Ordering::Relaxed); // 4 ms svc
+                                                                   // 3 queued + the batch head = 4 of 8: wait ≈ 4 missing × 100 µs.
+        assert_eq!(shared.effective_batch_window_us(3), 400);
+        // Slow arrivals: capped at half the mean service time.
+        shared.arrival_gap_ns.store(3_000_000, Ordering::Relaxed);
+        assert_eq!(shared.effective_batch_window_us(3), 2_000);
+        // Pathological service EMA: the hard 5 ms ceiling holds.
+        shared
+            .service_ema_ns
+            .store(1_000_000_000, Ordering::Relaxed);
+        assert_eq!(shared.effective_batch_window_us(0), 5_000);
+        // A full batch already queued flushes immediately.
+        assert_eq!(shared.effective_batch_window_us(7), 0);
+        // Fixed mode ignores the EMAs entirely.
+        let fixed = Engine::builder()
+            .pipeline(tiny_pipeline(Task::OtaBias))
+            .workers(1)
+            .max_batch(8)
+            .batch_window_us(250)
+            .build();
+        assert_eq!(fixed.shared.effective_batch_window_us(0), 250);
     }
 
     #[test]

@@ -142,6 +142,14 @@ pub type JobResult = Result<Arc<Annotation>, JobError>;
 pub enum SubmitError {
     /// Bounded queue at capacity — the explicit backpressure signal.
     QueueFull,
+    /// Deadline-aware shed: the estimated queue wait already exceeds the
+    /// request's deadline, so queueing it would only burn a worker on a
+    /// job that times out anyway. The hint tells the client when retrying
+    /// is expected to succeed.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The engine is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -150,6 +158,10 @@ impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::Overloaded { retry_after_ms } => write!(
+                f,
+                "overloaded: queue wait exceeds deadline, retry_after_ms={retry_after_ms}"
+            ),
             SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
         }
     }
@@ -219,6 +231,13 @@ pub(crate) enum Work {
         /// Raw SPICE text of the edited netlist.
         netlist: String,
     },
+    /// Fairness marker re-enqueued by a worker that yielded a session's
+    /// pending-update drain after its quantum; the claiming worker resumes
+    /// the drain. Carries no reply — the queued updates own the replies.
+    DrainSession {
+        /// Session whose pending queue still holds updates.
+        session: u64,
+    },
     /// Arbitrary closure, used by tests and benches to model slow or
     /// misbehaving jobs deterministically.
     #[allow(clippy::type_complexity)]
@@ -247,6 +266,10 @@ impl fmt::Debug for Work {
                 .debug_struct("UpdateSession")
                 .field("session", session)
                 .field("netlist_bytes", &netlist.len())
+                .finish(),
+            Work::DrainSession { session } => f
+                .debug_struct("DrainSession")
+                .field("session", session)
                 .finish(),
             Work::Custom(_) => f.write_str("Custom(..)"),
         }

@@ -1,10 +1,14 @@
 //! Lock-free service metrics: counters plus per-stage latency histograms.
 //!
-//! Latencies land in logarithmic (power-of-two microsecond) buckets, so a
-//! histogram is a fixed array of atomics — recording is wait-free and a
-//! quantile read is a single sweep. Quantiles are therefore bucket-upper-bound
-//! approximations (within 2× of the true value), which is plenty for spotting
-//! regressions and overload.
+//! Latencies land in an HDR-style log-linear histogram: microsecond values
+//! bucket by their power-of-two octave, and each octave splits into
+//! `2^SUB_BITS` linear sub-buckets. A histogram is therefore a fixed array
+//! of atomics — recording is wait-free, a quantile read is a single sweep,
+//! and the reported quantile is the bucket's upper bound, so it can
+//! overshoot the true value by at most `1/2^SUB_BITS` (~3.1%) relative
+//! error. Snapshots are sparse, mergeable across shards and connections,
+//! and survive the stats wire format, which is what lets `fleetstats`
+//! aggregate real fleet percentiles instead of taking the worst shard.
 
 use gana_incremental::RegionCacheStats;
 use gana_par::GaugeSnapshot;
@@ -12,12 +16,48 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-const BUCKETS: usize = 40;
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantile error
+/// at `1/2^SUB_BITS` (3.125%). Values below `2^SUB_BITS` µs are exact.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Buckets covering the full `u64` microsecond range: one exact region of
+/// `SUB_COUNT` single-value buckets, then `SUB_COUNT` per octave.
+const HIST_BUCKETS: usize = (SUB_COUNT as usize) * (64 - SUB_BITS as usize + 1);
 
-/// Wait-free latency histogram over power-of-two microsecond buckets.
+/// Bucket index for a microsecond value. Total order preserving: a larger
+/// value never lands in a smaller bucket.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_COUNT {
+        return us as usize;
+    }
+    let octave = 63 - u64::from(us.leading_zeros());
+    let sub = (us >> (octave - u64::from(SUB_BITS))) - SUB_COUNT;
+    ((octave - u64::from(SUB_BITS) + 1) * SUB_COUNT + sub) as usize
+}
+
+/// Inclusive upper bound of a bucket — the value quantiles report. For the
+/// exact region this is the value itself; above it, at most `1/SUB_COUNT`
+/// over the true sample.
+fn bucket_value(index: usize) -> u64 {
+    let index = index as u64;
+    let group = index / SUB_COUNT;
+    let sub = index % SUB_COUNT;
+    if group == 0 {
+        sub
+    } else {
+        // Subtract before adding: the top bucket's bound is exactly
+        // `u64::MAX`, so `+ (1 << scale) - 1` in that order would overflow.
+        let scale = group - 1;
+        ((SUB_COUNT + sub) << scale) - 1 + (1u64 << scale)
+    }
+}
+
+/// Wait-free HDR-style latency histogram (log octaves × linear
+/// sub-buckets, bounded relative error; see the module docs).
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
+    counts: Box<[AtomicU64]>,
     total_us: AtomicU64,
     samples: AtomicU64,
 }
@@ -25,7 +65,7 @@ pub struct LatencyHistogram {
 impl Default for LatencyHistogram {
     fn default() -> LatencyHistogram {
         LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            counts: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             total_us: AtomicU64::new(0),
             samples: AtomicU64::new(0),
         }
@@ -36,8 +76,7 @@ impl LatencyHistogram {
     /// Records one duration.
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.total_us.fetch_add(us, Ordering::Relaxed);
         self.samples.fetch_add(1, Ordering::Relaxed);
     }
@@ -55,8 +94,9 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
-    /// Approximate quantile (`q` in `[0,1]`) in microseconds: the upper bound
-    /// of the bucket containing the q-th sample.
+    /// Approximate quantile (`q` in `[0,1]`) in microseconds: the upper
+    /// bound of the bucket containing the q-th sample (within ~3.1% above
+    /// the true value).
     pub fn quantile_us(&self, q: f64) -> u64 {
         let n = self.samples();
         if n == 0 {
@@ -67,18 +107,170 @@ impl LatencyHistogram {
         for (bucket, count) in self.counts.iter().enumerate() {
             seen += count.load(Ordering::Relaxed);
             if seen >= rank {
-                // Bucket b holds values with highest set bit b-1, i.e. < 2^b.
-                return if bucket == 0 { 0 } else { 1u64 << bucket };
+                return bucket_value(bucket);
             }
         }
-        1u64 << (BUCKETS - 1)
+        bucket_value(HIST_BUCKETS - 1)
+    }
+
+    /// Sparse point-in-time copy, mergeable and wire-encodable.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut samples = 0;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            let count = count.load(Ordering::Relaxed);
+            if count > 0 {
+                buckets.push((bucket as u32, count));
+                samples += count;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            samples,
+            total_us: self.total_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable sparse histogram: the nonzero buckets of a
+/// [`LatencyHistogram`] at one instant. Merging two snapshots yields
+/// exactly the histogram of the concatenated samples, so fleet and
+/// cross-connection percentiles are real percentiles, not maxima.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)` pairs, ascending by index, counts nonzero.
+    buckets: Vec<(u32, u64)>,
+    samples: u64,
+    total_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of samples across all buckets.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.samples).unwrap_or(0)
+    }
+
+    /// Same quantile rule as [`LatencyHistogram::quantile_us`].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.samples as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(bucket, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_value(bucket as usize);
+            }
+        }
+        bucket_value(HIST_BUCKETS - 1)
+    }
+
+    /// Folds `other` into `self`: bucket-wise sum, exactly the histogram of
+    /// the concatenated sample streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ai, ac)), Some(&&(bi, bc))) => {
+                    if ai < bi {
+                        merged.push((ai, ac));
+                        a.next();
+                    } else if bi < ai {
+                        merged.push((bi, bc));
+                        b.next();
+                    } else {
+                        merged.push((ai, ac + bc));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.samples += other.samples;
+        self.total_us += other.total_us;
+    }
+
+    /// Compact single-token wire form: `-` when empty, otherwise
+    /// `total_us;idx:count;idx:count` (no whitespace, so it fits the
+    /// `key=value` stats line unescaped).
+    pub fn encode(&self) -> String {
+        if self.samples == 0 {
+            return "-".to_string();
+        }
+        let mut out = self.total_us.to_string();
+        for &(bucket, count) in &self.buckets {
+            out.push(';');
+            out.push_str(&bucket.to_string());
+            out.push(':');
+            out.push_str(&count.to_string());
+        }
+        out
+    }
+
+    /// Parses [`HistogramSnapshot::encode`] output. `None` on malformed
+    /// input or out-of-range bucket indexes.
+    pub fn decode(text: &str) -> Option<HistogramSnapshot> {
+        if text == "-" {
+            return Some(HistogramSnapshot::default());
+        }
+        let mut parts = text.split(';');
+        let total_us: u64 = parts.next()?.parse().ok()?;
+        let mut buckets: Vec<(u32, u64)> = Vec::new();
+        let mut samples = 0;
+        for pair in parts {
+            let (bucket, count) = pair.split_once(':')?;
+            let bucket: u32 = bucket.parse().ok()?;
+            let count: u64 = count.parse().ok()?;
+            if bucket as usize >= HIST_BUCKETS || count == 0 {
+                return None;
+            }
+            buckets.push((bucket, count));
+            samples += count;
+        }
+        if samples == 0 {
+            return None;
+        }
+        buckets.sort_unstable_by_key(|&(bucket, _)| bucket);
+        buckets.dedup_by(|&mut (b, c), &mut (prev_b, ref mut prev_c)| {
+            if b == prev_b {
+                *prev_c += c;
+                true
+            } else {
+                false
+            }
+        });
+        Some(HistogramSnapshot {
+            buckets,
+            samples,
+            total_us,
+        })
     }
 }
 
 /// Exact micro-batch sizes land in their own slot up to this cap (larger
 /// batches clamp into the last slot). Serving batches are single-digit to
 /// low-double-digit, so exact small buckets beat the latency histogram's
-/// power-of-two bounds, which would report a batch of 8 as "≤16".
+/// bounded-error buckets here.
 const SIZE_BUCKETS: usize = 65;
 
 /// Wait-free histogram over exact small integer sizes (micro-batch sizes).
@@ -139,6 +331,9 @@ pub struct Metrics {
     pub failed: AtomicU64,
     /// Submissions rejected with `QueueFull`.
     pub rejected: AtomicU64,
+    /// Submissions shed before queueing because the estimated queue wait
+    /// already exceeded their deadline (`overloaded`).
+    pub shed: AtomicU64,
     /// Jobs answered from the result cache without touching a worker.
     pub cache_hits: AtomicU64,
     /// Jobs dropped before processing (deadline passed or cancelled).
@@ -158,6 +353,9 @@ pub struct Metrics {
     /// Batch flushes forced by a member's deadline before the batch window
     /// elapsed or the batch filled.
     pub batch_flush_deadline: AtomicU64,
+    /// Session drains that handed duty back to the shared queue after the
+    /// fairness quantum, so other sessions' jobs could interleave.
+    pub session_yields: AtomicU64,
 }
 
 impl Metrics {
@@ -176,6 +374,10 @@ impl Metrics {
         workspace: WorkspaceStats,
         persistence: SnapshotGauge,
     ) -> StatsSnapshot {
+        let queue_wait = self.queue_wait.snapshot();
+        let parse = self.parse.snapshot();
+        let recognize = self.recognize.snapshot();
+        let total = self.total.snapshot();
         StatsSnapshot {
             sessions,
             snapshot_last_save_us: persistence.last_save_us,
@@ -195,23 +397,34 @@ impl Metrics {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             queue_depth,
             workers,
-            queue_wait_p50_us: self.queue_wait.quantile_us(0.5),
-            queue_wait_p95_us: self.queue_wait.quantile_us(0.95),
-            parse_p50_us: self.parse.quantile_us(0.5),
-            parse_p95_us: self.parse.quantile_us(0.95),
-            recognize_p50_us: self.recognize.quantile_us(0.5),
-            recognize_p95_us: self.recognize.quantile_us(0.95),
-            total_p50_us: self.total.quantile_us(0.5),
-            total_p95_us: self.total.quantile_us(0.95),
-            total_mean_us: self.total.mean_us(),
+            queue_wait_p50_us: queue_wait.quantile_us(0.5),
+            queue_wait_p95_us: queue_wait.quantile_us(0.95),
+            queue_wait_p99_us: queue_wait.quantile_us(0.99),
+            parse_p50_us: parse.quantile_us(0.5),
+            parse_p95_us: parse.quantile_us(0.95),
+            parse_p99_us: parse.quantile_us(0.99),
+            recognize_p50_us: recognize.quantile_us(0.5),
+            recognize_p95_us: recognize.quantile_us(0.95),
+            recognize_p99_us: recognize.quantile_us(0.99),
+            total_p50_us: total.quantile_us(0.5),
+            total_p95_us: total.quantile_us(0.95),
+            total_p99_us: total.quantile_us(0.99),
+            total_p999_us: total.quantile_us(0.999),
+            total_mean_us: total.mean_us(),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             batch_size_p50: self.batch_sizes.quantile(0.5),
             batch_size_p95: self.batch_sizes.quantile(0.95),
             batch_flush_deadline: self.batch_flush_deadline.load(Ordering::Relaxed),
+            session_yields: self.session_yields.load(Ordering::Relaxed),
+            queue_wait_hist: queue_wait,
+            parse_hist: parse,
+            recognize_hist: recognize,
+            total_hist: total,
         }
     }
 }
@@ -241,7 +454,7 @@ pub struct WorkspaceStats {
 
 /// Point-in-time view of the engine counters, used by the `stats` request
 /// and the periodic log line.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Jobs accepted into the queue.
     pub submitted: u64,
@@ -251,6 +464,8 @@ pub struct StatsSnapshot {
     pub failed: u64,
     /// Submissions rejected with `QueueFull`.
     pub rejected: u64,
+    /// Submissions shed pre-queue by deadline-aware overload protection.
+    pub shed: u64,
     /// Jobs answered from the result cache.
     pub cache_hits: u64,
     /// Jobs dropped before processing (deadline/cancel).
@@ -285,18 +500,28 @@ pub struct StatsSnapshot {
     pub queue_wait_p50_us: u64,
     /// p95 queue wait (µs).
     pub queue_wait_p95_us: u64,
+    /// p99 queue wait (µs).
+    pub queue_wait_p99_us: u64,
     /// p50 parse stage (µs).
     pub parse_p50_us: u64,
     /// p95 parse stage (µs).
     pub parse_p95_us: u64,
+    /// p99 parse stage (µs).
+    pub parse_p99_us: u64,
     /// p50 recognize stage (µs).
     pub recognize_p50_us: u64,
     /// p95 recognize stage (µs).
     pub recognize_p95_us: u64,
+    /// p99 recognize stage (µs).
+    pub recognize_p99_us: u64,
     /// p50 end-to-end (µs).
     pub total_p50_us: u64,
     /// p95 end-to-end (µs).
     pub total_p95_us: u64,
+    /// p99 end-to-end (µs).
+    pub total_p99_us: u64,
+    /// p99.9 end-to-end (µs).
+    pub total_p999_us: u64,
     /// Mean end-to-end (µs).
     pub total_mean_us: u64,
     /// Jobs served from inside a fused micro-batch of ≥ 2.
@@ -307,32 +532,46 @@ pub struct StatsSnapshot {
     pub batch_size_p95: u64,
     /// Batch flushes forced early by a member's deadline.
     pub batch_flush_deadline: u64,
+    /// Session drains yielded back to the queue for fairness.
+    pub session_yields: u64,
     /// Microseconds since the last successful snapshot save (`0` = never).
     pub snapshot_last_save_us: u64,
     /// Size in bytes of the last written snapshot (`0` = none).
     pub snapshot_bytes: u64,
     /// True when the engine warm-started from a snapshot at boot.
     pub warm_start: bool,
+    /// Full queue-wait distribution (sparse, mergeable).
+    pub queue_wait_hist: HistogramSnapshot,
+    /// Full parse-stage distribution.
+    pub parse_hist: HistogramSnapshot,
+    /// Full recognize-stage distribution.
+    pub recognize_hist: HistogramSnapshot,
+    /// Full end-to-end distribution.
+    pub total_hist: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
     /// Serializes as the `key=value` pairs used on the wire.
     pub fn to_wire(&self) -> String {
         format!(
-            "submitted={} completed={} failed={} rejected={} cache_hits={} expired={} \
+            "submitted={} completed={} failed={} rejected={} shed={} cache_hits={} expired={} \
              sessions={} region_hits={} region_misses={} region_evictions={} \
              region_splices={} region_bytes={} \
              queue_depth={} workers={} intra_pool_size={} intra_busy={} intra_queued={} \
              templates_pruned={} workspace_high_water_bytes={} \
              batched_requests={} batch_size_p50={} batch_size_p95={} batch_flush_deadline={} \
+             session_yields={} \
              snapshot_last_save_us={} snapshot_bytes={} warm_start={} \
-             queue_wait_p50_us={} queue_wait_p95_us={} \
-             parse_p50_us={} parse_p95_us={} recognize_p50_us={} recognize_p95_us={} \
-             total_p50_us={} total_p95_us={} total_mean_us={}",
+             queue_wait_p50_us={} queue_wait_p95_us={} queue_wait_p99_us={} \
+             parse_p50_us={} parse_p95_us={} parse_p99_us={} \
+             recognize_p50_us={} recognize_p95_us={} recognize_p99_us={} \
+             total_p50_us={} total_p95_us={} total_p99_us={} total_p999_us={} total_mean_us={} \
+             queue_wait_hist={} parse_hist={} recognize_hist={} total_hist={}",
             self.submitted,
             self.completed,
             self.failed,
             self.rejected,
+            self.shed,
             self.cache_hits,
             self.expired,
             self.sessions,
@@ -352,27 +591,41 @@ impl StatsSnapshot {
             self.batch_size_p50,
             self.batch_size_p95,
             self.batch_flush_deadline,
+            self.session_yields,
             self.snapshot_last_save_us,
             self.snapshot_bytes,
             u64::from(self.warm_start),
             self.queue_wait_p50_us,
             self.queue_wait_p95_us,
+            self.queue_wait_p99_us,
             self.parse_p50_us,
             self.parse_p95_us,
+            self.parse_p99_us,
             self.recognize_p50_us,
             self.recognize_p95_us,
+            self.recognize_p99_us,
             self.total_p50_us,
             self.total_p95_us,
+            self.total_p99_us,
+            self.total_p999_us,
             self.total_mean_us,
+            self.queue_wait_hist.encode(),
+            self.parse_hist.encode(),
+            self.recognize_hist.encode(),
+            self.total_hist.encode(),
         )
     }
 
     /// Folds per-shard snapshots into one fleet view. Counters and gauges
     /// that add up across processes (job counts, cache traffic, queue
-    /// depth, worker/session totals) are summed; percentile and high-water
-    /// figures are not additive, so the fleet reports the worst shard
-    /// (max); `warm_start` is true only when every shard warm-started.
-    /// Aggregating nothing yields the default (all-zero) snapshot.
+    /// depth, worker/session totals) are summed; per-stage histograms are
+    /// merged bucket-wise and every percentile field is recomputed from
+    /// the merged distribution — a real fleet percentile. A stage whose
+    /// merged histogram is empty (e.g. snapshots from a build that did not
+    /// send histograms) falls back to the worst shard (max), as do
+    /// non-mergeable high-water figures; `warm_start` is true only when
+    /// every shard warm-started. Aggregating nothing yields the default
+    /// (all-zero) snapshot.
     pub fn aggregate<'a>(shards: impl IntoIterator<Item = &'a StatsSnapshot>) -> StatsSnapshot {
         let mut fleet = StatsSnapshot::default();
         let mut any = false;
@@ -381,6 +634,7 @@ impl StatsSnapshot {
             fleet.completed += shard.completed;
             fleet.failed += shard.failed;
             fleet.rejected += shard.rejected;
+            fleet.shed += shard.shed;
             fleet.cache_hits += shard.cache_hits;
             fleet.expired += shard.expired;
             fleet.sessions += shard.sessions;
@@ -397,18 +651,24 @@ impl StatsSnapshot {
             fleet.templates_pruned += shard.templates_pruned;
             fleet.batched_requests += shard.batched_requests;
             fleet.batch_flush_deadline += shard.batch_flush_deadline;
+            fleet.session_yields += shard.session_yields;
             fleet.snapshot_bytes += shard.snapshot_bytes;
             fleet.workspace_high_water_bytes = fleet
                 .workspace_high_water_bytes
                 .max(shard.workspace_high_water_bytes);
             fleet.queue_wait_p50_us = fleet.queue_wait_p50_us.max(shard.queue_wait_p50_us);
             fleet.queue_wait_p95_us = fleet.queue_wait_p95_us.max(shard.queue_wait_p95_us);
+            fleet.queue_wait_p99_us = fleet.queue_wait_p99_us.max(shard.queue_wait_p99_us);
             fleet.parse_p50_us = fleet.parse_p50_us.max(shard.parse_p50_us);
             fleet.parse_p95_us = fleet.parse_p95_us.max(shard.parse_p95_us);
+            fleet.parse_p99_us = fleet.parse_p99_us.max(shard.parse_p99_us);
             fleet.recognize_p50_us = fleet.recognize_p50_us.max(shard.recognize_p50_us);
             fleet.recognize_p95_us = fleet.recognize_p95_us.max(shard.recognize_p95_us);
+            fleet.recognize_p99_us = fleet.recognize_p99_us.max(shard.recognize_p99_us);
             fleet.total_p50_us = fleet.total_p50_us.max(shard.total_p50_us);
             fleet.total_p95_us = fleet.total_p95_us.max(shard.total_p95_us);
+            fleet.total_p99_us = fleet.total_p99_us.max(shard.total_p99_us);
+            fleet.total_p999_us = fleet.total_p999_us.max(shard.total_p999_us);
             fleet.total_mean_us = fleet.total_mean_us.max(shard.total_mean_us);
             fleet.batch_size_p50 = fleet.batch_size_p50.max(shard.batch_size_p50);
             fleet.batch_size_p95 = fleet.batch_size_p95.max(shard.batch_size_p95);
@@ -420,7 +680,33 @@ impl StatsSnapshot {
             } else {
                 shard.warm_start
             };
+            fleet.queue_wait_hist.merge(&shard.queue_wait_hist);
+            fleet.parse_hist.merge(&shard.parse_hist);
+            fleet.recognize_hist.merge(&shard.recognize_hist);
+            fleet.total_hist.merge(&shard.total_hist);
             any = true;
+        }
+        if fleet.queue_wait_hist.samples() > 0 {
+            fleet.queue_wait_p50_us = fleet.queue_wait_hist.quantile_us(0.5);
+            fleet.queue_wait_p95_us = fleet.queue_wait_hist.quantile_us(0.95);
+            fleet.queue_wait_p99_us = fleet.queue_wait_hist.quantile_us(0.99);
+        }
+        if fleet.parse_hist.samples() > 0 {
+            fleet.parse_p50_us = fleet.parse_hist.quantile_us(0.5);
+            fleet.parse_p95_us = fleet.parse_hist.quantile_us(0.95);
+            fleet.parse_p99_us = fleet.parse_hist.quantile_us(0.99);
+        }
+        if fleet.recognize_hist.samples() > 0 {
+            fleet.recognize_p50_us = fleet.recognize_hist.quantile_us(0.5);
+            fleet.recognize_p95_us = fleet.recognize_hist.quantile_us(0.95);
+            fleet.recognize_p99_us = fleet.recognize_hist.quantile_us(0.99);
+        }
+        if fleet.total_hist.samples() > 0 {
+            fleet.total_p50_us = fleet.total_hist.quantile_us(0.5);
+            fleet.total_p95_us = fleet.total_hist.quantile_us(0.95);
+            fleet.total_p99_us = fleet.total_hist.quantile_us(0.99);
+            fleet.total_p999_us = fleet.total_hist.quantile_us(0.999);
+            fleet.total_mean_us = fleet.total_hist.mean_us();
         }
         fleet
     }
@@ -430,44 +716,59 @@ impl StatsSnapshot {
         let mut snap = StatsSnapshot::default();
         for pair in text.split_whitespace() {
             let (key, value) = pair.split_once('=')?;
-            let n: u64 = value.parse().ok()?;
             match key {
-                "submitted" => snap.submitted = n,
-                "completed" => snap.completed = n,
-                "failed" => snap.failed = n,
-                "rejected" => snap.rejected = n,
-                "cache_hits" => snap.cache_hits = n,
-                "expired" => snap.expired = n,
-                "sessions" => snap.sessions = n as usize,
-                "region_hits" => snap.region_hits = n,
-                "region_misses" => snap.region_misses = n,
-                "region_evictions" => snap.region_evictions = n,
-                "region_splices" => snap.region_splices = n,
-                "region_bytes" => snap.region_bytes = n,
-                "queue_depth" => snap.queue_depth = n as usize,
-                "workers" => snap.workers = n as usize,
-                "intra_pool_size" => snap.intra_pool_size = n as usize,
-                "intra_busy" => snap.intra_busy = n as usize,
-                "intra_queued" => snap.intra_queued = n as usize,
-                "templates_pruned" => snap.templates_pruned = n,
-                "workspace_high_water_bytes" => snap.workspace_high_water_bytes = n,
-                "queue_wait_p50_us" => snap.queue_wait_p50_us = n,
-                "queue_wait_p95_us" => snap.queue_wait_p95_us = n,
-                "parse_p50_us" => snap.parse_p50_us = n,
-                "parse_p95_us" => snap.parse_p95_us = n,
-                "recognize_p50_us" => snap.recognize_p50_us = n,
-                "recognize_p95_us" => snap.recognize_p95_us = n,
-                "total_p50_us" => snap.total_p50_us = n,
-                "total_p95_us" => snap.total_p95_us = n,
-                "total_mean_us" => snap.total_mean_us = n,
-                "batched_requests" => snap.batched_requests = n,
-                "batch_size_p50" => snap.batch_size_p50 = n,
-                "batch_size_p95" => snap.batch_size_p95 = n,
-                "batch_flush_deadline" => snap.batch_flush_deadline = n,
-                "snapshot_last_save_us" => snap.snapshot_last_save_us = n,
-                "snapshot_bytes" => snap.snapshot_bytes = n,
-                "warm_start" => snap.warm_start = n != 0,
-                _ => return None,
+                "queue_wait_hist" => snap.queue_wait_hist = HistogramSnapshot::decode(value)?,
+                "parse_hist" => snap.parse_hist = HistogramSnapshot::decode(value)?,
+                "recognize_hist" => snap.recognize_hist = HistogramSnapshot::decode(value)?,
+                "total_hist" => snap.total_hist = HistogramSnapshot::decode(value)?,
+                _ => {
+                    let n: u64 = value.parse().ok()?;
+                    match key {
+                        "submitted" => snap.submitted = n,
+                        "completed" => snap.completed = n,
+                        "failed" => snap.failed = n,
+                        "rejected" => snap.rejected = n,
+                        "shed" => snap.shed = n,
+                        "cache_hits" => snap.cache_hits = n,
+                        "expired" => snap.expired = n,
+                        "sessions" => snap.sessions = n as usize,
+                        "region_hits" => snap.region_hits = n,
+                        "region_misses" => snap.region_misses = n,
+                        "region_evictions" => snap.region_evictions = n,
+                        "region_splices" => snap.region_splices = n,
+                        "region_bytes" => snap.region_bytes = n,
+                        "queue_depth" => snap.queue_depth = n as usize,
+                        "workers" => snap.workers = n as usize,
+                        "intra_pool_size" => snap.intra_pool_size = n as usize,
+                        "intra_busy" => snap.intra_busy = n as usize,
+                        "intra_queued" => snap.intra_queued = n as usize,
+                        "templates_pruned" => snap.templates_pruned = n,
+                        "workspace_high_water_bytes" => snap.workspace_high_water_bytes = n,
+                        "queue_wait_p50_us" => snap.queue_wait_p50_us = n,
+                        "queue_wait_p95_us" => snap.queue_wait_p95_us = n,
+                        "queue_wait_p99_us" => snap.queue_wait_p99_us = n,
+                        "parse_p50_us" => snap.parse_p50_us = n,
+                        "parse_p95_us" => snap.parse_p95_us = n,
+                        "parse_p99_us" => snap.parse_p99_us = n,
+                        "recognize_p50_us" => snap.recognize_p50_us = n,
+                        "recognize_p95_us" => snap.recognize_p95_us = n,
+                        "recognize_p99_us" => snap.recognize_p99_us = n,
+                        "total_p50_us" => snap.total_p50_us = n,
+                        "total_p95_us" => snap.total_p95_us = n,
+                        "total_p99_us" => snap.total_p99_us = n,
+                        "total_p999_us" => snap.total_p999_us = n,
+                        "total_mean_us" => snap.total_mean_us = n,
+                        "batched_requests" => snap.batched_requests = n,
+                        "batch_size_p50" => snap.batch_size_p50 = n,
+                        "batch_size_p95" => snap.batch_size_p95 = n,
+                        "batch_flush_deadline" => snap.batch_flush_deadline = n,
+                        "session_yields" => snap.session_yields = n,
+                        "snapshot_last_save_us" => snap.snapshot_last_save_us = n,
+                        "snapshot_bytes" => snap.snapshot_bytes = n,
+                        "warm_start" => snap.warm_start = n != 0,
+                        _ => return None,
+                    }
+                }
             }
         }
         Some(snap)
@@ -515,17 +816,19 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "jobs: {} submitted, {} completed, {} failed, {} rejected, {} cache hits, \
-             {} expired | sessions: {} open, region cache {}/{} hit, {} spliced, \
-             {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
+            "jobs: {} submitted, {} completed, {} failed, {} rejected, {} shed, \
+             {} cache hits, {} expired | sessions: {} open, region cache {}/{} hit, \
+             {} spliced, {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
              {} threads/worker, {} busy, {} queued | workspace: {} templates \
              pruned, {} B peak | batch: {} fused jobs, size p50/p95 {}/{}, \
-             {} deadline flushes | snapshot: {} | latency: \
-             wait p50/p95 {}/{}, parse {}/{}, recognize {}/{}, total {}/{} (mean {})",
+             {} deadline flushes, {} session yields | snapshot: {} | latency \
+             p50/p95/p99: wait {}/{}/{}, parse {}/{}/{}, recognize {}/{}/{}, \
+             total {}/{}/{} (p999 {}, mean {})",
             self.submitted,
             self.completed,
             self.failed,
             self.rejected,
+            self.shed,
             self.cache_hits,
             self.expired,
             self.sessions,
@@ -545,15 +848,21 @@ impl fmt::Display for StatsSnapshot {
             self.batch_size_p50,
             self.batch_size_p95,
             self.batch_flush_deadline,
+            self.session_yields,
             self.snapshot_summary(),
             human_us(self.queue_wait_p50_us),
             human_us(self.queue_wait_p95_us),
+            human_us(self.queue_wait_p99_us),
             human_us(self.parse_p50_us),
             human_us(self.parse_p95_us),
+            human_us(self.parse_p99_us),
             human_us(self.recognize_p50_us),
             human_us(self.recognize_p95_us),
+            human_us(self.recognize_p99_us),
             human_us(self.total_p50_us),
             human_us(self.total_p95_us),
+            human_us(self.total_p99_us),
+            human_us(self.total_p999_us),
             human_us(self.total_mean_us),
         )
     }
@@ -570,11 +879,100 @@ mod tests {
             h.record(Duration::from_micros(us));
         }
         assert_eq!(h.samples(), 5);
-        let p50 = h.quantile_us(0.5);
-        assert!((16..=64).contains(&p50), "p50 bucket bound: {p50}");
+        // Sub-32µs values land in exact buckets.
+        assert_eq!(h.quantile_us(0.5), 30);
         let p95 = h.quantile_us(0.95);
         assert!(p95 >= 1000, "p95 covers the outlier: {p95}");
         assert_eq!(h.mean_us(), (10 + 20 + 30 + 40 + 1000) / 5);
+    }
+
+    #[test]
+    fn histogram_relative_error_is_bounded() {
+        // The reported quantile for a single-sample histogram is that
+        // bucket's upper bound: never below the sample, and at most
+        // 1/SUB_COUNT (plus the integer bucket edge) above it.
+        for value in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            65_537,
+            1_000_000,
+            u64::MAX / 3,
+        ] {
+            let h = LatencyHistogram::default();
+            h.record(Duration::from_micros(value));
+            let reported = h.quantile_us(0.5);
+            assert!(reported >= value, "value {value}: reported {reported}");
+            let bound = value + value / SUB_COUNT + 1;
+            assert!(
+                reported <= bound,
+                "value {value}: reported {reported} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic_and_value_inverts_it() {
+        let mut prev = 0usize;
+        for us in (0..4096u64).chain((12..40).map(|b| (1u64 << b) - 3)) {
+            let index = bucket_index(us);
+            assert!(index >= prev, "index must not decrease at {us}");
+            prev = index;
+            assert!(bucket_value(index) >= us, "upper bound covers {us}");
+            assert!(index < HIST_BUCKETS);
+        }
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_value(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_conserves_counts_and_round_trips_the_wire() {
+        let h = LatencyHistogram::default();
+        let samples = [3u64, 3, 17, 450, 450, 450, 9_000, 1_000_000];
+        for us in samples {
+            h.record(Duration::from_micros(us));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.samples(), samples.len() as u64);
+        assert_eq!(
+            snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+            samples.len() as u64,
+            "every sample is in exactly one bucket"
+        );
+        let decoded = HistogramSnapshot::decode(&snap.encode()).expect("parses");
+        assert_eq!(snap, decoded);
+        // Quantiles agree between the live histogram and its snapshot.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), snap.quantile_us(q));
+        }
+        // Empty snapshots encode as the placeholder token.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.encode(), "-");
+        assert_eq!(HistogramSnapshot::decode("-"), Some(empty));
+        assert!(HistogramSnapshot::decode("12;bogus").is_none());
+    }
+
+    #[test]
+    fn merged_snapshots_equal_concatenated_samples() {
+        let (a, b) = (LatencyHistogram::default(), LatencyHistogram::default());
+        let both = LatencyHistogram::default();
+        for us in [5u64, 80, 80, 2_000] {
+            a.record(Duration::from_micros(us));
+            both.record(Duration::from_micros(us));
+        }
+        for us in [7u64, 80, 500_000] {
+            b.record(Duration::from_micros(us));
+            both.record(Duration::from_micros(us));
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
     }
 
     #[test]
@@ -611,7 +1009,7 @@ mod tests {
         // bare 0, and ms-scale figures carry their unit.
         assert!(text.contains("parse <1µs"), "{text}");
         assert!(text.contains("recognize 2.0ms"), "{text}");
-        assert!(text.contains("(mean 900µs)"), "{text}");
+        assert!(text.contains("mean 900µs)"), "{text}");
         assert!(!text.contains("latency µs:"), "{text}");
     }
 
@@ -639,9 +1037,12 @@ mod tests {
         let metrics = Metrics::default();
         metrics.submitted.store(17, Ordering::Relaxed);
         metrics.completed.store(15, Ordering::Relaxed);
+        metrics.shed.store(3, Ordering::Relaxed);
         metrics.total.record(Duration::from_micros(500));
+        metrics.queue_wait.record(Duration::from_micros(90));
         metrics.batched_requests.store(6, Ordering::Relaxed);
         metrics.batch_flush_deadline.store(2, Ordering::Relaxed);
+        metrics.session_yields.store(4, Ordering::Relaxed);
         metrics.batch_sizes.record(3);
         metrics.batch_sizes.record(8);
         let region = RegionCacheStats {
@@ -684,9 +1085,45 @@ mod tests {
         assert_eq!(snap.batch_size_p50, 3);
         assert_eq!(snap.batch_size_p95, 8);
         assert_eq!(snap.batch_flush_deadline, 2);
+        assert_eq!(snap.shed, 3);
+        assert_eq!(snap.session_yields, 4);
+        assert_eq!(snap.total_hist.samples(), 1);
+        assert_eq!(snap.queue_wait_hist.samples(), 1);
         let wire = snap.to_wire();
         let back = StatsSnapshot::from_wire(&wire).expect("parses");
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn aggregate_merges_histograms_into_fleet_percentiles() {
+        // Shard A saw fast jobs, shard B slow ones; the fleet p50 must sit
+        // between them (a real merged percentile), not at shard B's p50
+        // (the old worst-shard max rule).
+        let (fast, slow) = (Metrics::default(), Metrics::default());
+        for _ in 0..90 {
+            fast.total.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            slow.total.record(Duration::from_micros(10_000));
+        }
+        let a = StatsSnapshot {
+            total_p50_us: fast.total.quantile_us(0.5),
+            total_hist: fast.total.snapshot(),
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            total_p50_us: slow.total.quantile_us(0.5),
+            total_hist: slow.total.snapshot(),
+            ..StatsSnapshot::default()
+        };
+        let fleet = StatsSnapshot::aggregate([&a, &b]);
+        assert_eq!(fleet.total_hist.samples(), 100);
+        assert!(
+            fleet.total_p50_us <= 104,
+            "fleet p50 ~100µs, not the slow shard's 10ms: {}",
+            fleet.total_p50_us
+        );
+        assert!(fleet.total_p999_us >= 10_000, "tail sees the slow shard");
     }
 
     #[test]
@@ -695,12 +1132,14 @@ mod tests {
             submitted: 10,
             completed: 9,
             failed: 1,
+            shed: 2,
             sessions: 2,
             queue_depth: 3,
             workers: 4,
             region_hits: 7,
             region_bytes: 100,
             total_p95_us: 800,
+            session_yields: 1,
             workspace_high_water_bytes: 4096,
             snapshot_last_save_us: 1_000,
             snapshot_bytes: 50,
@@ -710,12 +1149,14 @@ mod tests {
         let b = StatsSnapshot {
             submitted: 5,
             completed: 5,
+            shed: 1,
             sessions: 1,
             queue_depth: 1,
             workers: 4,
             region_hits: 2,
             region_bytes: 40,
             total_p95_us: 1200,
+            session_yields: 2,
             workspace_high_water_bytes: 1024,
             snapshot_last_save_us: 9_000,
             snapshot_bytes: 60,
@@ -726,12 +1167,17 @@ mod tests {
         assert_eq!(fleet.submitted, 15);
         assert_eq!(fleet.completed, 14);
         assert_eq!(fleet.failed, 1);
+        assert_eq!(fleet.shed, 3);
         assert_eq!(fleet.sessions, 3);
         assert_eq!(fleet.queue_depth, 4);
         assert_eq!(fleet.workers, 8);
         assert_eq!(fleet.region_hits, 9);
         assert_eq!(fleet.region_bytes, 140);
-        assert_eq!(fleet.total_p95_us, 1200, "worst shard, not a sum");
+        assert_eq!(fleet.session_yields, 3);
+        assert_eq!(
+            fleet.total_p95_us, 1200,
+            "no histograms: falls back to worst shard"
+        );
         assert_eq!(fleet.workspace_high_water_bytes, 4096);
         assert_eq!(fleet.snapshot_last_save_us, 9_000, "oldest save wins");
         assert_eq!(fleet.snapshot_bytes, 110);

@@ -298,11 +298,7 @@ fn dispatch_loop(
                         }
                         Err(err) => Response::from_job_error(&err),
                     },
-                    Err(SubmitError::QueueFull) => Response::Err {
-                        code: "busy".into(),
-                        message: SubmitError::QueueFull.to_string(),
-                    },
-                    Err(SubmitError::ShuttingDown) => Response::from_job_error(&JobError::Shutdown),
+                    Err(err) => submit_error_response(err),
                 };
                 transport.write_response(&response)?;
             }
@@ -315,11 +311,7 @@ fn dispatch_loop(
                         },
                         Err(err) => Response::from_job_error(&err),
                     },
-                    Err(SubmitError::QueueFull) => Response::Err {
-                        code: "busy".into(),
-                        message: SubmitError::QueueFull.to_string(),
-                    },
-                    Err(SubmitError::ShuttingDown) => Response::from_job_error(&JobError::Shutdown),
+                    Err(err) => submit_error_response(err),
                 };
                 transport.write_response(&response)?;
             }
@@ -394,13 +386,26 @@ fn submit_one(
     if let Some(ms) = deadline_ms {
         request = request.with_deadline(Duration::from_millis(ms));
     }
-    shared.engine.submit(request).map_err(|err| match err {
+    shared.engine.submit(request).map_err(submit_error_response)
+}
+
+/// Maps an admission failure to its wire response: `QueueFull` stays the
+/// plain `busy` backpressure signal, while a deadline-aware shed becomes a
+/// structured `overloaded` error whose message carries the machine-readable
+/// `retry_after_ms=N` hint ([`crate::client::ClientError::retry_after_hint`]
+/// parses it back out).
+fn submit_error_response(err: SubmitError) -> Response {
+    match err {
         SubmitError::QueueFull => Response::Err {
             code: "busy".into(),
             message: err.to_string(),
         },
+        SubmitError::Overloaded { .. } => Response::Err {
+            code: "overloaded".into(),
+            message: err.to_string(),
+        },
         SubmitError::ShuttingDown => Response::from_job_error(&JobError::Shutdown),
-    })
+    }
 }
 
 fn annotate_one(

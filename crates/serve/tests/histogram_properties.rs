@@ -1,0 +1,84 @@
+//! Property tests for the HDR-style latency histogram: merging snapshots
+//! must behave exactly like recording the concatenated sample streams, and
+//! every reported quantile must stay within the bucket error bound of the
+//! true sample quantile.
+
+use gana_serve::{HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Sub-bucket resolution of the histogram under test (2^5 linear
+/// sub-buckets per octave): the relative quantile error bound.
+const SUB_COUNT: u64 = 32;
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::default();
+    for &us in samples {
+        h.record(Duration::from_micros(us));
+    }
+    h.snapshot()
+}
+
+/// Exact sample quantile under the histogram's rank rule: the ceil(q·n)-th
+/// smallest sample (1-indexed, clamped to at least the first).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// merge(a, b) quantiles equal the quantiles of the concatenated
+    /// samples within the bucket error bound: never below the true
+    /// quantile, at most `1/SUB_COUNT` (plus the integer bucket edge)
+    /// above it.
+    #[test]
+    fn merged_quantiles_match_concatenated_samples(
+        a in proptest::collection::vec(0u64..2_000_000, 1..80),
+        b in proptest::collection::vec(0u64..2_000_000, 1..80),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged.samples(), all.len() as u64, "count conservation");
+
+        let exact = exact_quantile(&all, q);
+        let reported = merged.quantile_us(q);
+        prop_assert!(reported >= exact, "reported {reported} < exact {exact}");
+        let bound = exact + exact / SUB_COUNT + 1;
+        prop_assert!(
+            reported <= bound,
+            "reported {reported} > bound {bound} (exact {exact})"
+        );
+    }
+
+    /// Merging is order-independent and equals recording everything into
+    /// one histogram.
+    #[test]
+    fn merge_is_commutative_and_stream_equivalent(
+        a in proptest::collection::vec(0u64..1_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (sa, sb) = (record_all(&a), record_all(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&ab, &record_all(&concat));
+    }
+
+    /// The wire encoding round-trips any recorded distribution.
+    #[test]
+    fn snapshot_encoding_round_trips(
+        samples in proptest::collection::vec(0u64..10_000_000, 0..100),
+    ) {
+        let snap = record_all(&samples);
+        let decoded = HistogramSnapshot::decode(&snap.encode());
+        prop_assert_eq!(Some(snap), decoded);
+    }
+}

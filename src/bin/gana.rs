@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -67,9 +68,10 @@ fn print_usage() {
          gana annotate FILE --model FILE --task ota|rf [--baseline FILE] [--export FILE] [--svg FILE] [--dot FILE]\n  \
          gana inspect  FILE\n  \
          gana generate --kind ota|rf|sc-filter|phased-array [--seed N] [--out FILE]\n  \
-         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N] [--snapshot-dir DIR] [--snapshot-secs N] [--pid-file FILE]\n  \
-         gana shard    --snapshot-root DIR [--shards N] [--addr HOST:PORT] [--seed-snapshot SNAP | --model FILE --task ota|rf] [--workers N] [--queue N] [--max-batch N] [--batch-window-us N]\n  \
+         gana serve    --model FILE --task ota|rf [--addr HOST:PORT] [--workers N] [--queue N] [--stats-secs N] [--max-batch N] [--batch-window-us N|auto] [--snapshot-dir DIR] [--snapshot-secs N] [--pid-file FILE]\n  \
+         gana shard    --snapshot-root DIR [--shards N] [--addr HOST:PORT] [--seed-snapshot SNAP | --model FILE --task ota|rf] [--workers N] [--queue N] [--max-batch N] [--batch-window-us N|auto]\n  \
          gana submit   FILE --task ota|rf [--addr HOST:PORT] [--deadline-ms N] [--export FILE] [--binary]\n  \
+         gana loadgen  --addr HOST:PORT [--rate RPS] [--duration-s N] [--connections N] [--deadline-ms N|none] [--seed N] [--skew S] [--session-frac F] [--batch-frac F] [--batch-size N] [--families a,b,..] [--cached] [--text]\n  \
          gana submit   stats|shutdown [--addr HOST:PORT] [--binary] [--per-shard]\n  \
          gana snapshot save --model FILE --task ota|rf --out SNAP\n  \
          gana snapshot inspect SNAP"
@@ -330,13 +332,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let stats_secs: u64 = numeric(&flags, "stats-secs", 30)?;
     let snapshot_secs: u64 = numeric(&flags, "snapshot-secs", 300)?;
     let max_batch: usize = numeric(&flags, "max-batch", 1)?;
-    let batch_window_us: u64 = numeric(&flags, "batch-window-us", 0)?;
 
     let mut builder = Engine::builder()
         .workers(workers)
         .queue_capacity(queue)
-        .max_batch(max_batch)
-        .batch_window_us(batch_window_us);
+        .max_batch(max_batch);
+    // `auto` sizes the gather window from the live arrival-gap and
+    // service-time EMAs instead of a fixed number.
+    builder = match flags.get("batch-window-us").copied() {
+        Some("auto") => builder.batch_window_auto(),
+        _ => builder.batch_window_us(numeric(&flags, "batch-window-us", 0)?),
+    };
 
     // Warm start: an existing snapshot replaces the train-and-build cold
     // path entirely — the model, library, and region cache all come from
@@ -580,6 +586,95 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("hierarchical SPICE written to {out}");
     }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use gana::loadgen::{run, Family, LoadConfig};
+
+    let (args, text) = extract_bool_flag(args, "text");
+    // --cached lets the result cache absorb repeats; default traffic is
+    // nonce-busted so the server does real recognition per op.
+    let (args, cached) = extract_bool_flag(&args, "cached");
+    let (_, flags) = parse_flags(&args)?;
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
+
+    let mut config = LoadConfig::new(addr);
+    config.binary = !text;
+    config.cache_bust = !cached;
+    config.rate_rps = numeric(&flags, "rate", config.rate_rps)?;
+    config.duration = std::time::Duration::from_secs(numeric(&flags, "duration-s", 2u64)?);
+    config.connections = numeric(&flags, "connections", config.connections)?;
+    config.seed = numeric(&flags, "seed", config.seed)?;
+    config.skew = numeric(&flags, "skew", config.skew)?;
+    config.session_frac = numeric(&flags, "session-frac", config.session_frac)?;
+    config.batch_frac = numeric(&flags, "batch-frac", config.batch_frac)?;
+    config.batch_size = numeric(&flags, "batch-size", config.batch_size)?;
+    config.deadline = match flags.get("deadline-ms").copied() {
+        Some("none") => None,
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse()
+                .map_err(|_| format!("bad --deadline-ms value {ms:?}"))?,
+        )),
+        None => config.deadline,
+    };
+    if let Some(list) = flags.get("families") {
+        config.families = list
+            .split(',')
+            .map(|name| {
+                Family::parse(name.trim()).ok_or_else(|| {
+                    format!("unknown family {name:?} (ota|rf|sc-filter|phased-array)")
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if config.families.is_empty() {
+            return Err("--families needs at least one family".to_string());
+        }
+    }
+
+    println!(
+        "loadgen: {:.1} rps open-loop for {:?} over {} connections ({} mix: {:.0}% sessions, {:.0}% batches of {})",
+        config.rate_rps,
+        config.duration,
+        config.connections,
+        config
+            .families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join("+"),
+        config.session_frac * 100.0,
+        config.batch_frac * 100.0,
+        config.batch_size,
+    );
+    let summary = run(&config).map_err(|e| e.to_string())?;
+    println!(
+        "sent {} ops in {:.2}s: {} completed, {} overloaded, {} busy, {} deadline-expired, {} other, {} io",
+        summary.sent,
+        summary.elapsed.as_secs_f64(),
+        summary.completed,
+        summary.overloaded,
+        summary.busy,
+        summary.deadline_expired,
+        summary.other_errors,
+        summary.io_errors,
+    );
+    println!(
+        "latency (all outcomes): p50 {}us p99 {}us p999 {}us mean {}us",
+        summary.all.quantile_us(0.5),
+        summary.all.quantile_us(0.99),
+        summary.all.quantile_us(0.999),
+        summary.all.mean_us(),
+    );
+    println!(
+        "latency (accepted):     p50 {}us p99 {}us p999 {}us ({} samples)",
+        summary.accepted.quantile_us(0.5),
+        summary.accepted.quantile_us(0.99),
+        summary.accepted.quantile_us(0.999),
+        summary.accepted.samples(),
+    );
+    // Machine-readable line last; ci.sh greps for the `loadgen-result` tag.
+    println!("loadgen-result {}", summary.machine_line());
     Ok(())
 }
 

@@ -20,6 +20,7 @@
 //! | [`serve`] | `gana-serve` | concurrent annotation service + TCP daemon |
 //! | [`persist`] | `gana-persist` | versioned binary snapshots for warm starts |
 //! | [`shard`] | `gana-shard` | consistent-hash router + supervised engine shards |
+//! | [`loadgen`] | `gana-loadgen` | open-loop Poisson load generator + latency histograms |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@ pub use gana_gnn as gnn;
 pub use gana_graph as graph;
 pub use gana_incremental as incremental;
 pub use gana_layout as layout;
+pub use gana_loadgen as loadgen;
 pub use gana_netlist as netlist;
 pub use gana_persist as persist;
 pub use gana_primitives as primitives;
