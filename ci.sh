@@ -18,6 +18,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> forced-scalar equivalence proptests (GANA_KERNEL=scalar)"
+# The workspace run above exercises whatever kernel the CPU dispatches to
+# (avx2/neon on capable hardware). Re-run the gana-core equivalence
+# proptests with the scalar fallback forced so both sides of the dispatch
+# are proven on every CI box, regardless of its CPU features.
+GANA_KERNEL=scalar cargo test -q -p gana-core \
+    --test parallel_equivalence --test workspace_reuse --test batched_equivalence
+
 echo "==> cargo test --doc"
 cargo test --doc -q
 

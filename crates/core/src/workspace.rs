@@ -16,11 +16,11 @@
 //! workspace is byte-identical to the cold path at any thread count (the
 //! workspace-reuse and parallel-equivalence suites enforce this).
 
-use gana_gnn::{GcnModel, GnnWorkspace, GraphSample};
+use gana_gnn::{BasisCache, GcnModel, GnnWorkspace, GraphSample};
 use gana_par::Parallelism;
 use gana_primitives::MatcherWorkspace;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Scratch buffers and counters shared across the requests of one worker.
 ///
@@ -58,6 +58,18 @@ impl Workspace {
     /// The VF2 matcher scratch pool + prune counter.
     pub fn matcher(&self) -> &MatcherWorkspace {
         &self.matcher
+    }
+
+    /// Attaches (or detaches) a shared Chebyshev basis cache to the GNN
+    /// buffers. Cache reuse is byte-identical to recomputation (the cache
+    /// key is a content hash of the operator and signal), so this only
+    /// affects latency. If the buffers are momentarily contended the
+    /// request that raced falls back to fresh uncached buffers — same
+    /// output, no cache win for that one request.
+    pub fn set_basis_cache(&self, cache: Option<Arc<BasisCache>>) {
+        if let Ok(mut ws) = self.gnn.lock() {
+            ws.set_basis_cache(cache);
+        }
     }
 
     /// Runs GCN inference through the reusable buffers.

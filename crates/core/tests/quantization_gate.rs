@@ -1,0 +1,135 @@
+//! The accuracy gate for int8-quantized serving: across all four dataset
+//! families (OTA, RF receiver, SC filter, phased array), a quantized
+//! pipeline must produce the **same argmax annotation** as its f64 twin on
+//! every device, and the per-class probability divergence must stay small
+//! and bounded. This is the check that makes `--quantized` safe to opt
+//! into: quantization may perturb logits within the per-channel error
+//! bound, but it must never flip a label on the reference corpus.
+
+use gana_core::{report, Pipeline, Task};
+use gana_datasets::{ota, ota_classes, phased_array, rf, rf_classes, sc_filter, LabeledCircuit};
+use gana_gnn::{Activation, GcnConfig, GcnModel};
+use gana_primitives::PrimitiveLibrary;
+
+/// Deterministic untrained pipeline (same construction as the equivalence
+/// suites): quantization error behaves the same on random weights as on
+/// trained ones, and determinism is all the gate needs.
+fn pipeline(task: Task, names: &[&str]) -> Pipeline {
+    let model = GcnModel::new(GcnConfig {
+        input_dim: 18,
+        conv_channels: vec![8, 16],
+        filter_order: 4,
+        fc_dim: 32,
+        num_classes: names.len(),
+        activation: Activation::Relu,
+        dropout: 0.0,
+        batch_norm: false,
+        weight_decay: 0.0,
+        seed: 3,
+    })
+    .expect("valid config");
+    Pipeline::new(
+        model,
+        names.iter().map(|s| s.to_string()).collect(),
+        PrimitiveLibrary::standard().expect("templates parse"),
+        task,
+    )
+}
+
+/// Largest per-class probability divergence tolerated between the f64 and
+/// int8 forward passes. Softmax contracts the bounded logit perturbation,
+/// so a healthy quantization sits far below this.
+const MAX_PROB_DIVERGENCE: f64 = 0.05;
+
+/// Runs the gate for one family: same-argmax annotations (byte-identical
+/// reports) plus bounded per-class probability divergence.
+fn assert_quantized_gate(task: Task, names: &[&str], lc: &LabeledCircuit, family: &str) {
+    let plain = pipeline(task, names);
+    let quantized = pipeline(task, names).with_quantized();
+    assert!(quantized.is_quantized(), "{family}: opt-in took effect");
+
+    // Same-argmax: the full annotation (GCN classes, templates, hierarchy,
+    // constraints) must not change under quantization.
+    let f64_design = plain.recognize(&lc.circuit).expect("f64 annotates");
+    let int8_design = quantized.recognize(&lc.circuit).expect("int8 annotates");
+    assert_eq!(
+        report::full_report(&f64_design),
+        report::full_report(&int8_design),
+        "{family}: quantization flipped an annotation"
+    );
+    assert_eq!(f64_design.final_label, int8_design.final_label, "{family}");
+
+    // Bounded divergence: compare the softmax outputs vertex by vertex.
+    let (_, _, sample) = plain.prepare(&lc.circuit).expect("prepares");
+    let (f64_probs, f64_argmax) = plain
+        .model()
+        .predict_probabilities(&sample)
+        .expect("f64 probabilities");
+    let (int8_probs, int8_argmax) = quantized
+        .model()
+        .predict_probabilities(&sample)
+        .expect("int8 probabilities");
+    assert_eq!(f64_argmax, int8_argmax, "{family}: argmax must be stable");
+    let worst = f64_probs
+        .as_slice()
+        .iter()
+        .zip(int8_probs.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst < MAX_PROB_DIVERGENCE,
+        "{family}: probability divergence {worst} exceeds {MAX_PROB_DIVERGENCE}"
+    );
+}
+
+#[test]
+fn ota_quantized_annotations_keep_the_f64_argmax() {
+    let lc = ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::Miller,
+        pmos_input: false,
+        bias: ota::BiasStyle::MirrorRef,
+        seed: 7,
+    });
+    assert_quantized_gate(Task::OtaBias, &ota_classes::NAMES, &lc, "ota");
+}
+
+#[test]
+fn rf_quantized_annotations_keep_the_f64_argmax() {
+    let lc = rf::generate(rf::ReceiverSpec {
+        lna: rf::LnaKind::InductiveDegeneration,
+        mixer: rf::MixerKind::Gilbert,
+        osc: rf::OscKind::CrossCoupledLc,
+        seed: 13,
+    });
+    assert_quantized_gate(Task::Rf, &rf_classes::NAMES, &lc, "rf");
+}
+
+#[test]
+fn sc_filter_quantized_annotations_keep_the_f64_argmax() {
+    let lc = sc_filter::generate(5);
+    assert_quantized_gate(Task::Rf, &rf_classes::NAMES, &lc, "sc-filter");
+}
+
+#[test]
+fn phased_array_quantized_annotations_keep_the_f64_argmax() {
+    let lc = phased_array::generate_with_channels(2, 0);
+    assert_quantized_gate(Task::Rf, &rf_classes::NAMES, &lc, "phased-array");
+}
+
+/// The quantizer's own promise, checked on the same model the gate runs:
+/// every reconstructed weight sits within half a quantization step of the
+/// f64 original (the bound `error_bound()` reports).
+#[test]
+fn quantization_error_is_within_the_reported_bound() {
+    let mut model = pipeline(Task::Rf, &rf_classes::NAMES).model().clone();
+    let worst = model.quantize_weights();
+    let bound = model
+        .quantized_convs()
+        .expect("quantized")
+        .iter()
+        .flatten()
+        .map(|q| q.error_bound())
+        .fold(0.0f64, f64::max);
+    assert!(worst <= bound, "worst error {worst} > bound {bound}");
+    assert!(bound > 0.0, "non-degenerate weights have a nonzero step");
+}

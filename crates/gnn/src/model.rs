@@ -10,11 +10,13 @@
 //! interconnect ports", Section V-B).
 
 use crate::activation::Activation;
+use crate::basis_cache::{basis_key, BasisGuard};
 use crate::batchnorm::{BatchNorm, BatchNormCache};
 use crate::chebconv::{ChebConv, ChebConvCache};
 use crate::dense_layer::DenseLayer;
 use crate::dropout::Dropout;
 use crate::loss::{cross_entropy, softmax, softmax_in_place};
+use crate::quant::QuantizedMatrix;
 use crate::sample::GraphSample;
 use crate::workspace::GnnWorkspace;
 use crate::{GnnError, Result};
@@ -23,6 +25,7 @@ use gana_sparse::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hyperparameters of a [`GcnModel`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,6 +161,10 @@ pub struct GcnModel {
     fc2: DenseLayer,
     dropout: Dropout,
     rng: StdRng,
+    /// Int8 quantizations of the conv tap weights, per level and tap.
+    /// `Some` switches every inference path to dequantize-on-accumulate;
+    /// dropped automatically whenever the f64 weights change.
+    quant_convs: Option<Vec<Vec<QuantizedMatrix>>>,
 }
 
 impl GcnModel {
@@ -195,7 +202,91 @@ impl GcnModel {
             fc2,
             dropout,
             rng,
+            quant_convs: None,
         })
+    }
+
+    /// Quantizes every Chebyshev tap weight to int8 (per-output-channel
+    /// affine, see [`QuantizedMatrix`]) and switches all inference paths to
+    /// the quantized accumulation. Returns the worst per-entry
+    /// reconstruction error across all taps — the bounded-divergence value
+    /// callers gate on before trusting the quantized model. The FC head
+    /// stays f64 (the conv taps hold the overwhelming share of the
+    /// parameters).
+    pub fn quantize_weights(&mut self) -> f64 {
+        let mut worst = 0.0f64;
+        let mut quant = Vec::with_capacity(self.convs.len());
+        for conv in &self.convs {
+            let mut taps = Vec::with_capacity(conv.filter_order());
+            for w in conv.weights() {
+                let q = QuantizedMatrix::quantize(w);
+                worst = worst.max(q.max_abs_error(w).expect("same shape by construction"));
+                taps.push(q);
+            }
+            quant.push(taps);
+        }
+        self.quant_convs = Some(quant);
+        worst
+    }
+
+    /// Whether inference currently runs the int8 tap weights.
+    pub fn is_quantized(&self) -> bool {
+        self.quant_convs.is_some()
+    }
+
+    /// Reverts all inference paths to the f64 weights.
+    pub fn clear_quantization(&mut self) {
+        self.quant_convs = None;
+    }
+
+    /// The quantized tap weights, per conv level — `None` when inference
+    /// runs f64 (snapshot encoding reads this).
+    pub fn quantized_convs(&self) -> Option<&[Vec<QuantizedMatrix>]> {
+        self.quant_convs.as_deref()
+    }
+
+    /// Installs previously captured quantized tap weights (snapshot
+    /// decoding), validating every tensor against the conv shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the level count, tap count,
+    /// or any tensor shape disagrees with the model.
+    pub fn set_quantized_convs(&mut self, quant: Option<Vec<Vec<QuantizedMatrix>>>) -> Result<()> {
+        if let Some(levels) = &quant {
+            if levels.len() != self.convs.len() {
+                return Err(GnnError::ShapeMismatch(format!(
+                    "{} quantized levels for {} conv layers",
+                    levels.len(),
+                    self.convs.len()
+                )));
+            }
+            for (conv, taps) in self.convs.iter().zip(levels) {
+                if taps.len() != conv.filter_order() {
+                    return Err(GnnError::ShapeMismatch(format!(
+                        "{} quantized taps for filter order {}",
+                        taps.len(),
+                        conv.filter_order()
+                    )));
+                }
+                for q in taps {
+                    if q.shape() != (conv.in_dim(), conv.out_dim()) {
+                        return Err(GnnError::ShapeMismatch(format!(
+                            "quantized tap is {:?}, conv weight is {:?}",
+                            q.shape(),
+                            (conv.in_dim(), conv.out_dim())
+                        )));
+                    }
+                }
+            }
+        }
+        self.quant_convs = quant;
+        Ok(())
+    }
+
+    /// The quantized taps of conv level `l`, when quantization is active.
+    fn quant_for_level(&self, l: usize) -> Option<&[QuantizedMatrix]> {
+        self.quant_convs.as_ref().map(|q| q[l].as_slice())
     }
 
     /// The model configuration.
@@ -274,8 +365,19 @@ impl GcnModel {
     ) -> Result<(DenseMatrix, Vec<usize>)> {
         self.check_sample(sample)?;
         let mut x = sample.features.clone();
+        let mut basis = Vec::new();
+        let mut term = DenseMatrix::default();
         for (l, conv) in self.convs.iter().enumerate() {
-            let (y, _) = conv.forward_with(par, sample.coarsening.laplacian(l), &x)?;
+            let mut y = DenseMatrix::default();
+            conv.forward_into_quantized(
+                par,
+                sample.coarsening.laplacian(l),
+                &x,
+                self.quant_for_level(l),
+                &mut basis,
+                &mut term,
+                &mut y,
+            )?;
             let y = if self.config.batch_norm {
                 self.batch_norms[l].forward_eval(&y)?
             } else {
@@ -317,15 +419,43 @@ impl GcnModel {
     ) -> Result<Vec<usize>> {
         self.check_sample(sample)?;
         ws.x.copy_from(&sample.features);
+        let cache = ws.basis_cache.clone();
         for (l, conv) in self.convs.iter().enumerate() {
-            conv.forward_into(
-                par,
-                sample.coarsening.laplacian(l),
-                &ws.x,
-                &mut ws.basis,
-                &mut ws.term,
-                &mut ws.y,
-            )?;
+            let laplacian = sample.coarsening.laplacian(l);
+            let quant = self.quant_for_level(l);
+            let taps = conv.filter_order();
+            // Cached bases were computed from byte-identical inputs (the
+            // key is a content hash of Laplacian + signal + tap count), so
+            // a hit skips the Chebyshev recurrence without changing a bit
+            // of the output; the tap accumulation always runs.
+            let key_guard = cache.as_deref().map(|c| {
+                let key = basis_key(laplacian, &ws.x, taps);
+                let guard = BasisGuard::of(laplacian, &ws.x, taps);
+                (c, key, guard)
+            });
+            let hit = key_guard
+                .as_ref()
+                .and_then(|(c, key, guard)| c.get(*key, *guard));
+            match hit {
+                Some(basis) => {
+                    conv.check_forward_shapes(laplacian, &ws.x)?;
+                    conv.accumulate_from_basis(&basis, quant, &mut ws.term, &mut ws.y)?;
+                }
+                None => {
+                    conv.forward_into_quantized(
+                        par,
+                        laplacian,
+                        &ws.x,
+                        quant,
+                        &mut ws.basis,
+                        &mut ws.term,
+                        &mut ws.y,
+                    )?;
+                    if let Some((c, key, guard)) = key_guard {
+                        c.insert(key, guard, Arc::new(ws.basis[..taps].to_vec()));
+                    }
+                }
+            }
             if self.config.batch_norm {
                 // `term` is free after the tap loop; use it as the
                 // batch-norm output and swap it into place.
@@ -409,11 +539,15 @@ impl GcnModel {
             ws.x.as_mut_slice()[offset..offset + len].copy_from_slice(sample.features.as_slice());
             offset += len;
         }
+        // The fused block-diagonal operator differs per batch combination,
+        // so batched inference bypasses the basis cache (the single-sample
+        // path is where topology repeats pay off).
         for (l, conv) in self.convs.iter().enumerate() {
-            conv.forward_into(
+            conv.forward_into_quantized(
                 par,
                 &ws.fused[l],
                 &ws.x,
+                self.quant_for_level(l),
                 &mut ws.basis,
                 &mut ws.term,
                 &mut ws.y,
@@ -462,6 +596,9 @@ impl GcnModel {
     /// [`GnnError::NonFinite`] if the loss or any gradient diverges.
     pub fn train_step(&mut self, sample: &GraphSample) -> Result<StepResult> {
         self.check_sample(sample)?;
+        // Training mutates the f64 weights; stale int8 codes must not
+        // survive into the next inference.
+        self.quant_convs = None;
         let levels = self.config.levels();
 
         // ---- forward ----
@@ -669,6 +806,8 @@ impl GcnModel {
                 self.parameter_count()
             )));
         }
+        // New f64 weights invalidate any existing int8 quantization.
+        self.quant_convs = None;
         let mut cursor = 0;
         let mut take = |n: usize| {
             let slice = &flat[cursor..cursor + n];
@@ -1037,6 +1176,97 @@ mod tests {
             opt.step(&mut params, &step.grads.flatten());
             model.apply_flat_params(&params).expect("same length");
         }
+    }
+
+    #[test]
+    fn quantized_predictions_agree_across_all_inference_paths() {
+        let mut config = tiny_config();
+        config.batch_norm = true;
+        let mut model = GcnModel::new(config).expect("valid");
+        let sample = tiny_sample();
+        let f64_preds = model.predict(&sample).expect("ok");
+        let worst = model.quantize_weights();
+        assert!(model.is_quantized());
+        assert!(worst.is_finite() && worst >= 0.0);
+        let par = Parallelism::serial();
+        let allocating = model.predict(&sample).expect("ok");
+        let mut ws = GnnWorkspace::new();
+        let into = model.predict_into(&par, &sample, &mut ws).expect("ok");
+        let batched = model
+            .predict_batch_into(&par, &[&sample], &mut ws)
+            .expect("ok");
+        assert_eq!(allocating, into, "quantized paths disagree");
+        assert_eq!(allocating, batched[0], "batched quantized path disagrees");
+        // Same argmax as f64 on this well-separated toy sample.
+        assert_eq!(allocating, f64_preds, "quantization flipped an argmax");
+        model.clear_quantization();
+        assert_eq!(model.predict(&sample).expect("ok"), f64_preds);
+    }
+
+    #[test]
+    fn weight_mutation_drops_quantization() {
+        let mut model = GcnModel::new(tiny_config()).expect("valid");
+        model.quantize_weights();
+        let params = model.flatten_params();
+        model.apply_flat_params(&params).expect("same length");
+        assert!(
+            !model.is_quantized(),
+            "apply_flat_params must invalidate int8 codes"
+        );
+        model.quantize_weights();
+        model.train_step(&tiny_sample()).expect("step");
+        assert!(!model.is_quantized(), "train_step must invalidate");
+    }
+
+    #[test]
+    fn set_quantized_convs_validates_shapes() {
+        let mut model = GcnModel::new(tiny_config()).expect("valid");
+        model.quantize_weights();
+        let quant: Vec<Vec<crate::QuantizedMatrix>> =
+            model.quantized_convs().expect("quantized").to_vec();
+        model.clear_quantization();
+        model
+            .set_quantized_convs(Some(quant.clone()))
+            .expect("round trip");
+        assert!(model.is_quantized());
+        assert!(
+            model
+                .set_quantized_convs(Some(quant[..1].to_vec()))
+                .is_err(),
+            "level count mismatch must be rejected"
+        );
+        let mut short = quant;
+        short[0].pop();
+        assert!(
+            model.set_quantized_convs(Some(short)).is_err(),
+            "tap count mismatch must be rejected"
+        );
+    }
+
+    #[test]
+    fn basis_cache_hit_is_byte_identical_and_counted() {
+        use crate::BasisCache;
+        let mut config = tiny_config();
+        config.batch_norm = true;
+        let model = GcnModel::new(config).expect("valid");
+        let sample = tiny_sample();
+        let par = Parallelism::serial();
+        let mut plain_ws = GnnWorkspace::new();
+        let expected = model
+            .predict_into(&par, &sample, &mut plain_ws)
+            .expect("ok");
+        let cache = Arc::new(BasisCache::new(16 << 20));
+        let mut ws = GnnWorkspace::new();
+        ws.set_basis_cache(Some(Arc::clone(&cache)));
+        let cold = model.predict_into(&par, &sample, &mut ws).expect("ok");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses as usize, model.config().levels());
+        let warm = model.predict_into(&par, &sample, &mut ws).expect("ok");
+        let stats = cache.stats();
+        assert_eq!(stats.hits as usize, model.config().levels());
+        assert_eq!(cold, expected, "cold cached run diverged");
+        assert_eq!(warm, expected, "warm cached run diverged");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Int8 affine weight quantization for the GCN's Chebyshev tap weights.
+//!
+//! Each tap weight matrix `W_k` (`in_dim × out_dim`) is quantized
+//! **per output channel**: column `j` gets its own scale `s_j` and
+//! zero-point `z_j` with `w_kj ≈ s_j · (q_kj − z_j)`, `q ∈ [−128, 127]`.
+//! Inference dequantizes **on accumulate** — the spmm-produced basis
+//! signal stays f64 and the matmul against the int8 weights runs in f64
+//! using the row-sum identity
+//!
+//! ```text
+//! out_ij = Σ_k a_ik · s_j (q_kj − z_j)
+//!        = s_j · (Σ_k a_ik q_kj  −  z_j Σ_k a_ik)
+//! ```
+//!
+//! so the inner loop touches 8× less weight memory than the f64 path while
+//! the accumulator keeps full double precision. The FC head stays f64: the
+//! conv taps hold the overwhelming share of the parameters (`K` matrices
+//! per level versus two small dense layers), so quantizing the head would
+//! add accuracy risk for negligible byte savings.
+//!
+//! Quantization is deterministic (pure function of the weights), and the
+//! reconstruction error is bounded by half a quantization step per entry —
+//! the invariant [`QuantizedMatrix::max_abs_error`] exposes and the
+//! four-family same-argmax gate test enforces end to end.
+
+use crate::{GnnError, Result};
+use gana_sparse::DenseMatrix;
+
+/// Quantization grid limits for signed int8.
+const QMIN: f64 = -128.0;
+/// Upper grid limit.
+const QMAX: f64 = 127.0;
+
+/// An int8 per-output-channel affine quantization of a dense weight matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major int8 codes, `rows × cols`.
+    q: Vec<i8>,
+    /// Per-column dequantization scale `s_j` (always positive).
+    scale: Vec<f64>,
+    /// Per-column zero point `z_j` on the int8 grid.
+    zero: Vec<i32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `w` with one affine `(scale, zero_point)` pair per column.
+    ///
+    /// Constant-zero columns get `scale = 1, zero = 0` (all codes zero);
+    /// other degenerate (single-value) columns use a symmetric scale so the
+    /// value reconstructs exactly.
+    pub fn quantize(w: &DenseMatrix) -> QuantizedMatrix {
+        let (rows, cols) = w.shape();
+        let mut scale = vec![1.0f64; cols];
+        let mut zero = vec![0i32; cols];
+        for j in 0..cols {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for i in 0..rows {
+                let v = w.get(i, j);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if rows == 0 || (lo == 0.0 && hi == 0.0) {
+                continue;
+            }
+            // The grid must contain 0 so a zero weight stays exactly zero.
+            lo = lo.min(0.0);
+            hi = hi.max(0.0);
+            if hi > lo {
+                let s = (hi - lo) / (QMAX - QMIN);
+                scale[j] = s;
+                zero[j] = (QMIN - lo / s).round() as i32;
+            }
+        }
+        let mut q = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let code = (w.get(i, j) / scale[j]).round() + f64::from(zero[j]);
+                q.push(code.clamp(QMIN, QMAX) as i8);
+            }
+        }
+        QuantizedMatrix {
+            rows,
+            cols,
+            q,
+            scale,
+            zero,
+        }
+    }
+
+    /// Rebuilds a quantized matrix from its stored parts (snapshot decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if the buffer lengths disagree
+    /// with `rows × cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        q: Vec<i8>,
+        scale: Vec<f64>,
+        zero: Vec<i32>,
+    ) -> Result<QuantizedMatrix> {
+        if q.len() != rows * cols || scale.len() != cols || zero.len() != cols {
+            return Err(GnnError::ShapeMismatch(format!(
+                "quantized parts disagree: {}x{} with {} codes, {} scales, {} zeros",
+                rows,
+                cols,
+                q.len(),
+                scale.len(),
+                zero.len()
+            )));
+        }
+        Ok(QuantizedMatrix {
+            rows,
+            cols,
+            q,
+            scale,
+            zero,
+        })
+    }
+
+    /// Shape as `(rows, cols)` — matches the f64 weight it encodes.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The row-major int8 codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Per-column scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Per-column zero points.
+    pub fn zero_points(&self) -> &[i32] {
+        &self.zero
+    }
+
+    /// Reconstructs the f64 matrix `s_j · (q_ij − z_j)`.
+    pub fn dequantize(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.rows, self.cols, |i, j| {
+            self.scale[j] * (f64::from(self.q[i * self.cols + j]) - f64::from(self.zero[j]))
+        })
+    }
+
+    /// Largest absolute reconstruction error against the original weights —
+    /// the bounded-divergence half of the quantization gate. By
+    /// construction this never exceeds half a quantization step
+    /// (`scale_j / 2`) per column, up to f64 rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `w` has a different shape.
+    pub fn max_abs_error(&self, w: &DenseMatrix) -> Result<f64> {
+        if w.shape() != self.shape() {
+            return Err(GnnError::ShapeMismatch(format!(
+                "error check between {:?} and {:?}",
+                w.shape(),
+                self.shape()
+            )));
+        }
+        let deq = self.dequantize();
+        let mut worst = 0.0f64;
+        for (a, b) in w.as_slice().iter().zip(deq.as_slice()) {
+            worst = worst.max((a - b).abs());
+        }
+        Ok(worst)
+    }
+
+    /// The tightest per-entry bound quantization guarantees: half a step of
+    /// the widest column's grid.
+    pub fn error_bound(&self) -> f64 {
+        self.scale.iter().fold(0.0f64, |m, &s| m.max(s)) * 0.5
+    }
+
+    /// Dequantize-on-accumulate product `out = A · dequant(self)` where `A`
+    /// is the f64 basis signal (`n × rows`). The integer codes are promoted
+    /// lazily inside the inner loop; accumulation is f64 throughout, and
+    /// the per-column affine correction `s_j (acc_j − z_j Σ_k a_ik)` is
+    /// applied once per output row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::ShapeMismatch`] if `a.cols() != self.rows`.
+    pub fn matmul_into(&self, a: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if a.cols() != self.rows {
+            return Err(GnnError::ShapeMismatch(format!(
+                "quantized matmul: {:?} × {:?}",
+                a.shape(),
+                self.shape()
+            )));
+        }
+        out.resize(a.rows(), self.cols);
+        for i in 0..a.rows() {
+            let a_row = a.row(i);
+            let row_sum: f64 = a_row.iter().sum();
+            let out_row = out.row_mut(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let q_row = &self.q[k * self.cols..(k + 1) * self.cols];
+                for (o, &code) in out_row.iter_mut().zip(q_row) {
+                    *o += aik * f64::from(code);
+                }
+            }
+            for ((o, &s), &z) in out_row.iter_mut().zip(&self.scale).zip(&self.zero) {
+                *o = s * (*o - f64::from(z) * row_sum);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_weights() -> DenseMatrix {
+        DenseMatrix::from_fn(24, 6, |i, j| {
+            ((i * 7 + j * 13) % 41) as f64 / 17.0 - 1.2 + (j as f64) * 0.3
+        })
+    }
+
+    #[test]
+    fn reconstruction_error_stays_under_half_a_step() {
+        let w = sample_weights();
+        let q = QuantizedMatrix::quantize(&w);
+        let err = q.max_abs_error(&w).expect("same shape");
+        assert!(
+            err <= q.error_bound() + 1e-12,
+            "error {err} exceeds bound {}",
+            q.error_bound()
+        );
+    }
+
+    #[test]
+    fn zero_weights_reconstruct_exactly_zero() {
+        let w = DenseMatrix::zeros(5, 3);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.dequantize(), w);
+        // A mixed column still maps stored zeros to exactly zero because
+        // the grid is anchored to contain 0.
+        let mut w = sample_weights();
+        w.set(0, 0, 0.0);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.dequantize().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn constant_column_reconstructs_exactly() {
+        let w = DenseMatrix::from_fn(8, 2, |_, j| if j == 0 { 0.75 } else { -3.0 });
+        let q = QuantizedMatrix::quantize(&w);
+        let deq = q.dequantize();
+        for i in 0..8 {
+            assert!((deq.get(i, 0) - 0.75).abs() < 1e-12);
+            assert!((deq.get(i, 1) + 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_dense_product_against_dequantized_weights() {
+        let w = sample_weights();
+        let q = QuantizedMatrix::quantize(&w);
+        let a = DenseMatrix::from_fn(9, 24, |i, j| ((i * 5 + j * 3) % 23) as f64 / 7.0 - 1.5);
+        let mut got = DenseMatrix::default();
+        q.matmul_into(&a, &mut got).expect("shapes match");
+        let want = a.matmul(&q.dequantize()).expect("shapes match");
+        let diff = (&got - &want).frobenius_norm();
+        assert!(diff < 1e-9, "rowsum-trick product diverged by {diff}");
+    }
+
+    #[test]
+    fn matmul_rejects_shape_mismatch() {
+        let q = QuantizedMatrix::quantize(&sample_weights());
+        let a = DenseMatrix::zeros(4, 7);
+        let mut out = DenseMatrix::default();
+        assert!(q.matmul_into(&a, &mut out).is_err());
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let q = QuantizedMatrix::quantize(&sample_weights());
+        let back = QuantizedMatrix::from_parts(
+            q.shape().0,
+            q.shape().1,
+            q.codes().to_vec(),
+            q.scales().to_vec(),
+            q.zero_points().to_vec(),
+        )
+        .expect("consistent parts");
+        assert_eq!(back, q);
+        assert!(QuantizedMatrix::from_parts(3, 3, vec![0; 2], vec![1.0; 3], vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn quantization_is_deterministic() {
+        let w = sample_weights();
+        assert_eq!(QuantizedMatrix::quantize(&w), QuantizedMatrix::quantize(&w));
+    }
+}

@@ -9,7 +9,9 @@
 //! request via [`gana_sparse::DenseMatrix::resize`], settling on the
 //! high-water allocation.
 
+use crate::BasisCache;
 use gana_sparse::{CsrMatrix, DenseMatrix};
+use std::sync::Arc;
 
 /// Scratch buffers for one in-flight GCN inference.
 ///
@@ -37,12 +39,23 @@ pub struct GnnWorkspace {
     /// across batched forward passes
     /// ([`crate::GcnModel::predict_batch_into`]).
     pub(crate) fused: Vec<CsrMatrix>,
+    /// Optional shared cache of Chebyshev bases, keyed by operator/signal
+    /// content. `None` (the default) computes every basis from scratch.
+    pub(crate) basis_cache: Option<Arc<BasisCache>>,
 }
 
 impl GnnWorkspace {
     /// An empty workspace; buffers are grown on first use.
     pub fn new() -> GnnWorkspace {
         GnnWorkspace::default()
+    }
+
+    /// Attaches (or detaches) a shared Chebyshev basis cache. Cached bases
+    /// are byte-identical to freshly computed ones — the key is a content
+    /// hash of the Laplacian, signal, and tap count — so this changes
+    /// latency only, never output.
+    pub fn set_basis_cache(&mut self, cache: Option<Arc<BasisCache>>) {
+        self.basis_cache = cache;
     }
 
     /// Bytes of heap memory currently held by the workspace buffers

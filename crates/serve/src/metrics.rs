@@ -10,6 +10,7 @@
 //! and survive the stats wire format, which is what lets `fleetstats`
 //! aggregate real fleet percentiles instead of taking the worst shard.
 
+use gana_gnn::BasisCacheStats;
 use gana_incremental::RegionCacheStats;
 use gana_par::GaugeSnapshot;
 use std::fmt;
@@ -362,7 +363,9 @@ impl Metrics {
     /// Immutable snapshot (counters may lag each other by in-flight jobs).
     /// `sessions` and `region` come from the engine's session store and
     /// shared region cache; `intra` from the shared intra-request pool
-    /// gauge; `workspace` aggregates the per-worker annotation workspaces.
+    /// gauge; `workspace` aggregates the per-worker annotation workspaces;
+    /// `basis` from the shared Chebyshev basis cache and `kernel` from the
+    /// sparse kernel dispatcher.
     #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
@@ -373,6 +376,8 @@ impl Metrics {
         intra: GaugeSnapshot,
         workspace: WorkspaceStats,
         persistence: SnapshotGauge,
+        basis: BasisCacheStats,
+        kernel: &str,
     ) -> StatsSnapshot {
         let queue_wait = self.queue_wait.snapshot();
         let parse = self.parse.snapshot();
@@ -393,6 +398,12 @@ impl Metrics {
             region_evictions: region.evictions,
             region_splices: region.splices,
             region_bytes: region.bytes,
+            basis_cache_hits: basis.hits,
+            basis_cache_misses: basis.misses,
+            basis_cache_evictions: basis.evictions,
+            basis_cache_bytes: basis.bytes,
+            basis_cache_entries: basis.entries,
+            kernel: kernel.to_string(),
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -482,6 +493,18 @@ pub struct StatsSnapshot {
     pub region_splices: u64,
     /// Bytes currently held by the region cache.
     pub region_bytes: u64,
+    /// Chebyshev basis-cache lookups answered without the recurrence.
+    pub basis_cache_hits: u64,
+    /// Chebyshev basis-cache lookups that computed the basis.
+    pub basis_cache_misses: u64,
+    /// Basis-cache entries evicted to stay under the byte budget.
+    pub basis_cache_evictions: u64,
+    /// Bytes currently held by the basis cache.
+    pub basis_cache_bytes: u64,
+    /// Entries currently held by the basis cache.
+    pub basis_cache_entries: u64,
+    /// Active spmm/axpy kernel variant (`avx2`, `neon`, or `scalar`).
+    pub kernel: String,
     /// Jobs waiting in the queue right now.
     pub queue_depth: usize,
     /// Worker threads in the pool.
@@ -557,6 +580,8 @@ impl StatsSnapshot {
             "submitted={} completed={} failed={} rejected={} shed={} cache_hits={} expired={} \
              sessions={} region_hits={} region_misses={} region_evictions={} \
              region_splices={} region_bytes={} \
+             basis_cache_hits={} basis_cache_misses={} basis_cache_evictions={} \
+             basis_cache_bytes={} basis_cache_entries={} kernel={} \
              queue_depth={} workers={} intra_pool_size={} intra_busy={} intra_queued={} \
              templates_pruned={} workspace_high_water_bytes={} \
              batched_requests={} batch_size_p50={} batch_size_p95={} batch_flush_deadline={} \
@@ -580,6 +605,12 @@ impl StatsSnapshot {
             self.region_evictions,
             self.region_splices,
             self.region_bytes,
+            self.basis_cache_hits,
+            self.basis_cache_misses,
+            self.basis_cache_evictions,
+            self.basis_cache_bytes,
+            self.basis_cache_entries,
+            self.kernel,
             self.queue_depth,
             self.workers,
             self.intra_pool_size,
@@ -643,6 +674,18 @@ impl StatsSnapshot {
             fleet.region_evictions += shard.region_evictions;
             fleet.region_splices += shard.region_splices;
             fleet.region_bytes += shard.region_bytes;
+            fleet.basis_cache_hits += shard.basis_cache_hits;
+            fleet.basis_cache_misses += shard.basis_cache_misses;
+            fleet.basis_cache_evictions += shard.basis_cache_evictions;
+            fleet.basis_cache_bytes += shard.basis_cache_bytes;
+            fleet.basis_cache_entries += shard.basis_cache_entries;
+            // One dispatch decision per process: shards normally agree, and
+            // a split fleet (mid-rollout, mixed hardware) reads `mixed`.
+            if !any {
+                fleet.kernel = shard.kernel.clone();
+            } else if fleet.kernel != shard.kernel {
+                fleet.kernel = "mixed".to_string();
+            }
             fleet.queue_depth += shard.queue_depth;
             fleet.workers += shard.workers;
             fleet.intra_pool_size += shard.intra_pool_size;
@@ -717,6 +760,7 @@ impl StatsSnapshot {
         for pair in text.split_whitespace() {
             let (key, value) = pair.split_once('=')?;
             match key {
+                "kernel" => snap.kernel = value.to_string(),
                 "queue_wait_hist" => snap.queue_wait_hist = HistogramSnapshot::decode(value)?,
                 "parse_hist" => snap.parse_hist = HistogramSnapshot::decode(value)?,
                 "recognize_hist" => snap.recognize_hist = HistogramSnapshot::decode(value)?,
@@ -737,6 +781,11 @@ impl StatsSnapshot {
                         "region_evictions" => snap.region_evictions = n,
                         "region_splices" => snap.region_splices = n,
                         "region_bytes" => snap.region_bytes = n,
+                        "basis_cache_hits" => snap.basis_cache_hits = n,
+                        "basis_cache_misses" => snap.basis_cache_misses = n,
+                        "basis_cache_evictions" => snap.basis_cache_evictions = n,
+                        "basis_cache_bytes" => snap.basis_cache_bytes = n,
+                        "basis_cache_entries" => snap.basis_cache_entries = n,
                         "queue_depth" => snap.queue_depth = n as usize,
                         "workers" => snap.workers = n as usize,
                         "intra_pool_size" => snap.intra_pool_size = n as usize,
@@ -818,7 +867,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "jobs: {} submitted, {} completed, {} failed, {} rejected, {} shed, \
              {} cache hits, {} expired | sessions: {} open, region cache {}/{} hit, \
-             {} spliced, {} B, {} evicted | queue: {} deep, {} workers | intra pool: \
+             {} spliced, {} B, {} evicted | basis cache: {}/{} hit, {} entries, \
+             {} B, {} evicted | kernel: {} | queue: {} deep, {} workers | intra pool: \
              {} threads/worker, {} busy, {} queued | workspace: {} templates \
              pruned, {} B peak | batch: {} fused jobs, size p50/p95 {}/{}, \
              {} deadline flushes, {} session yields | snapshot: {} | latency \
@@ -837,6 +887,16 @@ impl fmt::Display for StatsSnapshot {
             self.region_splices,
             self.region_bytes,
             self.region_evictions,
+            self.basis_cache_hits,
+            self.basis_cache_hits + self.basis_cache_misses,
+            self.basis_cache_entries,
+            self.basis_cache_bytes,
+            self.basis_cache_evictions,
+            if self.kernel.is_empty() {
+                "unknown"
+            } else {
+                &self.kernel
+            },
             self.queue_depth,
             self.workers,
             self.intra_pool_size,
@@ -1072,7 +1132,21 @@ mod tests {
                 bytes: 8192,
                 warm_start: true,
             },
+            BasisCacheStats {
+                hits: 11,
+                misses: 3,
+                evictions: 1,
+                bytes: 2048,
+                entries: 2,
+            },
+            "avx2",
         );
+        assert_eq!(snap.basis_cache_hits, 11);
+        assert_eq!(snap.basis_cache_misses, 3);
+        assert_eq!(snap.basis_cache_evictions, 1);
+        assert_eq!(snap.basis_cache_bytes, 2048);
+        assert_eq!(snap.basis_cache_entries, 2);
+        assert_eq!(snap.kernel, "avx2");
         assert_eq!(snap.intra_pool_size, 2);
         assert_eq!(snap.snapshot_last_save_us, 2_500_000);
         assert_eq!(snap.snapshot_bytes, 8192);
@@ -1138,6 +1212,10 @@ mod tests {
             workers: 4,
             region_hits: 7,
             region_bytes: 100,
+            basis_cache_hits: 20,
+            basis_cache_bytes: 512,
+            basis_cache_entries: 2,
+            kernel: "avx2".to_string(),
             total_p95_us: 800,
             session_yields: 1,
             workspace_high_water_bytes: 4096,
@@ -1155,6 +1233,11 @@ mod tests {
             workers: 4,
             region_hits: 2,
             region_bytes: 40,
+            basis_cache_hits: 5,
+            basis_cache_misses: 4,
+            basis_cache_bytes: 256,
+            basis_cache_entries: 1,
+            kernel: "avx2".to_string(),
             total_p95_us: 1200,
             session_yields: 2,
             workspace_high_water_bytes: 1024,
@@ -1173,6 +1256,11 @@ mod tests {
         assert_eq!(fleet.workers, 8);
         assert_eq!(fleet.region_hits, 9);
         assert_eq!(fleet.region_bytes, 140);
+        assert_eq!(fleet.basis_cache_hits, 25);
+        assert_eq!(fleet.basis_cache_misses, 4);
+        assert_eq!(fleet.basis_cache_bytes, 768);
+        assert_eq!(fleet.basis_cache_entries, 3);
+        assert_eq!(fleet.kernel, "avx2", "agreeing shards keep the name");
         assert_eq!(fleet.session_yields, 3);
         assert_eq!(
             fleet.total_p95_us, 1200,
@@ -1184,10 +1272,9 @@ mod tests {
         assert!(fleet.warm_start, "all shards warm");
 
         let cold = StatsSnapshot::default();
-        assert!(
-            !StatsSnapshot::aggregate([&a, &cold]).warm_start,
-            "one cold shard makes the fleet cold"
-        );
+        let split = StatsSnapshot::aggregate([&a, &cold]);
+        assert!(!split.warm_start, "one cold shard makes the fleet cold");
+        assert_eq!(split.kernel, "mixed", "disagreeing shards read mixed");
         let none: [&StatsSnapshot; 0] = [];
         assert_eq!(StatsSnapshot::aggregate(none), StatsSnapshot::default());
     }

@@ -1,3 +1,4 @@
+use crate::kernel::{self, Kernel};
 use crate::{CooMatrix, DenseMatrix, Result, SparseError};
 use gana_par::Parallelism;
 use serde::{Deserialize, Serialize};
@@ -5,12 +6,6 @@ use serde::{Deserialize, Serialize};
 /// Smallest number of output rows a parallel spmm worker takes per claim;
 /// below this the spawn/claim overhead dominates the row arithmetic.
 const PAR_ROW_GRAIN: usize = 64;
-
-/// Column-tile width of the spmm micro-kernel: eight `f64`s span one cache
-/// line, and eight accumulators fit comfortably in registers on x86-64 and
-/// aarch64, so each stored entry costs one broadcast-multiply-add sweep
-/// with no output loads or stores inside the nnz loop.
-const COL_TILE: usize = 8;
 
 /// A compressed-sparse-row matrix of `f64`.
 ///
@@ -235,6 +230,22 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The row-pointer array (`rows + 1` entries, monotone, ending at nnz).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Stored column indices in row-major order, strictly increasing
+    /// within each row.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, position-aligned with [`CsrMatrix::indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Returns the entry at `(r, c)`, which is `0.0` when not stored.
     ///
     /// # Panics
@@ -332,7 +343,35 @@ impl CsrMatrix {
         }
         let cols = x.cols();
         out.resize(self.rows, cols);
-        self.spmm_rows_tiled(0..self.rows, x, out.as_mut_slice());
+        self.spmm_rows_tiled(kernel::active(), 0..self.rows, x, out.as_mut_slice());
+        Ok(())
+    }
+
+    /// [`CsrMatrix::mul_dense_into`] run with an explicitly chosen kernel
+    /// instead of the process-wide [`kernel::active`] selection — the entry
+    /// point the byte-identity proptests and the `spmm_phased_array_*`
+    /// microbenches use to exercise both the scalar and SIMD paths in one
+    /// process on any box. An unavailable kernel falls back to scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `X.rows() != self.cols()`.
+    pub fn mul_dense_into_with_kernel(
+        &self,
+        kernel: Kernel,
+        x: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        if x.rows() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: x.shape(),
+                op: "mul_dense",
+            });
+        }
+        let cols = x.cols();
+        out.resize(self.rows, cols);
+        self.spmm_rows_tiled(kernel, 0..self.rows, x, out.as_mut_slice());
         Ok(())
     }
 
@@ -366,45 +405,34 @@ impl CsrMatrix {
     }
 
     /// Computes output rows `range` of `self · x` into `dst`, a zeroed
-    /// row-major block of `range.len() × x.cols()`. Shared by the serial
-    /// and row-parallel entry points so both run the identical tiled
-    /// kernel.
+    /// row-major block of `range.len() × x.cols()`, with the given
+    /// micro-kernel. Shared by the serial and row-parallel entry points so
+    /// both run the identical tile loop.
     ///
-    /// Per tile, [`COL_TILE`] accumulators start at the block's `0.0` and
-    /// take the row's stored entries in index order — the same per-element
-    /// addend sequence as the naive kernel — then store once. The ragged
-    /// tail (`x.cols() % COL_TILE` columns) runs the same nnz-ordered
-    /// accumulation with in-place adds on the zeroed destination.
-    fn spmm_rows_tiled(&self, range: std::ops::Range<usize>, x: &DenseMatrix, dst: &mut [f64]) {
-        let cols = x.cols();
-        let start = range.start;
-        for r in range {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let row_out = &mut dst[(r - start) * cols..(r - start + 1) * cols];
-            let mut c0 = 0;
-            while c0 + COL_TILE <= cols {
-                let mut acc = [0.0f64; COL_TILE];
-                for i in lo..hi {
-                    let v = self.values[i];
-                    let src = &x.row(self.indices[i])[c0..c0 + COL_TILE];
-                    for (a, &s) in acc.iter_mut().zip(src) {
-                        *a += v * s;
-                    }
-                }
-                row_out[c0..c0 + COL_TILE].copy_from_slice(&acc);
-                c0 += COL_TILE;
-            }
-            if c0 < cols {
-                for i in lo..hi {
-                    let v = self.values[i];
-                    let src = &x.row(self.indices[i])[c0..];
-                    for (d, &s) in row_out[c0..].iter_mut().zip(src) {
-                        *d += v * s;
-                    }
-                }
-            }
-        }
+    /// Per tile, [`kernel::COL_TILE`] accumulators start at the block's
+    /// `0.0` and take the row's stored entries in index order — the same
+    /// per-element addend sequence as the naive kernel — then store once.
+    /// The ragged tail (`x.cols() % COL_TILE` columns) runs the same
+    /// nnz-ordered accumulation with in-place adds on the zeroed
+    /// destination. Every kernel variant honors the byte-identity contract
+    /// documented in [`kernel`], so the choice never changes results.
+    fn spmm_rows_tiled(
+        &self,
+        kernel: Kernel,
+        range: std::ops::Range<usize>,
+        x: &DenseMatrix,
+        dst: &mut [f64],
+    ) {
+        kernel::spmm_rows(
+            kernel,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            x.as_slice(),
+            x.cols(),
+            range,
+            dst,
+        );
     }
 
     /// Row-parallel [`CsrMatrix::mul_dense`] over the given thread budget.
@@ -448,9 +476,10 @@ impl CsrMatrix {
             });
         }
         let cols = x.cols();
+        let active = kernel::active();
         let blocks = par.map_chunks(self.rows, PAR_ROW_GRAIN, |range| {
             let mut block = vec![0.0; (range.end - range.start) * cols];
-            self.spmm_rows_tiled(range.clone(), x, &mut block);
+            self.spmm_rows_tiled(active, range.clone(), x, &mut block);
             (range, block)
         });
         out.resize(self.rows, cols);

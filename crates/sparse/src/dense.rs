@@ -1,3 +1,4 @@
+use crate::kernel;
 use crate::{Result, SparseError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -393,7 +394,9 @@ impl DenseMatrix {
         })
     }
 
-    /// In-place `self += alpha * rhs` (AXPY).
+    /// In-place `self += alpha * rhs` (AXPY), run by the active SIMD
+    /// kernel ([`crate::kernel::active`]); every kernel is bit-identical
+    /// to the scalar loop.
     ///
     /// # Errors
     ///
@@ -406,9 +409,29 @@ impl DenseMatrix {
                 op: "axpy",
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
+        kernel::axpy(kernel::active(), &mut self.data, alpha, &rhs.data);
+        Ok(())
+    }
+
+    /// In-place fused `self = alpha * self + beta * rhs` — the Chebyshev
+    /// combine step `T_k = 2·(L̂·T_{k−1}) − T_{k−2}` in a single sweep, run
+    /// by the active SIMD kernel. Per element this is multiply, multiply,
+    /// add, so the result is **bit-identical** to
+    /// [`DenseMatrix::scale_in_place`]`(alpha)` followed by
+    /// [`DenseMatrix::axpy`]`(beta, rhs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if shapes differ.
+    pub fn scale_axpy(&mut self, alpha: f64, beta: f64, rhs: &DenseMatrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "scale_axpy",
+            });
         }
+        kernel::scale_axpy(kernel::active(), &mut self.data, alpha, beta, &rhs.data);
         Ok(())
     }
 
@@ -708,6 +731,30 @@ mod tests {
         let b = sample();
         a.axpy(2.0, &b).expect("same shape");
         assert_eq!(a.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn scale_axpy_is_bitwise_equal_to_scale_then_axpy() {
+        let a = DenseMatrix::from_fn(5, 9, |i, j| ((i * 13 + j * 7) % 29) as f64 / 3.0 - 4.0);
+        let b = DenseMatrix::from_fn(5, 9, |i, j| ((i * 5 + j * 11) % 31) as f64 / 7.0 - 2.0);
+        let mut two_pass = a.clone();
+        two_pass.scale_in_place(2.0);
+        two_pass.axpy(-1.0, &b).expect("same shape");
+        let mut fused = a.clone();
+        fused.scale_axpy(2.0, -1.0, &b).expect("same shape");
+        assert_eq!(fused, two_pass);
+        assert!(fused
+            .as_slice()
+            .iter()
+            .zip(two_pass.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn scale_axpy_rejects_shape_mismatch() {
+        let mut a = sample();
+        let b = DenseMatrix::zeros(1, 1);
+        assert!(a.scale_axpy(2.0, -1.0, &b).is_err());
     }
 
     #[test]

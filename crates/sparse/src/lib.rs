@@ -32,19 +32,24 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernel module needs a scoped
+// `#![allow(unsafe_code)]` for its `std::arch` intrinsics; everything else
+// in the crate still refuses unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coo;
 mod csr;
 mod dense;
 mod error;
+pub mod kernel;
 pub mod lanczos;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use kernel::Kernel;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

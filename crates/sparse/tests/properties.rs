@@ -2,8 +2,19 @@
 //! must agree with dense reference computations, and the spectral helpers
 //! must respect their bounds.
 
-use gana_sparse::{lanczos, CooMatrix, CsrMatrix, DenseMatrix};
+use gana_sparse::{lanczos, CooMatrix, CsrMatrix, DenseMatrix, Kernel};
 use proptest::prelude::*;
+
+/// Every kernel the current CPU can execute — always contains `Scalar`,
+/// plus `Avx2`/`Neon` where the hardware allows, so the SIMD paths are
+/// proptested natively wherever possible and degrade to a scalar-vs-scalar
+/// check elsewhere.
+fn runnable_kernels() -> Vec<Kernel> {
+    [Kernel::Scalar, Kernel::Avx2, Kernel::Neon]
+        .into_iter()
+        .filter(|k| k.is_available())
+        .collect()
+}
 
 /// Strategy: a random sparse square matrix as (n, triplets).
 fn sparse_square() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
@@ -142,6 +153,58 @@ proptest! {
             expected = expected.vstack(&y).expect("same width");
         }
         prop_assert_eq!(&fused_out, &expected);
+    }
+
+    /// Every runtime-dispatchable spmm kernel (scalar, and AVX2/NEON where
+    /// the CPU allows) is bit-for-bit identical to the naive reference on
+    /// random CSR shapes — including all-empty rows (`nnz == 0` when the
+    /// entry vector is empty) and widths exercising the `cols % COL_TILE`
+    /// ragged tail on both sides of the tile boundary.
+    #[test]
+    fn every_kernel_spmm_matches_naive_bit_for_bit(
+        (n, entries) in sparse_square(),
+        cols in 1usize..20,
+    ) {
+        let a = build(n, &entries);
+        let x = DenseMatrix::from_fn(n, cols, |r, c| ((r * 11 + c * 3) % 37) as f64 / 5.0 - 3.0);
+        let mut naive = DenseMatrix::default();
+        a.mul_dense_into_naive(&x, &mut naive).expect("shapes match");
+        for kernel in runnable_kernels() {
+            let mut out = DenseMatrix::default();
+            a.mul_dense_into_with_kernel(kernel, &x, &mut out).expect("shapes match");
+            prop_assert_eq!(&out, &naive, "kernel {:?} diverged from naive", kernel);
+            let identical = out
+                .as_slice()
+                .iter()
+                .zip(naive.as_slice())
+                .all(|(p, q)| p.to_bits() == q.to_bits());
+            prop_assert!(identical, "kernel {:?} differs from naive in low bits", kernel);
+        }
+    }
+
+    /// The fused `scale_axpy` sweep — the SIMD Chebyshev combine step — is
+    /// bit-identical to the two-pass `scale_in_place` + `axpy` reference on
+    /// random shapes, including lengths hitting the vector-lane tails.
+    #[test]
+    fn fused_scale_axpy_matches_two_pass_bit_for_bit(
+        rows in 1usize..9,
+        cols in 1usize..20,
+        alpha in -4.0f64..4.0,
+        beta in -4.0f64..4.0,
+    ) {
+        let a = DenseMatrix::from_fn(rows, cols, |r, c| ((r * 7 + c * 13) % 41) as f64 / 9.0 - 2.0);
+        let b = DenseMatrix::from_fn(rows, cols, |r, c| ((r * 19 + c * 5) % 43) as f64 / 11.0 - 1.0);
+        let mut two_pass = a.clone();
+        two_pass.scale_in_place(alpha);
+        two_pass.axpy(beta, &b).expect("same shape");
+        let mut fused = a.clone();
+        fused.scale_axpy(alpha, beta, &b).expect("same shape");
+        let identical = fused
+            .as_slice()
+            .iter()
+            .zip(two_pass.as_slice())
+            .all(|(p, q)| p.to_bits() == q.to_bits());
+        prop_assert!(identical, "fused scale_axpy differs from two-pass in low bits");
     }
 
     #[test]
