@@ -246,4 +246,65 @@ else
     echo "WARNING: bench smoke failed (report-only stage, not gating)"
 fi
 
+echo "==> allocation profile (report-only -> BENCH_alloc.json)"
+# The bench-smoke binary rebuilt with the counting global allocator
+# (feature alloc-count) runs deterministic fixed-iteration workloads and
+# reports per-phase allocation calls + high-water byte deltas. Counts —
+# unlike wall-clock — reproduce exactly on shared runners, so any drift
+# vs the committed baseline is a real allocation-behavior change. Still
+# report-only: a human judges whether a delta is a regression or an
+# intended trade (e.g. fewer, larger arena slabs).
+if cargo run --release -p gana-bench --features alloc-count --bin bench-smoke; then
+    echo "alloc artifact: BENCH_alloc.json"
+    if git show HEAD:BENCH_alloc.json >/tmp/alloc_baseline.json 2>/dev/null; then
+        awk '
+            function field(line, key,    v) {
+                if (line !~ ("\"" key "\":")) return ""
+                v = line
+                sub(".*\"" key "\": ", "", v); sub(/[^0-9].*/, "", v)
+                return v
+            }
+            /"allocs"/ {
+                name = $0; sub(/^[[:space:]]*"/, "", name); sub(/".*/, "", name)
+                if (FILENAME == ARGV[1]) {
+                    base[name] = field($0, "allocs")
+                    base_hw[name] = field($0, "high_water_bytes")
+                } else {
+                    fresh[name] = field($0, "allocs")
+                    fresh_hw[name] = field($0, "high_water_bytes")
+                }
+            }
+            END {
+                drift = 0
+                for (n in fresh) {
+                    if (!(n in base)) {
+                        printf "NEW alloc phase %s: %d calls, %d B high-water (no committed baseline)\n", \
+                            n, fresh[n], fresh_hw[n]
+                        continue
+                    }
+                    if (fresh[n] != base[n]) {
+                        printf "ALLOC DELTA %s: %d -> %d calls (%+.1f%%)\n", \
+                            n, base[n], fresh[n], (fresh[n] - base[n]) * 100.0 / base[n]
+                        drift = 1
+                    }
+                    if (fresh_hw[n] != base_hw[n]) {
+                        printf "HIGH-WATER DELTA %s: %d -> %d B (%+.1f%%)\n", \
+                            n, base_hw[n], fresh_hw[n], \
+                            (fresh_hw[n] - base_hw[n]) * 100.0 / base_hw[n]
+                        drift = 1
+                    }
+                }
+                for (n in base)
+                    if (!(n in fresh))
+                        printf "REMOVED alloc phase %s: was %d calls in committed baseline\n", n, base[n]
+                if (!drift) print "allocation profile matches committed baseline exactly"
+            }
+        ' /tmp/alloc_baseline.json BENCH_alloc.json || true
+    else
+        echo "no committed BENCH_alloc.json baseline at HEAD; skipping diff"
+    fi
+else
+    echo "WARNING: allocation profile failed (report-only stage, not gating)"
+fi
+
 echo "CI green."

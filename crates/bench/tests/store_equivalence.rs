@@ -1,0 +1,301 @@
+//! Arena-vs-seed equivalence: the arena-backed [`CircuitGraph`] must
+//! reproduce the seed implementation's output exactly.
+//!
+//! The reference functions below are line-for-line transcriptions of the
+//! pre-arena algorithms (per-device `BTreeMap` label merge over
+//! `circuit.nets()`, element-side union–find CCC over per-net user
+//! windows). Every family in Table II — OTA, RF receiver, SC filter,
+//! phased array — is checked base and mutated, under the default options
+//! and both non-default option axes, down to adjacency rows, edge labels,
+//! rail classification, CCC grouping, and the rendered report.
+
+use gana_core::report;
+use gana_datasets::mutate::{self, MutationConfig};
+use gana_datasets::{ota, phased_array, rf, sc_filter, LabeledCircuit};
+use gana_graph::ccc::{channel_connected_components, Ccc};
+use gana_graph::{CircuitGraph, EdgeLabel, GraphOptions, VertexId};
+use gana_netlist::{Circuit, DeviceKind, MosTerminal};
+use std::collections::{BTreeMap, HashMap};
+
+/// Seed graph build: vertex list, per-vertex sorted adjacency, and the
+/// device-name list, computed exactly as the pre-arena `CircuitGraph`.
+struct ReferenceGraph {
+    element_count: usize,
+    device_names: Vec<String>,
+    net_names: Vec<String>,
+    adjacency: Vec<Vec<(VertexId, EdgeLabel)>>,
+    edge_count: usize,
+}
+
+fn reference_build(circuit: &Circuit, options: GraphOptions) -> ReferenceGraph {
+    let mut device_names: Vec<String> = Vec::new();
+    let mut element_devices: Vec<usize> = Vec::new();
+    for (i, d) in circuit.devices().iter().enumerate() {
+        if d.kind() == DeviceKind::Instance {
+            continue;
+        }
+        device_names.push(d.name().to_string());
+        element_devices.push(i);
+    }
+    let element_count = device_names.len();
+
+    let keep_net = |net: &str| -> bool {
+        options.include_supply_nets || !(circuit.is_supply(net) || circuit.is_ground(net))
+    };
+    let mut net_ids: BTreeMap<String, VertexId> = BTreeMap::new();
+    let mut net_names: Vec<String> = Vec::new();
+    for net in circuit.nets() {
+        if keep_net(&net) {
+            net_ids.insert(net.clone(), element_count + net_names.len());
+            net_names.push(net);
+        }
+    }
+
+    let mut adjacency: Vec<Vec<(VertexId, EdgeLabel)>> =
+        vec![Vec::new(); element_count + net_names.len()];
+    let mut edge_count = 0;
+    for (ev, &device_index) in element_devices.iter().enumerate() {
+        let d = &circuit.devices()[device_index];
+        let mut labels: BTreeMap<&str, EdgeLabel> = BTreeMap::new();
+        if d.kind().is_transistor() {
+            let pairs = [
+                (MosTerminal::Drain, EdgeLabel::DRAIN),
+                (MosTerminal::Gate, EdgeLabel::GATE),
+                (MosTerminal::Source, EdgeLabel::SOURCE),
+                (MosTerminal::Body, EdgeLabel::BODY),
+            ];
+            for (term, bit) in pairs {
+                if term == MosTerminal::Body && !options.include_body {
+                    continue;
+                }
+                let net = d.mos_terminal(term).expect("transistor terminal");
+                let entry = labels.entry(net).or_insert(EdgeLabel::NONE);
+                *entry = entry.union(bit);
+            }
+        } else {
+            for net in d.terminals() {
+                labels.entry(net).or_insert(EdgeLabel::NONE);
+            }
+        }
+        for (net, label) in labels {
+            if let Some(&nv) = net_ids.get(net) {
+                adjacency[ev].push((nv, label));
+                adjacency[nv].push((ev, label));
+                edge_count += 1;
+            }
+        }
+    }
+    for list in &mut adjacency {
+        list.sort_unstable_by_key(|&(v, l)| (v, l));
+    }
+    ReferenceGraph {
+        element_count,
+        device_names,
+        net_names,
+        adjacency,
+        edge_count,
+    }
+}
+
+/// Seed CCC: element-side union–find over per-net channel-user windows,
+/// grouped through a `HashMap` and sorted `(len desc, transistors asc)`.
+fn reference_ccc(circuit: &Circuit, graph: &CircuitGraph) -> Vec<Ccc> {
+    let n = graph.vertex_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut channel_net_users: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for v in 0..graph.element_count() {
+        if !graph.element_kind(v).expect("element").is_transistor() {
+            continue;
+        }
+        for &(net_v, label) in graph.neighbors(v) {
+            if !label.touches_channel() {
+                continue;
+            }
+            let net_name = graph.net_name(net_v).expect("net vertex");
+            if circuit.is_supply(net_name) || circuit.is_ground(net_name) {
+                continue;
+            }
+            channel_net_users.entry(net_v).or_default().push(v);
+        }
+    }
+    for users in channel_net_users.values() {
+        for w in users.windows(2) {
+            let (ra, rb) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+    }
+
+    let mut by_root: HashMap<usize, Ccc> = HashMap::new();
+    for v in 0..graph.element_count() {
+        if !graph.element_kind(v).expect("element").is_transistor() {
+            continue;
+        }
+        let root = find(&mut parent, v);
+        by_root
+            .entry(root)
+            .or_insert_with(|| Ccc {
+                transistors: Vec::new(),
+                nets: Vec::new(),
+            })
+            .transistors
+            .push(v);
+    }
+    for (&net_v, users) in &channel_net_users {
+        if let Some(&first) = users.first() {
+            let root = find(&mut parent, first);
+            if let Some(ccc) = by_root.get_mut(&root) {
+                ccc.nets.push(net_v);
+            }
+        }
+    }
+
+    let mut components: Vec<Ccc> = by_root.into_values().collect();
+    for c in &mut components {
+        c.transistors.sort_unstable();
+        c.nets.sort_unstable();
+    }
+    components.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.transistors.cmp(&b.transistors))
+    });
+    components
+}
+
+/// Asserts the arena-backed graph matches the reference build vertex by
+/// vertex, row by row, and that the cached CCC matches the seed grouping.
+fn assert_store_matches_seed(circuit: &Circuit, options: GraphOptions, tag: &str) {
+    let graph = CircuitGraph::build(circuit, options);
+    let expect = reference_build(circuit, options);
+
+    assert_eq!(graph.element_count(), expect.element_count, "{tag}");
+    assert_eq!(
+        graph.vertex_count(),
+        expect.element_count + expect.net_names.len(),
+        "{tag}"
+    );
+    assert_eq!(graph.edge_count(), expect.edge_count, "{tag}");
+    for v in 0..graph.element_count() {
+        assert_eq!(
+            graph.device_name(v).expect("element name"),
+            expect.device_names[v],
+            "{tag}: element {v}"
+        );
+    }
+    for (i, name) in expect.net_names.iter().enumerate() {
+        let v = expect.element_count + i;
+        assert_eq!(graph.net_name(v).expect("net name"), name, "{tag}: net {v}");
+        assert_eq!(
+            graph.store().rail(v) != Some(gana_store::Rail::Signal),
+            circuit.is_supply(name) || circuit.is_ground(name),
+            "{tag}: rail of {name}"
+        );
+    }
+    for v in 0..graph.vertex_count() {
+        assert_eq!(
+            graph.neighbors(v),
+            expect.adjacency[v].as_slice(),
+            "{tag}: adjacency row {v}"
+        );
+    }
+
+    assert_eq!(
+        channel_connected_components(circuit, &graph),
+        reference_ccc(circuit, &graph),
+        "{tag}: CCC grouping"
+    );
+}
+
+/// Checks a family base + mutated under the default options and both
+/// non-default option axes.
+fn check_family(lc: &LabeledCircuit, seed: u64, tag: &str) {
+    let mutated = mutate::apply(
+        lc.clone(),
+        MutationConfig {
+            split_parallel: 0.5,
+            add_dummy: 0.5,
+            add_decap: 0.8,
+            jitter_sizes: true,
+        },
+        seed,
+    )
+    .circuit;
+    let option_set = [
+        GraphOptions::default(),
+        GraphOptions {
+            include_body: true,
+            ..GraphOptions::default()
+        },
+        GraphOptions {
+            include_supply_nets: false,
+            ..GraphOptions::default()
+        },
+    ];
+    for (i, &options) in option_set.iter().enumerate() {
+        assert_store_matches_seed(&lc.circuit, options, &format!("{tag} base opts{i}"));
+        assert_store_matches_seed(&mutated, options, &format!("{tag} mutated opts{i}"));
+    }
+}
+
+#[test]
+fn ota_store_matches_seed() {
+    let lc = ota::generate(ota::OtaSpec {
+        topology: ota::OtaTopology::Miller,
+        pmos_input: false,
+        bias: ota::BiasStyle::MirrorRef,
+        seed: 7,
+    });
+    check_family(&lc, 41, "ota");
+}
+
+#[test]
+fn rf_store_matches_seed() {
+    let lc = rf::generate(rf::ReceiverSpec {
+        lna: rf::LnaKind::InductiveDegeneration,
+        mixer: rf::MixerKind::Gilbert,
+        osc: rf::OscKind::CrossCoupledLc,
+        seed: 13,
+    });
+    check_family(&lc, 42, "rf");
+}
+
+#[test]
+fn sc_filter_store_matches_seed() {
+    check_family(&sc_filter::generate(5), 43, "sc-filter");
+}
+
+#[test]
+fn phased_array_store_matches_seed() {
+    check_family(
+        &phased_array::generate_with_channels(2, 0),
+        44,
+        "phased-array",
+    );
+}
+
+#[test]
+fn report_is_deterministic_through_the_store() {
+    // Two pipelines built independently must render byte-identical reports
+    // through the arena-backed store (guards lazily-computed sections —
+    // the CCC OnceLock — against order-dependent output).
+    let pa = phased_array::generate_with_channels(2, 0);
+    let a = gana_bench::rf_pipeline(4)
+        .recognize(&pa.circuit)
+        .expect("runs");
+    let b = gana_bench::rf_pipeline(4)
+        .recognize(&pa.circuit)
+        .expect("runs");
+    assert_eq!(report::full_report(&a), report::full_report(&b));
+    assert_eq!(a.final_label, b.final_label);
+}

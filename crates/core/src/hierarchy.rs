@@ -152,6 +152,27 @@ pub fn build(design_name: &str, sub_blocks: &[SubBlock]) -> HierarchyNode {
     root
 }
 
+/// Flattens a hierarchy tree into a store slab ([`gana_store::HierarchySlab`]):
+/// nodes and child lists in contiguous slabs with interned names, added
+/// bottom-up so children precede parents.
+pub fn to_slab(root: &HierarchyNode) -> gana_store::HierarchySlab {
+    fn add(slab: &mut gana_store::HierarchySlab, node: &HierarchyNode) -> gana_store::HierNodeId {
+        let kids: Vec<gana_store::HierNodeId> =
+            node.children.iter().map(|c| add(slab, c)).collect();
+        let kind = match node.kind {
+            NodeKind::System => gana_store::HierKind::System,
+            NodeKind::SubBlock => gana_store::HierKind::SubBlock,
+            NodeKind::Primitive => gana_store::HierKind::Primitive,
+            NodeKind::Element => gana_store::HierKind::Element,
+        };
+        slab.add(&node.name, kind, node.label.as_deref(), &kids)
+    }
+    let mut slab = gana_store::HierarchySlab::new();
+    let root_id = add(&mut slab, root);
+    slab.set_root(root_id);
+    slab
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -281,7 +281,7 @@ impl Pipeline {
     ///
     /// Propagates coarsening errors.
     pub fn prepare_preprocessed(&self, clean: &Circuit) -> Result<(CircuitGraph, GraphSample)> {
-        let graph = CircuitGraph::build(clean, GraphOptions::default());
+        let mut graph = CircuitGraph::build(clean, GraphOptions::default());
         let labels = vec![None; graph.vertex_count()];
         let sample = GraphSample::prepare(
             clean.name().to_string(),
@@ -291,6 +291,11 @@ impl Pipeline {
             self.model.config().levels(),
             self.coarsen_seed,
         )?;
+        // The coarsening permutation joins the design's unified store, so
+        // one handle owns everything derived from the netlist.
+        graph
+            .store_mut()
+            .record_coarsening(sample.coarsening.section());
         Ok((graph, sample))
     }
 
@@ -385,7 +390,7 @@ impl Pipeline {
     pub fn finish_with_annotator(
         &self,
         circuit: Circuit,
-        graph: CircuitGraph,
+        mut graph: CircuitGraph,
         gcn_class: Vec<usize>,
         annotator: &post1::Annotator<'_>,
     ) -> RecognizedDesign {
@@ -485,6 +490,9 @@ impl Pipeline {
         all_constraints.dedup();
 
         let hierarchy = hierarchy::build(circuit.name(), &sub_blocks);
+        graph
+            .store_mut()
+            .record_hierarchy(hierarchy::to_slab(&hierarchy));
         let smoothed_class = stage1.smoothed;
         RecognizedDesign {
             circuit,

@@ -169,6 +169,25 @@ impl Coarsening {
         self.slot(v) >> self.levels
     }
 
+    /// A compact, store-resident record of this coarsening: the padded
+    /// permutation and per-level sizes (the Laplacians stay with the
+    /// inference sample). Recorded into the design's
+    /// [`gana_store::CircuitStore`] by pipeline preparation.
+    pub fn section(&self) -> gana_store::CoarsenSection {
+        gana_store::CoarsenSection {
+            levels: self.levels,
+            n_original: self.n_original,
+            padded_size: self.perm.len(),
+            perm: self
+                .perm
+                .iter()
+                .map(|p| p.map_or(gana_store::NO_VERTEX, |v| v as u32))
+                .collect(),
+            inverse_perm: self.inverse_perm.iter().map(|&v| v as u32).collect(),
+            level_sizes: self.laplacians.iter().map(|l| l.rows() as u32).collect(),
+        }
+    }
+
     /// Scatters an `n_original × d` feature matrix into padded level-0
     /// layout; fake slots get zero rows.
     ///

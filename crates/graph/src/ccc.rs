@@ -41,89 +41,21 @@ impl Ccc {
 /// ground nets. Gate connections do **not** join a CCC — that is what makes
 /// the decomposition align with amplifier stages. Components are returned
 /// largest-first; singleton components are included.
+///
+/// The decomposition is computed once per graph inside the backing
+/// [`gana_store::CircuitStore`] (which classified rails at build time) and
+/// cached there; this function materializes [`Ccc`] values from the cached
+/// section. The `circuit` argument remains for API stability — rail
+/// classification comes from the store.
 pub fn channel_connected_components(circuit: &Circuit, graph: &CircuitGraph) -> Vec<Ccc> {
-    let n = graph.vertex_count();
-    let mut parent: Vec<usize> = (0..n).collect();
-
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
-    fn union(parent: &mut [usize], a: usize, b: usize) {
-        let (ra, rb) = (find(parent, a), find(parent, b));
-        if ra != rb {
-            parent[ra] = rb;
-        }
-    }
-
-    // Group transistors by shared channel nets.
-    let mut channel_net_users: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
-    for v in graph.element_vertices() {
-        let Some(kind) = graph.element_kind(v) else {
-            continue;
-        };
-        if !kind.is_transistor() {
-            continue;
-        }
-        for &(net_v, label) in graph.neighbors(v) {
-            if !label.touches_channel() {
-                continue;
-            }
-            let net_name = graph.net_name(net_v).expect("net vertex");
-            if circuit.is_supply(net_name) || circuit.is_ground(net_name) {
-                continue;
-            }
-            channel_net_users.entry(net_v).or_default().push(v);
-        }
-    }
-    for users in channel_net_users.values() {
-        for w in users.windows(2) {
-            union(&mut parent, w[0], w[1]);
-        }
-    }
-
-    // Collect components.
-    let mut by_root: HashMap<usize, Ccc> = HashMap::new();
-    for v in graph.element_vertices() {
-        let Some(kind) = graph.element_kind(v) else {
-            continue;
-        };
-        if !kind.is_transistor() {
-            continue;
-        }
-        let root = find(&mut parent, v);
-        by_root
-            .entry(root)
-            .or_insert_with(|| Ccc {
-                transistors: Vec::new(),
-                nets: Vec::new(),
-            })
-            .transistors
-            .push(v);
-    }
-    for (&net_v, users) in &channel_net_users {
-        if let Some(&first) = users.first() {
-            let root = find(&mut parent, first);
-            if let Some(ccc) = by_root.get_mut(&root) {
-                ccc.nets.push(net_v);
-            }
-        }
-    }
-
-    let mut components: Vec<Ccc> = by_root.into_values().collect();
-    for c in &mut components {
-        c.transistors.sort_unstable();
-        c.nets.sort_unstable();
-    }
-    components.sort_by(|a, b| {
-        b.len()
-            .cmp(&a.len())
-            .then_with(|| a.transistors.cmp(&b.transistors))
-    });
-    components
+    let _ = circuit;
+    let section = graph.store().ccc();
+    (0..section.group_count())
+        .map(|g| Ccc {
+            transistors: section.transistors(g).iter().map(|&v| v as usize).collect(),
+            nets: section.nets(g).iter().map(|&v| v as usize).collect(),
+        })
+        .collect()
 }
 
 /// Maps each transistor element vertex to the index of its CCC in the

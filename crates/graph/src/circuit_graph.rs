@@ -1,16 +1,21 @@
 //! The bipartite circuit graph (paper Section II-C).
+//!
+//! Since the arena refactor the graph is a thin view over
+//! [`gana_store::CircuitStore`]: one allocation domain holds the vertex
+//! slabs, the interned names, and the flat CSR adjacency, and downstream
+//! sections (CCC, coarsening, hierarchy) append to the same store.
 
-use crate::EdgeLabel;
-use gana_netlist::{Circuit, DeviceKind, MosTerminal};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use gana_netlist::{Circuit, DeviceKind};
+use gana_store::CircuitStore;
+
+pub use gana_store::GraphOptions;
 
 /// Index of a vertex within a [`CircuitGraph`].
 pub type VertexId = usize;
 
-/// What a graph vertex represents.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum VertexKind {
+/// A borrowed view of what a graph vertex represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexRef<'g> {
     /// An element (transistor/passive/source): `Ve` in the paper.
     Element {
         /// Index into the source circuit's device list.
@@ -21,39 +26,19 @@ pub enum VertexKind {
     /// A net: `Vn` in the paper.
     Net {
         /// Net name in the flattened circuit.
-        name: String,
+        name: &'g str,
     },
 }
 
-impl VertexKind {
+impl VertexRef<'_> {
     /// True for element vertices.
     pub fn is_element(&self) -> bool {
-        matches!(self, VertexKind::Element { .. })
+        matches!(self, VertexRef::Element { .. })
     }
 
     /// True for net vertices.
     pub fn is_net(&self) -> bool {
-        matches!(self, VertexKind::Net { .. })
-    }
-}
-
-/// Options controlling graph construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GraphOptions {
-    /// Include MOS body terminals as (body-labeled) edges. The paper's
-    /// figures omit body connections; default `false`.
-    pub include_body: bool,
-    /// Include supply/ground nets as vertices. The paper's graphs include
-    /// them (Fig. 3 shows `vdd!` and `gnd!`); default `true`.
-    pub include_supply_nets: bool,
-}
-
-impl Default for GraphOptions {
-    fn default() -> Self {
-        GraphOptions {
-            include_body: false,
-            include_supply_nets: true,
-        }
+        matches!(self, VertexRef::Net { .. })
     }
 }
 
@@ -61,17 +46,13 @@ impl Default for GraphOptions {
 ///
 /// Vertices `0..element_count()` are elements in device-list order; vertices
 /// `element_count()..vertex_count()` are nets in sorted-name order, so vertex
-/// numbering is deterministic. Edges carry [`EdgeLabel`]s; a transistor
-/// touching a net through several terminals yields **one** edge whose label
-/// is the OR of the terminal bits (matching Fig. 2's `101` diode edge).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// numbering is deterministic. Edges carry [`crate::EdgeLabel`]s; a
+/// transistor touching a net through several terminals yields **one** edge
+/// whose label is the OR of the terminal bits (matching Fig. 2's `101`
+/// diode edge).
+#[derive(Debug, Clone, PartialEq)]
 pub struct CircuitGraph {
-    vertices: Vec<VertexKind>,
-    adjacency: Vec<Vec<(VertexId, EdgeLabel)>>,
-    element_count: usize,
-    device_names: Vec<String>,
-    net_ids: BTreeMap<String, VertexId>,
-    edge_count: usize,
+    store: CircuitStore,
 }
 
 impl CircuitGraph {
@@ -81,110 +62,62 @@ impl CircuitGraph {
     /// expected to be flattened); voltage/current sources become element
     /// vertices so that reference structures remain visible to recognition.
     pub fn build(circuit: &Circuit, options: GraphOptions) -> CircuitGraph {
-        let mut vertices: Vec<VertexKind> = Vec::new();
-        let mut device_names: Vec<String> = Vec::new();
-        let mut element_devices: Vec<usize> = Vec::new();
-        for (i, d) in circuit.devices().iter().enumerate() {
-            if d.kind() == DeviceKind::Instance {
-                continue;
-            }
-            vertices.push(VertexKind::Element {
-                device_index: i,
-                kind: d.kind(),
-            });
-            device_names.push(d.name().to_string());
-            element_devices.push(i);
-        }
-        let element_count = vertices.len();
-
-        let keep_net = |net: &str| -> bool {
-            options.include_supply_nets || !(circuit.is_supply(net) || circuit.is_ground(net))
-        };
-        let mut net_ids: BTreeMap<String, VertexId> = BTreeMap::new();
-        for net in circuit.nets() {
-            if keep_net(&net) {
-                let id = vertices.len();
-                vertices.push(VertexKind::Net { name: net.clone() });
-                net_ids.insert(net, id);
-            }
-        }
-
-        let mut adjacency: Vec<Vec<(VertexId, EdgeLabel)>> = vec![Vec::new(); vertices.len()];
-        let mut edge_count = 0;
-        for (ev, &device_index) in element_devices.iter().enumerate() {
-            let d = &circuit.devices()[device_index];
-            // Collect per-net labels for this device.
-            let mut labels: BTreeMap<&str, EdgeLabel> = BTreeMap::new();
-            if d.kind().is_transistor() {
-                let pairs = [
-                    (MosTerminal::Drain, EdgeLabel::DRAIN),
-                    (MosTerminal::Gate, EdgeLabel::GATE),
-                    (MosTerminal::Source, EdgeLabel::SOURCE),
-                    (MosTerminal::Body, EdgeLabel::BODY),
-                ];
-                for (term, bit) in pairs {
-                    if term == MosTerminal::Body && !options.include_body {
-                        continue;
-                    }
-                    let net = d.mos_terminal(term).expect("transistor terminal");
-                    let entry = labels.entry(net).or_insert(EdgeLabel::NONE);
-                    *entry = entry.union(bit);
-                }
-                // Drop nets connected only through the body.
-                labels.retain(|_, l| l.bits() != 0 || !options.include_body || l.has_body());
-            } else {
-                for net in d.terminals() {
-                    labels.entry(net).or_insert(EdgeLabel::NONE);
-                }
-            }
-            for (net, label) in labels {
-                if let Some(&nv) = net_ids.get(net) {
-                    adjacency[ev].push((nv, label));
-                    adjacency[nv].push((ev, label));
-                    edge_count += 1;
-                }
-            }
-        }
-        for list in &mut adjacency {
-            list.sort_unstable_by_key(|&(v, l)| (v, l));
-        }
         CircuitGraph {
-            vertices,
-            adjacency,
-            element_count,
-            device_names,
-            net_ids,
-            edge_count,
+            store: CircuitStore::build(circuit, options),
         }
+    }
+
+    /// Wraps an existing store.
+    pub fn from_store(store: CircuitStore) -> CircuitGraph {
+        CircuitGraph { store }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &CircuitStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing store (to record downstream sections).
+    pub fn store_mut(&mut self) -> &mut CircuitStore {
+        &mut self.store
     }
 
     /// Total number of vertices `|Ve| + |Vn|`.
     pub fn vertex_count(&self) -> usize {
-        self.vertices.len()
+        self.store.vertex_count()
     }
 
     /// Number of element vertices `|Ve|`.
     pub fn element_count(&self) -> usize {
-        self.element_count
+        self.store.element_count()
     }
 
     /// Number of net vertices `|Vn|`.
     pub fn net_count(&self) -> usize {
-        self.vertices.len() - self.element_count
+        self.store.net_count()
     }
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.store.edge_count()
     }
 
-    /// The vertex payload.
+    /// A borrowed view of the vertex payload.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
-    pub fn vertex(&self, v: VertexId) -> &VertexKind {
-        &self.vertices[v]
+    pub fn vertex(&self, v: VertexId) -> VertexRef<'_> {
+        if let Some(e) = self.store.element(v) {
+            VertexRef::Element {
+                device_index: e.device_index as usize,
+                kind: e.kind,
+            }
+        } else {
+            VertexRef::Net {
+                name: self.store.net_name(v).expect("vertex id in bounds"),
+            }
+        }
     }
 
     /// Neighbors of `v` with edge labels, sorted by neighbor id.
@@ -192,8 +125,8 @@ impl CircuitGraph {
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
-    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeLabel)] {
-        &self.adjacency[v]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, crate::EdgeLabel)] {
+        self.store.neighbors(v)
     }
 
     /// Degree of `v`.
@@ -202,83 +135,67 @@ impl CircuitGraph {
     ///
     /// Panics if `v` is out of bounds.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v].len()
+        self.store.degree(v)
     }
 
     /// The device name behind an element vertex, or `None` for a net vertex.
     pub fn device_name(&self, v: VertexId) -> Option<&str> {
-        if v < self.element_count {
-            Some(&self.device_names[v])
-        } else {
-            None
-        }
+        self.store.device_name(v)
     }
 
     /// The net name behind a net vertex, or `None` for an element vertex.
     pub fn net_name(&self, v: VertexId) -> Option<&str> {
-        match &self.vertices[v] {
-            VertexKind::Net { name } => Some(name),
-            VertexKind::Element { .. } => None,
-        }
+        self.store.net_name(v)
     }
 
     /// The vertex id of a net, if the net exists in the graph.
     pub fn net_vertex(&self, net: &str) -> Option<VertexId> {
-        self.net_ids.get(net).copied()
+        self.store.net_vertex(net)
     }
 
     /// The vertex id of a device by name, if present.
     pub fn element_vertex(&self, device: &str) -> Option<VertexId> {
-        self.device_names.iter().position(|n| n == device)
+        self.store.element_vertex(device)
     }
 
     /// Iterates over element vertex ids.
     pub fn element_vertices(&self) -> impl Iterator<Item = VertexId> {
-        0..self.element_count
+        0..self.store.element_count()
     }
 
     /// Iterates over net vertex ids.
     pub fn net_vertices(&self) -> impl Iterator<Item = VertexId> {
-        self.element_count..self.vertices.len()
+        self.store.element_count()..self.store.vertex_count()
     }
 
     /// The device kind of an element vertex, or `None` for nets.
     pub fn element_kind(&self, v: VertexId) -> Option<DeviceKind> {
-        match self.vertices[v] {
-            VertexKind::Element { kind, .. } => Some(kind),
-            VertexKind::Net { .. } => None,
-        }
+        self.store.element_kind(v)
     }
 
     /// The index into the source circuit's device list for an element vertex.
     pub fn device_index(&self, v: VertexId) -> Option<usize> {
-        match self.vertices[v] {
-            VertexKind::Element { device_index, .. } => Some(device_index),
-            VertexKind::Net { .. } => None,
-        }
+        self.store.device_index(v)
     }
 
     /// Verifies the bipartite invariant: every edge joins an element and a net.
     pub fn is_bipartite(&self) -> bool {
-        (0..self.vertices.len()).all(|v| {
-            self.adjacency[v]
-                .iter()
-                .all(|&(u, _)| self.vertices[v].is_element() != self.vertices[u].is_element())
-        })
+        let ec = self.store.element_count();
+        (0..self.vertex_count())
+            .all(|v| self.neighbors(v).iter().all(|&(u, _)| (v < ec) != (u < ec)))
     }
 
-    /// The label of the edge between `a` and `b`, if present.
-    pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<EdgeLabel> {
-        self.adjacency[a]
-            .iter()
-            .find(|&&(u, _)| u == b)
-            .map(|&(_, l)| l)
+    /// The label of the edge between `a` and `b`, if present (binary search
+    /// over `a`'s sorted neighbor row).
+    pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<crate::EdgeLabel> {
+        self.store.edge_label(a, b)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EdgeLabel;
     use gana_netlist::parse;
 
     /// The paper's Fig. 2 current mirror: M0 diode-connected, M1 mirror.
@@ -388,5 +305,31 @@ mod tests {
         assert_eq!(g.vertex_count(), g.element_count() + g.net_count());
         assert_eq!(g.element_count(), 3);
         assert_eq!(g.net_count(), 4);
+    }
+
+    #[test]
+    fn vertex_ref_views() {
+        let g = CircuitGraph::build(&current_mirror(), GraphOptions::default());
+        assert!(g.vertex(0).is_element());
+        assert!(g.vertex(2).is_net());
+        assert_eq!(
+            g.vertex(2),
+            VertexRef::Net { name: "d1" },
+            "net view borrows the interned name"
+        );
+        match g.vertex(1) {
+            VertexRef::Element { device_index, kind } => {
+                assert_eq!(device_index, 1);
+                assert_eq!(kind, DeviceKind::Nmos);
+            }
+            VertexRef::Net { .. } => panic!("vertex 1 is an element"),
+        }
+    }
+
+    #[test]
+    fn store_is_shared_with_sections() {
+        let g = CircuitGraph::build(&current_mirror(), GraphOptions::default());
+        assert!(g.store().heap_bytes() > 0);
+        assert_eq!(g.store().ccc().group_count(), 1, "mirror is one CCC");
     }
 }

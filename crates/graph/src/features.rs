@@ -6,7 +6,7 @@
 //! output, bias signal, supply net, ground net …; 1 feature that describes
 //! the edges incident on a transistor vertex."
 
-use crate::{CircuitGraph, VertexId, VertexKind};
+use crate::{CircuitGraph, VertexId, VertexRef};
 use gana_netlist::{Circuit, DeviceKind, PortLabel};
 use gana_sparse::DenseMatrix;
 
@@ -193,7 +193,7 @@ pub fn feature_matrix_with_options(
 
 fn fill_vertex(circuit: &Circuit, graph: &CircuitGraph, v: VertexId, row: &mut [f64]) {
     match graph.vertex(v) {
-        VertexKind::Element { device_index, kind } => {
+        VertexRef::Element { device_index, kind } => {
             let slot = match kind {
                 DeviceKind::Nmos => F_NMOS,
                 DeviceKind::Pmos => F_PMOS,
@@ -206,9 +206,9 @@ fn fill_vertex(circuit: &Circuit, graph: &CircuitGraph, v: VertexId, row: &mut [
                 DeviceKind::Instance => F_HIER,
             };
             row[slot] = 1.0;
-            let device = &circuit.devices()[*device_index];
+            let device = &circuit.devices()[device_index];
             if let Some(value) = device.value() {
-                if let Some(bucket) = value_bucket(*kind, value) {
+                if let Some(bucket) = value_bucket(kind, value) {
                     row[bucket] = 1.0;
                 }
             }
@@ -222,7 +222,7 @@ fn fill_vertex(circuit: &Circuit, graph: &CircuitGraph, v: VertexId, row: &mut [
                 }
             }
         }
-        VertexKind::Net { name } => match classify_net(circuit, name) {
+        VertexRef::Net { name } => match classify_net(circuit, name) {
             NetClass::Input => row[F_NET_IN] = 1.0,
             NetClass::Output => row[F_NET_OUT] = 1.0,
             NetClass::Bias => row[F_NET_BIAS] = 1.0,

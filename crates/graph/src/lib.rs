@@ -42,10 +42,9 @@
 pub mod ccc;
 mod circuit_graph;
 pub mod features;
-mod label;
 pub mod laplacian;
 pub mod traversal;
 pub mod vf2;
 
-pub use circuit_graph::{CircuitGraph, GraphOptions, VertexId, VertexKind};
-pub use label::EdgeLabel;
+pub use circuit_graph::{CircuitGraph, GraphOptions, VertexId, VertexRef};
+pub use gana_store::EdgeLabel;

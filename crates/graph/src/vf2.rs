@@ -11,7 +11,7 @@
 //! swaps (MOS channel symmetry) when
 //! [`MatchOptions::symmetric_mos`] is set.
 
-use crate::{CircuitGraph, EdgeLabel, VertexId, VertexKind};
+use crate::{CircuitGraph, EdgeLabel, VertexId, VertexRef};
 use gana_netlist::{Circuit, DeviceKind};
 use std::collections::BTreeSet;
 
@@ -64,18 +64,18 @@ impl Vf2Graph {
     /// otherwise they become [`NetRole::Plain`]. Rail nets keep their role
     /// in both cases so a pattern can insist on a ground connection.
     pub fn from_circuit(circuit: &Circuit, graph: &CircuitGraph, as_pattern: bool) -> Vf2Graph {
+        let _ = circuit; // rail data now lives in the graph's store
         let labels = (0..graph.vertex_count())
             .map(|v| match graph.vertex(v) {
-                VertexKind::Element { kind, .. } => VertexLabel::Element(*kind),
-                VertexKind::Net { name } => {
-                    let role = if circuit.is_supply(name) {
-                        NetRole::Supply
-                    } else if circuit.is_ground(name) {
-                        NetRole::Ground
-                    } else if as_pattern {
-                        NetRole::Any
-                    } else {
-                        NetRole::Plain
+                VertexRef::Element { kind, .. } => VertexLabel::Element(kind),
+                VertexRef::Net { .. } => {
+                    // Rail classification was captured when the store was
+                    // built, so no string comparison happens here.
+                    let role = match graph.store().rail(v).expect("net vertex") {
+                        gana_store::Rail::Supply => NetRole::Supply,
+                        gana_store::Rail::Ground => NetRole::Ground,
+                        gana_store::Rail::Signal if as_pattern => NetRole::Any,
+                        gana_store::Rail::Signal => NetRole::Plain,
                     };
                     VertexLabel::Net(role)
                 }

@@ -9,6 +9,7 @@
 //! shared by every session of a serving engine.
 
 use gana_primitives::AnnotationResult;
+use gana_store::HeapBytes;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,30 +25,29 @@ pub struct CachedBlock {
 }
 
 impl CachedBlock {
-    /// Approximate heap footprint, for byte accounting.
+    /// Heap footprint for byte accounting, using the store's capacity-based
+    /// [`HeapBytes`] convention: each container's own heap block (shallow)
+    /// plus the strings it owns.
     pub fn cost_bytes(&self) -> usize {
-        let strings: usize = self.devices.iter().map(|d| d.len() + 24).sum::<usize>()
-            + self
-                .annotation
-                .instances
-                .iter()
-                .map(|i| {
-                    i.primitive.len()
-                        + i.devices.iter().map(|d| d.len() + 24).sum::<usize>()
-                        + i.constraints
-                            .iter()
-                            .map(|c| c.members.iter().map(|m| m.len() + 24).sum::<usize>() + 32)
-                            .sum::<usize>()
-                        + 96
-                })
-                .sum::<usize>()
-            + self
-                .annotation
-                .unclaimed
-                .iter()
-                .map(|d| d.len() + 24)
-                .sum::<usize>();
-        strings + 64
+        fn strings(v: &[String]) -> usize {
+            v.iter().map(HeapBytes::heap_bytes).sum()
+        }
+        let mut bytes = std::mem::size_of::<CachedBlock>()
+            + self.devices.heap_bytes()
+            + strings(&self.devices)
+            + self.annotation.instances.heap_bytes();
+        for i in &self.annotation.instances {
+            bytes += i.primitive.heap_bytes()
+                + i.devices.heap_bytes()
+                + strings(&i.devices)
+                + i.constraints.heap_bytes();
+            for c in &i.constraints {
+                // `Arc<[String]>` slab: the shared member array plus its
+                // strings (exact-sized, so len is the capacity).
+                bytes += c.members.len() * std::mem::size_of::<String>() + strings(&c.members);
+            }
+        }
+        bytes + self.annotation.unclaimed.heap_bytes() + strings(&self.annotation.unclaimed)
     }
 }
 

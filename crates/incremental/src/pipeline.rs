@@ -46,6 +46,11 @@ use std::sync::Arc;
 
 /// Prior state an update is computed against: the previous recognized
 /// design plus the indexes needed to splice from it.
+///
+/// Class splicing needs no name-keyed side tables: the design graph's
+/// arena-backed store already answers `element_vertex`/`net_vertex` by
+/// binary search over interned names, so a baseline is just the design,
+/// its region map, and the fingerprint index.
 #[derive(Debug, Clone)]
 pub struct Baseline {
     /// Canonical structural hash of the preprocessed circuit.
@@ -54,8 +59,6 @@ pub struct Baseline {
     pub design: RecognizedDesign,
     /// Region decomposition of the prior design graph.
     pub regions: RegionMap,
-    element_class: HashMap<String, usize>,
-    net_class: HashMap<String, usize>,
     /// Region fingerprint → indices into `regions.regions`.
     by_fingerprint: HashMap<u128, Vec<usize>>,
 }
@@ -64,15 +67,6 @@ impl Baseline {
     fn from_design(design: RecognizedDesign) -> Baseline {
         let canon = structural_hash(&design.circuit);
         let regions = RegionMap::build(&design.circuit, &design.graph);
-        let mut element_class = HashMap::new();
-        let mut net_class = HashMap::new();
-        for v in 0..design.graph.vertex_count() {
-            if let Some(name) = design.graph.device_name(v) {
-                element_class.insert(name.to_string(), design.gcn_class[v]);
-            } else if let Some(name) = design.graph.net_name(v) {
-                net_class.insert(name.to_string(), design.gcn_class[v]);
-            }
-        }
         let mut by_fingerprint: HashMap<u128, Vec<usize>> = HashMap::new();
         for (idx, region) in regions.regions.iter().enumerate() {
             by_fingerprint
@@ -84,10 +78,30 @@ impl Baseline {
             canon,
             design,
             regions,
-            element_class,
-            net_class,
             by_fingerprint,
         }
+    }
+
+    /// Prior GCN class of a device, by binary search in the prior store.
+    fn element_class(&self, name: &str) -> Option<usize> {
+        self.design
+            .graph
+            .element_vertex(name)
+            .map(|v| self.design.gcn_class[v])
+    }
+
+    /// Prior GCN class of a net, by binary search in the prior store.
+    fn net_class(&self, name: &str) -> Option<usize> {
+        self.design
+            .graph
+            .net_vertex(name)
+            .map(|v| self.design.gcn_class[v])
+    }
+
+    /// Heap bytes the baseline's unified store keeps resident (graph,
+    /// CCC, coarsening, hierarchy sections).
+    pub fn store_bytes(&self) -> usize {
+        self.design.graph.store().heap_bytes()
     }
 
     /// Whether some prior region has this fingerprint *and* this device
@@ -308,19 +322,23 @@ impl IncrementalPipeline {
         // net with a dirty region see changed context. BFS over the
         // region-adjacency graph to `dirty_rings()` depth, so the splice
         // boundary sits past the model's receptive field (see module docs).
-        let mut by_net: HashMap<&str, Vec<usize>> = HashMap::new();
+        // Rows are indexed by net vertex (net vertices occupy the tail of
+        // the store's vertex range); rail nets never couple regions, so
+        // their rows stay empty — the store's build-time rail classification
+        // replaces per-name supply/ground string checks.
+        let element_count = graph.element_count();
+        let mut by_net: Vec<Vec<usize>> = vec![Vec::new(); graph.net_count()];
         for (idx, region) in regions.regions.iter().enumerate() {
-            let mut nets: BTreeSet<&str> = BTreeSet::new();
+            let mut nets: BTreeSet<usize> = BTreeSet::new();
             for &v in &region.elements {
                 for &(net, _) in graph.neighbors(v) {
-                    let name = graph.net_name(net).expect("net vertex");
-                    if !clean.is_supply(name) && !clean.is_ground(name) {
-                        nets.insert(name);
+                    if graph.store().rail(net) == Some(gana_store::Rail::Signal) {
+                        nets.insert(net);
                     }
                 }
             }
             for net in nets {
-                by_net.entry(net).or_default().push(idx);
+                by_net[net - element_count].push(idx);
             }
         }
         let mut frontier: Vec<usize> = (0..dirty.len()).filter(|&i| dirty[i]).collect();
@@ -329,13 +347,10 @@ impl IncrementalPipeline {
             for idx in frontier {
                 for &v in &regions.regions[idx].elements {
                     for &(net, _) in graph.neighbors(v) {
-                        let name = graph.net_name(net).expect("net vertex");
-                        if let Some(sharing) = by_net.get(name) {
-                            for &other in sharing {
-                                if !dirty[other] {
-                                    dirty[other] = true;
-                                    next.push(other);
-                                }
+                        for &other in &by_net[net - element_count] {
+                            if !dirty[other] {
+                                dirty[other] = true;
+                                next.push(other);
                             }
                         }
                     }
@@ -350,9 +365,10 @@ impl IncrementalPipeline {
         let dirty_regions = dirty.iter().filter(|&&d| d).count();
         let clean_regions = dirty.len() - dirty_regions;
 
-        // Infer fresh classes for the dirty subcircuit only.
-        let mut dirty_element_class: HashMap<String, usize> = HashMap::new();
-        let mut dirty_net_class: HashMap<String, usize> = HashMap::new();
+        // Infer fresh classes for the dirty subcircuit only. The dirty
+        // subgraph's own store answers the later name lookups by binary
+        // search — no name-keyed scratch maps.
+        let mut dirty_sub: Option<(CircuitGraph, Vec<usize>)> = None;
         let mut dirty_devices = 0usize;
         let mut inferred_vertices = 0usize;
         if dirty_regions > 0 {
@@ -368,30 +384,29 @@ impl IncrementalPipeline {
             let (sub_graph, sub_sample) = self.pipeline.prepare_preprocessed(&sub)?;
             let sub_class = self.pipeline.predict_sample(&sub_sample)?;
             inferred_vertices = sub_graph.vertex_count();
-            for (v, &class) in sub_class.iter().enumerate().take(sub_graph.vertex_count()) {
-                if let Some(name) = sub_graph.device_name(v) {
-                    dirty_element_class.insert(name.to_string(), class);
-                } else if let Some(name) = sub_graph.net_name(v) {
-                    dirty_net_class.insert(name.to_string(), class);
-                }
-            }
+            dirty_sub = Some((sub_graph, sub_class));
         }
 
         // Assemble full per-vertex classes: fresh where dirty, spliced from
-        // the baseline elsewhere.
+        // the baseline elsewhere. Both sides resolve names against their
+        // store's sorted slabs.
+        let fresh_element = |name: &str| {
+            let (sub_graph, sub_class) = dirty_sub.as_ref()?;
+            sub_graph.element_vertex(name).map(|u| sub_class[u])
+        };
+        let fresh_net = |name: &str| {
+            let (sub_graph, sub_class) = dirty_sub.as_ref()?;
+            sub_graph.net_vertex(name).map(|u| sub_class[u])
+        };
         let gcn_class: Vec<usize> = (0..graph.vertex_count())
             .map(|v| {
                 if let Some(name) = graph.device_name(v) {
-                    dirty_element_class
-                        .get(name)
-                        .or_else(|| baseline.element_class.get(name))
-                        .copied()
+                    fresh_element(name)
+                        .or_else(|| baseline.element_class(name))
                         .unwrap_or(0)
                 } else if let Some(name) = graph.net_name(v) {
-                    dirty_net_class
-                        .get(name)
-                        .or_else(|| baseline.net_class.get(name))
-                        .copied()
+                    fresh_net(name)
+                        .or_else(|| baseline.net_class(name))
                         .unwrap_or(0)
                 } else {
                     0

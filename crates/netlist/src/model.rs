@@ -439,6 +439,18 @@ impl Circuit {
         set.into_iter().collect()
     }
 
+    /// Borrowed variant of [`Circuit::nets`]: every net name referenced by a
+    /// device or port, sorted and deduplicated, without cloning any `String`.
+    pub fn net_refs(&self) -> Vec<&str> {
+        let mut refs: Vec<&str> = self.ports.iter().map(String::as_str).collect();
+        for d in &self.devices {
+            refs.extend(d.terminals().iter().map(String::as_str));
+        }
+        refs.sort_unstable();
+        refs.dedup();
+        refs
+    }
+
     /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.devices.len()
@@ -451,15 +463,13 @@ impl Circuit {
 
     /// True if `net` is a global supply (vdd!, vcc, …) or labeled `Supply`.
     pub fn is_supply(&self, net: &str) -> bool {
-        let lower = net.to_ascii_lowercase();
-        SUPPLY_NAMES.contains(&lower.as_str())
+        SUPPLY_NAMES.iter().any(|s| net.eq_ignore_ascii_case(s))
             || matches!(self.port_label(net), Some(PortLabel::Supply))
     }
 
     /// True if `net` is a global ground (gnd!, 0, vss, …) or labeled `Ground`.
     pub fn is_ground(&self, net: &str) -> bool {
-        let lower = net.to_ascii_lowercase();
-        GROUND_NAMES.contains(&lower.as_str())
+        GROUND_NAMES.iter().any(|g| net.eq_ignore_ascii_case(g))
             || matches!(self.port_label(net), Some(PortLabel::Ground))
     }
 

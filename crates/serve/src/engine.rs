@@ -200,6 +200,10 @@ struct SessionSlot {
     state: Mutex<SessionState>,
     pending: Mutex<VecDeque<PendingUpdate>>,
     draining: AtomicBool,
+    /// Heap bytes of the baseline's unified circuit store (graph + CCC +
+    /// coarsening + hierarchy slabs), refreshed whenever the baseline
+    /// advances. A gauge so `stats` never contends with a draining worker.
+    store_bytes: AtomicU64,
 }
 
 /// Snapshot persistence state shared across the engine.
@@ -781,6 +785,18 @@ impl Engine {
         self.shared.sessions.lock().len()
     }
 
+    /// Heap bytes pinned by open sessions' unified circuit stores (graph,
+    /// CCC, coarsening, and hierarchy sections), summed from per-slot
+    /// gauges — never blocks on a session mid-update.
+    pub fn session_store_bytes(&self) -> u64 {
+        self.shared
+            .sessions
+            .lock()
+            .values()
+            .map(|slot| slot.store_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
     fn submit_work(&self, work: Work) -> Result<JobHandle, SubmitError> {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let cancelled = Arc::new(AtomicBool::new(false));
@@ -881,6 +897,7 @@ impl Engine {
             self.queue_rx.len(),
             self.shared.workers,
             self.session_count(),
+            self.session_store_bytes(),
             self.shared.region_cache.stats(),
             self.shared.intra.gauge(),
             workspace,
@@ -1425,12 +1442,14 @@ fn open_session(
         if sessions.len() >= shared.max_sessions {
             return Err(JobError::SessionLimit(shared.max_sessions));
         }
+        let store_bytes = baseline.store_bytes() as u64;
         sessions.insert(
             session,
             Arc::new(SessionSlot {
                 state: Mutex::new(SessionState { task, baseline }),
                 pending: Mutex::new(VecDeque::new()),
                 draining: AtomicBool::new(false),
+                store_bytes: AtomicU64::new(store_bytes),
             }),
         );
     }
@@ -1592,6 +1611,8 @@ fn run_session_update(
             Err(panic) => return Err(JobError::Internal(panic_message(&panic))),
         };
         let annotation = Arc::new(Annotation::from_design(&next.design));
+        slot.store_bytes
+            .store(next.store_bytes() as u64, Ordering::Relaxed);
         state.baseline = next;
         Ok(annotation)
     })();
@@ -1774,6 +1795,12 @@ mod tests {
             handle.wait().expect("update completes");
         }
         assert_eq!(engine.session_count(), 1);
+        // The open session pins its baseline's unified store; the gauge
+        // reports it and a close releases it.
+        let stats = engine.stats();
+        assert!(stats.store_bytes > 0, "{stats:?}");
+        assert!(engine.close_session(session));
+        assert_eq!(engine.stats().store_bytes, 0);
         engine.shutdown();
     }
 

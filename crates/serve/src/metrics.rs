@@ -372,6 +372,7 @@ impl Metrics {
         queue_depth: usize,
         workers: usize,
         sessions: usize,
+        store_bytes: u64,
         region: RegionCacheStats,
         intra: GaugeSnapshot,
         workspace: WorkspaceStats,
@@ -385,6 +386,7 @@ impl Metrics {
         let total = self.total.snapshot();
         StatsSnapshot {
             sessions,
+            store_bytes,
             snapshot_last_save_us: persistence.last_save_us,
             snapshot_bytes: persistence.bytes,
             warm_start: persistence.warm_start,
@@ -483,6 +485,9 @@ pub struct StatsSnapshot {
     pub expired: u64,
     /// Open incremental sessions.
     pub sessions: usize,
+    /// Heap bytes pinned by open sessions' unified circuit stores (graph,
+    /// CCC, coarsening, and hierarchy sections).
+    pub store_bytes: u64,
     /// Region-cache (sub-block VF2) lookups answered from the cache.
     pub region_hits: u64,
     /// Region-cache lookups that ran the matcher.
@@ -578,7 +583,7 @@ impl StatsSnapshot {
     pub fn to_wire(&self) -> String {
         format!(
             "submitted={} completed={} failed={} rejected={} shed={} cache_hits={} expired={} \
-             sessions={} region_hits={} region_misses={} region_evictions={} \
+             sessions={} store_bytes={} region_hits={} region_misses={} region_evictions={} \
              region_splices={} region_bytes={} \
              basis_cache_hits={} basis_cache_misses={} basis_cache_evictions={} \
              basis_cache_bytes={} basis_cache_entries={} kernel={} \
@@ -600,6 +605,7 @@ impl StatsSnapshot {
             self.cache_hits,
             self.expired,
             self.sessions,
+            self.store_bytes,
             self.region_hits,
             self.region_misses,
             self.region_evictions,
@@ -669,6 +675,7 @@ impl StatsSnapshot {
             fleet.cache_hits += shard.cache_hits;
             fleet.expired += shard.expired;
             fleet.sessions += shard.sessions;
+            fleet.store_bytes += shard.store_bytes;
             fleet.region_hits += shard.region_hits;
             fleet.region_misses += shard.region_misses;
             fleet.region_evictions += shard.region_evictions;
@@ -776,6 +783,7 @@ impl StatsSnapshot {
                         "cache_hits" => snap.cache_hits = n,
                         "expired" => snap.expired = n,
                         "sessions" => snap.sessions = n as usize,
+                        "store_bytes" => snap.store_bytes = n,
                         "region_hits" => snap.region_hits = n,
                         "region_misses" => snap.region_misses = n,
                         "region_evictions" => snap.region_evictions = n,
@@ -866,7 +874,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "jobs: {} submitted, {} completed, {} failed, {} rejected, {} shed, \
-             {} cache hits, {} expired | sessions: {} open, region cache {}/{} hit, \
+             {} cache hits, {} expired | sessions: {} open, {} B store, \
+             region cache {}/{} hit, \
              {} spliced, {} B, {} evicted | basis cache: {}/{} hit, {} entries, \
              {} B, {} evicted | kernel: {} | queue: {} deep, {} workers | intra pool: \
              {} threads/worker, {} busy, {} queued | workspace: {} templates \
@@ -882,6 +891,7 @@ impl fmt::Display for StatsSnapshot {
             self.cache_hits,
             self.expired,
             self.sessions,
+            self.store_bytes,
             self.region_hits,
             self.region_hits + self.region_misses,
             self.region_splices,
@@ -1117,6 +1127,7 @@ mod tests {
             3,
             8,
             2,
+            7168,
             region,
             GaugeSnapshot {
                 size: 2,
@@ -1141,6 +1152,7 @@ mod tests {
             },
             "avx2",
         );
+        assert_eq!(snap.store_bytes, 7168);
         assert_eq!(snap.basis_cache_hits, 11);
         assert_eq!(snap.basis_cache_misses, 3);
         assert_eq!(snap.basis_cache_evictions, 1);
@@ -1208,6 +1220,7 @@ mod tests {
             failed: 1,
             shed: 2,
             sessions: 2,
+            store_bytes: 3000,
             queue_depth: 3,
             workers: 4,
             region_hits: 7,
@@ -1229,6 +1242,7 @@ mod tests {
             completed: 5,
             shed: 1,
             sessions: 1,
+            store_bytes: 1500,
             queue_depth: 1,
             workers: 4,
             region_hits: 2,
@@ -1252,6 +1266,7 @@ mod tests {
         assert_eq!(fleet.failed, 1);
         assert_eq!(fleet.shed, 3);
         assert_eq!(fleet.sessions, 3);
+        assert_eq!(fleet.store_bytes, 4500);
         assert_eq!(fleet.queue_depth, 4);
         assert_eq!(fleet.workers, 8);
         assert_eq!(fleet.region_hits, 9);

@@ -1,0 +1,311 @@
+//! A generational arena with typed handles.
+//!
+//! Entries live in one contiguous slab; a [`Handle`] is an index plus a
+//! generation counter, so a handle to a removed-and-reused slot is detected
+//! instead of silently reading the new occupant. The design follows the
+//! `CNode`/`CEdge` channel arenas of starlight: cheap stable handles over a
+//! single allocation domain, with stale-handle misuse caught in debug
+//! builds.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed handle into an [`Arena<T>`]: slot index plus the generation the
+/// slot had when the value was inserted.
+///
+/// Handles are `Copy` and independent of `T: Clone`; two handles are equal
+/// exactly when they name the same insertion (same slot *and* generation).
+pub struct Handle<T> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Handle<T> {
+    /// The slot index. Valid for dense (never-removed-from) arenas as a
+    /// plain array index; prefer [`Arena::get`] otherwise.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation stamped at insertion.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    fn new(index: u32, generation: u32) -> Handle<T> {
+        Handle {
+            index,
+            generation,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// Manual impls: a derive would bound them on `T: Clone` etc., but a handle
+// never owns a `T`.
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Handle<T> {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Handle<T>) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for Handle<T> {}
+impl<T> std::hash::Hash for Handle<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> PartialOrd for Handle<T> {
+    fn partial_cmp(&self, other: &Handle<T>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Handle<T> {
+    fn cmp(&self, other: &Handle<T>) -> std::cmp::Ordering {
+        (self.index, self.generation).cmp(&(other.index, other.generation))
+    }
+}
+impl<T> fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle({}v{})", self.index, self.generation)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational arena: one contiguous slab of slots, freed slots reused
+/// with a bumped generation so stale handles never alias a live value.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Arena<T> {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Arena<T> {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty arena with room for `capacity` values before reallocating.
+    pub fn with_capacity(capacity: usize) -> Arena<T> {
+        Arena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots (live + vacant); the dense index space.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts a value, reusing a vacant slot when one exists.
+    pub fn insert(&mut self, value: T) -> Handle<T> {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free list points at a live slot");
+            slot.value = Some(value);
+            Handle::new(index, slot.generation)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("arena slot index fits u32");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            Handle::new(index, 0)
+        }
+    }
+
+    /// Removes the value behind `handle`, or `None` if the handle is stale
+    /// or its slot is already vacant. The slot's generation is bumped so
+    /// every outstanding handle to the removed value goes stale.
+    pub fn remove(&mut self, handle: Handle<T>) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation || slot.value.is_none() {
+            return None;
+        }
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        self.len -= 1;
+        slot.value.take()
+    }
+
+    /// The value behind `handle`, or `None` for a stale handle.
+    pub fn get(&self, handle: Handle<T>) -> Option<&T> {
+        let slot = self.slots.get(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable access to the value behind `handle`, or `None` when stale.
+    pub fn get_mut(&mut self, handle: Handle<T>) -> Option<&mut T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// True when `handle` still names a live value.
+    pub fn contains(&self, handle: Handle<T>) -> bool {
+        self.get(handle).is_some()
+    }
+
+    /// Dense access by slot index, for append-only arenas used as slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of bounds or vacant (the arena had
+    /// removals — use handles then).
+    pub fn dense(&self, index: usize) -> &T {
+        self.slots[index]
+            .value
+            .as_ref()
+            .expect("dense access into an arena with removals")
+    }
+
+    /// The current handle for a slot index, or `None` when the slot is
+    /// vacant or out of bounds. For append-only slabs this recovers the
+    /// handle that `insert` returned for that position.
+    pub fn handle_at(&self, index: usize) -> Option<Handle<T>> {
+        let slot = self.slots.get(index)?;
+        slot.value
+            .as_ref()
+            .map(|_| Handle::new(index as u32, slot.generation))
+    }
+
+    /// Iterates live `(handle, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle<T>, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.value
+                .as_ref()
+                .map(|v| (Handle::new(i as u32, slot.generation), v))
+        })
+    }
+
+    /// Heap bytes held by the slab and the free list.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl<T> std::ops::Index<Handle<T>> for Arena<T> {
+    type Output = T;
+
+    /// # Panics
+    ///
+    /// Panics on a stale or vacant handle — the debug-visible form of
+    /// stale-handle detection.
+    fn index(&self, handle: Handle<T>) -> &T {
+        self.get(handle)
+            .expect("stale arena handle: slot was removed or reused")
+    }
+}
+
+impl<T: PartialEq> PartialEq for Arena<T> {
+    fn eq(&self, other: &Arena<T>) -> bool {
+        // Structural equality over live values and their slots; the free
+        // list order is an implementation detail.
+        self.len == other.len && self.slots == other.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut arena = Arena::new();
+        let a = arena.insert("a");
+        let b = arena.insert("b");
+        assert_eq!(arena.get(a), Some(&"a"));
+        assert_eq!(arena.get(b), Some(&"b"));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn removal_makes_handles_stale() {
+        let mut arena = Arena::new();
+        let a = arena.insert(1);
+        assert_eq!(arena.remove(a), Some(1));
+        assert_eq!(arena.get(a), None);
+        assert_eq!(arena.remove(a), None, "double remove is a no-op");
+        let b = arena.insert(2);
+        assert_eq!(b.index(), a.index(), "slot is reused");
+        assert_ne!(a, b, "generation differs");
+        assert_eq!(arena.get(a), None, "stale handle sees nothing");
+        assert_eq!(arena.get(b), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn indexing_a_stale_handle_panics() {
+        let mut arena = Arena::new();
+        let a = arena.insert(1);
+        arena.remove(a);
+        let _ = arena[a];
+    }
+
+    #[test]
+    fn iter_skips_vacant_slots() {
+        let mut arena = Arena::new();
+        let a = arena.insert(1);
+        let _b = arena.insert(2);
+        arena.remove(a);
+        let live: Vec<i32> = arena.iter().map(|(_, &v)| v).collect();
+        assert_eq!(live, vec![2]);
+    }
+
+    #[test]
+    fn dense_access_on_append_only_arena() {
+        let mut arena = Arena::with_capacity(2);
+        arena.insert("x");
+        arena.insert("y");
+        assert_eq!(*arena.dense(1), "y");
+    }
+
+    #[test]
+    fn heap_bytes_tracks_capacity() {
+        let arena: Arena<u64> = Arena::with_capacity(8);
+        assert!(arena.heap_bytes() >= 8 * std::mem::size_of::<u64>());
+    }
+}

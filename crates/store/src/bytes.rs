@@ -1,0 +1,46 @@
+//! Heap-byte accounting for store sections and caches.
+
+/// Types that can report the heap bytes they own.
+///
+/// Implementations are *shallow by convention for containers of `Copy`
+/// payloads* and deep for the store's own section types: every section
+/// reports the full allocation it owns, so summing sections never double
+/// counts. The blanket `Vec`/`String` impls count the container's own
+/// buffer only; a container of owning elements must add the elements
+/// itself.
+pub trait HeapBytes {
+    /// Heap bytes owned by `self` (excluding `size_of::<Self>()` itself).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl<T> HeapBytes for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl HeapBytes for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapBytes> HeapBytes for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapBytes::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_and_string_report_capacity() {
+        let v: Vec<u64> = Vec::with_capacity(4);
+        assert_eq!(v.heap_bytes(), 32);
+        let s = String::with_capacity(10);
+        assert_eq!(s.heap_bytes(), 10);
+        assert_eq!(None::<String>.heap_bytes(), 0);
+    }
+}

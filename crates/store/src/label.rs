@@ -18,7 +18,7 @@ use std::fmt;
 /// # Examples
 ///
 /// ```
-/// use gana_graph::EdgeLabel;
+/// use gana_store::EdgeLabel;
 ///
 /// let diode = EdgeLabel::GATE.union(EdgeLabel::DRAIN);
 /// assert_eq!(diode.to_string(), "101");

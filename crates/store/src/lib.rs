@@ -1,0 +1,24 @@
+//! Arena-backed unified circuit store.
+//!
+//! One allocation domain for everything the annotation pipeline derives
+//! from a netlist: the bipartite circuit graph (paper Section II-C), the
+//! channel-connected components (Postprocessing I), the GNN coarsening
+//! permutation, and the recognized hierarchy. Downstream crates read the
+//! store through dense vertex ids (fast paths) or generational handles
+//! (stale-access detection), and `heap_bytes` gives an exact per-section
+//! account of resident memory per design.
+
+#![warn(missing_docs)]
+
+mod arena;
+mod bytes;
+mod label;
+mod store;
+
+pub use arena::{Arena, Handle};
+pub use bytes::HeapBytes;
+pub use label::EdgeLabel;
+pub use store::{
+    CccSection, CircuitStore, CoarsenSection, DeviceEntry, GraphOptions, HierKind, HierNodeId,
+    HierarchySlab, NameSpan, NetEntry, Rail, StoreBytes, StrArena, NO_VERTEX,
+};

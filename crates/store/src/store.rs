@@ -1,0 +1,998 @@
+//! The unified circuit store: one allocation domain for the bipartite
+//! graph, CCC decomposition, coarsening maps, and hierarchy slab.
+//!
+//! A [`CircuitStore`] is built once per (flattened) circuit and then read
+//! through dense vertex ids or generational handles. All strings live in a
+//! single [`StrArena`]; adjacency is a flat CSR (offset table plus one edge
+//! slab); lazily computed sections (CCC) and recorded sections (coarsening,
+//! hierarchy) append to the same domain, so `heap_bytes` is an exact
+//! per-section account of what the pipeline keeps resident per design.
+
+use crate::arena::{Arena, Handle};
+use crate::bytes::HeapBytes;
+use crate::label::EdgeLabel;
+use gana_netlist::{Circuit, DeviceKind, MosTerminal};
+use std::sync::OnceLock;
+
+/// Options controlling graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphOptions {
+    /// Include MOS body terminals as (body-labeled) edges. The paper's
+    /// figures omit body connections; default `false`.
+    pub include_body: bool,
+    /// Include supply/ground nets as vertices. The paper's graphs include
+    /// them (Fig. 3 shows `vdd!` and `gnd!`); default `true`.
+    pub include_supply_nets: bool,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        GraphOptions {
+            include_body: false,
+            include_supply_nets: true,
+        }
+    }
+}
+
+/// Rail classification of a net, captured once at store build time so the
+/// hot paths (CCC, incremental splicing) never re-derive it from strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// An ordinary signal net.
+    Signal,
+    /// A global supply (vdd!, vcc, …) or a net labeled `Supply`.
+    Supply,
+    /// A global ground (gnd!, 0, vss, …) or a net labeled `Ground`.
+    Ground,
+}
+
+impl Rail {
+    /// True for supply or ground nets.
+    pub fn is_rail(self) -> bool {
+        self != Rail::Signal
+    }
+}
+
+/// A span into a [`StrArena`]'s backing buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameSpan {
+    start: u32,
+    end: u32,
+}
+
+/// An append-only string slab: every interned name is a [`NameSpan`] into
+/// one backing `String`, so a store holds exactly one allocation for all
+/// device, net, and hierarchy names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrArena {
+    buf: String,
+}
+
+impl StrArena {
+    /// An empty arena.
+    pub fn new() -> StrArena {
+        StrArena::default()
+    }
+
+    /// An empty arena with room for `bytes` of name data.
+    pub fn with_capacity(bytes: usize) -> StrArena {
+        StrArena {
+            buf: String::with_capacity(bytes),
+        }
+    }
+
+    /// Appends `s` and returns its span. Interning is append-only: equal
+    /// strings interned twice get distinct spans.
+    pub fn intern(&mut self, s: &str) -> NameSpan {
+        let start = u32::try_from(self.buf.len()).expect("name arena fits u32");
+        self.buf.push_str(s);
+        NameSpan {
+            start,
+            end: u32::try_from(self.buf.len()).expect("name arena fits u32"),
+        }
+    }
+
+    /// The string behind a span.
+    pub fn resolve(&self, span: NameSpan) -> &str {
+        &self.buf[span.start as usize..span.end as usize]
+    }
+
+    /// Total bytes of interned name data.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Heap bytes of the backing buffer.
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.heap_bytes()
+    }
+}
+
+/// An element vertex payload: the device's name, its index in the source
+/// circuit's device list, and its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceEntry {
+    /// Device name span in the store's name arena.
+    pub name: NameSpan,
+    /// Index into the source circuit's device list.
+    pub device_index: u32,
+    /// The element kind.
+    pub kind: DeviceKind,
+}
+
+/// A net vertex payload: the net's name and its rail classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetEntry {
+    /// Net name span in the store's name arena.
+    pub name: NameSpan,
+    /// Rail classification captured at build time.
+    pub rail: Rail,
+}
+
+/// Channel-connected components in CSR form: group `g` owns
+/// `transistors(g)` element vertices and `nets(g)` joining net vertices,
+/// ordered largest-first exactly like
+/// `gana_graph::ccc::channel_connected_components`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CccSection {
+    transistor_offsets: Vec<u32>,
+    net_offsets: Vec<u32>,
+    transistors: Vec<u32>,
+    nets: Vec<u32>,
+}
+
+impl CccSection {
+    /// Number of components.
+    pub fn group_count(&self) -> usize {
+        self.transistor_offsets.len().saturating_sub(1)
+    }
+
+    /// Member transistor vertex ids of group `g`, ascending.
+    pub fn transistors(&self, g: usize) -> &[u32] {
+        let (a, b) = (
+            self.transistor_offsets[g] as usize,
+            self.transistor_offsets[g + 1] as usize,
+        );
+        &self.transistors[a..b]
+    }
+
+    /// Joining channel-net vertex ids of group `g`, ascending.
+    pub fn nets(&self, g: usize) -> &[u32] {
+        let (a, b) = (
+            self.net_offsets[g] as usize,
+            self.net_offsets[g + 1] as usize,
+        );
+        &self.nets[a..b]
+    }
+
+    /// Heap bytes of the four CSR slabs.
+    pub fn heap_bytes(&self) -> usize {
+        self.transistor_offsets.heap_bytes()
+            + self.net_offsets.heap_bytes()
+            + self.transistors.heap_bytes()
+            + self.nets.heap_bytes()
+    }
+}
+
+/// Sentinel for "no original vertex" in a coarsening permutation slot
+/// (fake vertices added by Graclus padding).
+pub const NO_VERTEX: u32 = u32::MAX;
+
+/// The coarsening permutation recorded after GNN preparation: how original
+/// graph vertices map to padded pooling slots across levels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoarsenSection {
+    /// Number of coarsening levels.
+    pub levels: usize,
+    /// Number of vertices in the original graph.
+    pub n_original: usize,
+    /// Padded level-0 size (power-of-two multiple of the cluster tree).
+    pub padded_size: usize,
+    /// `perm[slot]` = original vertex id, or [`NO_VERTEX`] for fakes.
+    pub perm: Vec<u32>,
+    /// `inverse_perm[v]` = padded slot of original vertex `v`.
+    pub inverse_perm: Vec<u32>,
+    /// Vertex count at each coarsening level, finest first.
+    pub level_sizes: Vec<u32>,
+}
+
+impl CoarsenSection {
+    /// Heap bytes of the permutation slabs.
+    pub fn heap_bytes(&self) -> usize {
+        self.perm.heap_bytes() + self.inverse_perm.heap_bytes() + self.level_sizes.heap_bytes()
+    }
+}
+
+/// Hierarchy node kinds, mirroring `gana_core::hierarchy::NodeKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HierKind {
+    /// The whole design.
+    System,
+    /// A recognized sub-block.
+    SubBlock,
+    /// A stand-alone primitive promoted to block level.
+    Primitive,
+    /// A leaf circuit element.
+    Element,
+}
+
+/// Id of a node within a [`HierarchySlab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HierNodeId(u32);
+
+impl HierNodeId {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HierNode {
+    name: NameSpan,
+    kind: HierKind,
+    label: Option<NameSpan>,
+    children_start: u32,
+    children_end: u32,
+}
+
+/// The design hierarchy stored flat: nodes in one slab, children as
+/// contiguous ranges into one child-id slab, names interned in the store's
+/// arena style. Built bottom-up (children before parents).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierarchySlab {
+    names: StrArena,
+    nodes: Vec<HierNode>,
+    children: Vec<u32>,
+    root: Option<u32>,
+}
+
+impl HierarchySlab {
+    /// An empty slab.
+    pub fn new() -> HierarchySlab {
+        HierarchySlab::default()
+    }
+
+    /// Appends a node whose children (already added) are `kids`.
+    pub fn add(
+        &mut self,
+        name: &str,
+        kind: HierKind,
+        label: Option<&str>,
+        kids: &[HierNodeId],
+    ) -> HierNodeId {
+        let children_start = u32::try_from(self.children.len()).expect("hierarchy fits u32");
+        self.children.extend(kids.iter().map(|k| k.0));
+        let children_end = u32::try_from(self.children.len()).expect("hierarchy fits u32");
+        let node = HierNode {
+            name: self.names.intern(name),
+            kind,
+            label: label.map(|l| self.names.intern(l)),
+            children_start,
+            children_end,
+        };
+        let id = u32::try_from(self.nodes.len()).expect("hierarchy fits u32");
+        self.nodes.push(node);
+        HierNodeId(id)
+    }
+
+    /// Marks `id` as the root node.
+    pub fn set_root(&mut self, id: HierNodeId) {
+        self.root = Some(id.0);
+    }
+
+    /// The root node, if one was set.
+    pub fn root(&self) -> Option<HierNodeId> {
+        self.root.map(HierNodeId)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node's display name.
+    pub fn name(&self, id: HierNodeId) -> &str {
+        self.names.resolve(self.nodes[id.index()].name)
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: HierNodeId) -> HierKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The node's recognized label, if any.
+    pub fn label(&self, id: HierNodeId) -> Option<&str> {
+        self.nodes[id.index()]
+            .label
+            .map(|span| self.names.resolve(span))
+    }
+
+    /// The node's children in insertion order.
+    pub fn children(&self, id: HierNodeId) -> impl Iterator<Item = HierNodeId> + '_ {
+        let node = &self.nodes[id.index()];
+        self.children[node.children_start as usize..node.children_end as usize]
+            .iter()
+            .map(|&c| HierNodeId(c))
+    }
+
+    /// Heap bytes of the node, child, and name slabs.
+    pub fn heap_bytes(&self) -> usize {
+        self.names.heap_bytes() + self.nodes.heap_bytes() + self.children.heap_bytes()
+    }
+}
+
+/// Per-section heap-byte breakdown of a [`CircuitStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreBytes {
+    /// Interned name bytes (device + net names).
+    pub names: usize,
+    /// Device slab plus the name-sorted lookup index.
+    pub devices: usize,
+    /// Net slab.
+    pub nets: usize,
+    /// CSR adjacency (offset table + edge slab).
+    pub adjacency: usize,
+    /// Cached CCC section (0 until first computed).
+    pub ccc: usize,
+    /// Recorded coarsening section (0 until recorded).
+    pub coarsen: usize,
+    /// Recorded hierarchy slab (0 until recorded).
+    pub hierarchy: usize,
+}
+
+impl StoreBytes {
+    /// Sum over all sections.
+    pub fn total(&self) -> usize {
+        self.names
+            + self.devices
+            + self.nets
+            + self.adjacency
+            + self.ccc
+            + self.coarsen
+            + self.hierarchy
+    }
+}
+
+/// The unified circuit store: element and net vertices in generational
+/// arenas, flat CSR adjacency, and the downstream sections (CCC,
+/// coarsening, hierarchy) in the same allocation domain.
+///
+/// Vertex numbering matches the paper's bipartite convention: vertices
+/// `0..element_count()` are elements in device-list order, vertices
+/// `element_count()..vertex_count()` are kept nets in sorted-name order.
+#[derive(Debug, Clone)]
+pub struct CircuitStore {
+    names: StrArena,
+    devices: Arena<DeviceEntry>,
+    nets: Arena<NetEntry>,
+    /// Element vertex ids sorted by (name, id): binary-search device lookup
+    /// with first-declaration wins on (pathological) duplicate names.
+    devices_by_name: Vec<u32>,
+    /// CSR row offsets, `vertex_count() + 1` entries.
+    offsets: Vec<u32>,
+    /// CSR edge slab; each row sorted by (neighbor, label).
+    edges: Vec<(usize, EdgeLabel)>,
+    element_count: usize,
+    edge_count: usize,
+    options: GraphOptions,
+    ccc: OnceLock<CccSection>,
+    coarsen: Option<CoarsenSection>,
+    hierarchy: Option<HierarchySlab>,
+}
+
+impl PartialEq for CircuitStore {
+    fn eq(&self, other: &CircuitStore) -> bool {
+        // The lazy CCC cache is excluded: two identically built stores are
+        // equal whether or not either has computed its CCCs yet.
+        self.names == other.names
+            && self.devices == other.devices
+            && self.nets == other.nets
+            && self.devices_by_name == other.devices_by_name
+            && self.offsets == other.offsets
+            && self.edges == other.edges
+            && self.element_count == other.element_count
+            && self.edge_count == other.edge_count
+            && self.options == other.options
+            && self.coarsen == other.coarsen
+            && self.hierarchy == other.hierarchy
+    }
+}
+
+impl CircuitStore {
+    /// Builds the store for a flattened `circuit`.
+    ///
+    /// Devices of kind [`DeviceKind::Instance`] are skipped; nets are
+    /// collected from ports and every device terminal, sorted by name,
+    /// rail-classified once, and dropped when
+    /// `!options.include_supply_nets` marks them as rails. A transistor
+    /// touching a net through several terminals yields one edge whose
+    /// label is the OR of the terminal bits.
+    pub fn build(circuit: &Circuit, options: GraphOptions) -> CircuitStore {
+        let source = circuit.devices();
+
+        // Pass A: element vertices in device order.
+        let mut element_devices: Vec<u32> = Vec::new();
+        let mut name_bytes = 0usize;
+        for (i, d) in source.iter().enumerate() {
+            if d.kind() == DeviceKind::Instance {
+                continue;
+            }
+            element_devices.push(i as u32);
+            name_bytes += d.name().len();
+        }
+        let element_count = element_devices.len();
+
+        // Pass B: net names sorted + deduped without cloning, then rail
+        // classified; `net_vertex_of[i]` maps the i-th sorted name to its
+        // vertex id or NO_VERTEX when the rail is dropped.
+        let all_nets = circuit.net_refs();
+        let mut kept = 0usize;
+        let mut net_vertex_of: Vec<u32> = Vec::with_capacity(all_nets.len());
+        let mut rails: Vec<Rail> = Vec::with_capacity(all_nets.len());
+        for &net in &all_nets {
+            let rail = if circuit.is_supply(net) {
+                Rail::Supply
+            } else if circuit.is_ground(net) {
+                Rail::Ground
+            } else {
+                Rail::Signal
+            };
+            rails.push(rail);
+            if options.include_supply_nets || !rail.is_rail() {
+                net_vertex_of.push((element_count + kept) as u32);
+                kept += 1;
+                name_bytes += net.len();
+            } else {
+                net_vertex_of.push(NO_VERTEX);
+            }
+        }
+
+        let mut names = StrArena::with_capacity(name_bytes);
+        let mut devices = Arena::with_capacity(element_count);
+        for &i in &element_devices {
+            let d = &source[i as usize];
+            devices.insert(DeviceEntry {
+                name: names.intern(d.name()),
+                device_index: i,
+                kind: d.kind(),
+            });
+        }
+        let mut nets = Arena::with_capacity(kept);
+        for (i, &net) in all_nets.iter().enumerate() {
+            if net_vertex_of[i] != NO_VERTEX {
+                nets.insert(NetEntry {
+                    name: names.intern(net),
+                    rail: rails[i],
+                });
+            }
+        }
+        let vertex_count = element_count + kept;
+
+        // Pass C: merge per-device (net, label) pairs, count degrees, then
+        // fill the CSR slab in both directions and sort each row.
+        let mut pairs: Vec<(u32, u32, EdgeLabel)> = Vec::new();
+        let mut merged: Vec<(u32, EdgeLabel)> = Vec::with_capacity(4);
+        let net_vertex = |net: &str| -> u32 {
+            match all_nets.binary_search(&net) {
+                Ok(i) => net_vertex_of[i],
+                Err(_) => NO_VERTEX,
+            }
+        };
+        for (ev, &device_index) in element_devices.iter().enumerate() {
+            let d = &source[device_index as usize];
+            merged.clear();
+            let mut merge = |nv: u32, bit: EdgeLabel| {
+                if nv == NO_VERTEX {
+                    return;
+                }
+                match merged.iter_mut().find(|(v, _)| *v == nv) {
+                    Some((_, l)) => *l = l.union(bit),
+                    None => merged.push((nv, bit)),
+                }
+            };
+            if d.kind().is_transistor() {
+                let terms = [
+                    (MosTerminal::Drain, EdgeLabel::DRAIN),
+                    (MosTerminal::Gate, EdgeLabel::GATE),
+                    (MosTerminal::Source, EdgeLabel::SOURCE),
+                    (MosTerminal::Body, EdgeLabel::BODY),
+                ];
+                for (term, bit) in terms {
+                    if term == MosTerminal::Body && !options.include_body {
+                        continue;
+                    }
+                    let net = d.mos_terminal(term).expect("transistor terminal");
+                    merge(net_vertex(net), bit);
+                }
+            } else {
+                for net in d.terminals() {
+                    merge(net_vertex(net), EdgeLabel::NONE);
+                }
+            }
+            pairs.extend(merged.iter().map(|&(nv, l)| (ev as u32, nv, l)));
+        }
+        let edge_count = pairs.len();
+
+        let mut offsets: Vec<u32> = vec![0; vertex_count + 1];
+        for &(ev, nv, _) in &pairs {
+            offsets[ev as usize + 1] += 1;
+            offsets[nv as usize + 1] += 1;
+        }
+        for i in 0..vertex_count {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..vertex_count].to_vec();
+        let mut edges: Vec<(usize, EdgeLabel)> = vec![(0, EdgeLabel::NONE); 2 * edge_count];
+        for &(ev, nv, l) in &pairs {
+            edges[cursor[ev as usize] as usize] = (nv as usize, l);
+            cursor[ev as usize] += 1;
+            edges[cursor[nv as usize] as usize] = (ev as usize, l);
+            cursor[nv as usize] += 1;
+        }
+        for v in 0..vertex_count {
+            edges[offsets[v] as usize..offsets[v + 1] as usize]
+                .sort_unstable_by_key(|&(u, l)| (u, l));
+        }
+
+        let mut devices_by_name: Vec<u32> = (0..element_count as u32).collect();
+        devices_by_name.sort_by_key(|&v| (names.resolve(devices.dense(v as usize).name), v));
+
+        CircuitStore {
+            names,
+            devices,
+            nets,
+            devices_by_name,
+            offsets,
+            edges,
+            element_count,
+            edge_count,
+            options,
+            ccc: OnceLock::new(),
+            coarsen: None,
+            hierarchy: None,
+        }
+    }
+
+    /// Total number of vertices `|Ve| + |Vn|`.
+    pub fn vertex_count(&self) -> usize {
+        self.element_count + self.nets.len()
+    }
+
+    /// Number of element vertices `|Ve|`.
+    pub fn element_count(&self) -> usize {
+        self.element_count
+    }
+
+    /// Number of net vertices `|Vn|`.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The options the store was built with.
+    pub fn options(&self) -> GraphOptions {
+        self.options
+    }
+
+    /// Neighbors of `v` with edge labels, sorted by (neighbor, label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: usize) -> &[(usize, EdgeLabel)] {
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// The label of the edge between `a` and `b`, if present (binary search
+    /// over `a`'s sorted row).
+    pub fn edge_label(&self, a: usize, b: usize) -> Option<EdgeLabel> {
+        let row = self.neighbors(a);
+        row.binary_search_by_key(&b, |&(u, _)| u)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// The element entry behind vertex `v`, or `None` for net vertices.
+    pub fn element(&self, v: usize) -> Option<&DeviceEntry> {
+        (v < self.element_count).then(|| self.devices.dense(v))
+    }
+
+    /// The net entry behind vertex `v`, or `None` for element vertices.
+    pub fn net(&self, v: usize) -> Option<&NetEntry> {
+        (v >= self.element_count && v < self.vertex_count())
+            .then(|| self.nets.dense(v - self.element_count))
+    }
+
+    /// The device name behind an element vertex, or `None` for a net vertex.
+    pub fn device_name(&self, v: usize) -> Option<&str> {
+        self.element(v).map(|e| self.names.resolve(e.name))
+    }
+
+    /// The net name behind a net vertex, or `None` for an element vertex.
+    pub fn net_name(&self, v: usize) -> Option<&str> {
+        self.net(v).map(|n| self.names.resolve(n.name))
+    }
+
+    /// The device kind of an element vertex, or `None` for nets.
+    pub fn element_kind(&self, v: usize) -> Option<DeviceKind> {
+        self.element(v).map(|e| e.kind)
+    }
+
+    /// The index into the source circuit's device list for an element vertex.
+    pub fn device_index(&self, v: usize) -> Option<usize> {
+        self.element(v).map(|e| e.device_index as usize)
+    }
+
+    /// The rail classification of a net vertex, or `None` for elements.
+    pub fn rail(&self, v: usize) -> Option<Rail> {
+        self.net(v).map(|n| n.rail)
+    }
+
+    /// The vertex id of a net, if the net exists in the store (binary
+    /// search over the sorted net slab).
+    pub fn net_vertex(&self, net: &str) -> Option<usize> {
+        let n = self.nets.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.names.resolve(self.nets.dense(mid).name) < net {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < n && self.names.resolve(self.nets.dense(lo).name) == net)
+            .then_some(self.element_count + lo)
+    }
+
+    /// The vertex id of a device by name, if present (binary search; the
+    /// lowest vertex id wins when names repeat).
+    pub fn element_vertex(&self, device: &str) -> Option<usize> {
+        let idx = self
+            .devices_by_name
+            .partition_point(|&v| self.names.resolve(self.devices.dense(v as usize).name) < device);
+        let &v = self.devices_by_name.get(idx)?;
+        (self.names.resolve(self.devices.dense(v as usize).name) == device).then_some(v as usize)
+    }
+
+    /// The generational handle of an element vertex.
+    pub fn element_handle(&self, v: usize) -> Option<Handle<DeviceEntry>> {
+        (v < self.element_count)
+            .then(|| self.devices.handle_at(v))
+            .flatten()
+    }
+
+    /// The generational handle of a net vertex.
+    pub fn net_handle(&self, v: usize) -> Option<Handle<NetEntry>> {
+        (v >= self.element_count && v < self.vertex_count())
+            .then(|| self.nets.handle_at(v - self.element_count))
+            .flatten()
+    }
+
+    /// The device arena (handle-based access).
+    pub fn devices(&self) -> &Arena<DeviceEntry> {
+        &self.devices
+    }
+
+    /// The net arena (handle-based access).
+    pub fn nets(&self) -> &Arena<NetEntry> {
+        &self.nets
+    }
+
+    /// Resolves a name span against the store's name arena.
+    pub fn resolve(&self, span: NameSpan) -> &str {
+        self.names.resolve(span)
+    }
+
+    /// The channel-connected components, computed on first use from the
+    /// build-time rail classification and cached in the store.
+    pub fn ccc(&self) -> &CccSection {
+        self.ccc.get_or_init(|| self.compute_ccc())
+    }
+
+    /// The cached CCC section, if it has been computed.
+    pub fn ccc_if_computed(&self) -> Option<&CccSection> {
+        self.ccc.get()
+    }
+
+    fn compute_ccc(&self) -> CccSection {
+        let n = self.vertex_count();
+        let ec = self.element_count;
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+
+        // Two transistors join a CCC when they share a non-rail net through
+        // source/drain terminals; chaining consecutive channel users of a
+        // net reproduces the seed's window-union exactly.
+        for nv in ec..n {
+            if self.nets.dense(nv - ec).rail.is_rail() {
+                continue;
+            }
+            let mut prev: Option<u32> = None;
+            for &(ev, label) in self.neighbors(nv) {
+                if !label.touches_channel() {
+                    continue;
+                }
+                if let Some(p) = prev {
+                    let (ra, rb) = (find(&mut parent, p), find(&mut parent, ev as u32));
+                    if ra != rb {
+                        parent[ra as usize] = rb;
+                    }
+                }
+                prev = Some(ev as u32);
+            }
+        }
+
+        // Group transistors by root in first-seen order, then nets by the
+        // root of their first channel user.
+        let mut root_group: Vec<u32> = vec![NO_VERTEX; n];
+        let mut group_transistors: Vec<Vec<u32>> = Vec::new();
+        for ev in 0..ec {
+            if !self.devices.dense(ev).kind.is_transistor() {
+                continue;
+            }
+            let root = find(&mut parent, ev as u32) as usize;
+            let g = if root_group[root] == NO_VERTEX {
+                root_group[root] = group_transistors.len() as u32;
+                group_transistors.push(Vec::new());
+                group_transistors.len() - 1
+            } else {
+                root_group[root] as usize
+            };
+            group_transistors[g].push(ev as u32);
+        }
+        let mut group_nets: Vec<Vec<u32>> = vec![Vec::new(); group_transistors.len()];
+        for nv in ec..n {
+            if self.nets.dense(nv - ec).rail.is_rail() {
+                continue;
+            }
+            let first = self
+                .neighbors(nv)
+                .iter()
+                .find(|&&(_, label)| label.touches_channel());
+            if let Some(&(ev, _)) = first {
+                let root = find(&mut parent, ev as u32) as usize;
+                let g = root_group[root];
+                if g != NO_VERTEX {
+                    group_nets[g as usize].push(nv as u32);
+                }
+            }
+        }
+
+        // Order: largest first, ties by ascending transistor lists.
+        let mut order: Vec<usize> = (0..group_transistors.len()).collect();
+        order.sort_by(|&a, &b| {
+            group_transistors[b]
+                .len()
+                .cmp(&group_transistors[a].len())
+                .then_with(|| group_transistors[a].cmp(&group_transistors[b]))
+        });
+
+        let mut section = CccSection {
+            transistor_offsets: Vec::with_capacity(order.len() + 1),
+            net_offsets: Vec::with_capacity(order.len() + 1),
+            transistors: Vec::new(),
+            nets: Vec::new(),
+        };
+        section.transistor_offsets.push(0);
+        section.net_offsets.push(0);
+        for &g in &order {
+            section.transistors.extend_from_slice(&group_transistors[g]);
+            section.nets.extend_from_slice(&group_nets[g]);
+            section
+                .transistor_offsets
+                .push(section.transistors.len() as u32);
+            section.net_offsets.push(section.nets.len() as u32);
+        }
+        section
+    }
+
+    /// Records the coarsening section produced by GNN preparation.
+    pub fn record_coarsening(&mut self, section: CoarsenSection) {
+        self.coarsen = Some(section);
+    }
+
+    /// The recorded coarsening section, if any.
+    pub fn coarsening(&self) -> Option<&CoarsenSection> {
+        self.coarsen.as_ref()
+    }
+
+    /// Records the hierarchy slab produced after postprocessing.
+    pub fn record_hierarchy(&mut self, slab: HierarchySlab) {
+        self.hierarchy = Some(slab);
+    }
+
+    /// The recorded hierarchy slab, if any.
+    pub fn hierarchy(&self) -> Option<&HierarchySlab> {
+        self.hierarchy.as_ref()
+    }
+
+    /// Per-section heap-byte breakdown.
+    pub fn bytes(&self) -> StoreBytes {
+        StoreBytes {
+            names: self.names.heap_bytes(),
+            devices: self.devices.heap_bytes() + self.devices_by_name.heap_bytes(),
+            nets: self.nets.heap_bytes(),
+            adjacency: self.offsets.heap_bytes() + self.edges.heap_bytes(),
+            ccc: self.ccc.get().map_or(0, CccSection::heap_bytes),
+            coarsen: self.coarsen.as_ref().map_or(0, CoarsenSection::heap_bytes),
+            hierarchy: self.hierarchy.as_ref().map_or(0, HierarchySlab::heap_bytes),
+        }
+    }
+
+    /// Total heap bytes across every section.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gana_netlist::parse;
+
+    fn mirror() -> Circuit {
+        parse("M0 d1 d1 s s NMOS\nM1 d2 d1 s s NMOS\n").expect("valid")
+    }
+
+    #[test]
+    fn build_counts_and_order() {
+        let s = CircuitStore::build(&mirror(), GraphOptions::default());
+        assert_eq!(s.element_count(), 2);
+        assert_eq!(s.net_count(), 3);
+        assert_eq!(s.vertex_count(), 5);
+        assert_eq!(s.edge_count(), 5);
+        assert_eq!(s.device_name(0), Some("M0"));
+        assert_eq!(s.device_name(1), Some("M1"));
+        assert_eq!(s.net_name(2), Some("d1"));
+        assert_eq!(s.net_name(3), Some("d2"));
+        assert_eq!(s.net_name(4), Some("s"));
+    }
+
+    #[test]
+    fn figure2_labels() {
+        let s = CircuitStore::build(&mirror(), GraphOptions::default());
+        let m0 = s.element_vertex("M0").expect("exists");
+        let d1 = s.net_vertex("d1").expect("exists");
+        assert_eq!(s.edge_label(m0, d1).expect("edge").to_string(), "101");
+        let m1 = s.element_vertex("M1").expect("exists");
+        let d2 = s.net_vertex("d2").expect("exists");
+        assert_eq!(s.edge_label(m1, d2).expect("edge").to_string(), "001");
+        assert_eq!(s.edge_label(m0, d2), None);
+    }
+
+    #[test]
+    fn rails_are_classified_at_build() {
+        let c = parse("M0 out in vdd! vdd! PMOS\nM1 out in gnd! gnd! NMOS\n").expect("valid");
+        let s = CircuitStore::build(&c, GraphOptions::default());
+        let vdd = s.net_vertex("vdd!").expect("kept by default");
+        let gnd = s.net_vertex("gnd!").expect("kept by default");
+        let out = s.net_vertex("out").expect("signal");
+        assert_eq!(s.rail(vdd), Some(Rail::Supply));
+        assert_eq!(s.rail(gnd), Some(Rail::Ground));
+        assert_eq!(s.rail(out), Some(Rail::Signal));
+        assert_eq!(s.rail(0), None, "elements have no rail");
+    }
+
+    #[test]
+    fn supply_nets_can_be_dropped() {
+        let c = parse("M0 out in vdd! vdd! PMOS\n").expect("valid");
+        let s = CircuitStore::build(
+            &c,
+            GraphOptions {
+                include_supply_nets: false,
+                ..GraphOptions::default()
+            },
+        );
+        assert!(s.net_vertex("vdd!").is_none());
+        assert!(s.net_vertex("out").is_some());
+        assert_eq!(s.degree(0), 2, "drain+gate nets only");
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_bipartite() {
+        let c = parse("M1 a b c c NMOS\nM2 d b c c NMOS\nR1 a d 1k\n").expect("valid");
+        let s = CircuitStore::build(&c, GraphOptions::default());
+        for v in 0..s.vertex_count() {
+            let row = s.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row sorted");
+            for &(u, _) in row {
+                assert_ne!(
+                    u < s.element_count(),
+                    v < s.element_count(),
+                    "edges join an element and a net"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ccc_differential_pair_is_one_group() {
+        let c = parse(
+            "M1 o1 in1 tail gnd! NMOS\nM2 o2 in2 tail gnd! NMOS\nM5 tail vb gnd! gnd! NMOS\n",
+        )
+        .expect("valid");
+        let s = CircuitStore::build(&c, GraphOptions::default());
+        let ccc = s.ccc();
+        assert_eq!(ccc.group_count(), 1);
+        assert_eq!(ccc.transistors(0).len(), 3, "tail joins all three");
+        let tail = s.net_vertex("tail").expect("exists") as u32;
+        assert!(ccc.nets(0).contains(&tail));
+        let gnd = s.net_vertex("gnd!").expect("exists") as u32;
+        assert!(!ccc.nets(0).contains(&gnd), "rails never join");
+    }
+
+    #[test]
+    fn ccc_gate_connections_do_not_join() {
+        let c = parse("M1 d1 in gnd! gnd! NMOS\nM2 d2 d1 gnd! gnd! NMOS\n").expect("valid");
+        let s = CircuitStore::build(&c, GraphOptions::default());
+        assert_eq!(s.ccc().group_count(), 2);
+    }
+
+    #[test]
+    fn handles_resolve_to_entries() {
+        let s = CircuitStore::build(&mirror(), GraphOptions::default());
+        let h = s.element_handle(1).expect("live");
+        assert_eq!(s.resolve(s.devices()[h].name), "M1");
+        let nh = s.net_handle(3).expect("live");
+        assert_eq!(s.resolve(s.nets()[nh].name), "d2");
+        assert!(s.element_handle(2).is_none(), "net id is not an element");
+    }
+
+    #[test]
+    fn identical_builds_are_equal() {
+        let a = CircuitStore::build(&mirror(), GraphOptions::default());
+        let b = CircuitStore::build(&mirror(), GraphOptions::default());
+        assert_eq!(a, b);
+        a.ccc();
+        assert_eq!(a, b, "lazy CCC cache does not affect equality");
+    }
+
+    #[test]
+    fn heap_bytes_breakdown_accumulates() {
+        let mut s = CircuitStore::build(&mirror(), GraphOptions::default());
+        let before = s.bytes();
+        assert!(before.names > 0 && before.adjacency > 0);
+        assert_eq!(before.ccc, 0);
+        s.ccc();
+        assert!(s.bytes().ccc > 0, "cached CCC is accounted");
+        let mut slab = HierarchySlab::new();
+        let leaf = slab.add("M0", HierKind::Element, None, &[]);
+        let root = slab.add("top", HierKind::System, Some("ota"), &[leaf]);
+        slab.set_root(root);
+        assert_eq!(slab.name(root), "top");
+        assert_eq!(slab.label(root), Some("ota"));
+        assert_eq!(
+            slab.children(root).map(|c| c.index()).collect::<Vec<_>>(),
+            vec![leaf.index()]
+        );
+        s.record_hierarchy(slab);
+        assert!(s.bytes().hierarchy > 0);
+        assert_eq!(s.heap_bytes(), s.bytes().total());
+    }
+}

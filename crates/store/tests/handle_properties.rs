@@ -1,0 +1,158 @@
+//! Property tests for generational-handle stability.
+//!
+//! The arena's contract is that a live handle keeps resolving to the exact
+//! value it was issued for across any interleaving of inserts and removes
+//! (edit/splice sequences), and that a removed handle never resolves again
+//! — even after its slot is reused by a later insert.
+
+use gana_store::{Arena, CircuitStore, GraphOptions, Handle};
+use proptest::prelude::*;
+
+/// One step of an edit/splice sequence over the arena.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a fresh value.
+    Insert(u64),
+    /// Remove the k-th currently-live handle (modulo live count).
+    Remove(usize),
+}
+
+/// 3:2 insert/remove mix, encoded as a tuple strategy (the vendored
+/// proptest stub has no `prop_oneof`).
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (any::<u8>(), any::<u64>(), any::<usize>()).prop_map(|(tag, value, k)| {
+        if tag % 5 < 3 {
+            Op::Insert(value)
+        } else {
+            Op::Remove(k)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every live handle resolves to the value it was issued for after
+    /// every step; every removed handle stays dead even when its slot is
+    /// recycled.
+    #[test]
+    fn handles_survive_arbitrary_edit_sequences(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut arena: Arena<u64> = Arena::new();
+        let mut live: Vec<(Handle<u64>, u64)> = Vec::new();
+        let mut dead: Vec<Handle<u64>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(value) => {
+                    let handle = arena.insert(value);
+                    live.push((handle, value));
+                }
+                Op::Remove(k) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (handle, value) = live.swap_remove(k % live.len());
+                    prop_assert_eq!(arena.remove(handle), Some(value));
+                    dead.push(handle);
+                }
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            for &(handle, value) in &live {
+                prop_assert_eq!(arena.get(handle), Some(&value), "live handle content drifted");
+                prop_assert_eq!(
+                    arena.handle_at(handle.index()),
+                    Some(handle),
+                    "handle_at must reproduce the live handle"
+                );
+            }
+            for &handle in &dead {
+                prop_assert!(
+                    arena.get(handle).is_none(),
+                    "a removed handle resolved (slot reuse must bump the generation)"
+                );
+                prop_assert!(!arena.contains(handle));
+            }
+        }
+
+        // Iteration visits exactly the live set.
+        let mut seen: Vec<u64> = arena.iter().map(|(_, &v)| v).collect();
+        let mut expect: Vec<u64> = live.iter().map(|&(_, v)| v).collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// A double remove returns `None` and leaves later inserts untouched.
+    #[test]
+    fn double_remove_is_inert(values in prop::collection::vec(any::<u64>(), 1..30)) {
+        let mut arena: Arena<u64> = Arena::new();
+        let handles: Vec<_> = values.iter().map(|&v| arena.insert(v)).collect();
+        let victim = handles[values.len() / 2];
+        prop_assert!(arena.remove(victim).is_some());
+        prop_assert_eq!(arena.remove(victim), None);
+        let fresh = arena.insert(u64::MAX);
+        prop_assert_eq!(arena.get(victim), None, "recycled slot must not revive the old handle");
+        prop_assert_eq!(arena.get(fresh), Some(&u64::MAX));
+    }
+}
+
+/// Store-level stability: element/net handles taken right after the build
+/// keep resolving to the same names and kinds after the coarsening and
+/// hierarchy sections are recorded (the mutations a pipeline run performs
+/// on a shared store).
+#[test]
+fn store_handles_stable_across_section_recording() {
+    let netlist = "\
+M1 out inp tail gnd! NMOS W=2u
+M2 outb inn tail gnd! NMOS W=2u
+M3 tail bias gnd! gnd! NMOS W=4u
+R1 vdd! out 10k
+R2 vdd! outb 10k
+";
+    let circuit = gana_netlist::parse(netlist).expect("parses");
+    let mut store = CircuitStore::build(&circuit, GraphOptions::default());
+
+    let elements: Vec<_> = (0..store.element_count())
+        .map(|v| {
+            (
+                store.element_handle(v).expect("element handle"),
+                store.device_name(v).expect("named").to_string(),
+                store.element_kind(v).expect("kind"),
+            )
+        })
+        .collect();
+    let nets: Vec<_> = (store.element_count()..store.vertex_count())
+        .map(|v| {
+            (
+                store.net_handle(v).expect("net handle"),
+                store.net_name(v).expect("named").to_string(),
+            )
+        })
+        .collect();
+
+    // Compute CCC (fills the lazy section), then record coarsening and
+    // hierarchy slabs — every mutation the pipeline applies post-build.
+    let _ = store.ccc();
+    store.record_coarsening(gana_store::CoarsenSection {
+        levels: 1,
+        n_original: store.vertex_count(),
+        padded_size: store.vertex_count(),
+        perm: (0..store.vertex_count() as u32).collect(),
+        inverse_perm: (0..store.vertex_count() as u32).collect(),
+        level_sizes: vec![store.vertex_count() as u32],
+    });
+    let mut slab = gana_store::HierarchySlab::new();
+    let root = slab.add("sys", gana_store::HierKind::System, None, &[]);
+    slab.set_root(root);
+    store.record_hierarchy(slab);
+
+    for (handle, name, kind) in &elements {
+        let entry = &store.devices()[*handle];
+        assert_eq!(store.resolve(entry.name), name.as_str());
+        assert_eq!(entry.kind, *kind);
+    }
+    for (handle, name) in &nets {
+        let entry = &store.nets()[*handle];
+        assert_eq!(store.resolve(entry.name), name.as_str());
+    }
+}
